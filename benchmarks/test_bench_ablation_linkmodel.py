@@ -1,0 +1,75 @@
+"""ABL-LINK — ablation of the D2D link model parameters.
+
+Sweeps the bump pitch (C4 vs. micro-bumps), the power-bump fraction and the
+link frequency to show how the per-link bandwidth and the HexaMesh-vs-grid
+full-global-bandwidth ratio react — the design choices Section V treats as
+inputs.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.tables import format_table
+from repro.linkmodel.bandwidth import D2DLinkModel
+from repro.linkmodel.parameters import EvaluationParameters, LinkParameters
+
+
+def _sweep():
+    rows = []
+    for pitch in (0.15, 0.10, 0.045):
+        for power_fraction in (0.3, 0.4, 0.5):
+            for frequency_ghz in (8.0, 16.0, 32.0):
+                link = LinkParameters(
+                    bump_pitch_mm=pitch,
+                    non_data_wires=12,
+                    frequency_hz=frequency_ghz * 1e9,
+                    name="ablation",
+                )
+                parameters = EvaluationParameters(
+                    power_bump_fraction=power_fraction, link=link
+                )
+                model = D2DLinkModel(parameters)
+                grid = model.estimate("grid", 64)
+                hexamesh = model.estimate("hexamesh", 64)
+                grid_fgb = 64 * 2 * grid.bandwidth_bps / 1e12
+                hexamesh_fgb = 64 * 2 * hexamesh.bandwidth_bps / 1e12
+                rows.append(
+                    [
+                        pitch,
+                        power_fraction,
+                        frequency_ghz,
+                        grid.bandwidth_gbps,
+                        hexamesh.bandwidth_gbps,
+                        hexamesh_fgb / grid_fgb,
+                    ]
+                )
+    return rows
+
+
+def test_bench_ablation_linkmodel(benchmark):
+    rows = run_once(benchmark, _sweep)
+
+    # Finer pitch always increases per-link bandwidth; a larger power
+    # fraction always decreases it; the HexaMesh-to-grid bandwidth ratio
+    # stays at roughly 4/6 (the sector-count ratio) across the sweep.
+    for row in rows:
+        assert row[3] > 0 and row[4] > 0
+        assert 0.45 < row[5] < 0.75
+    baseline = next(r for r in rows if r[0] == 0.15 and r[1] == 0.4 and r[2] == 16.0)
+    micro = next(r for r in rows if r[0] == 0.045 and r[1] == 0.4 and r[2] == 16.0)
+    assert micro[3] > baseline[3]
+
+    print()
+    print("Link-model ablation at N=64 chiplets")
+    print(
+        format_table(
+            [
+                "pitch [mm]",
+                "p_p",
+                "f [GHz]",
+                "grid B [Gb/s]",
+                "HM B [Gb/s]",
+                "HM/grid FGB ratio",
+            ],
+            rows,
+        )
+    )

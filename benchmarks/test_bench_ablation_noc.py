@@ -1,0 +1,67 @@
+"""ABL-VC — ablation of the NoC simulator's router parameters.
+
+The paper fixes the router microarchitecture (8 VCs, 8-flit buffers,
+3-cycle routers, 27-cycle links).  This ablation varies virtual-channel
+count, buffer depth and link latency on a fixed HexaMesh design to show how
+sensitive the reported latency and sustained throughput are to those
+choices — the kind of robustness check DESIGN.md calls out.
+"""
+
+from conftest import run_once
+
+from repro.arrangements.factory import make_arrangement
+from repro.evaluation.tables import format_table
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator
+
+#: (label, configuration overrides) of each ablation point.
+ABLATION_CONFIGS = [
+    ("paper (8 VC, 8 buf, 27 link)", {}),
+    ("2 VCs", {"num_virtual_channels": 2}),
+    ("4 VCs", {"num_virtual_channels": 4}),
+    ("buffer depth 2", {"buffer_depth_flits": 2}),
+    ("buffer depth 16", {"buffer_depth_flits": 16}),
+    ("link latency 9", {"link_latency_cycles": 9}),
+    ("link latency 54", {"link_latency_cycles": 54}),
+]
+
+
+def _run_ablation():
+    graph = make_arrangement("hexamesh", 19).graph
+    rows = []
+    for label, overrides in ABLATION_CONFIGS:
+        base = dict(warmup_cycles=300, measurement_cycles=600, drain_cycles=1200)
+        base.update(overrides)
+        config = SimulationConfig(**base)
+        latency = (
+            NocSimulator(graph, config, injection_rate=0.03).run().packet_latency.mean
+        )
+        overload = SimulationConfig(**{**base, "drain_cycles": 0})
+        accepted = (
+            NocSimulator(graph, overload, injection_rate=1.0).run().accepted_flit_rate
+        )
+        rows.append([label, latency, accepted])
+    return rows
+
+
+def test_bench_ablation_noc(benchmark):
+    rows = run_once(benchmark, _run_ablation)
+    by_label = {row[0]: row for row in rows}
+
+    paper = by_label["paper (8 VC, 8 buf, 27 link)"]
+    # Link latency dominates zero-load latency; halving / doubling it moves
+    # the latency in the expected direction.
+    assert by_label["link latency 9"][1] < paper[1] < by_label["link latency 54"][1]
+    # Starving the routers of buffers reduces sustained throughput.
+    assert by_label["buffer depth 2"][2] <= paper[2] + 0.02
+    # Fewer VCs never helps throughput.
+    assert by_label["2 VCs"][2] <= paper[2] + 0.02
+
+    print()
+    print("NoC ablation on HexaMesh-19 (uniform random traffic)")
+    print(
+        format_table(
+            ["configuration", "zero-load latency [cyc]", "accepted @ overload [flit/cyc/EP]"],
+            rows,
+        )
+    )

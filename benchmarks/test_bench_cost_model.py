@@ -1,0 +1,58 @@
+"""EXT-COST — manufacturing cost versus chiplet count (extension).
+
+The paper motivates 2.5D integration economically and cites Chiplet Actuary
+as an orthogonal cost model; this benchmark combines the cost extension
+with the arrangements: per-unit cost of realising the 800 mm² design as a
+monolithic die versus N chiplets arranged as a HexaMesh (whose average
+degree sets the PHY overhead per chiplet).
+"""
+
+from conftest import run_once
+
+from repro.arrangements.factory import make_arrangement
+from repro.cost.manufacturing import (
+    CostModelParameters,
+    chiplet_cost,
+    monolithic_cost,
+)
+from repro.evaluation.tables import format_table
+
+
+def _cost_sweep():
+    parameters = CostModelParameters(defect_density_per_cm2=0.2)
+    mono = monolithic_cost(parameters)
+    rows = [["monolithic", 1, mono.die_yield, mono.total_cost, 1.0]]
+    for count in (4, 9, 16, 25, 37, 61, 91):
+        arrangement = make_arrangement("hexamesh", count)
+        links_per_chiplet = arrangement.degree_statistics().average
+        breakdown = chiplet_cost(parameters, count, links_per_chiplet)
+        rows.append(
+            [
+                f"hexamesh-{count}",
+                count,
+                breakdown.chiplet_yield,
+                breakdown.total_cost,
+                breakdown.total_cost / mono.total_cost,
+            ]
+        )
+    return rows
+
+
+def test_bench_cost_model(benchmark):
+    rows = run_once(benchmark, _cost_sweep)
+
+    monolithic_row = rows[0]
+    chiplet_rows = rows[1:]
+    # Yield always improves with disaggregation, and at this defect density
+    # at least one chiplet design is cheaper than the monolithic die.
+    assert all(row[2] > monolithic_row[2] for row in chiplet_rows)
+    assert any(row[4] < 1.0 for row in chiplet_rows)
+
+    print()
+    print("Manufacturing cost extension (defect density 0.2 /cm², 800 mm² of logic)")
+    print(
+        format_table(
+            ["design", "chiplets", "die yield", "cost / unit", "vs monolithic"],
+            rows,
+        )
+    )

@@ -1,0 +1,26 @@
+"""FIG4 — the arrangement annotations of Figure 4.
+
+Regenerates, for every regular arrangement up to the configured chiplet
+count, the minimum / maximum neighbour counts and checks the measured
+diameters against the closed-form formulas annotated in the figure.
+"""
+
+from conftest import bench_max_chiplets, run_once
+
+from repro.evaluation.proxies import figure4_annotations
+from repro.evaluation.tables import render_series_summary
+
+
+def test_bench_fig4_formulas(benchmark):
+    max_n = bench_max_chiplets()
+
+    result = run_once(benchmark, figure4_annotations, range(4, max_n + 1))
+
+    # The generated arrangements must match the annotated formulas exactly.
+    for kind in ("grid", "brickwall", "honeycomb", "hexamesh"):
+        measured = result.get_series(f"{kind}:diameter")
+        formula = result.get_series(f"{kind}:diameter_formula")
+        assert measured.ys == formula.ys, f"{kind} diameters deviate from Figure 4"
+
+    print()
+    print(render_series_summary(result))

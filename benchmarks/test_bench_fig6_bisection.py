@@ -1,0 +1,46 @@
+"""FIG6b — bisection bandwidth of every arrangement and regularity class.
+
+Regular arrangements use the paper's closed-form values; semi-regular and
+irregular arrangements are estimated with the partitioning portfolio (the
+library's METIS substitute), exactly as the paper estimates them with
+METIS.  Prints the series summaries and the HexaMesh-vs-grid factor at the
+largest evaluated count (annotated as "x2.3" in the figure).
+"""
+
+from conftest import bench_max_chiplets, run_once
+
+from repro.evaluation.proxies import run_figure6_bisection
+from repro.evaluation.tables import render_series_summary
+
+
+def test_bench_fig6_bisection(benchmark):
+    max_n = bench_max_chiplets()
+
+    result = run_once(benchmark, run_figure6_bisection, range(1, max_n + 1))
+
+    grid_regular = result.get_series("grid (regular)")
+    hexamesh_series = [
+        series for series in result.series if series.name.startswith("hexamesh")
+    ]
+
+    # Who wins: HexaMesh bisection bandwidth is at least the grid's.
+    for x in grid_regular.xs:
+        if x < 4:
+            continue
+        hexamesh_values = [
+            series.y_at(x) for series in hexamesh_series if x in series.xs
+        ]
+        if hexamesh_values:
+            assert max(hexamesh_values) >= grid_regular.y_at(x)
+
+    largest = max(grid_regular.xs)
+    hexamesh_at_largest = max(
+        series.y_at(largest) for series in hexamesh_series if largest in series.xs
+    )
+    factor = hexamesh_at_largest / grid_regular.y_at(largest)
+
+    print()
+    print(render_series_summary(result))
+    print(
+        f"HexaMesh / grid bisection factor at N={int(largest)}: x{factor:.2f} (paper: x2.3)"
+    )

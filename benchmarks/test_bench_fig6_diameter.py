@@ -1,0 +1,48 @@
+"""FIG6a — network diameter of every arrangement and regularity class.
+
+Regenerates the diameter panel of Figure 6 for chiplet counts from 1 to the
+configured maximum and prints one row per series (the paper's legend:
+grid / brickwall / HexaMesh x regular / semi-regular / irregular), together
+with the HexaMesh-vs-grid factor at the largest evaluated count (annotated
+as "x0.6" in the figure).
+"""
+
+from conftest import bench_max_chiplets, run_once
+
+from repro.arrangements.base import ArrangementKind
+from repro.evaluation.proxies import run_figure6_diameter
+from repro.evaluation.tables import render_series_summary
+
+
+def test_bench_fig6_diameter(benchmark):
+    max_n = bench_max_chiplets()
+
+    result = run_once(benchmark, run_figure6_diameter, range(1, max_n + 1))
+
+    grid_regular = result.get_series("grid (regular)")
+    hexamesh_series = [
+        series for series in result.series if series.name.startswith("hexamesh")
+    ]
+    assert hexamesh_series, "HexaMesh series missing from Figure 6a"
+
+    # Who wins: the HexaMesh diameter never exceeds the grid diameter at the
+    # same chiplet count (checked on the regular grid points).
+    for x in grid_regular.xs:
+        hexamesh_values = [
+            series.y_at(x)
+            for series in hexamesh_series
+            if x in series.xs
+        ]
+        if hexamesh_values:
+            assert min(hexamesh_values) <= grid_regular.y_at(x)
+
+    # The "x0.6" annotation of the paper at N = 100 (or the configured max).
+    largest = max(grid_regular.xs)
+    hexamesh_at_largest = min(
+        series.y_at(largest) for series in hexamesh_series if largest in series.xs
+    )
+    factor = hexamesh_at_largest / grid_regular.y_at(largest)
+
+    print()
+    print(render_series_summary(result))
+    print(f"HexaMesh / grid diameter factor at N={int(largest)}: x{factor:.2f} (paper: x0.6)")

@@ -1,0 +1,43 @@
+"""FIG7a — zero-load latency of the grid, brickwall and HexaMesh.
+
+Regenerates the latency panel of Figure 7: for every chiplet count from 2
+to the configured maximum, the zero-load latency in cycles of the best
+arrangement of each family under the paper's parameters (27-cycle links,
+3-cycle routers, two endpoints per chiplet).
+"""
+
+from conftest import bench_max_chiplets, get_figure7_result, run_once
+
+from repro.evaluation.tables import format_table
+
+
+def test_bench_fig7_latency(benchmark):
+    max_n = bench_max_chiplets()
+
+    figure7 = run_once(benchmark, get_figure7_result, max_n)
+
+    counts = figure7.chiplet_counts()
+    # Who wins: for every count from 10 upwards the HexaMesh latency is below
+    # the grid's, and the brickwall sits in between or close to the HexaMesh.
+    for count in counts:
+        if count < 10:
+            continue
+        grid = figure7.point("grid", count).zero_load_latency_cycles
+        hexamesh = figure7.point("hexamesh", count).zero_load_latency_cycles
+        assert hexamesh < grid
+
+    sample_counts = [c for c in (2, 10, 25, 37, 50, 64, 75, 91, 100) if c in counts]
+    rows = []
+    for count in sample_counts:
+        rows.append(
+            [
+                count,
+                figure7.point("grid", count).zero_load_latency_cycles,
+                figure7.point("brickwall", count).zero_load_latency_cycles,
+                figure7.point("hexamesh", count).zero_load_latency_cycles,
+            ]
+        )
+
+    print()
+    print("Figure 7a: zero-load latency [cycles]")
+    print(format_table(["N", "grid", "brickwall", "hexamesh"], rows))

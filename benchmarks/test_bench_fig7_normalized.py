@@ -1,0 +1,55 @@
+"""FIG7c / FIG7d — latency and throughput relative to the grid baseline.
+
+Regenerates the two normalised panels of Figure 7 and the averages the
+paper quotes (latency reduced by ~19 %, throughput improved by ~34 % for
+the HexaMesh; ~12 % throughput improvement for the brickwall).
+"""
+
+from conftest import bench_max_chiplets, get_figure7_result, run_once
+
+from repro.evaluation.headline import average_improvements
+from repro.evaluation.tables import format_table
+
+
+def test_bench_fig7_normalized(benchmark):
+    max_n = bench_max_chiplets()
+
+    figure7 = run_once(benchmark, get_figure7_result, max_n)
+
+    counts = figure7.chiplet_counts()
+    hexamesh_latency, hexamesh_throughput = average_improvements(figure7, kind="hexamesh")
+    brickwall_latency, brickwall_throughput = average_improvements(figure7, kind="brickwall")
+
+    # Shape checks: HexaMesh reduces latency by roughly the paper's 19 % and
+    # improves throughput on average; the brickwall improves less than the
+    # HexaMesh, as in the paper.
+    assert 10.0 < hexamesh_latency < 30.0
+    assert hexamesh_throughput > 0.0
+    assert hexamesh_throughput > brickwall_throughput
+
+    sample_counts = [c for c in (10, 25, 37, 50, 64, 75, 91, 100) if c in counts]
+    rows = []
+    for count in sample_counts:
+        rows.append(
+            [
+                count,
+                figure7.normalized_latency_percent("brickwall", count),
+                figure7.normalized_latency_percent("hexamesh", count),
+                figure7.normalized_throughput_percent("brickwall", count),
+                figure7.normalized_throughput_percent("hexamesh", count),
+            ]
+        )
+
+    print()
+    print("Figures 7c/7d: latency and throughput relative to the grid [%]")
+    print(
+        format_table(
+            ["N", "BW latency %", "HM latency %", "BW throughput %", "HM throughput %"],
+            rows,
+        )
+    )
+    print(
+        f"Averages over N=2..{max_n}: HM latency -{hexamesh_latency:.1f} % "
+        f"(paper: -19 %), HM throughput +{hexamesh_throughput:.1f} % (paper: +34 %), "
+        f"BW throughput +{brickwall_throughput:.1f} % (paper: +12 %)"
+    )

@@ -1,0 +1,107 @@
+"""FIG7 (cycle-accurate spot checks) — the BookSim2-substitute methodology.
+
+The analytical sweeps of the other FIG7 benchmarks cover every chiplet
+count; this benchmark validates a subset of design points with the
+cycle-accurate simulator, exactly as one would use BookSim2 for spot
+checks: zero-load latency at a low injection rate and sustained accepted
+throughput at full offered load, converted to Tb/s with the link model.
+
+Set ``HEXAMESH_FULL_SIM=1`` to extend the subset to larger chiplet counts.
+"""
+
+from conftest import full_simulation_requested, run_once
+
+from repro.arrangements.factory import make_arrangement
+from repro.evaluation.tables import format_table
+from repro.linkmodel.bandwidth import D2DLinkModel
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator
+from repro.perfmodel.latency import zero_load_latency_cycles
+
+#: Default cycle-accurate spot checks: (kind, chiplet count).
+DEFAULT_POINTS = [
+    ("grid", 16),
+    ("brickwall", 16),
+    ("hexamesh", 19),
+    ("grid", 36),
+    ("hexamesh", 37),
+]
+
+#: Additional, slower points enabled with HEXAMESH_FULL_SIM=1.
+FULL_POINTS = [
+    ("brickwall", 36),
+    ("grid", 64),
+    ("hexamesh", 61),
+    ("grid", 100),
+    ("hexamesh", 91),
+]
+
+
+def _simulate_points(points):
+    config = SimulationConfig(
+        warmup_cycles=300, measurement_cycles=800, drain_cycles=1500
+    )
+    overload_config = SimulationConfig(
+        warmup_cycles=300, measurement_cycles=800, drain_cycles=0
+    )
+    link_model = D2DLinkModel()
+    rows = []
+    for kind, count in points:
+        arrangement = make_arrangement(kind, count)
+        graph = arrangement.graph
+        latency = (
+            NocSimulator(graph, config, injection_rate=0.03)
+            .run()
+            .packet_latency.mean
+        )
+        accepted = (
+            NocSimulator(graph, overload_config, injection_rate=1.0)
+            .run()
+            .accepted_flit_rate
+        )
+        estimate = link_model.estimate_for_arrangement(arrangement)
+        full_global_tbps = count * 2 * estimate.bandwidth_bps / 1e12
+        rows.append(
+            [
+                f"{kind}-{count}",
+                latency,
+                zero_load_latency_cycles(graph, config),
+                accepted,
+                accepted * full_global_tbps,
+            ]
+        )
+    return rows
+
+
+def test_bench_fig7_simulation(benchmark):
+    points = list(DEFAULT_POINTS)
+    if full_simulation_requested():
+        points += FULL_POINTS
+
+    rows = run_once(benchmark, _simulate_points, points)
+
+    # The simulated zero-load latency must agree with the analytical model.
+    for row in rows:
+        simulated, analytical = row[1], row[2]
+        assert abs(simulated - analytical) / analytical < 0.10
+
+    # Who wins (simulated): HexaMesh-37 beats grid-36 in both metrics.
+    by_label = {row[0]: row for row in rows}
+    if "grid-36" in by_label and "hexamesh-37" in by_label:
+        assert by_label["hexamesh-37"][1] < by_label["grid-36"][1]
+        assert by_label["hexamesh-37"][4] > by_label["grid-36"][4]
+
+    print()
+    print("Figure 7 cycle-accurate spot checks (uniform random traffic)")
+    print(
+        format_table(
+            [
+                "design",
+                "sim latency [cyc]",
+                "model latency [cyc]",
+                "accepted [flit/cyc/EP]",
+                "throughput [Tb/s]",
+            ],
+            rows,
+        )
+    )

@@ -1,0 +1,52 @@
+"""FIG7b — saturation throughput in Tb/s of the grid, brickwall and HexaMesh.
+
+Regenerates the throughput panel of Figure 7: the relative saturation
+throughput (bisection-limited analytical model by default) multiplied by
+the full global bandwidth obtained from the D2D link model.
+"""
+
+from conftest import bench_max_chiplets, get_figure7_result, run_once
+
+from repro.evaluation.tables import format_table
+
+
+def test_bench_fig7_throughput(benchmark):
+    max_n = bench_max_chiplets()
+
+    figure7 = run_once(benchmark, get_figure7_result, max_n)
+
+    counts = figure7.chiplet_counts()
+    # Shape check: on average over the sweep the HexaMesh sustains more
+    # traffic than the grid (the paper reports +34 % on average).
+    ratios = [
+        figure7.point("hexamesh", count).saturation_throughput_tbps
+        / figure7.point("grid", count).saturation_throughput_tbps
+        for count in counts
+    ]
+    assert sum(ratios) / len(ratios) > 1.0
+
+    sample_counts = [c for c in (2, 10, 25, 37, 50, 64, 75, 91, 100) if c in counts]
+    rows = []
+    for count in sample_counts:
+        grid = figure7.point("grid", count)
+        brickwall = figure7.point("brickwall", count)
+        hexamesh = figure7.point("hexamesh", count)
+        rows.append(
+            [
+                count,
+                grid.saturation_throughput_tbps,
+                brickwall.saturation_throughput_tbps,
+                hexamesh.saturation_throughput_tbps,
+                grid.link_bandwidth_gbps,
+                hexamesh.link_bandwidth_gbps,
+            ]
+        )
+
+    print()
+    print("Figure 7b: saturation throughput [Tb/s] (bisection-limited model)")
+    print(
+        format_table(
+            ["N", "grid", "brickwall", "hexamesh", "grid link [Gb/s]", "HM link [Gb/s]"],
+            rows,
+        )
+    )

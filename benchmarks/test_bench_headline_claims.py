@@ -1,0 +1,40 @@
+"""HEADLINE — the four numbers of the paper's abstract.
+
+* network diameter reduced by 42 % (asymptotically),
+* bisection bandwidth improved by 130 % (asymptotically),
+* latency reduced by 19 % on average,
+* throughput improved by 34 % on average.
+
+The first two are exact consequences of the closed-form formulas; the last
+two are recomputed from the Figure 7 sweep (analytical engine).
+"""
+
+from conftest import bench_max_chiplets, get_figure7_result, run_once
+
+from repro.evaluation.headline import compute_headline_claims
+from repro.evaluation.tables import format_table
+
+
+def _claims(max_n):
+    return compute_headline_claims(get_figure7_result(max_n))
+
+
+def test_bench_headline_claims(benchmark):
+    max_n = bench_max_chiplets()
+
+    claims = run_once(benchmark, _claims, max_n)
+
+    assert abs(claims.diameter_reduction_percent - 42.0) < 1.0
+    assert abs(claims.bisection_improvement_percent - 130.0) < 2.0
+    assert 10.0 < claims.latency_reduction_percent < 30.0
+    assert claims.throughput_improvement_percent > 5.0
+
+    rows = [
+        ["diameter reduction [%]", claims.PAPER_DIAMETER_REDUCTION, claims.diameter_reduction_percent],
+        ["bisection improvement [%]", claims.PAPER_BISECTION_IMPROVEMENT, claims.bisection_improvement_percent],
+        ["latency reduction [%]", claims.PAPER_LATENCY_REDUCTION, claims.latency_reduction_percent],
+        ["throughput improvement [%]", claims.PAPER_THROUGHPUT_IMPROVEMENT, claims.throughput_improvement_percent],
+    ]
+    print()
+    print("Headline claims: HexaMesh vs. grid")
+    print(format_table(["claim", "paper", "reproduced"], rows))

@@ -1,0 +1,59 @@
+"""FIG5/EX1 — the chiplet-shape solver and the Section IV-B worked example.
+
+Regenerates the chiplet dimensions, per-link bump-sector area and maximum
+bump-to-edge distance for both bump layouts over a sweep of chiplet areas,
+and pins the paper's worked example (A_C = 16 mm², p_p = 0.4 ->
+W_C = 4.38 mm, H_C = 3.65 mm, D_B = 0.73 mm).
+"""
+
+import pytest
+
+from repro.evaluation.tables import format_table
+from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
+
+
+def _shape_table():
+    rows = []
+    for area in (4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 200.0, 400.0, 800.0):
+        grid = solve_grid_shape(area, 0.4)
+        hexagonal = solve_hex_shape(area, 0.4)
+        rows.append(
+            [
+                area,
+                grid.width_mm,
+                grid.link_sector_area_mm2,
+                grid.bump_distance_mm,
+                hexagonal.width_mm,
+                hexagonal.height_mm,
+                hexagonal.link_sector_area_mm2,
+                hexagonal.bump_distance_mm,
+            ]
+        )
+    return rows
+
+
+def test_bench_shape_model(benchmark):
+    rows = benchmark(_shape_table)
+
+    example = solve_hex_shape(16.0, 0.4)
+    assert example.width_mm == pytest.approx(4.38, abs=0.005)
+    assert example.height_mm == pytest.approx(3.65, abs=0.005)
+    assert example.bump_distance_mm == pytest.approx(0.73, abs=0.005)
+
+    print()
+    print("Chiplet shape solver (p_p = 0.4); paper example is the A_C = 16 row")
+    print(
+        format_table(
+            [
+                "A_C [mm2]",
+                "grid W_C",
+                "grid A_B",
+                "grid D_B",
+                "hex W_C",
+                "hex H_C",
+                "hex A_B",
+                "hex D_B",
+            ],
+            rows,
+        )
+    )

@@ -1,0 +1,63 @@
+"""TAB1 — the D2D link-bandwidth model with the Section VI-B parameters.
+
+Regenerates the per-link bandwidth (and the underlying wire counts) for the
+three arrangement families over a set of chiplet counts, using the paper's
+parameters: A_all = 800 mm², p_p = 0.4, P_B = 0.15 mm, N_ndw = 12,
+f = 16 GHz.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.evaluation.performance import run_link_bandwidth_table
+from repro.evaluation.tables import format_table
+
+
+def test_bench_table1_linkmodel(benchmark):
+    result = run_once(benchmark, run_link_bandwidth_table)
+
+    grid = result.get_series("grid")
+    hexamesh = result.get_series("hexamesh")
+
+    # Reference point of the paper's setting: grid at N = 100 -> 53 wires,
+    # 41 data wires, 656 Gb/s per link.
+    assert grid.y_at(100) == pytest.approx(656.0)
+    # The six-sector layouts always have less area and bandwidth per link.
+    for count in grid.xs:
+        assert hexamesh.y_at(count) <= grid.y_at(count)
+
+    rows = []
+    for point in grid.points:
+        count = int(point.x)
+        hexamesh_point = next(p for p in hexamesh.points if p.x == point.x)
+        rows.append(
+            [
+                count,
+                point.annotations["chiplet_area_mm2"],
+                point.annotations["num_data_wires"],
+                point.y,
+                hexamesh_point.annotations["num_data_wires"],
+                hexamesh_point.y,
+                point.annotations["full_global_bandwidth_tbps"],
+                hexamesh_point.annotations["full_global_bandwidth_tbps"],
+            ]
+        )
+
+    print()
+    print("D2D link model (Table I inputs, Section VI-B values)")
+    print(
+        format_table(
+            [
+                "N",
+                "A_C [mm2]",
+                "grid N_dw",
+                "grid B [Gb/s]",
+                "HM N_dw",
+                "HM B [Gb/s]",
+                "grid FGB [Tb/s]",
+                "HM FGB [Tb/s]",
+            ],
+            rows,
+        )
+    )

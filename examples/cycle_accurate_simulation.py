@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Cycle-accurate simulation: latency-vs-load curves for HexaMesh and grid.
+
+This example reproduces the Section VI methodology on a single pair of
+design points using the library's BookSim2-substitute simulator: one router
+and two endpoints per chiplet, 27-cycle inter-chiplet links, 3-cycle
+routers, 8 virtual channels with 8-flit buffers, uniform random traffic.
+
+It sweeps the offered load, prints the latency / accepted-throughput curve
+of both designs and converts the sustained throughput into Tb/s with the
+D2D link model (Section V).
+
+Run with:  python examples/cycle_accurate_simulation.py
+(takes on the order of a minute; reduce CYCLE budget or chiplet counts for
+a quicker run)
+"""
+
+from repro import ChipletDesign
+from repro.evaluation.tables import format_table
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator
+
+#: Offered loads (flits per cycle per endpoint) of the sweep.
+OFFERED_LOADS = (0.05, 0.15, 0.25, 0.35, 0.50)
+
+#: Shortened simulation phases so the example finishes quickly.
+CONFIG = SimulationConfig(warmup_cycles=300, measurement_cycles=600, drain_cycles=600)
+
+
+def sweep(design: ChipletDesign) -> list[list[float]]:
+    """Simulate one design over the offered-load sweep."""
+    rows = []
+    for load in OFFERED_LOADS:
+        simulator = NocSimulator(
+            design.arrangement.graph,
+            design.simulation_config(CONFIG),
+            injection_rate=load,
+            traffic="uniform",
+        )
+        result = simulator.run()
+        throughput_tbps = (
+            result.accepted_flit_rate * design.full_global_bandwidth_tbps
+        )
+        rows.append(
+            [
+                load,
+                result.packet_latency.mean,
+                result.accepted_flit_rate,
+                throughput_tbps,
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    grid = ChipletDesign.create("grid", 16)
+    hexamesh = ChipletDesign.create("hexamesh", 19)
+
+    for design in (grid, hexamesh):
+        print(f"\n=== {design.label} ===")
+        print(
+            f"per-link bandwidth: {design.link_bandwidth_gbps:.0f} Gb/s, "
+            f"full global bandwidth: {design.full_global_bandwidth_tbps:.1f} Tb/s, "
+            f"analytical zero-load latency: {design.zero_load_latency():.1f} cycles"
+        )
+        rows = sweep(design)
+        print(
+            format_table(
+                [
+                    "offered [flit/cyc/EP]",
+                    "avg packet latency [cyc]",
+                    "accepted [flit/cyc/EP]",
+                    "throughput [Tb/s]",
+                ],
+                rows,
+            )
+        )
+
+    print(
+        "\nNote: latencies blow up once the offered load crosses the saturation point;"
+        "\nthe HexaMesh sustains a higher relative load than the grid, as in Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

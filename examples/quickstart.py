@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a HexaMesh design and compare it against the grid.
+
+This example walks through the paper's methodology end to end for a single
+design point:
+
+1. generate the arrangement (HexaMesh with 37 chiplets, i.e. 3 rings),
+2. read off the performance proxies (diameter, bisection bandwidth),
+3. solve the chiplet shape and estimate the D2D link bandwidth,
+4. predict zero-load latency and saturation throughput, and
+5. compare everything against the 2D-grid baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ChipletDesign
+from repro.core.report import compare_designs
+
+
+def main() -> None:
+    num_chiplets = 37
+
+    hexamesh = ChipletDesign.create("hexamesh", num_chiplets)
+    grid = ChipletDesign.create("grid", num_chiplets)
+
+    print("=== HexaMesh design summary ===")
+    for key, value in hexamesh.summary().items():
+        if isinstance(value, float):
+            value = round(value, 3)
+        print(f"  {key:32s} {value}")
+
+    print()
+    print("=== HexaMesh vs. grid (same chiplet count) ===")
+    comparison = compare_designs(hexamesh, grid)
+    print(comparison.render())
+
+    print()
+    print("Relative improvements of the HexaMesh:")
+    for name, value in comparison.as_dict().items():
+        print(f"  {name:36s} {value:+7.1f} %")
+
+
+if __name__ == "__main__":
+    main()

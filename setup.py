@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that fully offline environments (no access to a ``wheel`` distribution,
+which modern ``pip install -e .`` needs for PEP 660 editable wheels) can
+still perform a development install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

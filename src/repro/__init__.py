@@ -1,0 +1,62 @@
+"""HexaMesh reproduction library.
+
+This package reproduces the system described in *"HexaMesh: Scaling to
+Hundreds of Chiplets with an Optimized Chiplet Arrangement"* (DAC 2023).
+It provides:
+
+* generators for chiplet arrangements (grid, brickwall, honeycomb, HexaMesh)
+  in regular, semi-regular and irregular variants (:mod:`repro.arrangements`),
+* a planar-graph representation with network metrics and the paper's
+  closed-form proxy formulas (:mod:`repro.graphs`),
+* balanced graph-bisection algorithms used to estimate bisection bandwidth
+  of irregular arrangements (:mod:`repro.partition`),
+* the chiplet shape solver and D2D link-bandwidth model (:mod:`repro.linkmodel`),
+* a cycle-accurate inter-chiplet network simulator that substitutes for
+  BookSim2 (:mod:`repro.noc`) plus fast analytical performance models
+  (:mod:`repro.perfmodel`),
+* a manufacturing cost extension (:mod:`repro.cost`),
+* experiment runners that regenerate every figure of the paper's evaluation
+  (:mod:`repro.evaluation`), and
+* a high-level design API (:mod:`repro.core`).
+
+Quickstart
+----------
+
+>>> from repro import ChipletDesign
+>>> design = ChipletDesign.create("hexamesh", 37)
+>>> design.diameter
+6
+"""
+
+from repro.arrangements import (
+    Arrangement,
+    ArrangementKind,
+    Regularity,
+    make_arrangement,
+)
+from repro.core import ChipletDesign, DesignComparison, DesignSpaceExplorer
+from repro.graphs import ChipGraph
+from repro.linkmodel import (
+    ChipletShape,
+    D2DLinkModel,
+    EvaluationParameters,
+    LinkParameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arrangement",
+    "ArrangementKind",
+    "ChipGraph",
+    "ChipletDesign",
+    "ChipletShape",
+    "D2DLinkModel",
+    "DesignComparison",
+    "DesignSpaceExplorer",
+    "EvaluationParameters",
+    "LinkParameters",
+    "Regularity",
+    "make_arrangement",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Chiplet arrangement generators.
+
+The paper studies four arrangement families (Section IV):
+
+* **Grid** (``G``) — the baseline: chiplets on a regular 2D grid, at most
+  four neighbours per chiplet.
+* **Honeycomb** (``HC``) — hexagonal chiplets, six neighbours per interior
+  chiplet; violates the rectangular-chiplet constraint.
+* **Brickwall** (``BW``) — rectangular chiplets in a brick pattern; the
+  same graph structure as the honeycomb without violating constraints.
+* **HexaMesh** (``HM``) — the paper's contribution: chiplets arranged in
+  concentric rings around a central chiplet, raising the minimum number of
+  neighbours from 2 to 3 and shrinking the diameter further.
+
+Each family supports the paper's three regularity classes where they are
+defined: *regular* (perfect squares, or centred hexagonal counts for the
+HexaMesh), *semi-regular* (rectangular ``R x C`` layouts) and *irregular*
+(a regular core plus incomplete rows / columns / rings), so any chiplet
+count can be realised.
+"""
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.brickwall import generate_brickwall
+from repro.arrangements.catalog import ArrangementCatalog, enumerate_arrangements
+from repro.arrangements.factory import (
+    available_regularities,
+    classify_regularity,
+    make_arrangement,
+)
+from repro.arrangements.grid import generate_grid
+from repro.arrangements.hexamesh import generate_hexamesh
+from repro.arrangements.honeycomb import generate_honeycomb
+from repro.arrangements.perimeter import PerimeterPlan, add_perimeter_io_chiplets
+
+__all__ = [
+    "Arrangement",
+    "ArrangementCatalog",
+    "ArrangementKind",
+    "PerimeterPlan",
+    "Regularity",
+    "add_perimeter_io_chiplets",
+    "available_regularities",
+    "classify_regularity",
+    "enumerate_arrangements",
+    "generate_brickwall",
+    "generate_grid",
+    "generate_hexamesh",
+    "generate_honeycomb",
+    "make_arrangement",
+]

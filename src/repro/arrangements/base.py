@@ -1,0 +1,165 @@
+"""Common data types for chiplet arrangements."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geometry.placement import ChipletPlacement
+from repro.graphs.metrics import DegreeStatistics, GraphMetrics, compute_metrics, diameter
+from repro.graphs.model import ChipGraph
+
+
+class ArrangementKind(enum.Enum):
+    """The four arrangement families studied in the paper."""
+
+    GRID = "grid"
+    BRICKWALL = "brickwall"
+    HONEYCOMB = "honeycomb"
+    HEXAMESH = "hexamesh"
+
+    @classmethod
+    def from_name(cls, name: "str | ArrangementKind") -> "ArrangementKind":
+        """Accept either an enum member or its lower-case string name."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(str(name).lower())
+        except ValueError as error:
+            valid = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown arrangement kind {name!r}; expected one of: {valid}"
+            ) from error
+
+    @property
+    def short_label(self) -> str:
+        """Two-letter label used by the paper (G, HC, BW, HM)."""
+        return {
+            ArrangementKind.GRID: "G",
+            ArrangementKind.BRICKWALL: "BW",
+            ArrangementKind.HONEYCOMB: "HC",
+            ArrangementKind.HEXAMESH: "HM",
+        }[self]
+
+
+class Regularity(enum.Enum):
+    """The paper's three regularity classes (Section IV-C)."""
+
+    REGULAR = "regular"
+    SEMI_REGULAR = "semi-regular"
+    IRREGULAR = "irregular"
+
+    @classmethod
+    def from_name(cls, name: "str | Regularity") -> "Regularity":
+        """Accept either an enum member or its string name."""
+        if isinstance(name, cls):
+            return name
+        normalized = str(name).lower().replace("_", "-")
+        try:
+            return cls(normalized)
+        except ValueError as error:
+            valid = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown regularity {name!r}; expected one of: {valid}"
+            ) from error
+
+
+@dataclass
+class Arrangement:
+    """A concrete arrangement of ``num_chiplets`` compute chiplets.
+
+    Instances are produced by the generators in this package (or by
+    :func:`repro.arrangements.factory.make_arrangement`).  They bundle the
+    geometric placement, the derived inter-chiplet graph and bookkeeping
+    information used by the link model and the evaluation harness.
+
+    Attributes
+    ----------
+    kind:
+        Arrangement family.
+    regularity:
+        Regularity class actually realised.
+    num_chiplets:
+        Number of compute chiplets (graph vertices).
+    graph:
+        Inter-chiplet connectivity graph (vertices ``0 .. num_chiplets-1``).
+    placement:
+        Geometric placement of rectangular chiplets; ``None`` for the
+        honeycomb, whose hexagonal chiplets cannot be represented with
+        rectangles (it violates the paper's constraints anyway).
+    chiplet_width, chiplet_height:
+        Footprint of each (identical) chiplet in millimetres.
+    violates_shape_constraints:
+        ``True`` only for the honeycomb.
+    metadata:
+        Generator-specific details (rows/columns, rings, partial cells...).
+    """
+
+    kind: ArrangementKind
+    regularity: Regularity
+    num_chiplets: int
+    graph: ChipGraph
+    placement: ChipletPlacement | None
+    chiplet_width: float = 1.0
+    chiplet_height: float = 1.0
+    violates_shape_constraints: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_chiplets < 1:
+            raise ValueError("an arrangement needs at least one chiplet")
+        if self.graph.num_nodes != self.num_chiplets:
+            raise ValueError(
+                f"graph has {self.graph.num_nodes} nodes but the arrangement claims "
+                f"{self.num_chiplets} chiplets"
+            )
+        if self.placement is not None and len(self.placement) != self.num_chiplets:
+            raise ValueError(
+                f"placement has {len(self.placement)} chiplets but the arrangement "
+                f"claims {self.num_chiplets}"
+            )
+
+    # -- graph-derived quantities --------------------------------------------
+
+    def diameter(self) -> int:
+        """Network diameter of the arrangement's graph (latency proxy)."""
+        return diameter(self.graph)
+
+    def metrics(self) -> GraphMetrics:
+        """Full set of graph metrics (diameter, radius, degrees, ...)."""
+        return compute_metrics(self.graph)
+
+    def degree_statistics(self) -> DegreeStatistics:
+        """Minimum / maximum / average number of neighbours per chiplet."""
+        return DegreeStatistics.of(self.graph)
+
+    @property
+    def link_sectors_per_chiplet(self) -> int:
+        """Number of D2D-link bump sectors each chiplet provides.
+
+        The grid bump layout (Figure 5a) has four link sectors, the
+        brickwall / honeycomb / HexaMesh layout (Figure 5b) has six.
+        """
+        return 4 if self.kind is ArrangementKind.GRID else 6
+
+    @property
+    def label(self) -> str:
+        """Human-readable label such as ``"HM-37 (regular)"``."""
+        return f"{self.kind.short_label}-{self.num_chiplets} ({self.regularity.value})"
+
+    def describe(self) -> dict[str, Any]:
+        """Summary dictionary used by reports and serialisation."""
+        stats = self.degree_statistics()
+        return {
+            "kind": self.kind.value,
+            "regularity": self.regularity.value,
+            "num_chiplets": self.num_chiplets,
+            "num_links": self.graph.num_edges,
+            "diameter": self.diameter(),
+            "min_neighbors": stats.minimum,
+            "max_neighbors": stats.maximum,
+            "avg_neighbors": stats.average,
+            "violates_shape_constraints": self.violates_shape_constraints,
+            "metadata": dict(self.metadata),
+        }

@@ -1,0 +1,126 @@
+"""The brickwall arrangement (Figure 4c).
+
+Rectangular chiplets laid out like bricks in a wall: every other row is
+shifted by half a chiplet width, so each interior chiplet touches six
+others (two in its own row, two above, two below).  The resulting graph is
+identical to that of the honeycomb of hexagonal chiplets while respecting
+the rectangular-chiplet constraint.
+"""
+
+from __future__ import annotations
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.lattice import Cell, brickwall_arrangement
+from repro.utils.mathutils import balanced_factor_pair, is_perfect_square, isqrt_floor
+from repro.utils.validation import check_positive, check_positive_int
+
+from repro.arrangements.grid import DEFAULT_MAX_ASPECT_RATIO
+
+
+def regular_brickwall_cells(side: int) -> list[Cell]:
+    """Cells of a ``side x side`` regular brickwall."""
+    check_positive_int("side", side)
+    return [(row, col) for row in range(side) for col in range(side)]
+
+
+def semi_regular_brickwall_cells(rows: int, cols: int) -> list[Cell]:
+    """Cells of a rectangular ``rows x cols`` semi-regular brickwall."""
+    check_positive_int("rows", rows)
+    check_positive_int("cols", cols)
+    return [(row, col) for row in range(rows) for col in range(cols)]
+
+
+def irregular_brickwall_cells(num_chiplets: int) -> list[Cell]:
+    """Cells of an irregular brickwall with exactly ``num_chiplets`` chiplets.
+
+    As for the grid, the construction starts from the closest smaller
+    regular (square) brickwall and appends the remaining chiplets as an
+    incomplete extra column followed by an incomplete extra row; every
+    added chiplet is adjacent to the already-placed ones.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    side = isqrt_floor(num_chiplets)
+    cells = regular_brickwall_cells(side) if side > 0 else []
+    remaining = num_chiplets - side * side
+    extra_column = min(remaining, side)
+    for row in range(extra_column):
+        cells.append((row, side))
+    remaining -= extra_column
+    for col in range(remaining):
+        cells.append((side, col))
+    return cells
+
+
+def generate_brickwall(
+    num_chiplets: int,
+    regularity: Regularity | str | None = None,
+    *,
+    chiplet_width: float = 1.0,
+    chiplet_height: float = 1.0,
+    max_aspect_ratio: float = DEFAULT_MAX_ASPECT_RATIO,
+) -> Arrangement:
+    """Generate a brickwall arrangement of ``num_chiplets`` chiplets.
+
+    The parameters mirror :func:`repro.arrangements.grid.generate_grid`.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    check_positive("chiplet_width", chiplet_width)
+    check_positive("chiplet_height", chiplet_height)
+    check_positive("max_aspect_ratio", max_aspect_ratio)
+
+    requested = Regularity.from_name(regularity) if regularity is not None else None
+    metadata: dict[str, object] = {}
+
+    factor_pair = balanced_factor_pair(num_chiplets)
+    semi_regular_possible = (
+        factor_pair is not None
+        and factor_pair[0] != factor_pair[1]
+        and factor_pair[1] / factor_pair[0] <= max_aspect_ratio
+    )
+
+    if requested is None:
+        if is_perfect_square(num_chiplets):
+            requested = Regularity.REGULAR
+        elif semi_regular_possible:
+            requested = Regularity.SEMI_REGULAR
+        else:
+            requested = Regularity.IRREGULAR
+
+    if requested is Regularity.REGULAR:
+        if not is_perfect_square(num_chiplets):
+            raise ValueError(
+                f"a regular brickwall requires a perfect-square chiplet count, "
+                f"got {num_chiplets}"
+            )
+        side = isqrt_floor(num_chiplets)
+        cells = regular_brickwall_cells(side)
+        metadata.update(rows=side, cols=side)
+    elif requested is Regularity.SEMI_REGULAR:
+        if factor_pair is None or factor_pair[0] == factor_pair[1]:
+            raise ValueError(
+                f"{num_chiplets} chiplets admit no semi-regular (R != C) brickwall"
+            )
+        rows, cols = factor_pair
+        if cols / rows > max_aspect_ratio:
+            raise ValueError(
+                f"the most balanced factorisation {rows}x{cols} of {num_chiplets} "
+                f"exceeds the aspect-ratio limit {max_aspect_ratio}"
+            )
+        cells = semi_regular_brickwall_cells(rows, cols)
+        metadata.update(rows=rows, cols=cols)
+    else:
+        cells = irregular_brickwall_cells(num_chiplets)
+        side = isqrt_floor(num_chiplets)
+        metadata.update(core_side=side, extra_chiplets=num_chiplets - side * side)
+
+    placement, graph = brickwall_arrangement(cells, chiplet_width, chiplet_height)
+    return Arrangement(
+        kind=ArrangementKind.BRICKWALL,
+        regularity=requested,
+        num_chiplets=num_chiplets,
+        graph=graph,
+        placement=placement,
+        chiplet_width=chiplet_width,
+        chiplet_height=chiplet_height,
+        metadata=metadata,
+    )

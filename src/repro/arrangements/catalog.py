@@ -1,0 +1,123 @@
+"""Enumeration of arrangements over chiplet-count ranges.
+
+Figure 6 of the paper plots the performance proxies of every arrangement
+family and regularity class for chiplet counts from 1 to 100.  The
+:class:`ArrangementCatalog` generates exactly that population and is the
+basis of the proxy experiments in :mod:`repro.evaluation.proxies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.factory import available_regularities, make_arrangement
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One generated arrangement together with its catalogue coordinates."""
+
+    kind: ArrangementKind
+    regularity: Regularity
+    num_chiplets: int
+    arrangement: Arrangement
+
+
+def enumerate_arrangements(
+    kinds: Sequence[ArrangementKind | str],
+    chiplet_counts: Iterable[int],
+    *,
+    all_regularities: bool = True,
+    chiplet_width: float = 1.0,
+    chiplet_height: float = 1.0,
+) -> list[CatalogEntry]:
+    """Generate arrangements for every kind / chiplet-count combination.
+
+    Parameters
+    ----------
+    kinds:
+        Arrangement families to include.
+    chiplet_counts:
+        Chiplet counts to generate (e.g. ``range(1, 101)`` for Figure 6).
+    all_regularities:
+        When ``True`` (default) every regularity class the count admits is
+        generated — this is what Figure 6 plots.  When ``False`` only the
+        best class per count is produced.
+    """
+    entries: list[CatalogEntry] = []
+    for count in chiplet_counts:
+        check_positive_int("chiplet count", count)
+        for kind_name in kinds:
+            kind = ArrangementKind.from_name(kind_name)
+            if all_regularities:
+                regularities = available_regularities(kind, count)
+            else:
+                regularities = [None]  # type: ignore[list-item]
+            for regularity in regularities:
+                arrangement = make_arrangement(
+                    kind,
+                    count,
+                    regularity,
+                    chiplet_width=chiplet_width,
+                    chiplet_height=chiplet_height,
+                )
+                entries.append(
+                    CatalogEntry(
+                        kind=kind,
+                        regularity=arrangement.regularity,
+                        num_chiplets=count,
+                        arrangement=arrangement,
+                    )
+                )
+    return entries
+
+
+class ArrangementCatalog:
+    """A lazily-built, cached collection of arrangements.
+
+    The evaluation harness repeatedly needs the same arrangements (first
+    for the proxies, then for the link model, then for the simulations);
+    the catalogue builds each one once and memoises it.
+    """
+
+    def __init__(self, *, chiplet_width: float = 1.0, chiplet_height: float = 1.0) -> None:
+        self._chiplet_width = chiplet_width
+        self._chiplet_height = chiplet_height
+        self._cache: dict[tuple[ArrangementKind, Regularity | None, int], Arrangement] = {}
+
+    def get(
+        self,
+        kind: ArrangementKind | str,
+        num_chiplets: int,
+        regularity: Regularity | str | None = None,
+    ) -> Arrangement:
+        """Return the requested arrangement, generating it on first use."""
+        kind = ArrangementKind.from_name(kind)
+        reg = Regularity.from_name(regularity) if regularity is not None else None
+        key = (kind, reg, num_chiplets)
+        if key not in self._cache:
+            self._cache[key] = make_arrangement(
+                kind,
+                num_chiplets,
+                reg,
+                chiplet_width=self._chiplet_width,
+                chiplet_height=self._chiplet_height,
+            )
+        return self._cache[key]
+
+    def best(self, kind: ArrangementKind | str, num_chiplets: int) -> Arrangement:
+        """The arrangement with the best available regularity class."""
+        return self.get(kind, num_chiplets, None)
+
+    def all_for(self, kind: ArrangementKind | str, num_chiplets: int) -> Iterator[Arrangement]:
+        """Every regularity class the chiplet count admits for ``kind``."""
+        for regularity in available_regularities(kind, num_chiplets):
+            yield self.get(kind, num_chiplets, regularity)
+
+    @property
+    def cached_count(self) -> int:
+        """Number of arrangements generated so far."""
+        return len(self._cache)

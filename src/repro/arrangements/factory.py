@@ -1,0 +1,128 @@
+"""Factory helpers that dispatch to the individual arrangement generators."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.brickwall import generate_brickwall
+from repro.arrangements.grid import DEFAULT_MAX_ASPECT_RATIO, generate_grid
+from repro.arrangements.hexamesh import generate_hexamesh
+from repro.arrangements.honeycomb import generate_honeycomb
+from repro.utils.mathutils import balanced_factor_pair, is_hexamesh_count, is_perfect_square
+from repro.utils.validation import check_positive_int
+
+_GeneratorFn = Callable[..., Arrangement]
+
+
+def classify_regularity(
+    kind: ArrangementKind | str,
+    num_chiplets: int,
+    *,
+    max_aspect_ratio: float = DEFAULT_MAX_ASPECT_RATIO,
+) -> Regularity:
+    """The best regularity class that ``num_chiplets`` admits for ``kind``.
+
+    Preference order: regular, then semi-regular (grid / brickwall /
+    honeycomb only, and only if the most balanced factorisation is within
+    the aspect-ratio limit), then irregular.
+    """
+    kind = ArrangementKind.from_name(kind)
+    check_positive_int("num_chiplets", num_chiplets)
+    if kind is ArrangementKind.HEXAMESH:
+        return Regularity.REGULAR if is_hexamesh_count(num_chiplets) else Regularity.IRREGULAR
+    if is_perfect_square(num_chiplets):
+        return Regularity.REGULAR
+    factor_pair = balanced_factor_pair(num_chiplets)
+    if (
+        factor_pair is not None
+        and factor_pair[0] != factor_pair[1]
+        and factor_pair[1] / factor_pair[0] <= max_aspect_ratio
+    ):
+        return Regularity.SEMI_REGULAR
+    return Regularity.IRREGULAR
+
+
+def available_regularities(
+    kind: ArrangementKind | str,
+    num_chiplets: int,
+    *,
+    max_aspect_ratio: float = DEFAULT_MAX_ASPECT_RATIO,
+) -> list[Regularity]:
+    """Every regularity class that ``num_chiplets`` admits for ``kind``.
+
+    Irregular is always available; regular and semi-regular are included
+    when the chiplet count allows them.  The list is ordered from most to
+    least regular.
+    """
+    kind = ArrangementKind.from_name(kind)
+    check_positive_int("num_chiplets", num_chiplets)
+    classes: list[Regularity] = []
+    if kind is ArrangementKind.HEXAMESH:
+        if is_hexamesh_count(num_chiplets):
+            classes.append(Regularity.REGULAR)
+    else:
+        if is_perfect_square(num_chiplets):
+            classes.append(Regularity.REGULAR)
+        factor_pair = balanced_factor_pair(num_chiplets)
+        if (
+            factor_pair is not None
+            and factor_pair[0] != factor_pair[1]
+            and factor_pair[1] / factor_pair[0] <= max_aspect_ratio
+        ):
+            classes.append(Regularity.SEMI_REGULAR)
+    classes.append(Regularity.IRREGULAR)
+    return classes
+
+
+def make_arrangement(
+    kind: ArrangementKind | str,
+    num_chiplets: int,
+    regularity: Regularity | str | None = None,
+    *,
+    chiplet_width: float = 1.0,
+    chiplet_height: float = 1.0,
+    max_aspect_ratio: float = DEFAULT_MAX_ASPECT_RATIO,
+) -> Arrangement:
+    """Create an arrangement of any kind through a single entry point.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"grid"``, ``"brickwall"``, ``"honeycomb"``, ``"hexamesh"``
+        (or the corresponding :class:`ArrangementKind` member).
+    num_chiplets:
+        Number of compute chiplets.
+    regularity:
+        Requested regularity class; ``None`` picks the best available one.
+    chiplet_width, chiplet_height:
+        Chiplet footprint in millimetres (ignored by the honeycomb, whose
+        chiplets are hexagons).
+    max_aspect_ratio:
+        Aspect-ratio limit for semi-regular layouts.
+    """
+    kind = ArrangementKind.from_name(kind)
+    if kind is ArrangementKind.GRID:
+        return generate_grid(
+            num_chiplets,
+            regularity,
+            chiplet_width=chiplet_width,
+            chiplet_height=chiplet_height,
+            max_aspect_ratio=max_aspect_ratio,
+        )
+    if kind is ArrangementKind.BRICKWALL:
+        return generate_brickwall(
+            num_chiplets,
+            regularity,
+            chiplet_width=chiplet_width,
+            chiplet_height=chiplet_height,
+            max_aspect_ratio=max_aspect_ratio,
+        )
+    if kind is ArrangementKind.HONEYCOMB:
+        return generate_honeycomb(num_chiplets, regularity)
+    return generate_hexamesh(
+        num_chiplets,
+        regularity,
+        chiplet_width=chiplet_width,
+        chiplet_height=chiplet_height,
+    )

@@ -1,0 +1,135 @@
+"""The 2D grid arrangement (the paper's baseline, Figure 4a)."""
+
+from __future__ import annotations
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.lattice import Cell, square_lattice_arrangement
+from repro.utils.mathutils import balanced_factor_pair, is_perfect_square, isqrt_floor
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Default limit on how elongated a semi-regular layout may be before it is
+#: considered unreasonable (the paper notes that semi-regular arrangements
+#: "make only sense if R and C are similar").
+DEFAULT_MAX_ASPECT_RATIO = 2.0
+
+
+def regular_grid_cells(side: int) -> list[Cell]:
+    """Cells of a ``side x side`` regular grid."""
+    check_positive_int("side", side)
+    return [(row, col) for row in range(side) for col in range(side)]
+
+
+def semi_regular_grid_cells(rows: int, cols: int) -> list[Cell]:
+    """Cells of a rectangular ``rows x cols`` semi-regular grid."""
+    check_positive_int("rows", rows)
+    check_positive_int("cols", cols)
+    return [(row, col) for row in range(rows) for col in range(cols)]
+
+
+def irregular_grid_cells(num_chiplets: int) -> list[Cell]:
+    """Cells of an irregular grid with exactly ``num_chiplets`` chiplets.
+
+    Following Section IV-C, the construction starts from the closest smaller
+    regular grid (side ``floor(sqrt(N))``) and adds the remaining chiplets
+    as an incomplete extra column followed by an incomplete extra row.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    side = isqrt_floor(num_chiplets)
+    cells = regular_grid_cells(side) if side > 0 else []
+    remaining = num_chiplets - side * side
+    # Incomplete extra column to the right of the regular core.
+    extra_column = min(remaining, side)
+    for row in range(extra_column):
+        cells.append((row, side))
+    remaining -= extra_column
+    # Incomplete extra row above the regular core (plus the new column).
+    for col in range(remaining):
+        cells.append((side, col))
+    return cells
+
+
+def generate_grid(
+    num_chiplets: int,
+    regularity: Regularity | str | None = None,
+    *,
+    chiplet_width: float = 1.0,
+    chiplet_height: float = 1.0,
+    max_aspect_ratio: float = DEFAULT_MAX_ASPECT_RATIO,
+) -> Arrangement:
+    """Generate a grid arrangement of ``num_chiplets`` chiplets.
+
+    Parameters
+    ----------
+    num_chiplets:
+        Number of compute chiplets.
+    regularity:
+        Requested regularity class.  ``None`` selects the best class that
+        the chiplet count admits (regular > semi-regular > irregular).
+        Requesting a class the count does not admit raises ``ValueError``.
+    chiplet_width, chiplet_height:
+        Chiplet footprint in millimetres.  The paper requires square
+        chiplets for the grid bump layout, but the arrangement itself works
+        with any rectangle.
+    max_aspect_ratio:
+        Maximum allowed ``max(R, C) / min(R, C)`` for a semi-regular layout.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    check_positive("chiplet_width", chiplet_width)
+    check_positive("chiplet_height", chiplet_height)
+    check_positive("max_aspect_ratio", max_aspect_ratio)
+
+    requested = Regularity.from_name(regularity) if regularity is not None else None
+    metadata: dict[str, object] = {}
+
+    factor_pair = balanced_factor_pair(num_chiplets)
+    semi_regular_possible = (
+        factor_pair is not None
+        and factor_pair[0] != factor_pair[1]
+        and factor_pair[1] / factor_pair[0] <= max_aspect_ratio
+    )
+
+    if requested is None:
+        if is_perfect_square(num_chiplets):
+            requested = Regularity.REGULAR
+        elif semi_regular_possible:
+            requested = Regularity.SEMI_REGULAR
+        else:
+            requested = Regularity.IRREGULAR
+
+    if requested is Regularity.REGULAR:
+        if not is_perfect_square(num_chiplets):
+            raise ValueError(
+                f"a regular grid requires a perfect-square chiplet count, got {num_chiplets}"
+            )
+        side = isqrt_floor(num_chiplets)
+        cells = regular_grid_cells(side)
+        metadata.update(rows=side, cols=side)
+    elif requested is Regularity.SEMI_REGULAR:
+        if factor_pair is None or factor_pair[0] == factor_pair[1]:
+            raise ValueError(
+                f"{num_chiplets} chiplets admit no semi-regular (R != C) grid"
+            )
+        rows, cols = factor_pair
+        if cols / rows > max_aspect_ratio:
+            raise ValueError(
+                f"the most balanced factorisation {rows}x{cols} of {num_chiplets} "
+                f"exceeds the aspect-ratio limit {max_aspect_ratio}"
+            )
+        cells = semi_regular_grid_cells(rows, cols)
+        metadata.update(rows=rows, cols=cols)
+    else:
+        cells = irregular_grid_cells(num_chiplets)
+        side = isqrt_floor(num_chiplets)
+        metadata.update(core_side=side, extra_chiplets=num_chiplets - side * side)
+
+    placement, graph = square_lattice_arrangement(cells, chiplet_width, chiplet_height)
+    return Arrangement(
+        kind=ArrangementKind.GRID,
+        regularity=requested,
+        num_chiplets=num_chiplets,
+        graph=graph,
+        placement=placement,
+        chiplet_width=chiplet_width,
+        chiplet_height=chiplet_height,
+        metadata=metadata,
+    )

@@ -1,0 +1,121 @@
+"""The HexaMesh arrangement (the paper's contribution, Figure 4d).
+
+Chiplets are placed in concentric rings around a central chiplet on the
+offset-row (triangular) lattice.  A *regular* HexaMesh has
+``N = 1 + 3 r (r + 1)`` chiplets for ``r`` complete rings and guarantees a
+minimum of three neighbours per chiplet (for ``N >= 7``); an *irregular*
+HexaMesh adds an incomplete outer ring and keeps a minimum of two
+neighbours per chiplet.
+"""
+
+from __future__ import annotations
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.lattice import (
+    Cell,
+    axial_arrangement,
+    axial_disk,
+    axial_ring,
+)
+from repro.utils.mathutils import (
+    hexamesh_chiplet_count,
+    hexamesh_rings_for_count,
+    is_hexamesh_count,
+)
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def regular_hexamesh_cells(rings: int) -> list[Cell]:
+    """Cells of a regular HexaMesh with ``rings`` complete rings."""
+    if rings < 0:
+        raise ValueError(f"rings must be >= 0, got {rings}")
+    return axial_disk(rings)
+
+
+def irregular_hexamesh_cells(num_chiplets: int) -> list[Cell]:
+    """Cells of an irregular HexaMesh with exactly ``num_chiplets`` chiplets.
+
+    The construction starts from the largest regular HexaMesh that fits and
+    walks the next ring, adding one chiplet at a time.  The walk starts one
+    position past a ring corner so that the very first added chiplet already
+    touches two chiplets of the complete core, which keeps the minimum
+    number of neighbours at two (Section IV-C).
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    rings = hexamesh_rings_for_count(num_chiplets)
+    cells = regular_hexamesh_cells(rings)
+    remaining = num_chiplets - hexamesh_chiplet_count(rings)
+    if remaining == 0:
+        return cells
+    outer_ring = axial_ring(rings + 1)
+    # Rotate the ring walk by one so it starts at an edge cell (two inner
+    # neighbours) instead of a corner cell (one inner neighbour).
+    rotated = outer_ring[1:] + outer_ring[:1]
+    cells.extend(rotated[:remaining])
+    return cells
+
+
+def generate_hexamesh(
+    num_chiplets: int,
+    regularity: Regularity | str | None = None,
+    *,
+    chiplet_width: float = 1.0,
+    chiplet_height: float = 1.0,
+) -> Arrangement:
+    """Generate a HexaMesh arrangement of ``num_chiplets`` chiplets.
+
+    Parameters
+    ----------
+    num_chiplets:
+        Number of compute chiplets.
+    regularity:
+        ``Regularity.REGULAR`` requires a centred hexagonal chiplet count
+        ``1 + 3 r (r + 1)``; ``Regularity.IRREGULAR`` accepts any count.
+        ``None`` picks the regular variant whenever the count admits one.
+        The paper defines no semi-regular HexaMesh, so requesting
+        ``SEMI_REGULAR`` raises ``ValueError``.
+    chiplet_width, chiplet_height:
+        Chiplet footprint in millimetres.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    check_positive("chiplet_width", chiplet_width)
+    check_positive("chiplet_height", chiplet_height)
+
+    requested = Regularity.from_name(regularity) if regularity is not None else None
+    if requested is Regularity.SEMI_REGULAR:
+        raise ValueError("the HexaMesh has no semi-regular variant")
+
+    if requested is None:
+        requested = (
+            Regularity.REGULAR if is_hexamesh_count(num_chiplets) else Regularity.IRREGULAR
+        )
+
+    metadata: dict[str, object] = {}
+    if requested is Regularity.REGULAR:
+        if not is_hexamesh_count(num_chiplets):
+            raise ValueError(
+                "a regular HexaMesh requires a centred hexagonal chiplet count "
+                f"1 + 3r(r+1), got {num_chiplets}"
+            )
+        rings = hexamesh_rings_for_count(num_chiplets)
+        cells = regular_hexamesh_cells(rings)
+        metadata.update(rings=rings)
+    else:
+        cells = irregular_hexamesh_cells(num_chiplets)
+        rings = hexamesh_rings_for_count(num_chiplets)
+        metadata.update(
+            complete_rings=rings,
+            partial_ring_chiplets=num_chiplets - hexamesh_chiplet_count(rings),
+        )
+
+    placement, graph = axial_arrangement(cells, chiplet_width, chiplet_height)
+    return Arrangement(
+        kind=ArrangementKind.HEXAMESH,
+        regularity=requested,
+        num_chiplets=num_chiplets,
+        graph=graph,
+        placement=placement,
+        chiplet_width=chiplet_width,
+        chiplet_height=chiplet_height,
+        metadata=metadata,
+    )

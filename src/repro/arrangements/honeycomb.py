@@ -1,0 +1,82 @@
+"""The honeycomb arrangement (Figure 4b).
+
+Hexagonal chiplets tiled in a honeycomb maximise the average number of
+neighbours per chiplet (it approaches the planar-graph bound of six), but
+hexagonal chiplets violate the rectangular-chiplet constraint of
+Section III-B.  The paper therefore uses the honeycomb only as a stepping
+stone towards the brickwall, which realises *the same graph* with
+rectangular chiplets.
+
+Accordingly, :func:`generate_honeycomb` produces an arrangement whose graph
+is identical to the corresponding brickwall's, carries no rectangular
+placement (``placement is None``) and is flagged with
+``violates_shape_constraints=True``.  The hexagon centres are stored in the
+metadata for visualisation purposes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.brickwall import generate_brickwall
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def generate_honeycomb(
+    num_chiplets: int,
+    regularity: Regularity | str | None = None,
+    *,
+    chiplet_area: float = 1.0,
+) -> Arrangement:
+    """Generate a honeycomb arrangement of ``num_chiplets`` hexagonal chiplets.
+
+    Parameters
+    ----------
+    num_chiplets:
+        Number of compute chiplets.
+    regularity:
+        Same regularity classes as the brickwall (the graph is shared).
+    chiplet_area:
+        Area of each hexagonal chiplet in mm²; used only to compute the
+        hexagon geometry stored in the metadata.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    check_positive("chiplet_area", chiplet_area)
+
+    # The honeycomb graph is identical to the brickwall graph; reuse the
+    # brickwall generator (with unit rectangles) for the connectivity and
+    # regularity handling, then re-wrap the result.
+    brickwall = generate_brickwall(num_chiplets, regularity)
+
+    # Geometry of a regular hexagon with the requested area, flat-top
+    # orientation: area = 3*sqrt(3)/2 * side².
+    side = math.sqrt(2.0 * chiplet_area / (3.0 * math.sqrt(3.0)))
+    hexagon_width = 2.0 * side
+    hexagon_height = math.sqrt(3.0) * side
+
+    centers: list[tuple[float, float]] = []
+    assert brickwall.placement is not None  # the brickwall always has one
+    for chiplet in brickwall.placement:
+        center = chiplet.rect.center
+        centers.append((center.x * hexagon_width * 0.75, center.y * hexagon_height))
+
+    metadata = dict(brickwall.metadata)
+    metadata.update(
+        hexagon_side=side,
+        hexagon_width=hexagon_width,
+        hexagon_height=hexagon_height,
+        hexagon_centers=centers,
+    )
+
+    return Arrangement(
+        kind=ArrangementKind.HONEYCOMB,
+        regularity=brickwall.regularity,
+        num_chiplets=num_chiplets,
+        graph=brickwall.graph,
+        placement=None,
+        chiplet_width=hexagon_width,
+        chiplet_height=hexagon_height,
+        violates_shape_constraints=True,
+        metadata=metadata,
+    )

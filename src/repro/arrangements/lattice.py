@@ -1,0 +1,230 @@
+"""Lattice-to-arrangement conversion helpers.
+
+The three rectangular arrangement families are all patches of one of two
+integer lattices:
+
+* the **square lattice** (grid): cell ``(row, col)`` sits at
+  ``(col * W, row * H)`` and is adjacent to the four cells that differ by
+  one in exactly one coordinate;
+* the **offset-row lattice** (brickwall, HexaMesh): rows are shifted
+  horizontally by half a chiplet width, which makes every interior cell
+  adjacent to six others (two in its own row, two above, two below).
+
+The brickwall uses *alternating* offsets (odd rows shifted by ``W/2``, like
+a real brick wall) and indexes cells by ``(row, col)``.  The HexaMesh uses
+*axial* hexagon coordinates ``(q, r)`` with a cumulative offset of
+``r * W/2``, which renders the concentric rings of Figure 4d as a symmetric
+hexagon.  Both produce exactly the same local adjacency (a triangular-
+lattice neighbourhood); only the shape of the patch differs.
+
+All helpers return a ``(placement, graph)`` pair where chiplet ids are
+``0 .. n-1`` assigned in sorted cell order, and the adjacency is computed
+from exact integer lattice rules.  The geometric placement reproduces the
+same adjacency through shared-edge detection, which the test-suite uses as
+an independent cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geometry.placement import ChipletPlacement, PlacedChiplet
+from repro.geometry.primitives import Rect
+from repro.graphs.model import ChipGraph
+from repro.utils.validation import check_positive
+
+Cell = tuple[int, int]
+
+
+def _sorted_cells(cells: Iterable[Cell]) -> list[Cell]:
+    """Deterministic cell ordering (row-major) used to assign chiplet ids."""
+    unique = set(cells)
+    if not unique:
+        raise ValueError("a lattice patch needs at least one cell")
+    return sorted(unique)
+
+
+def _build_placement(
+    cells: list[Cell],
+    positions: dict[Cell, tuple[float, float]],
+    width: float,
+    height: float,
+) -> ChipletPlacement:
+    """Create the placement for cells whose lower-left corners are given."""
+    placement = ChipletPlacement()
+    for chiplet_id, cell in enumerate(cells):
+        x, y = positions[cell]
+        placement.add(
+            PlacedChiplet(
+                chiplet_id=chiplet_id,
+                rect=Rect(x, y, width, height),
+                lattice_position=cell,
+            )
+        )
+    return placement
+
+
+def _build_graph(cells: list[Cell], neighbours_of) -> ChipGraph:
+    """Create the adjacency graph given a cell-neighbourhood function."""
+    index = {cell: chiplet_id for chiplet_id, cell in enumerate(cells)}
+    graph = ChipGraph(nodes=range(len(cells)))
+    for cell, chiplet_id in index.items():
+        for neighbour in neighbours_of(cell):
+            other = index.get(neighbour)
+            if other is not None and other != chiplet_id:
+                graph.add_edge(chiplet_id, other)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Square lattice (grid arrangement)
+# ---------------------------------------------------------------------------
+
+
+def square_lattice_neighbors(cell: Cell) -> list[Cell]:
+    """The four von-Neumann neighbours of a square-lattice cell."""
+    row, col = cell
+    return [(row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)]
+
+
+def square_lattice_arrangement(
+    cells: Iterable[Cell], width: float, height: float
+) -> tuple[ChipletPlacement, ChipGraph]:
+    """Placement and graph of a patch of the square lattice."""
+    check_positive("width", width)
+    check_positive("height", height)
+    ordered = _sorted_cells(cells)
+    positions = {(row, col): (col * width, row * height) for row, col in ordered}
+    placement = _build_placement(ordered, positions, width, height)
+    graph = _build_graph(ordered, square_lattice_neighbors)
+    return placement, graph
+
+
+# ---------------------------------------------------------------------------
+# Brickwall lattice (alternating row offsets)
+# ---------------------------------------------------------------------------
+
+
+def brickwall_neighbors(cell: Cell) -> list[Cell]:
+    """The six neighbours of a brickwall cell with alternating row offsets.
+
+    Odd rows are shifted right by half a chiplet width.  A cell in an even
+    (non-shifted) row overlaps cells ``col-1`` and ``col`` of the shifted
+    rows above and below; a cell in an odd (shifted) row overlaps cells
+    ``col`` and ``col+1`` of the non-shifted rows above and below.
+    """
+    row, col = cell
+    lateral = [(row, col - 1), (row, col + 1)]
+    if row % 2 == 0:
+        vertical = [
+            (row - 1, col - 1),
+            (row - 1, col),
+            (row + 1, col - 1),
+            (row + 1, col),
+        ]
+    else:
+        vertical = [
+            (row - 1, col),
+            (row - 1, col + 1),
+            (row + 1, col),
+            (row + 1, col + 1),
+        ]
+    return lateral + vertical
+
+
+def brickwall_arrangement(
+    cells: Iterable[Cell], width: float, height: float
+) -> tuple[ChipletPlacement, ChipGraph]:
+    """Placement and graph of a patch of the brickwall lattice."""
+    check_positive("width", width)
+    check_positive("height", height)
+    ordered = _sorted_cells(cells)
+    positions = {
+        (row, col): (col * width + (row % 2) * width / 2.0, row * height)
+        for row, col in ordered
+    }
+    placement = _build_placement(ordered, positions, width, height)
+    graph = _build_graph(ordered, brickwall_neighbors)
+    return placement, graph
+
+
+# ---------------------------------------------------------------------------
+# Axial hexagon lattice (HexaMesh)
+# ---------------------------------------------------------------------------
+
+#: The six axial directions of the triangular lattice, ordered so that a
+#: ring walk starting from ``ring_radius * AXIAL_DIRECTIONS[4]`` and moving
+#: through the directions in order traverses the ring cell by cell.
+AXIAL_DIRECTIONS: tuple[Cell, ...] = (
+    (1, 0),
+    (1, -1),
+    (0, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, 1),
+)
+
+
+def axial_distance(first: Cell, second: Cell) -> int:
+    """Hex (triangular-lattice) distance between two axial coordinates."""
+    dq = first[0] - second[0]
+    dr = first[1] - second[1]
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+def axial_neighbors(cell: Cell) -> list[Cell]:
+    """The six axial neighbours of a cell."""
+    q, r = cell
+    return [(q + dq, r + dr) for dq, dr in AXIAL_DIRECTIONS]
+
+
+def axial_ring(radius: int, center: Cell = (0, 0)) -> list[Cell]:
+    """Cells of the hexagonal ring at ``radius`` around ``center``.
+
+    The walk starts at ``center + radius * AXIAL_DIRECTIONS[4]`` and visits
+    the ``6 * radius`` ring cells in order; consecutive cells in the result
+    are always lattice neighbours.  ``radius = 0`` returns the centre cell.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return [center]
+    cells: list[Cell] = []
+    q = center[0] + AXIAL_DIRECTIONS[4][0] * radius
+    r = center[1] + AXIAL_DIRECTIONS[4][1] * radius
+    for direction in AXIAL_DIRECTIONS:
+        for _ in range(radius):
+            cells.append((q, r))
+            q += direction[0]
+            r += direction[1]
+    return cells
+
+
+def axial_disk(radius: int, center: Cell = (0, 0)) -> list[Cell]:
+    """All cells within hex distance ``radius`` of ``center`` (a filled hexagon)."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    cells: list[Cell] = []
+    for ring_radius in range(radius + 1):
+        cells.extend(axial_ring(ring_radius, center))
+    return cells
+
+
+def axial_arrangement(
+    cells: Iterable[Cell], width: float, height: float
+) -> tuple[ChipletPlacement, ChipGraph]:
+    """Placement and graph of a patch of the axial (HexaMesh) lattice.
+
+    Axial cell ``(q, r)`` is placed with its lower-left corner at
+    ``((q + r/2) * W, r * H)``; neighbouring cells then share either a full
+    vertical edge (same row) or half of a horizontal edge (adjacent rows).
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    ordered = _sorted_cells(cells)
+    positions = {
+        (q, r): ((q + r / 2.0) * width, r * height) for q, r in ordered
+    }
+    placement = _build_placement(ordered, positions, width, height)
+    graph = _build_graph(ordered, axial_neighbors)
+    return placement, graph

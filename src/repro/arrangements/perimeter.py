@@ -1,0 +1,162 @@
+"""Perimeter placement of I/O chiplets (Figure 2 / Section III-A).
+
+The paper restricts its search to the identical *compute* chiplets and
+assumes that the remaining chiplets (I/O drivers, memory controllers, ...)
+are placed on the perimeter of the proposed arrangement, close to the
+package border where the signal solder balls are.  This module implements
+that step: given a compute arrangement, it surrounds the bounding box of
+the compute placement with a ring of I/O chiplets and returns the combined
+placement together with the compute-to-I/O adjacency.
+
+The result is informational (the ICI proxies of the paper are defined on
+the compute chiplets only), but it lets users reason about the full package
+floorplan: total silicon area, package utilisation and which compute
+chiplets get a direct edge to an I/O chiplet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arrangements.base import Arrangement
+from repro.geometry.adjacency import shared_edges
+from repro.geometry.placement import ChipletPlacement, PlacedChiplet
+from repro.geometry.primitives import Rect
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PerimeterPlan:
+    """A compute arrangement surrounded by perimeter I/O chiplets.
+
+    Attributes
+    ----------
+    arrangement:
+        The original compute arrangement (unchanged).
+    placement:
+        Combined placement: the compute chiplets keep their original ids,
+        the I/O chiplets get the following ids and the role ``"io"``.
+    io_chiplet_ids:
+        Ids of the added I/O chiplets.
+    io_links:
+        ``(compute_id, io_id)`` pairs for every compute chiplet that shares
+        an edge with an I/O chiplet.
+    """
+
+    arrangement: Arrangement
+    placement: ChipletPlacement
+    io_chiplet_ids: tuple[int, ...]
+    io_links: tuple[tuple[int, int], ...]
+
+    @property
+    def num_io_chiplets(self) -> int:
+        """Number of I/O chiplets placed on the perimeter."""
+        return len(self.io_chiplet_ids)
+
+    def compute_chiplets_with_io_access(self) -> list[int]:
+        """Compute chiplets that share an edge with at least one I/O chiplet."""
+        return sorted({compute for compute, _ in self.io_links})
+
+    def total_silicon_area(self) -> float:
+        """Combined area of compute and I/O chiplets in mm²."""
+        return self.placement.total_chiplet_area()
+
+    def package_utilization(self) -> float:
+        """Fraction of the overall bounding box covered by silicon."""
+        return self.placement.utilization()
+
+
+def _perimeter_positions(
+    bounds: Rect, io_width: float, io_height: float, gap: float
+) -> list[Rect]:
+    """I/O chiplet rectangles lining the four sides of a bounding box."""
+    rects: list[Rect] = []
+
+    # Bottom and top rows.
+    count_x = max(1, int(bounds.width // io_width))
+    margin_x = (bounds.width - count_x * io_width) / 2.0
+    for index in range(count_x):
+        x = bounds.x + margin_x + index * io_width
+        rects.append(Rect(x, bounds.y - gap - io_height, io_width, io_height))
+        rects.append(Rect(x, bounds.y_max + gap, io_width, io_height))
+
+    # Left and right columns.
+    count_y = max(1, int(bounds.height // io_height))
+    margin_y = (bounds.height - count_y * io_height) / 2.0
+    for index in range(count_y):
+        y = bounds.y + margin_y + index * io_height
+        rects.append(Rect(bounds.x - gap - io_width, y, io_width, io_height))
+        rects.append(Rect(bounds.x_max + gap, y, io_width, io_height))
+
+    return rects
+
+
+def add_perimeter_io_chiplets(
+    arrangement: Arrangement,
+    *,
+    io_chiplet_width: float | None = None,
+    io_chiplet_height: float | None = None,
+    gap: float = 0.0,
+) -> PerimeterPlan:
+    """Surround a compute arrangement with perimeter I/O chiplets.
+
+    Parameters
+    ----------
+    arrangement:
+        The compute arrangement; it must carry a rectangular placement
+        (every family except the honeycomb does).
+    io_chiplet_width, io_chiplet_height:
+        Footprint of the I/O chiplets; both default to the compute chiplet
+        dimensions of the arrangement.
+    gap:
+        Clearance (mm) between the compute bounding box and the I/O ring.
+        A gap of zero makes the I/O chiplets share edges with the outermost
+        compute chiplets, which is what enables direct D2D links to them.
+    """
+    if arrangement.placement is None:
+        raise ValueError(
+            "perimeter I/O placement requires an arrangement with a rectangular "
+            "placement (the honeycomb has none)"
+        )
+    if gap < 0:
+        raise ValueError(f"gap must be >= 0, got {gap}")
+    io_width = (
+        io_chiplet_width if io_chiplet_width is not None else arrangement.chiplet_width
+    )
+    io_height = (
+        io_chiplet_height if io_chiplet_height is not None else arrangement.chiplet_height
+    )
+    check_positive("io_chiplet_width", io_width)
+    check_positive("io_chiplet_height", io_height)
+
+    compute_placement = arrangement.placement
+    bounds = compute_placement.bounding_box()
+
+    combined = ChipletPlacement()
+    for chiplet in compute_placement:
+        combined.add(chiplet)
+
+    next_id = max(compute_placement.chiplet_ids) + 1
+    io_ids: list[int] = []
+    for rect in _perimeter_positions(bounds, io_width, io_height, gap):
+        # Skip positions that would overlap a compute chiplet (can happen for
+        # non-rectangular outlines such as the HexaMesh's hexagon).
+        if any(rect.overlaps(existing.rect) for existing in combined):
+            continue
+        combined.add(PlacedChiplet(chiplet_id=next_id, rect=rect, role="io"))
+        io_ids.append(next_id)
+        next_id += 1
+
+    io_id_set = set(io_ids)
+    io_links = tuple(
+        (low, high) if high in io_id_set else (high, low)
+        for low, high, _ in shared_edges(combined)
+        if (low in io_id_set) != (high in io_id_set)
+    )
+
+    return PerimeterPlan(
+        arrangement=arrangement,
+        placement=combined,
+        io_chiplet_ids=tuple(io_ids),
+        io_links=io_links,
+    )

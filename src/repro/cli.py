@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Installed as the ``hexamesh`` console script (also reachable with
+``python -m repro``).  The sub-commands mirror the workflows of the paper:
+
+* ``info``      — evaluate one design point and print its summary,
+* ``compare``   — compare an arrangement against the grid baseline,
+* ``figure``    — regenerate the data of Figure 6 or Figure 7 as CSV,
+* ``simulate``  — run the cycle-accurate simulator on one design,
+* ``export``    — write BookSim2 input files and/or an SVG top view,
+* ``feasibility`` — check link-length / package feasibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.arrangements.factory import make_arrangement
+from repro.core.design import ChipletDesign
+from repro.core.report import compare_designs
+from repro.evaluation.performance import run_figure7
+from repro.evaluation.proxies import run_figure6
+from repro.evaluation.tables import format_table
+from repro.io.booksim_export import write_booksim_inputs
+from repro.linkmodel.package import check_package_feasibility
+from repro.noc.config import SimulationConfig
+from repro.viz.svg import placement_svg, save_svg
+
+_KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hexamesh",
+        description="HexaMesh (DAC 2023) reproduction: chiplet arrangement analysis",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="evaluate one design point")
+    info.add_argument("kind", choices=_KINDS)
+    info.add_argument("chiplets", type=int)
+
+    compare = subparsers.add_parser("compare", help="compare a design against a baseline")
+    compare.add_argument("kind", choices=_KINDS)
+    compare.add_argument("chiplets", type=int)
+    compare.add_argument("--baseline", choices=_KINDS, default="grid")
+
+    figure = subparsers.add_parser("figure", help="regenerate Figure 6 or Figure 7 data")
+    figure.add_argument("number", choices=("6", "7"))
+    figure.add_argument("--max-chiplets", type=int, default=100)
+    figure.add_argument("--output", default=None, help="CSV output path (default: stdout)")
+
+    simulate = subparsers.add_parser("simulate", help="run the cycle-accurate simulator")
+    simulate.add_argument("kind", choices=_KINDS)
+    simulate.add_argument("chiplets", type=int)
+    simulate.add_argument("--injection-rate", type=float, default=0.05)
+    simulate.add_argument("--traffic", default="uniform")
+    simulate.add_argument("--cycles", type=int, default=1000,
+                          help="measurement cycles (warm-up and drain scale with it)")
+
+    export = subparsers.add_parser("export", help="write BookSim2 inputs and/or an SVG view")
+    export.add_argument("kind", choices=_KINDS)
+    export.add_argument("chiplets", type=int)
+    export.add_argument("--booksim-topology", default=None)
+    export.add_argument("--booksim-config", default=None)
+    export.add_argument("--svg", default=None)
+
+    feasibility = subparsers.add_parser(
+        "feasibility", help="check D2D link-length and package feasibility"
+    )
+    feasibility.add_argument("kind", choices=_KINDS)
+    feasibility.add_argument("chiplets", type=int)
+    feasibility.add_argument("--silicon-interposer", action="store_true")
+
+    return parser
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    design = ChipletDesign.create(args.kind, args.chiplets)
+    rows = []
+    for key, value in design.summary().items():
+        rows.append([key, value])
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    candidate = ChipletDesign.create(args.kind, args.chiplets)
+    baseline = ChipletDesign.create(args.baseline, args.chiplets)
+    print(compare_designs(candidate, baseline).render())
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    if args.number == "6":
+        figure6 = run_figure6(range(1, args.max_chiplets + 1))
+        csv_text = (
+            figure6.diameter_experiment().to_csv()
+            + figure6.bisection_experiment().to_csv()
+        )
+    else:
+        figure7 = run_figure7(range(2, args.max_chiplets + 1))
+        csv_text = "".join(
+            experiment.to_csv()
+            for experiment in (
+                figure7.latency_experiment(),
+                figure7.throughput_experiment(),
+                figure7.normalized_latency_experiment(),
+                figure7.normalized_throughput_experiment(),
+            )
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+        print(f"wrote {args.output}")
+    else:
+        print(csv_text, end="")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    design = ChipletDesign.create(args.kind, args.chiplets)
+    config = SimulationConfig(
+        warmup_cycles=max(100, args.cycles // 2),
+        measurement_cycles=args.cycles,
+        drain_cycles=args.cycles * 2,
+    )
+    result = design.simulate(
+        injection_rate=args.injection_rate, traffic=args.traffic, config=config
+    )
+    rows = [
+        ["design", design.label],
+        ["offered load [flit/cyc/EP]", result.injection_rate],
+        ["avg packet latency [cyc]", result.packet_latency.mean],
+        ["p99 packet latency [cyc]", result.packet_latency.p99],
+        ["accepted [flit/cyc/EP]", result.accepted_flit_rate],
+        ["throughput [Tb/s]", result.accepted_flit_rate * design.full_global_bandwidth_tbps],
+        ["measured packets delivered", result.measured_packets_ejected],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    arrangement = make_arrangement(args.kind, args.chiplets)
+    wrote_something = False
+    if args.booksim_topology and args.booksim_config:
+        write_booksim_inputs(arrangement, args.booksim_topology, args.booksim_config)
+        print(f"wrote {args.booksim_topology} and {args.booksim_config}")
+        wrote_something = True
+    elif args.booksim_topology or args.booksim_config:
+        print("error: --booksim-topology and --booksim-config must be given together",
+              file=sys.stderr)
+        return 2
+    if args.svg:
+        if arrangement.placement is None:
+            print("error: the honeycomb has no rectangular placement to render",
+                  file=sys.stderr)
+            return 2
+        save_svg(placement_svg(arrangement.placement), args.svg)
+        print(f"wrote {args.svg}")
+        wrote_something = True
+    if not wrote_something:
+        print("nothing to export: pass --svg and/or --booksim-topology/--booksim-config",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_feasibility(args: argparse.Namespace) -> int:
+    arrangement = make_arrangement(args.kind, args.chiplets)
+    report = check_package_feasibility(
+        arrangement, silicon_interposer=args.silicon_interposer
+    )
+    rows = [
+        ["chiplet width [mm]", report.shape.width_mm],
+        ["chiplet height [mm]", report.shape.height_mm],
+        ["estimated link length [mm]", report.link_length_mm],
+        ["link length limit [mm]", report.max_link_length_mm],
+        ["package width [mm]", report.package_width_mm],
+        ["package height [mm]", report.package_height_mm],
+        ["feasible", report.link_length_ok],
+    ]
+    print(format_table(["metric", "value"], rows))
+    for violation in report.violations():
+        print(f"VIOLATION: {violation}")
+    return 0 if report.link_length_ok else 1
+
+
+_COMMANDS = {
+    "info": _command_info,
+    "compare": _command_compare,
+    "figure": _command_figure,
+    "simulate": _command_simulate,
+    "export": _command_export,
+    "feasibility": _command_feasibility,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``hexamesh`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

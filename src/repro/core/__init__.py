@@ -1,0 +1,24 @@
+"""High-level design API.
+
+:class:`ChipletDesign` is the main entry point of the library: it bundles
+an arrangement, the solved chiplet shape, the D2D link model and the
+performance proxies / estimates of one design point, and exposes the
+paper's methodology (graph proxies, link bandwidth, analytical or
+cycle-accurate performance) through a single object.
+
+:class:`DesignSpaceExplorer` sweeps chiplet counts and arrangement families
+and ranks the resulting designs, which is how a user of the library would
+actually pick an arrangement for a given product.
+"""
+
+from repro.core.design import ChipletDesign
+from repro.core.explorer import DesignSpaceExplorer, ExplorationRecord
+from repro.core.report import DesignComparison, compare_designs
+
+__all__ = [
+    "ChipletDesign",
+    "DesignComparison",
+    "DesignSpaceExplorer",
+    "ExplorationRecord",
+    "compare_designs",
+]

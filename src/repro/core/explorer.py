@@ -1,0 +1,143 @@
+"""Design-space exploration over arrangement families and chiplet counts.
+
+The paper's motivation is that hand-optimising the arrangement becomes
+infeasible beyond a few tens of chiplets.  The explorer automates the
+choice: it evaluates every candidate design under the paper's methodology
+and ranks them by a configurable objective (zero-load latency, saturation
+throughput, diameter, bisection bandwidth) or reports the Pareto front of
+the latency / throughput trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.arrangements.base import ArrangementKind
+from repro.core.design import ChipletDesign
+from repro.linkmodel.parameters import EvaluationParameters
+from repro.utils.validation import check_in_choices
+
+#: Objectives available to :meth:`DesignSpaceExplorer.rank`.  Each maps a
+#: design to a value where *smaller is better*.
+_OBJECTIVES: dict[str, Callable[[ChipletDesign], float]] = {
+    "latency": lambda design: design.zero_load_latency(),
+    "throughput": lambda design: -design.saturation_throughput_tbps(),
+    "diameter": lambda design: float(design.diameter),
+    "bisection": lambda design: -design.bisection_bandwidth,
+}
+
+
+@dataclass(frozen=True)
+class ExplorationRecord:
+    """One evaluated candidate design with its headline metrics."""
+
+    design: ChipletDesign
+    zero_load_latency_cycles: float
+    saturation_throughput_tbps: float
+    diameter: int
+    bisection_bandwidth: float
+
+    @property
+    def label(self) -> str:
+        """Label of the underlying design."""
+        return self.design.label
+
+
+class DesignSpaceExplorer:
+    """Evaluate and rank designs across kinds and chiplet counts.
+
+    Parameters
+    ----------
+    kinds:
+        Arrangement families to consider (default: grid, brickwall,
+        HexaMesh — the three the paper compares).
+    parameters:
+        Architectural parameters shared by all candidates.
+    """
+
+    def __init__(
+        self,
+        kinds: Sequence[ArrangementKind | str] = ("grid", "brickwall", "hexamesh"),
+        *,
+        parameters: EvaluationParameters | None = None,
+    ) -> None:
+        self._kinds = [ArrangementKind.from_name(kind) for kind in kinds]
+        if not self._kinds:
+            raise ValueError("the explorer needs at least one arrangement kind")
+        self._parameters = parameters if parameters is not None else EvaluationParameters()
+        self._records: list[ExplorationRecord] = []
+
+    @property
+    def records(self) -> list[ExplorationRecord]:
+        """All records evaluated so far."""
+        return list(self._records)
+
+    def evaluate(self, chiplet_counts: Iterable[int]) -> list[ExplorationRecord]:
+        """Evaluate every (kind, chiplet count) candidate and cache the records."""
+        new_records: list[ExplorationRecord] = []
+        for count in chiplet_counts:
+            for kind in self._kinds:
+                design = ChipletDesign.create(kind, count, parameters=self._parameters)
+                record = ExplorationRecord(
+                    design=design,
+                    zero_load_latency_cycles=design.zero_load_latency(),
+                    saturation_throughput_tbps=design.saturation_throughput_tbps(),
+                    diameter=design.diameter,
+                    bisection_bandwidth=design.bisection_bandwidth,
+                )
+                new_records.append(record)
+        self._records.extend(new_records)
+        return new_records
+
+    def rank(self, objective: str = "latency") -> list[ExplorationRecord]:
+        """All evaluated records sorted from best to worst for ``objective``."""
+        check_in_choices("objective", objective, sorted(_OBJECTIVES))
+        key = _OBJECTIVES[objective]
+        return sorted(self._records, key=lambda record: key(record.design))
+
+    def best(self, objective: str = "latency") -> ExplorationRecord:
+        """The best record for the given objective."""
+        ranked = self.rank(objective)
+        if not ranked:
+            raise ValueError("no designs have been evaluated yet")
+        return ranked[0]
+
+    def best_for_count(self, num_chiplets: int, objective: str = "latency") -> ExplorationRecord:
+        """The best record among candidates with exactly ``num_chiplets`` chiplets."""
+        candidates = [
+            record for record in self.rank(objective)
+            if record.design.num_chiplets == num_chiplets
+        ]
+        if not candidates:
+            raise ValueError(f"no evaluated designs with {num_chiplets} chiplets")
+        return candidates[0]
+
+    def pareto_front(self) -> list[ExplorationRecord]:
+        """Latency / throughput Pareto-optimal records.
+
+        A record is Pareto-optimal when no other record has both lower
+        zero-load latency and higher saturation throughput.
+        """
+        front: list[ExplorationRecord] = []
+        for candidate in self._records:
+            dominated = False
+            for other in self._records:
+                if other is candidate:
+                    continue
+                better_latency = (
+                    other.zero_load_latency_cycles <= candidate.zero_load_latency_cycles
+                )
+                better_throughput = (
+                    other.saturation_throughput_tbps >= candidate.saturation_throughput_tbps
+                )
+                strictly_better = (
+                    other.zero_load_latency_cycles < candidate.zero_load_latency_cycles
+                    or other.saturation_throughput_tbps > candidate.saturation_throughput_tbps
+                )
+                if better_latency and better_throughput and strictly_better:
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(candidate)
+        return sorted(front, key=lambda record: record.zero_load_latency_cycles)

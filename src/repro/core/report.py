@@ -1,0 +1,95 @@
+"""Side-by-side comparison of designs (HexaMesh vs. grid style reports)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design import ChipletDesign
+from repro.evaluation.tables import format_table
+
+
+@dataclass(frozen=True)
+class DesignComparison:
+    """A pairwise comparison of two designs at the same chiplet count."""
+
+    candidate: ChipletDesign
+    baseline: ChipletDesign
+
+    def __post_init__(self) -> None:
+        if self.candidate.num_chiplets != self.baseline.num_chiplets:
+            raise ValueError(
+                "designs must have the same chiplet count to be compared "
+                f"({self.candidate.num_chiplets} vs {self.baseline.num_chiplets})"
+            )
+
+    # -- relative metrics (candidate vs. baseline) ---------------------------------
+
+    @property
+    def diameter_reduction_percent(self) -> float:
+        """Diameter reduction of the candidate relative to the baseline."""
+        return (1.0 - self.candidate.diameter / self.baseline.diameter) * 100.0
+
+    @property
+    def bisection_improvement_percent(self) -> float:
+        """Bisection-bandwidth improvement of the candidate relative to the baseline."""
+        return (
+            self.candidate.bisection_bandwidth / self.baseline.bisection_bandwidth - 1.0
+        ) * 100.0
+
+    @property
+    def latency_reduction_percent(self) -> float:
+        """Zero-load latency reduction (analytical engine)."""
+        return (
+            1.0 - self.candidate.zero_load_latency() / self.baseline.zero_load_latency()
+        ) * 100.0
+
+    @property
+    def throughput_improvement_percent(self) -> float:
+        """Saturation-throughput improvement (analytical engine)."""
+        return (
+            self.candidate.saturation_throughput_tbps()
+            / self.baseline.saturation_throughput_tbps()
+            - 1.0
+        ) * 100.0
+
+    def as_dict(self) -> dict[str, float]:
+        """All relative metrics in one dictionary."""
+        return {
+            "diameter_reduction_percent": self.diameter_reduction_percent,
+            "bisection_improvement_percent": self.bisection_improvement_percent,
+            "latency_reduction_percent": self.latency_reduction_percent,
+            "throughput_improvement_percent": self.throughput_improvement_percent,
+        }
+
+    def render(self) -> str:
+        """Human-readable side-by-side table of the two designs."""
+        candidate_summary = self.candidate.summary()
+        baseline_summary = self.baseline.summary()
+        keys = [
+            "num_chiplets",
+            "num_links",
+            "diameter",
+            "min_neighbors",
+            "max_neighbors",
+            "avg_neighbors",
+            "bisection_bandwidth_links",
+            "link_bandwidth_gbps",
+            "full_global_bandwidth_tbps",
+            "zero_load_latency_cycles",
+            "saturation_throughput_tbps",
+        ]
+        rows = [
+            [key, baseline_summary[key], candidate_summary[key]]
+            for key in keys
+        ]
+        header = ["metric", self.baseline.label, self.candidate.label]
+        relative = format_table(
+            ["relative metric", "value [%]"],
+            [[key, value] for key, value in self.as_dict().items()],
+        )
+        return format_table(header, rows) + "\n\n" + relative
+
+
+def compare_designs(candidate: ChipletDesign, baseline: ChipletDesign) -> DesignComparison:
+    """Convenience constructor for :class:`DesignComparison`."""
+    return DesignComparison(candidate=candidate, baseline=baseline)

@@ -1,0 +1,36 @@
+"""Manufacturing-cost extension.
+
+The paper motivates 2.5D integration economically (Section I) and cites
+Chiplet Actuary [17] as an orthogonal cost model that "could be applied
+together with our evaluation methodology to compare architectures both in
+terms of cost and performance".  This package implements that extension: a
+quantitative yield and cost model in the spirit of Chiplet Actuary that can
+be combined with the performance results of the evaluation harness.
+
+* :mod:`repro.cost.yield_model` — negative-binomial defect yield and
+  known-good-die probability,
+* :mod:`repro.cost.wafer` — dies per wafer and per-die silicon cost,
+* :mod:`repro.cost.manufacturing` — recurring / non-recurring cost of a
+  monolithic chip versus a chiplet-based design, including packaging,
+  bonding yield and the PHY area overhead of D2D links.
+"""
+
+from repro.cost.manufacturing import (
+    ChipletCostBreakdown,
+    CostModelParameters,
+    MonolithicCostBreakdown,
+    compare_monolithic_vs_chiplets,
+)
+from repro.cost.wafer import die_cost, dies_per_wafer
+from repro.cost.yield_model import known_good_die_yield, negative_binomial_yield
+
+__all__ = [
+    "ChipletCostBreakdown",
+    "CostModelParameters",
+    "MonolithicCostBreakdown",
+    "compare_monolithic_vs_chiplets",
+    "die_cost",
+    "dies_per_wafer",
+    "known_good_die_yield",
+    "negative_binomial_yield",
+]

@@ -1,0 +1,226 @@
+"""Monolithic-versus-chiplet manufacturing cost comparison.
+
+A Chiplet Actuary-style recurring-cost model: the total silicon is either
+one monolithic die or ``N`` chiplets (plus the PHY area overhead every D2D
+link adds to both of its endpoints), assembled on an organic substrate or a
+silicon interposer.  Non-recurring engineering (NRE) cost is amortised over
+the production volume; chiplet reuse lets several designs share one set of
+masks, which the model exposes as a simple reuse factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.wafer import die_cost
+from repro.cost.yield_model import assembly_yield, known_good_die_yield, negative_binomial_yield
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class CostModelParameters:
+    """Inputs of the cost comparison.
+
+    Parameters
+    ----------
+    total_logic_area_mm2:
+        Silicon area of the functionality itself (excluding PHY overhead);
+        the paper's evaluation uses 800 mm².
+    defect_density_per_cm2:
+        Process defect density used by the yield model.
+    wafer_cost:
+        Cost of one processed wafer (arbitrary currency unit).
+    wafer_diameter_mm:
+        Wafer diameter.
+    phy_area_per_link_mm2:
+        Area one D2D link's PHY adds to each of its two chiplets.
+    package_substrate_cost_per_mm2:
+        Cost of the package substrate / interposer per mm² of assembled
+        silicon.
+    bond_yield:
+        Per-chiplet bonding success probability during assembly.
+    test_coverage:
+        Wafer-level test coverage feeding the known-good-die model.
+    nre_cost_monolithic / nre_cost_per_chiplet_design:
+        Non-recurring cost of designing and masking a monolithic chip or a
+        single chiplet design.
+    production_volume:
+        Number of units over which NRE is amortised.
+    chiplet_reuse_factor:
+        How many products share the chiplet's NRE (AMD-style reuse).
+    """
+
+    total_logic_area_mm2: float = 800.0
+    defect_density_per_cm2: float = 0.1
+    wafer_cost: float = 10_000.0
+    wafer_diameter_mm: float = 300.0
+    phy_area_per_link_mm2: float = 0.25
+    package_substrate_cost_per_mm2: float = 0.05
+    bond_yield: float = 0.99
+    test_coverage: float = 0.98
+    nre_cost_monolithic: float = 50e6
+    nre_cost_per_chiplet_design: float = 20e6
+    production_volume: int = 1_000_000
+    chiplet_reuse_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("total_logic_area_mm2", self.total_logic_area_mm2)
+        check_non_negative("defect_density_per_cm2", self.defect_density_per_cm2)
+        check_positive("wafer_cost", self.wafer_cost)
+        check_positive("wafer_diameter_mm", self.wafer_diameter_mm)
+        check_non_negative("phy_area_per_link_mm2", self.phy_area_per_link_mm2)
+        check_non_negative("package_substrate_cost_per_mm2", self.package_substrate_cost_per_mm2)
+        check_fraction("bond_yield", self.bond_yield)
+        check_fraction("test_coverage", self.test_coverage)
+        check_non_negative("nre_cost_monolithic", self.nre_cost_monolithic)
+        check_non_negative("nre_cost_per_chiplet_design", self.nre_cost_per_chiplet_design)
+        check_positive_int("production_volume", self.production_volume)
+        check_positive("chiplet_reuse_factor", self.chiplet_reuse_factor)
+
+
+@dataclass(frozen=True)
+class MonolithicCostBreakdown:
+    """Per-unit cost of the monolithic reference design."""
+
+    die_area_mm2: float
+    die_yield: float
+    silicon_cost: float
+    packaging_cost: float
+    nre_per_unit: float
+
+    @property
+    def recurring_cost(self) -> float:
+        """Silicon plus packaging cost of one unit."""
+        return self.silicon_cost + self.packaging_cost
+
+    @property
+    def total_cost(self) -> float:
+        """Recurring cost plus amortised NRE."""
+        return self.recurring_cost + self.nre_per_unit
+
+
+@dataclass(frozen=True)
+class ChipletCostBreakdown:
+    """Per-unit cost of the chiplet-based design."""
+
+    num_chiplets: int
+    chiplet_area_mm2: float
+    chiplet_yield: float
+    known_good_die_probability: float
+    assembly_yield: float
+    silicon_cost: float
+    packaging_cost: float
+    nre_per_unit: float
+
+    @property
+    def recurring_cost(self) -> float:
+        """Silicon plus packaging/assembly cost of one unit."""
+        return self.silicon_cost + self.packaging_cost
+
+    @property
+    def total_cost(self) -> float:
+        """Recurring cost plus amortised NRE."""
+        return self.recurring_cost + self.nre_per_unit
+
+
+def monolithic_cost(parameters: CostModelParameters) -> MonolithicCostBreakdown:
+    """Per-unit cost of building the whole design as one die."""
+    area = parameters.total_logic_area_mm2
+    chip_yield = negative_binomial_yield(area, parameters.defect_density_per_cm2)
+    silicon = die_cost(
+        area,
+        parameters.wafer_cost,
+        chip_yield,
+        wafer_diameter_mm=parameters.wafer_diameter_mm,
+    )
+    packaging = area * parameters.package_substrate_cost_per_mm2
+    nre_per_unit = parameters.nre_cost_monolithic / parameters.production_volume
+    return MonolithicCostBreakdown(
+        die_area_mm2=area,
+        die_yield=chip_yield,
+        silicon_cost=silicon,
+        packaging_cost=packaging,
+        nre_per_unit=nre_per_unit,
+    )
+
+
+def chiplet_cost(
+    parameters: CostModelParameters,
+    num_chiplets: int,
+    links_per_chiplet: float,
+) -> ChipletCostBreakdown:
+    """Per-unit cost of building the design as ``num_chiplets`` chiplets.
+
+    Parameters
+    ----------
+    parameters:
+        Cost-model inputs.
+    num_chiplets:
+        Number of compute chiplets.
+    links_per_chiplet:
+        Average number of D2D links per chiplet (each adds PHY area);
+        obtain it from the arrangement's average degree.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    check_non_negative("links_per_chiplet", links_per_chiplet)
+
+    logic_area = parameters.total_logic_area_mm2 / num_chiplets
+    phy_area = links_per_chiplet * parameters.phy_area_per_link_mm2
+    chiplet_area = logic_area + phy_area
+
+    chiplet_yield = negative_binomial_yield(chiplet_area, parameters.defect_density_per_cm2)
+    kgd = known_good_die_yield(chiplet_yield, parameters.test_coverage)
+    bonded = assembly_yield(num_chiplets, parameters.bond_yield)
+
+    per_chiplet_silicon = die_cost(
+        chiplet_area,
+        parameters.wafer_cost,
+        chiplet_yield,
+        wafer_diameter_mm=parameters.wafer_diameter_mm,
+    )
+    # Every assembled unit consumes N known-good dies; assembly losses scrap
+    # the whole package, so divide by the assembly yield (KGD escapes are
+    # already scrapped units as well).
+    silicon = num_chiplets * per_chiplet_silicon / (bonded * kgd)
+    packaging = (
+        num_chiplets * chiplet_area * parameters.package_substrate_cost_per_mm2 / bonded
+    )
+    nre_per_unit = (
+        parameters.nre_cost_per_chiplet_design
+        / parameters.chiplet_reuse_factor
+        / parameters.production_volume
+    )
+    return ChipletCostBreakdown(
+        num_chiplets=num_chiplets,
+        chiplet_area_mm2=chiplet_area,
+        chiplet_yield=chiplet_yield,
+        known_good_die_probability=kgd,
+        assembly_yield=bonded,
+        silicon_cost=silicon,
+        packaging_cost=packaging,
+        nre_per_unit=nre_per_unit,
+    )
+
+
+def compare_monolithic_vs_chiplets(
+    parameters: CostModelParameters,
+    num_chiplets: int,
+    links_per_chiplet: float,
+) -> dict[str, float]:
+    """Summarise the cost comparison as a flat dictionary (for reports)."""
+    mono = monolithic_cost(parameters)
+    chiplets = chiplet_cost(parameters, num_chiplets, links_per_chiplet)
+    return {
+        "monolithic_total_cost": mono.total_cost,
+        "monolithic_yield": mono.die_yield,
+        "chiplet_total_cost": chiplets.total_cost,
+        "chiplet_yield": chiplets.chiplet_yield,
+        "chiplet_assembly_yield": chiplets.assembly_yield,
+        "cost_ratio": chiplets.total_cost / mono.total_cost,
+        "num_chiplets": float(num_chiplets),
+    }

@@ -1,0 +1,41 @@
+"""Wafer geometry and per-die silicon cost."""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive
+
+
+def dies_per_wafer(die_area_mm2: float, wafer_diameter_mm: float = 300.0) -> int:
+    """Gross dies per wafer using the classic edge-corrected approximation.
+
+    ``DPW = π (d/2)² / A − π d / sqrt(2 A)`` — the first term is the wafer
+    area divided by the die area, the second corrects for partial dies at
+    the wafer edge.
+    """
+    check_positive("die_area_mm2", die_area_mm2)
+    check_positive("wafer_diameter_mm", wafer_diameter_mm)
+    radius = wafer_diameter_mm / 2.0
+    gross = math.pi * radius * radius / die_area_mm2
+    edge_loss = math.pi * wafer_diameter_mm / math.sqrt(2.0 * die_area_mm2)
+    return max(0, int(math.floor(gross - edge_loss)))
+
+
+def die_cost(
+    die_area_mm2: float,
+    wafer_cost: float,
+    die_yield: float,
+    *,
+    wafer_diameter_mm: float = 300.0,
+) -> float:
+    """Cost of one *good* die: wafer cost spread over the yielded dies."""
+    check_positive("wafer_cost", wafer_cost)
+    if not 0.0 < die_yield <= 1.0:
+        raise ValueError(f"die_yield must be in (0, 1], got {die_yield}")
+    per_wafer = dies_per_wafer(die_area_mm2, wafer_diameter_mm)
+    if per_wafer == 0:
+        raise ValueError(
+            f"a die of {die_area_mm2} mm² does not fit on a {wafer_diameter_mm} mm wafer"
+        )
+    return wafer_cost / (per_wafer * die_yield)

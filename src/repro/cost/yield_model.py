@@ -1,0 +1,65 @@
+"""Defect-limited yield models.
+
+The standard negative-binomial yield model expresses the probability that
+a die of area ``A`` (cm²) manufactured in a process with defect density
+``D0`` (defects/cm²) and clustering parameter ``α`` is functional:
+
+.. math::
+
+   Y = \\left(1 + \\frac{A \\, D_0}{\\alpha}\\right)^{-\\alpha}
+
+Smaller dies yield better, which is the quantitative core of the paper's
+"improved yield" argument for 2.5D integration: a single defect kills a
+whole monolithic die but only one small chiplet.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+def negative_binomial_yield(
+    die_area_mm2: float,
+    defect_density_per_cm2: float,
+    clustering_alpha: float = 3.0,
+) -> float:
+    """Functional-die probability under the negative-binomial model.
+
+    Parameters
+    ----------
+    die_area_mm2:
+        Die area in mm² (converted internally to cm²).
+    defect_density_per_cm2:
+        Average defect density ``D0`` in defects per cm².
+    clustering_alpha:
+        Defect-clustering parameter ``α``; 3 is a common default for
+        modern processes.
+    """
+    check_non_negative("die_area_mm2", die_area_mm2)
+    check_non_negative("defect_density_per_cm2", defect_density_per_cm2)
+    check_positive("clustering_alpha", clustering_alpha)
+    area_cm2 = die_area_mm2 / 100.0
+    return float((1.0 + area_cm2 * defect_density_per_cm2 / clustering_alpha) ** (-clustering_alpha))
+
+
+def known_good_die_yield(die_yield: float, test_coverage: float = 1.0) -> float:
+    """Probability that a die shipped to assembly is actually good.
+
+    Imperfect wafer-level testing lets a fraction of defective dies slip
+    through; with test coverage ``c`` the known-good-die (KGD) probability
+    is ``Y / (Y + (1 - Y) * (1 - c))``.
+    """
+    check_fraction("die_yield", die_yield)
+    check_fraction("test_coverage", test_coverage)
+    escaped_defects = (1.0 - die_yield) * (1.0 - test_coverage)
+    if die_yield + escaped_defects == 0.0:
+        return 0.0
+    return die_yield / (die_yield + escaped_defects)
+
+
+def assembly_yield(num_chiplets: int, per_bond_yield: float = 0.99) -> float:
+    """Probability that all chiplets of a package are bonded successfully."""
+    if num_chiplets < 1:
+        raise ValueError(f"num_chiplets must be >= 1, got {num_chiplets}")
+    check_fraction("per_bond_yield", per_bond_yield)
+    return float(per_bond_yield**num_chiplets)

@@ -1,0 +1,58 @@
+"""Experiment runners that regenerate the paper's figures and headline claims.
+
+Per-experiment index (see DESIGN.md for the full mapping):
+
+* ``FIG4``  — :func:`repro.evaluation.proxies.figure4_annotations`
+* ``FIG6a`` — :func:`repro.evaluation.proxies.run_figure6_diameter`
+* ``FIG6b`` — :func:`repro.evaluation.proxies.run_figure6_bisection`
+* ``TAB1``  — :func:`repro.evaluation.performance.run_link_bandwidth_table`
+* ``FIG7a/b/c/d`` — :func:`repro.evaluation.performance.run_figure7`
+* ``HEADLINE`` — :mod:`repro.evaluation.headline`
+"""
+
+from repro.evaluation.headline import (
+    HeadlineClaims,
+    asymptotic_claims,
+    average_improvements,
+    compute_headline_claims,
+)
+from repro.evaluation.performance import (
+    Figure7Point,
+    Figure7Result,
+    run_figure7,
+    run_link_bandwidth_table,
+)
+from repro.evaluation.proxies import (
+    Figure6Point,
+    Figure6Result,
+    figure4_annotations,
+    run_figure6,
+    run_figure6_bisection,
+    run_figure6_diameter,
+)
+from repro.evaluation.series import DataPoint, DataSeries, ExperimentResult
+from repro.evaluation.tables import format_table, render_experiment
+from repro.evaluation.runner import run_all_experiments
+
+__all__ = [
+    "DataPoint",
+    "DataSeries",
+    "ExperimentResult",
+    "Figure6Point",
+    "Figure6Result",
+    "Figure7Point",
+    "Figure7Result",
+    "HeadlineClaims",
+    "asymptotic_claims",
+    "average_improvements",
+    "compute_headline_claims",
+    "figure4_annotations",
+    "format_table",
+    "render_experiment",
+    "run_all_experiments",
+    "run_figure6",
+    "run_figure6_bisection",
+    "run_figure6_diameter",
+    "run_figure7",
+    "run_link_bandwidth_table",
+]

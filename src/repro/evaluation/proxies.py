@@ -1,0 +1,245 @@
+"""Figure 4 annotations and Figure 6 (performance proxies).
+
+Figure 6 of the paper plots, for chiplet counts from 1 to 100 and every
+regularity class each count admits:
+
+* (a) the network diameter,
+* (b) the bisection bandwidth — closed-form for regular arrangements,
+  estimated with a graph partitioner (METIS in the paper, the portfolio of
+  :mod:`repro.partition` here) for semi-regular and irregular ones.
+
+Figure 4 annotates each arrangement family with its minimum / maximum
+number of neighbours and the closed-form diameter and bisection formulas;
+:func:`figure4_annotations` regenerates that table from actual generated
+arrangements so the formulas are validated against construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.factory import available_regularities, make_arrangement
+from repro.graphs.analytical import (
+    bisection_bandwidth_formula,
+    diameter_formula,
+    has_regular_arrangement,
+)
+from repro.graphs.metrics import diameter as graph_diameter
+from repro.partition.estimator import estimate_bisection_bandwidth
+from repro.evaluation.series import DataSeries, ExperimentResult
+
+#: The arrangement families plotted in Figure 6 (the honeycomb shares the
+#: brickwall graph, so the paper omits it from the proxy plots).
+FIGURE6_KINDS: tuple[ArrangementKind, ...] = (
+    ArrangementKind.GRID,
+    ArrangementKind.BRICKWALL,
+    ArrangementKind.HEXAMESH,
+)
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """One arrangement's proxy values."""
+
+    kind: ArrangementKind
+    regularity: Regularity
+    num_chiplets: int
+    diameter: int
+    bisection_bandwidth: float
+    bisection_source: str  # "formula" or "estimated"
+
+
+@dataclass
+class Figure6Result:
+    """All data of Figure 6 (both panels)."""
+
+    points: list[Figure6Point]
+    max_chiplets: int
+
+    def for_kind(self, kind: ArrangementKind) -> list[Figure6Point]:
+        """All points of one arrangement family."""
+        return [p for p in self.points if p.kind is kind]
+
+    def point(
+        self, kind: ArrangementKind, num_chiplets: int, regularity: Regularity | None = None
+    ) -> Figure6Point:
+        """Look up a single point (best regularity when none is given)."""
+        candidates = [
+            p for p in self.points if p.kind is kind and p.num_chiplets == num_chiplets
+        ]
+        if regularity is not None:
+            candidates = [p for p in candidates if p.regularity is regularity]
+        if not candidates:
+            raise KeyError(f"no Figure 6 point for {kind.value} N={num_chiplets}")
+        order = {Regularity.REGULAR: 0, Regularity.SEMI_REGULAR: 1, Regularity.IRREGULAR: 2}
+        return sorted(candidates, key=lambda p: order[p.regularity])[0]
+
+    def diameter_experiment(self) -> ExperimentResult:
+        """The Figure 6a data as a generic experiment result."""
+        return _points_to_experiment(
+            self.points,
+            experiment_id="FIG6a",
+            title="Network diameter of chiplet arrangements",
+            y_label="diameter",
+            value=lambda p: p.diameter,
+        )
+
+    def bisection_experiment(self) -> ExperimentResult:
+        """The Figure 6b data as a generic experiment result."""
+        return _points_to_experiment(
+            self.points,
+            experiment_id="FIG6b",
+            title="Estimated bisection bandwidth of chiplet arrangements",
+            y_label="bisection bandwidth [links]",
+            value=lambda p: p.bisection_bandwidth,
+        )
+
+
+def _points_to_experiment(points, *, experiment_id, title, y_label, value) -> ExperimentResult:
+    series_map: dict[str, DataSeries] = {}
+    for point in points:
+        name = f"{point.kind.value} ({point.regularity.value})"
+        series = series_map.setdefault(name, DataSeries(name=name))
+        series.add(
+            point.num_chiplets,
+            value(point),
+            regularity=point.regularity.value,
+            bisection_source=point.bisection_source,
+        )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="number of chiplets",
+        y_label=y_label,
+        series=list(series_map.values()),
+    )
+
+
+def evaluate_arrangement_proxies(arrangement: Arrangement, *, seed: int = 0) -> Figure6Point:
+    """Diameter and bisection bandwidth of one concrete arrangement.
+
+    Regular arrangements use the paper's closed-form bisection formula;
+    all other arrangements use the partitioning estimator (the paper uses
+    METIS for those).
+    """
+    kind = arrangement.kind
+    num_chiplets = arrangement.num_chiplets
+    measured_diameter = graph_diameter(arrangement.graph)
+    if arrangement.regularity is Regularity.REGULAR and has_regular_arrangement(
+        kind.value, num_chiplets
+    ):
+        bisection = bisection_bandwidth_formula(kind.value, num_chiplets)
+        source = "formula"
+    else:
+        bisection = float(estimate_bisection_bandwidth(arrangement.graph, seed=seed))
+        source = "estimated"
+    return Figure6Point(
+        kind=kind,
+        regularity=arrangement.regularity,
+        num_chiplets=num_chiplets,
+        diameter=measured_diameter,
+        bisection_bandwidth=bisection,
+        bisection_source=source,
+    )
+
+
+def run_figure6(
+    chiplet_counts: Iterable[int] | None = None,
+    *,
+    kinds: Sequence[ArrangementKind | str] = FIGURE6_KINDS,
+    all_regularities: bool = True,
+    seed: int = 0,
+) -> Figure6Result:
+    """Regenerate the data of Figure 6 (both panels).
+
+    Parameters
+    ----------
+    chiplet_counts:
+        Chiplet counts to evaluate; defaults to 1..100 as in the paper.
+    kinds:
+        Arrangement families to include.
+    all_regularities:
+        Evaluate every regularity class each count admits (as the paper
+        plots) instead of only the best class.
+    seed:
+        Seed of the bisection estimator.
+    """
+    if chiplet_counts is None:
+        chiplet_counts = range(1, 101)
+    counts = list(chiplet_counts)
+    points: list[Figure6Point] = []
+    for count in counts:
+        for kind_name in kinds:
+            kind = ArrangementKind.from_name(kind_name)
+            regs = (
+                available_regularities(kind, count)
+                if all_regularities
+                else [None]
+            )
+            for regularity in regs:
+                arrangement = make_arrangement(kind, count, regularity)
+                points.append(evaluate_arrangement_proxies(arrangement, seed=seed))
+    return Figure6Result(points=points, max_chiplets=max(counts))
+
+
+def run_figure6_diameter(
+    chiplet_counts: Iterable[int] | None = None, **kwargs
+) -> ExperimentResult:
+    """Figure 6a only (network diameter)."""
+    return run_figure6(chiplet_counts, **kwargs).diameter_experiment()
+
+
+def run_figure6_bisection(
+    chiplet_counts: Iterable[int] | None = None, **kwargs
+) -> ExperimentResult:
+    """Figure 6b only (bisection bandwidth)."""
+    return run_figure6(chiplet_counts, **kwargs).bisection_experiment()
+
+
+def figure4_annotations(chiplet_counts: Iterable[int] | None = None) -> ExperimentResult:
+    """Regenerate the per-arrangement annotations of Figure 4.
+
+    For each arrangement family and each (regular) chiplet count, the
+    result records the minimum and maximum number of neighbours, the
+    measured diameter and the closed-form diameter / bisection values —
+    verifying that generated arrangements satisfy the figure's claims.
+    """
+    if chiplet_counts is None:
+        chiplet_counts = range(4, 101)
+    result = ExperimentResult(
+        experiment_id="FIG4",
+        title="Arrangement properties (Figure 4 annotations)",
+        x_label="number of chiplets",
+        y_label="value",
+    )
+    kinds = (
+        ArrangementKind.GRID,
+        ArrangementKind.BRICKWALL,
+        ArrangementKind.HONEYCOMB,
+        ArrangementKind.HEXAMESH,
+    )
+    series: dict[str, DataSeries] = {}
+    for kind in kinds:
+        for metric in ("min_neighbors", "max_neighbors", "diameter", "diameter_formula",
+                       "bisection_formula"):
+            name = f"{kind.value}:{metric}"
+            series[name] = DataSeries(name=name)
+    for count in chiplet_counts:
+        for kind in kinds:
+            if not has_regular_arrangement(kind.value, count):
+                continue
+            arrangement = make_arrangement(kind, count, Regularity.REGULAR)
+            stats = arrangement.degree_statistics()
+            series[f"{kind.value}:min_neighbors"].add(count, stats.minimum)
+            series[f"{kind.value}:max_neighbors"].add(count, stats.maximum)
+            series[f"{kind.value}:diameter"].add(count, arrangement.diameter())
+            series[f"{kind.value}:diameter_formula"].add(
+                count, diameter_formula(kind.value, count)
+            )
+            series[f"{kind.value}:bisection_formula"].add(
+                count, bisection_bandwidth_formula(kind.value, count)
+            )
+    result.series = [s for s in series.values() if len(s) > 0]
+    return result

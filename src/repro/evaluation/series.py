@@ -1,0 +1,131 @@
+"""Generic containers for experiment data series.
+
+Every experiment runner returns its data both as structured dataclasses
+(specific to the experiment) and as generic :class:`DataSeries` objects so
+that CSV export, table rendering and plotting scripts can treat all
+experiments uniformly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """One (x, y) sample of a series, with optional free-form annotations."""
+
+    x: float
+    y: float
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class DataSeries:
+    """A named sequence of data points (one line / point cloud of a figure)."""
+
+    name: str
+    points: list[DataPoint] = field(default_factory=list)
+
+    def add(self, x: float, y: float, **annotations: Any) -> None:
+        """Append a point to the series."""
+        self.points.append(DataPoint(x=float(x), y=float(y), annotations=dict(annotations)))
+
+    @property
+    def xs(self) -> list[float]:
+        """All x values in insertion order."""
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        """All y values in insertion order."""
+        return [p.y for p in self.points]
+
+    def y_at(self, x: float) -> float:
+        """The y value at a given x (raises ``KeyError`` if absent)."""
+        for point in self.points:
+            if point.x == x:
+                return point.y
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    def mean_y(self) -> float:
+        """Arithmetic mean of the y values."""
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.ys) / len(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class ExperimentResult:
+    """A complete experiment: several series plus metadata.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short identifier matching DESIGN.md (``"FIG6a"``, ``"FIG7b"``, ...).
+    title:
+        Human-readable title (the figure caption of the paper).
+    x_label / y_label:
+        Axis labels.
+    series:
+        The data series of the experiment.
+    metadata:
+        Anything else worth recording (parameters, engine used, runtimes).
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[DataSeries] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def get_series(self, name: str) -> DataSeries:
+        """Find a series by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"experiment {self.experiment_id} has no series named {name!r}")
+
+    def series_names(self) -> list[str]:
+        """Names of all series in insertion order."""
+        return [s.name for s in self.series]
+
+    def to_csv(self) -> str:
+        """Render the experiment as a CSV string (one row per point)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["experiment", "series", self.x_label, self.y_label, "annotations"])
+        for series in self.series:
+            for point in series.points:
+                writer.writerow(
+                    [
+                        self.experiment_id,
+                        series.name,
+                        point.x,
+                        point.y,
+                        ";".join(f"{key}={value}" for key, value in sorted(point.annotations.items())),
+                    ]
+                )
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to a file."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def merge_results(results: Iterable[ExperimentResult]) -> dict[str, ExperimentResult]:
+    """Index experiment results by their id, rejecting duplicates."""
+    merged: dict[str, ExperimentResult] = {}
+    for result in results:
+        if result.experiment_id in merged:
+            raise ValueError(f"duplicate experiment id {result.experiment_id!r}")
+        merged[result.experiment_id] = result
+    return merged

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows / series the paper reports;
+these helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.series import ExperimentResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned, pipe-separated text table."""
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in string_rows:
+        lines.append(" | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_experiment(result: ExperimentResult, *, max_rows_per_series: int | None = None) -> str:
+    """Render an experiment result as a text table (one row per data point)."""
+    rows: list[list[object]] = []
+    for series in result.series:
+        points = series.points
+        if max_rows_per_series is not None:
+            points = points[:max_rows_per_series]
+        for point in points:
+            rows.append([series.name, point.x, point.y])
+    table = format_table(["series", result.x_label, result.y_label], rows)
+    return f"{result.experiment_id}: {result.title}\n{table}"
+
+
+def render_series_summary(result: ExperimentResult) -> str:
+    """One-line-per-series summary (count, min, mean, max of the y values)."""
+    rows: list[list[object]] = []
+    for series in result.series:
+        ys = series.ys
+        if not ys:
+            continue
+        rows.append(
+            [series.name, len(ys), min(ys), sum(ys) / len(ys), max(ys)]
+        )
+    table = format_table(["series", "points", "min", "mean", "max"], rows)
+    return f"{result.experiment_id}: {result.title}\n{table}"

@@ -1,0 +1,36 @@
+"""Planar geometry substrate.
+
+The paper reasons about chiplets as axis-aligned rectangles placed on a
+package substrate or silicon interposer.  This package provides the
+geometric primitives used by the arrangement generators and by the bump /
+sector model of Section IV-B:
+
+* :mod:`repro.geometry.primitives` — points and rectangles,
+* :mod:`repro.geometry.placement` — a collection of placed chiplets,
+* :mod:`repro.geometry.adjacency` — shared-edge adjacency detection,
+* :mod:`repro.geometry.sectors` — the bump-sector partition of a chiplet
+  (Figure 5 of the paper),
+* :mod:`repro.geometry.bumps` — C4 / micro-bump grids inside a sector.
+"""
+
+from repro.geometry.adjacency import AdjacencyPolicy, shared_edge_length, shared_edges
+from repro.geometry.bumps import BumpGrid, bump_positions_in_rect, max_bump_count
+from repro.geometry.placement import ChipletPlacement, PlacedChiplet
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.sectors import BumpSector, SectorLayout, SectorRole
+
+__all__ = [
+    "AdjacencyPolicy",
+    "BumpGrid",
+    "BumpSector",
+    "ChipletPlacement",
+    "PlacedChiplet",
+    "Point",
+    "Rect",
+    "SectorLayout",
+    "SectorRole",
+    "bump_positions_in_rect",
+    "max_bump_count",
+    "shared_edge_length",
+    "shared_edges",
+]

@@ -1,0 +1,96 @@
+"""Shared-edge adjacency between placed chiplets.
+
+Section III-C of the paper defines connectivity strictly geometrically:
+*"only chiplets sharing a common edge can be connected; we do not allow
+links between chiplets that only share a common corner."*  This module
+turns a :class:`~repro.geometry.placement.ChipletPlacement` into the edge
+list of the corresponding planar graph by measuring the length of the
+boundary segment two chiplets share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.placement import ChipletPlacement
+from repro.geometry.primitives import GEOMETRY_TOLERANCE, Rect
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class AdjacencyPolicy:
+    """Controls when two chiplets count as adjacent.
+
+    Parameters
+    ----------
+    min_shared_edge:
+        Minimum length (mm) of the shared boundary segment for the chiplets
+        to be considered adjacent.  The default of ``0`` (plus the geometric
+        tolerance) excludes pure corner contact, exactly as the paper
+        requires, while accepting arbitrarily short shared edges such as the
+        half-chiplet-width overlaps of the brickwall.
+    tolerance:
+        Geometric tolerance used for the floating-point comparisons.
+    """
+
+    min_shared_edge: float = 0.0
+    tolerance: float = GEOMETRY_TOLERANCE
+
+    def __post_init__(self) -> None:
+        check_non_negative("min_shared_edge", self.min_shared_edge)
+        check_non_negative("tolerance", self.tolerance)
+
+
+def shared_edge_length(
+    first: Rect, second: Rect, *, tolerance: float = GEOMETRY_TOLERANCE
+) -> float:
+    """Length of the boundary segment shared by two non-overlapping rectangles.
+
+    Returns ``0.0`` when the rectangles are not in edge contact.  Corner
+    contact (a single shared point) also returns ``0.0``.
+    """
+    # Vertical contact: the right edge of one touches the left edge of the other.
+    horizontal_gap_left = abs(first.x_max - second.x)
+    horizontal_gap_right = abs(second.x_max - first.x)
+    vertical_overlap = min(first.y_max, second.y_max) - max(first.y, second.y)
+    if (
+        horizontal_gap_left <= tolerance or horizontal_gap_right <= tolerance
+    ) and vertical_overlap > tolerance:
+        return vertical_overlap
+
+    # Horizontal contact: the top edge of one touches the bottom edge of the other.
+    vertical_gap_bottom = abs(first.y_max - second.y)
+    vertical_gap_top = abs(second.y_max - first.y)
+    horizontal_overlap = min(first.x_max, second.x_max) - max(first.x, second.x)
+    if (
+        vertical_gap_bottom <= tolerance or vertical_gap_top <= tolerance
+    ) and horizontal_overlap > tolerance:
+        return horizontal_overlap
+
+    return 0.0
+
+
+def shared_edges(
+    placement: ChipletPlacement, policy: AdjacencyPolicy | None = None
+) -> list[tuple[int, int, float]]:
+    """Extract all adjacency relations of a placement.
+
+    Returns a list of ``(chiplet_id_a, chiplet_id_b, shared_length)`` tuples
+    with ``chiplet_id_a < chiplet_id_b``, sorted lexicographically.  The
+    complexity is quadratic in the number of chiplets, which is perfectly
+    adequate for the paper's scale (hundreds of chiplets).
+    """
+    if policy is None:
+        policy = AdjacencyPolicy()
+    edges: list[tuple[int, int, float]] = []
+    chiplets = placement.chiplets
+    for i, first in enumerate(chiplets):
+        for second in chiplets[i + 1 :]:
+            length = shared_edge_length(
+                first.rect, second.rect, tolerance=policy.tolerance
+            )
+            if length > max(policy.min_shared_edge, policy.tolerance):
+                low, high = sorted((first.chiplet_id, second.chiplet_id))
+                edges.append((low, high, length))
+    edges.sort(key=lambda edge: (edge[0], edge[1]))
+    return edges

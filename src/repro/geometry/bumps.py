@@ -1,0 +1,97 @@
+"""C4-bump and micro-bump grids.
+
+The paper's link model (Section V) counts the number of bumps that fit into
+a sector by dividing the sector area by the squared bump pitch, assuming a
+regular (non-staggered) layout.  This module provides both that counting
+formula and an explicit bump-coordinate generator, so the geometric layout
+can be rendered and cross-checked against the closed-form count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.sectors import BumpSector
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def max_bump_count(area: float, pitch: float) -> int:
+    """Closed-form bump count of the paper: ``floor(area / pitch²)``.
+
+    This is the estimate used by the D2D link model (``N_w = A_B / P_B²``),
+    assuming a regular bump layout.
+    """
+    check_non_negative("area", area)
+    check_positive("pitch", pitch)
+    # The tiny epsilon keeps exact ratios (e.g. 1.0 / 0.1²) from being
+    # truncated one short because of binary floating-point representation.
+    return int(math.floor(area / (pitch * pitch) + 1e-9))
+
+
+def bump_positions_in_rect(rect: Rect, pitch: float) -> list[Point]:
+    """Place bumps on a regular grid inside a rectangle.
+
+    Bumps are centred in cells of size ``pitch × pitch``; only complete
+    cells are used, so the number of generated bumps is
+    ``floor(width / pitch) * floor(height / pitch)`` which is never larger
+    than the closed-form estimate :func:`max_bump_count`.
+    """
+    check_positive("pitch", pitch)
+    columns = int(math.floor(rect.width / pitch + 1e-12))
+    rows = int(math.floor(rect.height / pitch + 1e-12))
+    positions: list[Point] = []
+    for row in range(rows):
+        for column in range(columns):
+            positions.append(
+                Point(
+                    rect.x + (column + 0.5) * pitch,
+                    rect.y + (row + 0.5) * pitch,
+                )
+            )
+    return positions
+
+
+def bump_positions_in_sector(sector: BumpSector, pitch: float) -> list[Point]:
+    """Place bumps on a regular grid clipped to a (convex) sector polygon."""
+    check_positive("pitch", pitch)
+    xs = [vertex.x for vertex in sector.vertices]
+    ys = [vertex.y for vertex in sector.vertices]
+    bounding = Rect(
+        min(xs), min(ys), max(max(xs) - min(xs), pitch), max(max(ys) - min(ys), pitch)
+    )
+    candidates = bump_positions_in_rect(bounding, pitch)
+    return [point for point in candidates if sector.contains_point(point)]
+
+
+@dataclass(frozen=True)
+class BumpGrid:
+    """A concrete set of bump positions together with their pitch."""
+
+    positions: tuple[Point, ...]
+    pitch: float
+
+    def __post_init__(self) -> None:
+        check_positive("pitch", self.pitch)
+
+    @classmethod
+    def for_rect(cls, rect: Rect, pitch: float) -> "BumpGrid":
+        """Generate the regular bump grid of a rectangular sector."""
+        return cls(tuple(bump_positions_in_rect(rect, pitch)), pitch)
+
+    @classmethod
+    def for_sector(cls, sector: BumpSector, pitch: float) -> "BumpGrid":
+        """Generate the regular bump grid of an arbitrary convex sector."""
+        return cls(tuple(bump_positions_in_sector(sector, pitch)), pitch)
+
+    @property
+    def count(self) -> int:
+        """Number of bumps in the grid."""
+        return len(self.positions)
+
+    def max_distance_to_edge(self, chiplet: Rect) -> float:
+        """Worst-case distance from any bump in the grid to the chiplet edge."""
+        if not self.positions:
+            raise ValueError("cannot compute distances of an empty bump grid")
+        return max(chiplet.distance_to_edge(point) for point in self.positions)

@@ -1,0 +1,173 @@
+"""Axis-aligned geometric primitives.
+
+Everything in the library lives in a 2D plane whose unit is millimetres
+(the natural unit of the paper: chiplet areas are quoted in mm² and bump
+pitches in mm).  Only axis-aligned rectangles are needed because the paper
+restricts chiplets to rectangles (Section III-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+#: Geometric tolerance (in mm) below which coordinates are considered equal.
+GEOMETRY_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the package plane, in millimetres."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle described by its lower-left corner and size.
+
+    Parameters
+    ----------
+    x, y:
+        Coordinates of the lower-left corner in millimetres.
+    width, height:
+        Extent of the rectangle in millimetres; both must be positive.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+
+    # -- derived coordinates ------------------------------------------------
+
+    @property
+    def x_max(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y_max(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the rectangle."""
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle in mm²."""
+        return self.width * self.height
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Ratio of the longer side to the shorter side (always >= 1)."""
+        longer = max(self.width, self.height)
+        shorter = min(self.width, self.height)
+        return longer / shorter
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Create a rectangle from its centre point and size."""
+        return cls(center.x - width / 2.0, center.y - height / 2.0, width, height)
+
+    @classmethod
+    def from_corners(cls, corner_a: Point, corner_b: Point) -> "Rect":
+        """Create a rectangle spanning two opposite corners."""
+        x_min = min(corner_a.x, corner_b.x)
+        y_min = min(corner_a.y, corner_b.y)
+        width = abs(corner_a.x - corner_b.x)
+        height = abs(corner_a.y - corner_b.y)
+        return cls(x_min, y_min, width, height)
+
+    # -- geometric queries ----------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy of the rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def contains_point(self, point: Point, *, tolerance: float = GEOMETRY_TOLERANCE) -> bool:
+        """Return ``True`` if ``point`` lies inside or on the boundary."""
+        return (
+            self.x - tolerance <= point.x <= self.x_max + tolerance
+            and self.y - tolerance <= point.y <= self.y_max + tolerance
+        )
+
+    def contains_rect(self, other: "Rect", *, tolerance: float = GEOMETRY_TOLERANCE) -> bool:
+        """Return ``True`` if ``other`` lies entirely inside this rectangle."""
+        return (
+            other.x >= self.x - tolerance
+            and other.y >= self.y - tolerance
+            and other.x_max <= self.x_max + tolerance
+            and other.y_max <= self.y_max + tolerance
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection of the two rectangles (0 if disjoint)."""
+        overlap_w = min(self.x_max, other.x_max) - max(self.x, other.x)
+        overlap_h = min(self.y_max, other.y_max) - max(self.y, other.y)
+        if overlap_w <= 0.0 or overlap_h <= 0.0:
+            return 0.0
+        return overlap_w * overlap_h
+
+    def overlaps(self, other: "Rect", *, tolerance: float = GEOMETRY_TOLERANCE) -> bool:
+        """Return ``True`` if the interiors of the rectangles intersect.
+
+        Touching edges (zero-area contact) does not count as an overlap —
+        adjacent chiplets share an edge but never overlap.
+        """
+        overlap_w = min(self.x_max, other.x_max) - max(self.x, other.x)
+        overlap_h = min(self.y_max, other.y_max) - max(self.y, other.y)
+        return overlap_w > tolerance and overlap_h > tolerance
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """The smallest axis-aligned rectangle containing both rectangles."""
+        x_min = min(self.x, other.x)
+        y_min = min(self.y, other.y)
+        x_max = max(self.x_max, other.x_max)
+        y_max = max(self.y_max, other.y_max)
+        return Rect(x_min, y_min, x_max - x_min, y_max - y_min)
+
+    def distance_to_edge(self, point: Point) -> float:
+        """Shortest distance from ``point`` (inside the rectangle) to its boundary.
+
+        This is the quantity the paper calls the bump-to-edge distance: the
+        D2D link attached to a bump has to reach the chiplet edge, so the
+        relevant measure is the distance to the *nearest* edge.
+        """
+        if not self.contains_point(point):
+            raise ValueError(f"point {point} lies outside rectangle {self}")
+        return min(
+            point.x - self.x,
+            self.x_max - point.x,
+            point.y - self.y,
+            self.y_max - point.y,
+        )
+
+    def corner_points(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners in counter-clockwise order starting at lower-left."""
+        return (
+            Point(self.x, self.y),
+            Point(self.x_max, self.y),
+            Point(self.x_max, self.y_max),
+            Point(self.x, self.y_max),
+        )

@@ -1,0 +1,267 @@
+"""Bump-sector partition of a chiplet (Figure 5 of the paper).
+
+The area of a chiplet is divided into *sectors*.  Each sector holds either
+the C4 bumps / micro-bumps of the power supply or the bumps of exactly one
+D2D link.  The paper defines two layouts:
+
+* the **grid layout** (Figure 5a): a square power sector in the centre of a
+  square chiplet, surrounded by four trapezoidal link sectors (north, east,
+  south, west);
+* the **brickwall / HexaMesh layout** (Figure 5b): a rectangular power
+  sector in the centre band of a rectangular chiplet, flanked by west/east
+  link sectors, with the top and bottom bands split into north-west /
+  north-east and south-west / south-east link sectors.  All six link
+  sectors are rectangles of identical area.
+
+The construction functions below take the already-solved chiplet dimensions
+(see :mod:`repro.linkmodel.shape`) and return a :class:`SectorLayout` whose
+sector areas and bump-to-edge distances reproduce the closed-form values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry.primitives import GEOMETRY_TOLERANCE, Point, Rect
+from repro.utils.validation import check_positive
+
+
+class SectorRole(enum.Enum):
+    """What the bumps inside a sector are used for."""
+
+    POWER = "power"
+    LINK = "link"
+
+
+@dataclass(frozen=True)
+class BumpSector:
+    """A convex polygonal region of the chiplet holding bumps of one purpose.
+
+    Parameters
+    ----------
+    role:
+        Whether the sector carries power bumps or the bumps of one D2D link.
+    vertices:
+        Corners of the convex polygon in counter-clockwise order, in chiplet
+        coordinates (the chiplet's lower-left corner is the origin).
+    link_direction:
+        For link sectors, a human-readable direction label (``"north"``,
+        ``"south_west"``, ...).  ``None`` for the power sector.
+    """
+
+    role: SectorRole
+    vertices: tuple[Point, ...]
+    link_direction: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("a sector needs at least three vertices")
+        if self.role is SectorRole.LINK and not self.link_direction:
+            raise ValueError("link sectors must carry a link_direction label")
+        if self.role is SectorRole.POWER and self.link_direction is not None:
+            raise ValueError("the power sector must not carry a link_direction")
+
+    @property
+    def area(self) -> float:
+        """Polygon area via the shoelace formula (mm²)."""
+        total = 0.0
+        points = self.vertices
+        for index, current in enumerate(points):
+            following = points[(index + 1) % len(points)]
+            total += current.x * following.y - following.x * current.y
+        return abs(total) / 2.0
+
+    def contains_point(self, point: Point, *, tolerance: float = GEOMETRY_TOLERANCE) -> bool:
+        """Point-in-convex-polygon test (boundary counts as inside).
+
+        The sector polygons are convex by construction, so it suffices to
+        check that the point is on a consistent side of every edge.
+        """
+        sign = 0
+        points = self.vertices
+        for index, current in enumerate(points):
+            following = points[(index + 1) % len(points)]
+            cross = (following.x - current.x) * (point.y - current.y) - (
+                following.y - current.y
+            ) * (point.x - current.x)
+            if abs(cross) <= tolerance:
+                continue
+            current_sign = 1 if cross > 0 else -1
+            if sign == 0:
+                sign = current_sign
+            elif sign != current_sign:
+                return False
+        return True
+
+    def max_distance_to_chiplet_edge(self, chiplet: Rect) -> float:
+        """Maximum over the sector's vertices of the distance to the chiplet edge.
+
+        This is the quantity ``D_B`` of the paper: the worst-case distance a
+        wire has to travel from a bump in this sector to the chiplet
+        boundary.  For the convex sectors used here the maximum over the
+        polygon is attained at a vertex.
+        """
+        return max(chiplet.distance_to_edge(vertex) for vertex in self.vertices)
+
+
+@dataclass(frozen=True)
+class SectorLayout:
+    """The complete bump-sector partition of one chiplet."""
+
+    chiplet: Rect
+    sectors: tuple[BumpSector, ...]
+
+    def link_sectors(self) -> list[BumpSector]:
+        """All sectors that carry D2D-link bumps."""
+        return [s for s in self.sectors if s.role is SectorRole.LINK]
+
+    def power_sector(self) -> BumpSector:
+        """The unique power sector of the layout."""
+        power = [s for s in self.sectors if s.role is SectorRole.POWER]
+        if len(power) != 1:
+            raise ValueError(f"expected exactly one power sector, found {len(power)}")
+        return power[0]
+
+    @property
+    def link_count(self) -> int:
+        """Number of D2D links the layout provides bumps for."""
+        return len(self.link_sectors())
+
+    def link_sector_area(self) -> float:
+        """Area ``A_B`` of one link sector (all link sectors are equal-area)."""
+        areas = [s.area for s in self.link_sectors()]
+        if not areas:
+            raise ValueError("layout has no link sectors")
+        return areas[0]
+
+    def max_bump_distance(self) -> float:
+        """The paper's ``D_B``: worst-case link-bump-to-edge distance."""
+        return max(s.max_distance_to_chiplet_edge(self.chiplet) for s in self.link_sectors())
+
+    def total_sector_area(self) -> float:
+        """Sum of all sector areas; equals the chiplet area for valid layouts."""
+        return sum(s.area for s in self.sectors)
+
+    def validate(self, *, rel_tol: float = 1e-6) -> None:
+        """Check the layout's internal consistency.
+
+        Raises :class:`ValueError` if the sectors do not tile the chiplet
+        area or if the link sectors do not all have the same area.
+        """
+        chiplet_area = self.chiplet.area
+        covered = self.total_sector_area()
+        if abs(covered - chiplet_area) > rel_tol * chiplet_area:
+            raise ValueError(
+                f"sectors cover {covered:.6f} mm² but the chiplet area is "
+                f"{chiplet_area:.6f} mm²"
+            )
+        link_areas = [s.area for s in self.link_sectors()]
+        if link_areas:
+            reference = link_areas[0]
+            for area in link_areas[1:]:
+                if abs(area - reference) > rel_tol * max(reference, 1e-30):
+                    raise ValueError("link sectors do not all have the same area")
+
+
+def grid_sector_layout(chiplet: Rect, power_width: float) -> SectorLayout:
+    """Build the grid bump layout of Figure 5a.
+
+    The chiplet must be square (the paper requires ``W_C = H_C`` for the
+    grid).  The power sector is a ``power_width``-sided square in the
+    centre; the four link sectors are the trapezoids between the power
+    square and the four chiplet edges.
+    """
+    check_positive("power_width", power_width)
+    if abs(chiplet.width - chiplet.height) > GEOMETRY_TOLERANCE:
+        raise ValueError("the grid layout requires a square chiplet")
+    if power_width >= chiplet.width:
+        raise ValueError("the power sector must be smaller than the chiplet")
+
+    outer = chiplet
+    margin = (chiplet.width - power_width) / 2.0
+    inner = Rect(outer.x + margin, outer.y + margin, power_width, power_width)
+
+    outer_ll, outer_lr, outer_ur, outer_ul = outer.corner_points()
+    inner_ll, inner_lr, inner_ur, inner_ul = inner.corner_points()
+
+    power = BumpSector(SectorRole.POWER, inner.corner_points())
+    south = BumpSector(SectorRole.LINK, (outer_ll, outer_lr, inner_lr, inner_ll), "south")
+    east = BumpSector(SectorRole.LINK, (outer_lr, outer_ur, inner_ur, inner_lr), "east")
+    north = BumpSector(SectorRole.LINK, (outer_ur, outer_ul, inner_ul, inner_ur), "north")
+    west = BumpSector(SectorRole.LINK, (outer_ul, outer_ll, inner_ll, inner_ul), "west")
+
+    layout = SectorLayout(chiplet=chiplet, sectors=(power, north, east, south, west))
+    layout.validate()
+    return layout
+
+
+def hex_sector_layout(chiplet: Rect, bump_distance: float, band_height: float) -> SectorLayout:
+    """Build the brickwall / HexaMesh bump layout of Figure 5b.
+
+    Parameters
+    ----------
+    chiplet:
+        Footprint of the chiplet; its dimensions must satisfy the paper's
+        equation system, i.e. ``H_C = 2 D_B + L_B`` and ``W_C = 2 L_B``.
+    bump_distance:
+        The solved maximum bump-to-edge distance ``D_B``.
+    band_height:
+        The solved centre-band height ``L_B``.
+    """
+    check_positive("bump_distance", bump_distance)
+    check_positive("band_height", band_height)
+    expected_height = 2.0 * bump_distance + band_height
+    expected_width = 2.0 * band_height
+    if abs(chiplet.height - expected_height) > 1e-6 * expected_height:
+        raise ValueError(
+            f"chiplet height {chiplet.height} does not match 2*D_B + L_B = {expected_height}"
+        )
+    if abs(chiplet.width - expected_width) > 1e-6 * expected_width:
+        raise ValueError(
+            f"chiplet width {chiplet.width} does not match 2*L_B = {expected_width}"
+        )
+
+    x0, y0 = chiplet.x, chiplet.y
+    width, height = chiplet.width, chiplet.height
+    power_width = width - 2.0 * bump_distance
+    if power_width <= 0:
+        raise ValueError("the power sector width W_C - 2*D_B must be positive")
+
+    def rect_sector(role: SectorRole, rect: Rect, direction: str | None = None) -> BumpSector:
+        return BumpSector(role, rect.corner_points(), direction)
+
+    half_width = width / 2.0
+    # Centre band (height L_B): west link, power, east link.
+    band_y = y0 + bump_distance
+    west = rect_sector(SectorRole.LINK, Rect(x0, band_y, bump_distance, band_height), "west")
+    power = rect_sector(
+        SectorRole.POWER, Rect(x0 + bump_distance, band_y, power_width, band_height)
+    )
+    east = rect_sector(
+        SectorRole.LINK,
+        Rect(x0 + width - bump_distance, band_y, bump_distance, band_height),
+        "east",
+    )
+    # Bottom band (height D_B): south-west and south-east links.
+    south_west = rect_sector(
+        SectorRole.LINK, Rect(x0, y0, half_width, bump_distance), "south_west"
+    )
+    south_east = rect_sector(
+        SectorRole.LINK, Rect(x0 + half_width, y0, half_width, bump_distance), "south_east"
+    )
+    # Top band (height D_B): north-west and north-east links.
+    top_y = y0 + height - bump_distance
+    north_west = rect_sector(
+        SectorRole.LINK, Rect(x0, top_y, half_width, bump_distance), "north_west"
+    )
+    north_east = rect_sector(
+        SectorRole.LINK, Rect(x0 + half_width, top_y, half_width, bump_distance), "north_east"
+    )
+
+    layout = SectorLayout(
+        chiplet=chiplet,
+        sectors=(power, west, east, south_west, south_east, north_west, north_east),
+    )
+    layout.validate()
+    return layout

@@ -1,0 +1,51 @@
+"""Graph representation of 2.5D stacked chips and network metrics.
+
+Section III-C of the paper represents a 2.5D chip as a planar graph whose
+vertices are chiplets and whose edges are D2D links between chiplets that
+share an edge.  This package provides:
+
+* :mod:`repro.graphs.model` — a light-weight undirected graph class,
+* :mod:`repro.graphs.metrics` — BFS-based distance metrics (diameter,
+  eccentricity, average distance) and degree statistics,
+* :mod:`repro.graphs.analytical` — the paper's closed-form formulas for the
+  diameter and bisection bandwidth of regular arrangements and their
+  asymptotic ratios.
+"""
+
+from repro.graphs.analytical import (
+    asymptotic_bisection_ratio,
+    asymptotic_diameter_ratio,
+    bisection_bandwidth_formula,
+    diameter_formula,
+)
+from repro.graphs.metrics import (
+    DegreeStatistics,
+    GraphMetrics,
+    all_pairs_distances,
+    average_distance,
+    bfs_distances,
+    compute_metrics,
+    degree_statistics,
+    diameter,
+    eccentricities,
+    is_connected,
+)
+from repro.graphs.model import ChipGraph
+
+__all__ = [
+    "ChipGraph",
+    "DegreeStatistics",
+    "GraphMetrics",
+    "all_pairs_distances",
+    "asymptotic_bisection_ratio",
+    "asymptotic_diameter_ratio",
+    "average_distance",
+    "bfs_distances",
+    "bisection_bandwidth_formula",
+    "compute_metrics",
+    "degree_statistics",
+    "diameter",
+    "diameter_formula",
+    "eccentricities",
+    "is_connected",
+]

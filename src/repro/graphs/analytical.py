@@ -1,0 +1,176 @@
+"""Closed-form performance-proxy formulas of Section IV-D.
+
+For *regular* arrangements the paper gives exact formulas for the network
+diameter and the bisection bandwidth as a function of the chiplet count
+``N``:
+
+========== =============================== =============================
+Arrangement Diameter                        Bisection bandwidth
+========== =============================== =============================
+Grid        ``2 sqrt(N) - 2``               ``sqrt(N)``
+Brickwall   ``2 sqrt(N) - 2 - floor((sqrt(N)-1)/2)``  ``2 sqrt(N) - 1``
+Honeycomb   same as brickwall               same as brickwall
+HexaMesh    ``sqrt(12 N - 3)/3 - 1``        ``2 sqrt(12 N - 3)/3 - 1``
+========== =============================== =============================
+
+The formulas require ``N`` to admit a regular arrangement (a perfect square
+for grid/brickwall/honeycomb, a centred hexagonal number for HexaMesh).
+The asymptotic ratios quoted in the abstract (diameter −42 %, bisection
++130 %) follow from the limits ``1/sqrt(3)`` and ``4/sqrt(3)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.mathutils import is_hexamesh_count, is_perfect_square
+from repro.utils.validation import check_in_choices, check_positive_int
+
+#: Arrangement identifiers accepted by the formula helpers.
+ANALYTICAL_KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
+
+
+def _require_regular_count(kind: str, num_chiplets: int) -> None:
+    """Validate that ``num_chiplets`` admits a regular ``kind`` arrangement."""
+    check_positive_int("num_chiplets", num_chiplets)
+    if kind in ("grid", "brickwall", "honeycomb"):
+        if not is_perfect_square(num_chiplets):
+            raise ValueError(
+                f"a regular {kind} requires a perfect-square chiplet count, "
+                f"got {num_chiplets}"
+            )
+    else:
+        if not is_hexamesh_count(num_chiplets):
+            raise ValueError(
+                "a regular hexamesh requires a centred hexagonal chiplet count "
+                f"1 + 3r(r+1), got {num_chiplets}"
+            )
+
+
+def grid_diameter(num_chiplets: int) -> int:
+    """Diameter of a regular grid: ``2 sqrt(N) - 2``."""
+    _require_regular_count("grid", num_chiplets)
+    side = math.isqrt(num_chiplets)
+    return 2 * side - 2
+
+
+def brickwall_diameter(num_chiplets: int) -> int:
+    """Diameter of a regular brickwall: ``2 sqrt(N) - 2 - floor((sqrt(N)-1)/2)``."""
+    _require_regular_count("brickwall", num_chiplets)
+    side = math.isqrt(num_chiplets)
+    return 2 * side - 2 - (side - 1) // 2
+
+
+def honeycomb_diameter(num_chiplets: int) -> int:
+    """Diameter of a regular honeycomb (identical to the brickwall)."""
+    _require_regular_count("honeycomb", num_chiplets)
+    return brickwall_diameter(num_chiplets)
+
+
+def hexamesh_diameter(num_chiplets: int) -> int:
+    """Diameter of a regular HexaMesh: ``sqrt(12 N - 3)/3 - 1``.
+
+    For ``N = 1 + 3 r (r + 1)`` the expression simplifies to the integer
+    ``2 r`` (opposite corners of the hexagon are ``2 r`` hops apart).
+    """
+    _require_regular_count("hexamesh", num_chiplets)
+    value = math.sqrt(12 * num_chiplets - 3) / 3.0 - 1.0
+    return round(value)
+
+
+def grid_bisection_bandwidth(num_chiplets: int) -> float:
+    """Bisection bandwidth (in links) of a regular grid: ``sqrt(N)``."""
+    _require_regular_count("grid", num_chiplets)
+    return float(math.isqrt(num_chiplets))
+
+
+def brickwall_bisection_bandwidth(num_chiplets: int) -> float:
+    """Bisection bandwidth of a regular brickwall: ``2 sqrt(N) - 1``."""
+    _require_regular_count("brickwall", num_chiplets)
+    return 2.0 * math.isqrt(num_chiplets) - 1.0
+
+
+def honeycomb_bisection_bandwidth(num_chiplets: int) -> float:
+    """Bisection bandwidth of a regular honeycomb (identical to the brickwall)."""
+    _require_regular_count("honeycomb", num_chiplets)
+    return brickwall_bisection_bandwidth(num_chiplets)
+
+
+def hexamesh_bisection_bandwidth(num_chiplets: int) -> float:
+    """Bisection bandwidth of a regular HexaMesh: ``2 sqrt(12 N - 3)/3 - 1``."""
+    _require_regular_count("hexamesh", num_chiplets)
+    return 2.0 * math.sqrt(12 * num_chiplets - 3) / 3.0 - 1.0
+
+
+_DIAMETER_FORMULAS = {
+    "grid": grid_diameter,
+    "brickwall": brickwall_diameter,
+    "honeycomb": honeycomb_diameter,
+    "hexamesh": hexamesh_diameter,
+}
+
+_BISECTION_FORMULAS = {
+    "grid": grid_bisection_bandwidth,
+    "brickwall": brickwall_bisection_bandwidth,
+    "honeycomb": honeycomb_bisection_bandwidth,
+    "hexamesh": hexamesh_bisection_bandwidth,
+}
+
+
+def diameter_formula(kind: str, num_chiplets: int) -> int:
+    """Closed-form diameter of a regular arrangement of the given kind."""
+    check_in_choices("kind", kind, ANALYTICAL_KINDS)
+    return _DIAMETER_FORMULAS[kind](num_chiplets)
+
+
+def bisection_bandwidth_formula(kind: str, num_chiplets: int) -> float:
+    """Closed-form bisection bandwidth of a regular arrangement of the given kind."""
+    check_in_choices("kind", kind, ANALYTICAL_KINDS)
+    return _BISECTION_FORMULAS[kind](num_chiplets)
+
+
+def has_regular_arrangement(kind: str, num_chiplets: int) -> bool:
+    """Return ``True`` when ``num_chiplets`` admits a regular arrangement of ``kind``."""
+    check_in_choices("kind", kind, ANALYTICAL_KINDS)
+    check_positive_int("num_chiplets", num_chiplets)
+    if kind in ("grid", "brickwall", "honeycomb"):
+        return is_perfect_square(num_chiplets)
+    return is_hexamesh_count(num_chiplets)
+
+
+def asymptotic_diameter_ratio(kind: str) -> float:
+    """Limit of ``D_kind(N) / D_grid(N)`` for ``N`` going to infinity.
+
+    The paper derives ``3/4`` for the brickwall (a 25 % reduction) and
+    ``1/sqrt(3)`` for the HexaMesh (a 42 % reduction).
+    """
+    check_in_choices("kind", kind, ANALYTICAL_KINDS)
+    if kind == "grid":
+        return 1.0
+    if kind in ("brickwall", "honeycomb"):
+        return 3.0 / 4.0
+    return 1.0 / math.sqrt(3.0)
+
+
+def asymptotic_bisection_ratio(kind: str) -> float:
+    """Limit of ``B_kind(N) / B_grid(N)`` for ``N`` going to infinity.
+
+    The paper derives ``2`` for the brickwall (a 100 % improvement) and
+    ``4/sqrt(3)`` for the HexaMesh (a 130 % improvement).
+    """
+    check_in_choices("kind", kind, ANALYTICAL_KINDS)
+    if kind == "grid":
+        return 1.0
+    if kind in ("brickwall", "honeycomb"):
+        return 2.0
+    return 4.0 / math.sqrt(3.0)
+
+
+def asymptotic_diameter_reduction_percent(kind: str) -> float:
+    """Asymptotic diameter reduction vs. the grid, in percent (42 for HexaMesh)."""
+    return (1.0 - asymptotic_diameter_ratio(kind)) * 100.0
+
+
+def asymptotic_bisection_improvement_percent(kind: str) -> float:
+    """Asymptotic bisection-bandwidth improvement vs. the grid, in percent (130 for HexaMesh)."""
+    return (asymptotic_bisection_ratio(kind) - 1.0) * 100.0

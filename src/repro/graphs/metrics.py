@@ -1,0 +1,224 @@
+"""Distance and degree metrics of inter-chiplet graphs.
+
+The paper uses the *network diameter* as the latency proxy and degree
+statistics ("average number of neighbours per chiplet") to motivate the
+brickwall and HexaMesh arrangements.  All metrics are computed with plain
+breadth-first searches, which is exact and fast for the graph sizes of
+interest (hundreds of nodes).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.graphs.model import ChipGraph, Node
+
+
+def bfs_distances(graph: ChipGraph, source: Node) -> dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise KeyError(f"source node {source!r} is not in the graph")
+    distances: dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbour in graph.neighbors(current):
+            if neighbour not in distances:
+                distances[neighbour] = distances[current] + 1
+                queue.append(neighbour)
+    return distances
+
+
+def all_pairs_distances(graph: ChipGraph) -> dict[Node, dict[Node, int]]:
+    """Hop distances between every pair of nodes (BFS from every node)."""
+    return {node: bfs_distances(graph, node) for node in graph.nodes()}
+
+
+def is_connected(graph: ChipGraph) -> bool:
+    """Return ``True`` if the graph is connected (or has at most one node)."""
+    nodes = graph.nodes()
+    if len(nodes) <= 1:
+        return True
+    return len(bfs_distances(graph, nodes[0])) == len(nodes)
+
+
+def eccentricities(graph: ChipGraph) -> dict[Node, int]:
+    """Eccentricity of every node (max distance to any other node).
+
+    Raises :class:`ValueError` for disconnected graphs because eccentricity
+    is undefined there.
+    """
+    nodes = graph.nodes()
+    result: dict[Node, int] = {}
+    for node in nodes:
+        distances = bfs_distances(graph, node)
+        if len(distances) != len(nodes):
+            raise ValueError("eccentricities are undefined for disconnected graphs")
+        result[node] = max(distances.values()) if distances else 0
+    return result
+
+
+def diameter(graph: ChipGraph) -> int:
+    """Network diameter: the largest hop distance between any two nodes.
+
+    A single-node graph has diameter 0.  Disconnected graphs raise
+    :class:`ValueError`.
+    """
+    if graph.num_nodes == 0:
+        raise ValueError("the diameter of an empty graph is undefined")
+    if graph.num_nodes == 1:
+        return 0
+    return max(eccentricities(graph).values())
+
+
+def radius(graph: ChipGraph) -> int:
+    """Network radius: the smallest eccentricity over all nodes."""
+    if graph.num_nodes == 0:
+        raise ValueError("the radius of an empty graph is undefined")
+    if graph.num_nodes == 1:
+        return 0
+    return min(eccentricities(graph).values())
+
+
+def average_distance(graph: ChipGraph) -> float:
+    """Mean hop distance over all ordered pairs of distinct nodes.
+
+    This is the quantity that dominates zero-load latency under uniform
+    random traffic.  Single-node graphs return ``0.0``.
+    """
+    nodes = graph.nodes()
+    if len(nodes) <= 1:
+        return 0.0
+    total = 0
+    pairs = 0
+    for node in nodes:
+        distances = bfs_distances(graph, node)
+        if len(distances) != len(nodes):
+            raise ValueError("average distance is undefined for disconnected graphs")
+        total += sum(d for other, d in distances.items() if other != node)
+        pairs += len(nodes) - 1
+    return total / pairs
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of the node-degree distribution of a graph."""
+
+    minimum: int
+    maximum: int
+    average: float
+
+    @classmethod
+    def of(cls, graph: ChipGraph) -> "DegreeStatistics":
+        """Compute the degree statistics of ``graph``."""
+        degrees = list(graph.degrees().values())
+        if not degrees:
+            raise ValueError("degree statistics of an empty graph are undefined")
+        return cls(
+            minimum=min(degrees),
+            maximum=max(degrees),
+            average=sum(degrees) / len(degrees),
+        )
+
+
+def degree_statistics(graph: ChipGraph) -> DegreeStatistics:
+    """Convenience wrapper around :meth:`DegreeStatistics.of`."""
+    return DegreeStatistics.of(graph)
+
+
+def planar_average_degree_bound(num_nodes: int) -> float:
+    """Upper bound ``6 - 12/v`` on the average degree of a planar graph.
+
+    Derived in Section IV-A of the paper from ``e <= 3 v - 6``.  Only valid
+    for ``v >= 3``.
+    """
+    if num_nodes < 3:
+        raise ValueError("the planar bound 6 - 12/v requires at least 3 vertices")
+    return 6.0 - 12.0 / num_nodes
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Bundle of the graph-level metrics the evaluation reports."""
+
+    num_nodes: int
+    num_edges: int
+    diameter: int
+    radius: int
+    average_distance: float
+    degree: DegreeStatistics
+
+    @property
+    def average_degree(self) -> float:
+        """Average number of neighbours per chiplet."""
+        return self.degree.average
+
+
+def compute_metrics(graph: ChipGraph) -> GraphMetrics:
+    """Compute every metric of :class:`GraphMetrics` in one pass."""
+    if graph.num_nodes == 0:
+        raise ValueError("metrics of an empty graph are undefined")
+    if graph.num_nodes == 1:
+        return GraphMetrics(
+            num_nodes=1,
+            num_edges=0,
+            diameter=0,
+            radius=0,
+            average_distance=0.0,
+            degree=DegreeStatistics(minimum=0, maximum=0, average=0.0),
+        )
+    nodes = graph.nodes()
+    eccentricity_values: list[int] = []
+    total_distance = 0
+    pair_count = 0
+    for node in nodes:
+        distances = bfs_distances(graph, node)
+        if len(distances) != len(nodes):
+            raise ValueError("metrics are undefined for disconnected graphs")
+        eccentricity_values.append(max(distances.values()))
+        total_distance += sum(d for other, d in distances.items() if other != node)
+        pair_count += len(nodes) - 1
+    return GraphMetrics(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        diameter=max(eccentricity_values),
+        radius=min(eccentricity_values),
+        average_distance=total_distance / pair_count,
+        degree=DegreeStatistics.of(graph),
+    )
+
+
+def hop_histogram(graph: ChipGraph) -> dict[int, int]:
+    """Histogram of hop distances over all unordered node pairs.
+
+    Useful to reason about latency distributions rather than just the mean.
+    """
+    nodes = graph.nodes()
+    histogram: dict[int, int] = {}
+    for index, node in enumerate(nodes):
+        distances = bfs_distances(graph, node)
+        for other in nodes[index + 1 :]:
+            if other not in distances:
+                raise ValueError("hop histogram is undefined for disconnected graphs")
+            hops = distances[other]
+            histogram[hops] = histogram.get(hops, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def path_length_percentile(graph: ChipGraph, percentile: float) -> int:
+    """The ``percentile``-th percentile (0..100) of pairwise hop distances."""
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    histogram = hop_histogram(graph)
+    if not histogram:
+        return 0
+    total = sum(histogram.values())
+    threshold = math.ceil(total * percentile / 100.0)
+    cumulative = 0
+    for hops, count in histogram.items():
+        cumulative += count
+        if cumulative >= threshold:
+            return hops
+    return max(histogram)

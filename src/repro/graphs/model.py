@@ -1,0 +1,198 @@
+"""A light-weight undirected graph used to represent inter-chiplet networks.
+
+The class deliberately avoids depending on ``networkx`` so that the hot
+paths of the library (arrangement sweeps, BFS metrics, partitioning and the
+cycle-accurate simulator) operate on plain dictionaries and lists.  A
+converter to ``networkx`` is provided for interoperability and for
+cross-checking results in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Node = Hashable
+
+
+class ChipGraph:
+    """An undirected simple graph with hashable node identifiers.
+
+    Nodes are usually the integer chiplet ids produced by the arrangement
+    generators.  Self-loops and parallel edges are rejected because they
+    have no physical meaning for inter-chiplet links.
+    """
+
+    def __init__(self, nodes: Iterable[Node] | None = None,
+                 edges: Iterable[tuple[Node, Node]] | None = None) -> None:
+        self._adjacency: dict[Node, set[Node]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for first, second in edges:
+                self.add_edge(first, second)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Insert a node; adding an existing node is a no-op."""
+        self._adjacency.setdefault(node, set())
+
+    def add_edge(self, first: Node, second: Node) -> None:
+        """Insert an undirected edge, creating the endpoints if needed."""
+        if first == second:
+            raise ValueError(f"self-loops are not allowed (node {first!r})")
+        self.add_node(first)
+        self.add_node(second)
+        self._adjacency[first].add(second)
+        self._adjacency[second].add(first)
+
+    def remove_edge(self, first: Node, second: Node) -> None:
+        """Remove an undirected edge; raises ``KeyError`` if it is absent."""
+        if second not in self._adjacency.get(first, set()):
+            raise KeyError(f"edge ({first!r}, {second!r}) is not in the graph")
+        self._adjacency[first].discard(second)
+        self._adjacency[second].discard(first)
+
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[tuple[Node, Node]],
+                       nodes: Iterable[Node] | None = None) -> "ChipGraph":
+        """Build a graph from an edge list (and optional isolated nodes)."""
+        return cls(nodes=nodes, edges=edges)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Mapping[Node, Iterable[Node]]) -> "ChipGraph":
+        """Build a graph from an adjacency mapping ``node -> neighbours``."""
+        graph = cls(nodes=adjacency.keys())
+        for node, neighbours in adjacency.items():
+            for neighbour in neighbours:
+                if node != neighbour:
+                    graph.add_edge(node, neighbour)
+        return graph
+
+    def copy(self) -> "ChipGraph":
+        """Return an independent copy of the graph."""
+        clone = ChipGraph()
+        clone._adjacency = {node: set(neigh) for node, neigh in self._adjacency.items()}
+        return clone
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neigh) for neigh in self._adjacency.values()) // 2
+
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion order."""
+        return list(self._adjacency.keys())
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        """All undirected edges, each reported once as a sorted pair."""
+        seen: set[frozenset[Node]] = set()
+        result: list[tuple[Node, Node]] = []
+        for node, neighbours in self._adjacency.items():
+            for neighbour in neighbours:
+                key = frozenset((node, neighbour))
+                if key not in seen:
+                    seen.add(key)
+                    pair = tuple(sorted((node, neighbour), key=repr))
+                    result.append((pair[0], pair[1]))
+        result.sort(key=repr)
+        return result
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` if the node is present."""
+        return node in self._adjacency
+
+    def has_edge(self, first: Node, second: Node) -> bool:
+        """Return ``True`` if the undirected edge is present."""
+        return second in self._adjacency.get(first, set())
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Neighbours of a node (raises ``KeyError`` for unknown nodes)."""
+        if node not in self._adjacency:
+            raise KeyError(f"node {node!r} is not in the graph")
+        return list(self._adjacency[node])
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbours of a node."""
+        if node not in self._adjacency:
+            raise KeyError(f"node {node!r} is not in the graph")
+        return len(self._adjacency[node])
+
+    def degrees(self) -> dict[Node, int]:
+        """Mapping of every node to its degree."""
+        return {node: len(neigh) for node, neigh in self._adjacency.items()}
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adjacency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChipGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # -- derived graphs -------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Node]) -> "ChipGraph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        missing = keep - set(self._adjacency)
+        if missing:
+            raise KeyError(f"nodes {sorted(missing, key=repr)!r} are not in the graph")
+        sub = ChipGraph(nodes=keep)
+        for node in keep:
+            for neighbour in self._adjacency[node]:
+                if neighbour in keep:
+                    sub.add_edge(node, neighbour)
+        return sub
+
+    def relabeled(self, mapping: Mapping[Node, Node]) -> "ChipGraph":
+        """Return a copy with nodes renamed according to ``mapping``."""
+        missing = set(self._adjacency) - set(mapping)
+        if missing:
+            raise KeyError(f"mapping is missing nodes {sorted(missing, key=repr)!r}")
+        if len(set(mapping[node] for node in self._adjacency)) != self.num_nodes:
+            raise ValueError("relabeling mapping must be injective on the graph nodes")
+        relabeled = ChipGraph(nodes=(mapping[node] for node in self._adjacency))
+        for first, second in self.edges():
+            relabeled.add_edge(mapping[first], mapping[second])
+        return relabeled
+
+    def cut_size(self, part: Iterable[Node]) -> int:
+        """Number of edges crossing between ``part`` and the rest of the graph."""
+        inside = set(part)
+        crossing = 0
+        for node in inside:
+            if node not in self._adjacency:
+                raise KeyError(f"node {node!r} is not in the graph")
+            for neighbour in self._adjacency[node]:
+                if neighbour not in inside:
+                    crossing += 1
+        return crossing
+
+    # -- interoperability -----------------------------------------------------
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (used for cross-validation)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph) -> "ChipGraph":
+        """Build a :class:`ChipGraph` from a :class:`networkx.Graph`."""
+        return cls(nodes=graph.nodes(), edges=graph.edges())

@@ -1,0 +1,31 @@
+"""Serialisation and interoperability.
+
+* :mod:`repro.io.serialization` — JSON round-trips of arrangements and
+  design summaries,
+* :mod:`repro.io.booksim_export` — export of an arrangement as BookSim2
+  ``anynet`` topology and configuration files, so the original simulator
+  used by the paper can be run on exactly the topologies generated here,
+* :mod:`repro.io.csvio` — CSV helpers for experiment results.
+"""
+
+from repro.io.booksim_export import booksim_anynet_file, booksim_config_file
+from repro.io.csvio import read_series_csv, write_series_csv
+from repro.io.serialization import (
+    arrangement_from_dict,
+    arrangement_to_dict,
+    design_to_dict,
+    load_arrangement_json,
+    save_arrangement_json,
+)
+
+__all__ = [
+    "arrangement_from_dict",
+    "arrangement_to_dict",
+    "booksim_anynet_file",
+    "booksim_config_file",
+    "design_to_dict",
+    "load_arrangement_json",
+    "read_series_csv",
+    "save_arrangement_json",
+    "write_series_csv",
+]

@@ -1,0 +1,34 @@
+"""CSV helpers for experiment data series."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.evaluation.series import DataSeries
+
+
+def write_series_csv(series_list: list[DataSeries], path: str, *, x_label: str = "x",
+                     y_label: str = "y") -> None:
+    """Write a list of series to a CSV file (columns: series, x, y)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_label, y_label])
+        for series in series_list:
+            for point in series.points:
+                writer.writerow([series.name, point.x, point.y])
+
+
+def read_series_csv(path: str) -> list[DataSeries]:
+    """Read a CSV file produced by :func:`write_series_csv`."""
+    series_map: dict[str, DataSeries] = {}
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) < 3:
+            raise ValueError(f"{path} is not a series CSV file")
+        for row in reader:
+            if len(row) < 3:
+                continue
+            name, x, y = row[0], float(row[1]), float(row[2])
+            series_map.setdefault(name, DataSeries(name=name)).add(x, y)
+    return list(series_map.values())

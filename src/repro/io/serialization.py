@@ -1,0 +1,123 @@
+"""JSON (de)serialisation of arrangements and design summaries."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.core.design import ChipletDesign
+from repro.geometry.placement import ChipletPlacement, PlacedChiplet
+from repro.geometry.primitives import Rect
+from repro.graphs.model import ChipGraph
+
+
+def arrangement_to_dict(arrangement: Arrangement) -> dict[str, Any]:
+    """Convert an arrangement into a JSON-serialisable dictionary."""
+    placement_data = None
+    if arrangement.placement is not None:
+        placement_data = [
+            {
+                "chiplet_id": chiplet.chiplet_id,
+                "x": chiplet.rect.x,
+                "y": chiplet.rect.y,
+                "width": chiplet.rect.width,
+                "height": chiplet.rect.height,
+                "role": chiplet.role,
+                "lattice_position": list(chiplet.lattice_position)
+                if chiplet.lattice_position is not None
+                else None,
+            }
+            for chiplet in arrangement.placement
+        ]
+    return {
+        "kind": arrangement.kind.value,
+        "regularity": arrangement.regularity.value,
+        "num_chiplets": arrangement.num_chiplets,
+        "chiplet_width": arrangement.chiplet_width,
+        "chiplet_height": arrangement.chiplet_height,
+        "violates_shape_constraints": arrangement.violates_shape_constraints,
+        "edges": [[int(a), int(b)] for a, b in sorted(arrangement.graph.edges())],
+        "placement": placement_data,
+        "metadata": _jsonable_metadata(arrangement.metadata),
+    }
+
+
+def _jsonable_metadata(metadata: dict[str, Any]) -> dict[str, Any]:
+    """Keep only JSON-representable metadata entries."""
+    cleaned: dict[str, Any] = {}
+    for key, value in metadata.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        cleaned[key] = value
+    return cleaned
+
+
+def arrangement_from_dict(data: dict[str, Any]) -> Arrangement:
+    """Rebuild an arrangement from :func:`arrangement_to_dict` output."""
+    graph = ChipGraph(nodes=range(data["num_chiplets"]))
+    for first, second in data["edges"]:
+        graph.add_edge(int(first), int(second))
+
+    placement = None
+    if data.get("placement") is not None:
+        placement = ChipletPlacement()
+        for entry in data["placement"]:
+            lattice = entry.get("lattice_position")
+            placement.add(
+                PlacedChiplet(
+                    chiplet_id=int(entry["chiplet_id"]),
+                    rect=Rect(
+                        float(entry["x"]),
+                        float(entry["y"]),
+                        float(entry["width"]),
+                        float(entry["height"]),
+                    ),
+                    role=entry.get("role", "compute"),
+                    lattice_position=tuple(lattice) if lattice is not None else None,
+                )
+            )
+
+    return Arrangement(
+        kind=ArrangementKind.from_name(data["kind"]),
+        regularity=Regularity.from_name(data["regularity"]),
+        num_chiplets=int(data["num_chiplets"]),
+        graph=graph,
+        placement=placement,
+        chiplet_width=float(data.get("chiplet_width", 1.0)),
+        chiplet_height=float(data.get("chiplet_height", 1.0)),
+        violates_shape_constraints=bool(data.get("violates_shape_constraints", False)),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def save_arrangement_json(arrangement: Arrangement, path: str) -> None:
+    """Write an arrangement to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(arrangement_to_dict(arrangement), handle, indent=2, sort_keys=True)
+
+
+def load_arrangement_json(path: str) -> Arrangement:
+    """Load an arrangement from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return arrangement_from_dict(json.load(handle))
+
+
+def design_to_dict(design: ChipletDesign) -> dict[str, Any]:
+    """Serialise a design summary together with its arrangement."""
+    return {
+        "summary": design.summary(),
+        "arrangement": arrangement_to_dict(design.arrangement),
+        "parameters": {
+            "total_chiplet_area_mm2": design.parameters.total_chiplet_area_mm2,
+            "power_bump_fraction": design.parameters.power_bump_fraction,
+            "bump_pitch_mm": design.parameters.link.bump_pitch_mm,
+            "non_data_wires": design.parameters.link.non_data_wires,
+            "frequency_hz": design.parameters.link.frequency_hz,
+            "endpoints_per_chiplet": design.parameters.endpoints_per_chiplet,
+            "link_latency_cycles": design.parameters.link_latency_cycles,
+            "router_latency_cycles": design.parameters.router_latency_cycles,
+        },
+    }

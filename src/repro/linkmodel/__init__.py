@@ -1,0 +1,56 @@
+"""The D2D link model of the paper (Sections IV-B and V).
+
+This package combines three pieces:
+
+* :mod:`repro.linkmodel.parameters` — the architectural model inputs of
+  Table I plus the concrete values used in the evaluation (UCIe-based),
+* :mod:`repro.linkmodel.shape` — the chiplet-shape solver that computes
+  chiplet dimensions, per-link bump-sector area ``A_B`` and the maximum
+  bump-to-edge distance ``D_B`` for the grid and brickwall/HexaMesh bump
+  layouts,
+* :mod:`repro.linkmodel.bandwidth` — the link-bandwidth estimation
+  ``N_w = A_B / P_B²``, ``N_dw = N_w − N_ndw``, ``B = N_dw · f``,
+* :mod:`repro.linkmodel.phy` — a PHY latency / energy / area companion
+  model used by the simulator configuration.
+"""
+
+from repro.linkmodel.bandwidth import (
+    D2DLinkModel,
+    LinkBandwidthEstimate,
+    data_wires,
+    link_bandwidth_bps,
+    wire_count,
+)
+from repro.linkmodel.parameters import (
+    EvaluationParameters,
+    LinkParameters,
+    UCIE_ADVANCED_PACKAGE,
+    UCIE_STANDARD_PACKAGE,
+)
+from repro.linkmodel.package import PackageFeasibility, check_package_feasibility
+from repro.linkmodel.phy import PhyModel
+from repro.linkmodel.shape import (
+    ChipletShape,
+    solve_chiplet_shape,
+    solve_grid_shape,
+    solve_hex_shape,
+)
+
+__all__ = [
+    "ChipletShape",
+    "D2DLinkModel",
+    "EvaluationParameters",
+    "LinkBandwidthEstimate",
+    "LinkParameters",
+    "PackageFeasibility",
+    "PhyModel",
+    "check_package_feasibility",
+    "UCIE_ADVANCED_PACKAGE",
+    "UCIE_STANDARD_PACKAGE",
+    "data_wires",
+    "link_bandwidth_bps",
+    "solve_chiplet_shape",
+    "solve_grid_shape",
+    "solve_hex_shape",
+    "wire_count",
+]

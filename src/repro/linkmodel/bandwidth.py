@@ -1,0 +1,207 @@
+"""Link-bandwidth estimation (Section V of the paper).
+
+The model is intentionally simple:
+
+* the number of wires a link can use is the number of bumps that fit into
+  its bump sector, ``N_w = A_B / P_B²`` (regular, non-staggered layout),
+* ``N_ndw`` of these carry no payload (clock, valid, track, side-band), so
+  the number of data wires is ``N_dw = N_w − N_ndw``,
+* the link bandwidth is ``B = N_dw · f``.
+
+The per-arrangement wrapper :class:`D2DLinkModel` combines this with the
+chiplet-shape solver: given an arrangement family and chiplet count it
+computes ``A_C = A_all / N``, solves the shape, derives ``A_B`` and returns
+the per-link bandwidth as well as the full global bandwidth used to convert
+relative saturation throughput into Tb/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arrangements.base import Arrangement, ArrangementKind
+from repro.linkmodel.parameters import EvaluationParameters, LinkParameters
+from repro.linkmodel.shape import (
+    ChipletShape,
+    solve_chiplet_shape,
+    solve_hand_optimized_shape,
+)
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+def wire_count(link_area_mm2: float, bump_pitch_mm: float) -> int:
+    """Number of wires of one link: ``N_w = floor(A_B / P_B²)``."""
+    check_non_negative("link_area_mm2", link_area_mm2)
+    check_positive("bump_pitch_mm", bump_pitch_mm)
+    # Epsilon guards exact ratios against binary floating-point truncation.
+    return int(math.floor(link_area_mm2 / (bump_pitch_mm * bump_pitch_mm) + 1e-9))
+
+
+def data_wires(num_wires: int, non_data_wires: int) -> int:
+    """Number of data wires ``N_dw = max(N_w − N_ndw, 0)``."""
+    check_positive_int("num_wires", num_wires, minimum=0)
+    check_positive_int("non_data_wires", non_data_wires, minimum=0)
+    return max(num_wires - non_data_wires, 0)
+
+
+def link_bandwidth_bps(num_data_wires: int, frequency_hz: float) -> float:
+    """Link bandwidth ``B = N_dw · f`` in bits per second."""
+    check_positive_int("num_data_wires", num_data_wires, minimum=0)
+    check_positive("frequency_hz", frequency_hz)
+    return num_data_wires * frequency_hz
+
+
+@dataclass(frozen=True)
+class LinkBandwidthEstimate:
+    """The complete output of the link model for one design point."""
+
+    shape: ChipletShape
+    num_wires: int
+    num_data_wires: int
+    bandwidth_bps: float
+    parameters: LinkParameters
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Per-link bandwidth in Gb/s."""
+        return self.bandwidth_bps / 1e9
+
+    @property
+    def bandwidth_tbps(self) -> float:
+        """Per-link bandwidth in Tb/s."""
+        return self.bandwidth_bps / 1e12
+
+
+class D2DLinkModel:
+    """Estimate D2D link bandwidth for a given arrangement family and size.
+
+    Parameters
+    ----------
+    parameters:
+        The evaluation parameter set (total area, power fraction, link
+        technology constants, hand-optimisation threshold).  Defaults to
+        the paper's Section VI values.
+    """
+
+    def __init__(self, parameters: EvaluationParameters | None = None) -> None:
+        self._parameters = parameters if parameters is not None else EvaluationParameters()
+
+    @property
+    def parameters(self) -> EvaluationParameters:
+        """The evaluation parameters the model was built with."""
+        return self._parameters
+
+    # -- shape ---------------------------------------------------------------
+
+    def chiplet_shape(
+        self,
+        kind: ArrangementKind | str,
+        num_chiplets: int,
+        *,
+        max_links_per_chiplet: int | None = None,
+    ) -> ChipletShape:
+        """Solve the chiplet shape for an arrangement family and chiplet count.
+
+        Designs with ``num_chiplets`` at or below the hand-optimisation
+        threshold split the non-power area among ``max_links_per_chiplet``
+        sectors (the actual maximum node degree of the arrangement) instead
+        of the fixed 4-/6-sector layouts, mirroring the paper's
+        hand-optimised small designs.
+        """
+        kind = ArrangementKind.from_name(kind)
+        check_positive_int("num_chiplets", num_chiplets)
+        chiplet_area = self._parameters.chiplet_area_mm2(num_chiplets)
+        power_fraction = self._parameters.power_bump_fraction
+        if (
+            num_chiplets <= self._parameters.hand_optimized_max_chiplets
+            and max_links_per_chiplet is not None
+            and max_links_per_chiplet > 0
+        ):
+            return solve_hand_optimized_shape(
+                chiplet_area, power_fraction, max_links_per_chiplet
+            )
+        return solve_chiplet_shape(kind, chiplet_area, power_fraction)
+
+    # -- bandwidth -----------------------------------------------------------
+
+    def estimate_from_shape(self, shape: ChipletShape) -> LinkBandwidthEstimate:
+        """Apply the Table I / Section V formulas to an already-solved shape."""
+        link = self._parameters.link
+        wires = wire_count(shape.link_sector_area_mm2, link.bump_pitch_mm)
+        payload_wires = data_wires(wires, link.non_data_wires)
+        bandwidth = link_bandwidth_bps(payload_wires, link.frequency_hz)
+        return LinkBandwidthEstimate(
+            shape=shape,
+            num_wires=wires,
+            num_data_wires=payload_wires,
+            bandwidth_bps=bandwidth,
+            parameters=link,
+        )
+
+    def estimate(
+        self,
+        kind: ArrangementKind | str,
+        num_chiplets: int,
+        *,
+        max_links_per_chiplet: int | None = None,
+    ) -> LinkBandwidthEstimate:
+        """Per-link bandwidth of an arrangement family at a given chiplet count."""
+        shape = self.chiplet_shape(
+            kind, num_chiplets, max_links_per_chiplet=max_links_per_chiplet
+        )
+        return self.estimate_from_shape(shape)
+
+    def estimate_for_arrangement(self, arrangement: Arrangement) -> LinkBandwidthEstimate:
+        """Per-link bandwidth of a concrete arrangement.
+
+        The arrangement's maximum node degree feeds the hand-optimised
+        small-design path; larger designs use the closed-form layouts.
+        """
+        max_degree = arrangement.degree_statistics().maximum
+        return self.estimate(
+            arrangement.kind,
+            arrangement.num_chiplets,
+            max_links_per_chiplet=max_degree,
+        )
+
+    # -- aggregate bandwidths --------------------------------------------------
+
+    def full_global_bandwidth_bps(
+        self,
+        kind: ArrangementKind | str,
+        num_chiplets: int,
+        *,
+        max_links_per_chiplet: int | None = None,
+    ) -> float:
+        """The paper's *full global bandwidth* in bits per second.
+
+        Defined in Section VI-A as the product of the chiplet count, the
+        number of endpoints per chiplet and the per-link bandwidth; it is
+        the theoretical cumulative throughput when every endpoint injects
+        at full rate, and the scale factor that converts the simulator's
+        relative saturation throughput into Tb/s.
+        """
+        estimate = self.estimate(
+            kind, num_chiplets, max_links_per_chiplet=max_links_per_chiplet
+        )
+        return (
+            num_chiplets
+            * self._parameters.endpoints_per_chiplet
+            * estimate.bandwidth_bps
+        )
+
+    def full_global_bandwidth_tbps(
+        self,
+        kind: ArrangementKind | str,
+        num_chiplets: int,
+        *,
+        max_links_per_chiplet: int | None = None,
+    ) -> float:
+        """Full global bandwidth in Tb/s."""
+        return (
+            self.full_global_bandwidth_bps(
+                kind, num_chiplets, max_links_per_chiplet=max_links_per_chiplet
+            )
+            / 1e12
+        )

@@ -1,0 +1,162 @@
+"""Package-level feasibility checks.
+
+Section II and Section V of the paper constrain the physical design: D2D
+links must stay short (below roughly 2 mm on silicon interposers and 4 mm
+on organic substrates) to run at 16 GHz, and the whole compute arrangement
+has to fit a realistic package.  This module combines the solved chiplet
+shape with an arrangement to estimate link lengths, package dimensions and
+bump budgets, and flags configurations that violate the constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arrangements.base import Arrangement, ArrangementKind
+from repro.linkmodel.parameters import EvaluationParameters
+from repro.linkmodel.phy import PhyModel, estimated_link_length_mm
+from repro.linkmodel.shape import ChipletShape, solve_chiplet_shape, solve_hand_optimized_shape
+
+
+@dataclass(frozen=True)
+class PackageFeasibility:
+    """Physical feasibility summary of one design point.
+
+    Attributes
+    ----------
+    shape:
+        The solved chiplet shape used for the estimates.
+    link_length_mm:
+        Estimated worst-case D2D link length (twice the bump-to-edge
+        distance ``D_B``).
+    max_link_length_mm:
+        Technology limit for the chosen packaging style.
+    package_width_mm / package_height_mm:
+        Bounding box of the compute arrangement scaled to the solved
+        chiplet dimensions.
+    silicon_interposer:
+        Whether the limits of a silicon interposer (2 mm) or an organic
+        package substrate (4 mm) were applied.
+    """
+
+    shape: ChipletShape
+    link_length_mm: float
+    max_link_length_mm: float
+    package_width_mm: float
+    package_height_mm: float
+    silicon_interposer: bool
+
+    @property
+    def link_length_ok(self) -> bool:
+        """Whether the worst-case link stays below the technology limit."""
+        return self.link_length_mm <= self.max_link_length_mm
+
+    @property
+    def package_area_mm2(self) -> float:
+        """Area of the compute-arrangement bounding box."""
+        return self.package_width_mm * self.package_height_mm
+
+    def violations(self) -> list[str]:
+        """Human-readable list of violated constraints (empty when feasible)."""
+        problems: list[str] = []
+        if not self.link_length_ok:
+            problems.append(
+                f"estimated D2D link length {self.link_length_mm:.2f} mm exceeds the "
+                f"{self.max_link_length_mm:.1f} mm limit"
+            )
+        return problems
+
+
+def check_package_feasibility(
+    arrangement: Arrangement,
+    parameters: EvaluationParameters | None = None,
+    *,
+    phy: PhyModel | None = None,
+    silicon_interposer: bool = False,
+) -> PackageFeasibility:
+    """Estimate link lengths and package dimensions of a design point.
+
+    Parameters
+    ----------
+    arrangement:
+        The compute arrangement to check.
+    parameters:
+        Evaluation parameters supplying total silicon area and power-bump
+        fraction (defaults to the paper's Section VI values).
+    phy:
+        PHY model providing the maximum link length; defaults to the paper's
+        limits (2 mm for silicon interposers, 4 mm for package substrates).
+    silicon_interposer:
+        Whether the design targets a silicon interposer.
+    """
+    if parameters is None:
+        parameters = EvaluationParameters()
+    if phy is None:
+        phy = PhyModel()
+
+    chiplet_area = parameters.chiplet_area_mm2(arrangement.num_chiplets)
+    max_degree = arrangement.degree_statistics().maximum
+    if (
+        arrangement.num_chiplets <= parameters.hand_optimized_max_chiplets
+        and max_degree > 0
+    ):
+        shape = solve_hand_optimized_shape(
+            chiplet_area, parameters.power_bump_fraction, max_degree
+        )
+    else:
+        shape = solve_chiplet_shape(
+            arrangement.kind, chiplet_area, parameters.power_bump_fraction
+        )
+
+    link_length = estimated_link_length_mm(shape.bump_distance_mm)
+    limit = phy.max_link_length_mm(silicon_interposer=silicon_interposer)
+
+    if arrangement.placement is not None:
+        bounds = arrangement.placement.bounding_box()
+        # The generators place unit-sized chiplets; rescale the bounding box
+        # to the solved chiplet dimensions.
+        width_scale = shape.width_mm / arrangement.chiplet_width
+        height_scale = shape.height_mm / arrangement.chiplet_height
+        package_width = bounds.width * width_scale
+        package_height = bounds.height * height_scale
+    else:
+        # Honeycomb: approximate with the total area of all chiplets.
+        package_width = package_height = (
+            arrangement.num_chiplets * chiplet_area
+        ) ** 0.5
+
+    return PackageFeasibility(
+        shape=shape,
+        link_length_mm=link_length,
+        max_link_length_mm=limit,
+        package_width_mm=package_width,
+        package_height_mm=package_height,
+        silicon_interposer=silicon_interposer,
+    )
+
+
+def maximum_chiplet_area_for_frequency(
+    kind: ArrangementKind | str,
+    power_bump_fraction: float,
+    *,
+    phy: PhyModel | None = None,
+    silicon_interposer: bool = False,
+) -> float:
+    """Largest chiplet area whose D2D links stay within the length limit.
+
+    Inverts the shape solver: the worst-case link length grows with the
+    square root of the chiplet area, so there is a maximum chiplet area for
+    which adjacent-chiplet links can still run at full frequency.
+    """
+    if phy is None:
+        phy = PhyModel()
+    kind = ArrangementKind.from_name(kind)
+    limit = phy.max_link_length_mm(silicon_interposer=silicon_interposer)
+    # Link length = 2 * D_B and D_B scales with sqrt(area); find the scale
+    # factor from a reference solution of unit area.
+    reference = solve_chiplet_shape(kind, 1.0, power_bump_fraction)
+    reference_length = estimated_link_length_mm(reference.bump_distance_mm)
+    if reference_length <= 0.0:
+        raise ValueError("the reference link length must be positive")
+    scale = limit / reference_length
+    return scale * scale

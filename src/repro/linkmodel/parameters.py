@@ -1,0 +1,159 @@
+"""Architectural parameters of the D2D link model.
+
+Table I of the paper lists the model inputs:
+
+=========  ==================================================================
+Symbol     Description
+=========  ==================================================================
+``A_B``    Area (mm²) available for C4 bumps / micro-bumps of one D2D link
+``P_B``    Pitch (mm) of a C4 bump / micro-bump
+``N_ndw``  Number of non-data wires needed for a D2D link (handshake, clock)
+``f``      Frequency at which the D2D links are operated
+=========  ==================================================================
+
+Section VI-B fixes the values used in the evaluation: total silicon area
+``A_all = 800 mm²`` (just below the reticle limit), power-bump fraction
+``p_p = 0.4``, C4 bump pitch ``P_B = 0.15 mm``, ``N_ndw = 12`` non-data
+wires (the UCIe side-band, clocking, valid and track wires) and a link
+frequency of 16 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Per-link architectural parameters (Table I without ``A_B``).
+
+    ``A_B`` is not part of this record because it is *derived* from the
+    arrangement (chiplet area, power fraction and bump layout) by the shape
+    solver; the remaining three parameters are technology constants.
+
+    Parameters
+    ----------
+    bump_pitch_mm:
+        Pitch ``P_B`` of a C4 bump or micro-bump in millimetres.
+    non_data_wires:
+        Number ``N_ndw`` of wires per link that carry no payload data
+        (clock, valid, track, side-band, ...).
+    frequency_hz:
+        Operating frequency ``f`` of the D2D link in Hz.
+    name:
+        Human-readable preset name.
+    """
+
+    bump_pitch_mm: float
+    non_data_wires: int
+    frequency_hz: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        check_positive("bump_pitch_mm", self.bump_pitch_mm)
+        check_positive_int("non_data_wires", self.non_data_wires, minimum=0)
+        check_positive("frequency_hz", self.frequency_hz)
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Link frequency in GHz."""
+        return self.frequency_hz / 1e9
+
+    def with_pitch(self, bump_pitch_mm: float) -> "LinkParameters":
+        """Copy of the parameters with a different bump pitch."""
+        return replace(self, bump_pitch_mm=bump_pitch_mm)
+
+    def with_frequency(self, frequency_hz: float) -> "LinkParameters":
+        """Copy of the parameters with a different link frequency."""
+        return replace(self, frequency_hz=frequency_hz)
+
+
+#: The evaluation setting of the paper: C4 bumps on an organic package
+#: substrate (UCIe "standard package"), 150 um pitch, 12 non-data wires,
+#: 16 GHz operation (UCIe's 32 GT/s maximum data rate).
+UCIE_STANDARD_PACKAGE = LinkParameters(
+    bump_pitch_mm=0.15,
+    non_data_wires=12,
+    frequency_hz=16e9,
+    name="ucie-standard-package",
+)
+
+#: Micro-bumps on a silicon interposer (UCIe "advanced package"): the paper
+#: quotes a 30–60 um micro-bump pitch; 45 um is used as the representative
+#: value.  The non-data wire count and frequency follow the same UCIe
+#: specification as the standard package.
+UCIE_ADVANCED_PACKAGE = LinkParameters(
+    bump_pitch_mm=0.045,
+    non_data_wires=12,
+    frequency_hz=16e9,
+    name="ucie-advanced-package",
+)
+
+
+@dataclass(frozen=True)
+class EvaluationParameters:
+    """The complete parameter set of the paper's evaluation (Section VI-B).
+
+    Parameters
+    ----------
+    total_chiplet_area_mm2:
+        Combined area ``A_all`` of all compute chiplets; the chiplet area is
+        ``A_C = A_all / N`` for ``N`` chiplets.
+    power_bump_fraction:
+        Fraction ``p_p`` of all bumps used for the power supply.
+    link:
+        Technology constants of the D2D link (pitch, non-data wires,
+        frequency).
+    endpoints_per_chiplet:
+        Number of traffic endpoints attached to each chiplet's router in
+        the BookSim2 setup of Section VI-A.
+    link_latency_cycles:
+        Modelled latency of PHY + D2D link + PHY in router cycles.
+    router_latency_cycles:
+        Latency of each chiplet's local router.
+    num_virtual_channels:
+        Virtual channels per router port.
+    buffer_depth_flits:
+        Flit buffer depth per virtual channel.
+    hand_optimized_max_chiplets:
+        Designs with at most this many chiplets use the degree-aware
+        ("hand-optimised") bump-sector split instead of the closed-form
+        4-/6-sector layouts; the paper hand-optimises ``N <= 7``.
+    """
+
+    total_chiplet_area_mm2: float = 800.0
+    power_bump_fraction: float = 0.4
+    link: LinkParameters = UCIE_STANDARD_PACKAGE
+    endpoints_per_chiplet: int = 2
+    link_latency_cycles: int = 27
+    router_latency_cycles: int = 3
+    num_virtual_channels: int = 8
+    buffer_depth_flits: int = 8
+    hand_optimized_max_chiplets: int = 7
+
+    def __post_init__(self) -> None:
+        check_positive("total_chiplet_area_mm2", self.total_chiplet_area_mm2)
+        check_fraction("power_bump_fraction", self.power_bump_fraction, inclusive=False)
+        check_positive_int("endpoints_per_chiplet", self.endpoints_per_chiplet)
+        check_non_negative("link_latency_cycles", self.link_latency_cycles)
+        check_positive_int("router_latency_cycles", self.router_latency_cycles)
+        check_positive_int("num_virtual_channels", self.num_virtual_channels)
+        check_positive_int("buffer_depth_flits", self.buffer_depth_flits)
+        check_positive_int("hand_optimized_max_chiplets", self.hand_optimized_max_chiplets, minimum=0)
+
+    def chiplet_area_mm2(self, num_chiplets: int) -> float:
+        """Per-chiplet area ``A_C = A_all / N``."""
+        check_positive_int("num_chiplets", num_chiplets)
+        return self.total_chiplet_area_mm2 / num_chiplets
+
+    @classmethod
+    def paper_defaults(cls) -> "EvaluationParameters":
+        """The exact parameter set of Section VI of the paper."""
+        return cls()

@@ -1,0 +1,114 @@
+"""PHY companion model.
+
+Every D2D link terminates in a physical-layer interface (PHY) inside both
+chiplets.  The PHY converts between on-chip and off-chip protocols, voltage
+levels and clock frequencies; it adds latency to every hop and area /
+energy overhead to every chiplet compared to a monolithic design
+(Section II of the paper).
+
+The paper's simulations fold the PHY latency into a single 27-cycle link
+latency (outgoing PHY + D2D link + incoming PHY) and quote the UCIe PHY
+latency of 12–16 UI.  This module keeps the individual components explicit
+so that the simulator configuration can be derived from them and so that
+sensitivity studies (ablations) can vary them independently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class PhyModel:
+    """Latency, area and energy model of one PHY instance.
+
+    Parameters
+    ----------
+    latency_cycles:
+        Latency contributed by one PHY traversal, in router clock cycles.
+        UCIe quotes 12–16 UI per PHY; at the paper's operating point this
+        folds (together with the wire flight time) into the 27-cycle link
+        latency, i.e. 12 cycles per PHY and 3 cycles of wire latency.
+    wire_latency_cycles:
+        Flight time of the D2D wire itself, in cycles.
+    area_overhead_mm2:
+        Silicon area one PHY adds to its chiplet.
+    energy_per_bit_pj:
+        Energy per transferred bit in picojoules (UCIe targets well below
+        1 pJ/bit for standard-package links).
+    """
+
+    latency_cycles: int = 12
+    wire_latency_cycles: int = 3
+    area_overhead_mm2: float = 0.25
+    energy_per_bit_pj: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_non_negative("latency_cycles", self.latency_cycles)
+        check_non_negative("wire_latency_cycles", self.wire_latency_cycles)
+        check_non_negative("area_overhead_mm2", self.area_overhead_mm2)
+        check_non_negative("energy_per_bit_pj", self.energy_per_bit_pj)
+
+    @property
+    def link_latency_cycles(self) -> int:
+        """Total latency of outgoing PHY + wire + incoming PHY in cycles.
+
+        With the defaults this evaluates to the paper's 27 cycles.
+        """
+        return 2 * self.latency_cycles + self.wire_latency_cycles
+
+    def phy_area_per_chiplet_mm2(self, num_links: int) -> float:
+        """Total PHY area added to a chiplet with ``num_links`` D2D links."""
+        if num_links < 0:
+            raise ValueError(f"num_links must be >= 0, got {num_links}")
+        return num_links * self.area_overhead_mm2
+
+    def phy_area_overhead_fraction(self, num_links: int, chiplet_area_mm2: float) -> float:
+        """PHY area as a fraction of the chiplet area."""
+        check_positive("chiplet_area_mm2", chiplet_area_mm2)
+        return self.phy_area_per_chiplet_mm2(num_links) / chiplet_area_mm2
+
+    def link_energy_watts(self, bandwidth_bps: float, utilization: float = 1.0) -> float:
+        """Power drawn by one link at the given bandwidth and utilisation."""
+        check_non_negative("bandwidth_bps", bandwidth_bps)
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        return bandwidth_bps * utilization * self.energy_per_bit_pj * 1e-12
+
+    def max_link_length_mm(self, *, silicon_interposer: bool = False) -> float:
+        """Maximum recommended D2D link length for high-frequency operation.
+
+        The paper (and the UCIe specification) note that silicon-interposer
+        links should stay below 2 mm; organic-package links may be somewhat
+        longer (below 4 mm in the designs the paper considers).
+        """
+        return 2.0 if silicon_interposer else 4.0
+
+    def supports_link_length(
+        self, length_mm: float, *, silicon_interposer: bool = False
+    ) -> bool:
+        """Whether a link of the given length can run at full frequency."""
+        check_non_negative("length_mm", length_mm)
+        return length_mm <= self.max_link_length_mm(silicon_interposer=silicon_interposer)
+
+
+def estimated_link_length_mm(bump_distance_mm: float) -> float:
+    """Rough physical length of a D2D link between adjacent chiplets.
+
+    A wire has to travel from a bump (at most ``D_B`` from the edge) across
+    the chiplet boundary to a bump of the neighbouring chiplet (again at
+    most ``D_B`` from that chiplet's edge), so twice the bump distance is a
+    conservative estimate of the link length.
+    """
+    check_non_negative("bump_distance_mm", bump_distance_mm)
+    return 2.0 * bump_distance_mm
+
+
+def cycles_from_time(duration_s: float, frequency_hz: float) -> int:
+    """Convert a wall-clock duration into (rounded-up) clock cycles."""
+    check_non_negative("duration_s", duration_s)
+    check_positive("frequency_hz", frequency_hz)
+    return int(math.ceil(duration_s * frequency_hz))

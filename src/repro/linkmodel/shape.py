@@ -1,0 +1,211 @@
+"""Chiplet-shape solver (Section IV-B of the paper).
+
+Given the chiplet area ``A_C`` and the fraction ``p_p`` of bumps devoted to
+the power supply, the solver computes, for each bump layout:
+
+* the chiplet dimensions ``W_C`` × ``H_C``,
+* the area ``A_B`` of the bump sector of one D2D link, and
+* the maximum distance ``D_B`` between a link bump and the chiplet edge.
+
+**Grid layout** (four link sectors, Figure 5a): the chiplet is square,
+
+.. math::
+
+   W_C = H_C = \\sqrt{A_C}, \\quad
+   W_P = H_P = \\sqrt{p_p A_C}, \\quad
+   A_B = \\tfrac{1}{4} (1 - p_p) A_C, \\quad
+   D_B = (W_C - W_P) / 2.
+
+**Brickwall / HexaMesh layout** (six link sectors, Figure 5b): solving the
+paper's equation system (1)–(5) yields
+
+.. math::
+
+   W_C = \\sqrt{\\frac{A_C (2 + 4 p_p)}{3}}, \\quad
+   H_C = A_C / W_C, \\quad
+   D_B = \\frac{(1 - p_p) A_C}{\\sqrt{A_C (6 + 12 p_p)}}, \\quad
+   A_B = \\tfrac{1}{6} (1 - p_p) A_C.
+
+The worked example of the paper (``A_C = 16 mm²``, ``p_p = 0.4``) gives
+``W_C = 4.38 mm``, ``H_C = 3.65 mm`` and ``D_B = 0.73 mm``; the unit tests
+pin these values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arrangements.base import ArrangementKind
+from repro.geometry.primitives import Rect
+from repro.geometry.sectors import SectorLayout, grid_sector_layout, hex_sector_layout
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class ChipletShape:
+    """The solved shape and bump-sector geometry of one chiplet.
+
+    Attributes
+    ----------
+    width_mm, height_mm:
+        Chiplet dimensions ``W_C`` and ``H_C``.
+    area_mm2:
+        Chiplet area ``A_C`` (the product of the dimensions).
+    power_bump_fraction:
+        The input fraction ``p_p``.
+    link_sector_area_mm2:
+        Area ``A_B`` available to the bumps of one D2D link.
+    bump_distance_mm:
+        Maximum link-bump-to-edge distance ``D_B``.
+    num_link_sectors:
+        Number of link sectors (4 for the grid layout, 6 for the
+        brickwall / HexaMesh layout, or the custom count of a
+        hand-optimised small design).
+    layout_style:
+        ``"grid"``, ``"hex"`` or ``"hand-optimized"``.
+    """
+
+    width_mm: float
+    height_mm: float
+    area_mm2: float
+    power_bump_fraction: float
+    link_sector_area_mm2: float
+    bump_distance_mm: float
+    num_link_sectors: int
+    layout_style: str
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Ratio of the longer to the shorter chiplet side."""
+        return max(self.width_mm, self.height_mm) / min(self.width_mm, self.height_mm)
+
+    @property
+    def power_area_mm2(self) -> float:
+        """Area of the power-bump sector ``p_p * A_C``."""
+        return self.power_bump_fraction * self.area_mm2
+
+    @property
+    def total_link_area_mm2(self) -> float:
+        """Combined area of all link sectors ``(1 - p_p) * A_C``."""
+        return self.num_link_sectors * self.link_sector_area_mm2
+
+    def sector_layout(self) -> SectorLayout:
+        """Materialise the geometric bump-sector layout of Figure 5.
+
+        Only defined for the closed-form grid and hex layouts; the
+        hand-optimised small-design split has no canonical geometry and
+        raises :class:`ValueError`.
+        """
+        chiplet = Rect(0.0, 0.0, self.width_mm, self.height_mm)
+        if self.layout_style == "grid":
+            power_width = math.sqrt(self.power_bump_fraction * self.area_mm2)
+            return grid_sector_layout(chiplet, power_width)
+        if self.layout_style == "hex":
+            band_height = self.width_mm / 2.0
+            return hex_sector_layout(chiplet, self.bump_distance_mm, band_height)
+        raise ValueError(
+            "hand-optimised shapes have no canonical sector layout geometry"
+        )
+
+
+def solve_grid_shape(chiplet_area_mm2: float, power_bump_fraction: float) -> ChipletShape:
+    """Solve the square chiplet shape of the grid bump layout (Figure 5a)."""
+    check_positive("chiplet_area_mm2", chiplet_area_mm2)
+    check_fraction("power_bump_fraction", power_bump_fraction, inclusive=False)
+
+    width = math.sqrt(chiplet_area_mm2)
+    power_width = math.sqrt(power_bump_fraction * chiplet_area_mm2)
+    link_area = (1.0 - power_bump_fraction) * chiplet_area_mm2 / 4.0
+    bump_distance = (width - power_width) / 2.0
+    return ChipletShape(
+        width_mm=width,
+        height_mm=width,
+        area_mm2=chiplet_area_mm2,
+        power_bump_fraction=power_bump_fraction,
+        link_sector_area_mm2=link_area,
+        bump_distance_mm=bump_distance,
+        num_link_sectors=4,
+        layout_style="grid",
+    )
+
+
+def solve_hex_shape(chiplet_area_mm2: float, power_bump_fraction: float) -> ChipletShape:
+    """Solve the chiplet shape of the brickwall / HexaMesh bump layout (Figure 5b).
+
+    The solution of the paper's equation system (1)–(5):
+
+    * ``W_C = sqrt(A_C (2 + 4 p_p) / 3)``
+    * ``H_C = A_C / W_C``
+    * ``D_B = (1 - p_p) A_C / sqrt(A_C (6 + 12 p_p))``
+    * ``A_B = (1/6) (1 - p_p) A_C``
+    """
+    check_positive("chiplet_area_mm2", chiplet_area_mm2)
+    check_fraction("power_bump_fraction", power_bump_fraction, inclusive=False)
+
+    width = math.sqrt(chiplet_area_mm2 * (2.0 + 4.0 * power_bump_fraction) / 3.0)
+    height = chiplet_area_mm2 / width
+    bump_distance = (1.0 - power_bump_fraction) * chiplet_area_mm2 / math.sqrt(
+        chiplet_area_mm2 * (6.0 + 12.0 * power_bump_fraction)
+    )
+    link_area = (1.0 - power_bump_fraction) * chiplet_area_mm2 / 6.0
+    return ChipletShape(
+        width_mm=width,
+        height_mm=height,
+        area_mm2=chiplet_area_mm2,
+        power_bump_fraction=power_bump_fraction,
+        link_sector_area_mm2=link_area,
+        bump_distance_mm=bump_distance,
+        num_link_sectors=6,
+        layout_style="hex",
+    )
+
+
+def solve_hand_optimized_shape(
+    chiplet_area_mm2: float,
+    power_bump_fraction: float,
+    num_links: int,
+) -> ChipletShape:
+    """Degree-aware bump split for very small designs.
+
+    The paper hand-optimises the bump assignment of designs with at most
+    seven chiplets.  What the hand optimisation achieves is that the
+    non-power bump area is divided among the links each chiplet actually
+    has (instead of a fixed four or six sectors).  This helper reproduces
+    that: the chiplet stays square and the non-power area is split equally
+    into ``num_links`` sectors.
+    """
+    check_positive("chiplet_area_mm2", chiplet_area_mm2)
+    check_fraction("power_bump_fraction", power_bump_fraction, inclusive=False)
+    check_positive_int("num_links", num_links)
+
+    width = math.sqrt(chiplet_area_mm2)
+    power_width = math.sqrt(power_bump_fraction * chiplet_area_mm2)
+    link_area = (1.0 - power_bump_fraction) * chiplet_area_mm2 / num_links
+    bump_distance = (width - power_width) / 2.0
+    return ChipletShape(
+        width_mm=width,
+        height_mm=width,
+        area_mm2=chiplet_area_mm2,
+        power_bump_fraction=power_bump_fraction,
+        link_sector_area_mm2=link_area,
+        bump_distance_mm=bump_distance,
+        num_link_sectors=num_links,
+        layout_style="hand-optimized",
+    )
+
+
+def solve_chiplet_shape(
+    kind: ArrangementKind | str,
+    chiplet_area_mm2: float,
+    power_bump_fraction: float,
+) -> ChipletShape:
+    """Solve the chiplet shape appropriate for an arrangement family.
+
+    The grid uses the four-sector layout; brickwall, honeycomb and HexaMesh
+    use the six-sector layout.
+    """
+    kind = ArrangementKind.from_name(kind)
+    if kind is ArrangementKind.GRID:
+        return solve_grid_shape(chiplet_area_mm2, power_bump_fraction)
+    return solve_hex_shape(chiplet_area_mm2, power_bump_fraction)

@@ -1,0 +1,123 @@
+"""Simulation configuration.
+
+The defaults reproduce the BookSim2 configuration of Section VI-A of the
+paper: two endpoints and one router per chiplet, 27-cycle inter-chiplet
+links, 3-cycle routers, 8 virtual channels and 8-flit buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of the cycle-accurate simulator.
+
+    Parameters
+    ----------
+    endpoints_per_chiplet:
+        Number of traffic endpoints attached to each chiplet's router.
+    num_virtual_channels:
+        Virtual channels per router input port.  The last virtual channel
+        is reserved as the deadlock-free *escape* channel (up*/down*
+        routing) unless only one virtual channel is configured, in which
+        case all traffic uses up*/down* routing.
+    buffer_depth_flits:
+        Capacity of each virtual-channel buffer in flits.
+    router_latency_cycles:
+        Minimum number of cycles a flit spends inside a router.
+    link_latency_cycles:
+        Latency of an inter-chiplet (router-to-router) channel; models the
+        outgoing PHY, the D2D wire and the incoming PHY.
+    local_latency_cycles:
+        Latency of the endpoint-to-router and router-to-endpoint channels.
+    packet_size_flits:
+        Number of flits per packet.
+    escape_patience_cycles:
+        Number of cycles a head flit waits for an adaptive virtual channel
+        before it also starts requesting the escape channel.  A small
+        patience keeps the (tree-routed) escape network as a true last
+        resort so it does not become a hotspot under load, while still
+        guaranteeing that every blocked packet eventually requests it
+        (which is what the deadlock-freedom argument needs).
+    warmup_cycles / measurement_cycles / drain_cycles:
+        Lengths of the three simulation phases.  Statistics are collected
+        only for packets created during the measurement phase; the drain
+        phase lets in-flight measured packets reach their destination.
+    seed:
+        Seed of the simulator's pseudo-random number generator.
+    """
+
+    endpoints_per_chiplet: int = 2
+    num_virtual_channels: int = 8
+    buffer_depth_flits: int = 8
+    router_latency_cycles: int = 3
+    link_latency_cycles: int = 27
+    local_latency_cycles: int = 1
+    packet_size_flits: int = 1
+    escape_patience_cycles: int = 8
+    warmup_cycles: int = 1000
+    measurement_cycles: int = 2000
+    drain_cycles: int = 3000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int("endpoints_per_chiplet", self.endpoints_per_chiplet)
+        check_positive_int("num_virtual_channels", self.num_virtual_channels)
+        check_positive_int("buffer_depth_flits", self.buffer_depth_flits)
+        check_positive_int("router_latency_cycles", self.router_latency_cycles)
+        check_non_negative("link_latency_cycles", self.link_latency_cycles)
+        check_positive_int("local_latency_cycles", self.local_latency_cycles)
+        check_positive_int("packet_size_flits", self.packet_size_flits)
+        check_positive_int("escape_patience_cycles", self.escape_patience_cycles, minimum=0)
+        check_positive_int("warmup_cycles", self.warmup_cycles, minimum=0)
+        check_positive_int("measurement_cycles", self.measurement_cycles)
+        check_positive_int("drain_cycles", self.drain_cycles, minimum=0)
+        if self.buffer_depth_flits < self.packet_size_flits:
+            # Wormhole switching tolerates packets longer than a buffer, but
+            # a head-of-line packet that can never fully fit risks extremely
+            # slow progress at the escape channel; reject the obvious
+            # misconfiguration of a zero-progress setup.
+            if self.buffer_depth_flits < 1:
+                raise ValueError("buffer_depth_flits must be at least 1")
+
+    @property
+    def escape_vc(self) -> int:
+        """Index of the escape virtual channel (the highest-numbered VC)."""
+        return self.num_virtual_channels - 1
+
+    @property
+    def adaptive_vcs(self) -> tuple[int, ...]:
+        """Indices of the freely-routed (non-escape) virtual channels."""
+        if self.num_virtual_channels == 1:
+            return ()
+        return tuple(range(self.num_virtual_channels - 1))
+
+    @property
+    def per_hop_latency_cycles(self) -> int:
+        """Zero-load latency contribution of one router-to-router hop."""
+        return self.router_latency_cycles + self.link_latency_cycles
+
+    @classmethod
+    def paper_defaults(cls) -> "SimulationConfig":
+        """The configuration used throughout the paper's evaluation."""
+        return cls()
+
+    @classmethod
+    def fast_functional(cls) -> "SimulationConfig":
+        """A reduced-cycle configuration for quick functional runs and tests."""
+        return cls(warmup_cycles=200, measurement_cycles=400, drain_cycles=800)
+
+    def scaled_phases(self, factor: float) -> "SimulationConfig":
+        """Copy of the configuration with all phase lengths scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return replace(
+            self,
+            warmup_cycles=max(1, int(self.warmup_cycles * factor)),
+            measurement_cycles=max(1, int(self.measurement_cycles * factor)),
+            drain_cycles=max(1, int(self.drain_cycles * factor)),
+        )

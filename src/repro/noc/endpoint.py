@@ -1,0 +1,184 @@
+"""Traffic endpoints (sources and sinks).
+
+Each chiplet hosts ``endpoints_per_chiplet`` endpoints attached to the
+chiplet's local router (Section VI-A of the paper uses two).  An endpoint
+generates packets according to a traffic pattern and an injection process,
+queues them in an unbounded source queue, injects their flits into the
+router subject to credit availability, and receives (ejects) flits destined
+to it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.noc.channel import Channel
+from repro.noc.config import SimulationConfig
+from repro.noc.flit import Flit, Packet, build_flits
+from repro.noc.traffic import BernoulliInjection, TrafficPattern
+
+
+class Endpoint:
+    """One traffic source / sink attached to a router.
+
+    Parameters
+    ----------
+    endpoint_id:
+        Global endpoint identifier.
+    router_id:
+        Identifier of the router the endpoint is attached to.
+    config:
+        Simulation configuration.
+    traffic:
+        Traffic pattern shared by all endpoints.
+    injection:
+        Injection process (Bernoulli with the configured flit rate).
+    seed:
+        Per-endpoint random seed (derived from the simulator seed).
+    """
+
+    def __init__(
+        self,
+        endpoint_id: int,
+        router_id: int,
+        config: SimulationConfig,
+        traffic: TrafficPattern,
+        injection: BernoulliInjection,
+        seed: int,
+    ) -> None:
+        self.endpoint_id = endpoint_id
+        self.router_id = router_id
+        self._config = config
+        self._traffic = traffic
+        self._injection = injection
+        self._rng = random.Random(seed)
+
+        self._source_queue: deque[Packet] = deque()
+        self._pending_flits: deque[Flit] = deque()
+        self._current_vc: int | None = None
+        self._credits = [config.buffer_depth_flits] * config.num_virtual_channels
+
+        self._out_channel: Channel | None = None
+
+        # Counters and hooks used by the simulator for statistics.
+        self.created_packets = 0
+        self.injected_flits = 0
+        self.ejected_flits = 0
+        self.ejected_packets: list[Packet] = []
+        self._next_packet_id_fn = None  # set by the network builder
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_output_channel(self, channel: Channel) -> None:
+        """Connect the injection channel towards the local router."""
+        self._out_channel = channel
+
+    def set_packet_id_allocator(self, allocator) -> None:
+        """Install the network-wide packet-id allocator callable."""
+        self._next_packet_id_fn = allocator
+
+    # -- externally driven events ------------------------------------------------
+
+    def accept_credit(self, vc: int) -> None:
+        """Register a credit returned by the router's injection input port."""
+        self._credits[vc] += 1
+        if self._credits[vc] > self._config.buffer_depth_flits:
+            raise RuntimeError(
+                f"endpoint {self.endpoint_id}: credit overflow on vc {vc}; "
+                "flow control is broken"
+            )
+
+    def accept_flit(self, flit: Flit, now: int) -> None:
+        """Receive (eject) a flit destined to this endpoint."""
+        if flit.destination != self.endpoint_id:
+            raise RuntimeError(
+                f"endpoint {self.endpoint_id} received a flit for endpoint "
+                f"{flit.destination}; routing is broken"
+            )
+        self.ejected_flits += 1
+        if flit.is_tail:
+            flit.packet.ejection_cycle = now
+            self.ejected_packets.append(flit.packet)
+
+    # -- per-cycle operation -------------------------------------------------------
+
+    def step(self, now: int, *, measured_phase: bool) -> None:
+        """Generate new packets and inject at most one flit into the router."""
+        self._generate(now, measured_phase)
+        self._inject(now)
+
+    def _generate(self, now: int, measured_phase: bool) -> None:
+        if not self._injection.should_inject(self._rng):
+            return
+        if self._next_packet_id_fn is None:
+            raise RuntimeError("endpoint has no packet-id allocator attached")
+        destination = self._traffic.destination(self.endpoint_id, self._rng)
+        packet = Packet(
+            packet_id=self._next_packet_id_fn(),
+            source=self.endpoint_id,
+            destination=destination,
+            size_flits=self._config.packet_size_flits,
+            creation_cycle=now,
+            measured=measured_phase,
+        )
+        self._source_queue.append(packet)
+        self.created_packets += 1
+
+    def _inject(self, now: int) -> None:
+        if self._out_channel is None:
+            raise RuntimeError("endpoint has no injection channel attached")
+        # Start the next packet if the previous one has been fully sent.
+        if not self._pending_flits and self._source_queue:
+            vc = self._select_injection_vc()
+            if vc is not None:
+                packet = self._source_queue.popleft()
+                self._pending_flits.extend(build_flits(packet))
+                self._current_vc = vc
+        if not self._pending_flits:
+            return
+        vc = self._current_vc
+        assert vc is not None
+        if self._credits[vc] <= 0:
+            return
+        flit = self._pending_flits.popleft()
+        flit.vc = vc
+        self._credits[vc] -= 1
+        self._out_channel.send(flit, now)
+        self.injected_flits += 1
+        if flit.is_head:
+            flit.packet.injection_cycle = now
+        if flit.is_tail:
+            self._current_vc = None
+
+    def _select_injection_vc(self) -> int | None:
+        """Pick the injection VC with the most available credits.
+
+        Packets are injected on the adaptive virtual channels only (the
+        escape channel is reserved for in-network deadlock avoidance),
+        except when a single VC is configured, in which case everything
+        travels on the up*/down*-routed channel.
+        """
+        if self._config.num_virtual_channels == 1:
+            candidates = (0,)
+        else:
+            candidates = self._config.adaptive_vcs
+        best_vc: int | None = None
+        best_credits = 0
+        for vc in candidates:
+            if self._credits[vc] > best_credits:
+                best_credits = self._credits[vc]
+                best_vc = vc
+        return best_vc
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def source_queue_length(self) -> int:
+        """Number of packets waiting in the (unbounded) source queue."""
+        return len(self._source_queue) + (1 if self._pending_flits else 0)
+
+    @property
+    def offered_flit_rate(self) -> float:
+        """Configured offered load in flits per cycle."""
+        return self._injection.flit_rate

@@ -1,0 +1,271 @@
+"""Network assembly: routers, endpoints and channels from a topology graph.
+
+The network mirrors the BookSim2 setup of the paper: one router per
+chiplet, ``endpoints_per_chiplet`` endpoints attached to each router,
+inter-router channels with the configured link latency and local channels
+with a one-cycle latency.  Every flit channel has a credit channel running
+in the opposite direction with the same latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.graphs.model import ChipGraph
+from repro.noc.channel import Channel
+from repro.noc.config import SimulationConfig
+from repro.noc.endpoint import Endpoint
+from repro.noc.flit import Flit
+from repro.noc.router import Router
+from repro.noc.routing import RoutingTables
+from repro.noc.traffic import BernoulliInjection, TrafficPattern, UniformRandomTraffic
+
+#: A delivery target: called with (payload, now) for every payload arriving
+#: on the associated channel.
+_Sink = Callable[[object, int], None]
+
+
+class Network:
+    """A fully wired inter-chiplet network ready to be simulated.
+
+    Parameters
+    ----------
+    graph:
+        Inter-chiplet topology; nodes must be ``0 .. num_chiplets - 1``.
+    config:
+        Simulation configuration.
+    traffic:
+        Traffic pattern; defaults to uniform random over all endpoints.
+    injection_rate:
+        Offered load in flits per cycle per endpoint.
+    """
+
+    def __init__(
+        self,
+        graph: ChipGraph,
+        config: SimulationConfig,
+        *,
+        traffic: TrafficPattern | None = None,
+        injection_rate: float = 0.1,
+    ) -> None:
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            raise ValueError("the topology graph must use router ids 0 .. n-1")
+        self.graph = graph
+        self.config = config
+        self.routing = RoutingTables(graph)
+
+        self.num_routers = len(nodes)
+        self.num_endpoints = self.num_routers * config.endpoints_per_chiplet
+        if self.num_endpoints < 2:
+            raise ValueError("a network needs at least two endpoints")
+
+        self.endpoint_to_router = [
+            endpoint // config.endpoints_per_chiplet for endpoint in range(self.num_endpoints)
+        ]
+
+        if traffic is None:
+            traffic = UniformRandomTraffic(self.num_endpoints)
+        if traffic.num_endpoints != self.num_endpoints:
+            raise ValueError(
+                f"traffic pattern is defined over {traffic.num_endpoints} endpoints "
+                f"but the network has {self.num_endpoints}"
+            )
+        self.traffic = traffic
+        self.injection = BernoulliInjection(injection_rate, config.packet_size_flits)
+
+        self._packet_counter = 0
+        self.routers: list[Router] = []
+        self.endpoints: list[Endpoint] = []
+        self._channels: list[tuple[Channel, _Sink]] = []
+
+        self._build_routers()
+        self._build_endpoints()
+        self._wire_router_links()
+        self._wire_endpoint_links()
+
+    # -- construction ------------------------------------------------------------
+
+    def _next_packet_id(self) -> int:
+        self._packet_counter += 1
+        return self._packet_counter
+
+    def _build_routers(self) -> None:
+        endpoints_per_chiplet = self.config.endpoints_per_chiplet
+        for router_id in range(self.num_routers):
+            neighbors = sorted(self.graph.neighbors(router_id))
+            local_endpoints = [
+                router_id * endpoints_per_chiplet + index
+                for index in range(endpoints_per_chiplet)
+            ]
+            self.routers.append(
+                Router(
+                    router_id=router_id,
+                    config=self.config,
+                    routing=self.routing,
+                    neighbor_routers=neighbors,
+                    local_endpoints=local_endpoints,
+                    endpoint_to_router=self.endpoint_to_router,
+                )
+            )
+
+    def _build_endpoints(self) -> None:
+        base_seed = self.config.seed
+        for endpoint_id in range(self.num_endpoints):
+            endpoint = Endpoint(
+                endpoint_id=endpoint_id,
+                router_id=self.endpoint_to_router[endpoint_id],
+                config=self.config,
+                traffic=self.traffic,
+                injection=self.injection,
+                seed=base_seed * 1_000_003 + endpoint_id,
+            )
+            endpoint.set_packet_id_allocator(self._next_packet_id)
+            self.endpoints.append(endpoint)
+
+    def _register(self, channel: Channel, sink: _Sink) -> Channel:
+        self._channels.append((channel, sink))
+        return channel
+
+    def _wire_router_links(self) -> None:
+        link_latency = self.config.link_latency_cycles
+        for source, destination in self.graph.edges():
+            for u, v in ((source, destination), (destination, source)):
+                sender = self.routers[u]
+                receiver = self.routers[v]
+                out_port = sender.port_of_neighbor(v)
+                in_port = receiver.port_of_neighbor(u)
+
+                flit_channel = Channel(link_latency, name=f"link {u}->{v}")
+                sender.attach_output_channel(out_port, flit_channel)
+                self._register(
+                    flit_channel,
+                    self._make_router_flit_sink(receiver, in_port),
+                )
+
+                credit_channel = Channel(link_latency, name=f"credit {v}->{u}")
+                receiver.attach_credit_channel(in_port, credit_channel)
+                self._register(
+                    credit_channel,
+                    self._make_router_credit_sink(sender, out_port),
+                )
+
+    def _wire_endpoint_links(self) -> None:
+        local_latency = self.config.local_latency_cycles
+        for endpoint in self.endpoints:
+            router = self.routers[endpoint.router_id]
+            port = router.port_of_endpoint(endpoint.endpoint_id)
+
+            # Injection path: endpoint -> router, plus the credit return path.
+            injection_channel = Channel(
+                local_latency, name=f"inject {endpoint.endpoint_id}->{router.router_id}"
+            )
+            endpoint.attach_output_channel(injection_channel)
+            self._register(injection_channel, self._make_router_flit_sink(router, port))
+
+            injection_credit = Channel(
+                local_latency, name=f"inject-credit {router.router_id}->{endpoint.endpoint_id}"
+            )
+            router.attach_credit_channel(port, injection_credit)
+            self._register(injection_credit, self._make_endpoint_credit_sink(endpoint))
+
+            # Ejection path: router -> endpoint (the endpoint is an infinite
+            # sink, so no credit channel is needed in return).
+            ejection_channel = Channel(
+                local_latency, name=f"eject {router.router_id}->{endpoint.endpoint_id}"
+            )
+            router.attach_output_channel(port, ejection_channel)
+            self._register(ejection_channel, self._make_endpoint_flit_sink(endpoint))
+
+    @staticmethod
+    def _make_router_flit_sink(router: Router, port: int) -> _Sink:
+        def deliver(payload: object, now: int) -> None:
+            assert isinstance(payload, Flit)
+            router.accept_flit(port, payload, now)
+
+        return deliver
+
+    @staticmethod
+    def _make_router_credit_sink(router: Router, port: int) -> _Sink:
+        def deliver(payload: object, now: int) -> None:
+            router.accept_credit(port, int(payload))  # payload is the VC index
+
+        return deliver
+
+    @staticmethod
+    def _make_endpoint_flit_sink(endpoint: Endpoint) -> _Sink:
+        def deliver(payload: object, now: int) -> None:
+            assert isinstance(payload, Flit)
+            endpoint.accept_flit(payload, now)
+
+        return deliver
+
+    @staticmethod
+    def _make_endpoint_credit_sink(endpoint: Endpoint) -> _Sink:
+        def deliver(payload: object, now: int) -> None:
+            endpoint.accept_credit(int(payload))
+
+        return deliver
+
+    # -- per-cycle operation --------------------------------------------------------
+
+    def deliver_channels(self, now: int) -> None:
+        """Deliver every payload whose channel latency has elapsed."""
+        for channel, sink in self._channels:
+            if channel.in_flight:
+                for payload in channel.receive(now):
+                    sink(payload, now)
+
+    def step_endpoints(self, now: int, *, measured_phase: bool) -> None:
+        """Let every endpoint generate and inject traffic."""
+        for endpoint in self.endpoints:
+            endpoint.step(now, measured_phase=measured_phase)
+
+    def step_routers(self, now: int) -> None:
+        """Let every router perform allocation and forwarding."""
+        for router in self.routers:
+            router.step(now)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def flits_in_flight(self) -> int:
+        """Flits currently stored in router buffers or traversing flit channels."""
+        buffered = sum(router.buffered_flits for router in self.routers)
+        on_channels = 0
+        for channel, _ in self._channels:
+            # Credit channels carry integers; flit channels carry Flit objects.
+            for _, payload in list(channel._queue):  # noqa: SLF001 - introspection only
+                if isinstance(payload, Flit):
+                    on_channels += 1
+        return buffered + on_channels
+
+    def total_created_flits(self) -> int:
+        """Total flits created by all endpoints (including still-queued ones)."""
+        return sum(e.created_packets for e in self.endpoints) * self.config.packet_size_flits
+
+    def total_ejected_flits(self) -> int:
+        """Total flits delivered to their destination endpoints."""
+        return sum(e.ejected_flits for e in self.endpoints)
+
+    def total_source_queued_flits(self) -> int:
+        """Flits of packets still waiting (entirely or partially) at their source."""
+        total_injected = sum(e.injected_flits for e in self.endpoints)
+        return self.total_created_flits() - total_injected
+
+    def verify_flit_conservation(self) -> None:
+        """Raise :class:`RuntimeError` if any flit was lost or duplicated."""
+        created = self.total_created_flits()
+        accounted = (
+            self.total_ejected_flits()
+            + self.flits_in_flight()
+            + self.total_source_queued_flits()
+        )
+        if created != accounted:
+            raise RuntimeError(
+                f"flit conservation violated: created {created}, accounted {accounted}"
+            )
+
+    def make_rng(self) -> random.Random:
+        """A fresh RNG derived from the configuration seed (for auxiliary uses)."""
+        return random.Random(self.config.seed)

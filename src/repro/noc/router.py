@@ -1,0 +1,421 @@
+"""Input-queued virtual-channel router.
+
+The router model follows the canonical VC router microarchitecture used by
+BookSim2:
+
+* every input port has ``num_virtual_channels`` FIFO flit buffers,
+* a head flit at the front of an input VC first goes through *route
+  computation* (RC), then *virtual-channel allocation* (VA), after which
+  the whole packet streams through *switch allocation* (SA) one flit per
+  cycle,
+* credit-based flow control guarantees that a flit is only forwarded when
+  the downstream buffer has space,
+* the configured router latency is enforced by making a flit eligible for
+  switch allocation only ``router_latency_cycles`` after it entered the
+  input buffer, which reproduces the pipeline delay without simulating the
+  individual pipeline registers.
+
+Deadlock freedom uses an *escape* virtual channel (the highest-numbered
+one) that is routed on the up*/down* spanning tree of
+:class:`repro.noc.routing.RoutingTables`; a packet whose head is waiting
+for a virtual channel may always fall back to the escape channel, and
+packets travelling on the escape channel stay on it until ejection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.channel import Channel
+from repro.noc.config import SimulationConfig
+from repro.noc.flit import Flit
+from repro.noc.routing import RoutingTables
+
+#: Input-VC states.
+_IDLE = 0          # no packet currently being routed through this VC
+_VC_ALLOC = 1      # head flit routed, waiting for an output VC
+_ACTIVE = 2        # output VC allocated, flits stream through SA
+
+
+class _InputVC:
+    """State of one virtual channel of one input port."""
+
+    __slots__ = (
+        "buffer",
+        "state",
+        "minimal_ports",
+        "escape_port",
+        "escape_only",
+        "out_port",
+        "out_vc",
+        "alloc_wait_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.buffer: deque[Flit] = deque()
+        self.state = _IDLE
+        self.minimal_ports: tuple[int, ...] = ()
+        self.escape_port: int | None = None
+        self.escape_only = False
+        self.out_port: int | None = None
+        self.out_vc: int | None = None
+        self.alloc_wait_cycles = 0
+
+
+class _OutputVC:
+    """State of one virtual channel of one output port."""
+
+    __slots__ = ("owner", "credits")
+
+    def __init__(self, credits: int) -> None:
+        self.owner: tuple[int, int] | None = None
+        self.credits = credits
+
+
+class Router:
+    """One chiplet's local router.
+
+    Parameters
+    ----------
+    router_id:
+        Identifier; equals the chiplet id.
+    config:
+        Simulation configuration (VC count, buffer depth, latencies).
+    routing:
+        Shared routing tables of the whole network.
+    neighbor_routers:
+        Ids of the adjacent routers, in the order of their ports
+        (ports ``0 .. len(neighbor_routers) - 1``).
+    local_endpoints:
+        Ids of the endpoints attached to this router, in the order of
+        their ports (ports ``len(neighbor_routers) ..``).
+    endpoint_to_router:
+        Mapping from endpoint id to the id of its router (shared,
+        read-only).
+    """
+
+    def __init__(
+        self,
+        router_id: int,
+        config: SimulationConfig,
+        routing: RoutingTables,
+        neighbor_routers: list[int],
+        local_endpoints: list[int],
+        endpoint_to_router: list[int],
+    ) -> None:
+        self.router_id = router_id
+        self._config = config
+        self._routing = routing
+        self._neighbor_routers = list(neighbor_routers)
+        self._local_endpoints = list(local_endpoints)
+        self._endpoint_to_router = endpoint_to_router
+
+        self._num_router_ports = len(neighbor_routers)
+        self._num_ports = self._num_router_ports + len(local_endpoints)
+        self._port_of_neighbor = {
+            neighbor: port for port, neighbor in enumerate(neighbor_routers)
+        }
+        self._port_of_endpoint = {
+            endpoint: self._num_router_ports + index
+            for index, endpoint in enumerate(local_endpoints)
+        }
+
+        vcs = config.num_virtual_channels
+        self._input_vcs: list[list[_InputVC]] = [
+            [_InputVC() for _ in range(vcs)] for _ in range(self._num_ports)
+        ]
+        self._output_vcs: list[list[_OutputVC]] = [
+            [_OutputVC(config.buffer_depth_flits) for _ in range(vcs)]
+            for _ in range(self._num_ports)
+        ]
+
+        # Channels are attached later by the Network builder.
+        self._out_flit_channels: list[Channel | None] = [None] * self._num_ports
+        self._in_credit_channels: list[Channel | None] = [None] * self._num_ports
+
+        self._buffered_flits = 0
+        self._sa_port_pointer = 0
+        self._vc_pointers = [0] * self._num_ports
+
+        # Statistics hooks (set by the network / simulator).
+        self.forwarded_flits = 0
+
+    # -- wiring (used by the Network builder) ----------------------------------
+
+    @property
+    def num_ports(self) -> int:
+        """Total number of ports (router-to-router plus endpoint ports)."""
+        return self._num_ports
+
+    @property
+    def num_router_ports(self) -> int:
+        """Number of ports connected to neighbouring routers."""
+        return self._num_router_ports
+
+    def port_of_neighbor(self, neighbor_router: int) -> int:
+        """Port index connected to a neighbouring router."""
+        return self._port_of_neighbor[neighbor_router]
+
+    def port_of_endpoint(self, endpoint: int) -> int:
+        """Port index connected to a locally attached endpoint."""
+        return self._port_of_endpoint[endpoint]
+
+    def attach_output_channel(self, port: int, channel: Channel) -> None:
+        """Connect the flit channel leaving through ``port``."""
+        self._out_flit_channels[port] = channel
+
+    def attach_credit_channel(self, port: int, channel: Channel) -> None:
+        """Connect the credit channel returning upstream credits of input ``port``."""
+        self._in_credit_channels[port] = channel
+
+    def is_ejection_port(self, port: int) -> bool:
+        """Whether ``port`` leads to a locally attached endpoint."""
+        return port >= self._num_router_ports
+
+    # -- externally driven events ----------------------------------------------
+
+    def accept_flit(self, port: int, flit: Flit, now: int) -> None:
+        """Store an arriving flit in the input buffer selected by its VC field."""
+        input_vc = self._input_vcs[port][flit.vc]
+        if len(input_vc.buffer) >= self._config.buffer_depth_flits:
+            raise RuntimeError(
+                f"router {self.router_id}: input buffer overflow on port {port} "
+                f"vc {flit.vc}; credit flow control is broken"
+            )
+        flit.arrival_cycle = now
+        input_vc.buffer.append(flit)
+        self._buffered_flits += 1
+
+    def accept_credit(self, port: int, vc: int) -> None:
+        """Register a credit returned by the downstream node of output ``port``."""
+        self._output_vcs[port][vc].credits += 1
+
+    @property
+    def buffered_flits(self) -> int:
+        """Number of flits currently stored in this router's input buffers."""
+        return self._buffered_flits
+
+    def occupancy(self) -> int:
+        """Alias of :attr:`buffered_flits` (kept for statistics reporting)."""
+        return self._buffered_flits
+
+    # -- per-cycle operation -----------------------------------------------------
+
+    def step(self, now: int) -> None:
+        """Perform route computation, VC allocation and switch allocation."""
+        if self._buffered_flits == 0:
+            return
+        self._route_and_allocate(now)
+        self._switch_allocation(now)
+
+    # .. route computation + VC allocation ..................................
+
+    def _route_and_allocate(self, now: int) -> None:
+        config = self._config
+        escape_vc = config.escape_vc
+        for port in range(self._num_ports):
+            for vc_index, input_vc in enumerate(self._input_vcs[port]):
+                if not input_vc.buffer:
+                    continue
+                head = input_vc.buffer[0]
+                if input_vc.state == _IDLE:
+                    if not head.is_head:
+                        raise RuntimeError(
+                            f"router {self.router_id}: non-head flit at the front of an "
+                            f"idle VC (port {port}, vc {vc_index}); packet framing is broken"
+                        )
+                    self._compute_route(port, vc_index, input_vc, head)
+                if input_vc.state == _VC_ALLOC:
+                    self._allocate_output_vc(port, vc_index, input_vc, escape_vc)
+
+    def _compute_route(
+        self, port: int, vc_index: int, input_vc: _InputVC, head: Flit
+    ) -> None:
+        destination_router = self._endpoint_to_router[head.destination]
+        if destination_router == self.router_id:
+            ejection_port = self._port_of_endpoint[head.destination]
+            input_vc.minimal_ports = (ejection_port,)
+            input_vc.escape_port = ejection_port
+            input_vc.escape_only = False
+        else:
+            minimal_routers = self._routing.minimal_next_hops(
+                self.router_id, destination_router
+            )
+            input_vc.minimal_ports = tuple(
+                self._port_of_neighbor[neighbor] for neighbor in minimal_routers
+            )
+            escape_router = self._routing.escape_next_hop(
+                self.router_id, destination_router
+            )
+            input_vc.escape_port = self._port_of_neighbor[escape_router]
+            # Duato's protocol allows packets to move freely between the
+            # adaptive and the escape channel class at every hop, as long as
+            # the escape routing itself is deadlock-free (the up*/down* tree
+            # is).  Only a single-VC configuration forces everything onto the
+            # escape routing.
+            input_vc.escape_only = self._config.num_virtual_channels == 1
+        input_vc.state = _VC_ALLOC
+        input_vc.alloc_wait_cycles = 0
+
+    def _allocate_output_vc(
+        self, port: int, vc_index: int, input_vc: _InputVC, escape_vc: int
+    ) -> None:
+        # Ejection ports accept any free VC (the endpoint is an infinite sink).
+        target_port = input_vc.minimal_ports[0] if input_vc.minimal_ports else None
+        if target_port is not None and self.is_ejection_port(target_port):
+            for out_vc, output in enumerate(self._output_vcs[target_port]):
+                if output.owner is None:
+                    self._grant_output(input_vc, port, vc_index, target_port, out_vc)
+                    return
+            return
+
+        if not input_vc.escape_only:
+            granted = self._allocate_adaptive_vc(input_vc, port, vc_index)
+            if granted:
+                return
+        # Fall back to the escape VC on the up*/down* port, either because the
+        # packet is forced onto it (single-VC configuration) or because it has
+        # waited long enough for an adaptive channel.
+        input_vc.alloc_wait_cycles += 1
+        patience_exceeded = (
+            input_vc.alloc_wait_cycles > self._config.escape_patience_cycles
+        )
+        if input_vc.escape_only or patience_exceeded:
+            escape_port = input_vc.escape_port
+            if escape_port is not None:
+                escape_output = self._output_vcs[escape_port][escape_vc]
+                if escape_output.owner is None:
+                    self._grant_output(input_vc, port, vc_index, escape_port, escape_vc)
+
+    def _allocate_adaptive_vc(self, input_vc: _InputVC, port: int, vc_index: int) -> bool:
+        """Congestion-aware adaptive VC allocation.
+
+        Among all minimal output ports with at least one free adaptive VC,
+        the port with the largest number of downstream credits is chosen
+        (a standard local congestion estimate); the free VC with the most
+        credits on that port receives the packet.  Returns ``True`` when a
+        VC was granted.
+        """
+        adaptive = self._config.adaptive_vcs
+        if not adaptive:
+            return False
+        best: tuple[int, int, int] | None = None  # (score, port, vc)
+        for candidate_port in input_vc.minimal_ports:
+            outputs = self._output_vcs[candidate_port]
+            port_credits = sum(outputs[vc].credits for vc in adaptive)
+            free_vc = -1
+            free_vc_credits = -1
+            for vc in adaptive:
+                output = outputs[vc]
+                if output.owner is None and output.credits > free_vc_credits:
+                    free_vc = vc
+                    free_vc_credits = output.credits
+            if free_vc < 0:
+                continue
+            score = port_credits
+            if best is None or score > best[0]:
+                best = (score, candidate_port, free_vc)
+        if best is None:
+            return False
+        _, out_port, out_vc = best
+        self._grant_output(input_vc, port, vc_index, out_port, out_vc)
+        return True
+
+    def _grant_output(
+        self, input_vc: _InputVC, port: int, vc_index: int, out_port: int, out_vc: int
+    ) -> None:
+        self._output_vcs[out_port][out_vc].owner = (port, vc_index)
+        input_vc.out_port = out_port
+        input_vc.out_vc = out_vc
+        input_vc.state = _ACTIVE
+
+    # .. switch allocation ....................................................
+
+    def _switch_allocation(self, now: int) -> None:
+        config = self._config
+        # Each input port nominates at most one eligible flit.
+        nominations: dict[int, tuple[int, int]] = {}
+        for port in range(self._num_ports):
+            nominated = self._nominate(port, now)
+            if nominated is not None:
+                nominations[port] = nominated
+
+        if not nominations:
+            return
+
+        # Each output port accepts at most one nomination (round-robin over
+        # input ports for fairness).
+        granted_by_output: dict[int, tuple[int, int]] = {}
+        num_ports = self._num_ports
+        start = self._sa_port_pointer
+        for offset in range(num_ports):
+            port = (start + offset) % num_ports
+            if port not in nominations:
+                continue
+            vc_index = nominations[port][0]
+            input_vc = self._input_vcs[port][vc_index]
+            out_port = input_vc.out_port
+            if out_port is not None and out_port not in granted_by_output:
+                granted_by_output[out_port] = (port, vc_index)
+        self._sa_port_pointer = (self._sa_port_pointer + 1) % num_ports
+
+        for out_port, (port, vc_index) in granted_by_output.items():
+            self._forward_flit(port, vc_index, out_port, now)
+
+    def _nominate(self, port: int, now: int) -> tuple[int, int] | None:
+        """Pick one eligible (vc, out_port) pair of an input port, round-robin."""
+        config = self._config
+        vcs = config.num_virtual_channels
+        pointer = self._vc_pointers[port]
+        for offset in range(vcs):
+            vc_index = (pointer + offset) % vcs
+            input_vc = self._input_vcs[port][vc_index]
+            if input_vc.state != _ACTIVE or not input_vc.buffer:
+                continue
+            head = input_vc.buffer[0]
+            if now < head.arrival_cycle + config.router_latency_cycles:
+                continue
+            out_port = input_vc.out_port
+            out_vc = input_vc.out_vc
+            assert out_port is not None and out_vc is not None
+            if not self.is_ejection_port(out_port):
+                if self._output_vcs[out_port][out_vc].credits <= 0:
+                    continue
+            return (vc_index, out_port)
+        return None
+
+    def _forward_flit(self, port: int, vc_index: int, out_port: int, now: int) -> None:
+        input_vc = self._input_vcs[port][vc_index]
+        flit = input_vc.buffer.popleft()
+        self._buffered_flits -= 1
+        out_vc = input_vc.out_vc
+        assert out_vc is not None
+
+        ejection = self.is_ejection_port(out_port)
+        if not ejection:
+            self._output_vcs[out_port][out_vc].credits -= 1
+            flit.hops += 1
+        flit.vc = out_vc
+
+        channel = self._out_flit_channels[out_port]
+        if channel is None:
+            raise RuntimeError(
+                f"router {self.router_id}: no channel attached to output port {out_port}"
+            )
+        channel.send(flit, now)
+        self.forwarded_flits += 1
+
+        # Return a credit to whoever feeds this input port (router or endpoint).
+        credit_channel = self._in_credit_channels[port]
+        if credit_channel is not None:
+            credit_channel.send(vc_index, now)
+
+        if flit.is_tail:
+            # The packet is done with this input VC and its output VC.
+            self._output_vcs[out_port][out_vc].owner = None
+            input_vc.state = _IDLE
+            input_vc.out_port = None
+            input_vc.out_vc = None
+            input_vc.minimal_ports = ()
+            input_vc.escape_port = None
+            input_vc.escape_only = False

@@ -1,0 +1,162 @@
+"""Routing tables: minimal routing plus an up*/down* escape network.
+
+The arrangements are arbitrary (planar) graphs, so the simulator uses
+table-based routing like BookSim2's ``anynet`` mode:
+
+* **Minimal routing** — for every (current router, destination router)
+  pair the table holds *all* neighbours that lie on a shortest path; the
+  virtual-channel allocator may pick any of them (adaptive minimal
+  routing).
+* **Up*/down* escape routing** — deadlock freedom is guaranteed with an
+  escape virtual channel routed on a breadth-first spanning tree: a packet
+  on the escape channel travels up the tree towards the lowest common
+  ancestor and then down towards its destination.  Because "down" channels
+  never depend on "up" channels, the channel dependency graph of the
+  escape network is acyclic, so packets on it always drain; any packet
+  waiting on an adaptive channel may always fall back to the escape
+  channel, which makes the whole network deadlock free (Duato's
+  protocol).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.metrics import bfs_distances
+from repro.graphs.model import ChipGraph
+
+
+class RoutingTables:
+    """Precomputed routing information for one network topology.
+
+    Parameters
+    ----------
+    graph:
+        The inter-chiplet graph; nodes must be the integer router ids
+        ``0 .. num_routers - 1``.
+    """
+
+    def __init__(self, graph: ChipGraph) -> None:
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            raise ValueError(
+                "routing tables require contiguous integer router ids starting at 0"
+            )
+        self._graph = graph
+        self._num_routers = len(nodes)
+        self._distances: dict[int, dict[int, int]] = {
+            node: bfs_distances(graph, node) for node in nodes
+        }
+        for node, reachable in self._distances.items():
+            if len(reachable) != self._num_routers:
+                raise ValueError("the topology graph must be connected")
+        self._minimal_next_hops = self._build_minimal_next_hops()
+        self._parent, self._children, self._subtree = self._build_spanning_tree(root=0)
+
+    # -- construction helpers -------------------------------------------------
+
+    def _build_minimal_next_hops(self) -> dict[int, dict[int, tuple[int, ...]]]:
+        """For each (router, destination) pair: neighbours on shortest paths."""
+        tables: dict[int, dict[int, tuple[int, ...]]] = {}
+        for router in range(self._num_routers):
+            per_destination: dict[int, tuple[int, ...]] = {}
+            for destination in range(self._num_routers):
+                if destination == router:
+                    per_destination[destination] = ()
+                    continue
+                hops = self._distances[destination]
+                candidates = tuple(
+                    sorted(
+                        neighbour
+                        for neighbour in self._graph.neighbors(router)
+                        if hops[neighbour] == hops[router] - 1
+                    )
+                )
+                per_destination[destination] = candidates
+            tables[router] = per_destination
+        return tables
+
+    def _build_spanning_tree(
+        self, root: int
+    ) -> tuple[dict[int, int | None], dict[int, list[int]], dict[int, set[int]]]:
+        """Breadth-first spanning tree used by the up*/down* escape routing."""
+        parent: dict[int, int | None] = {root: None}
+        children: dict[int, list[int]] = {node: [] for node in range(self._num_routers)}
+        order: list[int] = []
+        queue: deque[int] = deque([root])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for neighbour in sorted(self._graph.neighbors(current)):
+                if neighbour not in parent:
+                    parent[neighbour] = current
+                    children[current].append(neighbour)
+                    queue.append(neighbour)
+        # Subtree membership (the set of descendants including the node
+        # itself), computed bottom-up in reverse BFS order.
+        subtree: dict[int, set[int]] = {node: {node} for node in range(self._num_routers)}
+        for node in reversed(order):
+            for child in children[node]:
+                subtree[node] |= subtree[child]
+        return parent, children, subtree
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        """Number of routers in the topology."""
+        return self._num_routers
+
+    def distance(self, source: int, destination: int) -> int:
+        """Hop distance between two routers."""
+        return self._distances[source][destination]
+
+    def minimal_next_hops(self, router: int, destination: int) -> tuple[int, ...]:
+        """All neighbours of ``router`` on a shortest path to ``destination``."""
+        return self._minimal_next_hops[router][destination]
+
+    def tree_parent(self, router: int) -> int | None:
+        """Parent of ``router`` in the escape spanning tree (``None`` for the root)."""
+        return self._parent[router]
+
+    def escape_next_hop(self, router: int, destination: int) -> int:
+        """Next hop of the up*/down* escape route from ``router`` to ``destination``.
+
+        If the destination lies in the subtree of one of the router's tree
+        children, the packet goes *down* to that child; otherwise it goes
+        *up* to the router's parent.
+        """
+        if router == destination:
+            raise ValueError("escape routing is undefined for router == destination")
+        for child in self._children[router]:
+            if destination in self._subtree[child]:
+                return child
+        parent = self._parent[router]
+        if parent is None:
+            raise RuntimeError(
+                "escape routing reached the tree root without finding the destination; "
+                "the spanning tree is inconsistent"
+            )
+        return parent
+
+    def escape_path(self, source: int, destination: int) -> list[int]:
+        """The complete up*/down* path between two routers (both inclusive)."""
+        path = [source]
+        current = source
+        safety = 0
+        while current != destination:
+            current = self.escape_next_hop(current, destination)
+            path.append(current)
+            safety += 1
+            if safety > 2 * self._num_routers:
+                raise RuntimeError("escape path did not converge; tree is inconsistent")
+        return path
+
+    def average_minimal_hops(self) -> float:
+        """Average shortest-path hop count over all ordered router pairs."""
+        if self._num_routers <= 1:
+            return 0.0
+        total = 0
+        for source, distances in self._distances.items():
+            total += sum(d for destination, d in distances.items() if destination != source)
+        return total / (self._num_routers * (self._num_routers - 1))

@@ -1,0 +1,251 @@
+"""The cycle loop: warm-up, measurement and drain phases.
+
+The simulator advances the network one cycle at a time.  Statistics follow
+standard network-on-chip methodology (and BookSim2's conventions):
+
+* packets created during the *warm-up* phase populate the network but are
+  not measured,
+* packets created during the *measurement* phase are tagged and their
+  latency (creation to tail ejection, i.e. including source queueing) is
+  reported,
+* the *drain* phase gives measured packets time to reach their
+  destination; accepted throughput, however, is counted strictly within
+  the measurement window so that saturated networks report their sustained
+  rate rather than their drained backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.model import ChipGraph
+from repro.noc.config import SimulationConfig
+from repro.noc.network import Network
+from repro.noc.stats import LatencyStatistics, ThroughputStatistics
+from repro.noc.traffic import TrafficPattern, make_traffic_pattern
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a single simulation run reports."""
+
+    injection_rate: float
+    packet_latency: LatencyStatistics
+    network_latency: LatencyStatistics
+    throughput: ThroughputStatistics
+    average_hops: float
+    cycles_simulated: int
+    num_routers: int
+    num_endpoints: int
+    measured_packets_created: int
+    measured_packets_ejected: int
+
+    @property
+    def zero_load_latency(self) -> float:
+        """Alias for the mean packet latency (meaningful at low load only)."""
+        return self.packet_latency.mean
+
+    @property
+    def accepted_flit_rate(self) -> float:
+        """Accepted throughput in flits per cycle per endpoint."""
+        return self.throughput.accepted_flit_rate
+
+    @property
+    def measured_delivery_ratio(self) -> float:
+        """Fraction of measured packets that reached their destination."""
+        if self.measured_packets_created == 0:
+            return 1.0
+        return self.measured_packets_ejected / self.measured_packets_created
+
+
+class NocSimulator:
+    """Cycle-accurate simulation of one topology at one injection rate.
+
+    Parameters
+    ----------
+    graph:
+        Inter-chiplet topology (router ids ``0 .. n-1``).
+    config:
+        Simulation configuration; defaults to the paper's setup.
+    injection_rate:
+        Offered load in flits per cycle per endpoint (fraction of capacity).
+    traffic:
+        Either a :class:`~repro.noc.traffic.TrafficPattern` instance or the
+        name of one (``"uniform"``, ``"hotspot"``, ...).
+    """
+
+    def __init__(
+        self,
+        graph: ChipGraph,
+        config: SimulationConfig | None = None,
+        *,
+        injection_rate: float = 0.1,
+        traffic: TrafficPattern | str = "uniform",
+    ) -> None:
+        self._config = config if config is not None else SimulationConfig()
+        check_fraction("injection_rate", injection_rate)
+        num_endpoints = graph.num_nodes * self._config.endpoints_per_chiplet
+        if isinstance(traffic, str):
+            traffic_pattern = make_traffic_pattern(traffic, num_endpoints)
+        else:
+            traffic_pattern = traffic
+        self._network = Network(
+            graph,
+            self._config,
+            traffic=traffic_pattern,
+            injection_rate=injection_rate,
+        )
+        self._injection_rate = injection_rate
+
+    @property
+    def network(self) -> Network:
+        """The underlying network (exposed for tests and instrumentation)."""
+        return self._network
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The simulation configuration in use."""
+        return self._config
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute warm-up, measurement and drain, then summarise the statistics."""
+        config = self._config
+        network = self._network
+
+        warmup_end = config.warmup_cycles
+        measure_end = warmup_end + config.measurement_cycles
+        total_cycles = measure_end + config.drain_cycles
+
+        ejected_before_measurement = 0
+        ejected_after_measurement = 0
+        injected_before_measurement = 0
+        injected_after_measurement = 0
+
+        for cycle in range(total_cycles):
+            if cycle == warmup_end:
+                ejected_before_measurement = network.total_ejected_flits()
+                injected_before_measurement = sum(
+                    e.injected_flits for e in network.endpoints
+                )
+            if cycle == measure_end:
+                ejected_after_measurement = network.total_ejected_flits()
+                injected_after_measurement = sum(
+                    e.injected_flits for e in network.endpoints
+                )
+
+            measured_phase = warmup_end <= cycle < measure_end
+            network.deliver_channels(cycle)
+            # During the drain phase the sources stop creating new packets so
+            # that in-flight measured packets can reach their destinations.
+            if cycle < measure_end:
+                network.step_endpoints(cycle, measured_phase=measured_phase)
+            network.step_routers(cycle)
+
+        if config.drain_cycles == 0:
+            ejected_after_measurement = network.total_ejected_flits()
+            injected_after_measurement = sum(e.injected_flits for e in network.endpoints)
+
+        return self._collect_results(
+            total_cycles,
+            ejected_during_measurement=ejected_after_measurement - ejected_before_measurement,
+            injected_during_measurement=injected_after_measurement
+            - injected_before_measurement,
+        )
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def _collect_results(
+        self,
+        cycles_simulated: int,
+        *,
+        ejected_during_measurement: int,
+        injected_during_measurement: int,
+    ) -> SimulationResult:
+        config = self._config
+        network = self._network
+
+        measured_packets = [
+            packet
+            for endpoint in network.endpoints
+            for packet in endpoint.ejected_packets
+            if packet.measured
+        ]
+        packet_latencies = [float(p.latency) for p in measured_packets]
+        network_latencies = [float(p.network_latency) for p in measured_packets]
+
+        measured_created = self._count_measured_created()
+
+        hop_counts: list[int] = []
+        for endpoint in network.endpoints:
+            for packet in endpoint.ejected_packets:
+                if packet.measured:
+                    hop_counts.append(self._network.routing.distance(
+                        network.endpoint_to_router[packet.source],
+                        network.endpoint_to_router[packet.destination],
+                    ))
+        average_hops = sum(hop_counts) / len(hop_counts) if hop_counts else 0.0
+
+        measurement_cycles = config.measurement_cycles
+        num_endpoints = network.num_endpoints
+        accepted_rate = ejected_during_measurement / (measurement_cycles * num_endpoints)
+        throughput = ThroughputStatistics(
+            offered_flit_rate=self._injection_rate,
+            accepted_flit_rate=accepted_rate,
+            injected_flits=injected_during_measurement,
+            ejected_flits=ejected_during_measurement,
+            measurement_cycles=measurement_cycles,
+            num_endpoints=num_endpoints,
+        )
+
+        return SimulationResult(
+            injection_rate=self._injection_rate,
+            packet_latency=LatencyStatistics.from_samples(packet_latencies),
+            network_latency=LatencyStatistics.from_samples(network_latencies),
+            throughput=throughput,
+            average_hops=average_hops,
+            cycles_simulated=cycles_simulated,
+            num_routers=network.num_routers,
+            num_endpoints=num_endpoints,
+            measured_packets_created=measured_created,
+            measured_packets_ejected=len(measured_packets),
+        )
+
+    def _count_measured_created(self) -> int:
+        """Number of packets created during the measurement phase.
+
+        Created packets are only tracked per endpoint as a total count, so
+        the measured subset is recovered from the packets that carry the
+        ``measured`` flag: those still in flight sit in source queues or
+        network buffers and those delivered sit in ``ejected_packets``.
+        Because the flag is assigned at creation time, counting flagged
+        packets among all created ones requires walking the source queues,
+        which is cheap at the end of a run.
+        """
+        network = self._network
+        measured = 0
+        for endpoint in network.endpoints:
+            for packet in endpoint.ejected_packets:
+                if packet.measured:
+                    measured += 1
+            for packet in endpoint._source_queue:  # noqa: SLF001 - end-of-run introspection
+                if packet.measured:
+                    measured += 1
+            for flit in endpoint._pending_flits:  # noqa: SLF001 - end-of-run introspection
+                if flit.is_head and flit.packet.measured:
+                    measured += 1
+        # Packets in flight inside the network are neither queued nor ejected;
+        # count them through the routers' buffers (head flits only).
+        for router in network.routers:
+            for port_vcs in router._input_vcs:  # noqa: SLF001 - end-of-run introspection
+                for input_vc in port_vcs:
+                    for flit in input_vc.buffer:
+                        if flit.is_head and flit.packet.measured:
+                            measured += 1
+        for channel, _ in network._channels:  # noqa: SLF001 - end-of-run introspection
+            for _, payload in channel._queue:  # noqa: SLF001
+                if hasattr(payload, "is_head") and payload.is_head and payload.packet.measured:
+                    measured += 1
+        return measured

@@ -1,0 +1,82 @@
+"""Statistics containers for simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("cannot compute percentiles of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return float(sorted_values[rank])
+
+
+@dataclass(frozen=True)
+class LatencyStatistics:
+    """Summary of packet latencies (in cycles)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStatistics":
+        """Build the summary from raw latency samples."""
+        if not samples:
+            return cls(count=0, mean=float("nan"), median=float("nan"),
+                       p95=float("nan"), p99=float("nan"),
+                       minimum=float("nan"), maximum=float("nan"))
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            median=_percentile(ordered, 0.5),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            minimum=float(ordered[0]),
+            maximum=float(ordered[-1]),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no samples were collected."""
+        return self.count == 0
+
+
+@dataclass(frozen=True)
+class ThroughputStatistics:
+    """Offered vs. accepted traffic during the measurement window.
+
+    Rates are expressed in flits per cycle per endpoint, i.e. as a fraction
+    of the aggregate endpoint injection capacity — the same normalisation
+    BookSim2 uses when it reports throughput as a percentage of the full
+    global bandwidth.
+    """
+
+    offered_flit_rate: float
+    accepted_flit_rate: float
+    injected_flits: int
+    ejected_flits: int
+    measurement_cycles: int
+    num_endpoints: int
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted over offered rate (1.0 below saturation, < 1.0 above)."""
+        if self.offered_flit_rate == 0.0:
+            return 1.0
+        return self.accepted_flit_rate / self.offered_flit_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """Heuristic stability check: the network accepts ~all offered traffic."""
+        return self.acceptance_ratio >= 0.95

@@ -1,0 +1,129 @@
+"""Injection-rate sweeps: zero-load latency and saturation throughput.
+
+Section VI of the paper reports two numbers per design point:
+
+* the **zero-load latency** — the average packet latency when the network
+  is (almost) empty, measured here at a very low injection rate,
+* the **saturation throughput** — the maximum traffic the network can
+  sustain, reported by BookSim2 as a fraction of the full global
+  bandwidth and converted into Tb/s with the link-bandwidth model.
+
+Two estimation methods are provided for the saturation throughput:
+
+* ``"overload"`` (default, one simulation): drive every endpoint at full
+  injection rate and report the accepted flit rate — the plateau of the
+  throughput-vs-offered-load curve;
+* ``"sweep"`` (several simulations): sweep the offered load and return the
+  maximum accepted rate observed, together with the whole curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs.model import ChipGraph
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.traffic import TrafficPattern
+from repro.utils.validation import check_fraction, check_in_choices
+
+#: Injection rate used to approximate "zero load".
+ZERO_LOAD_INJECTION_RATE = 0.02
+
+
+@dataclass(frozen=True)
+class InjectionSweepResult:
+    """The latency / throughput curve of an injection-rate sweep."""
+
+    rates: tuple[float, ...]
+    results: tuple[SimulationResult, ...]
+
+    @property
+    def accepted_rates(self) -> tuple[float, ...]:
+        """Accepted flit rates (per endpoint) at each offered rate."""
+        return tuple(result.accepted_flit_rate for result in self.results)
+
+    @property
+    def mean_latencies(self) -> tuple[float, ...]:
+        """Mean packet latencies at each offered rate."""
+        return tuple(result.packet_latency.mean for result in self.results)
+
+    @property
+    def saturation_throughput(self) -> float:
+        """Maximum accepted flit rate observed over the sweep."""
+        return max(self.accepted_rates)
+
+    def stable_points(self) -> list[tuple[float, SimulationResult]]:
+        """The (rate, result) pairs at which the network was stable."""
+        return [
+            (rate, result)
+            for rate, result in zip(self.rates, self.results)
+            if result.throughput.is_stable
+        ]
+
+
+def _simulate(
+    graph: ChipGraph,
+    config: SimulationConfig,
+    rate: float,
+    traffic: TrafficPattern | str,
+) -> SimulationResult:
+    simulator = NocSimulator(graph, config, injection_rate=rate, traffic=traffic)
+    return simulator.run()
+
+
+def measure_zero_load_latency(
+    graph: ChipGraph,
+    config: SimulationConfig | None = None,
+    *,
+    traffic: TrafficPattern | str = "uniform",
+    injection_rate: float = ZERO_LOAD_INJECTION_RATE,
+) -> SimulationResult:
+    """Measure the zero-load latency by simulating at a very low injection rate."""
+    check_fraction("injection_rate", injection_rate)
+    if config is None:
+        config = SimulationConfig()
+    return _simulate(graph, config, injection_rate, traffic)
+
+
+def run_injection_sweep(
+    graph: ChipGraph,
+    config: SimulationConfig | None = None,
+    *,
+    rates: Sequence[float] | None = None,
+    traffic: TrafficPattern | str = "uniform",
+) -> InjectionSweepResult:
+    """Simulate the network at a sequence of offered loads."""
+    if config is None:
+        config = SimulationConfig()
+    if rates is None:
+        rates = (0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
+    for rate in rates:
+        check_fraction("injection rate", rate)
+    results = tuple(_simulate(graph, config, rate, traffic) for rate in rates)
+    return InjectionSweepResult(rates=tuple(rates), results=results)
+
+
+def measure_saturation_throughput(
+    graph: ChipGraph,
+    config: SimulationConfig | None = None,
+    *,
+    traffic: TrafficPattern | str = "uniform",
+    method: str = "overload",
+    rates: Sequence[float] | None = None,
+) -> tuple[float, SimulationResult | InjectionSweepResult]:
+    """Estimate the saturation throughput in flits per cycle per endpoint.
+
+    Returns a pair ``(saturation_rate, evidence)`` where ``evidence`` is the
+    single overload simulation (``method="overload"``) or the full sweep
+    (``method="sweep"``).
+    """
+    check_in_choices("method", method, ("overload", "sweep"))
+    if config is None:
+        config = SimulationConfig()
+    if method == "overload":
+        result = _simulate(graph, config, 1.0, traffic)
+        return result.accepted_flit_rate, result
+    sweep = run_injection_sweep(graph, config, rates=rates, traffic=traffic)
+    return sweep.saturation_throughput, sweep

@@ -1,0 +1,191 @@
+"""Synthetic traffic patterns and injection processes.
+
+The paper's evaluation uses uniform random traffic (BookSim2's default).
+Additional classic patterns are provided for sensitivity studies: random
+permutation, hotspot, bit-complement, tornado and nearest-neighbour.  All
+patterns are defined on endpoint identifiers so they work on arbitrary
+topologies (the arrangements are general graphs, not tori), matching the
+way BookSim2's ``anynet`` mode treats its node ids.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.utils.validation import check_fraction, check_non_negative, check_positive_int
+
+
+class TrafficPattern(abc.ABC):
+    """Maps a source endpoint to a destination endpoint for each new packet."""
+
+    def __init__(self, num_endpoints: int) -> None:
+        check_positive_int("num_endpoints", num_endpoints, minimum=2)
+        self._num_endpoints = num_endpoints
+
+    @property
+    def num_endpoints(self) -> int:
+        """Number of endpoints in the network."""
+        return self._num_endpoints
+
+    @abc.abstractmethod
+    def destination(self, source: int, rng: random.Random) -> int:
+        """Destination endpoint for a packet created at ``source``."""
+
+    def _check_source(self, source: int) -> None:
+        if not 0 <= source < self._num_endpoints:
+            raise ValueError(
+                f"source endpoint {source} out of range [0, {self._num_endpoints})"
+            )
+
+
+class UniformRandomTraffic(TrafficPattern):
+    """Every other endpoint is an equally likely destination."""
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        self._check_source(source)
+        destination = rng.randrange(self._num_endpoints - 1)
+        if destination >= source:
+            destination += 1
+        return destination
+
+
+class PermutationTraffic(TrafficPattern):
+    """A fixed random permutation: each source always targets the same destination.
+
+    The permutation is derangement-like: no endpoint is mapped to itself.
+    """
+
+    def __init__(self, num_endpoints: int, *, seed: int = 0) -> None:
+        super().__init__(num_endpoints)
+        rng = random.Random(seed)
+        targets = list(range(num_endpoints))
+        # Rejection-sample until the shuffle has no fixed point; for the
+        # sizes of interest this converges after a couple of attempts.
+        for _ in range(1000):
+            rng.shuffle(targets)
+            if all(index != value for index, value in enumerate(targets)):
+                break
+        else:
+            # Fall back to a cyclic shift, which is always fixed-point free.
+            targets = [(index + 1) % num_endpoints for index in range(num_endpoints)]
+        self._targets = targets
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        self._check_source(source)
+        return self._targets[source]
+
+
+class HotspotTraffic(TrafficPattern):
+    """A fraction of the traffic targets a small set of hotspot endpoints.
+
+    With probability ``hotspot_fraction`` the destination is drawn from the
+    hotspot set, otherwise it is uniform random over all other endpoints.
+    """
+
+    def __init__(
+        self,
+        num_endpoints: int,
+        hotspots: list[int] | None = None,
+        *,
+        hotspot_fraction: float = 0.2,
+    ) -> None:
+        super().__init__(num_endpoints)
+        check_fraction("hotspot_fraction", hotspot_fraction)
+        if hotspots is None:
+            hotspots = [0]
+        for endpoint in hotspots:
+            if not 0 <= endpoint < num_endpoints:
+                raise ValueError(f"hotspot endpoint {endpoint} out of range")
+        if not hotspots:
+            raise ValueError("at least one hotspot endpoint is required")
+        self._hotspots = list(hotspots)
+        self._hotspot_fraction = hotspot_fraction
+        self._uniform = UniformRandomTraffic(num_endpoints)
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        self._check_source(source)
+        if rng.random() < self._hotspot_fraction:
+            candidates = [h for h in self._hotspots if h != source]
+            if candidates:
+                return rng.choice(candidates)
+        return self._uniform.destination(source, rng)
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Endpoint ``i`` sends to endpoint ``num_endpoints - 1 - i``."""
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        self._check_source(source)
+        destination = self._num_endpoints - 1 - source
+        if destination == source:
+            # Odd endpoint counts have a central fixed point; send it one over.
+            destination = (source + 1) % self._num_endpoints
+        return destination
+
+
+class TornadoTraffic(TrafficPattern):
+    """Endpoint ``i`` sends halfway around the endpoint id space."""
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        self._check_source(source)
+        offset = max(1, self._num_endpoints // 2)
+        return (source + offset) % self._num_endpoints
+
+
+class NeighborTraffic(TrafficPattern):
+    """Endpoint ``i`` sends to endpoint ``i + 1`` (wrapping around)."""
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        self._check_source(source)
+        return (source + 1) % self._num_endpoints
+
+
+_PATTERN_FACTORIES = {
+    "uniform": UniformRandomTraffic,
+    "permutation": PermutationTraffic,
+    "hotspot": HotspotTraffic,
+    "bitcomplement": BitComplementTraffic,
+    "tornado": TornadoTraffic,
+    "neighbor": NeighborTraffic,
+}
+
+
+def make_traffic_pattern(name: str, num_endpoints: int, **kwargs) -> TrafficPattern:
+    """Create a traffic pattern by name (``"uniform"``, ``"hotspot"``, ...)."""
+    key = name.lower()
+    if key not in _PATTERN_FACTORIES:
+        valid = ", ".join(sorted(_PATTERN_FACTORIES))
+        raise ValueError(f"unknown traffic pattern {name!r}; expected one of: {valid}")
+    return _PATTERN_FACTORIES[key](num_endpoints, **kwargs)
+
+
+class BernoulliInjection:
+    """Bernoulli injection process.
+
+    Every cycle, each endpoint starts a new packet with probability
+    ``rate / packet_size`` so that the *flit* injection rate equals
+    ``rate`` flits per cycle per endpoint — the convention BookSim2 uses
+    when reporting offered load as a fraction of capacity.
+    """
+
+    def __init__(self, rate: float, packet_size_flits: int = 1) -> None:
+        check_non_negative("rate", rate)
+        check_positive_int("packet_size_flits", packet_size_flits)
+        if rate > 1.0:
+            raise ValueError(
+                f"injection rate is a fraction of endpoint capacity and must be <= 1, got {rate}"
+            )
+        self._rate = rate
+        self._packet_probability = rate / packet_size_flits
+
+    @property
+    def flit_rate(self) -> float:
+        """Offered load in flits per cycle per endpoint."""
+        return self._rate
+
+    def should_inject(self, rng: random.Random) -> bool:
+        """Decide whether a new packet is created this cycle."""
+        if self._packet_probability <= 0.0:
+            return False
+        return rng.random() < self._packet_probability

@@ -1,0 +1,38 @@
+"""Balanced graph bisection (the library's METIS substitute).
+
+The paper estimates the bisection bandwidth of semi-regular and irregular
+arrangements with METIS [13].  METIS is a compiled C library; this package
+provides a pure-Python portfolio of balanced-bisection algorithms that is
+more than adequate for the small planar graphs of interest (at most a few
+hundred vertices):
+
+* :mod:`repro.partition.spectral` — Fiedler-vector (spectral) bisection,
+* :mod:`repro.partition.kernighan_lin` — classic Kernighan–Lin swapping,
+* :mod:`repro.partition.fiduccia_mattheyses` — FM single-move refinement
+  with gain buckets,
+* :mod:`repro.partition.greedy` — BFS region-growing used as a seed
+  generator,
+* :mod:`repro.partition.estimator` — the multi-start portfolio that keeps
+  the best balanced cut; :func:`estimate_bisection_bandwidth` is the
+  drop-in replacement for the paper's METIS call.
+"""
+
+from repro.partition.estimator import (
+    BisectionResult,
+    estimate_bisection_bandwidth,
+    find_best_bisection,
+)
+from repro.partition.fiduccia_mattheyses import fiduccia_mattheyses_refine
+from repro.partition.greedy import bfs_grow_partition
+from repro.partition.kernighan_lin import kernighan_lin_refine
+from repro.partition.spectral import spectral_bisection
+
+__all__ = [
+    "BisectionResult",
+    "bfs_grow_partition",
+    "estimate_bisection_bandwidth",
+    "fiduccia_mattheyses_refine",
+    "find_best_bisection",
+    "kernighan_lin_refine",
+    "spectral_bisection",
+]

@@ -1,0 +1,45 @@
+"""Shared helpers for the bisection algorithms."""
+
+from __future__ import annotations
+
+from repro.graphs.model import ChipGraph, Node
+
+
+def validate_partition(graph: ChipGraph, part: set[Node]) -> None:
+    """Check that ``part`` is a non-trivial subset of the graph's nodes."""
+    nodes = set(graph.nodes())
+    if not part:
+        raise ValueError("a partition side must not be empty")
+    if not part <= nodes:
+        unknown = part - nodes
+        raise ValueError(f"partition contains unknown nodes: {sorted(unknown, key=repr)!r}")
+    if part == nodes:
+        raise ValueError("a partition side must not contain every node")
+
+
+def cut_size(graph: ChipGraph, part: set[Node]) -> int:
+    """Number of edges with exactly one endpoint inside ``part``."""
+    validate_partition(graph, part)
+    return graph.cut_size(part)
+
+
+def is_balanced(graph: ChipGraph, part: set[Node], *, tolerance: int = 0) -> bool:
+    """Check the bisection balance constraint.
+
+    A bisection is balanced when the two sides differ by at most one node
+    (for odd node counts) plus the optional extra ``tolerance``.
+    """
+    total = graph.num_nodes
+    other = total - len(part)
+    allowed = total % 2 + tolerance
+    return abs(len(part) - other) <= allowed
+
+
+def balanced_target_size(num_nodes: int) -> int:
+    """Size of the smaller side of a perfectly balanced bisection."""
+    return num_nodes // 2
+
+
+def complement(graph: ChipGraph, part: set[Node]) -> set[Node]:
+    """Nodes of the graph that are not in ``part``."""
+    return set(graph.nodes()) - set(part)

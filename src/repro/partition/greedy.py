@@ -1,0 +1,74 @@
+"""BFS region-growing partitions.
+
+Growing one half of the bisection as a breadth-first region around a seed
+vertex produces geometrically compact halves, which is an excellent
+starting point for the refinement passes (and often already optimal on the
+mesh-like graphs of chiplet arrangements).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.graphs.model import ChipGraph, Node
+from repro.partition.common import balanced_target_size
+
+
+def bfs_grow_partition(
+    graph: ChipGraph,
+    seed_node: Node | None = None,
+    *,
+    rng: random.Random | None = None,
+) -> set[Node]:
+    """Grow one balanced half of the graph by BFS from ``seed_node``.
+
+    The returned set has exactly ``floor(n / 2)`` nodes.  When the BFS
+    frontier empties before the target size is reached (disconnected
+    graphs), arbitrary remaining nodes are added to reach the target size.
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        raise ValueError("cannot partition an empty graph")
+    if rng is None:
+        rng = random.Random(0)
+    if seed_node is None:
+        seed_node = rng.choice(nodes)
+    elif not graph.has_node(seed_node):
+        raise KeyError(f"seed node {seed_node!r} is not in the graph")
+
+    target = balanced_target_size(len(nodes))
+    if target == 0:
+        return set()
+
+    part: set[Node] = set()
+    visited: set[Node] = {seed_node}
+    queue: deque[Node] = deque([seed_node])
+    while queue and len(part) < target:
+        current = queue.popleft()
+        part.add(current)
+        neighbours = graph.neighbors(current)
+        rng.shuffle(neighbours)
+        for neighbour in neighbours:
+            if neighbour not in visited:
+                visited.add(neighbour)
+                queue.append(neighbour)
+    if len(part) < target:
+        for node in nodes:
+            if node not in part:
+                part.add(node)
+                if len(part) == target:
+                    break
+    return part
+
+
+def random_balanced_partition(graph: ChipGraph, rng: random.Random | None = None) -> set[Node]:
+    """A uniformly random balanced half of the graph's nodes."""
+    if rng is None:
+        rng = random.Random(0)
+    nodes = graph.nodes()
+    if not nodes:
+        raise ValueError("cannot partition an empty graph")
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    return set(shuffled[: balanced_target_size(len(nodes))])

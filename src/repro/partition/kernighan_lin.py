@@ -1,0 +1,108 @@
+"""Kernighan–Lin refinement of a balanced bisection.
+
+The classic KL heuristic repeatedly finds a sequence of vertex *swaps*
+(one vertex from each side) with maximum cumulative gain and applies the
+best prefix of the sequence.  Because vertices are always exchanged in
+pairs, the balance of the bisection is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.model import ChipGraph, Node
+from repro.partition.common import complement, validate_partition
+
+
+def _gain(graph: ChipGraph, node: Node, own_side: set[Node]) -> int:
+    """External minus internal degree of ``node`` with respect to its side."""
+    external = 0
+    internal = 0
+    for neighbour in graph.neighbors(node):
+        if neighbour in own_side:
+            internal += 1
+        else:
+            external += 1
+    return external - internal
+
+
+def kernighan_lin_refine(
+    graph: ChipGraph,
+    part: set[Node],
+    *,
+    max_passes: int = 10,
+) -> set[Node]:
+    """Improve a balanced bisection with Kernighan–Lin passes.
+
+    Parameters
+    ----------
+    graph:
+        The graph to bisect.
+    part:
+        One side of the initial bisection (not modified).
+    max_passes:
+        Upper bound on the number of full KL passes; the refinement stops
+        earlier as soon as a pass yields no improvement.
+
+    Returns
+    -------
+    set
+        The refined side with exactly ``len(part)`` nodes.
+    """
+    validate_partition(graph, set(part))
+    side_a = set(part)
+    side_b = complement(graph, side_a)
+
+    for _ in range(max_passes):
+        gains = {node: _gain(graph, node, side_a) for node in side_a}
+        gains.update({node: _gain(graph, node, side_b) for node in side_b})
+        locked: set[Node] = set()
+        swap_sequence: list[tuple[Node, Node, int]] = []
+        work_a, work_b = set(side_a), set(side_b)
+
+        # Build the swap sequence for this pass.
+        for _ in range(min(len(work_a), len(work_b))):
+            best_swap: tuple[Node, Node] | None = None
+            best_gain = None
+            for node_a in work_a - locked:
+                for node_b in work_b - locked:
+                    connection = 1 if graph.has_edge(node_a, node_b) else 0
+                    swap_gain = gains[node_a] + gains[node_b] - 2 * connection
+                    if best_gain is None or swap_gain > best_gain:
+                        best_gain = swap_gain
+                        best_swap = (node_a, node_b)
+            if best_swap is None:
+                break
+            node_a, node_b = best_swap
+            swap_sequence.append((node_a, node_b, int(best_gain)))
+            locked.update(best_swap)
+            # Update gains as if the swap had been applied.
+            work_a.discard(node_a)
+            work_b.discard(node_b)
+            work_a.add(node_b)
+            work_b.add(node_a)
+            for node in set(graph.neighbors(node_a)) | set(graph.neighbors(node_b)):
+                if node in locked:
+                    continue
+                own_side = work_a if node in work_a else work_b
+                gains[node] = _gain(graph, node, own_side)
+
+        if not swap_sequence:
+            break
+
+        # Apply the prefix of the swap sequence with the best cumulative gain.
+        cumulative = 0
+        best_cumulative = 0
+        best_prefix = 0
+        for index, (_, _, swap_gain) in enumerate(swap_sequence, start=1):
+            cumulative += swap_gain
+            if cumulative > best_cumulative:
+                best_cumulative = cumulative
+                best_prefix = index
+        if best_prefix == 0:
+            break
+        for node_a, node_b, _ in swap_sequence[:best_prefix]:
+            side_a.discard(node_a)
+            side_a.add(node_b)
+            side_b.discard(node_b)
+            side_b.add(node_a)
+
+    return side_a

@@ -1,0 +1,59 @@
+"""Spectral (Fiedler-vector) bisection.
+
+The eigenvector of the graph Laplacian associated with the second-smallest
+eigenvalue (the Fiedler vector) orders the vertices along the "smoothest"
+cut direction of the graph.  Splitting the ordering in the middle yields a
+balanced bisection that is close to optimal on mesh-like graphs.  The dense
+eigen-decomposition used here is entirely adequate for graphs with a few
+hundred vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.model import ChipGraph, Node
+from repro.partition.common import balanced_target_size
+
+
+def fiedler_vector(graph: ChipGraph) -> tuple[list[Node], np.ndarray]:
+    """Return the node ordering and the Fiedler vector of the graph.
+
+    The result is a pair ``(nodes, vector)`` where ``vector[i]`` is the
+    Fiedler-vector entry of ``nodes[i]``.  Graphs with fewer than two nodes
+    raise :class:`ValueError`.
+    """
+    nodes = graph.nodes()
+    count = len(nodes)
+    if count < 2:
+        raise ValueError("the Fiedler vector requires at least two nodes")
+    index = {node: i for i, node in enumerate(nodes)}
+    laplacian = np.zeros((count, count), dtype=float)
+    for first, second in graph.edges():
+        i, j = index[first], index[second]
+        laplacian[i, j] -= 1.0
+        laplacian[j, i] -= 1.0
+        laplacian[i, i] += 1.0
+        laplacian[j, j] += 1.0
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    # The smallest eigenvalue is (numerically) zero; the Fiedler vector is
+    # the eigenvector of the second-smallest eigenvalue.
+    order = np.argsort(eigenvalues)
+    fiedler = eigenvectors[:, order[1]]
+    return nodes, fiedler
+
+
+def spectral_bisection(graph: ChipGraph) -> set[Node]:
+    """Balanced bisection obtained by thresholding the Fiedler vector.
+
+    The nodes are sorted by their Fiedler-vector entry and the first
+    ``floor(n / 2)`` of them form the returned half.  Ties are broken by
+    node order to keep the result deterministic.
+    """
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        raise ValueError("cannot bisect a graph with fewer than two nodes")
+    ordered_nodes, vector = fiedler_vector(graph)
+    ranking = sorted(range(len(ordered_nodes)), key=lambda i: (vector[i], i))
+    target = balanced_target_size(len(nodes))
+    return {ordered_nodes[i] for i in ranking[:target]}

@@ -1,0 +1,160 @@
+"""Channel-load saturation-throughput model.
+
+Under uniform random traffic every endpoint sends to every other endpoint
+with equal probability.  With minimal routing that splits evenly over all
+shortest paths, the expected load of each directed inter-chiplet channel
+can be computed exactly; the network saturates when the most-loaded channel
+reaches unit utilisation (one flit per cycle), so
+
+.. math::
+
+   \\lambda_{sat} = \\frac{1}{\\max_c \\gamma_c}
+
+where ``γ_c`` is the load of channel ``c`` per unit of per-endpoint
+injection rate.  The result is the saturation throughput as a fraction of
+the aggregate endpoint injection capacity — directly comparable to the
+relative saturation throughput reported by the cycle-accurate simulator
+and by BookSim2.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.metrics import bfs_distances
+from repro.graphs.model import ChipGraph
+from repro.noc.config import SimulationConfig
+
+
+def channel_loads_per_unit_injection(
+    graph: ChipGraph, *, endpoints_per_chiplet: int = 2
+) -> dict[tuple[int, int], float]:
+    """Expected load of every directed channel per unit injection rate.
+
+    The load is expressed in flits per cycle on the channel when every
+    endpoint injects one flit per cycle (uniform random destinations,
+    minimal routing with even splitting over shortest paths).
+
+    Returns a mapping ``(u, v) -> load`` for every directed inter-chiplet
+    channel.
+    """
+    if endpoints_per_chiplet < 1:
+        raise ValueError("endpoints_per_chiplet must be >= 1")
+    routers = sorted(graph.nodes())
+    num_routers = len(routers)
+    if routers != list(range(num_routers)):
+        raise ValueError("channel-load analysis requires router ids 0 .. n-1")
+    num_endpoints = num_routers * endpoints_per_chiplet
+    if num_endpoints < 2:
+        raise ValueError("channel-load analysis requires at least two endpoints")
+
+    loads: dict[tuple[int, int], float] = {}
+    for u in routers:
+        for v in graph.neighbors(u):
+            loads[(u, v)] = 0.0
+
+    # Per-endpoint injection of 1 flit/cycle, uniformly spread over the
+    # other endpoints: the flow from router s to a *different* router d is
+    # e_per_chiplet (sources) * e_per_chiplet (destinations) / (E - 1).
+    pair_flow = endpoints_per_chiplet * endpoints_per_chiplet / (num_endpoints - 1)
+
+    for destination in routers:
+        distances = bfs_distances(graph, destination)
+        if len(distances) != num_routers:
+            raise ValueError("channel-load analysis is undefined for disconnected graphs")
+        # Process sources from the farthest to the nearest so that flow
+        # accumulated at a node is complete before it is forwarded.
+        order = sorted(
+            (node for node in routers if node != destination),
+            key=lambda node: -distances[node],
+        )
+        incoming = {node: 0.0 for node in routers}
+        for node in order:
+            flow = incoming[node] + pair_flow
+            next_hops = [
+                neighbour
+                for neighbour in graph.neighbors(node)
+                if distances[neighbour] == distances[node] - 1
+            ]
+            share = flow / len(next_hops)
+            for neighbour in next_hops:
+                loads[(node, neighbour)] += share
+                if neighbour != destination:
+                    incoming[neighbour] += share
+    return loads
+
+
+def saturation_throughput_fraction(
+    graph: ChipGraph,
+    config: SimulationConfig | None = None,
+) -> float:
+    """Saturation throughput as a fraction of the endpoint injection capacity.
+
+    A value of ``x`` means the network can sustain every endpoint injecting
+    ``x`` flits per cycle under uniform random traffic.  Single-chiplet
+    networks (no inter-chiplet channel) are only limited by their local
+    ports and return 1.0.
+    """
+    if config is None:
+        config = SimulationConfig()
+    if graph.num_edges == 0:
+        return 1.0
+    loads = channel_loads_per_unit_injection(
+        graph, endpoints_per_chiplet=config.endpoints_per_chiplet
+    )
+    worst = max(loads.values())
+    if worst <= 0.0:
+        return 1.0
+    return min(1.0, 1.0 / worst)
+
+
+def bisection_limited_saturation_fraction(
+    graph: ChipGraph,
+    config: SimulationConfig | None = None,
+    *,
+    bisection_links: float | None = None,
+    partition_seed: int = 0,
+) -> float:
+    """Bisection-limited saturation throughput fraction.
+
+    Under uniform random traffic half of all traffic crosses any balanced
+    bisection of the chip, split evenly between the two directions, so a
+    bisection of ``B`` links bounds the per-endpoint injection rate at
+
+    .. math::
+
+       \\lambda_{sat} = \\min\\!\\left(1, \\frac{4 B}{E}\\right)
+
+    with ``E`` endpoints.  This is the classical upper bound a well-balanced
+    routing function can approach (dimension-ordered routing reaches it on a
+    mesh); it is the throughput proxy the paper's discussion of Figure 7d is
+    phrased in, so it is the default analytical throughput engine of the
+    evaluation harness.  The more conservative
+    :func:`saturation_throughput_fraction` (per-node even-split channel
+    loads) and the cycle-accurate simulator are available as alternatives.
+
+    Parameters
+    ----------
+    graph:
+        Inter-chiplet topology.
+    config:
+        Simulation configuration (supplies the endpoints per chiplet).
+    bisection_links:
+        Pre-computed bisection bandwidth in links; when ``None`` it is
+        estimated with the partitioning portfolio (the METIS substitute).
+    partition_seed:
+        Seed of the bisection estimator when it has to run.
+    """
+    if config is None:
+        config = SimulationConfig()
+    if graph.num_edges == 0 or graph.num_nodes < 2:
+        return 1.0
+    if bisection_links is None:
+        # Imported lazily: repro.partition does not depend on repro.noc and
+        # keeping it out of module import time avoids a cycle with callers
+        # that only need the latency model.
+        from repro.partition.estimator import estimate_bisection_bandwidth
+
+        bisection_links = float(
+            estimate_bisection_bandwidth(graph, seed=partition_seed)
+        )
+    num_endpoints = graph.num_nodes * config.endpoints_per_chiplet
+    return min(1.0, 4.0 * bisection_links / num_endpoints)

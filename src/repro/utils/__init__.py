@@ -1,0 +1,37 @@
+"""Small shared helpers used across the library."""
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_type,
+)
+from repro.utils.mathutils import (
+    almost_equal,
+    balanced_factor_pair,
+    ceil_div,
+    hexamesh_chiplet_count,
+    hexamesh_rings_for_count,
+    is_hexamesh_count,
+    is_perfect_square,
+    isqrt_floor,
+)
+
+__all__ = [
+    "almost_equal",
+    "balanced_factor_pair",
+    "ceil_div",
+    "check_fraction",
+    "check_in_choices",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_type",
+    "hexamesh_chiplet_count",
+    "hexamesh_rings_for_count",
+    "is_hexamesh_count",
+    "is_perfect_square",
+    "isqrt_floor",
+]

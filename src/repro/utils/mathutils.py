@@ -1,0 +1,90 @@
+"""Integer and floating-point helpers shared by the arrangement generators.
+
+The helpers here encode the small pieces of number theory the paper relies
+on: perfect squares (regular grids and brickwalls), balanced factor pairs
+(semi-regular grids) and the centred-hexagonal numbers ``1 + 3 r (r + 1)``
+that admit a *regular* HexaMesh.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive_int
+
+
+def isqrt_floor(n: int) -> int:
+    """Return ``floor(sqrt(n))`` for a non-negative integer ``n``."""
+    if n < 0:
+        raise ValueError(f"isqrt_floor requires n >= 0, got {n}")
+    return math.isqrt(n)
+
+
+def is_perfect_square(n: int) -> bool:
+    """Return ``True`` if ``n`` is a perfect square (``n >= 0``)."""
+    if n < 0:
+        return False
+    root = math.isqrt(n)
+    return root * root == n
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def almost_equal(a: float, b: float, *, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Floating-point comparison with both relative and absolute tolerance."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def balanced_factor_pair(n: int) -> tuple[int, int] | None:
+    """Return the most balanced non-trivial factorisation ``(rows, cols)`` of ``n``.
+
+    The pair satisfies ``rows * cols == n`` with ``2 <= rows <= cols`` and
+    minimises ``cols - rows``.  Returns ``None`` when no such factorisation
+    exists (``n`` is prime or smaller than 4).  A pair with ``rows == cols``
+    (perfect square) is returned as well; callers that want a strictly
+    *semi-regular* layout must check for inequality themselves.
+    """
+    check_positive_int("n", n)
+    if n < 4:
+        return None
+    best: tuple[int, int] | None = None
+    for rows in range(isqrt_floor(n), 1, -1):
+        if n % rows == 0:
+            cols = n // rows
+            best = (rows, cols)
+            break
+    return best
+
+
+def hexamesh_chiplet_count(rings: int) -> int:
+    """Number of chiplets in a regular HexaMesh with ``rings`` rings.
+
+    A regular HexaMesh consists of one central chiplet surrounded by
+    ``rings`` concentric rings where ring ``i`` holds ``6 i`` chiplets,
+    i.e. ``N = 1 + 3 r (r + 1)`` (the centred hexagonal numbers).
+    ``rings = 0`` denotes the single central chiplet.
+    """
+    if rings < 0:
+        raise ValueError(f"rings must be >= 0, got {rings}")
+    return 1 + 3 * rings * (rings + 1)
+
+
+def hexamesh_rings_for_count(n: int) -> int:
+    """Largest ring count ``r`` such that ``1 + 3 r (r + 1) <= n``."""
+    check_positive_int("n", n)
+    rings = 0
+    while hexamesh_chiplet_count(rings + 1) <= n:
+        rings += 1
+    return rings
+
+
+def is_hexamesh_count(n: int) -> bool:
+    """Return ``True`` if ``n`` is a centred hexagonal number ``1 + 3 r (r + 1)``."""
+    if n < 1:
+        return False
+    return hexamesh_chiplet_count(hexamesh_rings_for_count(n)) == n

@@ -1,0 +1,75 @@
+"""Argument-validation helpers.
+
+All public entry points of the library validate their inputs eagerly and
+raise :class:`ValueError` / :class:`TypeError` with messages that name the
+offending parameter.  Centralising the checks keeps the error messages
+consistent and the call sites short.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected``.
+
+    Returns the value unchanged so the helper can be used inline.
+    """
+    if isinstance(expected, tuple):
+        expected_names = " or ".join(t.__name__ for t in expected)
+    else:
+        expected_names = expected.__name__
+    # ``bool`` is a subclass of ``int``; reject it when an int is expected so
+    # accidental flags do not silently become counts.
+    if isinstance(value, bool) and expected in (int, float, (int, float), (float, int)):
+        raise TypeError(f"{name} must be {expected_names}, got bool")
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a strictly positive real number."""
+    check_type(name, value, (int, float))
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is a real number greater than or equal to zero."""
+    check_type(name, value, (int, float))
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(name: str, value: int, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer greater than or equal to ``minimum``."""
+    check_type(name, value, int)
+    if value < minimum:
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {value!r}")
+    return int(value)
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if not inclusive)."""
+    check_type(name, value, (int, float))
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be within (0, 1), got {value!r}")
+    return float(value)
+
+
+def check_in_choices(name: str, value: Any, choices: Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices``."""
+    options = list(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value

@@ -1,0 +1,16 @@
+"""Dependency-free visualisation of arrangements.
+
+* :mod:`repro.viz.svg` — SVG top views of placements and bump-sector
+  layouts (the style of Figures 2–5 of the paper),
+* :mod:`repro.viz.ascii_art` — coarse ASCII top views for terminals and
+  doctests.
+"""
+
+from repro.viz.ascii_art import ascii_placement
+from repro.viz.svg import sector_layout_svg, placement_svg
+
+__all__ = [
+    "ascii_placement",
+    "placement_svg",
+    "sector_layout_svg",
+]

@@ -1,0 +1,68 @@
+"""Coarse ASCII top views of placements.
+
+Useful for terminals, logs and doctests where SVG output is impractical.
+Each chiplet is drawn as a block of characters; the resolution is chosen so
+that half-chiplet offsets (brickwall, HexaMesh) remain visible.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.placement import ChipletPlacement
+from repro.utils.validation import check_positive_int
+
+
+def ascii_placement(
+    placement: ChipletPlacement,
+    *,
+    cell_width: int = 4,
+    cell_height: int = 2,
+) -> str:
+    """Render a placement as ASCII art.
+
+    Parameters
+    ----------
+    placement:
+        The placement to draw.
+    cell_width / cell_height:
+        Number of characters used per chiplet width / height.  The
+        defaults keep half-offsets visible while staying compact.
+    """
+    check_positive_int("cell_width", cell_width, minimum=2)
+    check_positive_int("cell_height", cell_height, minimum=1)
+    normalized = placement.normalized()
+    bounds = normalized.bounding_box()
+    chiplet_width = min(chiplet.rect.width for chiplet in normalized)
+    chiplet_height = min(chiplet.rect.height for chiplet in normalized)
+    columns = max(1, round(bounds.width / chiplet_width * cell_width))
+    rows = max(1, round(bounds.height / chiplet_height * cell_height))
+
+    canvas = [[" "] * (columns + 1) for _ in range(rows + 1)]
+    for chiplet in normalized:
+        rect = chiplet.rect
+        col_start = round(rect.x / chiplet_width * cell_width)
+        col_end = round(rect.x_max / chiplet_width * cell_width)
+        row_start = round(rect.y / chiplet_height * cell_height)
+        row_end = round(rect.y_max / chiplet_height * cell_height)
+        label = str(chiplet.chiplet_id)
+        for row in range(row_start, row_end):
+            for col in range(col_start, col_end):
+                boundary = (
+                    row in (row_start, row_end - 1)
+                    or col in (col_start, col_end - 1)
+                )
+                canvas[row][col] = "#" if boundary else "."
+        # Place the chiplet id roughly in the middle of the block.
+        mid_row = (row_start + row_end) // 2
+        mid_col = (col_start + col_end - len(label)) // 2
+        for offset, character in enumerate(label):
+            if 0 <= mid_row < len(canvas) and 0 <= mid_col + offset < len(canvas[0]):
+                canvas[mid_row][mid_col + offset] = character
+
+    # Flip vertically so that larger y is drawn higher, as in a top view.
+    lines = ["".join(row).rstrip() for row in reversed(canvas)]
+    # Drop leading/trailing blank lines for compactness.
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""SVG rendering of placements and bump-sector layouts.
+
+The renderers emit plain SVG strings with no external dependencies so that
+examples can produce figures in any environment.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.placement import ChipletPlacement
+from repro.geometry.sectors import SectorLayout, SectorRole
+from repro.utils.validation import check_positive
+
+#: Colours per arrangement role / sector role.
+_CHIPLET_FILL = "#9ecae1"
+_CHIPLET_STROKE = "#3182bd"
+_POWER_FILL = "#fdae6b"
+_LINK_FILL = "#a1d99b"
+_TEXT_COLOR = "#222222"
+
+
+def _svg_header(width: float, height: float) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.1f}" '
+        f'height="{height:.1f}" viewBox="0 0 {width:.1f} {height:.1f}">'
+    )
+
+
+def placement_svg(
+    placement: ChipletPlacement,
+    *,
+    scale: float = 40.0,
+    margin: float = 10.0,
+    show_ids: bool = True,
+) -> str:
+    """Render a placement as an SVG top view (Figure 4 style).
+
+    Parameters
+    ----------
+    placement:
+        The chiplet placement to draw.
+    scale:
+        Pixels per millimetre.
+    margin:
+        Margin around the drawing in pixels.
+    show_ids:
+        Draw the chiplet id at the centre of each chiplet.
+    """
+    check_positive("scale", scale)
+    normalized = placement.normalized()
+    bounds = normalized.bounding_box()
+    width = bounds.width * scale + 2 * margin
+    height = bounds.height * scale + 2 * margin
+
+    def to_pixel_y(y_mm: float, rect_height_mm: float) -> float:
+        # Flip the y axis so the drawing matches the usual top-view convention.
+        return height - margin - (y_mm + rect_height_mm) * scale
+
+    parts = [_svg_header(width, height)]
+    for chiplet in normalized:
+        rect = chiplet.rect
+        x = margin + rect.x * scale
+        y = to_pixel_y(rect.y, rect.height)
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{rect.width * scale:.2f}" '
+            f'height="{rect.height * scale:.2f}" fill="{_CHIPLET_FILL}" '
+            f'stroke="{_CHIPLET_STROKE}" stroke-width="1"/>'
+        )
+        if show_ids:
+            center_x = x + rect.width * scale / 2
+            center_y = y + rect.height * scale / 2
+            parts.append(
+                f'<text x="{center_x:.2f}" y="{center_y:.2f}" font-size="{scale * 0.3:.1f}" '
+                f'text-anchor="middle" dominant-baseline="central" fill="{_TEXT_COLOR}">'
+                f"{chiplet.chiplet_id}</text>"
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def sector_layout_svg(layout: SectorLayout, *, scale: float = 60.0, margin: float = 10.0) -> str:
+    """Render a bump-sector layout as an SVG figure (Figure 5 style)."""
+    check_positive("scale", scale)
+    chiplet = layout.chiplet
+    width = chiplet.width * scale + 2 * margin
+    height = chiplet.height * scale + 2 * margin
+
+    def transform(x_mm: float, y_mm: float) -> tuple[float, float]:
+        return (
+            margin + (x_mm - chiplet.x) * scale,
+            height - margin - (y_mm - chiplet.y) * scale,
+        )
+
+    parts = [_svg_header(width, height)]
+    for sector in layout.sectors:
+        fill = _POWER_FILL if sector.role is SectorRole.POWER else _LINK_FILL
+        points = " ".join(
+            f"{transform(vertex.x, vertex.y)[0]:.2f},{transform(vertex.x, vertex.y)[1]:.2f}"
+            for vertex in sector.vertices
+        )
+        parts.append(
+            f'<polygon points="{points}" fill="{fill}" stroke="{_CHIPLET_STROKE}" '
+            f'stroke-width="1"/>'
+        )
+        label = sector.link_direction or "power"
+        center_x = sum(v.x for v in sector.vertices) / len(sector.vertices)
+        center_y = sum(v.y for v in sector.vertices) / len(sector.vertices)
+        pixel_x, pixel_y = transform(center_x, center_y)
+        parts.append(
+            f'<text x="{pixel_x:.2f}" y="{pixel_y:.2f}" font-size="{scale * 0.12:.1f}" '
+            f'text-anchor="middle" dominant-baseline="central" fill="{_TEXT_COLOR}">'
+            f"{label}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    """Write an SVG string to a file."""
+    if not svg_text.lstrip().startswith("<svg"):
+        raise ValueError("the provided text does not look like an SVG document")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg_text)

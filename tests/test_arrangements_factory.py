@@ -1,0 +1,153 @@
+"""Unit tests for the arrangement factory, catalogue and base types."""
+
+import pytest
+
+from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
+from repro.arrangements.catalog import ArrangementCatalog, enumerate_arrangements
+from repro.arrangements.factory import (
+    available_regularities,
+    classify_regularity,
+    make_arrangement,
+)
+from repro.graphs.model import ChipGraph
+
+
+class TestArrangementKind:
+    def test_from_name_accepts_strings(self):
+        assert ArrangementKind.from_name("grid") is ArrangementKind.GRID
+        assert ArrangementKind.from_name("HEXAMESH") is ArrangementKind.HEXAMESH
+
+    def test_from_name_accepts_members(self):
+        assert ArrangementKind.from_name(ArrangementKind.BRICKWALL) is ArrangementKind.BRICKWALL
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown arrangement kind"):
+            ArrangementKind.from_name("torus")
+
+    def test_short_labels_match_paper(self):
+        assert ArrangementKind.GRID.short_label == "G"
+        assert ArrangementKind.BRICKWALL.short_label == "BW"
+        assert ArrangementKind.HONEYCOMB.short_label == "HC"
+        assert ArrangementKind.HEXAMESH.short_label == "HM"
+
+
+class TestRegularity:
+    def test_from_name_variants(self):
+        assert Regularity.from_name("regular") is Regularity.REGULAR
+        assert Regularity.from_name("semi_regular") is Regularity.SEMI_REGULAR
+        assert Regularity.from_name("semi-regular") is Regularity.SEMI_REGULAR
+        assert Regularity.from_name(Regularity.IRREGULAR) is Regularity.IRREGULAR
+
+    def test_unknown_regularity_rejected(self):
+        with pytest.raises(ValueError):
+            Regularity.from_name("perfect")
+
+
+class TestArrangementDataclass:
+    def test_validates_chiplet_count_against_graph(self):
+        graph = ChipGraph(nodes=range(3), edges=[(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            Arrangement(
+                kind=ArrangementKind.GRID,
+                regularity=Regularity.IRREGULAR,
+                num_chiplets=4,
+                graph=graph,
+                placement=None,
+            )
+
+    def test_label_and_describe(self):
+        arrangement = make_arrangement("hexamesh", 7)
+        assert arrangement.label == "HM-7 (regular)"
+        description = arrangement.describe()
+        assert description["num_chiplets"] == 7
+        assert description["diameter"] == 2
+        assert description["min_neighbors"] == 3
+
+    def test_link_sectors_per_chiplet(self):
+        assert make_arrangement("grid", 4).link_sectors_per_chiplet == 4
+        assert make_arrangement("brickwall", 4).link_sectors_per_chiplet == 6
+        assert make_arrangement("hexamesh", 7).link_sectors_per_chiplet == 6
+
+
+class TestClassifyRegularity:
+    def test_grid_classification(self):
+        assert classify_regularity("grid", 36) is Regularity.REGULAR
+        assert classify_regularity("grid", 12) is Regularity.SEMI_REGULAR
+        assert classify_regularity("grid", 13) is Regularity.IRREGULAR
+
+    def test_hexamesh_classification(self):
+        assert classify_regularity("hexamesh", 19) is Regularity.REGULAR
+        assert classify_regularity("hexamesh", 20) is Regularity.IRREGULAR
+
+    def test_available_regularities(self):
+        assert available_regularities("grid", 36) == [
+            Regularity.REGULAR,
+            Regularity.IRREGULAR,
+        ]
+        assert available_regularities("grid", 12) == [
+            Regularity.SEMI_REGULAR,
+            Regularity.IRREGULAR,
+        ]
+        assert available_regularities("hexamesh", 19) == [
+            Regularity.REGULAR,
+            Regularity.IRREGULAR,
+        ]
+        assert available_regularities("hexamesh", 23) == [Regularity.IRREGULAR]
+
+    def test_aspect_ratio_threshold_affects_semi_regular(self):
+        assert classify_regularity("grid", 10) is Regularity.IRREGULAR
+        assert classify_regularity("grid", 10, max_aspect_ratio=3.0) is Regularity.SEMI_REGULAR
+
+
+class TestMakeArrangement:
+    @pytest.mark.parametrize("kind", ["grid", "brickwall", "honeycomb", "hexamesh"])
+    def test_every_kind_and_count_produces_valid_arrangement(self, kind):
+        for count in (1, 2, 7, 12, 37, 50):
+            arrangement = make_arrangement(kind, count)
+            assert arrangement.num_chiplets == count
+            assert arrangement.graph.num_nodes == count
+
+    def test_explicit_regularity_forwarded(self):
+        arrangement = make_arrangement("grid", 16, "irregular")
+        assert arrangement.regularity is Regularity.IRREGULAR
+
+    def test_chiplet_dimensions_forwarded(self):
+        arrangement = make_arrangement("brickwall", 9, chiplet_width=2.0, chiplet_height=3.0)
+        assert arrangement.chiplet_width == pytest.approx(2.0)
+        assert arrangement.chiplet_height == pytest.approx(3.0)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrangement("grid", 0)
+
+
+class TestCatalog:
+    def test_enumerate_all_regularities(self):
+        entries = enumerate_arrangements(["grid"], [16])
+        regs = {entry.regularity for entry in entries}
+        assert regs == {Regularity.REGULAR, Regularity.IRREGULAR}
+
+    def test_enumerate_best_only(self):
+        entries = enumerate_arrangements(["grid", "hexamesh"], [7, 9], all_regularities=False)
+        assert len(entries) == 4
+
+    def test_enumerate_rejects_invalid_count(self):
+        with pytest.raises(ValueError):
+            enumerate_arrangements(["grid"], [0])
+
+    def test_catalog_caches(self):
+        catalog = ArrangementCatalog()
+        first = catalog.get("hexamesh", 19)
+        second = catalog.get("hexamesh", 19)
+        assert first is second
+        assert catalog.cached_count == 1
+
+    def test_catalog_best_and_all_for(self):
+        catalog = ArrangementCatalog()
+        best = catalog.best("grid", 16)
+        assert best.regularity is Regularity.REGULAR
+        all_variants = list(catalog.all_for("grid", 16))
+        assert {a.regularity for a in all_variants} == {
+            Regularity.REGULAR,
+            Regularity.IRREGULAR,
+        }

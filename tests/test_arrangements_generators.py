@@ -1,0 +1,184 @@
+"""Unit tests for the grid, brickwall, honeycomb and HexaMesh generators."""
+
+import pytest
+
+from repro.arrangements.base import ArrangementKind, Regularity
+from repro.arrangements.brickwall import generate_brickwall, irregular_brickwall_cells
+from repro.arrangements.grid import generate_grid, irregular_grid_cells
+from repro.arrangements.hexamesh import generate_hexamesh, irregular_hexamesh_cells
+from repro.arrangements.honeycomb import generate_honeycomb
+from repro.graphs.analytical import diameter_formula
+from repro.graphs.metrics import degree_statistics, is_connected
+
+
+class TestGridGenerator:
+    def test_regular_grid(self):
+        arrangement = generate_grid(16, "regular")
+        assert arrangement.kind is ArrangementKind.GRID
+        assert arrangement.regularity is Regularity.REGULAR
+        assert arrangement.num_chiplets == 16
+        assert arrangement.graph.num_edges == 24
+
+    def test_regular_requires_square_count(self):
+        with pytest.raises(ValueError):
+            generate_grid(10, "regular")
+
+    def test_semi_regular_grid(self):
+        arrangement = generate_grid(12, "semi-regular")
+        assert arrangement.regularity is Regularity.SEMI_REGULAR
+        assert arrangement.metadata["rows"] * arrangement.metadata["cols"] == 12
+
+    def test_semi_regular_rejects_primes(self):
+        with pytest.raises(ValueError):
+            generate_grid(13, "semi-regular")
+
+    def test_semi_regular_respects_aspect_ratio_limit(self):
+        with pytest.raises(ValueError):
+            generate_grid(10, "semi-regular", max_aspect_ratio=2.0)
+        arrangement = generate_grid(10, "semi-regular", max_aspect_ratio=3.0)
+        assert arrangement.metadata["rows"] == 2
+
+    def test_irregular_grid_any_count(self):
+        for count in (5, 11, 23, 97):
+            arrangement = generate_grid(count, "irregular")
+            assert arrangement.num_chiplets == count
+            assert is_connected(arrangement.graph)
+
+    def test_auto_classification(self):
+        assert generate_grid(49).regularity is Regularity.REGULAR
+        assert generate_grid(12).regularity is Regularity.SEMI_REGULAR
+        assert generate_grid(13).regularity is Regularity.IRREGULAR
+
+    def test_irregular_cells_extend_regular_core(self):
+        cells = irregular_grid_cells(11)
+        assert len(cells) == 11
+        assert set(irregular_grid_cells(9)) <= set(cells)
+
+    def test_neighbor_counts_match_paper(self):
+        stats = degree_statistics(generate_grid(25, "regular").graph)
+        assert stats.minimum == 2
+        assert stats.maximum == 4
+
+    def test_degenerate_single_chiplet(self):
+        arrangement = generate_grid(1)
+        assert arrangement.num_chiplets == 1
+        assert arrangement.graph.num_edges == 0
+
+    def test_chiplet_dimensions_respected(self):
+        arrangement = generate_grid(4, chiplet_width=2.5, chiplet_height=1.5)
+        chiplet = arrangement.placement[0]
+        assert chiplet.rect.width == pytest.approx(2.5)
+        assert chiplet.rect.height == pytest.approx(1.5)
+
+    def test_diameter_matches_formula_for_all_squares(self):
+        for side in range(2, 11):
+            arrangement = generate_grid(side * side, "regular")
+            assert arrangement.diameter() == diameter_formula("grid", side * side)
+
+
+class TestBrickwallGenerator:
+    def test_regular_brickwall_neighbor_counts(self):
+        stats = degree_statistics(generate_brickwall(25, "regular").graph)
+        assert stats.minimum == 2
+        assert stats.maximum == 6
+
+    def test_diameter_matches_formula_for_all_squares(self):
+        for side in range(2, 11):
+            arrangement = generate_brickwall(side * side, "regular")
+            assert arrangement.diameter() == diameter_formula("brickwall", side * side)
+
+    def test_irregular_any_count_connected(self):
+        for count in (3, 10, 31, 77):
+            arrangement = generate_brickwall(count, "irregular")
+            assert arrangement.num_chiplets == count
+            assert is_connected(arrangement.graph)
+
+    def test_irregular_cells_extend_regular_core(self):
+        cells = irregular_brickwall_cells(20)
+        assert len(cells) == 20
+        assert set(irregular_brickwall_cells(16)) <= set(cells)
+
+    def test_average_degree_exceeds_grid(self):
+        grid = degree_statistics(generate_grid(64, "regular").graph).average
+        brickwall = degree_statistics(generate_brickwall(64, "regular").graph).average
+        assert brickwall > grid
+
+    def test_semi_regular(self):
+        arrangement = generate_brickwall(18, "semi-regular")
+        assert arrangement.regularity is Regularity.SEMI_REGULAR
+        assert arrangement.num_chiplets == 18
+
+
+class TestHexameshGenerator:
+    def test_regular_counts_only(self):
+        with pytest.raises(ValueError):
+            generate_hexamesh(10, "regular")
+
+    def test_no_semi_regular_variant(self):
+        with pytest.raises(ValueError):
+            generate_hexamesh(12, "semi-regular")
+
+    def test_regular_neighbor_counts_match_paper(self):
+        for count in (7, 19, 37, 61, 91):
+            stats = degree_statistics(generate_hexamesh(count, "regular").graph)
+            assert stats.minimum == 3, f"N={count}"
+            assert stats.maximum == 6
+
+    def test_diameter_matches_formula(self):
+        for count in (7, 19, 37, 61, 91):
+            arrangement = generate_hexamesh(count, "regular")
+            assert arrangement.diameter() == diameter_formula("hexamesh", count)
+
+    def test_irregular_minimum_degree_is_at_least_two(self):
+        for count in range(8, 92):
+            arrangement = generate_hexamesh(count)
+            stats = degree_statistics(arrangement.graph)
+            assert stats.minimum >= 2, f"N={count}"
+
+    def test_irregular_any_count_connected(self):
+        for count in (2, 8, 20, 50, 99):
+            arrangement = generate_hexamesh(count, "irregular")
+            assert arrangement.num_chiplets == count
+            assert is_connected(arrangement.graph)
+
+    def test_irregular_cells_extend_regular_core(self):
+        cells = irregular_hexamesh_cells(40)
+        assert len(cells) == 40
+        assert set(irregular_hexamesh_cells(37)) <= set(cells)
+
+    def test_auto_classification(self):
+        assert generate_hexamesh(37).regularity is Regularity.REGULAR
+        assert generate_hexamesh(38).regularity is Regularity.IRREGULAR
+
+    def test_metadata_records_rings(self):
+        assert generate_hexamesh(37, "regular").metadata["rings"] == 3
+        irregular = generate_hexamesh(40)
+        assert irregular.metadata["complete_rings"] == 3
+        assert irregular.metadata["partial_ring_chiplets"] == 3
+
+    def test_placement_has_no_overlaps(self):
+        assert not generate_hexamesh(61).placement.has_overlaps()
+
+
+class TestHoneycombGenerator:
+    def test_graph_identical_to_brickwall(self):
+        honeycomb = generate_honeycomb(25)
+        brickwall = generate_brickwall(25)
+        assert sorted(honeycomb.graph.edges()) == sorted(brickwall.graph.edges())
+
+    def test_violates_constraints_flag(self):
+        assert generate_honeycomb(9).violates_shape_constraints
+        assert not generate_brickwall(9).violates_shape_constraints
+
+    def test_has_no_rectangular_placement(self):
+        assert generate_honeycomb(9).placement is None
+
+    def test_hexagon_geometry_in_metadata(self):
+        arrangement = generate_honeycomb(9, chiplet_area=4.0)
+        assert arrangement.metadata["hexagon_side"] > 0
+        assert len(arrangement.metadata["hexagon_centers"]) == 9
+
+    def test_neighbor_counts_match_paper(self):
+        stats = degree_statistics(generate_honeycomb(25, "regular").graph)
+        assert stats.minimum == 2
+        assert stats.maximum == 6

@@ -1,0 +1,114 @@
+"""Unit tests for the lattice helpers behind the arrangement generators."""
+
+import pytest
+
+from repro.arrangements.lattice import (
+    axial_arrangement,
+    axial_disk,
+    axial_distance,
+    axial_neighbors,
+    axial_ring,
+    brickwall_arrangement,
+    brickwall_neighbors,
+    square_lattice_arrangement,
+    square_lattice_neighbors,
+)
+from repro.geometry.adjacency import shared_edges
+
+
+class TestSquareLattice:
+    def test_neighbors(self):
+        assert set(square_lattice_neighbors((0, 0))) == {(1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_arrangement_counts(self):
+        cells = [(r, c) for r in range(2) for c in range(3)]
+        placement, graph = square_lattice_arrangement(cells, 1.0, 1.0)
+        assert len(placement) == 6
+        assert graph.num_edges == 7  # 3 vertical + 4 horizontal
+
+    def test_duplicate_cells_collapse(self):
+        placement, graph = square_lattice_arrangement([(0, 0), (0, 0), (0, 1)], 1.0, 1.0)
+        assert len(placement) == 2
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(ValueError):
+            square_lattice_arrangement([], 1.0, 1.0)
+
+    def test_lattice_positions_recorded(self):
+        placement, _ = square_lattice_arrangement([(1, 2)], 1.0, 1.0)
+        assert placement[0].lattice_position == (1, 2)
+
+
+class TestBrickwallLattice:
+    def test_interior_cell_has_six_neighbors(self):
+        assert len(brickwall_neighbors((1, 1))) == 6
+
+    def test_even_and_odd_rows_have_different_vertical_neighbors(self):
+        even = set(brickwall_neighbors((0, 1)))
+        odd = set(brickwall_neighbors((1, 1)))
+        assert (1, 0) in even and (1, 1) in even
+        assert (0, 1) in odd and (0, 2) in odd
+
+    def test_geometric_adjacency_matches_lattice_rule(self):
+        cells = [(r, c) for r in range(3) for c in range(3)]
+        placement, graph = brickwall_arrangement(cells, 1.0, 1.0)
+        geometric = {(a, b) for a, b, _ in shared_edges(placement)}
+        lattice = {tuple(sorted(edge)) for edge in graph.edges()}
+        assert geometric == lattice
+
+    def test_odd_rows_are_offset(self):
+        placement, _ = brickwall_arrangement([(0, 0), (1, 0)], 1.0, 1.0)
+        row0 = next(c for c in placement if c.lattice_position == (0, 0))
+        row1 = next(c for c in placement if c.lattice_position == (1, 0))
+        assert row1.rect.x - row0.rect.x == pytest.approx(0.5)
+
+
+class TestAxialLattice:
+    def test_axial_distance(self):
+        assert axial_distance((0, 0), (0, 0)) == 0
+        assert axial_distance((0, 0), (1, 0)) == 1
+        assert axial_distance((0, 0), (1, -1)) == 1
+        assert axial_distance((0, 0), (2, -1)) == 2
+        assert axial_distance((-2, 2), (2, -2)) == 4
+
+    def test_neighbors_are_at_distance_one(self):
+        for neighbor in axial_neighbors((3, -1)):
+            assert axial_distance((3, -1), neighbor) == 1
+
+    def test_ring_size(self):
+        assert len(axial_ring(0)) == 1
+        assert len(axial_ring(1)) == 6
+        assert len(axial_ring(3)) == 18
+
+    def test_ring_cells_are_at_exact_distance(self):
+        for radius in range(1, 5):
+            for cell in axial_ring(radius):
+                assert axial_distance((0, 0), cell) == radius
+
+    def test_ring_walk_is_sequentially_adjacent(self):
+        ring = axial_ring(3)
+        for first, second in zip(ring, ring[1:]):
+            assert axial_distance(first, second) == 1
+        # The ring closes: last cell is adjacent to the first.
+        assert axial_distance(ring[-1], ring[0]) == 1
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            axial_ring(-1)
+        with pytest.raises(ValueError):
+            axial_disk(-2)
+
+    def test_disk_size_is_centered_hexagonal_number(self):
+        for radius in range(5):
+            assert len(axial_disk(radius)) == 1 + 3 * radius * (radius + 1)
+
+    def test_geometric_adjacency_matches_lattice_rule(self):
+        cells = axial_disk(2)
+        placement, graph = axial_arrangement(cells, 1.0, 1.0)
+        geometric = {(a, b) for a, b, _ in shared_edges(placement)}
+        lattice = {tuple(sorted(edge)) for edge in graph.edges()}
+        assert geometric == lattice
+
+    def test_placement_has_no_overlaps(self):
+        placement, _ = axial_arrangement(axial_disk(3), 1.2, 0.8)
+        assert not placement.has_overlaps()

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfoAndCompare:
+    def test_info(self, capsys):
+        assert main(["info", "hexamesh", "19"]) == 0
+        output = capsys.readouterr().out
+        assert "diameter" in output
+        assert "link_bandwidth_gbps" in output
+
+    def test_compare(self, capsys):
+        assert main(["compare", "hexamesh", "19", "--baseline", "grid"]) == 0
+        output = capsys.readouterr().out
+        assert "HM-19" in output
+        assert "diameter_reduction_percent" in output
+
+    def test_invalid_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["info", "torus", "16"])
+
+    def test_invalid_count_reports_error(self, capsys):
+        assert main(["info", "grid", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_figure6_to_stdout(self, capsys):
+        assert main(["figure", "6", "--max-chiplets", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG6a" in output
+        assert "FIG6b" in output
+
+    def test_figure7_to_file(self, tmp_path, capsys):
+        target = tmp_path / "fig7.csv"
+        assert main(["figure", "7", "--max-chiplets", "8", "--output", str(target)]) == 0
+        content = target.read_text()
+        assert "FIG7a" in content
+        assert "FIG7d" in content
+
+
+class TestSimulateCommand:
+    def test_simulate_small_design(self, capsys):
+        assert main(
+            ["simulate", "grid", "4", "--injection-rate", "0.05", "--cycles", "300"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "avg packet latency" in output
+        assert "throughput [Tb/s]" in output
+
+
+class TestExportCommand:
+    def test_export_svg_and_booksim(self, tmp_path, capsys):
+        svg = tmp_path / "view.svg"
+        topology = tmp_path / "net.anynet"
+        config = tmp_path / "booksim.cfg"
+        code = main(
+            [
+                "export",
+                "hexamesh",
+                "7",
+                "--svg",
+                str(svg),
+                "--booksim-topology",
+                str(topology),
+                "--booksim-config",
+                str(config),
+            ]
+        )
+        assert code == 0
+        assert svg.read_text().startswith("<svg")
+        assert "router" in topology.read_text()
+
+    def test_export_requires_some_target(self, capsys):
+        assert main(["export", "grid", "4"]) == 2
+
+    def test_export_booksim_needs_both_paths(self, tmp_path):
+        assert main(
+            ["export", "grid", "4", "--booksim-topology", str(tmp_path / "t.anynet")]
+        ) == 2
+
+    def test_export_honeycomb_svg_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["export", "honeycomb", "9", "--svg", str(tmp_path / "h.svg")]
+        ) == 2
+
+
+class TestFeasibilityCommand:
+    def test_feasible_design_returns_zero(self, capsys):
+        assert main(["feasibility", "hexamesh", "37"]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_interposer_flag(self, capsys):
+        assert main(["feasibility", "grid", "100", "--silicon-interposer"]) == 0

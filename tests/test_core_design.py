@@ -1,0 +1,118 @@
+"""Tests for the ChipletDesign facade."""
+
+import pytest
+
+from repro.arrangements.base import ArrangementKind, Regularity
+from repro.arrangements.factory import make_arrangement
+from repro.core.design import ChipletDesign
+from repro.linkmodel.parameters import EvaluationParameters
+from repro.noc.config import SimulationConfig
+
+
+class TestConstruction:
+    def test_create_by_kind_and_count(self):
+        design = ChipletDesign.create("hexamesh", 37)
+        assert design.kind is ArrangementKind.HEXAMESH
+        assert design.num_chiplets == 37
+        assert design.regularity is Regularity.REGULAR
+        assert design.label == "HM-37 (regular)"
+
+    def test_create_with_explicit_regularity(self):
+        design = ChipletDesign.create("grid", 16, "irregular")
+        assert design.regularity is Regularity.IRREGULAR
+
+    def test_from_arrangement(self):
+        arrangement = make_arrangement("brickwall", 25)
+        design = ChipletDesign.from_arrangement(arrangement)
+        assert design.arrangement is arrangement
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            ChipletDesign.create("grid", 0)
+
+
+class TestProxies:
+    def test_diameter_and_bisection(self):
+        design = ChipletDesign.create("hexamesh", 37)
+        assert design.diameter == 6
+        assert design.bisection_bandwidth == pytest.approx(13.0)
+
+    def test_bisection_estimated_for_irregular(self):
+        design = ChipletDesign.create("hexamesh", 40)
+        assert design.bisection_bandwidth > 0
+
+    def test_average_neighbors(self):
+        design = ChipletDesign.create("grid", 100)
+        assert 3.0 < design.average_neighbors < 4.0
+
+    def test_metrics_cached(self):
+        design = ChipletDesign.create("grid", 16)
+        assert design.metrics() is design.metrics()
+
+
+class TestLinkModelIntegration:
+    def test_chiplet_area_follows_parameters(self):
+        design = ChipletDesign.create("grid", 100)
+        assert design.chiplet_area_mm2 == pytest.approx(8.0)
+
+    def test_custom_parameters(self):
+        params = EvaluationParameters(total_chiplet_area_mm2=400.0)
+        design = ChipletDesign.create("grid", 100, parameters=params)
+        assert design.chiplet_area_mm2 == pytest.approx(4.0)
+
+    def test_link_bandwidth_matches_paper_setting(self):
+        design = ChipletDesign.create("grid", 100)
+        assert design.link_bandwidth_gbps == pytest.approx(656.0)
+
+    def test_full_global_bandwidth(self):
+        design = ChipletDesign.create("grid", 100)
+        assert design.full_global_bandwidth_tbps == pytest.approx(100 * 2 * 0.656)
+
+    def test_chiplet_shape_matches_kind(self):
+        assert ChipletDesign.create("grid", 64).chiplet_shape().num_link_sectors == 4
+        assert ChipletDesign.create("hexamesh", 61).chiplet_shape().num_link_sectors == 6
+
+
+class TestPerformance:
+    def test_zero_load_latency_positive_and_ordered(self):
+        grid = ChipletDesign.create("grid", 64)
+        hexamesh = ChipletDesign.create("hexamesh", 64)
+        assert hexamesh.zero_load_latency() < grid.zero_load_latency()
+
+    def test_saturation_models(self):
+        design = ChipletDesign.create("hexamesh", 37)
+        assert design.saturation_fraction(model="channel_load") <= design.saturation_fraction()
+        with pytest.raises(ValueError):
+            design.saturation_fraction(model="magic")
+
+    def test_saturation_throughput_tbps(self):
+        design = ChipletDesign.create("grid", 100)
+        assert design.saturation_throughput_tbps() == pytest.approx(
+            design.saturation_fraction() * design.full_global_bandwidth_tbps
+        )
+
+    def test_simulation_config_inherits_parameters(self):
+        params = EvaluationParameters(link_latency_cycles=10)
+        design = ChipletDesign.create("grid", 9, parameters=params)
+        assert design.simulation_config().link_latency_cycles == 10
+
+    def test_simulate_end_to_end(self):
+        design = ChipletDesign.create("hexamesh", 7)
+        config = SimulationConfig(warmup_cycles=100, measurement_cycles=300, drain_cycles=600)
+        result = design.simulate(injection_rate=0.05, config=config)
+        assert result.measured_packets_ejected > 0
+        assert result.packet_latency.mean == pytest.approx(
+            design.zero_load_latency(), rel=0.15
+        )
+
+    def test_summary_keys(self):
+        summary = ChipletDesign.create("brickwall", 36).summary()
+        for key in (
+            "label",
+            "diameter",
+            "bisection_bandwidth_links",
+            "link_bandwidth_gbps",
+            "zero_load_latency_cycles",
+            "saturation_throughput_tbps",
+        ):
+            assert key in summary

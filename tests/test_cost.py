@@ -1,0 +1,132 @@
+"""Unit tests for the manufacturing-cost extension."""
+
+import pytest
+
+from repro.cost.manufacturing import (
+    ChipletCostBreakdown,
+    CostModelParameters,
+    chiplet_cost,
+    compare_monolithic_vs_chiplets,
+    monolithic_cost,
+)
+from repro.cost.wafer import die_cost, dies_per_wafer
+from repro.cost.yield_model import (
+    assembly_yield,
+    known_good_die_yield,
+    negative_binomial_yield,
+)
+
+
+class TestYieldModel:
+    def test_zero_defect_density_gives_perfect_yield(self):
+        assert negative_binomial_yield(800.0, 0.0) == pytest.approx(1.0)
+
+    def test_yield_decreases_with_area(self):
+        small = negative_binomial_yield(8.0, 0.1)
+        large = negative_binomial_yield(800.0, 0.1)
+        assert small > large
+
+    def test_yield_decreases_with_defect_density(self):
+        clean = negative_binomial_yield(100.0, 0.05)
+        dirty = negative_binomial_yield(100.0, 0.5)
+        assert clean > dirty
+
+    def test_yield_is_a_probability(self):
+        for area in (1.0, 100.0, 800.0):
+            for density in (0.05, 0.2, 1.0):
+                assert 0.0 < negative_binomial_yield(area, density) <= 1.0
+
+    def test_known_reference_value(self):
+        # 100 mm² at 0.1 defects/cm², alpha = 3: (1 + 1*0.1/3)^-3.
+        assert negative_binomial_yield(100.0, 0.1) == pytest.approx(
+            (1 + 0.1 / 3) ** -3
+        )
+
+    def test_known_good_die_with_perfect_test(self):
+        assert known_good_die_yield(0.8, test_coverage=1.0) == pytest.approx(1.0)
+
+    def test_known_good_die_with_imperfect_test(self):
+        kgd = known_good_die_yield(0.8, test_coverage=0.9)
+        assert 0.8 < kgd < 1.0
+
+    def test_assembly_yield(self):
+        assert assembly_yield(1, 0.99) == pytest.approx(0.99)
+        assert assembly_yield(10, 0.99) == pytest.approx(0.99**10)
+        with pytest.raises(ValueError):
+            assembly_yield(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            negative_binomial_yield(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            known_good_die_yield(1.5)
+
+
+class TestWafer:
+    def test_dies_per_wafer_decreases_with_area(self):
+        assert dies_per_wafer(100.0) > dies_per_wafer(400.0)
+
+    def test_reasonable_count_for_small_die(self):
+        # A 50 mm² die on a 300 mm wafer yields on the order of a thousand dies.
+        count = dies_per_wafer(50.0)
+        assert 1000 < count < 1500
+
+    def test_die_cost_increases_with_area(self):
+        small = die_cost(50.0, 10000.0, 0.9)
+        large = die_cost(500.0, 10000.0, 0.9)
+        assert large > small
+
+    def test_die_cost_increases_with_lower_yield(self):
+        good = die_cost(100.0, 10000.0, 0.95)
+        bad = die_cost(100.0, 10000.0, 0.5)
+        assert bad > good
+
+    def test_huge_die_rejected(self):
+        with pytest.raises(ValueError):
+            die_cost(100000.0, 10000.0, 0.9)
+
+    def test_invalid_yield_rejected(self):
+        with pytest.raises(ValueError):
+            die_cost(100.0, 10000.0, 0.0)
+
+
+class TestManufacturingComparison:
+    def test_monolithic_breakdown(self):
+        breakdown = monolithic_cost(CostModelParameters())
+        assert breakdown.die_area_mm2 == pytest.approx(800.0)
+        assert breakdown.total_cost > breakdown.recurring_cost > 0
+
+    def test_chiplet_breakdown(self):
+        breakdown = chiplet_cost(CostModelParameters(), num_chiplets=36, links_per_chiplet=5.0)
+        assert isinstance(breakdown, ChipletCostBreakdown)
+        assert breakdown.chiplet_area_mm2 > 800.0 / 36  # PHY overhead added
+        assert breakdown.chiplet_yield > 0.8  # small dies yield well
+
+    def test_chiplets_much_better_yield_than_monolithic(self):
+        parameters = CostModelParameters(defect_density_per_cm2=0.2)
+        mono = monolithic_cost(parameters)
+        chiplets = chiplet_cost(parameters, 64, 4.0)
+        assert chiplets.chiplet_yield > mono.die_yield
+
+    def test_chiplets_cheaper_at_high_defect_density(self):
+        parameters = CostModelParameters(defect_density_per_cm2=0.5)
+        comparison = compare_monolithic_vs_chiplets(parameters, 36, 5.0)
+        assert comparison["cost_ratio"] < 1.0
+
+    def test_phy_overhead_increases_with_links(self):
+        parameters = CostModelParameters()
+        few_links = chiplet_cost(parameters, 36, 2.0)
+        many_links = chiplet_cost(parameters, 36, 6.0)
+        assert many_links.chiplet_area_mm2 > few_links.chiplet_area_mm2
+
+    def test_comparison_dictionary_keys(self):
+        comparison = compare_monolithic_vs_chiplets(CostModelParameters(), 16, 4.0)
+        assert {"monolithic_total_cost", "chiplet_total_cost", "cost_ratio"} <= set(
+            comparison
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModelParameters(total_logic_area_mm2=-1.0)
+        with pytest.raises(ValueError):
+            chiplet_cost(CostModelParameters(), 0, 1.0)

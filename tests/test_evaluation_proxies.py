@@ -1,0 +1,120 @@
+"""Tests for the Figure 4 / Figure 6 experiment runners."""
+
+import pytest
+
+from repro.arrangements.base import ArrangementKind, Regularity
+from repro.arrangements.factory import make_arrangement
+from repro.evaluation.proxies import (
+    evaluate_arrangement_proxies,
+    figure4_annotations,
+    run_figure6,
+    run_figure6_bisection,
+    run_figure6_diameter,
+)
+from repro.graphs.analytical import bisection_bandwidth_formula, diameter_formula
+
+
+class TestEvaluateArrangementProxies:
+    def test_regular_arrangement_uses_formula(self):
+        point = evaluate_arrangement_proxies(make_arrangement("hexamesh", 37, "regular"))
+        assert point.bisection_source == "formula"
+        assert point.bisection_bandwidth == pytest.approx(
+            bisection_bandwidth_formula("hexamesh", 37)
+        )
+        assert point.diameter == diameter_formula("hexamesh", 37)
+
+    def test_irregular_arrangement_uses_estimator(self):
+        point = evaluate_arrangement_proxies(make_arrangement("hexamesh", 40))
+        assert point.bisection_source == "estimated"
+        assert point.bisection_bandwidth > 0
+
+    def test_semi_regular_grid_uses_estimator(self):
+        point = evaluate_arrangement_proxies(make_arrangement("grid", 12, "semi-regular"))
+        assert point.bisection_source == "estimated"
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def figure6(self):
+        # A reduced range keeps the test fast while covering every regularity
+        # class and both bisection sources.
+        return run_figure6(range(1, 26))
+
+    def test_every_kind_present(self, figure6):
+        kinds = {point.kind for point in figure6.points}
+        assert kinds == {
+            ArrangementKind.GRID,
+            ArrangementKind.BRICKWALL,
+            ArrangementKind.HEXAMESH,
+        }
+
+    def test_every_count_has_an_irregular_point(self, figure6):
+        for count in range(2, 26):
+            points = [
+                p
+                for p in figure6.points
+                if p.kind is ArrangementKind.GRID and p.num_chiplets == count
+            ]
+            assert any(p.regularity is Regularity.IRREGULAR for p in points)
+
+    def test_point_lookup_prefers_most_regular(self, figure6):
+        point = figure6.point(ArrangementKind.GRID, 16)
+        assert point.regularity is Regularity.REGULAR
+
+    def test_point_lookup_missing_raises(self, figure6):
+        with pytest.raises(KeyError):
+            figure6.point(ArrangementKind.GRID, 999)
+
+    def test_hexamesh_diameter_below_grid(self, figure6):
+        for count in (16, 20, 25):
+            grid = figure6.point(ArrangementKind.GRID, count)
+            hexamesh = figure6.point(ArrangementKind.HEXAMESH, count)
+            assert hexamesh.diameter <= grid.diameter
+
+    def test_hexamesh_bisection_above_grid(self, figure6):
+        for count in (16, 20, 25):
+            grid = figure6.point(ArrangementKind.GRID, count)
+            hexamesh = figure6.point(ArrangementKind.HEXAMESH, count)
+            assert hexamesh.bisection_bandwidth >= grid.bisection_bandwidth
+
+    def test_experiment_export(self, figure6):
+        diameters = figure6.diameter_experiment()
+        bisections = figure6.bisection_experiment()
+        assert diameters.experiment_id == "FIG6a"
+        assert bisections.experiment_id == "FIG6b"
+        assert diameters.series  # non-empty
+        assert "grid (regular)" in diameters.series_names()
+
+    def test_convenience_runners(self):
+        diameter_result = run_figure6_diameter(range(1, 10))
+        bisection_result = run_figure6_bisection(range(1, 10))
+        assert diameter_result.experiment_id == "FIG6a"
+        assert bisection_result.experiment_id == "FIG6b"
+
+
+class TestFigure4Annotations:
+    def test_annotations_match_formulas(self):
+        result = figure4_annotations(range(4, 50))
+        for kind in ("grid", "brickwall", "hexamesh"):
+            measured = result.get_series(f"{kind}:diameter")
+            formula = result.get_series(f"{kind}:diameter_formula")
+            assert measured.xs == formula.xs
+            assert measured.ys == formula.ys
+
+    def test_neighbor_annotations(self):
+        result = figure4_annotations(range(4, 40))
+        grid_max = result.get_series("grid:max_neighbors")
+        hexamesh_min = result.get_series("hexamesh:min_neighbors")
+        # The 2x2 grid has maximum degree 2; from 3x3 on it is 4.
+        assert all(value <= 4 for value in grid_max.ys)
+        assert all(
+            value == 4 for x, value in zip(grid_max.xs, grid_max.ys) if x >= 9
+        )
+        assert all(value == 3 for value in hexamesh_min.ys)
+
+    def test_honeycomb_matches_brickwall(self):
+        result = figure4_annotations(range(4, 30))
+        assert (
+            result.get_series("honeycomb:diameter").ys
+            == result.get_series("brickwall:diameter").ys
+        )

@@ -1,0 +1,82 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.evaluation.report import generate_markdown_report, write_markdown_report
+from repro.evaluation.series import DataSeries, ExperimentResult
+
+
+def _fake_results():
+    figure = ExperimentResult(
+        experiment_id="FIG6a",
+        title="Network diameter",
+        x_label="number of chiplets",
+        y_label="diameter",
+        metadata={"mode": "analytical"},
+    )
+    series = DataSeries(name="grid (regular)")
+    series.add(4, 2)
+    series.add(9, 4)
+    figure.series.append(series)
+
+    headline = ExperimentResult(
+        experiment_id="HEADLINE",
+        title="Headline claims",
+        x_label="claim",
+        y_label="percent",
+        metadata={
+            "claims": {
+                "diameter_reduction_percent": 42.3,
+                "bisection_improvement_percent": 130.9,
+                "latency_reduction_percent": 20.1,
+                "throughput_improvement_percent": 22.3,
+            }
+        },
+    )
+    return {"FIG6a": figure, "HEADLINE": headline}
+
+
+class TestGenerateMarkdownReport:
+    def test_contains_all_sections(self):
+        report = generate_markdown_report(_fake_results())
+        assert report.startswith("# HexaMesh reproduction report")
+        assert "## Headline claims" in report
+        assert "## FIG6a" in report
+        assert "grid (regular)" in report
+
+    def test_headline_table_compares_against_paper(self):
+        report = generate_markdown_report(_fake_results())
+        assert "42.3" in report  # reproduced value
+        assert "42.0" in report  # paper value
+
+    def test_engine_metadata_rendered(self):
+        report = generate_markdown_report(_fake_results())
+        assert "_Engine: analytical_" in report
+
+    def test_custom_title(self):
+        report = generate_markdown_report(_fake_results(), title="Custom title")
+        assert report.splitlines()[0] == "# Custom title"
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            generate_markdown_report({})
+
+    def test_missing_claims_rendered_as_na(self):
+        results = _fake_results()
+        results["HEADLINE"].metadata["claims"] = {}
+        report = generate_markdown_report(results)
+        assert "n/a" in report
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report(_fake_results(), str(path))
+        assert path.read_text().startswith("# HexaMesh")
+
+    def test_real_runner_output_renders(self):
+        """Smoke test against the actual experiment runner (tiny range)."""
+        from repro.evaluation.runner import run_all_experiments
+
+        results = run_all_experiments(max_chiplets=6)
+        report = generate_markdown_report(results)
+        for experiment_id in ("FIG6a", "FIG6b", "FIG7a", "FIG7d", "TAB1"):
+            assert f"## {experiment_id}" in report

@@ -1,0 +1,53 @@
+"""Tests for the all-experiments runner."""
+
+import os
+
+import pytest
+
+from repro.evaluation.runner import run_all_experiments
+
+
+@pytest.fixture(scope="module")
+def all_results(tmp_path_factory):
+    """Run every experiment on a reduced chiplet-count range."""
+    output_dir = tmp_path_factory.mktemp("experiments")
+    return (
+        run_all_experiments(max_chiplets=20, output_dir=str(output_dir)),
+        output_dir,
+    )
+
+
+class TestRunAllExperiments:
+    def test_all_experiment_ids_present(self, all_results):
+        results, _ = all_results
+        expected = {
+            "FIG4",
+            "FIG6a",
+            "FIG6b",
+            "TAB1",
+            "FIG7a",
+            "FIG7b",
+            "FIG7c",
+            "FIG7d",
+            "HEADLINE",
+        }
+        assert expected <= set(results)
+
+    def test_csv_files_written(self, all_results):
+        results, output_dir = all_results
+        for experiment_id in results:
+            assert os.path.exists(os.path.join(str(output_dir), f"{experiment_id}.csv"))
+
+    def test_headline_metadata(self, all_results):
+        results, _ = all_results
+        claims = results["HEADLINE"].metadata["claims"]
+        assert claims["diameter_reduction_percent"] == pytest.approx(42.3, abs=0.2)
+        assert claims["bisection_improvement_percent"] == pytest.approx(130.9, abs=0.2)
+
+    def test_metadata_records_mode(self, all_results):
+        results, _ = all_results
+        assert results["FIG7a"].metadata["mode"] == "analytical"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_all_experiments(max_chiplets=5, mode="magic")

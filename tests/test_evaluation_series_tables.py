@@ -1,0 +1,128 @@
+"""Unit tests for experiment data series and table rendering."""
+
+import pytest
+
+from repro.evaluation.series import DataPoint, DataSeries, ExperimentResult, merge_results
+from repro.evaluation.tables import format_table, render_experiment, render_series_summary
+
+
+class TestDataSeries:
+    def test_add_and_access(self):
+        series = DataSeries(name="grid")
+        series.add(1, 2.0, regularity="regular")
+        series.add(2, 3.0)
+        assert series.xs == [1.0, 2.0]
+        assert series.ys == [2.0, 3.0]
+        assert len(series) == 2
+        assert series.points[0].annotations["regularity"] == "regular"
+
+    def test_y_at(self):
+        series = DataSeries(name="s", points=[DataPoint(4, 7.0)])
+        assert series.y_at(4) == 7.0
+        with pytest.raises(KeyError):
+            series.y_at(5)
+
+    def test_mean_y(self):
+        series = DataSeries(name="s")
+        series.add(0, 1.0)
+        series.add(1, 3.0)
+        assert series.mean_y() == pytest.approx(2.0)
+
+    def test_mean_of_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            DataSeries(name="s").mean_y()
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            experiment_id="FIGX",
+            title="Test experiment",
+            x_label="n",
+            y_label="value",
+        )
+        series = DataSeries(name="a")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        result.series.append(series)
+        return result
+
+    def test_get_series(self):
+        result = self._result()
+        assert result.get_series("a").y_at(2) == 20.0
+        with pytest.raises(KeyError):
+            result.get_series("missing")
+
+    def test_series_names(self):
+        assert self._result().series_names() == ["a"]
+
+    def test_to_csv_contains_all_points(self):
+        csv_text = self._result().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 3  # header + 2 points
+        assert lines[0].startswith("experiment,series")
+        assert "FIGX" in lines[1]
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        self._result().write_csv(str(path))
+        assert path.read_text().count("FIGX") == 2
+
+    def test_merge_results(self):
+        first = self._result()
+        second = ExperimentResult("FIGY", "other", "n", "v")
+        merged = merge_results([first, second])
+        assert set(merged) == {"FIGX", "FIGY"}
+
+    def test_merge_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            merge_results([self._result(), self._result()])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "metric"], [["x", 1.0], ["long-name", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long-name" in lines[3]
+
+    def test_format_table_validates_row_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_requires_columns(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_render_experiment(self):
+        result = ExperimentResult("FIGZ", "Render test", "n", "y")
+        series = DataSeries(name="s")
+        series.add(1, 5.0)
+        result.series.append(series)
+        text = render_experiment(result)
+        assert "FIGZ" in text
+        assert "Render test" in text
+        assert "5.000" in text
+
+    def test_render_experiment_row_limit(self):
+        result = ExperimentResult("FIGZ", "Render test", "n", "y")
+        series = DataSeries(name="s")
+        for i in range(10):
+            series.add(i, float(i))
+        result.series.append(series)
+        text = render_experiment(result, max_rows_per_series=2)
+        assert text.count("\n") < 8
+
+    def test_render_series_summary(self):
+        result = ExperimentResult("FIGZ", "Summary test", "n", "y")
+        series = DataSeries(name="s")
+        series.add(1, 5.0)
+        series.add(2, 15.0)
+        result.series.append(series)
+        text = render_series_summary(result)
+        assert "10.000" in text  # mean

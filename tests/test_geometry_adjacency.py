@@ -1,0 +1,97 @@
+"""Unit tests for repro.geometry.adjacency (shared-edge detection)."""
+
+import pytest
+
+from repro.geometry.adjacency import AdjacencyPolicy, shared_edge_length, shared_edges
+from repro.geometry.placement import ChipletPlacement, PlacedChiplet
+from repro.geometry.primitives import Rect
+
+
+class TestSharedEdgeLength:
+    def test_full_vertical_contact(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(1.0)
+
+    def test_full_horizontal_contact(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(0, 1, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(1.0)
+
+    def test_partial_contact_half_width(self):
+        # The brickwall case: the upper chiplet is offset by half a width.
+        a = Rect(0, 0, 1, 1)
+        b = Rect(0.5, 1, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(0.5)
+
+    def test_corner_contact_returns_zero(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 1, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(0.0)
+
+    def test_disjoint_rects_return_zero(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 3, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(0.0)
+
+    def test_separated_by_gap_returns_zero(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1.01, 0, 1, 1)
+        assert shared_edge_length(a, b) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a = Rect(0, 0, 2, 1)
+        b = Rect(2, 0.5, 1, 2)
+        assert shared_edge_length(a, b) == pytest.approx(shared_edge_length(b, a))
+
+
+class TestSharedEdges:
+    def _placement(self, rects):
+        return ChipletPlacement(
+            [PlacedChiplet(chiplet_id=i, rect=r) for i, r in enumerate(rects)]
+        )
+
+    def test_simple_row(self):
+        placement = self._placement([Rect(0, 0, 1, 1), Rect(1, 0, 1, 1), Rect(2, 0, 1, 1)])
+        edges = shared_edges(placement)
+        assert [(a, b) for a, b, _ in edges] == [(0, 1), (1, 2)]
+
+    def test_corner_only_contact_is_not_adjacent(self):
+        placement = self._placement([Rect(0, 0, 1, 1), Rect(1, 1, 1, 1)])
+        assert shared_edges(placement) == []
+
+    def test_min_shared_edge_policy_filters_short_contacts(self):
+        placement = self._placement([Rect(0, 0, 1, 1), Rect(0.9, 1, 1, 1)])
+        # Contact length is 0.1.
+        assert len(shared_edges(placement)) == 1
+        policy = AdjacencyPolicy(min_shared_edge=0.2)
+        assert shared_edges(placement, policy) == []
+
+    def test_edges_are_sorted_and_ids_ordered(self):
+        placement = ChipletPlacement(
+            [
+                PlacedChiplet(chiplet_id=5, rect=Rect(0, 0, 1, 1)),
+                PlacedChiplet(chiplet_id=2, rect=Rect(1, 0, 1, 1)),
+            ]
+        )
+        edges = shared_edges(placement)
+        assert edges[0][:2] == (2, 5)
+
+    def test_grid_placement_has_expected_edge_count(self, small_grid):
+        edges = shared_edges(small_grid.placement)
+        # A 3x3 grid has 12 internal shared edges.
+        assert len(edges) == 12
+
+    def test_brickwall_placement_matches_lattice_graph(self, small_brickwall):
+        edges = {(a, b) for a, b, _ in shared_edges(small_brickwall.placement)}
+        lattice = {tuple(sorted(edge)) for edge in small_brickwall.graph.edges()}
+        assert edges == lattice
+
+    def test_hexamesh_placement_matches_lattice_graph(self, medium_hexamesh):
+        edges = {(a, b) for a, b, _ in shared_edges(medium_hexamesh.placement)}
+        lattice = {tuple(sorted(edge)) for edge in medium_hexamesh.graph.edges()}
+        assert edges == lattice
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdjacencyPolicy(min_shared_edge=-1.0)

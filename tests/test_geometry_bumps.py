@@ -1,0 +1,97 @@
+"""Unit tests for repro.geometry.bumps."""
+
+import pytest
+
+from repro.geometry.bumps import (
+    BumpGrid,
+    bump_positions_in_rect,
+    bump_positions_in_sector,
+    max_bump_count,
+)
+from repro.geometry.primitives import Rect
+from repro.geometry.sectors import BumpSector, SectorRole
+
+
+class TestMaxBumpCount:
+    def test_exact_fit(self):
+        assert max_bump_count(1.0, 0.1) == 100
+
+    def test_rounds_down(self):
+        assert max_bump_count(1.0, 0.15) == 44
+
+    def test_paper_link_area_example(self):
+        # Grid layout at N=100 chiplets: A_B = 1.2 mm², P_B = 0.15 mm -> 53 wires.
+        assert max_bump_count(1.2, 0.15) == 53
+
+    def test_zero_area(self):
+        assert max_bump_count(0.0, 0.1) == 0
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ValueError):
+            max_bump_count(-1.0, 0.1)
+
+    def test_rejects_non_positive_pitch(self):
+        with pytest.raises(ValueError):
+            max_bump_count(1.0, 0.0)
+
+
+class TestBumpPositionsInRect:
+    def test_counts_complete_cells_only(self):
+        positions = bump_positions_in_rect(Rect(0, 0, 1.0, 1.0), 0.3)
+        assert len(positions) == 9
+
+    def test_positions_are_inside_rect(self):
+        rect = Rect(2, 3, 1.0, 0.5)
+        for point in bump_positions_in_rect(rect, 0.2):
+            assert rect.contains_point(point)
+
+    def test_never_exceeds_closed_form_count(self):
+        rect = Rect(0, 0, 1.37, 0.83)
+        positions = bump_positions_in_rect(rect, 0.15)
+        assert len(positions) <= max_bump_count(rect.area, 0.15)
+
+    def test_pitch_spacing(self):
+        positions = bump_positions_in_rect(Rect(0, 0, 1.0, 1.0), 0.5)
+        xs = sorted({p.x for p in positions})
+        assert xs == pytest.approx([0.25, 0.75])
+
+
+class TestBumpPositionsInSector:
+    def test_triangle_sector_filters_outside_points(self):
+        from repro.geometry.primitives import Point
+
+        sector = BumpSector(
+            SectorRole.LINK, (Point(0, 0), Point(1, 0), Point(0, 1)), "west"
+        )
+        positions = bump_positions_in_sector(sector, 0.2)
+        assert positions  # some bumps fit
+        for point in positions:
+            assert sector.contains_point(point)
+
+    def test_rect_sector_equivalent_to_rect_generator(self):
+        rect = Rect(0, 0, 1.0, 0.6)
+        sector = BumpSector(SectorRole.LINK, rect.corner_points(), "east")
+        assert len(bump_positions_in_sector(sector, 0.2)) == len(
+            bump_positions_in_rect(rect, 0.2)
+        )
+
+
+class TestBumpGrid:
+    def test_for_rect(self):
+        grid = BumpGrid.for_rect(Rect(0, 0, 1, 1), 0.25)
+        assert grid.count == 16
+        assert grid.pitch == pytest.approx(0.25)
+
+    def test_max_distance_to_edge(self):
+        chiplet = Rect(0, 0, 2, 2)
+        grid = BumpGrid.for_rect(Rect(0.5, 0.5, 1, 1), 0.5)
+        assert grid.max_distance_to_edge(chiplet) <= 1.0
+
+    def test_empty_grid_distance_raises(self):
+        grid = BumpGrid(positions=(), pitch=0.1)
+        with pytest.raises(ValueError):
+            grid.max_distance_to_edge(Rect(0, 0, 1, 1))
+
+    def test_invalid_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            BumpGrid(positions=(), pitch=0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.geometry.placement."""
+
+import pytest
+
+from repro.geometry.placement import ChipletPlacement, PlacedChiplet
+from repro.geometry.primitives import Rect
+
+
+def _chiplet(chiplet_id, x, y, w=1.0, h=1.0, role="compute"):
+    return PlacedChiplet(chiplet_id=chiplet_id, rect=Rect(x, y, w, h), role=role)
+
+
+class TestPlacedChiplet:
+    def test_center_and_area(self):
+        chiplet = _chiplet(0, 1, 1, 2, 4)
+        assert chiplet.center.x == pytest.approx(2.0)
+        assert chiplet.center.y == pytest.approx(3.0)
+        assert chiplet.area == pytest.approx(8.0)
+
+    def test_lattice_position_defaults_to_none(self):
+        assert _chiplet(0, 0, 0).lattice_position is None
+
+
+class TestChipletPlacement:
+    def test_add_and_lookup(self):
+        placement = ChipletPlacement()
+        placement.add(_chiplet(0, 0, 0))
+        placement.add(_chiplet(1, 1, 0))
+        assert len(placement) == 2
+        assert placement[1].rect.x == pytest.approx(1.0)
+
+    def test_lookup_missing_id_raises(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0)])
+        with pytest.raises(KeyError):
+            placement[7]
+
+    def test_duplicate_ids_rejected_on_add(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            placement.add(_chiplet(0, 5, 5))
+
+    def test_duplicate_ids_rejected_on_construction(self):
+        with pytest.raises(ValueError, match="unique"):
+            ChipletPlacement([_chiplet(0, 0, 0), _chiplet(0, 2, 2)])
+
+    def test_overlapping_chiplets_rejected(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0)])
+        with pytest.raises(ValueError, match="overlaps"):
+            placement.add(_chiplet(1, 0.5, 0.5))
+
+    def test_touching_chiplets_allowed(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0)])
+        placement.add(_chiplet(1, 1.0, 0.0))
+        assert len(placement) == 2
+
+    def test_from_rects_assigns_sequential_ids(self):
+        placement = ChipletPlacement.from_rects([Rect(0, 0, 1, 1), Rect(2, 0, 1, 1)])
+        assert placement.chiplet_ids == [0, 1]
+
+    def test_bounding_box(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0), _chiplet(1, 2, 3)])
+        bounds = placement.bounding_box()
+        assert (bounds.x, bounds.y) == (0, 0)
+        assert bounds.x_max == pytest.approx(3.0)
+        assert bounds.y_max == pytest.approx(4.0)
+
+    def test_bounding_box_of_empty_placement_raises(self):
+        with pytest.raises(ValueError):
+            ChipletPlacement().bounding_box()
+
+    def test_total_area_and_utilization(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0), _chiplet(1, 1, 0)])
+        assert placement.total_chiplet_area() == pytest.approx(2.0)
+        assert placement.utilization() == pytest.approx(1.0)
+
+    def test_utilization_with_gaps(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0), _chiplet(1, 3, 0)])
+        assert placement.utilization() == pytest.approx(0.5)
+
+    def test_has_overlaps_false_for_valid_placement(self):
+        placement = ChipletPlacement([_chiplet(0, 0, 0), _chiplet(1, 1, 0)])
+        assert not placement.has_overlaps()
+
+    def test_compute_chiplets_filters_roles(self):
+        placement = ChipletPlacement(
+            [_chiplet(0, 0, 0), _chiplet(1, 1, 0, role="io")]
+        )
+        assert [c.chiplet_id for c in placement.compute_chiplets()] == [0]
+
+    def test_translated_and_normalized(self):
+        placement = ChipletPlacement([_chiplet(0, 5, 5), _chiplet(1, 6, 5)])
+        normalized = placement.normalized()
+        bounds = normalized.bounding_box()
+        assert bounds.x == pytest.approx(0.0)
+        assert bounds.y == pytest.approx(0.0)
+        # The original placement is unchanged.
+        assert placement[0].rect.x == pytest.approx(5.0)
+
+    def test_iteration_preserves_order(self):
+        placement = ChipletPlacement([_chiplet(2, 0, 0), _chiplet(5, 1, 0)])
+        assert [c.chiplet_id for c in placement] == [2, 5]

@@ -1,0 +1,115 @@
+"""Unit tests for repro.geometry.primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import Point, Rect
+
+
+class TestPoint:
+    def test_translation(self):
+        assert Point(1.0, 2.0).translated(0.5, -1.0) == Point(1.5, 1.0)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_points_are_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+
+class TestRectConstruction:
+    def test_basic_properties(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.x_max == pytest.approx(4.0)
+        assert rect.y_max == pytest.approx(6.0)
+        assert rect.area == pytest.approx(12.0)
+        assert rect.center == Point(2.5, 4.0)
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, -1)
+
+    def test_from_center(self):
+        rect = Rect.from_center(Point(0, 0), 2.0, 4.0)
+        assert rect.x == pytest.approx(-1.0)
+        assert rect.y == pytest.approx(-2.0)
+        assert rect.center == Point(0, 0)
+
+    def test_from_corners(self):
+        rect = Rect.from_corners(Point(2, 3), Point(0, 1))
+        assert (rect.x, rect.y, rect.width, rect.height) == (0, 1, 2, 2)
+
+    def test_aspect_ratio_is_at_least_one(self):
+        assert Rect(0, 0, 2, 4).aspect_ratio == pytest.approx(2.0)
+        assert Rect(0, 0, 4, 2).aspect_ratio == pytest.approx(2.0)
+        assert Rect(0, 0, 3, 3).aspect_ratio == pytest.approx(1.0)
+
+
+class TestRectQueries:
+    def test_contains_point_inside_and_boundary(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains_point(Point(1, 1))
+        assert rect.contains_point(Point(0, 0))
+        assert rect.contains_point(Point(2, 2))
+        assert not rect.contains_point(Point(2.1, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 4, 4)
+        assert outer.contains_rect(Rect(1, 1, 2, 2))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(3, 3, 2, 2))
+
+    def test_overlap_area(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 2, 2)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.overlap_area(Rect(5, 5, 1, 1)) == 0.0
+
+    def test_touching_rects_do_not_overlap(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 1, 1)
+        assert not a.overlaps(b)
+        assert a.overlap_area(b) == pytest.approx(0.0)
+
+    def test_overlapping_rects(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1.5, 1.5, 2, 2)
+        assert a.overlaps(b)
+
+    def test_union_bounds(self):
+        union = Rect(0, 0, 1, 1).union_bounds(Rect(3, 4, 1, 1))
+        assert (union.x, union.y, union.x_max, union.y_max) == (0, 0, 4, 5)
+
+    def test_translated(self):
+        moved = Rect(0, 0, 1, 2).translated(3, 4)
+        assert (moved.x, moved.y, moved.width, moved.height) == (3, 4, 1, 2)
+
+    def test_corner_points_are_counter_clockwise(self):
+        corners = Rect(0, 0, 2, 1).corner_points()
+        assert corners == (Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1))
+
+
+class TestDistanceToEdge:
+    def test_center_of_square(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.distance_to_edge(Point(2, 2)) == pytest.approx(2.0)
+
+    def test_point_near_edge(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.distance_to_edge(Point(0.5, 2)) == pytest.approx(0.5)
+
+    def test_point_on_boundary(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.distance_to_edge(Point(0, 2)) == pytest.approx(0.0)
+
+    def test_rejects_outside_point(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).distance_to_edge(Point(5, 5))
+
+    def test_rectangular_chiplet(self):
+        rect = Rect(0, 0, 4.38, 3.65)
+        # The centre is limited by the shorter dimension.
+        assert rect.distance_to_edge(rect.center) == pytest.approx(3.65 / 2)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.geometry.sectors (Figure 5 bump layouts)."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.sectors import (
+    BumpSector,
+    SectorRole,
+    grid_sector_layout,
+    hex_sector_layout,
+)
+from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
+
+
+class TestBumpSector:
+    def test_rectangle_area_via_shoelace(self):
+        sector = BumpSector(SectorRole.POWER, Rect(0, 0, 2, 3).corner_points())
+        assert sector.area == pytest.approx(6.0)
+
+    def test_triangle_area(self):
+        sector = BumpSector(
+            SectorRole.LINK, (Point(0, 0), Point(2, 0), Point(0, 2)), "north"
+        )
+        assert sector.area == pytest.approx(2.0)
+
+    def test_link_sector_requires_direction(self):
+        with pytest.raises(ValueError):
+            BumpSector(SectorRole.LINK, Rect(0, 0, 1, 1).corner_points())
+
+    def test_power_sector_must_not_have_direction(self):
+        with pytest.raises(ValueError):
+            BumpSector(SectorRole.POWER, Rect(0, 0, 1, 1).corner_points(), "north")
+
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            BumpSector(SectorRole.POWER, (Point(0, 0), Point(1, 1)))
+
+    def test_contains_point(self):
+        sector = BumpSector(SectorRole.POWER, Rect(0, 0, 2, 2).corner_points())
+        assert sector.contains_point(Point(1, 1))
+        assert sector.contains_point(Point(0, 0))
+        assert not sector.contains_point(Point(3, 1))
+
+    def test_max_distance_to_chiplet_edge(self):
+        chiplet = Rect(0, 0, 4, 4)
+        sector = BumpSector(SectorRole.LINK, Rect(0, 1, 1, 2).corner_points(), "west")
+        assert sector.max_distance_to_chiplet_edge(chiplet) == pytest.approx(1.0)
+
+
+class TestGridSectorLayout:
+    def test_layout_structure(self):
+        layout = grid_sector_layout(Rect(0, 0, 4, 4), power_width=2.0)
+        assert layout.link_count == 4
+        assert layout.power_sector().area == pytest.approx(4.0)
+        layout.validate()
+
+    def test_sector_areas_match_formula(self):
+        area = 16.0
+        power_fraction = 0.4
+        shape = solve_grid_shape(area, power_fraction)
+        layout = grid_sector_layout(
+            Rect(0, 0, shape.width_mm, shape.height_mm),
+            power_width=math.sqrt(power_fraction * area),
+        )
+        for sector in layout.link_sectors():
+            assert sector.area == pytest.approx(shape.link_sector_area_mm2, rel=1e-9)
+
+    def test_bump_distance_matches_formula(self):
+        area = 16.0
+        power_fraction = 0.4
+        shape = solve_grid_shape(area, power_fraction)
+        layout = grid_sector_layout(
+            Rect(0, 0, shape.width_mm, shape.height_mm),
+            power_width=math.sqrt(power_fraction * area),
+        )
+        assert layout.max_bump_distance() == pytest.approx(shape.bump_distance_mm, rel=1e-9)
+
+    def test_rejects_non_square_chiplet(self):
+        with pytest.raises(ValueError, match="square"):
+            grid_sector_layout(Rect(0, 0, 4, 3), power_width=1.0)
+
+    def test_rejects_oversized_power_sector(self):
+        with pytest.raises(ValueError):
+            grid_sector_layout(Rect(0, 0, 4, 4), power_width=5.0)
+
+    def test_sectors_tile_the_chiplet(self):
+        layout = grid_sector_layout(Rect(0, 0, 4, 4), power_width=1.5)
+        assert layout.total_sector_area() == pytest.approx(16.0)
+
+
+class TestHexSectorLayout:
+    def _layout(self, area=16.0, power_fraction=0.4):
+        shape = solve_hex_shape(area, power_fraction)
+        chiplet = Rect(0, 0, shape.width_mm, shape.height_mm)
+        band_height = shape.width_mm / 2.0
+        return shape, hex_sector_layout(chiplet, shape.bump_distance_mm, band_height)
+
+    def test_layout_has_six_link_sectors(self):
+        _, layout = self._layout()
+        assert layout.link_count == 6
+        layout.validate()
+
+    def test_link_sector_areas_match_formula(self):
+        shape, layout = self._layout()
+        for sector in layout.link_sectors():
+            assert sector.area == pytest.approx(shape.link_sector_area_mm2, rel=1e-9)
+
+    def test_power_sector_area_matches_fraction(self):
+        shape, layout = self._layout()
+        assert layout.power_sector().area == pytest.approx(shape.power_area_mm2, rel=1e-9)
+
+    def test_bump_distance_matches_formula(self):
+        shape, layout = self._layout()
+        assert layout.max_bump_distance() == pytest.approx(shape.bump_distance_mm, rel=1e-9)
+
+    def test_sectors_tile_the_chiplet(self):
+        shape, layout = self._layout()
+        assert layout.total_sector_area() == pytest.approx(shape.area_mm2, rel=1e-9)
+
+    def test_direction_labels_are_unique(self):
+        _, layout = self._layout()
+        labels = [s.link_direction for s in layout.link_sectors()]
+        assert len(set(labels)) == 6
+
+    def test_rejects_inconsistent_dimensions(self):
+        with pytest.raises(ValueError):
+            hex_sector_layout(Rect(0, 0, 4, 4), bump_distance=0.5, band_height=1.0)

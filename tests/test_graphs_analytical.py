@@ -1,0 +1,132 @@
+"""Unit tests for the closed-form proxy formulas (Section IV-D)."""
+
+import math
+
+import pytest
+
+from repro.graphs.analytical import (
+    ANALYTICAL_KINDS,
+    asymptotic_bisection_improvement_percent,
+    asymptotic_bisection_ratio,
+    asymptotic_diameter_ratio,
+    asymptotic_diameter_reduction_percent,
+    bisection_bandwidth_formula,
+    brickwall_bisection_bandwidth,
+    brickwall_diameter,
+    diameter_formula,
+    grid_bisection_bandwidth,
+    grid_diameter,
+    has_regular_arrangement,
+    hexamesh_bisection_bandwidth,
+    hexamesh_diameter,
+    honeycomb_bisection_bandwidth,
+    honeycomb_diameter,
+)
+
+
+class TestDiameterFormulas:
+    @pytest.mark.parametrize(
+        "count, expected", [(4, 2), (9, 4), (16, 6), (25, 8), (100, 18)]
+    )
+    def test_grid(self, count, expected):
+        assert grid_diameter(count) == expected
+
+    @pytest.mark.parametrize(
+        "count, expected", [(4, 2), (9, 3), (16, 5), (25, 6), (100, 14)]
+    )
+    def test_brickwall(self, count, expected):
+        assert brickwall_diameter(count) == expected
+
+    @pytest.mark.parametrize("count, expected", [(1, 0), (7, 2), (19, 4), (37, 6), (91, 10)])
+    def test_hexamesh(self, count, expected):
+        assert hexamesh_diameter(count) == expected
+
+    def test_honeycomb_equals_brickwall(self):
+        for count in (4, 9, 16, 49):
+            assert honeycomb_diameter(count) == brickwall_diameter(count)
+
+    def test_non_square_count_rejected(self):
+        with pytest.raises(ValueError):
+            grid_diameter(10)
+        with pytest.raises(ValueError):
+            brickwall_diameter(50)
+
+    def test_non_hexamesh_count_rejected(self):
+        with pytest.raises(ValueError):
+            hexamesh_diameter(10)
+
+    def test_dispatcher(self):
+        assert diameter_formula("grid", 16) == 6
+        assert diameter_formula("hexamesh", 37) == 6
+        with pytest.raises(ValueError):
+            diameter_formula("ring", 16)
+
+
+class TestBisectionFormulas:
+    @pytest.mark.parametrize("count, expected", [(4, 2.0), (16, 4.0), (100, 10.0)])
+    def test_grid(self, count, expected):
+        assert grid_bisection_bandwidth(count) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("count, expected", [(4, 3.0), (16, 7.0), (100, 19.0)])
+    def test_brickwall(self, count, expected):
+        assert brickwall_bisection_bandwidth(count) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "count, expected", [(7, 5.0), (19, 9.0), (37, 13.0), (91, 21.0)]
+    )
+    def test_hexamesh(self, count, expected):
+        assert hexamesh_bisection_bandwidth(count) == pytest.approx(expected)
+
+    def test_honeycomb_equals_brickwall(self):
+        assert honeycomb_bisection_bandwidth(36) == brickwall_bisection_bandwidth(36)
+
+    def test_dispatcher(self):
+        assert bisection_bandwidth_formula("hexamesh", 37) == pytest.approx(13.0)
+
+
+class TestAsymptotics:
+    def test_grid_ratios_are_one(self):
+        assert asymptotic_diameter_ratio("grid") == 1.0
+        assert asymptotic_bisection_ratio("grid") == 1.0
+
+    def test_brickwall_ratios(self):
+        assert asymptotic_diameter_ratio("brickwall") == pytest.approx(0.75)
+        assert asymptotic_bisection_ratio("brickwall") == pytest.approx(2.0)
+
+    def test_hexamesh_ratios(self):
+        assert asymptotic_diameter_ratio("hexamesh") == pytest.approx(1 / math.sqrt(3))
+        assert asymptotic_bisection_ratio("hexamesh") == pytest.approx(4 / math.sqrt(3))
+
+    def test_abstract_percentages(self):
+        # The abstract quotes -42 % diameter and +130 % bisection bandwidth.
+        assert asymptotic_diameter_reduction_percent("hexamesh") == pytest.approx(42.3, abs=0.1)
+        assert asymptotic_bisection_improvement_percent("hexamesh") == pytest.approx(
+            130.9, abs=0.1
+        )
+        assert asymptotic_diameter_reduction_percent("brickwall") == pytest.approx(25.0)
+        assert asymptotic_bisection_improvement_percent("brickwall") == pytest.approx(100.0)
+
+    def test_formula_ratio_converges_to_asymptote(self):
+        # At N = 10^6 the finite-N ratio should be within 1 % of the limit.
+        count = 1000**2
+        ratio = brickwall_diameter(count) / grid_diameter(count)
+        assert ratio == pytest.approx(asymptotic_diameter_ratio("brickwall"), rel=0.01)
+
+    def test_hexamesh_formula_ratio_converges(self):
+        rings = 500
+        count = 1 + 3 * rings * (rings + 1)
+        side = math.isqrt(count)
+        grid_count = side * side
+        ratio = hexamesh_diameter(count) / grid_diameter(grid_count)
+        assert ratio == pytest.approx(asymptotic_diameter_ratio("hexamesh"), rel=0.01)
+
+
+class TestApplicability:
+    def test_regular_counts(self):
+        assert has_regular_arrangement("grid", 49)
+        assert not has_regular_arrangement("grid", 50)
+        assert has_regular_arrangement("hexamesh", 61)
+        assert not has_regular_arrangement("hexamesh", 60)
+
+    def test_all_kinds_listed(self):
+        assert set(ANALYTICAL_KINDS) == {"grid", "brickwall", "honeycomb", "hexamesh"}

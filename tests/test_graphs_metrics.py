@@ -1,0 +1,159 @@
+"""Unit tests for repro.graphs.metrics."""
+
+import pytest
+
+from repro.graphs.metrics import (
+    DegreeStatistics,
+    all_pairs_distances,
+    average_distance,
+    bfs_distances,
+    compute_metrics,
+    degree_statistics,
+    diameter,
+    eccentricities,
+    hop_histogram,
+    is_connected,
+    path_length_percentile,
+    planar_average_degree_bound,
+    radius,
+)
+from repro.graphs.model import ChipGraph
+
+
+class TestBfsDistances:
+    def test_path_graph(self, path_graph):
+        distances = bfs_distances(path_graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(KeyError):
+            bfs_distances(path_graph, 99)
+
+    def test_disconnected_component_not_reached(self):
+        graph = ChipGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert 2 not in bfs_distances(graph, 0)
+
+    def test_all_pairs(self, cycle_graph):
+        distances = all_pairs_distances(cycle_graph)
+        assert distances[0][3] == 3
+        assert distances[2][5] == 3
+        assert len(distances) == 6
+
+
+class TestConnectivity:
+    def test_connected_graph(self, cycle_graph):
+        assert is_connected(cycle_graph)
+
+    def test_disconnected_graph(self):
+        graph = ChipGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert not is_connected(graph)
+
+    def test_single_node_is_connected(self):
+        assert is_connected(ChipGraph(nodes=[0]))
+
+
+class TestDiameterAndRadius:
+    def test_path_graph(self, path_graph):
+        assert diameter(path_graph) == 3
+        assert radius(path_graph) == 2
+
+    def test_cycle_graph(self, cycle_graph):
+        assert diameter(cycle_graph) == 3
+        assert radius(cycle_graph) == 3
+
+    def test_single_node(self):
+        graph = ChipGraph(nodes=[0])
+        assert diameter(graph) == 0
+        assert radius(graph) == 0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            diameter(ChipGraph())
+
+    def test_disconnected_graph_raises(self):
+        graph = ChipGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            diameter(graph)
+
+    def test_eccentricities(self, path_graph):
+        assert eccentricities(path_graph) == {0: 3, 1: 2, 2: 2, 3: 3}
+
+
+class TestAverageDistance:
+    def test_path_graph(self, path_graph):
+        # Pairwise distances of a 4-path: 1,2,3,1,2,1 (unordered) -> mean 10/6.
+        assert average_distance(path_graph) == pytest.approx(10 / 6)
+
+    def test_single_node(self):
+        assert average_distance(ChipGraph(nodes=[0])) == 0.0
+
+    def test_complete_graph(self):
+        graph = ChipGraph(edges=[(0, 1), (0, 2), (1, 2)])
+        assert average_distance(graph) == pytest.approx(1.0)
+
+
+class TestDegreeStatistics:
+    def test_star_graph(self):
+        graph = ChipGraph(edges=[(0, i) for i in range(1, 5)])
+        stats = DegreeStatistics.of(graph)
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.average == pytest.approx(8 / 5)
+
+    def test_helper_function(self, cycle_graph):
+        stats = degree_statistics(cycle_graph)
+        assert stats.minimum == stats.maximum == 2
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            degree_statistics(ChipGraph())
+
+
+class TestPlanarBound:
+    def test_bound_value(self):
+        assert planar_average_degree_bound(12) == pytest.approx(5.0)
+
+    def test_bound_approaches_six(self):
+        assert planar_average_degree_bound(10**6) == pytest.approx(6.0, abs=1e-4)
+
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            planar_average_degree_bound(2)
+
+    def test_arrangement_degrees_respect_bound(self, medium_hexamesh):
+        stats = degree_statistics(medium_hexamesh.graph)
+        assert stats.average <= planar_average_degree_bound(medium_hexamesh.num_chiplets)
+
+
+class TestComputeMetrics:
+    def test_bundle_matches_individual_metrics(self, small_brickwall):
+        graph = small_brickwall.graph
+        metrics = compute_metrics(graph)
+        assert metrics.diameter == diameter(graph)
+        assert metrics.radius == radius(graph)
+        assert metrics.average_distance == pytest.approx(average_distance(graph))
+        assert metrics.num_edges == graph.num_edges
+        assert metrics.average_degree == pytest.approx(degree_statistics(graph).average)
+
+    def test_single_node_metrics(self):
+        metrics = compute_metrics(ChipGraph(nodes=[0]))
+        assert metrics.diameter == 0
+        assert metrics.average_distance == 0.0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            compute_metrics(ChipGraph())
+
+
+class TestHopHistogram:
+    def test_path_graph_histogram(self, path_graph):
+        assert hop_histogram(path_graph) == {1: 3, 2: 2, 3: 1}
+
+    def test_percentiles(self, path_graph):
+        assert path_length_percentile(path_graph, 0) <= 1
+        assert path_length_percentile(path_graph, 100) == 3
+        assert path_length_percentile(path_graph, 50) in (1, 2)
+
+    def test_percentile_validation(self, path_graph):
+        with pytest.raises(ValueError):
+            path_length_percentile(path_graph, 150)

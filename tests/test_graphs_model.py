@@ -1,0 +1,144 @@
+"""Unit tests for repro.graphs.model.ChipGraph."""
+
+import pytest
+
+from repro.graphs.model import ChipGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = ChipGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_nodes_and_edges(self):
+        graph = ChipGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 1
+
+    def test_add_edge_creates_missing_nodes(self):
+        graph = ChipGraph()
+        graph.add_edge(4, 5)
+        assert graph.has_node(4)
+        assert graph.has_node(5)
+        assert graph.has_edge(5, 4)
+
+    def test_self_loops_rejected(self):
+        graph = ChipGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_parallel_edges_collapse(self):
+        graph = ChipGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_add_existing_node_is_noop(self):
+        graph = ChipGraph(nodes=[0])
+        graph.add_node(0)
+        assert graph.num_nodes == 1
+
+    def test_from_adjacency(self):
+        graph = ChipGraph.from_adjacency({0: [1, 2], 1: [0], 2: []})
+        assert graph.num_edges == 2
+        assert sorted(graph.neighbors(0)) == [1, 2]
+
+    def test_from_edge_list_with_isolated_nodes(self):
+        graph = ChipGraph.from_edge_list([(0, 1)], nodes=[0, 1, 2])
+        assert graph.num_nodes == 3
+        assert graph.degree(2) == 0
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        graph = ChipGraph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert sorted(graph.neighbors(0)) == [1, 2, 3]
+        assert graph.degrees()[1] == 1
+
+    def test_unknown_node_raises(self):
+        graph = ChipGraph(nodes=[0])
+        with pytest.raises(KeyError):
+            graph.neighbors(7)
+        with pytest.raises(KeyError):
+            graph.degree(7)
+
+    def test_edges_reported_once(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_contains_and_len_and_iter(self):
+        graph = ChipGraph(nodes=[0, 1])
+        assert 0 in graph
+        assert 7 not in graph
+        assert len(graph) == 2
+        assert sorted(graph) == [0, 1]
+
+    def test_remove_edge(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = ChipGraph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 2)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = ChipGraph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_nodes == 2
+        assert clone.num_nodes == 3
+
+    def test_subgraph(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert not sub.has_node(0)
+
+    def test_subgraph_unknown_node_raises(self):
+        graph = ChipGraph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            graph.subgraph([0, 5])
+
+    def test_relabeled(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2)])
+        relabeled = graph.relabeled({0: "a", 1: "b", 2: "c"})
+        assert relabeled.has_edge("a", "b")
+        assert relabeled.num_edges == 2
+
+    def test_relabeled_requires_complete_injective_mapping(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2)])
+        with pytest.raises(KeyError):
+            graph.relabeled({0: "a", 1: "b"})
+        with pytest.raises(ValueError):
+            graph.relabeled({0: "a", 1: "a", 2: "c"})
+
+    def test_cut_size(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert graph.cut_size({0, 1}) == 2
+        assert graph.cut_size({0, 2}) == 4
+
+    def test_cut_size_unknown_node_raises(self):
+        graph = ChipGraph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            graph.cut_size({9})
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self):
+        graph = ChipGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        networkx_graph = graph.to_networkx()
+        back = ChipGraph.from_networkx(networkx_graph)
+        assert sorted(back.edges()) == sorted(graph.edges())
+        assert back.num_nodes == graph.num_nodes
+
+    def test_to_networkx_preserves_isolated_nodes(self):
+        graph = ChipGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        assert graph.to_networkx().number_of_nodes() == 3

@@ -1,0 +1,105 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise the complete pipeline the paper's evaluation uses:
+arrangement generation -> graph proxies -> shape and link model ->
+(analytical or cycle-accurate) performance -> comparison against the grid
+baseline, and check that the paper's qualitative findings hold.
+"""
+
+import pytest
+
+from repro.arrangements.base import ArrangementKind
+from repro.arrangements.factory import make_arrangement
+from repro.core.design import ChipletDesign
+from repro.evaluation.performance import run_figure7
+from repro.evaluation.proxies import run_figure6
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator
+
+
+class TestProxyPipeline:
+    def test_hexamesh_dominates_grid_on_both_proxies(self):
+        figure6 = run_figure6(range(8, 40, 3))
+        for count in range(8, 40, 3):
+            grid = figure6.point(ArrangementKind.GRID, count)
+            hexamesh = figure6.point(ArrangementKind.HEXAMESH, count)
+            assert hexamesh.diameter <= grid.diameter
+            assert hexamesh.bisection_bandwidth >= grid.bisection_bandwidth
+
+
+class TestSimulationAgainstAnalyticalPipeline:
+    @pytest.mark.parametrize("kind,count", [("grid", 16), ("brickwall", 16), ("hexamesh", 19)])
+    def test_simulated_latency_matches_design_prediction(self, kind, count):
+        design = ChipletDesign.create(kind, count)
+        config = SimulationConfig(
+            warmup_cycles=200, measurement_cycles=800, drain_cycles=1200
+        )
+        result = design.simulate(injection_rate=0.03, config=config)
+        assert result.packet_latency.mean == pytest.approx(
+            design.zero_load_latency(), rel=0.08
+        )
+
+    def test_simulated_ordering_matches_paper(self):
+        """Cycle-accurate simulation: HM beats G in latency at similar size."""
+        config = SimulationConfig(
+            warmup_cycles=200, measurement_cycles=600, drain_cycles=1000
+        )
+        grid = NocSimulator(
+            make_arrangement("grid", 36).graph, config, injection_rate=0.03
+        ).run()
+        hexamesh = NocSimulator(
+            make_arrangement("hexamesh", 37).graph, config, injection_rate=0.03
+        ).run()
+        assert hexamesh.packet_latency.mean < grid.packet_latency.mean
+
+    def test_simulated_throughput_ordering_matches_paper(self):
+        """Cycle-accurate simulation: HM sustains a higher relative load than G."""
+        config = SimulationConfig(
+            warmup_cycles=300, measurement_cycles=600, drain_cycles=0
+        )
+        grid = NocSimulator(
+            make_arrangement("grid", 36).graph, config, injection_rate=1.0
+        ).run()
+        hexamesh = NocSimulator(
+            make_arrangement("hexamesh", 37).graph, config, injection_rate=1.0
+        ).run()
+        assert hexamesh.accepted_flit_rate > grid.accepted_flit_rate
+
+
+class TestEndToEndEvaluation:
+    def test_figure7_pipeline_consistency(self):
+        figure7 = run_figure7(range(2, 26), mode="analytical")
+        for count in (10, 19, 25):
+            point = figure7.point("hexamesh", count)
+            # Tb/s value is the product of its two factors.
+            assert point.saturation_throughput_tbps == pytest.approx(
+                point.saturation_fraction * point.full_global_bandwidth_tbps
+            )
+        # Normalised latency of the grid against itself is exactly 100 %.
+        assert figure7.normalized_latency_percent("grid", 20) == pytest.approx(100.0)
+
+    def test_design_facade_consistent_with_figure7(self):
+        figure7 = run_figure7([37], mode="analytical")
+        point = figure7.point("hexamesh", 37)
+        design = ChipletDesign.create("hexamesh", 37)
+        assert design.zero_load_latency() == pytest.approx(point.zero_load_latency_cycles)
+        assert design.link_bandwidth_gbps == pytest.approx(point.link_bandwidth_gbps)
+        assert design.saturation_throughput_tbps() == pytest.approx(
+            point.saturation_throughput_tbps
+        )
+
+    def test_booksim_export_round_trip_against_simulator_topology(self, tmp_path):
+        """The exported anynet file describes exactly the simulated topology."""
+        from repro.io.booksim_export import booksim_anynet_file
+
+        arrangement = make_arrangement("hexamesh", 19)
+        text = booksim_anynet_file(arrangement)
+        # Parse the file back into an edge set.
+        edges = set()
+        for line in text.strip().splitlines():
+            parts = line.split("router")
+            router_id = int(parts[1].split("node")[0])
+            if len(parts) > 2:
+                for neighbor in parts[2].split():
+                    edges.add(tuple(sorted((router_id, int(neighbor)))))
+        assert edges == {tuple(sorted(e)) for e in arrangement.graph.edges()}

@@ -1,0 +1,134 @@
+"""Tests for serialisation, BookSim2 export and CSV helpers."""
+
+import json
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.core.design import ChipletDesign
+from repro.evaluation.series import DataSeries
+from repro.graphs.metrics import diameter
+from repro.io.booksim_export import (
+    booksim_anynet_file,
+    booksim_config_file,
+    write_booksim_inputs,
+)
+from repro.io.csvio import read_series_csv, write_series_csv
+from repro.io.serialization import (
+    arrangement_from_dict,
+    arrangement_to_dict,
+    design_to_dict,
+    load_arrangement_json,
+    save_arrangement_json,
+)
+
+
+class TestArrangementSerialization:
+    @pytest.mark.parametrize("kind,count", [("grid", 12), ("brickwall", 9), ("hexamesh", 19)])
+    def test_round_trip_preserves_structure(self, kind, count):
+        original = make_arrangement(kind, count)
+        restored = arrangement_from_dict(arrangement_to_dict(original))
+        assert restored.kind == original.kind
+        assert restored.regularity == original.regularity
+        assert restored.num_chiplets == original.num_chiplets
+        assert sorted(restored.graph.edges()) == sorted(original.graph.edges())
+        assert diameter(restored.graph) == diameter(original.graph)
+
+    def test_round_trip_preserves_placement(self):
+        original = make_arrangement("hexamesh", 7)
+        restored = arrangement_from_dict(arrangement_to_dict(original))
+        assert restored.placement is not None
+        for chiplet in original.placement:
+            other = restored.placement[chiplet.chiplet_id]
+            assert other.rect.x == pytest.approx(chiplet.rect.x)
+            assert other.lattice_position == chiplet.lattice_position
+
+    def test_honeycomb_without_placement(self):
+        original = make_arrangement("honeycomb", 9)
+        restored = arrangement_from_dict(arrangement_to_dict(original))
+        assert restored.placement is None
+        assert restored.violates_shape_constraints
+
+    def test_dictionary_is_json_serialisable(self):
+        data = arrangement_to_dict(make_arrangement("honeycomb", 9))
+        json.dumps(data)
+
+    def test_file_round_trip(self, tmp_path):
+        original = make_arrangement("grid", 16)
+        path = tmp_path / "arrangement.json"
+        save_arrangement_json(original, str(path))
+        restored = load_arrangement_json(str(path))
+        assert restored.num_chiplets == 16
+
+    def test_design_to_dict(self):
+        data = design_to_dict(ChipletDesign.create("hexamesh", 19))
+        assert data["summary"]["diameter"] == 4
+        assert data["parameters"]["bump_pitch_mm"] == pytest.approx(0.15)
+        json.dumps(data)
+
+
+class TestBooksimExport:
+    def test_anynet_file_structure(self):
+        arrangement = make_arrangement("grid", 4)
+        text = booksim_anynet_file(arrangement)
+        lines = text.strip().splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("router 0 node 0 1 router")
+
+    def test_anynet_file_lists_all_neighbors(self):
+        arrangement = make_arrangement("hexamesh", 7)
+        text = booksim_anynet_file(arrangement)
+        # The centre chiplet of a 7-chiplet HexaMesh has six neighbours.
+        centre_line = [
+            line for line in text.splitlines() if line.count("router") == 2 and
+            len(line.split("router")[2].split()) == 6
+        ]
+        assert centre_line
+
+    def test_anynet_endpoint_count_parameter(self):
+        arrangement = make_arrangement("grid", 4)
+        text = booksim_anynet_file(arrangement, endpoints_per_chiplet=3)
+        assert "node 0 1 2 " in text or "node 0 1 2\n" in text or "node 0 1 2 router" in text
+
+    def test_config_file_contains_paper_parameters(self):
+        arrangement = make_arrangement("hexamesh", 19)
+        text = booksim_config_file(arrangement)
+        assert "num_vcs = 8;" in text
+        assert "vc_buf_size = 8;" in text
+        assert "topology = anynet;" in text
+        assert "traffic = uniform;" in text
+
+    def test_config_validates_injection_rate(self):
+        arrangement = make_arrangement("grid", 4)
+        with pytest.raises(ValueError):
+            booksim_config_file(arrangement, injection_rate=2.0)
+
+    def test_write_both_files(self, tmp_path):
+        arrangement = make_arrangement("brickwall", 9)
+        topology = tmp_path / "topo.anynet"
+        config = tmp_path / "booksim.cfg"
+        write_booksim_inputs(arrangement, str(topology), str(config))
+        assert topology.read_text().count("router") >= 9
+        assert "anynet" in config.read_text()
+
+
+class TestCsvIo:
+    def test_round_trip(self, tmp_path):
+        series = DataSeries(name="grid")
+        series.add(1, 2.0)
+        series.add(2, 4.0)
+        other = DataSeries(name="hexamesh")
+        other.add(1, 1.0)
+        path = tmp_path / "series.csv"
+        write_series_csv([series, other], str(path), x_label="n", y_label="value")
+        restored = read_series_csv(str(path))
+        names = {s.name for s in restored}
+        assert names == {"grid", "hexamesh"}
+        restored_grid = next(s for s in restored if s.name == "grid")
+        assert restored_grid.ys == [2.0, 4.0]
+
+    def test_read_invalid_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("just,two\n")
+        with pytest.raises(ValueError):
+            read_series_csv(str(path))

@@ -1,0 +1,154 @@
+"""Unit tests for the D2D link-bandwidth model (Section V of the paper)."""
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.linkmodel.bandwidth import (
+    D2DLinkModel,
+    data_wires,
+    link_bandwidth_bps,
+    wire_count,
+)
+from repro.linkmodel.parameters import (
+    EvaluationParameters,
+    LinkParameters,
+    UCIE_ADVANCED_PACKAGE,
+    UCIE_STANDARD_PACKAGE,
+)
+
+
+class TestElementaryFormulas:
+    def test_wire_count(self):
+        assert wire_count(1.2, 0.15) == 53
+
+    def test_wire_count_zero_area(self):
+        assert wire_count(0.0, 0.15) == 0
+
+    def test_data_wires(self):
+        assert data_wires(53, 12) == 41
+
+    def test_data_wires_clamped_at_zero(self):
+        assert data_wires(5, 12) == 0
+
+    def test_link_bandwidth(self):
+        assert link_bandwidth_bps(41, 16e9) == pytest.approx(656e9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wire_count(-1.0, 0.15)
+        with pytest.raises(ValueError):
+            wire_count(1.0, 0.0)
+        with pytest.raises(ValueError):
+            link_bandwidth_bps(10, 0.0)
+
+
+class TestLinkParameters:
+    def test_ucie_standard_preset(self):
+        assert UCIE_STANDARD_PACKAGE.bump_pitch_mm == pytest.approx(0.15)
+        assert UCIE_STANDARD_PACKAGE.non_data_wires == 12
+        assert UCIE_STANDARD_PACKAGE.frequency_ghz == pytest.approx(16.0)
+
+    def test_ucie_advanced_preset_has_finer_pitch(self):
+        assert UCIE_ADVANCED_PACKAGE.bump_pitch_mm < UCIE_STANDARD_PACKAGE.bump_pitch_mm
+
+    def test_with_pitch_and_frequency(self):
+        modified = UCIE_STANDARD_PACKAGE.with_pitch(0.1).with_frequency(8e9)
+        assert modified.bump_pitch_mm == pytest.approx(0.1)
+        assert modified.frequency_ghz == pytest.approx(8.0)
+        # Originals are unchanged (frozen dataclasses).
+        assert UCIE_STANDARD_PACKAGE.bump_pitch_mm == pytest.approx(0.15)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinkParameters(bump_pitch_mm=0.0, non_data_wires=12, frequency_hz=16e9)
+        with pytest.raises(ValueError):
+            LinkParameters(bump_pitch_mm=0.15, non_data_wires=-1, frequency_hz=16e9)
+
+
+class TestEvaluationParameters:
+    def test_paper_defaults(self):
+        params = EvaluationParameters.paper_defaults()
+        assert params.total_chiplet_area_mm2 == pytest.approx(800.0)
+        assert params.power_bump_fraction == pytest.approx(0.4)
+        assert params.link.bump_pitch_mm == pytest.approx(0.15)
+        assert params.endpoints_per_chiplet == 2
+        assert params.link_latency_cycles == 27
+        assert params.router_latency_cycles == 3
+        assert params.num_virtual_channels == 8
+        assert params.buffer_depth_flits == 8
+
+    def test_chiplet_area(self):
+        params = EvaluationParameters()
+        assert params.chiplet_area_mm2(100) == pytest.approx(8.0)
+        assert params.chiplet_area_mm2(1) == pytest.approx(800.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationParameters(total_chiplet_area_mm2=-1.0)
+        with pytest.raises(ValueError):
+            EvaluationParameters(power_bump_fraction=1.0)
+
+
+class TestD2DLinkModel:
+    def test_grid_bandwidth_at_100_chiplets(self):
+        """Check the end-to-end numbers for the paper's evaluation setting."""
+        model = D2DLinkModel()
+        estimate = model.estimate("grid", 100)
+        # A_C = 8 mm², A_B = 1.2 mm², N_w = 53, N_dw = 41, B = 656 Gb/s.
+        assert estimate.shape.area_mm2 == pytest.approx(8.0)
+        assert estimate.num_wires == 53
+        assert estimate.num_data_wires == 41
+        assert estimate.bandwidth_gbps == pytest.approx(656.0)
+
+    def test_hexamesh_has_lower_per_link_bandwidth(self):
+        model = D2DLinkModel()
+        grid = model.estimate("grid", 100)
+        hexamesh = model.estimate("hexamesh", 100)
+        assert hexamesh.bandwidth_gbps < grid.bandwidth_gbps
+
+    def test_hand_optimized_small_designs(self):
+        model = D2DLinkModel()
+        # A 4-chiplet grid has maximum degree 2, so the hand-optimised split
+        # gives each link half of the non-power area instead of a quarter.
+        standard = model.estimate("grid", 4)
+        optimized = model.estimate("grid", 4, max_links_per_chiplet=2)
+        assert optimized.shape.link_sector_area_mm2 > standard.shape.link_sector_area_mm2
+        assert optimized.bandwidth_gbps > standard.bandwidth_gbps
+
+    def test_hand_optimization_threshold(self):
+        model = D2DLinkModel()
+        # Above the threshold the max-degree hint is ignored.
+        above = model.estimate("grid", 16, max_links_per_chiplet=2)
+        assert above.shape.layout_style == "grid"
+
+    def test_estimate_for_arrangement_uses_max_degree(self):
+        model = D2DLinkModel()
+        arrangement = make_arrangement("grid", 4)
+        estimate = model.estimate_for_arrangement(arrangement)
+        assert estimate.shape.layout_style == "hand-optimized"
+        assert estimate.shape.num_link_sectors == 2
+
+    def test_full_global_bandwidth(self):
+        model = D2DLinkModel()
+        per_link = model.estimate("grid", 100).bandwidth_bps
+        expected = 100 * 2 * per_link / 1e12
+        assert model.full_global_bandwidth_tbps("grid", 100) == pytest.approx(expected)
+
+    def test_micro_bump_technology_increases_bandwidth(self):
+        standard = D2DLinkModel()
+        advanced = D2DLinkModel(EvaluationParameters(link=UCIE_ADVANCED_PACKAGE))
+        assert (
+            advanced.estimate("grid", 64).bandwidth_gbps
+            > standard.estimate("grid", 64).bandwidth_gbps
+        )
+
+    def test_bandwidth_units(self):
+        estimate = D2DLinkModel().estimate("grid", 100)
+        assert estimate.bandwidth_tbps == pytest.approx(estimate.bandwidth_gbps / 1000.0)
+
+    def test_more_chiplets_means_less_bandwidth_per_link(self):
+        model = D2DLinkModel()
+        assert (
+            model.estimate("hexamesh", 91).bandwidth_gbps
+            < model.estimate("hexamesh", 37).bandwidth_gbps
+        )

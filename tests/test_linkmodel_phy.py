@@ -1,0 +1,78 @@
+"""Unit tests for the PHY companion model."""
+
+import pytest
+
+from repro.linkmodel.phy import PhyModel, cycles_from_time, estimated_link_length_mm
+
+
+class TestPhyModel:
+    def test_default_link_latency_matches_paper(self):
+        # 2 x 12 (PHY) + 3 (wire) = 27 cycles, the value used in Section VI-A.
+        assert PhyModel().link_latency_cycles == 27
+
+    def test_custom_latency_composition(self):
+        model = PhyModel(latency_cycles=10, wire_latency_cycles=5)
+        assert model.link_latency_cycles == 25
+
+    def test_phy_area_per_chiplet(self):
+        model = PhyModel(area_overhead_mm2=0.5)
+        assert model.phy_area_per_chiplet_mm2(6) == pytest.approx(3.0)
+        assert model.phy_area_per_chiplet_mm2(0) == pytest.approx(0.0)
+
+    def test_phy_area_overhead_fraction(self):
+        model = PhyModel(area_overhead_mm2=0.5)
+        assert model.phy_area_overhead_fraction(4, 20.0) == pytest.approx(0.1)
+
+    def test_negative_link_count_rejected(self):
+        with pytest.raises(ValueError):
+            PhyModel().phy_area_per_chiplet_mm2(-1)
+
+    def test_link_energy(self):
+        model = PhyModel(energy_per_bit_pj=1.0)
+        # 1 Tb/s at 1 pJ/bit = 1 W.
+        assert model.link_energy_watts(1e12) == pytest.approx(1.0)
+        assert model.link_energy_watts(1e12, utilization=0.5) == pytest.approx(0.5)
+
+    def test_link_energy_validates_utilization(self):
+        with pytest.raises(ValueError):
+            PhyModel().link_energy_watts(1e12, utilization=1.5)
+
+    def test_max_link_length(self):
+        model = PhyModel()
+        assert model.max_link_length_mm(silicon_interposer=True) == pytest.approx(2.0)
+        assert model.max_link_length_mm(silicon_interposer=False) == pytest.approx(4.0)
+
+    def test_supports_link_length(self):
+        model = PhyModel()
+        assert model.supports_link_length(1.5, silicon_interposer=True)
+        assert not model.supports_link_length(2.5, silicon_interposer=True)
+        assert model.supports_link_length(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhyModel(latency_cycles=-1)
+        with pytest.raises(ValueError):
+            PhyModel(energy_per_bit_pj=-0.1)
+
+
+class TestHelpers:
+    def test_estimated_link_length(self):
+        assert estimated_link_length_mm(0.73) == pytest.approx(1.46)
+
+    def test_paper_example_link_stays_below_interposer_limit(self):
+        # The worked example (D_B = 0.73 mm) yields a ~1.46 mm link, below
+        # the 2 mm silicon-interposer limit quoted in the paper.
+        assert PhyModel().supports_link_length(
+            estimated_link_length_mm(0.73), silicon_interposer=True
+        )
+
+    def test_cycles_from_time(self):
+        assert cycles_from_time(1e-9, 1e9) == 1
+        assert cycles_from_time(1.5e-9, 1e9) == 2
+        assert cycles_from_time(0.0, 1e9) == 0
+
+    def test_cycles_from_time_validation(self):
+        with pytest.raises(ValueError):
+            cycles_from_time(-1.0, 1e9)
+        with pytest.raises(ValueError):
+            cycles_from_time(1.0, 0.0)

@@ -1,0 +1,125 @@
+"""Unit tests for the chiplet-shape solver (Section IV-B of the paper)."""
+
+import math
+
+import pytest
+
+from repro.linkmodel.shape import (
+    solve_chiplet_shape,
+    solve_grid_shape,
+    solve_hand_optimized_shape,
+    solve_hex_shape,
+)
+
+
+class TestGridShape:
+    def test_square_chiplet(self):
+        shape = solve_grid_shape(16.0, 0.4)
+        assert shape.width_mm == pytest.approx(4.0)
+        assert shape.height_mm == pytest.approx(4.0)
+        assert shape.aspect_ratio == pytest.approx(1.0)
+
+    def test_link_sector_area_formula(self):
+        shape = solve_grid_shape(16.0, 0.4)
+        assert shape.link_sector_area_mm2 == pytest.approx(0.25 * 0.6 * 16.0)
+
+    def test_bump_distance_formula(self):
+        shape = solve_grid_shape(16.0, 0.4)
+        expected = (4.0 - math.sqrt(0.4 * 16.0)) / 2.0
+        assert shape.bump_distance_mm == pytest.approx(expected)
+
+    def test_four_link_sectors(self):
+        assert solve_grid_shape(10.0, 0.3).num_link_sectors == 4
+
+    def test_areas_add_up(self):
+        shape = solve_grid_shape(12.0, 0.35)
+        assert shape.power_area_mm2 + shape.total_link_area_mm2 == pytest.approx(12.0)
+
+    def test_sector_layout_is_consistent(self):
+        layout = solve_grid_shape(16.0, 0.4).sector_layout()
+        layout.validate()
+        assert layout.link_count == 4
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            solve_grid_shape(0.0, 0.4)
+        with pytest.raises(ValueError):
+            solve_grid_shape(16.0, 0.0)
+        with pytest.raises(ValueError):
+            solve_grid_shape(16.0, 1.0)
+
+
+class TestHexShape:
+    def test_paper_worked_example(self):
+        """The worked example of Section IV-B: A_C = 16 mm², p_p = 0.4."""
+        shape = solve_hex_shape(16.0, 0.4)
+        assert shape.width_mm == pytest.approx(4.38, abs=0.01)
+        assert shape.height_mm == pytest.approx(3.65, abs=0.01)
+        assert shape.bump_distance_mm == pytest.approx(0.73, abs=0.01)
+
+    def test_area_is_preserved(self):
+        shape = solve_hex_shape(16.0, 0.4)
+        assert shape.width_mm * shape.height_mm == pytest.approx(16.0)
+
+    def test_link_sector_area_formula(self):
+        shape = solve_hex_shape(16.0, 0.4)
+        assert shape.link_sector_area_mm2 == pytest.approx(0.6 * 16.0 / 6.0)
+
+    def test_equation_system_holds(self):
+        """The solution satisfies the original equations (1)-(5)."""
+        area, power_fraction = 23.0, 0.37
+        shape = solve_hex_shape(area, power_fraction)
+        band_height = shape.width_mm / 2.0  # L_B = W_C / 2   (eq. 2)
+        power_width = shape.width_mm - 2.0 * shape.bump_distance_mm  # eq. 3
+        # Equation (1): H_C = 2 D_B + L_B
+        assert shape.height_mm == pytest.approx(2 * shape.bump_distance_mm + band_height)
+        # Equation (4): H_C * W_C = A_C
+        assert shape.height_mm * shape.width_mm == pytest.approx(area)
+        # Equation (5): W_P * L_B = A_C * p_p
+        assert power_width * band_height == pytest.approx(area * power_fraction)
+
+    def test_six_link_sectors(self):
+        assert solve_hex_shape(10.0, 0.3).num_link_sectors == 6
+
+    def test_sector_layout_is_consistent(self):
+        layout = solve_hex_shape(16.0, 0.4).sector_layout()
+        layout.validate()
+        assert layout.link_count == 6
+
+    def test_chiplet_is_wider_than_tall(self):
+        shape = solve_hex_shape(20.0, 0.4)
+        assert shape.width_mm > shape.height_mm
+
+    def test_areas_add_up(self):
+        shape = solve_hex_shape(20.0, 0.45)
+        assert shape.power_area_mm2 + shape.total_link_area_mm2 == pytest.approx(20.0)
+
+
+class TestHandOptimizedShape:
+    def test_splits_area_among_given_links(self):
+        shape = solve_hand_optimized_shape(16.0, 0.4, num_links=3)
+        assert shape.num_link_sectors == 3
+        assert shape.link_sector_area_mm2 == pytest.approx(0.6 * 16.0 / 3.0)
+
+    def test_no_sector_layout_geometry(self):
+        with pytest.raises(ValueError):
+            solve_hand_optimized_shape(16.0, 0.4, 2).sector_layout()
+
+    def test_more_links_means_less_area_per_link(self):
+        few = solve_hand_optimized_shape(16.0, 0.4, 2)
+        many = solve_hand_optimized_shape(16.0, 0.4, 6)
+        assert few.link_sector_area_mm2 > many.link_sector_area_mm2
+
+
+class TestDispatcher:
+    def test_grid_kind_uses_grid_layout(self):
+        assert solve_chiplet_shape("grid", 16.0, 0.4).layout_style == "grid"
+
+    @pytest.mark.parametrize("kind", ["brickwall", "honeycomb", "hexamesh"])
+    def test_hex_kinds_use_hex_layout(self, kind):
+        assert solve_chiplet_shape(kind, 16.0, 0.4).layout_style == "hex"
+
+    def test_grid_has_more_area_per_link_than_hex(self):
+        grid = solve_chiplet_shape("grid", 16.0, 0.4)
+        hexagonal = solve_chiplet_shape("hexamesh", 16.0, 0.4)
+        assert grid.link_sector_area_mm2 > hexagonal.link_sector_area_mm2

@@ -1,0 +1,218 @@
+"""Unit tests for the simulator's channels, flits and traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.noc.channel import Channel
+from repro.noc.config import SimulationConfig
+from repro.noc.flit import Packet, build_flits
+from repro.noc.traffic import (
+    BernoulliInjection,
+    BitComplementTraffic,
+    HotspotTraffic,
+    NeighborTraffic,
+    PermutationTraffic,
+    TornadoTraffic,
+    UniformRandomTraffic,
+    make_traffic_pattern,
+)
+
+
+class TestChannel:
+    def test_delivery_after_latency(self):
+        channel = Channel(latency=3)
+        channel.send("a", now=10)
+        assert channel.receive(now=12) == []
+        assert channel.receive(now=13) == ["a"]
+        assert channel.receive(now=14) == []
+
+    def test_in_order_delivery(self):
+        channel = Channel(latency=2)
+        channel.send("a", now=0)
+        channel.send("b", now=1)
+        assert channel.receive(now=3) == ["a", "b"]
+
+    def test_zero_latency_rounded_up_to_one(self):
+        channel = Channel(latency=0)
+        channel.send("x", now=5)
+        assert channel.receive(now=5) == []
+        assert channel.receive(now=6) == ["x"]
+
+    def test_in_flight_and_peek(self):
+        channel = Channel(latency=4)
+        assert channel.peek_next_arrival() is None
+        channel.send("x", now=1)
+        assert channel.in_flight == 1
+        assert channel.peek_next_arrival() == 5
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(latency=-1)
+
+
+class TestPacketAndFlits:
+    def _packet(self, size=3):
+        return Packet(
+            packet_id=1, source=0, destination=5, size_flits=size, creation_cycle=10
+        )
+
+    def test_build_flits_marks_head_and_tail(self):
+        flits = build_flits(self._packet(3))
+        assert [f.is_head for f in flits] == [True, False, False]
+        assert [f.is_tail for f in flits] == [False, False, True]
+        assert [f.flit_index for f in flits] == [0, 1, 2]
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        flit = build_flits(self._packet(1))[0]
+        assert flit.is_head and flit.is_tail
+
+    def test_flit_exposes_packet_endpoints(self):
+        flit = build_flits(self._packet())[0]
+        assert flit.source == 0
+        assert flit.destination == 5
+
+    def test_latency_requires_ejection(self):
+        packet = self._packet()
+        with pytest.raises(ValueError):
+            _ = packet.latency
+        packet.injection_cycle = 12
+        packet.ejection_cycle = 50
+        assert packet.latency == 40
+        assert packet.network_latency == 38
+
+    def test_zero_flit_packet_rejected(self):
+        packet = self._packet(size=1)
+        packet.size_flits = 0
+        with pytest.raises(ValueError):
+            build_flits(packet)
+
+
+class TestTrafficPatterns:
+    def test_uniform_never_targets_self(self):
+        pattern = UniformRandomTraffic(10)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert pattern.destination(3, rng) != 3
+
+    def test_uniform_covers_all_destinations(self):
+        pattern = UniformRandomTraffic(6)
+        rng = random.Random(1)
+        seen = {pattern.destination(0, rng) for _ in range(500)}
+        assert seen == {1, 2, 3, 4, 5}
+
+    def test_uniform_rejects_out_of_range_source(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(4).destination(4, random.Random(0))
+
+    def test_permutation_is_fixed_and_fixed_point_free(self):
+        pattern = PermutationTraffic(8, seed=3)
+        rng = random.Random(0)
+        for source in range(8):
+            first = pattern.destination(source, rng)
+            second = pattern.destination(source, rng)
+            assert first == second
+            assert first != source
+
+    def test_hotspot_bias(self):
+        pattern = HotspotTraffic(10, hotspots=[9], hotspot_fraction=1.0)
+        rng = random.Random(0)
+        assert all(pattern.destination(2, rng) == 9 for _ in range(20))
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, hotspots=[7])
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, hotspots=[])
+
+    def test_bit_complement(self):
+        pattern = BitComplementTraffic(8)
+        rng = random.Random(0)
+        assert pattern.destination(0, rng) == 7
+        assert pattern.destination(3, rng) == 4
+
+    def test_bit_complement_avoids_fixed_point(self):
+        pattern = BitComplementTraffic(7)
+        rng = random.Random(0)
+        assert pattern.destination(3, rng) != 3
+
+    def test_tornado_and_neighbor(self):
+        rng = random.Random(0)
+        assert TornadoTraffic(8).destination(1, rng) == 5
+        assert NeighborTraffic(8).destination(7, rng) == 0
+
+    def test_factory(self):
+        pattern = make_traffic_pattern("uniform", 6)
+        assert isinstance(pattern, UniformRandomTraffic)
+        with pytest.raises(ValueError):
+            make_traffic_pattern("unknown", 6)
+
+    def test_at_least_two_endpoints_required(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(1)
+
+
+class TestBernoulliInjection:
+    def test_rate_zero_never_injects(self):
+        injection = BernoulliInjection(0.0)
+        rng = random.Random(0)
+        assert not any(injection.should_inject(rng) for _ in range(100))
+
+    def test_rate_one_with_single_flit_packets_always_injects(self):
+        injection = BernoulliInjection(1.0, packet_size_flits=1)
+        rng = random.Random(0)
+        assert all(injection.should_inject(rng) for _ in range(100))
+
+    def test_empirical_rate_close_to_configured(self):
+        injection = BernoulliInjection(0.3)
+        rng = random.Random(42)
+        hits = sum(injection.should_inject(rng) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.3, abs=0.02)
+
+    def test_packet_size_scales_packet_probability(self):
+        injection = BernoulliInjection(0.5, packet_size_flits=5)
+        rng = random.Random(7)
+        hits = sum(injection.should_inject(rng) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.1, abs=0.01)
+
+    def test_rate_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(1.2)
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        config = SimulationConfig.paper_defaults()
+        assert config.num_virtual_channels == 8
+        assert config.buffer_depth_flits == 8
+        assert config.link_latency_cycles == 27
+        assert config.router_latency_cycles == 3
+        assert config.endpoints_per_chiplet == 2
+
+    def test_escape_vc_is_last(self):
+        config = SimulationConfig(num_virtual_channels=4)
+        assert config.escape_vc == 3
+        assert config.adaptive_vcs == (0, 1, 2)
+
+    def test_single_vc_has_no_adaptive_channels(self):
+        assert SimulationConfig(num_virtual_channels=1).adaptive_vcs == ()
+
+    def test_per_hop_latency(self):
+        assert SimulationConfig().per_hop_latency_cycles == 30
+
+    def test_scaled_phases(self):
+        config = SimulationConfig(warmup_cycles=1000, measurement_cycles=2000)
+        scaled = config.scaled_phases(0.1)
+        assert scaled.warmup_cycles == 100
+        assert scaled.measurement_cycles == 200
+        with pytest.raises(ValueError):
+            config.scaled_phases(0.0)
+
+    def test_fast_functional_preset(self):
+        assert SimulationConfig.fast_functional().warmup_cycles < 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_virtual_channels=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(measurement_cycles=0)

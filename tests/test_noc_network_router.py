@@ -1,0 +1,139 @@
+"""Unit tests for network assembly, routers and endpoints."""
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.graphs.model import ChipGraph
+from repro.noc.config import SimulationConfig
+from repro.noc.network import Network
+from repro.noc.simulator import NocSimulator
+
+
+def _small_config(**overrides):
+    defaults = dict(warmup_cycles=50, measurement_cycles=150, drain_cycles=400)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestNetworkAssembly:
+    def test_router_and_endpoint_counts(self):
+        graph = make_arrangement("grid", 9).graph
+        network = Network(graph, _small_config())
+        assert network.num_routers == 9
+        assert network.num_endpoints == 18
+        assert len(network.routers) == 9
+        assert len(network.endpoints) == 18
+
+    def test_endpoint_to_router_mapping(self):
+        graph = make_arrangement("grid", 4).graph
+        network = Network(graph, _small_config(endpoints_per_chiplet=3))
+        assert network.endpoint_to_router == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+    def test_router_port_counts(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        network = Network(graph, _small_config())
+        center = network.routers[0]  # axial ordering puts a corner first
+        for router in network.routers:
+            degree = graph.degree(router.router_id)
+            assert router.num_router_ports == degree
+            assert router.num_ports == degree + 2
+
+    def test_requires_contiguous_router_ids(self):
+        graph = ChipGraph(nodes=[1, 2], edges=[(1, 2)])
+        with pytest.raises(ValueError):
+            Network(graph, _small_config())
+
+    def test_requires_at_least_two_endpoints(self):
+        graph = ChipGraph(nodes=[0])
+        with pytest.raises(ValueError):
+            Network(graph, _small_config(endpoints_per_chiplet=1))
+
+    def test_traffic_pattern_size_mismatch_rejected(self):
+        from repro.noc.traffic import UniformRandomTraffic
+
+        graph = make_arrangement("grid", 4).graph
+        with pytest.raises(ValueError):
+            Network(graph, _small_config(), traffic=UniformRandomTraffic(99))
+
+    def test_is_ejection_port_classification(self):
+        graph = make_arrangement("grid", 4).graph
+        network = Network(graph, _small_config())
+        router = network.routers[0]
+        assert not router.is_ejection_port(0)
+        assert router.is_ejection_port(router.num_router_ports)
+
+
+class TestRouterInvariants:
+    def test_buffer_overflow_detected(self):
+        graph = make_arrangement("grid", 4).graph
+        config = _small_config(buffer_depth_flits=1)
+        network = Network(graph, config, injection_rate=0.0)
+        router = network.routers[0]
+        from repro.noc.flit import Packet, build_flits
+
+        packet = Packet(packet_id=1, source=0, destination=7, size_flits=1, creation_cycle=0)
+        flit = build_flits(packet)[0]
+        flit.vc = 0
+        router.accept_flit(0, flit, now=0)
+        other = build_flits(packet)[0]
+        other.vc = 0
+        with pytest.raises(RuntimeError, match="overflow"):
+            router.accept_flit(0, other, now=0)
+
+    def test_endpoint_credit_overflow_detected(self):
+        graph = make_arrangement("grid", 4).graph
+        network = Network(graph, _small_config(), injection_rate=0.0)
+        endpoint = network.endpoints[0]
+        with pytest.raises(RuntimeError, match="credit overflow"):
+            endpoint.accept_credit(0)
+
+    def test_endpoint_rejects_misrouted_flit(self):
+        graph = make_arrangement("grid", 4).graph
+        network = Network(graph, _small_config(), injection_rate=0.0)
+        from repro.noc.flit import Packet, build_flits
+
+        packet = Packet(packet_id=1, source=0, destination=5, size_flits=1, creation_cycle=0)
+        flit = build_flits(packet)[0]
+        with pytest.raises(RuntimeError, match="routing is broken"):
+            network.endpoints[0].accept_flit(flit, now=0)
+
+
+class TestFlitConservation:
+    @pytest.mark.parametrize("kind,count", [("grid", 9), ("hexamesh", 7), ("brickwall", 9)])
+    def test_conservation_after_simulation(self, kind, count):
+        graph = make_arrangement(kind, count).graph
+        simulator = NocSimulator(graph, _small_config(), injection_rate=0.1)
+        simulator.run()
+        simulator.network.verify_flit_conservation()
+
+    def test_conservation_under_heavy_load(self):
+        graph = make_arrangement("grid", 9).graph
+        simulator = NocSimulator(graph, _small_config(), injection_rate=0.9)
+        simulator.run()
+        simulator.network.verify_flit_conservation()
+
+    def test_all_measured_packets_delivered_at_low_load(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        simulator = NocSimulator(graph, _small_config(), injection_rate=0.02)
+        result = simulator.run()
+        assert result.measured_delivery_ratio == pytest.approx(1.0)
+
+
+class TestEndpointBehaviour:
+    def test_injection_respects_offered_rate(self):
+        graph = make_arrangement("grid", 4).graph
+        config = _small_config(warmup_cycles=0, measurement_cycles=2000, drain_cycles=0)
+        simulator = NocSimulator(graph, config, injection_rate=0.25)
+        result = simulator.run()
+        created_rate = sum(
+            endpoint.created_packets for endpoint in simulator.network.endpoints
+        ) / (2000 * simulator.network.num_endpoints)
+        assert created_rate == pytest.approx(0.25, abs=0.03)
+        assert result.throughput.offered_flit_rate == pytest.approx(0.25)
+
+    def test_source_queue_grows_beyond_saturation(self):
+        graph = make_arrangement("grid", 9).graph
+        simulator = NocSimulator(graph, _small_config(drain_cycles=0), injection_rate=1.0)
+        simulator.run()
+        queued = sum(e.source_queue_length for e in simulator.network.endpoints)
+        assert queued > 0

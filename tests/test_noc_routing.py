@@ -1,0 +1,122 @@
+"""Unit tests for the routing tables (minimal + up*/down* escape)."""
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.graphs.model import ChipGraph
+from repro.noc.routing import RoutingTables
+
+
+class TestConstruction:
+    def test_requires_contiguous_integer_ids(self):
+        graph = ChipGraph(nodes=[1, 2, 3], edges=[(1, 2), (2, 3)])
+        with pytest.raises(ValueError):
+            RoutingTables(graph)
+
+    def test_requires_connected_graph(self):
+        graph = ChipGraph(nodes=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            RoutingTables(graph)
+
+    def test_single_node_graph(self):
+        tables = RoutingTables(ChipGraph(nodes=[0]))
+        assert tables.num_routers == 1
+        assert tables.average_minimal_hops() == 0.0
+
+
+class TestMinimalRouting:
+    def test_distances(self, path_graph):
+        tables = RoutingTables(path_graph)
+        assert tables.distance(0, 3) == 3
+        assert tables.distance(2, 2) == 0
+
+    def test_minimal_next_hops_on_path(self, path_graph):
+        tables = RoutingTables(path_graph)
+        assert tables.minimal_next_hops(0, 3) == (1,)
+        assert tables.minimal_next_hops(0, 0) == ()
+
+    def test_minimal_next_hops_multiple_options(self, cycle_graph):
+        tables = RoutingTables(cycle_graph)
+        # Opposite node of a 6-cycle can be reached both ways.
+        assert set(tables.minimal_next_hops(0, 3)) == {1, 5}
+
+    def test_next_hops_reduce_distance(self):
+        arrangement = make_arrangement("hexamesh", 37)
+        tables = RoutingTables(arrangement.graph)
+        for source in range(0, 37, 5):
+            for destination in range(0, 37, 7):
+                if source == destination:
+                    continue
+                for hop in tables.minimal_next_hops(source, destination):
+                    assert tables.distance(hop, destination) == tables.distance(
+                        source, destination
+                    ) - 1
+
+    def test_average_minimal_hops_matches_metrics(self):
+        from repro.graphs.metrics import average_distance
+
+        arrangement = make_arrangement("brickwall", 16)
+        tables = RoutingTables(arrangement.graph)
+        assert tables.average_minimal_hops() == pytest.approx(
+            average_distance(arrangement.graph)
+        )
+
+
+class TestEscapeRouting:
+    def test_tree_root_has_no_parent(self, path_graph):
+        tables = RoutingTables(path_graph)
+        assert tables.tree_parent(0) is None
+        assert tables.tree_parent(3) == 2
+
+    def test_escape_path_reaches_destination(self):
+        arrangement = make_arrangement("hexamesh", 19)
+        tables = RoutingTables(arrangement.graph)
+        for source in range(19):
+            for destination in range(19):
+                if source == destination:
+                    continue
+                path = tables.escape_path(source, destination)
+                assert path[0] == source
+                assert path[-1] == destination
+
+    def test_escape_path_uses_graph_edges(self):
+        arrangement = make_arrangement("grid", 25)
+        graph = arrangement.graph
+        tables = RoutingTables(graph)
+        path = tables.escape_path(0, 24)
+        for first, second in zip(path, path[1:]):
+            assert graph.has_edge(first, second)
+
+    def test_escape_path_is_up_then_down(self):
+        """An up*/down* path never goes up again after its first down move."""
+        arrangement = make_arrangement("brickwall", 36)
+        tables = RoutingTables(arrangement.graph)
+        for source in range(0, 36, 5):
+            for destination in range(0, 36, 4):
+                if source == destination:
+                    continue
+                path = tables.escape_path(source, destination)
+                went_down = False
+                for first, second in zip(path, path[1:]):
+                    going_up = tables.tree_parent(first) == second
+                    if going_up:
+                        assert not went_down, (
+                            f"path {path} goes up after going down"
+                        )
+                    else:
+                        went_down = True
+
+    def test_escape_routing_undefined_for_same_node(self, path_graph):
+        tables = RoutingTables(path_graph)
+        with pytest.raises(ValueError):
+            tables.escape_next_hop(1, 1)
+
+    def test_escape_paths_are_acyclic(self):
+        arrangement = make_arrangement("hexamesh", 37)
+        tables = RoutingTables(arrangement.graph)
+        for source in range(0, 37, 3):
+            for destination in range(0, 37, 6):
+                if source == destination:
+                    continue
+                path = tables.escape_path(source, destination)
+                assert len(path) == len(set(path))

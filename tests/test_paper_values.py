@@ -1,0 +1,120 @@
+"""Pin the concrete numbers quoted in the paper.
+
+Every value in this module appears verbatim in the paper's text, figures or
+annotations; the tests check that the library reproduces them from first
+principles (generated arrangements, solved shapes, the link model).
+"""
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.graphs.analytical import (
+    asymptotic_bisection_improvement_percent,
+    asymptotic_diameter_reduction_percent,
+)
+from repro.graphs.metrics import degree_statistics, diameter
+from repro.linkmodel.bandwidth import D2DLinkModel
+from repro.linkmodel.parameters import EvaluationParameters
+from repro.linkmodel.shape import solve_hex_shape
+from repro.partition.estimator import estimate_bisection_bandwidth
+
+
+class TestSectionIVWorkedExample:
+    """Section IV-B: A_C = 16 mm², p_p = 0.4."""
+
+    def test_chiplet_width(self):
+        assert solve_hex_shape(16.0, 0.4).width_mm == pytest.approx(4.38, abs=0.005)
+
+    def test_chiplet_height(self):
+        assert solve_hex_shape(16.0, 0.4).height_mm == pytest.approx(3.65, abs=0.005)
+
+    def test_bump_distance(self):
+        assert solve_hex_shape(16.0, 0.4).bump_distance_mm == pytest.approx(0.73, abs=0.005)
+
+
+class TestFigure4Annotations:
+    """Neighbour counts and formulas annotated in Figure 4."""
+
+    def test_grid_neighbors(self):
+        stats = degree_statistics(make_arrangement("grid", 49, "regular").graph)
+        assert (stats.minimum, stats.maximum) == (2, 4)
+
+    def test_brickwall_neighbors(self):
+        stats = degree_statistics(make_arrangement("brickwall", 49, "regular").graph)
+        assert (stats.minimum, stats.maximum) == (2, 6)
+
+    def test_honeycomb_neighbors(self):
+        stats = degree_statistics(make_arrangement("honeycomb", 49, "regular").graph)
+        assert (stats.minimum, stats.maximum) == (2, 6)
+
+    def test_hexamesh_neighbors(self):
+        stats = degree_statistics(make_arrangement("hexamesh", 61, "regular").graph)
+        assert (stats.minimum, stats.maximum) == (3, 6)
+
+    @pytest.mark.parametrize(
+        "count, expected_grid, expected_brickwall",
+        [(49, 12, 9), (100, 18, 14)],
+    )
+    def test_diameters(self, count, expected_grid, expected_brickwall):
+        assert diameter(make_arrangement("grid", count, "regular").graph) == expected_grid
+        assert (
+            diameter(make_arrangement("brickwall", count, "regular").graph)
+            == expected_brickwall
+        )
+
+    def test_hexamesh_diameter_91(self):
+        # 1/3 * sqrt(12*91 - 3) - 1 = 10.
+        assert diameter(make_arrangement("hexamesh", 91, "regular").graph) == 10
+
+
+class TestSectionIVDAsymptotics:
+    """Section IV-D / abstract: -25 % / -42 % diameter, +100 % / +130 % bisection."""
+
+    def test_brickwall_asymptotics(self):
+        assert asymptotic_diameter_reduction_percent("brickwall") == pytest.approx(25.0)
+        assert asymptotic_bisection_improvement_percent("brickwall") == pytest.approx(100.0)
+
+    def test_hexamesh_asymptotics(self):
+        assert asymptotic_diameter_reduction_percent("hexamesh") == pytest.approx(42.0, abs=0.5)
+        assert asymptotic_bisection_improvement_percent("hexamesh") == pytest.approx(
+            130.0, abs=1.0
+        )
+
+
+class TestFigure6Annotations:
+    """The x0.6 / x2.3 factors annotated at N = 100 in Figure 6."""
+
+    def test_diameter_ratio_at_100_chiplets(self):
+        grid = diameter(make_arrangement("grid", 100, "regular").graph)
+        hexamesh = diameter(make_arrangement("hexamesh", 100).graph)
+        assert hexamesh / grid == pytest.approx(0.6, abs=0.07)
+
+    def test_bisection_ratio_at_100_chiplets(self):
+        grid = estimate_bisection_bandwidth(make_arrangement("grid", 100, "regular").graph)
+        hexamesh = estimate_bisection_bandwidth(make_arrangement("hexamesh", 100).graph)
+        assert hexamesh / grid == pytest.approx(2.3, abs=0.35)
+
+
+class TestSectionVIParameters:
+    """Section VI-B: the concrete link-model numbers of the evaluation."""
+
+    def test_default_parameters_match_paper(self):
+        params = EvaluationParameters()
+        assert params.total_chiplet_area_mm2 == 800.0
+        assert params.power_bump_fraction == 0.4
+        assert params.link.bump_pitch_mm == 0.15
+        assert params.link.non_data_wires == 12
+        assert params.link.frequency_hz == 16e9
+        assert params.link_latency_cycles == 27
+        assert params.router_latency_cycles == 3
+
+    def test_grid_link_bandwidth_at_n100(self):
+        estimate = D2DLinkModel().estimate("grid", 100)
+        assert estimate.num_wires == 53
+        assert estimate.num_data_wires == 41
+        assert estimate.bandwidth_gbps == pytest.approx(656.0)
+
+    def test_chiplet_area_stays_below_reticle_limit(self):
+        params = EvaluationParameters()
+        # 800 mm² is "slightly below the lithographic reticle limit" (~858 mm²).
+        assert params.total_chiplet_area_mm2 < 858.0

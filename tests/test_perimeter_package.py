@@ -1,0 +1,146 @@
+"""Tests for perimeter I/O placement and package feasibility checks."""
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.arrangements.perimeter import add_perimeter_io_chiplets
+from repro.linkmodel.package import (
+    check_package_feasibility,
+    maximum_chiplet_area_for_frequency,
+)
+from repro.linkmodel.parameters import EvaluationParameters
+from repro.linkmodel.phy import PhyModel, estimated_link_length_mm
+
+
+class TestPerimeterIoPlacement:
+    def test_io_chiplets_added_around_grid(self):
+        plan = add_perimeter_io_chiplets(make_arrangement("grid", 16))
+        assert plan.num_io_chiplets > 0
+        assert len(plan.placement) == 16 + plan.num_io_chiplets
+
+    def test_io_chiplets_have_io_role(self):
+        plan = add_perimeter_io_chiplets(make_arrangement("grid", 9))
+        for io_id in plan.io_chiplet_ids:
+            assert plan.placement[io_id].role == "io"
+
+    def test_compute_chiplets_keep_their_ids(self):
+        arrangement = make_arrangement("brickwall", 9)
+        plan = add_perimeter_io_chiplets(arrangement)
+        for chiplet in arrangement.placement:
+            assert plan.placement[chiplet.chiplet_id].rect == chiplet.rect
+
+    def test_no_overlaps_in_combined_placement(self):
+        for kind in ("grid", "brickwall", "hexamesh"):
+            plan = add_perimeter_io_chiplets(make_arrangement(kind, 19))
+            assert not plan.placement.has_overlaps()
+
+    def test_zero_gap_creates_compute_to_io_links(self):
+        plan = add_perimeter_io_chiplets(make_arrangement("grid", 16), gap=0.0)
+        assert plan.io_links
+        accessible = plan.compute_chiplets_with_io_access()
+        # Only border chiplets can have I/O access; the 4x4 grid has 12.
+        assert 0 < len(accessible) <= 12
+
+    def test_positive_gap_removes_direct_links(self):
+        plan = add_perimeter_io_chiplets(make_arrangement("grid", 16), gap=0.5)
+        assert plan.io_links == ()
+
+    def test_io_links_pair_compute_with_io(self):
+        plan = add_perimeter_io_chiplets(make_arrangement("grid", 9))
+        io_ids = set(plan.io_chiplet_ids)
+        for compute_id, io_id in plan.io_links:
+            assert compute_id not in io_ids
+            assert io_id in io_ids
+
+    def test_total_silicon_area_and_utilization(self):
+        plan = add_perimeter_io_chiplets(make_arrangement("grid", 9))
+        assert plan.total_silicon_area() > 9.0
+        assert 0.0 < plan.package_utilization() <= 1.0
+
+    def test_custom_io_dimensions(self):
+        plan = add_perimeter_io_chiplets(
+            make_arrangement("grid", 9), io_chiplet_width=0.5, io_chiplet_height=0.25
+        )
+        io_chiplet = plan.placement[plan.io_chiplet_ids[0]]
+        assert io_chiplet.rect.width in (0.5, 0.25) or io_chiplet.rect.height in (0.5, 0.25)
+
+    def test_honeycomb_rejected(self):
+        with pytest.raises(ValueError):
+            add_perimeter_io_chiplets(make_arrangement("honeycomb", 9))
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            add_perimeter_io_chiplets(make_arrangement("grid", 4), gap=-1.0)
+
+
+class TestPackageFeasibility:
+    def test_paper_setting_is_feasible_on_substrate(self):
+        for count in (10, 37, 100):
+            report = check_package_feasibility(make_arrangement("hexamesh", count))
+            assert report.link_length_ok, f"N={count} should satisfy the 4 mm limit"
+            assert report.violations() == []
+
+    def test_link_length_shrinks_with_chiplet_count(self):
+        small = check_package_feasibility(make_arrangement("hexamesh", 10))
+        large = check_package_feasibility(make_arrangement("hexamesh", 91))
+        assert large.link_length_mm < small.link_length_mm
+
+    def test_paper_link_length_claims(self):
+        # Section V: links are "below 4 mm in general"; our conservative
+        # worst-case estimate (twice the bump-to-edge distance) satisfies the
+        # 4 mm bound from N >= 10 and drops below 2 mm for larger designs.
+        for kind in ("grid", "brickwall", "hexamesh"):
+            general = check_package_feasibility(make_arrangement(kind, 10))
+            assert general.link_length_mm <= 4.0 + 1e-6
+            large = check_package_feasibility(
+                make_arrangement(kind, 40), silicon_interposer=True
+            )
+            assert large.link_length_mm <= 2.0 + 1e-6
+
+    def test_interposer_limit_stricter_than_substrate(self):
+        arrangement = make_arrangement("grid", 4)
+        substrate = check_package_feasibility(arrangement)
+        interposer = check_package_feasibility(arrangement, silicon_interposer=True)
+        assert interposer.max_link_length_mm < substrate.max_link_length_mm
+
+    def test_infeasible_configuration_detected(self):
+        # One giant 800 mm² chiplet pair on an interposer exceeds 2 mm links.
+        parameters = EvaluationParameters(total_chiplet_area_mm2=1600.0)
+        report = check_package_feasibility(
+            make_arrangement("grid", 2),
+            parameters,
+            silicon_interposer=True,
+        )
+        assert not report.link_length_ok
+        assert report.violations()
+
+    def test_package_dimensions_scale_with_shape(self):
+        report = check_package_feasibility(make_arrangement("grid", 16))
+        # 4x4 chiplets of sqrt(50) mm each side.
+        assert report.package_width_mm == pytest.approx(4 * report.shape.width_mm)
+        assert report.package_area_mm2 >= 800.0
+
+    def test_hand_optimized_small_designs_use_max_degree(self):
+        report = check_package_feasibility(make_arrangement("grid", 4))
+        assert report.shape.layout_style == "hand-optimized"
+
+
+class TestMaximumChipletArea:
+    def test_round_trip_with_link_length(self):
+        area = maximum_chiplet_area_for_frequency("hexamesh", 0.4)
+        from repro.linkmodel.shape import solve_hex_shape
+
+        shape = solve_hex_shape(area, 0.4)
+        assert estimated_link_length_mm(shape.bump_distance_mm) == pytest.approx(4.0, rel=1e-6)
+
+    def test_interposer_allows_smaller_chiplets_only(self):
+        substrate = maximum_chiplet_area_for_frequency("grid", 0.4)
+        interposer = maximum_chiplet_area_for_frequency(
+            "grid", 0.4, silicon_interposer=True
+        )
+        assert interposer < substrate
+
+    def test_grid_versus_hex_layout(self):
+        grid_area = maximum_chiplet_area_for_frequency("grid", 0.4)
+        hex_area = maximum_chiplet_area_for_frequency("hexamesh", 0.4)
+        assert grid_area > 0 and hex_area > 0

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arrangements.factory import available_regularities, make_arrangement
+from repro.geometry.adjacency import shared_edges
+from repro.graphs.analytical import bisection_bandwidth_formula, diameter_formula
+from repro.graphs.metrics import (
+    average_distance,
+    degree_statistics,
+    diameter,
+    is_connected,
+    planar_average_degree_bound,
+    radius,
+)
+from repro.linkmodel.bandwidth import data_wires, link_bandwidth_bps, wire_count
+from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
+from repro.partition.common import cut_size, is_balanced
+from repro.partition.estimator import find_best_bisection
+from repro.utils.mathutils import hexamesh_chiplet_count, is_hexamesh_count
+
+# Hypothesis strategies shared by several properties.
+chiplet_counts = st.integers(min_value=2, max_value=60)
+arrangement_kinds = st.sampled_from(["grid", "brickwall", "hexamesh"])
+areas = st.floats(min_value=0.5, max_value=900.0, allow_nan=False, allow_infinity=False)
+power_fractions = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestArrangementProperties:
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=chiplet_counts)
+    def test_arrangements_are_connected_planar_and_sized(self, kind, count):
+        arrangement = make_arrangement(kind, count)
+        graph = arrangement.graph
+        assert graph.num_nodes == count
+        assert is_connected(graph)
+        # Planarity implies e <= 3v - 6 for v >= 3.
+        if count >= 3:
+            assert graph.num_edges <= 3 * count - 6
+            assert degree_statistics(graph).average <= planar_average_degree_bound(count)
+
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=chiplet_counts)
+    def test_geometric_adjacency_equals_lattice_adjacency(self, kind, count):
+        arrangement = make_arrangement(kind, count)
+        geometric = {(a, b) for a, b, _ in shared_edges(arrangement.placement)}
+        lattice = {tuple(sorted(edge)) for edge in arrangement.graph.edges()}
+        assert geometric == lattice
+
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=chiplet_counts)
+    def test_placements_never_overlap(self, kind, count):
+        arrangement = make_arrangement(kind, count)
+        assert not arrangement.placement.has_overlaps()
+
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=chiplet_counts)
+    def test_every_available_regularity_is_constructible(self, kind, count):
+        for regularity in available_regularities(kind, count):
+            arrangement = make_arrangement(kind, count, regularity)
+            assert arrangement.regularity is regularity
+            assert arrangement.num_chiplets == count
+
+    @_SETTINGS
+    @given(count=chiplet_counts)
+    def test_hexamesh_min_degree_invariant(self, count):
+        arrangement = make_arrangement("hexamesh", count)
+        stats = degree_statistics(arrangement.graph)
+        if count >= 7 and is_hexamesh_count(count):
+            assert stats.minimum >= 3
+        elif count >= 3:
+            assert stats.minimum >= 2
+
+    @_SETTINGS
+    @given(count=chiplet_counts)
+    def test_hexamesh_diameter_never_worse_than_grid(self, count):
+        hexamesh = make_arrangement("hexamesh", count)
+        grid = make_arrangement("grid", count)
+        assert diameter(hexamesh.graph) <= diameter(grid.graph)
+
+
+class TestGraphMetricProperties:
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=chiplet_counts)
+    def test_radius_diameter_relation(self, kind, count):
+        graph = make_arrangement(kind, count).graph
+        graph_diameter = diameter(graph)
+        graph_radius = radius(graph)
+        assert graph_radius <= graph_diameter <= 2 * graph_radius
+
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=chiplet_counts)
+    def test_average_distance_bounded_by_diameter(self, kind, count):
+        graph = make_arrangement(kind, count).graph
+        if count >= 2:
+            assert 1.0 <= average_distance(graph) <= diameter(graph)
+
+
+class TestFormulaProperties:
+    @_SETTINGS
+    @given(side=st.integers(min_value=2, max_value=12))
+    def test_grid_and_brickwall_formulas_match_construction(self, side):
+        count = side * side
+        assert diameter(make_arrangement("grid", count, "regular").graph) == diameter_formula(
+            "grid", count
+        )
+        assert diameter(
+            make_arrangement("brickwall", count, "regular").graph
+        ) == diameter_formula("brickwall", count)
+
+    @_SETTINGS
+    @given(rings=st.integers(min_value=1, max_value=7))
+    def test_hexamesh_formulas_match_construction(self, rings):
+        count = hexamesh_chiplet_count(rings)
+        arrangement = make_arrangement("hexamesh", count, "regular")
+        assert diameter(arrangement.graph) == diameter_formula("hexamesh", count)
+        assert diameter_formula("hexamesh", count) == 2 * rings
+
+
+class TestPartitionProperties:
+    @_SETTINGS
+    @given(kind=arrangement_kinds, count=st.integers(min_value=4, max_value=40))
+    def test_best_bisection_is_balanced_and_consistent(self, kind, count):
+        graph = make_arrangement(kind, count).graph
+        result = find_best_bisection(graph, num_seeds=2)
+        part = set(result.part)
+        assert is_balanced(graph, part)
+        assert cut_size(graph, part) == result.cut_edges
+        assert result.cut_edges >= 1
+
+    @_SETTINGS
+    @given(side=st.sampled_from([2, 4, 6]))
+    def test_estimator_never_beats_the_true_optimum_on_even_grids(self, side):
+        count = side * side
+        graph = make_arrangement("grid", count, "regular").graph
+        result = find_best_bisection(graph, num_seeds=2)
+        # The balanced minimum cut of an even k x k grid is exactly k.
+        assert result.cut_edges >= side
+        assert result.cut_edges == bisection_bandwidth_formula("grid", count)
+
+
+class TestLinkModelProperties:
+    @_SETTINGS
+    @given(area=areas, fraction=power_fractions)
+    def test_hex_shape_solution_satisfies_equations(self, area, fraction):
+        shape = solve_hex_shape(area, fraction)
+        band_height = shape.width_mm / 2.0
+        power_width = shape.width_mm - 2.0 * shape.bump_distance_mm
+        assert shape.width_mm * shape.height_mm == pytest.approx(area, rel=1e-9)
+        assert shape.height_mm == pytest.approx(
+            2 * shape.bump_distance_mm + band_height, rel=1e-9
+        )
+        assert power_width * band_height == pytest.approx(area * fraction, rel=1e-9)
+        assert shape.link_sector_area_mm2 * 6 + shape.power_area_mm2 == pytest.approx(
+            area, rel=1e-9
+        )
+
+    @_SETTINGS
+    @given(area=areas, fraction=power_fractions)
+    def test_grid_shape_is_square_and_consistent(self, area, fraction):
+        shape = solve_grid_shape(area, fraction)
+        assert math.isclose(shape.width_mm, shape.height_mm)
+        assert math.isclose(
+            shape.link_sector_area_mm2 * 4 + shape.power_area_mm2, area, rel_tol=1e-9
+        )
+        assert shape.bump_distance_mm >= 0.0
+
+    @_SETTINGS
+    @given(
+        area=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        pitch=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        non_data=st.integers(min_value=0, max_value=40),
+        frequency=st.floats(min_value=1e9, max_value=64e9, allow_nan=False),
+    )
+    def test_bandwidth_chain_is_monotone_and_non_negative(
+        self, area, pitch, non_data, frequency
+    ):
+        wires = wire_count(area, pitch)
+        payload = data_wires(wires, non_data)
+        bandwidth = link_bandwidth_bps(payload, frequency)
+        assert wires >= 0
+        assert 0 <= payload <= wires
+        assert bandwidth >= 0.0
+        # More area never reduces the wire count.
+        assert wire_count(area * 2, pitch) >= wires

@@ -1,0 +1,112 @@
+"""Unit tests for repro.utils.mathutils."""
+
+import pytest
+
+from repro.utils.mathutils import (
+    almost_equal,
+    balanced_factor_pair,
+    ceil_div,
+    hexamesh_chiplet_count,
+    hexamesh_rings_for_count,
+    is_hexamesh_count,
+    is_perfect_square,
+    isqrt_floor,
+)
+
+
+class TestIsqrtFloor:
+    def test_exact_squares(self):
+        assert isqrt_floor(49) == 7
+
+    def test_rounds_down(self):
+        assert isqrt_floor(50) == 7
+        assert isqrt_floor(99) == 9
+
+    def test_zero(self):
+        assert isqrt_floor(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            isqrt_floor(-1)
+
+
+class TestIsPerfectSquare:
+    @pytest.mark.parametrize("value", [0, 1, 4, 9, 16, 100, 10000])
+    def test_squares(self, value):
+        assert is_perfect_square(value)
+
+    @pytest.mark.parametrize("value", [2, 3, 5, 99, 101, -4])
+    def test_non_squares(self, value):
+        assert not is_perfect_square(value)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_rejects_non_positive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, 0)
+
+
+class TestAlmostEqual:
+    def test_exact_equality(self):
+        assert almost_equal(1.0, 1.0)
+
+    def test_within_relative_tolerance(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+
+    def test_outside_tolerance(self):
+        assert not almost_equal(1.0, 1.001)
+
+
+class TestBalancedFactorPair:
+    def test_perfect_square_returns_equal_pair(self):
+        assert balanced_factor_pair(36) == (6, 6)
+
+    def test_rectangular_count(self):
+        assert balanced_factor_pair(12) == (3, 4)
+
+    def test_prime_returns_none(self):
+        assert balanced_factor_pair(13) is None
+
+    def test_small_counts_return_none(self):
+        assert balanced_factor_pair(2) is None
+        assert balanced_factor_pair(3) is None
+
+    def test_four(self):
+        assert balanced_factor_pair(4) == (2, 2)
+
+    def test_most_balanced_pair_is_chosen(self):
+        # 24 = 4x6 is more balanced than 3x8 or 2x12.
+        assert balanced_factor_pair(24) == (4, 6)
+
+
+class TestHexameshCounts:
+    def test_counts_follow_centered_hexagonal_series(self):
+        assert [hexamesh_chiplet_count(r) for r in range(5)] == [1, 7, 19, 37, 61]
+
+    def test_ring_count_inverse(self):
+        for rings in range(7):
+            count = hexamesh_chiplet_count(rings)
+            assert hexamesh_rings_for_count(count) == rings
+
+    def test_ring_count_for_intermediate_values(self):
+        assert hexamesh_rings_for_count(8) == 1
+        assert hexamesh_rings_for_count(18) == 1
+        assert hexamesh_rings_for_count(19) == 2
+
+    def test_is_hexamesh_count(self):
+        assert is_hexamesh_count(1)
+        assert is_hexamesh_count(7)
+        assert is_hexamesh_count(37)
+        assert not is_hexamesh_count(8)
+        assert not is_hexamesh_count(36)
+        assert not is_hexamesh_count(0)
+
+    def test_negative_rings_rejected(self):
+        with pytest.raises(ValueError):
+            hexamesh_chiplet_count(-1)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_when_number_expected(self):
+        with pytest.raises(TypeError, match="got bool"):
+            check_type("count", True, int)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(TypeError, match="my_param"):
+            check_type("my_param", None, float)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_int(self):
+        assert check_positive("x", 5) == 5.0
+
+    def test_accepts_positive_float(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", -1.5)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "1")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 2.5) == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int("n", 1) == 1
+
+    def test_respects_custom_minimum(self):
+        assert check_positive_int("n", 5, minimum=5) == 5
+        with pytest.raises(ValueError):
+            check_positive_int("n", 4, minimum=5)
+
+    def test_allows_zero_with_minimum_zero(self):
+        assert check_positive_int("n", 0, minimum=0) == 0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 1.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+
+class TestCheckFraction:
+    def test_accepts_bounds_when_inclusive(self):
+        assert check_fraction("p", 0.0) == 0.0
+        assert check_fraction("p", 1.0) == 1.0
+
+    def test_rejects_bounds_when_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 0.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.0, inclusive=False)
+
+    def test_accepts_interior_value(self):
+        assert check_fraction("p", 0.4, inclusive=False) == 0.4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.2)
+        with pytest.raises(ValueError):
+            check_fraction("p", -0.2)
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("mode", "fast", ("fast", "slow")) == "fast"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_in_choices("mode", "medium", ("fast", "slow"))
+
+    def test_works_with_generators(self):
+        assert check_in_choices("n", 2, (i for i in range(4))) == 2

@@ -1,0 +1,81 @@
+"""Tests for the SVG and ASCII renderers."""
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
+from repro.viz.ascii_art import ascii_placement
+from repro.viz.svg import placement_svg, save_svg, sector_layout_svg
+
+
+class TestPlacementSvg:
+    def test_valid_svg_document(self):
+        arrangement = make_arrangement("hexamesh", 19)
+        svg = placement_svg(arrangement.placement)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_one_rect_per_chiplet(self):
+        arrangement = make_arrangement("grid", 16)
+        svg = placement_svg(arrangement.placement)
+        assert svg.count("<rect") == 16
+
+    def test_ids_optional(self):
+        arrangement = make_arrangement("grid", 4)
+        with_ids = placement_svg(arrangement.placement, show_ids=True)
+        without_ids = placement_svg(arrangement.placement, show_ids=False)
+        assert with_ids.count("<text") == 4
+        assert without_ids.count("<text") == 0
+
+    def test_scale_validation(self):
+        arrangement = make_arrangement("grid", 4)
+        with pytest.raises(ValueError):
+            placement_svg(arrangement.placement, scale=0)
+
+    def test_save_svg(self, tmp_path):
+        arrangement = make_arrangement("brickwall", 9)
+        path = tmp_path / "plot.svg"
+        save_svg(placement_svg(arrangement.placement), str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_save_svg_rejects_non_svg(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_svg("not svg", str(tmp_path / "x.svg"))
+
+
+class TestSectorLayoutSvg:
+    def test_grid_layout_rendering(self):
+        shape = solve_grid_shape(16.0, 0.4)
+        svg = sector_layout_svg(shape.sector_layout())
+        assert svg.count("<polygon") == 5  # 4 link sectors + 1 power sector
+        assert "power" in svg
+
+    def test_hex_layout_rendering(self):
+        shape = solve_hex_shape(16.0, 0.4)
+        svg = sector_layout_svg(shape.sector_layout())
+        assert svg.count("<polygon") == 7  # 6 link sectors + 1 power sector
+        assert "north_west" in svg
+
+
+class TestAsciiArt:
+    def test_contains_all_chiplet_ids(self):
+        arrangement = make_arrangement("grid", 9)
+        art = ascii_placement(arrangement.placement)
+        for chiplet_id in range(9):
+            assert str(chiplet_id) in art
+
+    def test_brickwall_offset_visible(self):
+        arrangement = make_arrangement("brickwall", 9)
+        art = ascii_placement(arrangement.placement)
+        assert "#" in art
+        assert len(art.splitlines()) > 3
+
+    def test_hexamesh_renders(self):
+        arrangement = make_arrangement("hexamesh", 7)
+        art = ascii_placement(arrangement.placement)
+        assert "6" in art
+
+    def test_cell_size_validation(self):
+        arrangement = make_arrangement("grid", 4)
+        with pytest.raises(ValueError):
+            ascii_placement(arrangement.placement, cell_width=1)
