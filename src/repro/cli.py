@@ -5,8 +5,12 @@ Installed as the ``hexamesh`` console script (also reachable with
 
 * ``info``      — evaluate one design point and print its summary,
 * ``compare``   — compare an arrangement against the grid baseline,
-* ``figure``    — regenerate the data of Figure 6 or Figure 7 as CSV,
+* ``figure``    — regenerate the data of Figure 6 or Figure 7 as CSV
+  (``--jobs N`` fans cycle-accurate points across worker processes),
 * ``simulate``  — run the cycle-accurate simulator on one design,
+* ``sweep``     — parallel cycle-accurate sweep over the full design grid
+  (kinds × chiplet counts × injection rates × traffic patterns) with
+  ``--jobs`` workers and an optional ``--cache-dir`` result cache,
 * ``export``    — write BookSim2 input files and/or an SVG top view,
 * ``feasibility`` — check link-length / package feasibility.
 """
@@ -19,6 +23,7 @@ from typing import Sequence
 
 from repro.arrangements.factory import make_arrangement
 from repro.core.design import ChipletDesign
+from repro.core.parallel import ParallelSweepRunner
 from repro.core.report import compare_designs
 from repro.evaluation.performance import run_figure7
 from repro.evaluation.proxies import run_figure6
@@ -26,9 +31,35 @@ from repro.evaluation.tables import format_table
 from repro.io.booksim_export import write_booksim_inputs
 from repro.linkmodel.package import check_package_feasibility
 from repro.noc.config import SimulationConfig
+from repro.noc.traffic import available_traffic_patterns
+from repro.utils.validation import check_in_choices
 from repro.viz.svg import placement_svg, save_svg
 
 _KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
+
+
+def _parse_list(text: str, *, kind: type, all_values: tuple = ()) -> list:
+    """Parse a comma-separated CLI list, expanding the ``"all"`` shorthand."""
+    stripped = text.strip()
+    if stripped.lower() == "all":
+        if not all_values:
+            raise ValueError('"all" is not supported for this option; list the values explicitly')
+        return list(all_values)
+    return [kind(part.strip()) for part in stripped.split(",") if part.strip()]
+
+
+def _phase_config(cycles: int, *, seed: int | None = None) -> SimulationConfig:
+    """Simulation phase lengths scaled from a ``--cycles`` CLI value.
+
+    Shared by ``simulate`` and ``sweep`` so the two commands always run
+    comparable warm-up / measurement / drain phases for the same flag.
+    """
+    return SimulationConfig(
+        warmup_cycles=max(100, cycles // 2),
+        measurement_cycles=cycles,
+        drain_cycles=cycles * 2,
+        **({} if seed is None else {"seed": seed}),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,6 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("number", choices=("6", "7"))
     figure.add_argument("--max-chiplets", type=int, default=100)
     figure.add_argument("--output", default=None, help="CSV output path (default: stdout)")
+    figure.add_argument("--mode", choices=("analytical", "hybrid", "simulation"),
+                        default="analytical", help="Figure 7 evaluation engine")
+    figure.add_argument("--sim-points", default=None,
+                        help="comma list of chiplet counts to simulate (hybrid mode)")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for cycle-accurate points")
+    figure.add_argument("--cache-dir", default=None,
+                        help="on-disk cache for cycle-accurate results")
 
     simulate = subparsers.add_parser("simulate", help="run the cycle-accurate simulator")
     simulate.add_argument("kind", choices=_KINDS)
@@ -59,6 +98,26 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--traffic", default="uniform")
     simulate.add_argument("--cycles", type=int, default=1000,
                           help="measurement cycles (warm-up and drain scale with it)")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="parallel cycle-accurate sweep over (kind x chiplets x rate x traffic)",
+    )
+    sweep.add_argument("--kinds", default="grid,brickwall,hexamesh",
+                       help='comma list of arrangement kinds, or "all"')
+    sweep.add_argument("--chiplets", default="16,36,64",
+                       help="comma list of chiplet counts")
+    sweep.add_argument("--rates", default="0.02,0.1,0.3,0.5,1.0",
+                       help="comma list of injection rates (flits/cycle/endpoint)")
+    sweep.add_argument("--traffic", default="uniform",
+                       help='comma list of traffic patterns, or "all"')
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache directory")
+    sweep.add_argument("--cycles", type=int, default=1000,
+                       help="measurement cycles (warm-up and drain scale with it)")
+    sweep.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    sweep.add_argument("--output", default=None, help="CSV output path (default: table)")
 
     export = subparsers.add_parser("export", help="write BookSim2 inputs and/or an SVG view")
     export.add_argument("kind", choices=_KINDS)
@@ -95,13 +154,38 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _command_figure(args: argparse.Namespace) -> int:
     if args.number == "6":
+        ignored = [
+            flag
+            for flag, value, default in (
+                ("--mode", args.mode, "analytical"),
+                ("--sim-points", args.sim_points, None),
+                ("--jobs", args.jobs, 1),
+                ("--cache-dir", args.cache_dir, None),
+            )
+            if value != default
+        ]
+        if ignored:
+            print(
+                f"warning: {', '.join(ignored)} only apply to figure 7; "
+                "figure 6 is always analytical",
+                file=sys.stderr,
+            )
         figure6 = run_figure6(range(1, args.max_chiplets + 1))
         csv_text = (
             figure6.diameter_experiment().to_csv()
             + figure6.bisection_experiment().to_csv()
         )
     else:
-        figure7 = run_figure7(range(2, args.max_chiplets + 1))
+        sim_points = None
+        if args.sim_points:
+            sim_points = _parse_list(args.sim_points, kind=int)
+        figure7 = run_figure7(
+            range(2, args.max_chiplets + 1),
+            mode=args.mode,
+            simulation_points=sim_points,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
         csv_text = "".join(
             experiment.to_csv()
             for experiment in (
@@ -122,11 +206,7 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 def _command_simulate(args: argparse.Namespace) -> int:
     design = ChipletDesign.create(args.kind, args.chiplets)
-    config = SimulationConfig(
-        warmup_cycles=max(100, args.cycles // 2),
-        measurement_cycles=args.cycles,
-        drain_cycles=args.cycles * 2,
-    )
+    config = _phase_config(args.cycles)
     result = design.simulate(
         injection_rate=args.injection_rate, traffic=args.traffic, config=config
     )
@@ -140,6 +220,53 @@ def _command_simulate(args: argparse.Namespace) -> int:
         ["measured packets delivered", result.measured_packets_ejected],
     ]
     print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    kinds = _parse_list(args.kinds, kind=str, all_values=_KINDS)
+    chiplet_counts = _parse_list(args.chiplets, kind=int)
+    rates = _parse_list(args.rates, kind=float)
+    traffics = _parse_list(args.traffic, kind=str,
+                           all_values=available_traffic_patterns())
+    # Fail fast on typos before any worker starts (rates are validated by
+    # SweepCandidate itself when the grid is built below).
+    for kind in kinds:
+        check_in_choices("kind", kind, _KINDS)
+    for traffic in traffics:
+        check_in_choices("traffic", traffic, available_traffic_patterns())
+    config = _phase_config(args.cycles, seed=args.seed)
+    runner = ParallelSweepRunner(config, jobs=args.jobs, cache_dir=args.cache_dir)
+    candidates = ParallelSweepRunner.grid(kinds, chiplet_counts, rates, traffics)
+
+    def report_progress(done: int, total: int, record) -> None:
+        origin = "cache" if record.from_cache else "sim"
+        print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
+
+    records = runner.run(candidates, progress=report_progress)
+    header = ["kind", "chiplets", "rate", "traffic", "avg latency [cyc]",
+              "p99 latency [cyc]", "accepted [flit/cyc/EP]", "delivered ratio"]
+    rows = [
+        [
+            record.candidate.kind,
+            record.candidate.num_chiplets,
+            record.candidate.injection_rate,
+            record.candidate.traffic,
+            record.result.packet_latency.mean,
+            record.result.packet_latency.p99,
+            record.result.accepted_flit_rate,
+            record.result.measured_delivery_ratio,
+        ]
+        for record in records
+    ]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(",".join(header) + "\n")
+            for row in rows:
+                handle.write(",".join(str(value) for value in row) + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(format_table(header, rows))
     return 0
 
 
@@ -194,6 +321,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "figure": _command_figure,
     "simulate": _command_simulate,
+    "sweep": _command_sweep,
     "export": _command_export,
     "feasibility": _command_feasibility,
 }

@@ -13,6 +13,13 @@ actually pick an arrangement for a given product.
 
 from repro.core.design import ChipletDesign
 from repro.core.explorer import DesignSpaceExplorer, ExplorationRecord
+from repro.core.parallel import (
+    ParallelSweepRunner,
+    SweepCandidate,
+    SweepRecord,
+    derive_candidate_seed,
+    parallel_map,
+)
 from repro.core.report import DesignComparison, compare_designs
 
 __all__ = [
@@ -20,5 +27,10 @@ __all__ = [
     "DesignComparison",
     "DesignSpaceExplorer",
     "ExplorationRecord",
+    "ParallelSweepRunner",
+    "SweepCandidate",
+    "SweepRecord",
     "compare_designs",
+    "derive_candidate_seed",
+    "parallel_map",
 ]

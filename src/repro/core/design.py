@@ -13,7 +13,8 @@ and caches the quantities of the paper's methodology:
 
 from __future__ import annotations
 
-from typing import Any
+from functools import partial
+from typing import Any, Callable
 
 from repro.arrangements.base import Arrangement, ArrangementKind, Regularity
 from repro.arrangements.factory import make_arrangement
@@ -40,10 +41,17 @@ class ChipletDesign:
 
     def __init__(
         self,
-        arrangement: Arrangement,
+        arrangement: Arrangement | None = None,
         parameters: EvaluationParameters | None = None,
+        *,
+        arrangement_factory: Callable[[], Arrangement] | None = None,
     ) -> None:
+        if (arrangement is None) == (arrangement_factory is None):
+            raise ValueError(
+                "provide exactly one of arrangement or arrangement_factory"
+            )
         self._arrangement = arrangement
+        self._arrangement_factory = arrangement_factory
         self._parameters = parameters if parameters is not None else EvaluationParameters()
         self._link_model = D2DLinkModel(self._parameters)
         # Lazily computed caches.
@@ -61,11 +69,19 @@ class ChipletDesign:
         regularity: Regularity | str | None = None,
         *,
         parameters: EvaluationParameters | None = None,
+        defer: bool = False,
     ) -> "ChipletDesign":
-        """Generate the arrangement and wrap it in a design object."""
+        """Generate the arrangement and wrap it in a design object.
+
+        With ``defer=True`` the (potentially expensive) arrangement
+        generation is postponed until the arrangement is first needed —
+        generation errors then surface on first access instead of here.
+        """
         check_positive_int("num_chiplets", num_chiplets)
-        arrangement = make_arrangement(kind, num_chiplets, regularity)
-        return cls(arrangement, parameters)
+        factory = partial(make_arrangement, kind, num_chiplets, regularity)
+        if defer:
+            return cls(parameters=parameters, arrangement_factory=factory)
+        return cls(factory(), parameters)
 
     @classmethod
     def from_arrangement(
@@ -81,7 +97,9 @@ class ChipletDesign:
 
     @property
     def arrangement(self) -> Arrangement:
-        """The underlying arrangement."""
+        """The underlying arrangement (materialised on first access when deferred)."""
+        if self._arrangement is None:
+            self._arrangement = self._arrangement_factory()
         return self._arrangement
 
     @property
@@ -92,29 +110,29 @@ class ChipletDesign:
     @property
     def kind(self) -> ArrangementKind:
         """Arrangement family."""
-        return self._arrangement.kind
+        return self.arrangement.kind
 
     @property
     def num_chiplets(self) -> int:
         """Number of compute chiplets."""
-        return self._arrangement.num_chiplets
+        return self.arrangement.num_chiplets
 
     @property
     def regularity(self) -> Regularity:
         """Regularity class of the arrangement."""
-        return self._arrangement.regularity
+        return self.arrangement.regularity
 
     @property
     def label(self) -> str:
         """Short human-readable label (e.g. ``"HM-37 (regular)"``)."""
-        return self._arrangement.label
+        return self.arrangement.label
 
     # -- proxies (Section III-C) -----------------------------------------------
 
     def metrics(self) -> GraphMetrics:
         """Graph metrics of the arrangement (cached)."""
         if self._metrics is None:
-            self._metrics = compute_metrics(self._arrangement.graph)
+            self._metrics = compute_metrics(self.arrangement.graph)
         return self._metrics
 
     @property
@@ -131,7 +149,7 @@ class ChipletDesign:
         """
         if self._bisection is None:
             self._bisection = evaluate_arrangement_proxies(
-                self._arrangement
+                self.arrangement
             ).bisection_bandwidth
         return self._bisection
 
@@ -155,7 +173,7 @@ class ChipletDesign:
         """Full output of the D2D link model (cached)."""
         if self._link_estimate is None:
             self._link_estimate = self._link_model.estimate_for_arrangement(
-                self._arrangement
+                self.arrangement
             )
         return self._link_estimate
 
@@ -196,7 +214,7 @@ class ChipletDesign:
 
     def zero_load_latency(self) -> float:
         """Analytical zero-load latency in cycles."""
-        return zero_load_latency_cycles(self._arrangement.graph, self.simulation_config())
+        return zero_load_latency_cycles(self.arrangement.graph, self.simulation_config())
 
     def saturation_fraction(self, *, model: str = "bisection") -> float:
         """Analytical saturation throughput as a fraction of injection capacity.
@@ -208,12 +226,12 @@ class ChipletDesign:
         check_in_choices("model", model, ("bisection", "channel_load"))
         if model == "bisection":
             return bisection_limited_saturation_fraction(
-                self._arrangement.graph,
+                self.arrangement.graph,
                 self.simulation_config(),
                 bisection_links=self.bisection_bandwidth,
             )
         return saturation_throughput_fraction(
-            self._arrangement.graph, self.simulation_config()
+            self.arrangement.graph, self.simulation_config()
         )
 
     def saturation_throughput_tbps(self, *, model: str = "bisection") -> float:
@@ -240,7 +258,7 @@ class ChipletDesign:
             parameters always come from the design itself.
         """
         simulator = NocSimulator(
-            self._arrangement.graph,
+            self.arrangement.graph,
             self.simulation_config(config),
             injection_rate=injection_rate,
             traffic=traffic,

@@ -15,16 +15,18 @@ from typing import Callable, Iterable, Sequence
 
 from repro.arrangements.base import ArrangementKind
 from repro.core.design import ChipletDesign
+from repro.core.parallel import ProgressCallback, parallel_map
 from repro.linkmodel.parameters import EvaluationParameters
 from repro.utils.validation import check_in_choices
 
 #: Objectives available to :meth:`DesignSpaceExplorer.rank`.  Each maps a
-#: design to a value where *smaller is better*.
-_OBJECTIVES: dict[str, Callable[[ChipletDesign], float]] = {
-    "latency": lambda design: design.zero_load_latency(),
-    "throughput": lambda design: -design.saturation_throughput_tbps(),
-    "diameter": lambda design: float(design.diameter),
-    "bisection": lambda design: -design.bisection_bandwidth,
+#: record to a value where *smaller is better*; they read the metrics
+#: cached on the record, so ranking never recomputes anything.
+_OBJECTIVES: dict[str, Callable[["ExplorationRecord"], float]] = {
+    "latency": lambda record: record.zero_load_latency_cycles,
+    "throughput": lambda record: -record.saturation_throughput_tbps,
+    "diameter": lambda record: float(record.diameter),
+    "bisection": lambda record: -record.bisection_bandwidth,
 }
 
 
@@ -44,6 +46,28 @@ class ExplorationRecord:
         return self.design.label
 
 
+def _evaluate_candidate(
+    item: tuple[str, int, EvaluationParameters, bool],
+) -> tuple[ChipletDesign | None, tuple[float, float, int, float]]:
+    """Headline metrics of one candidate (runs inside a worker process).
+
+    Only the plain metric values cross the process boundary; the design is
+    returned alongside them only when ``ship_design`` is set, which the
+    explorer does exclusively on the inline (``jobs=1``) path where no
+    boundary exists — parallel runs rebuild a deferred facade instead, so
+    records stay cheap to ship regardless of the arrangement size.
+    """
+    kind_name, count, parameters, ship_design = item
+    design = ChipletDesign.create(kind_name, count, parameters=parameters)
+    metrics = (
+        design.zero_load_latency(),
+        design.saturation_throughput_tbps(),
+        design.diameter,
+        design.bisection_bandwidth,
+    )
+    return (design if ship_design else None), metrics
+
+
 class DesignSpaceExplorer:
     """Evaluate and rank designs across kinds and chiplet counts.
 
@@ -51,9 +75,13 @@ class DesignSpaceExplorer:
     ----------
     kinds:
         Arrangement families to consider (default: grid, brickwall,
-        HexaMesh — the three the paper compares).
+        HexaMesh — the three the paper compares; any catalog kind,
+        including the honeycomb, is accepted).
     parameters:
         Architectural parameters shared by all candidates.
+    jobs:
+        Default number of worker processes for :meth:`evaluate` (may be
+        overridden per call).
     """
 
     def __init__(
@@ -61,11 +89,13 @@ class DesignSpaceExplorer:
         kinds: Sequence[ArrangementKind | str] = ("grid", "brickwall", "hexamesh"),
         *,
         parameters: EvaluationParameters | None = None,
+        jobs: int = 1,
     ) -> None:
         self._kinds = [ArrangementKind.from_name(kind) for kind in kinds]
         if not self._kinds:
             raise ValueError("the explorer needs at least one arrangement kind")
         self._parameters = parameters if parameters is not None else EvaluationParameters()
+        self._jobs = jobs
         self._records: list[ExplorationRecord] = []
 
     @property
@@ -73,28 +103,61 @@ class DesignSpaceExplorer:
         """All records evaluated so far."""
         return list(self._records)
 
-    def evaluate(self, chiplet_counts: Iterable[int]) -> list[ExplorationRecord]:
-        """Evaluate every (kind, chiplet count) candidate and cache the records."""
+    def evaluate(
+        self,
+        chiplet_counts: Iterable[int],
+        *,
+        jobs: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> list[ExplorationRecord]:
+        """Evaluate every (kind, chiplet count) candidate and cache the records.
+
+        With ``jobs > 1`` candidates are fanned across worker processes via
+        :func:`repro.core.parallel.parallel_map`; records come back in the
+        same (count-major, kind-minor) order as the serial path.  Each
+        candidate's arrangement is built exactly once: inline runs reuse
+        the evaluated design directly, parallel runs attach a deferred
+        design that regenerates the arrangement only if it is accessed.
+        """
+        jobs = self._jobs if jobs is None else jobs
+        grid = [
+            (kind.value, count)
+            for count in chiplet_counts
+            for kind in self._kinds
+        ]
+        # Mirrors parallel_map's inline fallback (jobs <= 1 OR a single
+        # item), so the design is shipped exactly when no boundary exists.
+        inline = jobs <= 1 or len(grid) <= 1
+        candidates = [
+            (kind_name, count, self._parameters, inline)
+            for kind_name, count in grid
+        ]
+        outcomes = parallel_map(
+            _evaluate_candidate, candidates, jobs=jobs, progress=progress
+        )
         new_records: list[ExplorationRecord] = []
-        for count in chiplet_counts:
-            for kind in self._kinds:
-                design = ChipletDesign.create(kind, count, parameters=self._parameters)
-                record = ExplorationRecord(
-                    design=design,
-                    zero_load_latency_cycles=design.zero_load_latency(),
-                    saturation_throughput_tbps=design.saturation_throughput_tbps(),
-                    diameter=design.diameter,
-                    bisection_bandwidth=design.bisection_bandwidth,
+        for (kind_name, count, _, _), (design, values) in zip(candidates, outcomes):
+            latency, throughput, diameter_value, bisection = values
+            if design is None:
+                design = ChipletDesign.create(
+                    kind_name, count, parameters=self._parameters, defer=True
                 )
-                new_records.append(record)
+            new_records.append(
+                ExplorationRecord(
+                    design=design,
+                    zero_load_latency_cycles=latency,
+                    saturation_throughput_tbps=throughput,
+                    diameter=diameter_value,
+                    bisection_bandwidth=bisection,
+                )
+            )
         self._records.extend(new_records)
         return new_records
 
     def rank(self, objective: str = "latency") -> list[ExplorationRecord]:
         """All evaluated records sorted from best to worst for ``objective``."""
         check_in_choices("objective", objective, sorted(_OBJECTIVES))
-        key = _OBJECTIVES[objective]
-        return sorted(self._records, key=lambda record: key(record.design))
+        return sorted(self._records, key=_OBJECTIVES[objective])
 
     def best(self, objective: str = "latency") -> ExplorationRecord:
         """The best record for the given objective."""

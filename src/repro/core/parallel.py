@@ -1,0 +1,479 @@
+"""Parallel design-space sweeps over multiprocessing workers.
+
+This module is the fan-out layer of the exploration subsystem: it takes a
+grid of simulation candidates — ``(kind, chiplet count, injection rate,
+traffic pattern)`` tuples — and evaluates them across worker processes
+with chunked dispatch, deterministic per-candidate seeding, an on-disk
+result cache and a progress callback.
+
+Invariants the rest of the code base relies on:
+
+* **Determinism.**  A candidate's seed is derived solely from the base
+  seed and the candidate's identity (via SHA-256, never Python's
+  process-randomised ``hash``), so ``jobs=1`` and ``jobs=N`` runs return
+  identical records in identical order, across processes and machines.
+* **Cache transparency.**  Cache entries are keyed by a hash of the full
+  candidate + simulation configuration, so a cache hit returns exactly
+  what the simulation would have produced; the two cycle-loop engines are
+  bit-identical by construction (see :mod:`repro.noc.engine`), so cached
+  results are shared between them.
+* **Order preservation.**  Workers may finish out of order (unordered
+  chunked dispatch keeps them busy), but results are always returned in
+  candidate order.
+
+:func:`parallel_map` is the underlying generic helper; the
+:class:`DesignSpaceExplorer <repro.core.explorer.DesignSpaceExplorer>`,
+:func:`run_figure7 <repro.evaluation.performance.run_figure7>` and
+:func:`run_injection_sweep <repro.noc.sweep.run_injection_sweep>` all fan
+out through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.arrangements.factory import make_arrangement
+from repro.graphs.model import ChipGraph
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.stats import LatencyStatistics, ThroughputStatistics
+from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
+
+#: Progress callbacks receive ``(completed, total, latest)`` where
+#: ``latest`` is the item that just finished (a :class:`SweepRecord` for
+#: :class:`ParallelSweepRunner`, the mapped value for :func:`parallel_map`).
+ProgressCallback = Callable[[int, int, Any], None]
+
+#: Schema version of the on-disk cache entries; bump when the result
+#: layout or the simulator's observable behaviour changes.
+_CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Generic ordered parallel map with chunked dispatch
+# ---------------------------------------------------------------------------
+
+
+def _apply_chunk(payload: tuple[Callable[[Any], Any], list[tuple[int, Any]]]):
+    """Worker entry point: apply ``function`` to an indexed chunk of items."""
+    function, chunk = payload
+    return [(index, function(item)) for index, item in chunk]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, inherits the loaded modules) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def default_chunk_size(num_items: int, jobs: int) -> int:
+    """Chunk size balancing dispatch overhead against load-balancing slack.
+
+    Aim for roughly four chunks per worker so that slow candidates (large
+    networks, saturated loads) can be compensated by idle workers picking
+    up remaining chunks.
+    """
+    return max(1, num_items // max(1, jobs * 4))
+
+
+def parallel_map(
+    function: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[Any]:
+    """Apply ``function`` to every item, optionally across worker processes.
+
+    Results are returned in input order regardless of completion order.
+    ``jobs`` must be >= 1; with ``jobs=1`` (or fewer than two items)
+    everything runs inline in the calling process, which keeps single-job
+    runs trivially identical to the parallel path and friendly to
+    debuggers and profilers.
+    """
+    work = list(items)
+    total = len(work)
+    check_positive_int("jobs", jobs)
+    if jobs <= 1 or total <= 1:
+        results: list[Any] = []
+        for index, item in enumerate(work):
+            value = function(item)
+            results.append(value)
+            if progress is not None:
+                progress(index + 1, total, value)
+        return results
+
+    size = chunk_size if chunk_size is not None else default_chunk_size(total, jobs)
+    check_positive_int("chunk_size", size)
+    indexed = list(enumerate(work))
+    chunks = [indexed[start:start + size] for start in range(0, total, size)]
+
+    ordered: list[Any] = [None] * total
+    completed = 0
+    context = _pool_context()
+    with context.Pool(processes=jobs) as pool:
+        payloads = [(function, chunk) for chunk in chunks]
+        for chunk_results in pool.imap_unordered(_apply_chunk, payloads):
+            for index, value in chunk_results:
+                ordered[index] = value
+                completed += 1
+                if progress is not None:
+                    progress(completed, total, value)
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Sweep candidates and records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCandidate:
+    """One point of the exploration grid.
+
+    Attributes
+    ----------
+    kind:
+        Arrangement family name (``"grid"``, ``"brickwall"``,
+        ``"honeycomb"``, ``"hexamesh"``) — or ``"custom"`` when
+        ``graph_edges`` carries an explicit topology.
+    num_chiplets:
+        Chiplet count (the number of graph nodes for custom topologies).
+    injection_rate:
+        Offered load in flits per cycle per endpoint.
+    traffic:
+        Traffic pattern name (resolved per worker via
+        :func:`repro.noc.traffic.make_traffic_pattern`).
+    regularity:
+        Optional regularity class override for the arrangement generator.
+    graph_edges:
+        Explicit edge list for custom topologies; when set, workers build
+        the :class:`ChipGraph` directly instead of generating the
+        arrangement.
+    """
+
+    kind: str
+    num_chiplets: int
+    injection_rate: float
+    traffic: str = "uniform"
+    regularity: str | None = None
+    graph_edges: tuple[tuple[int, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_chiplets", self.num_chiplets)
+        check_fraction("injection_rate", self.injection_rate)
+
+    @property
+    def label(self) -> str:
+        """Human-readable candidate label for progress reporting."""
+        return (
+            f"{self.kind}-{self.num_chiplets} "
+            f"@{self.injection_rate:g} [{self.traffic}]"
+        )
+
+    def key_dict(self) -> dict[str, Any]:
+        """Canonical JSON-able identity used for seeding and cache keys."""
+        return {
+            "kind": self.kind,
+            "num_chiplets": self.num_chiplets,
+            "injection_rate": repr(self.injection_rate),
+            "traffic": self.traffic,
+            "regularity": self.regularity,
+            "graph_edges": [list(edge) for edge in self.graph_edges]
+            if self.graph_edges is not None
+            else None,
+        }
+
+    def build_graph(self) -> ChipGraph:
+        """Materialise the candidate's topology graph."""
+        if self.graph_edges is not None:
+            return ChipGraph(nodes=range(self.num_chiplets), edges=self.graph_edges)
+        return make_arrangement(self.kind, self.num_chiplets, self.regularity).graph
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated candidate: the candidate, its seed and its result."""
+
+    candidate: SweepCandidate
+    seed: int
+    result: SimulationResult
+    from_cache: bool = field(default=False, compare=False)
+
+
+def derive_candidate_seed(base_seed: int, candidate: SweepCandidate) -> int:
+    """Deterministic per-candidate seed.
+
+    Mixing a SHA-256 digest of the candidate identity into the base seed
+    decorrelates the RNG streams of neighbouring grid points while staying
+    reproducible across processes and machines (``PYTHONHASHSEED`` does
+    not affect it).
+    """
+    key = json.dumps(candidate.key_dict(), sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(key).digest()
+    mixed = (base_seed * 0x9E3779B1 + int.from_bytes(digest[:8], "big")) % (2**63)
+    # Seed 0 is fine for random.Random but keep seeds strictly positive so
+    # that the per-endpoint derivation in Network never collapses to 0.
+    return mixed or 1
+
+
+# ---------------------------------------------------------------------------
+# Result (de)serialisation for the on-disk cache
+# ---------------------------------------------------------------------------
+
+
+def simulation_result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """Convert a :class:`SimulationResult` into a JSON-serialisable dict."""
+    return {
+        "injection_rate": result.injection_rate,
+        "packet_latency": asdict(result.packet_latency),
+        "network_latency": asdict(result.network_latency),
+        "throughput": asdict(result.throughput),
+        "average_hops": result.average_hops,
+        "cycles_simulated": result.cycles_simulated,
+        "num_routers": result.num_routers,
+        "num_endpoints": result.num_endpoints,
+        "measured_packets_created": result.measured_packets_created,
+        "measured_packets_ejected": result.measured_packets_ejected,
+    }
+
+
+def simulation_result_from_dict(data: dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from its dictionary form."""
+    return SimulationResult(
+        injection_rate=data["injection_rate"],
+        packet_latency=LatencyStatistics(**data["packet_latency"]),
+        network_latency=LatencyStatistics(**data["network_latency"]),
+        throughput=ThroughputStatistics(**data["throughput"]),
+        average_hops=data["average_hops"],
+        cycles_simulated=data["cycles_simulated"],
+        num_routers=data["num_routers"],
+        num_endpoints=data["num_endpoints"],
+        measured_packets_created=data["measured_packets_created"],
+        measured_packets_ejected=data["measured_packets_ejected"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_work_item(
+    item: tuple[int, SweepCandidate, SimulationConfig, str],
+) -> tuple[int, SimulationResult]:
+    """Simulate one candidate (runs inside a worker process)."""
+    index, candidate, config, engine = item
+    simulator = NocSimulator(
+        candidate.build_graph(),
+        config,
+        injection_rate=candidate.injection_rate,
+        traffic=candidate.traffic,
+    )
+    return index, simulator.run(engine=engine)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class ParallelSweepRunner:
+    """Fan a grid of simulation candidates across worker processes.
+
+    Parameters
+    ----------
+    config:
+        Base simulation configuration shared by every candidate (phase
+        lengths, VC counts, ...).  Each candidate runs with this
+        configuration and its own derived seed.
+    jobs:
+        Number of worker processes; ``1`` evaluates inline (identical
+        results, no multiprocessing).
+    cache_dir:
+        Optional directory for the on-disk result cache.  Entries are JSON
+        files named by a SHA-256 hash of the candidate + configuration, so
+        re-running an overlapping grid only simulates the new points.
+    chunk_size:
+        Candidates per dispatch unit; defaults to
+        :func:`default_chunk_size`.
+    engine:
+        Cycle-loop engine passed to :meth:`NocSimulator.run`.
+    derive_seeds:
+        When ``True`` (default) every candidate gets a seed derived from
+        ``config.seed`` and its identity via
+        :func:`derive_candidate_seed`; when ``False`` all candidates use
+        ``config.seed`` unchanged (used by the figure sweeps, whose serial
+        reference path runs every point with the base seed).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        *,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike[str] | None = None,
+        chunk_size: int | None = None,
+        engine: str = "active",
+        derive_seeds: bool = True,
+    ) -> None:
+        check_positive_int("jobs", jobs)
+        check_in_choices("engine", engine, ("active", "legacy"))
+        self._config = config if config is not None else SimulationConfig()
+        self._jobs = jobs
+        self._cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self._chunk_size = chunk_size
+        self._engine = engine
+        self._derive_seeds = derive_seeds
+
+    @property
+    def jobs(self) -> int:
+        """Configured number of worker processes."""
+        return self._jobs
+
+    @property
+    def config(self) -> SimulationConfig:
+        """Base simulation configuration."""
+        return self._config
+
+    # -- grid construction ---------------------------------------------------
+
+    @staticmethod
+    def grid(
+        kinds: Sequence[str],
+        chiplet_counts: Iterable[int],
+        injection_rates: Iterable[float],
+        traffics: Sequence[str] = ("uniform",),
+    ) -> list[SweepCandidate]:
+        """The full cartesian candidate grid, in deterministic order."""
+        return [
+            SweepCandidate(
+                kind=kind,
+                num_chiplets=count,
+                injection_rate=rate,
+                traffic=traffic,
+            )
+            for count in chiplet_counts
+            for kind in kinds
+            for rate in injection_rates
+            for traffic in traffics
+        ]
+
+    # -- cache ---------------------------------------------------------------
+
+    def cache_key(self, candidate: SweepCandidate, config: SimulationConfig) -> str:
+        """Stable hash identifying one (candidate, configuration) result."""
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "candidate": candidate.key_dict(),
+            "config": asdict(config),
+        }
+        canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
+    def _cache_path(self, key: str) -> str | None:
+        if self._cache_dir is None:
+            return None
+        return os.path.join(self._cache_dir, f"{key}.json")
+
+    def _cache_load(self, key: str) -> SimulationResult | None:
+        path = self._cache_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("schema") != _CACHE_SCHEMA:
+                return None
+            return simulation_result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt or incompatible entry: recompute and overwrite.
+            return None
+
+    def _cache_store(
+        self, key: str, candidate: SweepCandidate, result: SimulationResult
+    ) -> None:
+        path = self._cache_path(key)
+        if path is None:
+            return
+        os.makedirs(self._cache_dir, exist_ok=True)
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "candidate": candidate.key_dict(),
+            "result": simulation_result_to_dict(result),
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+    # -- running -------------------------------------------------------------
+
+    def candidate_seed(self, candidate: SweepCandidate) -> int:
+        """The seed this runner assigns to ``candidate``."""
+        if self._derive_seeds:
+            return derive_candidate_seed(self._config.seed, candidate)
+        return self._config.seed
+
+    def run(
+        self,
+        candidates: Iterable[SweepCandidate],
+        *,
+        progress: ProgressCallback | None = None,
+    ) -> list[SweepRecord]:
+        """Evaluate every candidate and return records in candidate order."""
+        ordered = list(candidates)
+        total = len(ordered)
+        records: list[SweepRecord | None] = [None] * total
+        completed = 0
+
+        def _finish(index: int, record: SweepRecord) -> None:
+            nonlocal completed
+            records[index] = record
+            completed += 1
+            if progress is not None:
+                progress(completed, total, record)
+
+        caching = self._cache_dir is not None
+        pending: dict[int, tuple[SweepCandidate, SimulationConfig, str | None]] = {}
+        for index, candidate in enumerate(ordered):
+            seed = self.candidate_seed(candidate)
+            config = replace(self._config, seed=seed)
+            key = self.cache_key(candidate, config) if caching else None
+            cached = self._cache_load(key) if caching else None
+            if cached is not None:
+                _finish(index, SweepRecord(candidate, seed, cached, from_cache=True))
+            else:
+                pending[index] = (candidate, config, key)
+
+        if pending:
+            items = [
+                (index, candidate, config, self._engine)
+                for index, (candidate, config, _) in pending.items()
+            ]
+
+            def _on_complete(_done: int, _total: int, value: Any) -> None:
+                index, result = value
+                candidate, config, key = pending[index]
+                self._cache_store(key, candidate, result)
+                _finish(index, SweepRecord(candidate, config.seed, result))
+
+            parallel_map(
+                _evaluate_work_item,
+                items,
+                jobs=self._jobs,
+                chunk_size=self._chunk_size,
+                progress=_on_complete,
+            )
+
+        missing = [index for index, record in enumerate(records) if record is None]
+        if missing:  # pragma: no cover - defensive; parallel_map is exhaustive
+            raise RuntimeError(f"sweep lost results for candidate indices {missing}")
+        return list(records)  # type: ignore[arg-type]

@@ -263,15 +263,6 @@ def evaluate_arrangement_performance(
         parameters = EvaluationParameters()
     config = _simulation_config_from(parameters, simulation_config)
 
-    link_model = D2DLinkModel(parameters)
-    estimate = link_model.estimate_for_arrangement(arrangement)
-    full_global_tbps = (
-        arrangement.num_chiplets
-        * parameters.endpoints_per_chiplet
-        * estimate.bandwidth_bps
-        / 1e12
-    )
-
     if engine == "analytical" or arrangement.num_chiplets == 1:
         latency = zero_load_latency_cycles(arrangement.graph, config)
         if throughput_model == "bisection":
@@ -283,6 +274,33 @@ def evaluate_arrangement_performance(
         latency = zero_load.packet_latency.mean
         saturation, _ = measure_saturation_throughput(arrangement.graph, config)
 
+    return _assemble_figure7_point(
+        arrangement, parameters, latency=latency, saturation=saturation, engine=engine
+    )
+
+
+def _assemble_figure7_point(
+    arrangement: Arrangement,
+    parameters: EvaluationParameters,
+    *,
+    latency: float,
+    saturation: float,
+    engine: str,
+) -> Figure7Point:
+    """Attach the link-model bandwidths and build one Figure 7 point.
+
+    The serial path (:func:`evaluate_arrangement_performance`) and the
+    parallel path (:func:`_simulated_point_parallel`) both assemble their
+    points here, so the bandwidth formulas cannot silently diverge.
+    """
+    link_model = D2DLinkModel(parameters)
+    estimate = link_model.estimate_for_arrangement(arrangement)
+    full_global_tbps = (
+        arrangement.num_chiplets
+        * parameters.endpoints_per_chiplet
+        * estimate.bandwidth_bps
+        / 1e12
+    )
     return Figure7Point(
         kind=arrangement.kind,
         regularity=arrangement.regularity,
@@ -295,6 +313,22 @@ def evaluate_arrangement_performance(
     )
 
 
+def _simulated_point_parallel(
+    arrangement: Arrangement,
+    parameters: EvaluationParameters,
+    zero_load_result,
+    overload_result,
+) -> Figure7Point:
+    """Assemble a simulation-engine point from pre-computed sweep results."""
+    return _assemble_figure7_point(
+        arrangement,
+        parameters,
+        latency=zero_load_result.packet_latency.mean,
+        saturation=overload_result.accepted_flit_rate,
+        engine="simulation",
+    )
+
+
 def run_figure7(
     chiplet_counts: Iterable[int] | None = None,
     *,
@@ -304,6 +338,8 @@ def run_figure7(
     simulation_points: Sequence[int] | None = None,
     simulation_config: SimulationConfig | None = None,
     kinds: Sequence[ArrangementKind | str] = FIGURE7_KINDS,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> Figure7Result:
     """Regenerate the data of Figure 7 (all four panels).
 
@@ -328,6 +364,14 @@ def run_figure7(
         Optional override of the simulator phase lengths / seed.
     kinds:
         Arrangement families to evaluate.
+    jobs:
+        Worker processes for the cycle-accurate points (two simulations
+        per point: zero-load and overload).  Every simulation runs with
+        the base configuration seed, so ``jobs > 1`` reproduces the serial
+        results exactly.  Analytical points always run inline (they are
+        orders of magnitude cheaper than the dispatch overhead).
+    cache_dir:
+        Optional on-disk cache directory for the cycle-accurate points.
     """
     check_in_choices("mode", mode, ("analytical", "simulation", "hybrid"))
     if chiplet_counts is None:
@@ -342,21 +386,63 @@ def run_figure7(
     else:
         simulated = set(simulation_points or ())
 
-    points: list[Figure7Point] = []
-    for count in counts:
-        for kind_name in kinds:
-            kind = ArrangementKind.from_name(kind_name)
-            arrangement = make_arrangement(kind, count)
-            engine = "simulation" if count in simulated else "analytical"
-            points.append(
-                evaluate_arrangement_performance(
-                    arrangement,
-                    parameters,
-                    engine=engine,
-                    throughput_model=throughput_model,
-                    simulation_config=simulation_config,
+    grid_order: list[tuple[ArrangementKind, int]] = [
+        (ArrangementKind.from_name(kind_name), count)
+        for count in counts
+        for kind_name in kinds
+    ]
+
+    parallel_sim = (jobs > 1 or cache_dir is not None) and any(
+        count in simulated and count > 1 for _, count in grid_order
+    )
+    simulated_results: dict[tuple[ArrangementKind, int], Figure7Point] = {}
+    if parallel_sim:
+        from repro.core.parallel import ParallelSweepRunner, SweepCandidate
+        from repro.noc.sweep import ZERO_LOAD_INJECTION_RATE
+
+        config = _simulation_config_from(parameters, simulation_config)
+        sim_designs = [
+            (kind, count)
+            for kind, count in grid_order
+            if count in simulated and count > 1
+        ]
+        candidates = []
+        for kind, count in sim_designs:
+            for rate in (ZERO_LOAD_INJECTION_RATE, 1.0):
+                candidates.append(
+                    SweepCandidate(
+                        kind=kind.value, num_chiplets=count, injection_rate=rate
+                    )
                 )
+        runner = ParallelSweepRunner(
+            config, jobs=jobs, cache_dir=cache_dir, derive_seeds=False
+        )
+        records = runner.run(candidates)
+        for pair_index, (kind, count) in enumerate(sim_designs):
+            zero_load = records[2 * pair_index].result
+            overload = records[2 * pair_index + 1].result
+            arrangement = make_arrangement(kind, count)
+            simulated_results[(kind, count)] = _simulated_point_parallel(
+                arrangement, parameters, zero_load, overload
             )
+
+    points: list[Figure7Point] = []
+    for kind, count in grid_order:
+        precomputed = simulated_results.get((kind, count))
+        if precomputed is not None:
+            points.append(precomputed)
+            continue
+        arrangement = make_arrangement(kind, count)
+        engine = "simulation" if count in simulated else "analytical"
+        points.append(
+            evaluate_arrangement_performance(
+                arrangement,
+                parameters,
+                engine=engine,
+                throughput_model=throughput_model,
+                simulation_config=simulation_config,
+            )
+        )
     return Figure7Result(
         points=points,
         parameters=parameters,
@@ -365,6 +451,7 @@ def run_figure7(
             "throughput_model": throughput_model,
             "simulated_counts": sorted(simulated),
             "counts": counts,
+            "jobs": jobs,
         },
     )
 

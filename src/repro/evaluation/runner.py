@@ -29,6 +29,8 @@ def run_all_experiments(
     simulation_config: SimulationConfig | None = None,
     parameters: EvaluationParameters | None = None,
     output_dir: str | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run every experiment of the evaluation and return the results by id.
 
@@ -50,6 +52,11 @@ def run_all_experiments(
     output_dir:
         When given, each experiment is also written as
         ``<output_dir>/<experiment_id>.csv``.
+    jobs:
+        Worker processes for the cycle-accurate Figure 7 points (see
+        :func:`repro.evaluation.performance.run_figure7`).
+    cache_dir:
+        Optional on-disk result cache for the cycle-accurate points.
     """
     check_in_choices("mode", mode, ("analytical", "simulation", "hybrid"))
     if parameters is None:
@@ -79,6 +86,8 @@ def run_all_experiments(
         mode=mode,
         simulation_points=simulation_points,
         simulation_config=simulation_config,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     results["FIG7a"] = figure7.latency_experiment()
     results["FIG7b"] = figure7.throughput_experiment()

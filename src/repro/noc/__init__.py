@@ -20,13 +20,16 @@ simulator with the same modelled structure:
 * :mod:`repro.noc.endpoint` — traffic sources and sinks,
 * :mod:`repro.noc.network` — assembling a network from an arrangement
   graph,
-* :mod:`repro.noc.simulator` — the cycle loop with warm-up, measurement
-  and drain phases,
+* :mod:`repro.noc.engine` — the cycle-loop engines (the active-set fast
+  path and the legacy dense scan),
+* :mod:`repro.noc.simulator` — the simulation driver with warm-up,
+  measurement and drain phases,
 * :mod:`repro.noc.sweep` — injection-rate sweeps, zero-load latency and
   saturation-throughput extraction.
 """
 
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import ActiveSetEngine, EngineStats, PhaseSnapshots, run_legacy_loop
 from repro.noc.flit import Flit, Packet
 from repro.noc.network import Network
 from repro.noc.routing import RoutingTables
@@ -46,11 +49,14 @@ from repro.noc.traffic import (
     TornadoTraffic,
     TrafficPattern,
     UniformRandomTraffic,
+    available_traffic_patterns,
     make_traffic_pattern,
 )
 
 __all__ = [
+    "ActiveSetEngine",
     "BitComplementTraffic",
+    "EngineStats",
     "Flit",
     "HotspotTraffic",
     "InjectionSweepResult",
@@ -60,6 +66,7 @@ __all__ = [
     "NocSimulator",
     "Packet",
     "PermutationTraffic",
+    "PhaseSnapshots",
     "RoutingTables",
     "SimulationConfig",
     "SimulationResult",
@@ -67,8 +74,10 @@ __all__ = [
     "TornadoTraffic",
     "TrafficPattern",
     "UniformRandomTraffic",
+    "available_traffic_patterns",
     "make_traffic_pattern",
     "measure_saturation_throughput",
     "measure_zero_load_latency",
     "run_injection_sweep",
+    "run_legacy_loop",
 ]

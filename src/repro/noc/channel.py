@@ -10,7 +10,7 @@ every flit channel.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
+from typing import Any, Callable
 
 from repro.utils.validation import check_non_negative
 
@@ -29,13 +29,17 @@ class Channel:
         debugging output).
     """
 
-    __slots__ = ("_latency", "_queue", "name")
+    __slots__ = ("_latency", "_queue", "name", "observer")
 
     def __init__(self, latency: int, name: str = "") -> None:
         check_non_negative("latency", latency)
         self._latency = max(1, int(latency))
         self._queue: deque[tuple[int, Any]] = deque()
         self.name = name
+        #: Optional arrival hook: called with the delivery cycle of every
+        #: payload entering the channel.  The active-set engine uses it to
+        #: schedule event-driven deliveries instead of scanning all channels.
+        self.observer: Callable[[int], None] | None = None
 
     @property
     def latency(self) -> int:
@@ -49,7 +53,10 @@ class Channel:
 
     def send(self, payload: Any, now: int) -> None:
         """Enqueue ``payload``; it becomes receivable at ``now + latency``."""
-        self._queue.append((now + self._latency, payload))
+        arrival = now + self._latency
+        self._queue.append((arrival, payload))
+        if self.observer is not None:
+            self.observer(arrival)
 
     def receive(self, now: int) -> list[Any]:
         """Pop every payload whose delivery time has been reached."""
@@ -58,6 +65,14 @@ class Channel:
         while queue and queue[0][0] <= now:
             delivered.append(queue.popleft()[1])
         return delivered
+
+    def pending(self) -> tuple[tuple[int, Any], ...]:
+        """Snapshot of the in-flight ``(arrival_cycle, payload)`` pairs."""
+        return tuple(self._queue)
+
+    def payloads(self) -> tuple[Any, ...]:
+        """Snapshot of the in-flight payloads (oldest first)."""
+        return tuple(payload for _, payload in self._queue)
 
     def peek_next_arrival(self) -> int | None:
         """Delivery cycle of the oldest in-flight payload (``None`` if empty)."""

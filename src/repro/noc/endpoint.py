@@ -173,6 +173,19 @@ class Endpoint:
 
     # -- introspection ---------------------------------------------------------------
 
+    def in_flight_measured_packets(self) -> int:
+        """Measured packets still held by this endpoint (not yet fully injected).
+
+        Counts packets waiting in the source queue plus the packet whose
+        flits are currently being streamed into the router (identified by
+        its head flit still sitting in the pending-flit queue).
+        """
+        measured = sum(1 for packet in self._source_queue if packet.measured)
+        measured += sum(
+            1 for flit in self._pending_flits if flit.is_head and flit.packet.measured
+        )
+        return measured
+
     @property
     def source_queue_length(self) -> int:
         """Number of packets waiting in the (unbounded) source queue."""

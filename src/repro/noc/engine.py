@@ -1,0 +1,255 @@
+"""Cycle-loop engines: the legacy dense scan and the active-set fast path.
+
+Both engines advance a :class:`~repro.noc.network.Network` through the
+warm-up, measurement and drain phases and record the phase-boundary flit
+counters that :class:`~repro.noc.simulator.NocSimulator` turns into a
+:class:`~repro.noc.simulator.SimulationResult`.  They are required to be
+*observationally equivalent*: under the same configuration and seed they
+must leave the network in bit-identical state, which the equivalence test
+suite checks field by field on the final results.
+
+The legacy engine is the original dense loop: every cycle it scans every
+channel, steps every endpoint (until the drain phase) and steps every
+router, whether or not the component has work to do.
+
+The active-set engine exploits three invariants of the network model to
+skip idle components without changing any observable behaviour:
+
+1. **Endpoints must be stepped densely while traffic is generated.**  An
+   endpoint draws from its RNG every cycle of the warm-up and measurement
+   phases (the Bernoulli injection process), so skipping even one idle
+   cycle would shift every later destination and injection decision.
+   Endpoints are therefore stepped exactly like the legacy loop — every
+   cycle before the drain phase, never during it.
+2. **Routers are pure no-ops while their input buffers are empty.**
+   ``Router.step`` returns immediately when ``buffered_flits == 0`` and
+   mutates nothing, so only routers holding at least one flit are stepped.
+3. **Channel deliveries are schedulable events.**  Every
+   ``Channel.send`` reports the payload's arrival cycle through the
+   channel's ``observer`` hook; the engine buckets arrivals by cycle and
+   only touches channels with a delivery due *now*.  Same-cycle
+   deliveries are replayed in channel registration order — the exact
+   order of the legacy dense scan (delivery order across channels is
+   commutative anyway, since every channel feeds a distinct buffer, but
+   matching the order keeps the equivalence argument trivial).
+
+Once the drain phase has started, endpoints no longer step, so when no
+channel has a scheduled delivery and no router buffers a flit the network
+state can never change again: the engine exits the loop early.  The
+reported ``total_cycles`` remains the configured horizon, which keeps
+every derived statistic bit-identical to a full legacy run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.config import SimulationConfig
+from repro.noc.network import Network
+
+
+@dataclass(frozen=True)
+class PhaseSnapshots:
+    """Flit counters captured at the phase boundaries of one run.
+
+    Attributes
+    ----------
+    ejected_before_measurement / injected_before_measurement:
+        Network totals at the start of the measurement phase.
+    ejected_after_measurement / injected_after_measurement:
+        Network totals at the end of the measurement phase.
+    total_cycles:
+        The configured simulation horizon (warm-up + measurement + drain).
+    cycles_executed:
+        Loop iterations actually performed; smaller than ``total_cycles``
+        when the active-set engine exited early because the network had
+        fully drained.
+    """
+
+    ejected_before_measurement: int
+    injected_before_measurement: int
+    ejected_after_measurement: int
+    injected_after_measurement: int
+    total_cycles: int
+    cycles_executed: int
+
+    @property
+    def ejected_during_measurement(self) -> int:
+        """Flits ejected within the measurement window."""
+        return self.ejected_after_measurement - self.ejected_before_measurement
+
+    @property
+    def injected_during_measurement(self) -> int:
+        """Flits injected within the measurement window."""
+        return self.injected_after_measurement - self.injected_before_measurement
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation counters of one active-set engine run.
+
+    These are diagnostics only — they do not feed into the reported
+    simulation statistics — but the test-suite uses them to assert that
+    the fast path actually skips idle work.
+    """
+
+    cycles_executed: int = 0
+    channel_deliveries: int = 0
+    router_steps: int = 0
+    endpoint_steps: int = 0
+    early_exit_cycle: int | None = None
+
+
+def _phase_bounds(config: SimulationConfig) -> tuple[int, int, int]:
+    """``(warmup_end, measure_end, total_cycles)`` of a configuration."""
+    warmup_end = config.warmup_cycles
+    measure_end = warmup_end + config.measurement_cycles
+    total_cycles = measure_end + config.drain_cycles
+    return warmup_end, measure_end, total_cycles
+
+
+def _injected_total(network: Network) -> int:
+    return sum(endpoint.injected_flits for endpoint in network.endpoints)
+
+
+def run_legacy_loop(network: Network, config: SimulationConfig) -> PhaseSnapshots:
+    """The original dense cycle loop: step everything, every cycle."""
+    warmup_end, measure_end, total_cycles = _phase_bounds(config)
+
+    ejected_before = ejected_after = 0
+    injected_before = injected_after = 0
+
+    for cycle in range(total_cycles):
+        if cycle == warmup_end:
+            ejected_before = network.total_ejected_flits()
+            injected_before = _injected_total(network)
+        if cycle == measure_end:
+            ejected_after = network.total_ejected_flits()
+            injected_after = _injected_total(network)
+
+        measured_phase = warmup_end <= cycle < measure_end
+        network.deliver_channels(cycle)
+        # During the drain phase the sources stop creating new packets so
+        # that in-flight measured packets can reach their destinations.
+        if cycle < measure_end:
+            network.step_endpoints(cycle, measured_phase=measured_phase)
+        network.step_routers(cycle)
+
+    if config.drain_cycles == 0:
+        ejected_after = network.total_ejected_flits()
+        injected_after = _injected_total(network)
+
+    return PhaseSnapshots(
+        ejected_before_measurement=ejected_before,
+        injected_before_measurement=injected_before,
+        ejected_after_measurement=ejected_after,
+        injected_after_measurement=injected_after,
+        total_cycles=total_cycles,
+        cycles_executed=total_cycles,
+    )
+
+
+class ActiveSetEngine:
+    """Event-scheduled cycle loop that skips idle components.
+
+    See the module docstring for the invariants that make the skipping
+    observationally equivalent to the legacy dense loop.  An engine
+    instance is single-use: create one per :meth:`run` call.
+    """
+
+    def __init__(self, network: Network, config: SimulationConfig) -> None:
+        self._network = network
+        self._config = config
+        self.stats = EngineStats()
+
+    def run(self) -> PhaseSnapshots:
+        """Advance the network to the end of the drain phase (or early exit)."""
+        network = self._network
+        config = self._config
+        stats = self.stats
+        warmup_end, measure_end, total_cycles = _phase_bounds(config)
+
+        endpoints = network.endpoints
+        routers = network.routers
+        channel_sinks = network.channel_sinks()
+
+        # Arrival buckets: cycle -> list of channel indices with a delivery
+        # due that cycle (one entry per sent payload; duplicates collapse at
+        # delivery time).  Channel latencies are >= 1, so a bucket is always
+        # fully populated before its cycle is processed.
+        pending: dict[int, list[int]] = {}
+
+        def _make_observer(index: int):
+            def observe(arrival: int) -> None:
+                bucket = pending.get(arrival)
+                if bucket is None:
+                    pending[arrival] = [index]
+                else:
+                    bucket.append(index)
+
+            return observe
+
+        for index, (channel, _) in enumerate(channel_sinks):
+            channel.observer = _make_observer(index)
+            # Re-schedule payloads already in flight (empty for fresh networks).
+            for arrival, _payload in channel.pending():
+                pending.setdefault(max(arrival, 0), []).append(index)
+
+        ejected_before = ejected_after = 0
+        injected_before = injected_after = 0
+
+        try:
+            cycle = 0
+            while cycle < total_cycles:
+                if cycle == warmup_end:
+                    ejected_before = network.total_ejected_flits()
+                    injected_before = _injected_total(network)
+                if cycle == measure_end:
+                    ejected_after = network.total_ejected_flits()
+                    injected_after = _injected_total(network)
+                    # From here on endpoints no longer step; if nothing is in
+                    # flight anywhere the state is final and the remaining
+                    # drain cycles are provably idle.
+                if cycle >= measure_end and not pending and not any(
+                    router.buffered_flits for router in routers
+                ):
+                    stats.early_exit_cycle = cycle
+                    break
+
+                bucket = pending.pop(cycle, None)
+                if bucket is not None:
+                    for index in sorted(set(bucket)):
+                        channel, sink = channel_sinks[index]
+                        for payload in channel.receive(cycle):
+                            sink(payload, cycle)
+                            stats.channel_deliveries += 1
+
+                if cycle < measure_end:
+                    measured_phase = cycle >= warmup_end
+                    for endpoint in endpoints:
+                        endpoint.step(cycle, measured_phase=measured_phase)
+                    stats.endpoint_steps += len(endpoints)
+
+                for router in routers:
+                    if router.buffered_flits:
+                        router.step(cycle)
+                        stats.router_steps += 1
+
+                stats.cycles_executed += 1
+                cycle += 1
+        finally:
+            for channel, _ in channel_sinks:
+                channel.observer = None
+
+        if config.drain_cycles == 0:
+            ejected_after = network.total_ejected_flits()
+            injected_after = _injected_total(network)
+
+        return PhaseSnapshots(
+            ejected_before_measurement=ejected_before,
+            injected_before_measurement=injected_before,
+            ejected_after_measurement=ejected_after,
+            injected_after_measurement=injected_after,
+            total_cycles=total_cycles,
+            cycles_executed=stats.cycles_executed,
+        )

@@ -210,6 +210,15 @@ class Network:
 
     # -- per-cycle operation --------------------------------------------------------
 
+    def channel_sinks(self) -> list[tuple[Channel, _Sink]]:
+        """The registered ``(channel, sink)`` pairs, in registration order.
+
+        The registration order is the order :meth:`deliver_channels` scans
+        the channels in; the active-set engine relies on it to replay
+        same-cycle deliveries in exactly the same sequence.
+        """
+        return list(self._channels)
+
     def deliver_channels(self, now: int) -> None:
         """Deliver every payload whose channel latency has elapsed."""
         for channel, sink in self._channels:
@@ -235,10 +244,25 @@ class Network:
         on_channels = 0
         for channel, _ in self._channels:
             # Credit channels carry integers; flit channels carry Flit objects.
-            for _, payload in list(channel._queue):  # noqa: SLF001 - introspection only
+            for payload in channel.payloads():
                 if isinstance(payload, Flit):
                     on_channels += 1
         return buffered + on_channels
+
+    def in_flight_measured_packets(self) -> int:
+        """Measured packets currently inside the network fabric.
+
+        Counts head flits of measured packets sitting in router input
+        buffers or traversing flit channels.  Packets still queued at their
+        source endpoint are *not* included; use
+        :meth:`Endpoint.in_flight_measured_packets` for those.
+        """
+        measured = sum(router.in_flight_measured_packets() for router in self.routers)
+        for channel, _ in self._channels:
+            for payload in channel.payloads():
+                if isinstance(payload, Flit) and payload.is_head and payload.packet.measured:
+                    measured += 1
+        return measured
 
     def total_created_flits(self) -> int:
         """Total flits created by all endpoints (including still-queued ones)."""

@@ -199,6 +199,16 @@ class Router:
         """Alias of :attr:`buffered_flits` (kept for statistics reporting)."""
         return self._buffered_flits
 
+    def in_flight_measured_packets(self) -> int:
+        """Measured packets whose head flit sits in one of the input buffers."""
+        measured = 0
+        for port_vcs in self._input_vcs:
+            for input_vc in port_vcs:
+                for flit in input_vc.buffer:
+                    if flit.is_head and flit.packet.measured:
+                        measured += 1
+        return measured
+
     # -- per-cycle operation -----------------------------------------------------
 
     def step(self, now: int) -> None:

@@ -1,7 +1,11 @@
-"""The cycle loop: warm-up, measurement and drain phases.
+"""The simulation driver: warm-up, measurement and drain phases.
 
-The simulator advances the network one cycle at a time.  Statistics follow
-standard network-on-chip methodology (and BookSim2's conventions):
+The simulator advances the network one cycle at a time through one of the
+cycle-loop engines of :mod:`repro.noc.engine` — the default *active-set*
+engine skips idle routers and channels and exits early once the network
+has drained; the *legacy* engine is the original dense scan.  Both are
+bit-identical under a fixed seed.  Statistics follow standard
+network-on-chip methodology (and BookSim2's conventions):
 
 * packets created during the *warm-up* phase populate the network but are
   not measured,
@@ -20,10 +24,11 @@ from dataclasses import dataclass
 
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import ActiveSetEngine, EngineStats, run_legacy_loop
 from repro.noc.network import Network
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.noc.traffic import TrafficPattern, make_traffic_pattern
-from repro.utils.validation import check_fraction
+from repro.utils.validation import check_fraction, check_in_choices
 
 
 @dataclass(frozen=True)
@@ -97,6 +102,9 @@ class NocSimulator:
             injection_rate=injection_rate,
         )
         self._injection_rate = injection_rate
+        #: Instrumentation of the last active-set run (``None`` before the
+        #: first run and after legacy runs).
+        self.last_engine_stats: EngineStats | None = None
 
     @property
     def network(self) -> Network:
@@ -110,49 +118,31 @@ class NocSimulator:
 
     # -- running -------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute warm-up, measurement and drain, then summarise the statistics."""
-        config = self._config
-        network = self._network
+    def run(self, *, engine: str = "active") -> SimulationResult:
+        """Execute warm-up, measurement and drain, then summarise the statistics.
 
-        warmup_end = config.warmup_cycles
-        measure_end = warmup_end + config.measurement_cycles
-        total_cycles = measure_end + config.drain_cycles
-
-        ejected_before_measurement = 0
-        ejected_after_measurement = 0
-        injected_before_measurement = 0
-        injected_after_measurement = 0
-
-        for cycle in range(total_cycles):
-            if cycle == warmup_end:
-                ejected_before_measurement = network.total_ejected_flits()
-                injected_before_measurement = sum(
-                    e.injected_flits for e in network.endpoints
-                )
-            if cycle == measure_end:
-                ejected_after_measurement = network.total_ejected_flits()
-                injected_after_measurement = sum(
-                    e.injected_flits for e in network.endpoints
-                )
-
-            measured_phase = warmup_end <= cycle < measure_end
-            network.deliver_channels(cycle)
-            # During the drain phase the sources stop creating new packets so
-            # that in-flight measured packets can reach their destinations.
-            if cycle < measure_end:
-                network.step_endpoints(cycle, measured_phase=measured_phase)
-            network.step_routers(cycle)
-
-        if config.drain_cycles == 0:
-            ejected_after_measurement = network.total_ejected_flits()
-            injected_after_measurement = sum(e.injected_flits for e in network.endpoints)
+        Parameters
+        ----------
+        engine:
+            ``"active"`` (default) uses the active-set fast path of
+            :mod:`repro.noc.engine`; ``"legacy"`` uses the original dense
+            cycle loop.  Both produce bit-identical results under a fixed
+            seed — the legacy engine remains available as the reference for
+            the equivalence test suite.
+        """
+        check_in_choices("engine", engine, ("active", "legacy"))
+        if engine == "legacy":
+            self.last_engine_stats = None
+            snapshots = run_legacy_loop(self._network, self._config)
+        else:
+            active = ActiveSetEngine(self._network, self._config)
+            snapshots = active.run()
+            self.last_engine_stats = active.stats
 
         return self._collect_results(
-            total_cycles,
-            ejected_during_measurement=ejected_after_measurement - ejected_before_measurement,
-            injected_during_measurement=injected_after_measurement
-            - injected_before_measurement,
+            snapshots.total_cycles,
+            ejected_during_measurement=snapshots.ejected_during_measurement,
+            injected_during_measurement=snapshots.injected_during_measurement,
         )
 
     # -- statistics ---------------------------------------------------------------------
@@ -218,11 +208,10 @@ class NocSimulator:
 
         Created packets are only tracked per endpoint as a total count, so
         the measured subset is recovered from the packets that carry the
-        ``measured`` flag: those still in flight sit in source queues or
-        network buffers and those delivered sit in ``ejected_packets``.
-        Because the flag is assigned at creation time, counting flagged
-        packets among all created ones requires walking the source queues,
-        which is cheap at the end of a run.
+        ``measured`` flag: delivered ones sit in ``ejected_packets``,
+        undelivered ones are reported by the in-flight accessors of the
+        endpoints (source queues) and the network (router buffers and
+        channels).
         """
         network = self._network
         measured = 0
@@ -230,22 +219,5 @@ class NocSimulator:
             for packet in endpoint.ejected_packets:
                 if packet.measured:
                     measured += 1
-            for packet in endpoint._source_queue:  # noqa: SLF001 - end-of-run introspection
-                if packet.measured:
-                    measured += 1
-            for flit in endpoint._pending_flits:  # noqa: SLF001 - end-of-run introspection
-                if flit.is_head and flit.packet.measured:
-                    measured += 1
-        # Packets in flight inside the network are neither queued nor ejected;
-        # count them through the routers' buffers (head flits only).
-        for router in network.routers:
-            for port_vcs in router._input_vcs:  # noqa: SLF001 - end-of-run introspection
-                for input_vc in port_vcs:
-                    for flit in input_vc.buffer:
-                        if flit.is_head and flit.packet.measured:
-                            measured += 1
-        for channel, _ in network._channels:  # noqa: SLF001 - end-of-run introspection
-            for _, payload in channel._queue:  # noqa: SLF001
-                if hasattr(payload, "is_head") and payload.is_head and payload.packet.measured:
-                    measured += 1
-        return measured
+            measured += endpoint.in_flight_measured_packets()
+        return measured + network.in_flight_measured_packets()

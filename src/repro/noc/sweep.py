@@ -93,14 +93,47 @@ def run_injection_sweep(
     *,
     rates: Sequence[float] | None = None,
     traffic: TrafficPattern | str = "uniform",
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> InjectionSweepResult:
-    """Simulate the network at a sequence of offered loads."""
+    """Simulate the network at a sequence of offered loads.
+
+    With ``jobs > 1`` the offered loads are fanned across worker processes
+    through :class:`repro.core.parallel.ParallelSweepRunner` (every rate
+    runs with the configured base seed, so the curve is identical to a
+    serial sweep).  ``cache_dir`` enables the on-disk result cache.  A
+    :class:`TrafficPattern` *instance* forces the serial path because only
+    pattern names can be shipped to workers.
+    """
     if config is None:
         config = SimulationConfig()
     if rates is None:
         rates = (0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
     for rate in rates:
         check_fraction("injection rate", rate)
+    parallelizable = isinstance(traffic, str) and (jobs > 1 or cache_dir is not None)
+    if parallelizable:
+        # Imported lazily: repro.core imports the noc package at module load.
+        from repro.core.parallel import ParallelSweepRunner, SweepCandidate
+
+        edges = tuple(sorted(tuple(sorted(edge)) for edge in graph.edges()))
+        candidates = [
+            SweepCandidate(
+                kind="custom",
+                num_chiplets=graph.num_nodes,
+                injection_rate=rate,
+                traffic=traffic,
+                graph_edges=edges,
+            )
+            for rate in rates
+        ]
+        runner = ParallelSweepRunner(
+            config, jobs=jobs, cache_dir=cache_dir, derive_seeds=False
+        )
+        records = runner.run(candidates)
+        return InjectionSweepResult(
+            rates=tuple(rates), results=tuple(record.result for record in records)
+        )
     results = tuple(_simulate(graph, config, rate, traffic) for rate in rates)
     return InjectionSweepResult(rates=tuple(rates), results=results)
 

@@ -151,6 +151,11 @@ _PATTERN_FACTORIES = {
 }
 
 
+def available_traffic_patterns() -> tuple[str, ...]:
+    """Names of every registered traffic pattern, sorted alphabetically."""
+    return tuple(sorted(_PATTERN_FACTORIES))
+
+
 def make_traffic_pattern(name: str, num_endpoints: int, **kwargs) -> TrafficPattern:
     """Create a traffic pattern by name (``"uniform"``, ``"hotspot"``, ...)."""
     key = name.lower()

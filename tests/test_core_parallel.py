@@ -1,0 +1,165 @@
+"""The parallel sweep runner: determinism, caching, progress and ordering."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.parallel import (
+    ParallelSweepRunner,
+    SweepCandidate,
+    SweepRecord,
+    default_chunk_size,
+    derive_candidate_seed,
+    parallel_map,
+    simulation_result_from_dict,
+    simulation_result_to_dict,
+)
+from repro.noc.config import SimulationConfig
+
+FAST_CONFIG = SimulationConfig(
+    warmup_cycles=40, measurement_cycles=80, drain_cycles=160
+)
+
+GRID = ParallelSweepRunner.grid(
+    ["grid", "hexamesh"], [7, 9], [0.05, 0.3], ["uniform"]
+)
+
+
+def _square(item):
+    return item * item
+
+
+class TestParallelMap:
+    def test_inline_matches_parallel(self):
+        items = list(range(23))
+        assert parallel_map(_square, items) == parallel_map(_square, items, jobs=4)
+
+    def test_order_is_preserved(self):
+        items = list(range(50))
+        assert parallel_map(_square, items, jobs=3, chunk_size=7) == [
+            value * value for value in items
+        ]
+
+    def test_progress_reports_every_item(self):
+        events = []
+        parallel_map(_square, range(10), jobs=2, chunk_size=2,
+                     progress=lambda done, total, value: events.append((done, total)))
+        assert len(events) == 10
+        assert events[-1] == (10, 10)
+        assert [done for done, _ in events] == sorted(done for done, _ in events)
+
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], jobs=0)
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(100, 4) == 6
+        assert default_chunk_size(3, 8) == 1
+
+
+class TestSeeding:
+    def test_seeds_are_deterministic(self):
+        candidate = GRID[0]
+        assert derive_candidate_seed(1, candidate) == derive_candidate_seed(1, candidate)
+
+    def test_seeds_depend_on_candidate_and_base(self):
+        seeds = {derive_candidate_seed(1, candidate) for candidate in GRID}
+        assert len(seeds) == len(GRID)
+        assert derive_candidate_seed(1, GRID[0]) != derive_candidate_seed(2, GRID[0])
+
+    def test_seeds_are_positive(self):
+        for candidate in GRID:
+            assert derive_candidate_seed(1, candidate) > 0
+
+
+class TestSweepRunner:
+    def test_jobs_1_equals_jobs_4(self):
+        serial = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(GRID)
+        parallel = ParallelSweepRunner(FAST_CONFIG, jobs=4).run(GRID)
+        assert serial == parallel
+
+    def test_records_preserve_candidate_order(self):
+        records = ParallelSweepRunner(FAST_CONFIG, jobs=2).run(GRID)
+        assert [record.candidate for record in records] == GRID
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = tmp_path / "sweep-cache"
+        first = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=cache).run(GRID)
+        assert not any(record.from_cache for record in first)
+        second = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=cache).run(GRID)
+        assert all(record.from_cache for record in second)
+        for fresh, cached in zip(first, second):
+            assert fresh.result == cached.result
+            assert fresh.seed == cached.seed
+
+    def test_cache_keys_differ_per_config(self, tmp_path):
+        runner = ParallelSweepRunner(FAST_CONFIG, cache_dir=tmp_path)
+        other_config = SimulationConfig(
+            warmup_cycles=40, measurement_cycles=80, drain_cycles=160, seed=7
+        )
+        candidate = GRID[0]
+        assert runner.cache_key(candidate, FAST_CONFIG) != runner.cache_key(
+            candidate, other_config
+        )
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
+        records = runner.run(GRID[:1])
+        (entry,) = [name for name in os.listdir(tmp_path) if name.endswith(".json")]
+        with open(tmp_path / entry, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        again = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path).run(GRID[:1])
+        assert not again[0].from_cache
+        assert again[0].result == records[0].result
+
+    def test_progress_callback_sees_every_record(self):
+        events = []
+        ParallelSweepRunner(FAST_CONFIG, jobs=2).run(
+            GRID,
+            progress=lambda done, total, record: events.append((done, total, record)),
+        )
+        assert len(events) == len(GRID)
+        assert events[-1][0] == len(GRID)
+        assert all(isinstance(record, SweepRecord) for _, _, record in events)
+
+    def test_fixed_seed_mode(self):
+        runner = ParallelSweepRunner(FAST_CONFIG, derive_seeds=False)
+        records = runner.run(GRID[:2])
+        assert {record.seed for record in records} == {FAST_CONFIG.seed}
+
+    def test_custom_graph_candidates(self):
+        edges = ((0, 1), (1, 2), (2, 3), (3, 0))
+        candidate = SweepCandidate(
+            kind="custom",
+            num_chiplets=4,
+            injection_rate=0.1,
+            graph_edges=edges,
+        )
+        (record,) = ParallelSweepRunner(FAST_CONFIG).run([candidate])
+        assert record.result.num_routers == 4
+        assert record.result.measured_packets_created > 0
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            SweepCandidate(kind="grid", num_chiplets=0, injection_rate=0.1)
+        with pytest.raises(ValueError):
+            SweepCandidate(kind="grid", num_chiplets=4, injection_rate=1.5)
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_every_field(self):
+        (record,) = ParallelSweepRunner(FAST_CONFIG).run(GRID[:1])
+        data = json.loads(json.dumps(simulation_result_to_dict(record.result)))
+        assert simulation_result_from_dict(data) == record.result
+
+    def test_nan_latencies_survive_round_trip(self):
+        # A zero-injection run produces empty (NaN) latency statistics.
+        candidate = SweepCandidate(kind="grid", num_chiplets=4, injection_rate=0.0)
+        (record,) = ParallelSweepRunner(FAST_CONFIG).run([candidate])
+        data = json.loads(json.dumps(simulation_result_to_dict(record.result)))
+        rebuilt = simulation_result_from_dict(data)
+        assert rebuilt.measured_packets_created == 0
+        assert rebuilt.throughput == record.result.throughput

@@ -1,0 +1,138 @@
+"""Determinism and equivalence of the cycle-loop engines.
+
+The active-set engine must be a pure optimisation: under a fixed seed it
+produces bit-identical :class:`SimulationResult`s to the legacy dense
+loop, across arrangements, injection rates and traffic patterns, while
+actually skipping idle work (which the engine's instrumentation counters
+expose).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.noc.config import SimulationConfig
+from repro.noc.engine import ActiveSetEngine, PhaseSnapshots, run_legacy_loop
+from repro.noc.network import Network
+from repro.noc.simulator import NocSimulator
+
+FAST_CONFIG = SimulationConfig(
+    warmup_cycles=60, measurement_cycles=120, drain_cycles=300
+)
+
+EQUIVALENCE_GRID = [
+    (kind, count, rate, traffic)
+    for kind, count in [("grid", 9), ("brickwall", 9), ("honeycomb", 7), ("hexamesh", 7)]
+    for rate in (0.05, 0.5)
+    for traffic in ("uniform", "tornado")
+]
+
+
+def _result(kind, count, rate, traffic, engine, config=FAST_CONFIG):
+    graph = make_arrangement(kind, count).graph
+    simulator = NocSimulator(graph, config, injection_rate=rate, traffic=traffic)
+    return simulator, simulator.run(engine=engine)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("kind,count,rate,traffic", EQUIVALENCE_GRID)
+    def test_bit_identical_results(self, kind, count, rate, traffic):
+        _, legacy = _result(kind, count, rate, traffic, "legacy")
+        _, active = _result(kind, count, rate, traffic, "active")
+        # Frozen dataclasses compare field by field, nested statistics
+        # included — this is the bit-identical contract of the engines.
+        assert legacy == active
+
+    def test_identical_across_repeated_runs(self):
+        _, first = _result("hexamesh", 7, 0.1, "uniform", "active")
+        _, second = _result("hexamesh", 7, 0.1, "uniform", "active")
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        graph = make_arrangement("grid", 9).graph
+        base = NocSimulator(graph, FAST_CONFIG, injection_rate=0.2).run()
+        other_config = SimulationConfig(
+            warmup_cycles=60, measurement_cycles=120, drain_cycles=300, seed=99
+        )
+        other = NocSimulator(graph, other_config, injection_rate=0.2).run()
+        assert base != other
+
+    def test_zero_drain_equivalence(self):
+        config = SimulationConfig(
+            warmup_cycles=60, measurement_cycles=120, drain_cycles=0
+        )
+        _, legacy = _result("grid", 9, 0.3, "uniform", "legacy", config)
+        _, active = _result("grid", 9, 0.3, "uniform", "active", config)
+        assert legacy == active
+
+    def test_zero_injection_equivalence(self):
+        _, legacy = _result("grid", 9, 0.0, "uniform", "legacy")
+        _, active = _result("grid", 9, 0.0, "uniform", "active")
+        # Latency statistics are all-NaN with no measured packets (and
+        # NaN != NaN), so compare the discrete fields directly.
+        assert legacy.throughput == active.throughput
+        assert legacy.cycles_simulated == active.cycles_simulated
+        assert legacy.measured_packets_created == active.measured_packets_created == 0
+        assert legacy.measured_packets_ejected == active.measured_packets_ejected == 0
+        assert legacy.packet_latency.is_empty and active.packet_latency.is_empty
+
+
+class TestActiveSetFastPath:
+    def test_early_exit_when_drained(self):
+        simulator, result = _result("grid", 9, 0.05, "uniform", "active")
+        stats = simulator.last_engine_stats
+        assert stats is not None
+        # At 5% load the network drains long before the configured horizon.
+        assert stats.early_exit_cycle is not None
+        assert stats.cycles_executed < result.cycles_simulated
+        # The reported horizon stays the configured one regardless.
+        total = (
+            FAST_CONFIG.warmup_cycles
+            + FAST_CONFIG.measurement_cycles
+            + FAST_CONFIG.drain_cycles
+        )
+        assert result.cycles_simulated == total
+
+    def test_router_steps_are_skipped_when_idle(self):
+        simulator, _ = _result("grid", 9, 0.05, "uniform", "active")
+        stats = simulator.last_engine_stats
+        dense_router_steps = stats.cycles_executed * 9
+        assert stats.router_steps < dense_router_steps
+
+    def test_endpoint_steps_match_generation_phases(self):
+        simulator, _ = _result("grid", 9, 0.05, "uniform", "active")
+        stats = simulator.last_engine_stats
+        num_endpoints = simulator.network.num_endpoints
+        generation_cycles = FAST_CONFIG.warmup_cycles + FAST_CONFIG.measurement_cycles
+        # Endpoints step densely through warm-up + measurement (the RNG
+        # contract) and never during the drain.
+        assert stats.endpoint_steps == generation_cycles * num_endpoints
+
+    def test_observers_are_detached_after_run(self):
+        simulator, _ = _result("grid", 9, 0.1, "uniform", "active")
+        for channel, _ in simulator.network.channel_sinks():
+            assert channel.observer is None
+
+    def test_legacy_loop_returns_full_horizon_snapshots(self):
+        graph = make_arrangement("grid", 9).graph
+        network = Network(graph, FAST_CONFIG, injection_rate=0.1)
+        snapshots = run_legacy_loop(network, FAST_CONFIG)
+        assert isinstance(snapshots, PhaseSnapshots)
+        assert snapshots.cycles_executed == snapshots.total_cycles
+
+    def test_engine_snapshot_counters_match_legacy(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        legacy_net = Network(graph, FAST_CONFIG, injection_rate=0.3)
+        legacy = run_legacy_loop(legacy_net, FAST_CONFIG)
+        active_net = Network(graph, FAST_CONFIG, injection_rate=0.3)
+        active = ActiveSetEngine(active_net, FAST_CONFIG).run()
+        assert legacy.ejected_during_measurement == active.ejected_during_measurement
+        assert legacy.injected_during_measurement == active.injected_during_measurement
+        assert legacy.total_cycles == active.total_cycles
+
+    def test_invalid_engine_name_rejected(self):
+        graph = make_arrangement("grid", 4).graph
+        simulator = NocSimulator(graph, FAST_CONFIG, injection_rate=0.1)
+        with pytest.raises(ValueError):
+            simulator.run(engine="warp-speed")

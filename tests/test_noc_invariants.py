@@ -1,0 +1,91 @@
+"""Flit-conservation invariants across arrangements, traffic and engines.
+
+For every arrangement kind and every registered traffic pattern, and for
+both cycle-loop engines, the network must account for every flit it ever
+created: ``created == ejected + in-flight + source-queued`` at the end of
+a run, and the measured-packet bookkeeping of the simulator must agree
+with the per-component accessors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator
+from repro.noc.traffic import available_traffic_patterns
+
+#: One representative chiplet count per arrangement family (small enough
+#: to keep the full kind x traffic x engine grid fast).
+KIND_SIZES = [("grid", 9), ("brickwall", 9), ("honeycomb", 7), ("hexamesh", 7)]
+
+FAST_CONFIG = SimulationConfig(
+    warmup_cycles=40, measurement_cycles=80, drain_cycles=200
+)
+
+
+def _run(kind: str, count: int, traffic: str, engine: str):
+    graph = make_arrangement(kind, count).graph
+    simulator = NocSimulator(
+        graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic
+    )
+    result = simulator.run(engine=engine)
+    return simulator, result
+
+
+@pytest.mark.parametrize("engine", ["legacy", "active"])
+@pytest.mark.parametrize("traffic", available_traffic_patterns())
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_flit_conservation(kind, count, traffic, engine):
+    simulator, result = _run(kind, count, traffic, engine)
+    network = simulator.network
+
+    # No flit lost or duplicated anywhere in the fabric.
+    network.verify_flit_conservation()
+
+    created = network.total_created_flits()
+    accounted = (
+        network.total_ejected_flits()
+        + network.flits_in_flight()
+        + network.total_source_queued_flits()
+    )
+    assert created == accounted
+
+    # The run produced traffic at all (guards against a silently dead net).
+    assert created > 0
+    assert result.measured_packets_created > 0
+
+
+@pytest.mark.parametrize("engine", ["legacy", "active"])
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_measured_packet_accounting(kind, count, engine):
+    """created(measured) == ejected(measured) + in-flight(measured)."""
+    simulator, result = _run(kind, count, "uniform", engine)
+    network = simulator.network
+
+    ejected_measured = sum(
+        1
+        for endpoint in network.endpoints
+        for packet in endpoint.ejected_packets
+        if packet.measured
+    )
+    at_sources = sum(
+        endpoint.in_flight_measured_packets() for endpoint in network.endpoints
+    )
+    in_network = network.in_flight_measured_packets()
+
+    assert result.measured_packets_ejected == ejected_measured
+    assert result.measured_packets_created == ejected_measured + at_sources + in_network
+    assert 0 <= result.measured_delivery_ratio <= 1.0
+
+
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_component_accessors_are_nonnegative_and_consistent(kind, count):
+    simulator, _ = _run(kind, count, "uniform", "active")
+    network = simulator.network
+    router_total = sum(r.in_flight_measured_packets() for r in network.routers)
+    assert router_total >= 0
+    # The network total includes the router buffers plus the channels, so it
+    # can never be smaller than the router-only count.
+    assert network.in_flight_measured_packets() >= router_total

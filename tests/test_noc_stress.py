@@ -14,6 +14,8 @@ from repro.arrangements.factory import make_arrangement
 from repro.noc.config import SimulationConfig
 from repro.noc.simulator import NocSimulator
 
+pytestmark = pytest.mark.slow
+
 
 def _config(**overrides):
     defaults = dict(warmup_cycles=100, measurement_cycles=400, drain_cycles=400)

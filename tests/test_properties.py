@@ -7,6 +7,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.arrangements.factory import available_regularities, make_arrangement
+from repro.core.explorer import DesignSpaceExplorer, ExplorationRecord
 from repro.geometry.adjacency import shared_edges
 from repro.graphs.analytical import bisection_bandwidth_formula, diameter_formula
 from repro.graphs.metrics import (
@@ -26,6 +27,7 @@ from repro.utils.mathutils import hexamesh_chiplet_count, is_hexamesh_count
 # Hypothesis strategies shared by several properties.
 chiplet_counts = st.integers(min_value=2, max_value=60)
 arrangement_kinds = st.sampled_from(["grid", "brickwall", "hexamesh"])
+all_arrangement_kinds = st.sampled_from(["grid", "brickwall", "honeycomb", "hexamesh"])
 areas = st.floats(min_value=0.5, max_value=900.0, allow_nan=False, allow_infinity=False)
 power_fractions = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
 
@@ -87,6 +89,114 @@ class TestArrangementProperties:
         hexamesh = make_arrangement("hexamesh", count)
         grid = make_arrangement("grid", count)
         assert diameter(hexamesh.graph) <= diameter(grid.graph)
+
+
+class TestGeneratorProperties:
+    """Structural invariants of every catalog arrangement generator."""
+
+    @_SETTINGS
+    @given(kind=all_arrangement_kinds, count=chiplet_counts)
+    def test_node_count_and_ids(self, kind, count):
+        graph = make_arrangement(kind, count).graph
+        assert graph.num_nodes == count
+        assert sorted(graph.nodes()) == list(range(count))
+
+    @_SETTINGS
+    @given(kind=all_arrangement_kinds, count=chiplet_counts)
+    def test_connectivity(self, kind, count):
+        assert is_connected(make_arrangement(kind, count).graph)
+
+    @_SETTINGS
+    @given(kind=all_arrangement_kinds, count=chiplet_counts)
+    def test_symmetric_adjacency(self, kind, count):
+        graph = make_arrangement(kind, count).graph
+        for first, second in graph.edges():
+            assert second in graph.neighbors(first)
+            assert first in graph.neighbors(second)
+            assert first != second
+
+
+def _pareto_records(metrics: list[tuple[float, float]]) -> list[ExplorationRecord]:
+    """Records with prescribed (latency, throughput) values.
+
+    ``pareto_front`` only touches the metric fields, so the design facade
+    can stay unset; diameter / bisection are filler.
+    """
+    return [
+        ExplorationRecord(
+            design=None,
+            zero_load_latency_cycles=latency,
+            saturation_throughput_tbps=throughput,
+            diameter=1,
+            bisection_bandwidth=1.0,
+        )
+        for latency, throughput in metrics
+    ]
+
+
+def _dominates(other: ExplorationRecord, candidate: ExplorationRecord) -> bool:
+    return (
+        other.zero_load_latency_cycles <= candidate.zero_load_latency_cycles
+        and other.saturation_throughput_tbps >= candidate.saturation_throughput_tbps
+        and (
+            other.zero_load_latency_cycles < candidate.zero_load_latency_cycles
+            or other.saturation_throughput_tbps > candidate.saturation_throughput_tbps
+        )
+    )
+
+
+metric_pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.1, max_value=1e3, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestParetoFrontProperties:
+    @_SETTINGS
+    @given(metrics=metric_pairs)
+    def test_front_is_subset_of_records(self, metrics):
+        explorer = DesignSpaceExplorer(kinds=["grid"])
+        explorer._records = _pareto_records(metrics)
+        front = explorer.pareto_front()
+        assert set(map(id, front)) <= set(map(id, explorer._records))
+
+    @_SETTINGS
+    @given(metrics=metric_pairs)
+    def test_no_front_member_is_dominated(self, metrics):
+        explorer = DesignSpaceExplorer(kinds=["grid"])
+        explorer._records = _pareto_records(metrics)
+        for member in explorer.pareto_front():
+            assert not any(
+                _dominates(other, member)
+                for other in explorer._records
+                if other is not member
+            )
+
+    @_SETTINGS
+    @given(metrics=metric_pairs)
+    def test_every_excluded_record_is_dominated(self, metrics):
+        explorer = DesignSpaceExplorer(kinds=["grid"])
+        explorer._records = _pareto_records(metrics)
+        front_ids = set(map(id, explorer.pareto_front()))
+        for record in explorer._records:
+            if id(record) not in front_ids:
+                assert any(
+                    _dominates(other, record)
+                    for other in explorer._records
+                    if other is not record
+                )
+
+    @_SETTINGS
+    @given(metrics=metric_pairs)
+    def test_front_is_sorted_by_latency(self, metrics):
+        explorer = DesignSpaceExplorer(kinds=["grid"])
+        explorer._records = _pareto_records(metrics)
+        latencies = [r.zero_load_latency_cycles for r in explorer.pareto_front()]
+        assert latencies == sorted(latencies)
 
 
 class TestGraphMetricProperties:
