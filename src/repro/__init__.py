@@ -15,6 +15,8 @@ It provides:
   BookSim2 (:mod:`repro.noc`) plus fast analytical performance models
   (:mod:`repro.perfmodel`),
 * a manufacturing cost extension (:mod:`repro.cost`),
+* application workloads — task graphs, chiplet mappers and trace-driven
+  traffic for the simulator (:mod:`repro.workloads`),
 * experiment runners that regenerate every figure of the paper's evaluation
   (:mod:`repro.evaluation`), and
 * a high-level design API (:mod:`repro.core`).
@@ -42,8 +44,16 @@ from repro.linkmodel import (
     EvaluationParameters,
     LinkParameters,
 )
+from repro.workloads import (
+    TaskGraph,
+    TraceTraffic,
+    WorkloadMapping,
+    make_workload,
+    map_workload,
+    simulate_workload,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Arrangement",
@@ -57,6 +67,12 @@ __all__ = [
     "EvaluationParameters",
     "LinkParameters",
     "Regularity",
+    "TaskGraph",
+    "TraceTraffic",
+    "WorkloadMapping",
     "make_arrangement",
+    "make_workload",
+    "map_workload",
+    "simulate_workload",
     "__version__",
 ]

@@ -11,6 +11,9 @@ Installed as the ``hexamesh`` console script (also reachable with
 * ``sweep``     — parallel cycle-accurate sweep over the full design grid
   (kinds × chiplet counts × injection rates × traffic patterns) with
   ``--jobs`` workers and an optional ``--cache-dir`` result cache,
+* ``workload``  — map application task graphs (DNN pipelines, fork-join,
+  stencil, all-reduce, client-server) onto arrangements and run the
+  trace-driven cycle-accurate simulator, reporting application metrics,
 * ``export``    — write BookSim2 input files and/or an SVG top view,
 * ``feasibility`` — check link-length / package feasibility.
 """
@@ -23,7 +26,11 @@ from typing import Sequence
 
 from repro.arrangements.factory import make_arrangement
 from repro.core.design import ChipletDesign
-from repro.core.parallel import ParallelSweepRunner
+from repro.core.parallel import (
+    ParallelSweepRunner,
+    parallel_map,
+    resolve_workload_candidate,
+)
 from repro.core.report import compare_designs
 from repro.evaluation.performance import run_figure7
 from repro.evaluation.proxies import run_figure6
@@ -34,6 +41,8 @@ from repro.noc.config import SimulationConfig
 from repro.noc.traffic import available_traffic_patterns
 from repro.utils.validation import check_in_choices
 from repro.viz.svg import placement_svg, save_svg
+from repro.workloads import available_mappers, available_workloads, makespan_proxy_cycles
+from repro.workloads.mapping import evaluate_mapping
 
 _KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
 
@@ -119,6 +128,32 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1, help="base RNG seed")
     sweep.add_argument("--output", default=None, help="CSV output path (default: table)")
 
+    workload = subparsers.add_parser(
+        "workload",
+        help="map application task graphs onto arrangements and simulate them",
+    )
+    workload.add_argument("--kind", default="dnn-pipeline",
+                          help='comma list of workload kinds, or "all"')
+    workload.add_argument("--chiplets", default="37",
+                          help="comma list of chiplet counts")
+    workload.add_argument("--arrangement", default="hexamesh",
+                          help='comma list of arrangement kinds, or "all"')
+    workload.add_argument("--mapper", default="partition",
+                          help='comma list of mappers, or "all"')
+    workload.add_argument("--tasks", type=int, default=None,
+                          help="tasks per workload (default: the chiplet count)")
+    workload.add_argument("--injection-rate", type=float, default=0.1,
+                          help="offered load of the heaviest source endpoint")
+    workload.add_argument("--cycles", type=int, default=1000,
+                          help="measurement cycles (warm-up and drain scale with it)")
+    workload.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    workload.add_argument("--engine", choices=("active", "legacy"), default="active",
+                          help="cycle-loop engine (both are bit-identical)")
+    workload.add_argument("--jobs", type=int, default=1, help="worker processes")
+    workload.add_argument("--cache-dir", default=None,
+                          help="on-disk result cache directory")
+    workload.add_argument("--output", default=None, help="CSV output path (default: table)")
+
     export = subparsers.add_parser("export", help="write BookSim2 inputs and/or an SVG view")
     export.add_argument("kind", choices=_KINDS)
     export.add_argument("chiplets", type=int)
@@ -176,6 +211,24 @@ def _command_figure(args: argparse.Namespace) -> int:
             + figure6.bisection_experiment().to_csv()
         )
     else:
+        if args.mode == "analytical":
+            # Mirror the figure-6 path: analytical mode never simulates, so
+            # flags that only steer the cycle-accurate points are ignored.
+            ignored = [
+                flag
+                for flag, value, default in (
+                    ("--sim-points", args.sim_points, None),
+                    ("--jobs", args.jobs, 1),
+                    ("--cache-dir", args.cache_dir, None),
+                )
+                if value != default
+            ]
+            if ignored:
+                print(
+                    f"warning: {', '.join(ignored)} only apply to figure 7 "
+                    "hybrid/simulation modes; --mode analytical never simulates",
+                    file=sys.stderr,
+                )
         sim_points = None
         if args.sim_points:
             sim_points = _parse_list(args.sim_points, kind=int)
@@ -270,6 +323,90 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_static_metrics(item):
+    """Static cost columns of one workload candidate (worker-process safe).
+
+    Returns the rebuilt workload alongside its mapping cost so the
+    coordinator can derive the makespan proxy without re-running the
+    (comparatively expensive) partition mapper itself.
+    """
+    candidate, config = item
+    graph, workload, mapping, _ = resolve_workload_candidate(candidate, config)
+    return workload, evaluate_mapping(workload, mapping, graph)
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    workload_kinds = _parse_list(args.kind, kind=str, all_values=available_workloads())
+    arrangements = _parse_list(args.arrangement, kind=str, all_values=_KINDS)
+    chiplet_counts = _parse_list(args.chiplets, kind=int)
+    mappers = _parse_list(args.mapper, kind=str, all_values=available_mappers())
+    # Fail fast on typos before any simulation starts.
+    for kind in workload_kinds:
+        check_in_choices("workload kind", kind, available_workloads())
+    for arrangement in arrangements:
+        check_in_choices("arrangement", arrangement, _KINDS)
+    for mapper in mappers:
+        check_in_choices("mapper", mapper, available_mappers())
+
+    config = _phase_config(args.cycles, seed=args.seed)
+    runner = ParallelSweepRunner(
+        config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
+    )
+    candidates = ParallelSweepRunner.workload_grid(
+        arrangements,
+        chiplet_counts,
+        workload_kinds,
+        mappers,
+        injection_rates=(args.injection_rate,),
+        num_tasks=args.tasks,
+    )
+
+    def report_progress(done: int, total: int, record) -> None:
+        origin = "cache" if record.from_cache else "sim"
+        print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
+
+    records = runner.run(candidates, progress=report_progress)
+
+    header = ["arrangement", "chiplets", "workload", "mapper", "tasks",
+              "weighted hops", "max link load", "avg latency [cyc]",
+              "p99 latency [cyc]", "accepted [flit/cyc/EP]",
+              "makespan proxy [cyc]", "delivered ratio"]
+    # The static metrics are recomputed from the candidate identity (valid
+    # for cache hits too); the partition mapper dominates that cost, so
+    # fan the recomputation across the same worker pool as the sweep.
+    static_metrics = parallel_map(
+        _workload_static_metrics,
+        [(record.candidate, runner.config) for record in records],
+        jobs=args.jobs,
+    )
+    rows = []
+    for record, (workload, cost) in zip(records, static_metrics):
+        candidate = record.candidate
+        rows.append([
+            candidate.kind,
+            candidate.num_chiplets,
+            candidate.workload,
+            candidate.effective_mapper,
+            workload.num_tasks,
+            cost.weighted_hop_count,
+            cost.max_link_load,
+            round(record.result.packet_latency.mean, 3),
+            round(record.result.packet_latency.p99, 3),
+            round(record.result.accepted_flit_rate, 5),
+            round(makespan_proxy_cycles(workload, record.result), 2),
+            round(record.result.measured_delivery_ratio, 4),
+        ])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(",".join(header) + "\n")
+            for row in rows:
+                handle.write(",".join(str(value) for value in row) + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(format_table(header, rows))
+    return 0
+
+
 def _command_export(args: argparse.Namespace) -> int:
     arrangement = make_arrangement(args.kind, args.chiplets)
     wrote_something = False
@@ -322,6 +459,7 @@ _COMMANDS = {
     "figure": _command_figure,
     "simulate": _command_simulate,
     "sweep": _command_sweep,
+    "workload": _command_workload,
     "export": _command_export,
     "feasibility": _command_feasibility,
 }

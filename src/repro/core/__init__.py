@@ -12,13 +12,19 @@ actually pick an arrangement for a given product.
 """
 
 from repro.core.design import ChipletDesign
-from repro.core.explorer import DesignSpaceExplorer, ExplorationRecord
+from repro.core.explorer import (
+    DesignSpaceExplorer,
+    ExplorationRecord,
+    WorkloadExplorationRecord,
+)
 from repro.core.parallel import (
     ParallelSweepRunner,
     SweepCandidate,
     SweepRecord,
     derive_candidate_seed,
+    is_inline,
     parallel_map,
+    resolve_workload_candidate,
 )
 from repro.core.report import DesignComparison, compare_designs
 
@@ -30,7 +36,10 @@ __all__ = [
     "ParallelSweepRunner",
     "SweepCandidate",
     "SweepRecord",
+    "WorkloadExplorationRecord",
     "compare_designs",
     "derive_candidate_seed",
+    "is_inline",
     "parallel_map",
+    "resolve_workload_candidate",
 ]

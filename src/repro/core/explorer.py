@@ -14,10 +14,19 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.arrangements.base import ArrangementKind
+from repro.arrangements.factory import make_arrangement
 from repro.core.design import ChipletDesign
-from repro.core.parallel import ProgressCallback, parallel_map
+from repro.core.parallel import ProgressCallback, is_inline, parallel_map
 from repro.linkmodel.parameters import EvaluationParameters
 from repro.utils.validation import check_in_choices
+from repro.workloads import (
+    available_mappers,
+    available_workloads,
+    effective_num_tasks,
+    evaluate_mapping,
+    make_workload,
+    map_workload,
+)
 
 #: Objectives available to :meth:`DesignSpaceExplorer.rank`.  Each maps a
 #: record to a value where *smaller is better*; they read the metrics
@@ -44,6 +53,53 @@ class ExplorationRecord:
     def label(self) -> str:
         """Label of the underlying design."""
         return self.design.label
+
+
+@dataclass(frozen=True)
+class WorkloadExplorationRecord:
+    """One (arrangement, workload, mapper) candidate with its mapping cost.
+
+    The cost metrics are the static ones of
+    :func:`repro.workloads.mapping.evaluate_mapping` — no simulation is
+    involved, so whole (kind x count x workload x mapper) grids rank in
+    milliseconds; promote interesting points to the trace-driven sweep
+    (:meth:`ParallelSweepRunner.workload_grid
+    <repro.core.parallel.ParallelSweepRunner.workload_grid>`) afterwards.
+    """
+
+    kind: str
+    num_chiplets: int
+    workload: str
+    mapper: str
+    num_tasks: int
+    weighted_hop_count: float
+    max_link_load: float
+    local_traffic_fraction: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable candidate label."""
+        return f"{self.kind}-{self.num_chiplets} [{self.workload}/{self.mapper}]"
+
+
+#: Objectives for :meth:`DesignSpaceExplorer.rank_workloads` (smaller is
+#: better, matching the design-objective convention above).
+_WORKLOAD_OBJECTIVES: dict[str, Callable[[WorkloadExplorationRecord], float]] = {
+    "weighted-hops": lambda record: record.weighted_hop_count,
+    "max-link-load": lambda record: record.max_link_load,
+}
+
+
+def _evaluate_workload_candidate(
+    item: tuple[str, int, str, str, int],
+) -> tuple[float, float, float]:
+    """Static mapping cost of one workload candidate (worker-process safe)."""
+    kind_name, count, workload_kind, mapper, num_tasks = item
+    graph = make_arrangement(kind_name, count).graph
+    workload = make_workload(workload_kind, num_tasks=num_tasks)
+    mapping = map_workload(mapper, workload, graph)
+    cost = evaluate_mapping(workload, mapping, graph)
+    return cost.weighted_hop_count, cost.max_link_load, cost.local_traffic_fraction
 
 
 def _evaluate_candidate(
@@ -97,11 +153,17 @@ class DesignSpaceExplorer:
         self._parameters = parameters if parameters is not None else EvaluationParameters()
         self._jobs = jobs
         self._records: list[ExplorationRecord] = []
+        self._workload_records: list[WorkloadExplorationRecord] = []
 
     @property
     def records(self) -> list[ExplorationRecord]:
         """All records evaluated so far."""
         return list(self._records)
+
+    @property
+    def workload_records(self) -> list[WorkloadExplorationRecord]:
+        """All workload-mapping records evaluated so far."""
+        return list(self._workload_records)
 
     def evaluate(
         self,
@@ -125,9 +187,10 @@ class DesignSpaceExplorer:
             for count in chiplet_counts
             for kind in self._kinds
         ]
-        # Mirrors parallel_map's inline fallback (jobs <= 1 OR a single
-        # item), so the design is shipped exactly when no boundary exists.
-        inline = jobs <= 1 or len(grid) <= 1
+        # The design is shipped exactly when parallel_map runs inline (no
+        # process boundary) — the predicate is owned by repro.core.parallel
+        # so the two decisions cannot drift apart.
+        inline = is_inline(jobs, len(grid))
         candidates = [
             (kind_name, count, self._parameters, inline)
             for kind_name, count in grid
@@ -153,6 +216,73 @@ class DesignSpaceExplorer:
             )
         self._records.extend(new_records)
         return new_records
+
+    def evaluate_workloads(
+        self,
+        chiplet_counts: Iterable[int],
+        workloads: Sequence[str] = ("dnn-pipeline",),
+        *,
+        mappers: Sequence[str] = ("partition",),
+        num_tasks: int | None = None,
+        jobs: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> list[WorkloadExplorationRecord]:
+        """Score every (kind, count, workload, mapper) candidate statically.
+
+        Each candidate's workload is sized through
+        :func:`repro.workloads.effective_num_tasks` (the same helper the
+        trace-driven sweep grid uses, so static ranking and simulation
+        always describe identical workloads) and mapped onto the
+        arrangement; the records carry the static cost metrics and are
+        cached on the explorer for :meth:`rank_workloads`.  ``jobs > 1``
+        fans candidates across worker processes via
+        :func:`repro.core.parallel.parallel_map`.
+        """
+        jobs = self._jobs if jobs is None else jobs
+        for workload in workloads:
+            check_in_choices("workload", workload, available_workloads())
+        for mapper in mappers:
+            check_in_choices("mapper", mapper, available_mappers())
+        candidates = [
+            (
+                kind.value,
+                count,
+                workload,
+                mapper,
+                effective_num_tasks(workload, num_tasks, count),
+            )
+            for count in chiplet_counts
+            for kind in self._kinds
+            for workload in workloads
+            for mapper in mappers
+        ]
+        costs = parallel_map(
+            _evaluate_workload_candidate, candidates, jobs=jobs, progress=progress
+        )
+        new_records = [
+            WorkloadExplorationRecord(
+                kind=kind_name,
+                num_chiplets=count,
+                workload=workload,
+                mapper=mapper,
+                num_tasks=tasks,
+                weighted_hop_count=weighted_hops,
+                max_link_load=max_link,
+                local_traffic_fraction=local_fraction,
+            )
+            for (kind_name, count, workload, mapper, tasks),
+                (weighted_hops, max_link, local_fraction)
+            in zip(candidates, costs)
+        ]
+        self._workload_records.extend(new_records)
+        return new_records
+
+    def rank_workloads(
+        self, objective: str = "weighted-hops"
+    ) -> list[WorkloadExplorationRecord]:
+        """All workload records sorted from best to worst for ``objective``."""
+        check_in_choices("objective", objective, sorted(_WORKLOAD_OBJECTIVES))
+        return sorted(self._workload_records, key=_WORKLOAD_OBJECTIVES[objective])
 
     def rank(self, objective: str = "latency") -> list[ExplorationRecord]:
         """All evaluated records sorted from best to worst for ``objective``."""

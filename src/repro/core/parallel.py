@@ -43,6 +43,12 @@ from repro.noc.config import SimulationConfig
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
+from repro.workloads import (
+    effective_num_tasks,
+    make_workload,
+    map_workload,
+    trace_traffic_for,
+)
 
 #: Progress callbacks receive ``(completed, total, latest)`` where
 #: ``latest`` is the item that just finished (a :class:`SweepRecord` for
@@ -82,6 +88,18 @@ def default_chunk_size(num_items: int, jobs: int) -> int:
     return max(1, num_items // max(1, jobs * 4))
 
 
+def is_inline(jobs: int, num_items: int) -> bool:
+    """Whether :func:`parallel_map` will run inline (no worker pool).
+
+    Single-job runs and single-item grids never cross a process boundary.
+    Callers that need to know whether values will be shipped between
+    processes (e.g. the explorer deciding whether to return heavyweight
+    designs) must use this exact predicate so they cannot drift from the
+    dispatch decision below.
+    """
+    return jobs <= 1 or num_items <= 1
+
+
 def parallel_map(
     function: Callable[[Any], Any],
     items: Iterable[Any],
@@ -101,7 +119,7 @@ def parallel_map(
     work = list(items)
     total = len(work)
     check_positive_int("jobs", jobs)
-    if jobs <= 1 or total <= 1:
+    if is_inline(jobs, total):
         results: list[Any] = []
         for index, item in enumerate(work):
             value = function(item)
@@ -157,6 +175,17 @@ class SweepCandidate:
         Explicit edge list for custom topologies; when set, workers build
         the :class:`ChipGraph` directly instead of generating the
         arrangement.
+    workload:
+        Optional application-workload kind (``"dnn-pipeline"``, ...); when
+        set, the candidate runs trace-driven — ``traffic`` is ignored and
+        workers build a :class:`~repro.workloads.trace.TraceTraffic` from
+        the mapped workload instead.
+    workload_params:
+        Sorted ``(name, value)`` pairs forwarded to the workload generator
+        (``(("num_tasks", 37),)``); part of the candidate identity.
+    mapper:
+        Task-to-chiplet mapper name (defaults to ``"partition"`` when a
+        workload is set).
     """
 
     kind: str
@@ -165,22 +194,47 @@ class SweepCandidate:
     traffic: str = "uniform"
     regularity: str | None = None
     graph_edges: tuple[tuple[int, int], ...] | None = None
+    workload: str | None = None
+    workload_params: tuple[tuple[str, Any], ...] | None = None
+    mapper: str | None = None
 
     def __post_init__(self) -> None:
         check_positive_int("num_chiplets", self.num_chiplets)
         check_fraction("injection_rate", self.injection_rate)
+        if self.workload is None and (
+            self.workload_params is not None or self.mapper is not None
+        ):
+            raise ValueError(
+                "workload_params / mapper are only meaningful together with "
+                "a workload kind"
+            )
 
     @property
     def label(self) -> str:
         """Human-readable candidate label for progress reporting."""
+        if self.workload is not None:
+            return (
+                f"{self.kind}-{self.num_chiplets} "
+                f"@{self.injection_rate:g} [{self.workload}/{self.effective_mapper}]"
+            )
         return (
             f"{self.kind}-{self.num_chiplets} "
             f"@{self.injection_rate:g} [{self.traffic}]"
         )
 
+    @property
+    def effective_mapper(self) -> str:
+        """The mapper a workload candidate runs with (default: partition)."""
+        return self.mapper if self.mapper is not None else "partition"
+
     def key_dict(self) -> dict[str, Any]:
-        """Canonical JSON-able identity used for seeding and cache keys."""
-        return {
+        """Canonical JSON-able identity used for seeding and cache keys.
+
+        Workload fields join the identity only when a workload is set, so
+        the keys (and hence the derived seeds and cache entries) of plain
+        synthetic-traffic candidates are unchanged from earlier versions.
+        """
+        key = {
             "kind": self.kind,
             "num_chiplets": self.num_chiplets,
             "injection_rate": repr(self.injection_rate),
@@ -190,6 +244,15 @@ class SweepCandidate:
             if self.graph_edges is not None
             else None,
         }
+        if self.workload is not None:
+            key["workload"] = self.workload
+            key["workload_params"] = (
+                [[name, value] for name, value in self.workload_params]
+                if self.workload_params is not None
+                else None
+            )
+            key["mapper"] = self.effective_mapper
+        return key
 
     def build_graph(self) -> ChipGraph:
         """Materialise the candidate's topology graph."""
@@ -266,11 +329,40 @@ def simulation_result_from_dict(data: dict[str, Any]) -> SimulationResult:
 # ---------------------------------------------------------------------------
 
 
+def resolve_workload_candidate(candidate: SweepCandidate, config: SimulationConfig):
+    """Materialise the trace-driven setup of a workload candidate.
+
+    Returns ``(graph, workload, mapping, traffic)``; deterministic for a
+    given candidate identity, so workers and the coordinating process
+    always agree on the trace.  Raises :class:`ValueError` for candidates
+    without a workload.
+    """
+    if candidate.workload is None:
+        raise ValueError(f"candidate {candidate.label!r} has no workload")
+    graph = candidate.build_graph()
+    params = dict(candidate.workload_params or ())
+    workload = make_workload(candidate.workload, **params)
+    mapping = map_workload(candidate.effective_mapper, workload, graph)
+    traffic = trace_traffic_for(
+        workload, mapping, endpoints_per_chiplet=config.endpoints_per_chiplet
+    )
+    return graph, workload, mapping, traffic
+
+
 def _evaluate_work_item(
     item: tuple[int, SweepCandidate, SimulationConfig, str],
 ) -> tuple[int, SimulationResult]:
     """Simulate one candidate (runs inside a worker process)."""
     index, candidate, config, engine = item
+    if candidate.workload is not None:
+        graph, _, _, traffic = resolve_workload_candidate(candidate, config)
+        simulator = NocSimulator(
+            graph,
+            config,
+            injection_rate=candidate.injection_rate,
+            traffic=traffic,
+        )
+        return index, simulator.run(engine=engine)
     simulator = NocSimulator(
         candidate.build_graph(),
         config,
@@ -364,6 +456,42 @@ class ParallelSweepRunner:
             for kind in kinds
             for rate in injection_rates
             for traffic in traffics
+        ]
+
+    @staticmethod
+    def workload_grid(
+        kinds: Sequence[str],
+        chiplet_counts: Iterable[int],
+        workloads: Sequence[str],
+        mappers: Sequence[str] = ("partition",),
+        *,
+        injection_rates: Iterable[float] = (0.1,),
+        num_tasks: int | None = None,
+    ) -> list[SweepCandidate]:
+        """The trace-driven candidate grid: (arrangement x count x workload x mapper).
+
+        ``num_tasks`` sizes every workload through
+        :func:`repro.workloads.effective_num_tasks`: ``None`` scales each
+        workload with its candidate's chiplet count (about one task per
+        chiplet), while an explicit value below a generator's minimum
+        fails fast at grid construction.
+        """
+        return [
+            SweepCandidate(
+                kind=kind,
+                num_chiplets=count,
+                injection_rate=rate,
+                workload=workload,
+                workload_params=(
+                    ("num_tasks", effective_num_tasks(workload, num_tasks, count)),
+                ),
+                mapper=mapper,
+            )
+            for count in chiplet_counts
+            for kind in kinds
+            for workload in workloads
+            for mapper in mappers
+            for rate in injection_rates
         ]
 
     # -- cache ---------------------------------------------------------------

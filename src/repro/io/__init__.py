@@ -1,7 +1,7 @@
 """Serialisation and interoperability.
 
-* :mod:`repro.io.serialization` — JSON round-trips of arrangements and
-  design summaries,
+* :mod:`repro.io.serialization` — JSON round-trips of arrangements,
+  design summaries and workload task graphs,
 * :mod:`repro.io.booksim_export` — export of an arrangement as BookSim2
   ``anynet`` topology and configuration files, so the original simulator
   used by the paper can be run on exactly the topologies generated here,
@@ -15,7 +15,11 @@ from repro.io.serialization import (
     arrangement_to_dict,
     design_to_dict,
     load_arrangement_json,
+    load_workload_json,
     save_arrangement_json,
+    save_workload_json,
+    workload_from_dict,
+    workload_to_dict,
 )
 
 __all__ = [
@@ -25,7 +29,11 @@ __all__ = [
     "booksim_config_file",
     "design_to_dict",
     "load_arrangement_json",
+    "load_workload_json",
     "read_series_csv",
     "save_arrangement_json",
+    "save_workload_json",
+    "workload_from_dict",
+    "workload_to_dict",
     "write_series_csv",
 ]

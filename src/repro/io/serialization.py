@@ -1,4 +1,4 @@
-"""JSON (de)serialisation of arrangements and design summaries."""
+"""JSON (de)serialisation of arrangements, design summaries and workloads."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ from repro.core.design import ChipletDesign
 from repro.geometry.placement import ChipletPlacement, PlacedChiplet
 from repro.geometry.primitives import Rect
 from repro.graphs.model import ChipGraph
+from repro.workloads.taskgraph import TaskGraph
 
 
 def arrangement_to_dict(arrangement: Arrangement) -> dict[str, Any]:
@@ -103,6 +104,60 @@ def load_arrangement_json(path: str) -> Arrangement:
     """Load an arrangement from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
         return arrangement_from_dict(json.load(handle))
+
+
+def workload_to_dict(workload: TaskGraph) -> dict[str, Any]:
+    """Convert a task graph into a JSON-serialisable dictionary."""
+    return {
+        "name": workload.name,
+        "tasks": [
+            {
+                "task_id": task.task_id,
+                "name": task.name,
+                "compute_weight": task.compute_weight,
+            }
+            for task in workload.tasks()
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "destination": edge.destination,
+                "traffic_flits": edge.traffic_flits,
+            }
+            for edge in workload.edges()
+        ],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> TaskGraph:
+    """Rebuild a task graph from :func:`workload_to_dict` output."""
+    workload = TaskGraph(str(data.get("name", "workload")))
+    for entry in data["tasks"]:
+        workload.add_task(
+            int(entry["task_id"]),
+            name=str(entry.get("name", "")),
+            compute_weight=float(entry.get("compute_weight", 1.0)),
+        )
+    for entry in data["edges"]:
+        workload.add_edge(
+            int(entry["source"]),
+            int(entry["destination"]),
+            int(entry.get("traffic_flits", 1)),
+        )
+    workload.validate()
+    return workload
+
+
+def save_workload_json(workload: TaskGraph, path: str) -> None:
+    """Write a task graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(workload_to_dict(workload), handle, indent=2, sort_keys=True)
+
+
+def load_workload_json(path: str) -> TaskGraph:
+    """Load a task graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return workload_from_dict(json.load(handle))
 
 
 def design_to_dict(design: ChipletDesign) -> dict[str, Any]:

@@ -73,6 +73,9 @@ class Network:
                 f"but the network has {self.num_endpoints}"
             )
         self.traffic = traffic
+        # A reused pattern instance must not carry state from a previous
+        # network's run (trace replay cursors); see TrafficPattern.reset.
+        self.traffic.reset()
         self.injection = BernoulliInjection(injection_rate, config.packet_size_flits)
 
         self._packet_counter = 0
@@ -113,12 +116,18 @@ class Network:
     def _build_endpoints(self) -> None:
         base_seed = self.config.seed
         for endpoint_id in range(self.num_endpoints):
+            # Trace-driven patterns scale each source's offered load by its
+            # share of the workload traffic (synthetic patterns return 1.0,
+            # keeping the shared injection process).
+            injection = self.injection.scaled(
+                self.traffic.injection_rate_scale(endpoint_id)
+            )
             endpoint = Endpoint(
                 endpoint_id=endpoint_id,
                 router_id=self.endpoint_to_router[endpoint_id],
                 config=self.config,
                 traffic=self.traffic,
-                injection=self.injection,
+                injection=injection,
                 seed=base_seed * 1_000_003 + endpoint_id,
             )
             endpoint.set_packet_id_allocator(self._next_packet_id)

@@ -32,6 +32,29 @@ class TrafficPattern(abc.ABC):
     def destination(self, source: int, rng: random.Random) -> int:
         """Destination endpoint for a packet created at ``source``."""
 
+    def injection_rate_scale(self, source: int) -> float:
+        """Per-source multiplier applied to the configured injection rate.
+
+        Synthetic patterns drive every endpoint at the same offered load
+        (scale ``1.0``, the default).  Trace-driven patterns
+        (:class:`repro.workloads.trace.TraceTraffic`) override this so a
+        source's offered load is proportional to its share of the workload
+        traffic; a scale of ``0.0`` silences the endpoint entirely (it
+        never draws from its RNG, which both cycle-loop engines treat
+        identically).
+        """
+        return 1.0
+
+    def reset(self) -> None:
+        """Rewind any per-run mutable state (no-op for stateless patterns).
+
+        The network builder calls this once at construction so that a
+        pattern instance reused across simulator instances always starts
+        from the same state — without it, stateful patterns (trace replay
+        cursors) would leak progress from one run into the next and break
+        the bit-identical determinism guarantee.
+        """
+
     def _check_source(self, source: int) -> None:
         if not 0 <= source < self._num_endpoints:
             raise ValueError(
@@ -182,12 +205,26 @@ class BernoulliInjection:
                 f"injection rate is a fraction of endpoint capacity and must be <= 1, got {rate}"
             )
         self._rate = rate
+        self._packet_size_flits = packet_size_flits
         self._packet_probability = rate / packet_size_flits
 
     @property
     def flit_rate(self) -> float:
         """Offered load in flits per cycle per endpoint."""
         return self._rate
+
+    def scaled(self, factor: float) -> "BernoulliInjection":
+        """A copy of this process with the flit rate multiplied by ``factor``.
+
+        Used by the network builder to honour per-source rate scales
+        advertised by :meth:`TrafficPattern.injection_rate_scale`; the
+        factor must lie in ``[0, 1]`` so the scaled rate stays a valid
+        fraction of endpoint capacity.
+        """
+        check_fraction("factor", factor)
+        if factor == 1.0:
+            return self
+        return BernoulliInjection(self._rate * factor, self._packet_size_flits)
 
     def should_inject(self, rng: random.Random) -> bool:
         """Decide whether a new packet is created this cycle."""

@@ -14,7 +14,10 @@ hundred vertices):
   generator,
 * :mod:`repro.partition.estimator` — the multi-start portfolio that keeps
   the best balanced cut; :func:`estimate_bisection_bandwidth` is the
-  drop-in replacement for the paper's METIS call.
+  drop-in replacement for the paper's METIS call,
+* :mod:`repro.partition.recursive` — node-subset bisection with robust
+  fallbacks, the building block of recursive mappers
+  (:mod:`repro.workloads.mapping`).
 """
 
 from repro.partition.estimator import (
@@ -25,11 +28,13 @@ from repro.partition.estimator import (
 from repro.partition.fiduccia_mattheyses import fiduccia_mattheyses_refine
 from repro.partition.greedy import bfs_grow_partition
 from repro.partition.kernighan_lin import kernighan_lin_refine
+from repro.partition.recursive import bisect_nodes
 from repro.partition.spectral import spectral_bisection
 
 __all__ = [
     "BisectionResult",
     "bfs_grow_partition",
+    "bisect_nodes",
     "estimate_bisection_bandwidth",
     "fiduccia_mattheyses_refine",
     "find_best_bisection",

@@ -1,0 +1,58 @@
+"""Recursive-bisection building blocks on node subsets.
+
+The bisection portfolio of :mod:`repro.partition.estimator` operates on a
+whole graph; recursive mappers (see :mod:`repro.workloads.mapping`) need to
+bisect arbitrary *subsets* of a graph's nodes, including subsets whose
+induced subgraph is disconnected or edge-free — situations the spectral
+starting point was never designed for.  :func:`bisect_nodes` wraps the
+portfolio with the induced-subgraph plumbing, a deterministic orientation
+of the two sides and a plain sorted-half fallback so that recursion never
+dies halfway down the tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.model import ChipGraph, Node
+from repro.partition.estimator import find_best_bisection
+
+
+def bisect_nodes(
+    graph: ChipGraph,
+    nodes: list[Node] | set[Node],
+    *,
+    seed: int = 0,
+    num_seeds: int = 4,
+) -> tuple[list[Node], list[Node]]:
+    """Balanced bisection of the subgraph induced by ``nodes``.
+
+    Returns two sorted node lists whose sizes differ by at most one.  The
+    side containing the smallest node always comes first, which makes the
+    recursion deterministic regardless of set iteration order.  Subsets the
+    portfolio cannot handle (fewer than two nodes, numerically degenerate
+    spectral problems) fall back to trivial or sorted-half splits.
+    """
+    ordered = sorted(nodes)
+    if len(ordered) < 2:
+        return ordered, []
+    if len(ordered) == 2:
+        return [ordered[0]], [ordered[1]]
+
+    subgraph = graph.subgraph(ordered)
+    part: set[Node]
+    if subgraph.num_edges == 0:
+        # Edge-free subgraphs make every balanced cut equivalent; skip the
+        # portfolio entirely.
+        part = set(ordered[: len(ordered) // 2])
+    else:
+        try:
+            part = set(find_best_bisection(subgraph, seed=seed, num_seeds=num_seeds).part)
+        except (ValueError, RuntimeError, FloatingPointError, np.linalg.LinAlgError):
+            part = set(ordered[: len(ordered) // 2])
+
+    side_a = sorted(part)
+    side_b = sorted(set(ordered) - part)
+    if side_b and (not side_a or side_b[0] < side_a[0]):
+        side_a, side_b = side_b, side_a
+    return side_a, side_b

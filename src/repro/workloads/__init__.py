@@ -1,0 +1,84 @@
+"""Application workloads: task graphs, chiplet mapping and trace-driven traffic.
+
+This package turns the simulator workload-driven end to end:
+
+* :mod:`repro.workloads.taskgraph`  — the :class:`TaskGraph` model
+  (weighted compute tasks, weighted communication edges),
+* :mod:`repro.workloads.generators` — classic scenarios (DNN pipelines,
+  fork-join, stencil halo exchange, ring all-reduce, client-server),
+* :mod:`repro.workloads.mapping`    — task-to-chiplet mappers (recursive
+  partition co-bisection, communication-aware greedy, round-robin) plus
+  static cost metrics (weighted hop count, link loads),
+* :mod:`repro.workloads.trace`      — the :class:`TraceTraffic` bridge that
+  drives the cycle-accurate NoC simulator with a mapped workload and
+  reports application-level metrics (makespan proxy, per-edge latency).
+
+JSON round-trips of task graphs live in :mod:`repro.io.serialization`.
+"""
+
+from repro.workloads.generators import (
+    all_reduce,
+    available_workloads,
+    client_server,
+    dnn_pipeline,
+    effective_num_tasks,
+    fork_join,
+    make_workload,
+    min_tasks_for,
+    stencil,
+)
+from repro.workloads.mapping import (
+    MappingCost,
+    WorkloadMapping,
+    available_mappers,
+    evaluate_mapping,
+    greedy_mapping,
+    link_loads,
+    map_workload,
+    partition_mapping,
+    round_robin_mapping,
+)
+from repro.workloads.taskgraph import CommEdge, Task, TaskGraph, build_task_graph
+from repro.workloads.trace import (
+    EdgeLatency,
+    TraceTraffic,
+    WorkloadSimulationResult,
+    build_endpoint_demands,
+    makespan_proxy_cycles,
+    simulate_workload,
+    task_endpoints,
+    trace_traffic_for,
+)
+
+__all__ = [
+    "CommEdge",
+    "EdgeLatency",
+    "MappingCost",
+    "Task",
+    "TaskGraph",
+    "TraceTraffic",
+    "WorkloadMapping",
+    "WorkloadSimulationResult",
+    "all_reduce",
+    "available_mappers",
+    "available_workloads",
+    "build_endpoint_demands",
+    "build_task_graph",
+    "client_server",
+    "dnn_pipeline",
+    "effective_num_tasks",
+    "evaluate_mapping",
+    "fork_join",
+    "greedy_mapping",
+    "link_loads",
+    "make_workload",
+    "makespan_proxy_cycles",
+    "map_workload",
+    "min_tasks_for",
+    "partition_mapping",
+    "round_robin_mapping",
+    "simulate_workload",
+    "stencil",
+    "task_endpoints",
+    "trace_traffic_for",
+]

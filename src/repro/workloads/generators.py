@@ -1,0 +1,220 @@
+"""Generators for classic application-workload scenarios.
+
+Each generator returns a validated :class:`~repro.workloads.taskgraph.TaskGraph`
+for one of the communication structures chiplet systems are routinely
+evaluated on:
+
+* ``dnn-pipeline``  — a chain of DNN layers streaming activations forward,
+* ``fork-join``     — MapReduce-style scatter to workers and gather back,
+* ``stencil``       — a 2-D grid exchanging halos with its 4-neighbours,
+* ``all-reduce``    — a ring all-reduce step (each rank sends one chunk on),
+* ``client-server`` — clients issuing requests to one hotspot server.
+
+All generators take a uniform ``num_tasks`` knob so sweeps can scale the
+workload with the chiplet count, plus per-scenario weight parameters.
+Everything is deterministic: the same arguments always produce the same
+task graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.utils.validation import check_positive_int
+from repro.workloads.taskgraph import TaskGraph
+
+
+def dnn_pipeline(
+    num_tasks: int = 8,
+    *,
+    compute_weight: float = 4.0,
+    traffic_flits: int = 8,
+) -> TaskGraph:
+    """A linear pipeline of DNN layers: ``layer0 -> layer1 -> ... -> layerN``.
+
+    Every layer forwards one activation tensor (``traffic_flits``) to the
+    next.  This is the canonical DAG workload: the critical path is the
+    whole chain and a good mapping keeps consecutive layers adjacent.
+    """
+    check_positive_int("num_tasks", num_tasks, minimum=2)
+    graph = TaskGraph("dnn-pipeline")
+    for layer in range(num_tasks):
+        graph.add_task(layer, name=f"layer{layer}", compute_weight=compute_weight)
+    for layer in range(num_tasks - 1):
+        graph.add_edge(layer, layer + 1, traffic_flits)
+    graph.validate()
+    return graph
+
+
+def fork_join(
+    num_tasks: int = 10,
+    *,
+    compute_weight: float = 4.0,
+    scatter_flits: int = 4,
+    gather_flits: int = 4,
+) -> TaskGraph:
+    """MapReduce-style fork-join: one source scatters to workers, one sink gathers.
+
+    ``num_tasks`` counts the source, the ``num_tasks - 2`` workers and the
+    sink.  The source and sink see the aggregate fan-out/fan-in traffic, so
+    mappings that co-locate them with many workers win.
+    """
+    check_positive_int("num_tasks", num_tasks, minimum=3)
+    graph = TaskGraph("fork-join")
+    source, sink = 0, num_tasks - 1
+    graph.add_task(source, name="source", compute_weight=compute_weight)
+    for worker in range(1, num_tasks - 1):
+        graph.add_task(worker, name=f"worker{worker}", compute_weight=compute_weight)
+    graph.add_task(sink, name="sink", compute_weight=compute_weight)
+    for worker in range(1, num_tasks - 1):
+        graph.add_edge(source, worker, scatter_flits)
+        graph.add_edge(worker, sink, gather_flits)
+    graph.validate()
+    return graph
+
+
+def stencil(
+    num_tasks: int = 9,
+    *,
+    compute_weight: float = 4.0,
+    halo_flits: int = 2,
+) -> TaskGraph:
+    """A 2-D stencil: every cell exchanges halos with its 4-neighbours.
+
+    Cells are laid out row-major on a near-square ``rows x cols`` grid
+    (the last row may be partial when ``num_tasks`` is not a product of
+    two near-equal factors).  Halo exchange is bidirectional, so the graph
+    is cyclic and models one bulk-synchronous superstep.
+    """
+    check_positive_int("num_tasks", num_tasks, minimum=2)
+    cols = max(1, math.isqrt(num_tasks))
+    graph = TaskGraph("stencil")
+    for cell in range(num_tasks):
+        row, col = divmod(cell, cols)
+        graph.add_task(cell, name=f"cell[{row},{col}]", compute_weight=compute_weight)
+    for cell in range(num_tasks):
+        row, col = divmod(cell, cols)
+        right = cell + 1
+        below = cell + cols
+        if col + 1 < cols and right < num_tasks:
+            graph.add_edge(cell, right, halo_flits)
+            graph.add_edge(right, cell, halo_flits)
+        if below < num_tasks:
+            graph.add_edge(cell, below, halo_flits)
+            graph.add_edge(below, cell, halo_flits)
+    graph.validate()
+    return graph
+
+
+def all_reduce(
+    num_tasks: int = 8,
+    *,
+    compute_weight: float = 4.0,
+    chunk_flits: int = 4,
+) -> TaskGraph:
+    """One step of a ring all-reduce: rank ``i`` sends a chunk to rank ``i+1``.
+
+    The ring is cyclic by construction; edge weights carry the per-step
+    chunk size of the reduce-scatter/all-gather schedule.  Good mappings
+    embed the ring into the chiplet topology with unit-distance hops.
+    """
+    check_positive_int("num_tasks", num_tasks, minimum=2)
+    graph = TaskGraph("all-reduce")
+    for rank in range(num_tasks):
+        graph.add_task(rank, name=f"rank{rank}", compute_weight=compute_weight)
+    for rank in range(num_tasks):
+        graph.add_edge(rank, (rank + 1) % num_tasks, chunk_flits)
+    graph.validate()
+    return graph
+
+
+def client_server(
+    num_tasks: int = 9,
+    *,
+    compute_weight: float = 4.0,
+    request_flits: int = 2,
+    response_flits: int = 8,
+) -> TaskGraph:
+    """A hotspot service: ``num_tasks - 1`` clients query one server.
+
+    Clients send small requests and receive larger responses, so the
+    server's links are the bottleneck — the application-level analogue of
+    the synthetic hotspot traffic pattern.
+    """
+    check_positive_int("num_tasks", num_tasks, minimum=2)
+    graph = TaskGraph("client-server")
+    graph.add_task(0, name="server", compute_weight=compute_weight)
+    for client in range(1, num_tasks):
+        graph.add_task(client, name=f"client{client}", compute_weight=compute_weight)
+        graph.add_edge(client, 0, request_flits)
+        graph.add_edge(0, client, response_flits)
+    graph.validate()
+    return graph
+
+
+_WORKLOAD_FACTORIES: dict[str, Callable[..., TaskGraph]] = {
+    "all-reduce": all_reduce,
+    "client-server": client_server,
+    "dnn-pipeline": dnn_pipeline,
+    "fork-join": fork_join,
+    "stencil": stencil,
+}
+
+#: Smallest ``num_tasks`` each generator accepts (fork-join needs a source,
+#: at least one worker and a sink; everything else needs two tasks).
+_MIN_TASKS = {kind: (3 if kind == "fork-join" else 2) for kind in _WORKLOAD_FACTORIES}
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Names of every registered workload generator, sorted alphabetically."""
+    return tuple(sorted(_WORKLOAD_FACTORIES))
+
+
+def min_tasks_for(kind: str) -> int:
+    """Smallest ``num_tasks`` the named generator accepts."""
+    key = kind.lower()
+    if key not in _MIN_TASKS:
+        valid = ", ".join(available_workloads())
+        raise ValueError(f"unknown workload kind {kind!r}; expected one of: {valid}")
+    return _MIN_TASKS[key]
+
+
+def effective_num_tasks(kind: str, num_tasks: int | None, num_chiplets: int) -> int:
+    """Workload size used by the sweep and exploration grids.
+
+    ``None`` scales the workload with the chiplet count (clamped up to the
+    generator's minimum, so tiny topologies still get a valid workload);
+    an explicit ``num_tasks`` below the minimum is a user error and fails
+    fast instead of being silently rewritten.  Both grid builders
+    (:meth:`ParallelSweepRunner.workload_grid
+    <repro.core.parallel.ParallelSweepRunner.workload_grid>` and
+    :meth:`DesignSpaceExplorer.evaluate_workloads
+    <repro.core.explorer.DesignSpaceExplorer.evaluate_workloads>`) size
+    through this single helper so static ranking and trace-driven
+    simulation always describe the same workloads.
+    """
+    minimum = min_tasks_for(kind)
+    if num_tasks is None:
+        return max(minimum, num_chiplets)
+    if num_tasks < minimum:
+        raise ValueError(
+            f"workload {kind!r} needs at least {minimum} tasks, got {num_tasks}"
+        )
+    return num_tasks
+
+
+def make_workload(kind: str, num_tasks: int | None = None, **kwargs) -> TaskGraph:
+    """Create a workload task graph by name (``"dnn-pipeline"``, ...).
+
+    ``num_tasks`` defaults to each generator's own default size; weight
+    parameters pass through as keyword arguments.
+    """
+    key = kind.lower()
+    if key not in _WORKLOAD_FACTORIES:
+        valid = ", ".join(available_workloads())
+        raise ValueError(f"unknown workload kind {kind!r}; expected one of: {valid}")
+    factory = _WORKLOAD_FACTORIES[key]
+    if num_tasks is None:
+        return factory(**kwargs)
+    return factory(num_tasks, **kwargs)

@@ -1,0 +1,338 @@
+"""Mapping task graphs onto chiplet topologies.
+
+Three mappers with increasing awareness of the communication structure:
+
+* ``round-robin`` — task ``i`` goes to chiplet ``i mod n``; the oblivious
+  baseline every smarter mapper must beat,
+* ``greedy``      — tasks in decreasing communication-weight order, each
+  placed on the capacity-feasible chiplet that minimises the weighted hop
+  cost to its already-placed neighbours,
+* ``partition``   — recursive co-bisection: the task communication graph
+  and the chiplet topology graph are bisected in lockstep by the partition
+  portfolio (:func:`repro.partition.recursive.bisect_nodes`), pairing the
+  halves level by level — the METIS-style mapper the paper's bisection
+  machinery was built for.
+
+Every mapper is deterministic under a fixed seed.  :func:`evaluate_mapping`
+scores a mapping with the standard static cost metrics: total weighted hop
+count, per-link loads (traffic routed over deterministic shortest paths)
+and the intra-chiplet (local) traffic fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.graphs.model import ChipGraph
+from repro.noc.routing import RoutingTables
+from repro.partition.recursive import bisect_nodes
+from repro.workloads.taskgraph import TaskGraph
+
+
+class WorkloadMapping:
+    """An assignment of every task of a workload to a chiplet.
+
+    Parameters
+    ----------
+    assignment:
+        Mapping of task id to chiplet id.
+    num_chiplets:
+        Number of chiplets in the target topology (chiplet ids are
+        ``0 .. num_chiplets - 1``).
+    mapper:
+        Name of the mapper that produced the assignment.
+    """
+
+    def __init__(
+        self,
+        assignment: Mapping[int, int],
+        *,
+        num_chiplets: int,
+        mapper: str = "custom",
+    ) -> None:
+        if not assignment:
+            raise ValueError("a mapping must assign at least one task")
+        for task_id, chiplet in assignment.items():
+            if not 0 <= chiplet < num_chiplets:
+                raise ValueError(
+                    f"task {task_id} mapped to chiplet {chiplet}, outside "
+                    f"[0, {num_chiplets})"
+                )
+        self._assignment = {task_id: assignment[task_id] for task_id in sorted(assignment)}
+        self.num_chiplets = num_chiplets
+        self.mapper = mapper
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of mapped tasks."""
+        return len(self._assignment)
+
+    def chiplet_of(self, task_id: int) -> int:
+        """Chiplet the task is assigned to (``KeyError`` for unknown tasks)."""
+        return self._assignment[task_id]
+
+    def as_dict(self) -> dict[int, int]:
+        """The full task-to-chiplet table, keyed by ascending task id."""
+        return dict(self._assignment)
+
+    def tasks_on(self, chiplet: int) -> list[int]:
+        """Task ids assigned to one chiplet, in ascending order."""
+        return [task for task, assigned in self._assignment.items() if assigned == chiplet]
+
+    def used_chiplets(self) -> list[int]:
+        """Chiplets hosting at least one task, in ascending order."""
+        return sorted(set(self._assignment.values()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkloadMapping):
+            return NotImplemented
+        return (
+            self._assignment == other._assignment
+            and self.num_chiplets == other.num_chiplets
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkloadMapping(tasks={self.num_tasks}, "
+            f"chiplets={self.num_chiplets}, mapper={self.mapper!r})"
+        )
+
+
+def _check_inputs(workload: TaskGraph, graph: ChipGraph) -> list[int]:
+    workload.validate()
+    chiplets = sorted(graph.nodes())
+    if chiplets != list(range(len(chiplets))):
+        raise ValueError("the chiplet graph must use node ids 0 .. n-1")
+    if not chiplets:
+        raise ValueError("the chiplet graph has no nodes")
+    return chiplets
+
+
+def round_robin_mapping(workload: TaskGraph, graph: ChipGraph, *, seed: int = 0) -> WorkloadMapping:
+    """Task ``i`` (in id order) goes to chiplet ``i mod num_chiplets``."""
+    chiplets = _check_inputs(workload, graph)
+    assignment = {
+        task_id: chiplets[index % len(chiplets)]
+        for index, task_id in enumerate(sorted(workload.task_ids()))
+    }
+    return WorkloadMapping(assignment, num_chiplets=len(chiplets), mapper="round-robin")
+
+
+def greedy_mapping(workload: TaskGraph, graph: ChipGraph, *, seed: int = 0) -> WorkloadMapping:
+    """Communication-aware greedy placement.
+
+    Tasks are placed in decreasing total-communication order; each goes to
+    the chiplet (with free capacity) minimising the weighted hop cost to
+    its already-placed communication partners, ties broken by load and
+    then by chiplet id.  Capacity is ``ceil(num_tasks / num_chiplets)``
+    tasks per chiplet, so the mapping stays balanced.
+    """
+    chiplets = _check_inputs(workload, graph)
+    routing = RoutingTables(graph)
+    capacity = -(-workload.num_tasks // len(chiplets))
+    load = {chiplet: 0 for chiplet in chiplets}
+
+    comm: dict[int, dict[int, int]] = {task_id: {} for task_id in workload.task_ids()}
+    for edge in workload.edges():
+        comm[edge.source][edge.destination] = (
+            comm[edge.source].get(edge.destination, 0) + edge.traffic_flits
+        )
+        comm[edge.destination][edge.source] = (
+            comm[edge.destination].get(edge.source, 0) + edge.traffic_flits
+        )
+
+    order = sorted(
+        workload.task_ids(),
+        key=lambda task_id: (-sum(comm[task_id].values()), task_id),
+    )
+    assignment: dict[int, int] = {}
+    for task_id in order:
+        best_chiplet: int | None = None
+        best_key: tuple[float, int, int] | None = None
+        for chiplet in chiplets:
+            if load[chiplet] >= capacity:
+                continue
+            cost = sum(
+                weight * routing.distance(assignment[partner], chiplet)
+                for partner, weight in comm[task_id].items()
+                if partner in assignment
+            )
+            key = (cost, load[chiplet], chiplet)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_chiplet = chiplet
+        assert best_chiplet is not None  # capacity * num_chiplets >= num_tasks
+        assignment[task_id] = best_chiplet
+        load[best_chiplet] += 1
+    return WorkloadMapping(assignment, num_chiplets=len(chiplets), mapper="greedy")
+
+
+def partition_mapping(workload: TaskGraph, graph: ChipGraph, *, seed: int = 0) -> WorkloadMapping:
+    """Recursive co-bisection of the task graph and the chiplet topology.
+
+    At every level both graphs are bisected by the partition portfolio;
+    the larger task half is paired with the larger chiplet half (balance),
+    with the deterministic smallest-node orientation of
+    :func:`~repro.partition.recursive.bisect_nodes` breaking ties.  The
+    recursion bottoms out when a region holds a single chiplet (all
+    remaining tasks land there) or a single task.
+    """
+    chiplets = _check_inputs(workload, graph)
+    comm_graph = workload.to_comm_graph()
+    assignment: dict[int, int] = {}
+
+    def assign(task_ids: list[int], chiplet_ids: list[int], level: int) -> None:
+        if not task_ids:
+            return
+        if len(chiplet_ids) == 1:
+            for task_id in task_ids:
+                assignment[task_id] = chiplet_ids[0]
+            return
+        if len(task_ids) == 1:
+            # A single task in a multi-chiplet region: anchor it on the
+            # deterministic representative (smallest id).
+            assignment[task_ids[0]] = chiplet_ids[0]
+            return
+        task_a, task_b = bisect_nodes(comm_graph, task_ids, seed=seed + level)
+        chip_a, chip_b = bisect_nodes(graph, chiplet_ids, seed=seed + level)
+        # Pair the larger halves so per-chiplet load stays even when either
+        # split is odd-sized.
+        if (len(task_a) >= len(task_b)) != (len(chip_a) >= len(chip_b)):
+            chip_a, chip_b = chip_b, chip_a
+        assign(task_a, chip_a, 2 * level + 1)
+        assign(task_b, chip_b, 2 * level + 2)
+
+    assign(sorted(workload.task_ids()), chiplets, 0)
+    return WorkloadMapping(assignment, num_chiplets=len(chiplets), mapper="partition")
+
+
+_MAPPER_FACTORIES: dict[str, Callable[..., WorkloadMapping]] = {
+    "greedy": greedy_mapping,
+    "partition": partition_mapping,
+    "round-robin": round_robin_mapping,
+}
+
+
+def available_mappers() -> tuple[str, ...]:
+    """Names of every registered mapper, sorted alphabetically."""
+    return tuple(sorted(_MAPPER_FACTORIES))
+
+
+def map_workload(
+    mapper: str, workload: TaskGraph, graph: ChipGraph, *, seed: int = 0
+) -> WorkloadMapping:
+    """Run a mapper by name (``"partition"``, ``"greedy"``, ``"round-robin"``)."""
+    key = mapper.lower()
+    if key not in _MAPPER_FACTORIES:
+        valid = ", ".join(available_mappers())
+        raise ValueError(f"unknown mapper {mapper!r}; expected one of: {valid}")
+    return _MAPPER_FACTORIES[key](workload, graph, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Static mapping cost metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MappingCost:
+    """Static quality metrics of one (workload, mapping, topology) triple.
+
+    Attributes
+    ----------
+    weighted_hop_count:
+        Sum over all communication edges of ``traffic_flits * hop distance``
+        between the endpoints' chiplets — the classic mapping objective.
+    max_link_load / mean_link_load:
+        Per-physical-link traffic after routing every edge over a
+        deterministic shortest path, in flits per workload iteration.
+    bottleneck_link:
+        The physical link carrying ``max_link_load`` (``None`` when all
+        traffic is chiplet-local).
+    local_traffic_flits:
+        Traffic between tasks co-located on the same chiplet (never enters
+        the inter-chiplet network).
+    total_traffic_flits:
+        Total traffic of the workload, local or not.
+    """
+
+    weighted_hop_count: float
+    max_link_load: float
+    mean_link_load: float
+    bottleneck_link: tuple[int, int] | None
+    local_traffic_flits: int
+    total_traffic_flits: int
+
+    @property
+    def local_traffic_fraction(self) -> float:
+        """Fraction of the workload traffic that stays chiplet-local."""
+        if self.total_traffic_flits == 0:
+            return 0.0
+        return self.local_traffic_flits / self.total_traffic_flits
+
+
+def _deterministic_path(routing: RoutingTables, source: int, destination: int) -> list[int]:
+    """One shortest router path, always picking the lowest-id next hop."""
+    path = [source]
+    current = source
+    while current != destination:
+        current = min(routing.minimal_next_hops(current, destination))
+        path.append(current)
+    return path
+
+
+def link_loads(
+    workload: TaskGraph, mapping: WorkloadMapping, graph: ChipGraph
+) -> dict[tuple[int, int], float]:
+    """Traffic per physical link after deterministic shortest-path routing.
+
+    Keys are sorted chiplet pairs; values are flits per workload iteration.
+    Chiplet-local edges contribute nothing here (see
+    :attr:`MappingCost.local_traffic_flits`).
+    """
+    routing = RoutingTables(graph)
+    loads: dict[tuple[int, int], float] = {}
+    for edge in workload.edges():
+        source = mapping.chiplet_of(edge.source)
+        destination = mapping.chiplet_of(edge.destination)
+        if source == destination:
+            continue
+        path = _deterministic_path(routing, source, destination)
+        for hop_from, hop_to in zip(path, path[1:]):
+            key = (min(hop_from, hop_to), max(hop_from, hop_to))
+            loads[key] = loads.get(key, 0.0) + edge.traffic_flits
+    return loads
+
+
+def evaluate_mapping(
+    workload: TaskGraph, mapping: WorkloadMapping, graph: ChipGraph
+) -> MappingCost:
+    """Score a mapping with the static cost metrics (no simulation)."""
+    routing = RoutingTables(graph)
+    weighted_hops = 0.0
+    local = 0
+    for edge in workload.edges():
+        source = mapping.chiplet_of(edge.source)
+        destination = mapping.chiplet_of(edge.destination)
+        if source == destination:
+            local += edge.traffic_flits
+            continue
+        weighted_hops += edge.traffic_flits * routing.distance(source, destination)
+    loads = link_loads(workload, mapping, graph)
+    if loads:
+        max_load = max(loads.values())
+        bottleneck = min(link for link, load in loads.items() if load == max_load)
+        mean_load = sum(loads.values()) / len(loads)
+    else:
+        bottleneck = None
+        max_load = 0.0
+        mean_load = 0.0
+    return MappingCost(
+        weighted_hop_count=weighted_hops,
+        max_link_load=max_load,
+        mean_link_load=mean_load,
+        bottleneck_link=bottleneck,
+        local_traffic_flits=local,
+        total_traffic_flits=workload.total_traffic_flits,
+    )

@@ -1,0 +1,304 @@
+"""Application task graphs: weighted compute tasks and communication edges.
+
+A :class:`TaskGraph` models one application as a directed graph of compute
+tasks (each with an abstract *compute weight* in cycles) connected by
+communication edges (each with a *traffic weight* in flits).  Pipeline-style
+workloads (DNN layer chains, fork-join) are DAGs; iterative workloads
+(stencil halo exchange, ring all-reduce, client-server request/response)
+contain cycles and are interpreted as one bulk-synchronous superstep whose
+edges repeat every iteration.  The DAG-only operations
+(:meth:`TaskGraph.topological_order`) raise on cyclic graphs, while
+:meth:`TaskGraph.critical_path_weight` degrades gracefully.
+
+The task graph deliberately mirrors the conventions of
+:class:`repro.graphs.model.ChipGraph` (plain dictionaries, insertion order,
+no third-party graph library) so the partition portfolio can bisect the
+communication structure directly via :meth:`TaskGraph.to_comm_graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.graphs.model import ChipGraph
+
+
+@dataclass(frozen=True)
+class Task:
+    """One compute task of an application workload.
+
+    Attributes
+    ----------
+    task_id:
+        Unique non-negative integer identifier.
+    name:
+        Human-readable label (``"layer3"``, ``"worker7"``, ...).
+    compute_weight:
+        Abstract compute time of the task in cycles; feeds the critical
+        path and the makespan proxy.
+    """
+
+    task_id: int
+    name: str = ""
+    compute_weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """One directed communication edge between two tasks.
+
+    Attributes
+    ----------
+    source / destination:
+        Task identifiers of the producer and the consumer.
+    traffic_flits:
+        Traffic carried by the edge, in flits per workload iteration.
+    """
+
+    source: int
+    destination: int
+    traffic_flits: int = 1
+
+
+class TaskGraph:
+    """A directed graph of weighted compute tasks and communication edges."""
+
+    def __init__(self, name: str = "workload") -> None:
+        self.name = name
+        self._tasks: dict[int, Task] = {}
+        self._edges: list[CommEdge] = []
+        self._edge_keys: set[tuple[int, int]] = set()
+        self._successors: dict[int, list[int]] = {}
+        self._predecessors: dict[int, list[int]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_task(
+        self, task_id: int, *, name: str = "", compute_weight: float = 1.0
+    ) -> Task:
+        """Insert a task; duplicate ids and non-positive weights are rejected."""
+        if not isinstance(task_id, int) or task_id < 0:
+            raise ValueError(f"task_id must be a non-negative integer, got {task_id!r}")
+        if task_id in self._tasks:
+            raise ValueError(f"task {task_id} already exists")
+        if compute_weight <= 0:
+            raise ValueError(f"compute_weight must be > 0, got {compute_weight}")
+        task = Task(task_id=task_id, name=name or f"task{task_id}",
+                    compute_weight=float(compute_weight))
+        self._tasks[task_id] = task
+        self._successors[task_id] = []
+        self._predecessors[task_id] = []
+        return task
+
+    def add_edge(self, source: int, destination: int, traffic_flits: int = 1) -> CommEdge:
+        """Insert a directed communication edge between two existing tasks."""
+        if source == destination:
+            raise ValueError(f"self-communication edges are not allowed (task {source})")
+        for endpoint in (source, destination):
+            if endpoint not in self._tasks:
+                raise ValueError(f"task {endpoint} is not in the graph")
+        if (source, destination) in self._edge_keys:
+            raise ValueError(f"edge {source} -> {destination} already exists")
+        if not isinstance(traffic_flits, int) or traffic_flits <= 0:
+            raise ValueError(
+                f"traffic_flits must be a positive integer, got {traffic_flits!r}"
+            )
+        edge = CommEdge(source=source, destination=destination,
+                        traffic_flits=traffic_flits)
+        self._edges.append(edge)
+        self._edge_keys.add((source, destination))
+        self._successors[source].append(destination)
+        self._predecessors[destination].append(source)
+        return edge
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks."""
+        return len(self._tasks)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed communication edges."""
+        return len(self._edges)
+
+    def tasks(self) -> list[Task]:
+        """All tasks in insertion order."""
+        return list(self._tasks.values())
+
+    def task_ids(self) -> list[int]:
+        """All task identifiers in insertion order."""
+        return list(self._tasks)
+
+    def task(self, task_id: int) -> Task:
+        """Look up a task by id (raises ``KeyError`` for unknown ids)."""
+        if task_id not in self._tasks:
+            raise KeyError(f"task {task_id} is not in the graph")
+        return self._tasks[task_id]
+
+    def edges(self) -> list[CommEdge]:
+        """All communication edges in insertion order."""
+        return list(self._edges)
+
+    def has_edge(self, source: int, destination: int) -> bool:
+        """Return ``True`` if the directed edge is present."""
+        return (source, destination) in self._edge_keys
+
+    def successors(self, task_id: int) -> list[int]:
+        """Tasks this task sends to (raises ``KeyError`` for unknown ids)."""
+        if task_id not in self._tasks:
+            raise KeyError(f"task {task_id} is not in the graph")
+        return list(self._successors[task_id])
+
+    def predecessors(self, task_id: int) -> list[int]:
+        """Tasks this task receives from (raises ``KeyError`` for unknown ids)."""
+        if task_id not in self._tasks:
+            raise KeyError(f"task {task_id} is not in the graph")
+        return list(self._predecessors[task_id])
+
+    def out_edges(self, task_id: int) -> list[CommEdge]:
+        """Edges leaving a task, in insertion order."""
+        if task_id not in self._tasks:
+            raise KeyError(f"task {task_id} is not in the graph")
+        return [edge for edge in self._edges if edge.source == task_id]
+
+    def in_edges(self, task_id: int) -> list[CommEdge]:
+        """Edges entering a task, in insertion order."""
+        if task_id not in self._tasks:
+            raise KeyError(f"task {task_id} is not in the graph")
+        return [edge for edge in self._edges if edge.destination == task_id]
+
+    @property
+    def total_traffic_flits(self) -> int:
+        """Sum of the traffic weights of every edge."""
+        return sum(edge.traffic_flits for edge in self._edges)
+
+    @property
+    def total_compute_weight(self) -> float:
+        """Sum of the compute weights of every task."""
+        return sum(task.compute_weight for task in self._tasks.values())
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskGraph({self.name!r}, tasks={self.num_tasks}, "
+            f"edges={self.num_edges})"
+        )
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def is_dag(self) -> bool:
+        """Whether the communication edges form a directed acyclic graph."""
+        try:
+            self.topological_order()
+        except ValueError:
+            return False
+        return True
+
+    def topological_order(self) -> list[int]:
+        """Task ids in topological order (Kahn's algorithm, id tie-break).
+
+        Raises :class:`ValueError` when the graph contains a cycle —
+        iterative workloads (stencil, all-reduce rings) have no topological
+        order; treat them as one bulk-synchronous superstep instead.
+        """
+        in_degree = {task_id: len(self._predecessors[task_id]) for task_id in self._tasks}
+        ready = sorted(task_id for task_id, degree in in_degree.items() if degree == 0)
+        order: list[int] = []
+        while ready:
+            task_id = ready.pop(0)
+            order.append(task_id)
+            changed = False
+            for successor in self._successors[task_id]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+                    changed = True
+            if changed:
+                ready.sort()
+        if len(order) != len(self._tasks):
+            raise ValueError(
+                f"task graph {self.name!r} contains a communication cycle; "
+                "no topological order exists"
+            )
+        return order
+
+    def critical_path_weight(self) -> float:
+        """Compute weight of the longest dependency chain.
+
+        For DAGs this is the classic critical path over the compute
+        weights.  Cyclic graphs model one bulk-synchronous superstep where
+        every task runs concurrently, so the critical path degrades to the
+        heaviest single task.
+        """
+        try:
+            order = self.topological_order()
+        except ValueError:
+            return max(task.compute_weight for task in self._tasks.values())
+        finish: dict[int, float] = {}
+        for task_id in order:
+            start = max(
+                (finish[predecessor] for predecessor in self._predecessors[task_id]),
+                default=0.0,
+            )
+            finish[task_id] = start + self._tasks[task_id].compute_weight
+        return max(finish.values())
+
+    # -- partition interoperability -------------------------------------------
+
+    def to_comm_graph(self) -> ChipGraph:
+        """The undirected communication structure as a :class:`ChipGraph`.
+
+        Opposite directed edges between the same task pair merge into one
+        undirected edge.  This is the graph the partition portfolio
+        bisects when mapping tasks onto chiplets.
+        """
+        graph = ChipGraph(nodes=self._tasks.keys())
+        for edge in self._edges:
+            if not graph.has_edge(edge.source, edge.destination):
+                graph.add_edge(edge.source, edge.destination)
+        return graph
+
+    def comm_weights(self) -> dict[tuple[int, int], int]:
+        """Merged undirected traffic weights keyed by sorted task pairs."""
+        weights: dict[tuple[int, int], int] = {}
+        for edge in self._edges:
+            key = (min(edge.source, edge.destination), max(edge.source, edge.destination))
+            weights[key] = weights.get(key, 0) + edge.traffic_flits
+        return weights
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the graph is unusable as a workload."""
+        if not self._tasks:
+            raise ValueError(f"task graph {self.name!r} has no tasks")
+        if not self._edges:
+            raise ValueError(
+                f"task graph {self.name!r} has no communication edges; "
+                "nothing would drive the network"
+            )
+
+
+def build_task_graph(
+    name: str,
+    tasks: Iterable[Task],
+    edges: Iterable[CommEdge],
+) -> TaskGraph:
+    """Assemble a validated :class:`TaskGraph` from task and edge records."""
+    graph = TaskGraph(name)
+    for task in tasks:
+        graph.add_task(task.task_id, name=task.name, compute_weight=task.compute_weight)
+    for edge in edges:
+        graph.add_edge(edge.source, edge.destination, edge.traffic_flits)
+    graph.validate()
+    return graph

@@ -15,6 +15,7 @@ from repro.arrangements.factory import make_arrangement
 from repro.noc.config import SimulationConfig
 from repro.noc.simulator import NocSimulator
 from repro.noc.traffic import available_traffic_patterns
+from repro.workloads import make_workload, map_workload, trace_traffic_for
 
 #: One representative chiplet count per arrangement family (small enough
 #: to keep the full kind x traffic x engine grid fast).
@@ -78,6 +79,43 @@ def test_measured_packet_accounting(kind, count, engine):
     assert result.measured_packets_ejected == ejected_measured
     assert result.measured_packets_created == ejected_measured + at_sources + in_network
     assert 0 <= result.measured_delivery_ratio <= 1.0
+
+
+@pytest.mark.parametrize("engine", ["legacy", "active"])
+@pytest.mark.parametrize("workload_kind", ["dnn-pipeline", "client-server", "stencil"])
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_trace_traffic_flit_conservation(kind, count, workload_kind, engine):
+    """Mapped-workload traces obey the same conservation law as synthetic traffic."""
+    graph = make_arrangement(kind, count).graph
+    workload = make_workload(workload_kind, num_tasks=count)
+    mapping = map_workload("partition", workload, graph)
+    traffic = trace_traffic_for(
+        workload, mapping,
+        endpoints_per_chiplet=FAST_CONFIG.endpoints_per_chiplet,
+    )
+    simulator = NocSimulator(graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic)
+    result = simulator.run(engine=engine)
+    network = simulator.network
+
+    network.verify_flit_conservation()
+    created = network.total_created_flits()
+    accounted = (
+        network.total_ejected_flits()
+        + network.flits_in_flight()
+        + network.total_source_queued_flits()
+    )
+    assert created == accounted
+    assert created > 0
+    assert result.measured_packets_created > 0
+
+    # Every packet travels along a demand of the trace, and silent
+    # endpoints (rate scale 0) never create packets.
+    demands = set(traffic.demands)
+    for endpoint in network.endpoints:
+        if traffic.injection_rate_scale(endpoint.endpoint_id) == 0.0:
+            assert endpoint.created_packets == 0
+        for packet in endpoint.ejected_packets:
+            assert (packet.source, packet.destination) in demands
 
 
 @pytest.mark.parametrize("kind,count", KIND_SIZES)

@@ -211,3 +211,38 @@ class TestEstimator:
             for seed in range(3)
         )
         assert ours <= nx_cut + 2
+
+
+class TestBisectNodes:
+    """Node-subset bisection with fallbacks (repro.partition.recursive)."""
+
+    def test_trivial_subsets(self):
+        from repro.partition.recursive import bisect_nodes
+
+        graph = _grid_graph(3)
+        assert bisect_nodes(graph, []) == ([], [])
+        assert bisect_nodes(graph, [4]) == ([4], [])
+        assert bisect_nodes(graph, [7, 2]) == ([2], [7])
+
+    def test_balanced_and_deterministic(self):
+        from repro.partition.recursive import bisect_nodes
+
+        graph = make_arrangement("hexamesh", 19).graph
+        nodes = list(range(19))
+        side_a, side_b = bisect_nodes(graph, nodes, seed=1)
+        assert sorted(side_a + side_b) == nodes
+        assert abs(len(side_a) - len(side_b)) <= 1
+        assert side_a[0] == min(side_a + side_b)  # smallest node leads
+        again = bisect_nodes(graph, set(nodes), seed=1)
+        assert (side_a, side_b) == again
+
+    def test_disconnected_and_edge_free_subsets(self):
+        from repro.partition.recursive import bisect_nodes
+
+        graph = _grid_graph(4)
+        # Two far-apart corners plus isolated-in-subset nodes: the induced
+        # subgraph is disconnected / edge-free but the split still balances.
+        subset = [0, 3, 12, 15, 5, 10]
+        side_a, side_b = bisect_nodes(graph, subset, seed=0)
+        assert sorted(side_a + side_b) == sorted(subset)
+        assert abs(len(side_a) - len(side_b)) <= 1

@@ -1,0 +1,248 @@
+"""Unit tests of the workload subsystem: task graphs, generators, mappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.io import load_workload_json, save_workload_json, workload_from_dict, workload_to_dict
+from repro.workloads import (
+    TaskGraph,
+    available_mappers,
+    available_workloads,
+    evaluate_mapping,
+    link_loads,
+    make_workload,
+    map_workload,
+    min_tasks_for,
+)
+from repro.workloads.mapping import WorkloadMapping
+
+
+class TestTaskGraph:
+    def test_basic_construction(self):
+        graph = TaskGraph("demo")
+        graph.add_task(0, name="a", compute_weight=2.0)
+        graph.add_task(1)
+        graph.add_edge(0, 1, 5)
+        assert graph.num_tasks == 2
+        assert graph.num_edges == 1
+        assert graph.task(0).compute_weight == 2.0
+        assert graph.task(1).name == "task1"
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert graph.total_traffic_flits == 5
+        assert graph.successors(0) == [1]
+        assert graph.predecessors(1) == [0]
+
+    def test_rejects_invalid_tasks_and_edges(self):
+        graph = TaskGraph()
+        graph.add_task(0)
+        graph.add_task(1)
+        with pytest.raises(ValueError):
+            graph.add_task(0)  # duplicate
+        with pytest.raises(ValueError):
+            graph.add_task(2, compute_weight=0.0)
+        with pytest.raises(ValueError):
+            graph.add_task(-1)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0)  # self loop
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 7)  # unknown task
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1)  # duplicate directed edge
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 0, traffic_flits=0)
+        graph.add_edge(1, 0, 3)  # opposite direction is a different edge
+
+    def test_topological_order_and_cycles(self):
+        chain = make_workload("dnn-pipeline", num_tasks=5)
+        assert chain.is_dag
+        assert chain.topological_order() == [0, 1, 2, 3, 4]
+
+        ring = make_workload("all-reduce", num_tasks=4)
+        assert not ring.is_dag
+        with pytest.raises(ValueError):
+            ring.topological_order()
+
+    def test_critical_path(self):
+        pipeline = make_workload("dnn-pipeline", num_tasks=4, compute_weight=3.0)
+        assert pipeline.critical_path_weight() == pytest.approx(12.0)
+        fork = make_workload("fork-join", num_tasks=10, compute_weight=2.0)
+        # source -> worker -> sink, regardless of the worker count.
+        assert fork.critical_path_weight() == pytest.approx(6.0)
+        ring = make_workload("all-reduce", num_tasks=6, compute_weight=5.0)
+        # Cyclic: one bulk-synchronous superstep == heaviest task.
+        assert ring.critical_path_weight() == pytest.approx(5.0)
+
+    def test_comm_graph_merges_directions(self):
+        stencil = make_workload("stencil", num_tasks=9)
+        comm = stencil.to_comm_graph()
+        # 3x3 grid: 12 undirected halo pairs from 24 directed edges.
+        assert stencil.num_edges == 24
+        assert comm.num_edges == 12
+        weights = stencil.comm_weights()
+        assert all(weight == 2 * 2 for weight in weights.values())
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TaskGraph().validate()
+        lonely = TaskGraph()
+        lonely.add_task(0)
+        with pytest.raises(ValueError):
+            lonely.validate()
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", available_workloads())
+    def test_generators_produce_valid_graphs(self, kind):
+        workload = make_workload(kind, num_tasks=12)
+        workload.validate()
+        assert workload.num_tasks == 12
+        assert workload.total_traffic_flits > 0
+        assert sorted(workload.task_ids()) == list(range(12))
+
+    @pytest.mark.parametrize("kind", available_workloads())
+    def test_generators_are_deterministic(self, kind):
+        first = make_workload(kind, num_tasks=9)
+        second = make_workload(kind, num_tasks=9)
+        assert [t for t in first.tasks()] == [t for t in second.tasks()]
+        assert first.edges() == second.edges()
+
+    def test_minimum_sizes_enforced(self):
+        for kind in available_workloads():
+            minimum = min_tasks_for(kind)
+            make_workload(kind, num_tasks=minimum).validate()
+            with pytest.raises(ValueError):
+                make_workload(kind, num_tasks=minimum - 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            make_workload("matmul")
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            min_tasks_for("matmul")
+
+    def test_client_server_is_a_hotspot(self):
+        workload = make_workload("client-server", num_tasks=8,
+                                 request_flits=2, response_flits=6)
+        server_traffic = sum(e.traffic_flits for e in workload.out_edges(0))
+        server_traffic += sum(e.traffic_flits for e in workload.in_edges(0))
+        assert server_traffic == workload.total_traffic_flits
+
+    def test_fork_join_shape(self):
+        workload = make_workload("fork-join", num_tasks=6)
+        assert len(workload.out_edges(0)) == 4  # scatter to every worker
+        assert len(workload.in_edges(5)) == 4  # gather from every worker
+
+
+class TestMappers:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return make_arrangement("hexamesh", 19).graph
+
+    @pytest.mark.parametrize("mapper", available_mappers())
+    @pytest.mark.parametrize("kind", available_workloads())
+    def test_every_task_is_mapped(self, mapper, kind, graph):
+        workload = make_workload(kind, num_tasks=19)
+        mapping = map_workload(mapper, workload, graph)
+        assert mapping.num_tasks == workload.num_tasks
+        assert set(mapping.as_dict()) == set(workload.task_ids())
+        for chiplet in mapping.as_dict().values():
+            assert 0 <= chiplet < 19
+
+    @pytest.mark.parametrize("mapper", available_mappers())
+    def test_mappers_are_deterministic(self, mapper, graph):
+        workload = make_workload("stencil", num_tasks=19)
+        first = map_workload(mapper, workload, graph)
+        second = map_workload(mapper, workload, graph)
+        assert first == second
+
+    @pytest.mark.parametrize("mapper", ("partition", "greedy"))
+    def test_balanced_when_tasks_equal_chiplets(self, mapper, graph):
+        """One task per chiplet when counts match (a perfect embedding)."""
+        workload = make_workload("all-reduce", num_tasks=19)
+        mapping = map_workload(mapper, workload, graph)
+        assert len(mapping.used_chiplets()) == 19
+
+    def test_round_robin_distribution(self, graph):
+        workload = make_workload("dnn-pipeline", num_tasks=40)
+        mapping = map_workload("round-robin", workload, graph)
+        sizes = [len(mapping.tasks_on(c)) for c in range(19)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_beats_round_robin_on_pipeline(self, graph):
+        """The structure-aware mapper must beat the oblivious baseline."""
+        workload = make_workload("dnn-pipeline", num_tasks=19)
+        partition_cost = evaluate_mapping(
+            workload, map_workload("partition", workload, graph), graph
+        )
+        round_robin_cost = evaluate_mapping(
+            workload, map_workload("round-robin", workload, graph), graph
+        )
+        assert partition_cost.weighted_hop_count <= round_robin_cost.weighted_hop_count
+
+    def test_unknown_mapper_rejected(self, graph):
+        workload = make_workload("dnn-pipeline", num_tasks=4)
+        with pytest.raises(ValueError, match="unknown mapper"):
+            map_workload("simulated-annealing", workload, graph)
+
+    def test_mapping_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMapping({}, num_chiplets=4)
+        with pytest.raises(ValueError):
+            WorkloadMapping({0: 9}, num_chiplets=4)
+
+
+class TestMappingCost:
+    def test_colocated_tasks_are_local(self):
+        graph = make_arrangement("grid", 4).graph
+        workload = make_workload("dnn-pipeline", num_tasks=4, traffic_flits=3)
+        mapping = WorkloadMapping({0: 0, 1: 0, 2: 0, 3: 0}, num_chiplets=4)
+        cost = evaluate_mapping(workload, mapping, graph)
+        assert cost.weighted_hop_count == 0.0
+        assert cost.max_link_load == 0.0
+        assert cost.bottleneck_link is None
+        assert cost.local_traffic_fraction == 1.0
+        assert link_loads(workload, mapping, graph) == {}
+
+    def test_single_hop_costs(self):
+        graph = make_arrangement("grid", 4).graph
+        workload = make_workload("dnn-pipeline", num_tasks=2, traffic_flits=7)
+        mapping = WorkloadMapping({0: 0, 1: 1}, num_chiplets=4)
+        cost = evaluate_mapping(workload, mapping, graph)
+        assert cost.weighted_hop_count == pytest.approx(7.0)
+        assert cost.max_link_load == pytest.approx(7.0)
+        assert cost.bottleneck_link == (0, 1)
+        assert cost.local_traffic_fraction == 0.0
+
+    def test_link_loads_conserve_traffic(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        workload = make_workload("fork-join", num_tasks=7)
+        mapping = map_workload("round-robin", workload, graph)
+        cost = evaluate_mapping(workload, mapping, graph)
+        loads = link_loads(workload, mapping, graph)
+        # Total link traffic equals the weighted hop count (each hop of a
+        # routed edge contributes its flits to exactly one link).
+        assert sum(loads.values()) == pytest.approx(cost.weighted_hop_count)
+
+
+class TestWorkloadJson:
+    def test_round_trip_dict(self):
+        workload = make_workload("fork-join", num_tasks=6, compute_weight=2.5)
+        clone = workload_from_dict(workload_to_dict(workload))
+        assert clone.name == workload.name
+        assert clone.tasks() == workload.tasks()
+        assert clone.edges() == workload.edges()
+
+    def test_round_trip_file(self, tmp_path):
+        workload = make_workload("stencil", num_tasks=10)
+        path = tmp_path / "stencil.json"
+        save_workload_json(workload, str(path))
+        clone = load_workload_json(str(path))
+        assert clone.tasks() == workload.tasks()
+        assert clone.edges() == workload.edges()
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"name": "empty", "tasks": [], "edges": []})
