@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Standalone entry point for the engine benchmark harness.
+
+Equivalent to ``python -m repro bench`` (the logic lives in
+:mod:`repro.bench` so the installed CLI and this in-repo script cannot
+drift apart).  Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/harness.py --quick
+    PYTHONPATH=src python benchmarks/harness.py --quick \
+        --check-against benchmarks/baseline.json
+
+The report lands in ``BENCH_<rev>.json`` unless ``--output`` says
+otherwise; ``benchmarks/baseline.json`` is the committed perf baseline the
+CI ``perf-regression`` job gates against.  Refresh it deliberately with
+``--quick --write-baseline benchmarks/baseline.json`` (the gate runs in
+quick mode, so the baseline must be recorded in quick mode too — see
+README "Benchmarking & perf tracking").
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the in-repo package importable when PYTHONPATH is not set.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.cli import main  # noqa: E402  (sys.path setup must come first)
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

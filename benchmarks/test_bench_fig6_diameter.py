@@ -9,7 +9,6 @@ as "x0.6" in the figure).
 
 from conftest import bench_max_chiplets, run_once
 
-from repro.arrangements.base import ArrangementKind
 from repro.evaluation.proxies import run_figure6_diameter
 from repro.evaluation.tables import render_series_summary
 

@@ -1,11 +1,35 @@
-"""Setup shim.
+"""Package metadata.
 
-The project is fully described by ``pyproject.toml``; this file exists so
-that fully offline environments (no access to a ``wheel`` distribution,
-which modern ``pip install -e .`` needs for PEP 660 editable wheels) can
-still perform a development install via ``python setup.py develop``.
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) so fully
+offline environments — no access to a ``wheel`` distribution, which
+modern ``pip install -e .`` needs for PEP 660 editable wheels — can still
+perform a development install via ``python setup.py develop``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="hexamesh-repro",
+    version="0.3.0",
+    description=(
+        "Reproduction of the HexaMesh (DAC 2023) chiplet-arrangement study: "
+        "arrangement generators, D2D link model, cycle-accurate NoC simulator "
+        "with three bit-identical engines, parallel sweeps and workloads"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    # numpy backs the spectral partitioner and the vectorized NoC engine's
+    # flat tables (the CI examples job used to install it ad hoc).
+    install_requires=["numpy"],
+    extras_require={
+        # `pip install .[bench]` for the pytest-based benchmark modules
+        # under benchmarks/ (the `repro bench` harness itself needs no
+        # extras — it only uses the stdlib + numpy).
+        "bench": ["pytest-benchmark"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["hexamesh = repro.cli:main"],
+    },
+)

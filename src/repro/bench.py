@@ -1,0 +1,412 @@
+"""Benchmark harness: wall-clock tracking of the cycle-loop engines.
+
+The harness runs a fixed, deterministic list of scenarios — the Figure 7
+simulation point the paper spot-checks (61-chiplet HexaMesh), a small
+design-space sweep and a trace-driven application workload — once per
+cycle-loop engine, and emits a machine-readable ``BENCH_<rev>.json``
+report with wall-clock seconds, simulated cycles per second and the
+speedup of every engine over the legacy reference.
+
+Because all engines are bit-identical, the harness also *asserts* result
+equality across them on every scenario, so a benchmark run doubles as an
+end-to-end equivalence check.
+
+Perf-regression gating (the CI ``perf-regression`` job) compares a fresh
+report against the committed ``benchmarks/baseline.json``:
+
+* the **speedup over legacy** of each engine must not fall more than
+  ``tolerance`` (default 25%) below the baseline's recorded speedup —
+  speedups are ratios of two runs on the same machine, so the gate is
+  robust against runner-to-runner hardware variance, unlike raw wall
+  clock;
+* a scenario/engine may additionally carry a hard ``min_speedup`` floor
+  (the committed baseline pins the vectorized engine to >= 2x on the
+  61-chiplet HexaMesh zero-load point, the PR's headline target).
+
+Run it via the CLI (``python -m repro bench [--quick]``) or the thin
+wrapper ``benchmarks/harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.arrangements.factory import make_arrangement
+from repro.core.parallel import ParallelSweepRunner
+from repro.noc.config import SimulationConfig
+from repro.noc.engine import ENGINE_NAMES
+from repro.noc.simulator import NocSimulator
+from repro.workloads import make_workload, map_workload
+from repro.workloads.trace import simulate_workload
+
+#: Schema version of the emitted report; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: Relative speedup loss (vs. the committed baseline) that fails the gate.
+DEFAULT_TOLERANCE = 0.25
+
+#: The engine every speedup is measured against.
+REFERENCE_ENGINE = "legacy"
+
+#: Hard speedup floors recorded in the committed baseline: the vectorized
+#: engine must stay >= 2x over legacy on the 61-chiplet HexaMesh zero-load
+#: point (the PR's headline perf target).
+HEADLINE_FLOORS: dict[tuple[str, str], float] = {
+    ("fig7-hexamesh61-zero-load", "vectorized"): 2.0,
+}
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One benchmark scenario.
+
+    ``build`` returns a zero-argument callable per engine invocation:
+    calling it runs the scenario once with the given engine and returns
+    ``(comparable_result, cycles_simulated)``.  The comparable result is
+    used for the cross-engine equality assertion.
+    """
+
+    name: str
+    description: str
+    quick: bool  # part of the --quick subset
+    build: Callable[[bool], Callable[[str], tuple[Any, int]]]
+
+
+def _phase_config(quick: bool, **overrides) -> SimulationConfig:
+    """Paper-length phases for full runs, reduced phases for --quick."""
+    if quick:
+        return SimulationConfig(
+            warmup_cycles=200, measurement_cycles=400, drain_cycles=600, **overrides
+        )
+    return SimulationConfig(**overrides)
+
+
+def _fig7_point(rate: float):
+    def build(quick: bool):
+        graph = make_arrangement("hexamesh", 61).graph
+        config = _phase_config(quick)
+
+        def run(engine: str):
+            simulator = NocSimulator(graph, config, injection_rate=rate)
+            result = simulator.run(engine=engine)
+            return result, result.cycles_simulated
+
+        return run
+
+    return build
+
+
+def _sweep_grid(quick: bool):
+    config = _phase_config(quick)
+    counts = (16, 19) if quick else (16, 37)
+    candidates = ParallelSweepRunner.grid(
+        ("grid", "hexamesh"), counts, (0.05, 0.3), ("uniform",)
+    )
+
+    def run(engine: str):
+        runner = ParallelSweepRunner(config, jobs=1, engine=engine)
+        records = runner.run(candidates)
+        cycles = sum(record.result.cycles_simulated for record in records)
+        return [record.result for record in records], cycles
+
+    return run
+
+
+def _workload_trace(quick: bool):
+    config = _phase_config(quick)
+    graph = make_arrangement("hexamesh", 37).graph
+    workload = make_workload("dnn-pipeline", num_tasks=37)
+    mapping = map_workload("partition", workload, graph)
+
+    def run(engine: str):
+        result = simulate_workload(
+            graph, workload, mapping, config=config, engine=engine
+        )
+        return result.simulation, result.simulation.cycles_simulated
+
+    return run
+
+
+#: The deterministic scenario list (order is part of the report contract).
+SCENARIOS: tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="fig7-hexamesh61-zero-load",
+        description="61-chiplet HexaMesh at the Fig. 7 zero-load point (rate 0.02)",
+        quick=True,
+        build=_fig7_point(0.02),
+    ),
+    BenchScenario(
+        name="fig7-hexamesh61-overload",
+        description="61-chiplet HexaMesh at the Fig. 7 overload point (rate 1.0)",
+        quick=False,
+        build=_fig7_point(1.0),
+    ),
+    BenchScenario(
+        name="sweep-grid-hexamesh",
+        description="serial design-space sweep (grid+hexamesh x rates, uniform)",
+        quick=True,
+        build=_sweep_grid,
+    ),
+    BenchScenario(
+        name="workload-dnn-hexamesh37",
+        description="trace-driven dnn-pipeline on the 37-chiplet HexaMesh",
+        quick=True,
+        build=_workload_trace,
+    ),
+)
+
+
+def available_scenarios(*, quick: bool = False) -> tuple[str, ...]:
+    """Scenario names, in run order (the ``--quick`` subset when asked)."""
+    return tuple(s.name for s in SCENARIOS if s.quick or not quick)
+
+
+def git_revision(default: str = "local") -> str:
+    """Short git revision of the working tree (``default`` when unavailable)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else default
+
+
+def default_output_path(revision: str) -> str:
+    """The conventional report filename for one revision."""
+    return f"BENCH_{revision}.json"
+
+
+def run_bench(
+    scenario_names: Sequence[str] | None = None,
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+    engines: Sequence[str] = ENGINE_NAMES,
+    revision: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the benchmark scenarios and build the report dictionary.
+
+    ``repeat`` runs every (scenario, engine) pair N times and keeps the
+    fastest wall clock (noise suppression); the per-run results must all
+    be bit-identical, which is asserted.  ``scenario_names`` defaults to
+    :func:`available_scenarios` for the chosen mode.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    selected = available_scenarios(quick=quick) if scenario_names is None else tuple(scenario_names)
+    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    unknown = [name for name in selected if name not in by_name]
+    if unknown:
+        raise ValueError(
+            f"unknown bench scenarios {unknown}; available: {', '.join(by_name)}"
+        )
+    for engine in engines:
+        if engine not in ENGINE_NAMES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ENGINE_NAMES}")
+
+    scenario_reports = []
+    for name in selected:
+        scenario = by_name[name]
+        if progress is not None:
+            progress(f"bench: {name} ({scenario.description})")
+        run_once = scenario.build(quick)
+        reference_result = None
+        cycles = 0
+        engine_rows: dict[str, dict[str, float]] = {}
+        for engine in engines:
+            best_wall = None
+            result = None
+            for iteration in range(repeat):
+                start = time.perf_counter()
+                result, cycles = run_once(engine)
+                wall = time.perf_counter() - start
+                if best_wall is None or wall < best_wall:
+                    best_wall = wall
+                if reference_result is None:
+                    reference_result = result
+                elif result != reference_result:
+                    raise RuntimeError(
+                        f"bench scenario {name!r}: engine {engine!r} "
+                        f"(repeat {iteration + 1}/{repeat}) produced a "
+                        "different result than the reference run — the "
+                        "bit-identical contract is broken"
+                    )
+            engine_rows[engine] = {
+                "wall_seconds": round(best_wall, 6),
+                "cycles_per_second": round(cycles / best_wall, 1) if best_wall > 0 else 0.0,
+            }
+        if REFERENCE_ENGINE in engine_rows:
+            reference_wall = engine_rows[REFERENCE_ENGINE]["wall_seconds"]
+            for engine, row in engine_rows.items():
+                if row["wall_seconds"] > 0:
+                    row["speedup_vs_legacy"] = round(
+                        reference_wall / row["wall_seconds"], 3
+                    )
+        scenario_reports.append(
+            {
+                "name": name,
+                "description": scenario.description,
+                "cycles": cycles,
+                "engines": engine_rows,
+            }
+        )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": revision if revision is not None else git_revision(),
+        "quick": quick,
+        "repeat": repeat,
+        "created_unix": int(time.time()),
+        "engines": list(engines),
+        "scenarios": scenario_reports,
+    }
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    """Write the report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Load a report / baseline JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_report_table(report: dict[str, Any]) -> str:
+    """The report as a GitHub-flavoured markdown table (for step summaries)."""
+    lines = [
+        f"| scenario | engine | wall [s] | cycles/s | speedup vs {REFERENCE_ENGINE} |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for scenario in report["scenarios"]:
+        for engine, row in scenario["engines"].items():
+            speedup = row.get("speedup_vs_legacy")
+            lines.append(
+                f"| {scenario['name']} | {engine} "
+                f"| {row['wall_seconds']:.3f} "
+                f"| {row['cycles_per_second']:,.0f} "
+                f"| {speedup if speedup is not None else '-'} |"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Regression gating against the committed baseline
+# ---------------------------------------------------------------------------
+
+
+def make_baseline(
+    report: dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_speedups: dict[tuple[str, str], float] | None = None,
+) -> dict[str, Any]:
+    """Distil a report into the committed-baseline shape.
+
+    Only the machine-independent speedups are kept; ``min_speedups`` maps
+    ``(scenario, engine)`` to a hard floor recorded alongside them.
+    """
+    floors = min_speedups or {}
+    scenarios: dict[str, Any] = {}
+    for scenario in report["scenarios"]:
+        rows = {}
+        for engine, row in scenario["engines"].items():
+            if engine == REFERENCE_ENGINE:
+                continue
+            speedup = row.get("speedup_vs_legacy")
+            if speedup is None:
+                continue
+            entry: dict[str, Any] = {"speedup_vs_legacy": speedup}
+            floor = floors.get((scenario["name"], engine))
+            if floor is not None:
+                entry["min_speedup"] = floor
+            rows[engine] = entry
+        scenarios[scenario["name"]] = rows
+    return {
+        "schema": BENCH_SCHEMA,
+        "source_rev": report.get("rev", "unknown"),
+        "quick": bool(report.get("quick")),
+        "tolerance": tolerance,
+        "scenarios": scenarios,
+    }
+
+
+def check_report(report: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Compare a fresh report against a baseline; return regression messages.
+
+    An empty list means the gate passes.  Scenarios present in the
+    baseline but missing from the report are reported as regressions too
+    (a silently dropped scenario must not green-light the gate); extra
+    scenarios in the report are ignored.  A baseline recorded in a
+    different mode (``--quick`` vs. full phases) fails immediately:
+    speedup ratios differ systematically between the modes.
+    """
+    if baseline.get("schema") != BENCH_SCHEMA:
+        return [
+            f"baseline schema {baseline.get('schema')!r} does not match "
+            f"harness schema {BENCH_SCHEMA}"
+        ]
+    baseline_scenarios = baseline.get("scenarios", {})
+    if not isinstance(baseline_scenarios, dict):
+        return [
+            "baseline 'scenarios' is not an object — was a full BENCH report "
+            "committed instead of a --write-baseline file?"
+        ]
+    if "quick" in baseline and bool(report.get("quick")) != bool(baseline["quick"]):
+        mode = "--quick" if baseline["quick"] else "full"
+        return [
+            f"baseline was recorded in {mode} mode but the report was not; "
+            "speedup ratios differ systematically between modes, so compare "
+            "like with like (re-run with the matching mode)"
+        ]
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    measured = {scenario["name"]: scenario for scenario in report["scenarios"]}
+    problems: list[str] = []
+    for name, engines in baseline_scenarios.items():
+        scenario = measured.get(name)
+        if scenario is None:
+            problems.append(f"scenario {name!r} is in the baseline but was not run")
+            continue
+        for engine, expected in engines.items():
+            row = scenario["engines"].get(engine)
+            speedup = None if row is None else row.get("speedup_vs_legacy")
+            if speedup is None:
+                problems.append(
+                    f"{name}/{engine}: no measured speedup (engine not run?)"
+                )
+                continue
+            reference = float(expected["speedup_vs_legacy"])
+            allowed = reference * (1.0 - tolerance)
+            if speedup < allowed:
+                problems.append(
+                    f"{name}/{engine}: speedup {speedup:.2f}x regressed more than "
+                    f"{tolerance:.0%} below the baseline {reference:.2f}x "
+                    f"(allowed >= {allowed:.2f}x)"
+                )
+            floor = expected.get("min_speedup")
+            if floor is not None and speedup < float(floor):
+                problems.append(
+                    f"{name}/{engine}: speedup {speedup:.2f}x is below the hard "
+                    f"floor of {float(floor):.2f}x"
+                )
+    return problems
+
+
+def iter_scenarios() -> Iterable[BenchScenario]:
+    """All registered scenarios, in run order (read-only view)."""
+    return iter(SCENARIOS)

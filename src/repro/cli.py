@@ -14,6 +14,9 @@ Installed as the ``hexamesh`` console script (also reachable with
 * ``workload``  — map application task graphs (DNN pipelines, fork-join,
   stencil, all-reduce, client-server) onto arrangements and run the
   trace-driven cycle-accurate simulator, reporting application metrics,
+* ``bench``     — run the engine benchmark scenarios and emit a
+  machine-readable ``BENCH_<rev>.json`` report (optionally gated against
+  the committed baseline, which is how CI tracks perf regressions),
 * ``export``    — write BookSim2 input files and/or an SVG top view,
 * ``feasibility`` — check link-length / package feasibility.
 """
@@ -38,6 +41,7 @@ from repro.evaluation.tables import format_table
 from repro.io.booksim_export import write_booksim_inputs
 from repro.linkmodel.package import check_package_feasibility
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.traffic import available_traffic_patterns
 from repro.utils.validation import check_in_choices
 from repro.viz.svg import placement_svg, save_svg
@@ -99,6 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="worker processes for cycle-accurate points")
     figure.add_argument("--cache-dir", default=None,
                         help="on-disk cache for cycle-accurate results")
+    figure.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+                        help="cycle-loop engine for cycle-accurate points "
+                             "(all engines are bit-identical)")
 
     simulate = subparsers.add_parser("simulate", help="run the cycle-accurate simulator")
     simulate.add_argument("kind", choices=_KINDS)
@@ -107,6 +114,8 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--traffic", default="uniform")
     simulate.add_argument("--cycles", type=int, default=1000,
                           help="measurement cycles (warm-up and drain scale with it)")
+    simulate.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+                          help="cycle-loop engine (all engines are bit-identical)")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -126,6 +135,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cycles", type=int, default=1000,
                        help="measurement cycles (warm-up and drain scale with it)")
     sweep.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    sweep.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+                       help="cycle-loop engine (all engines are bit-identical)")
     sweep.add_argument("--output", default=None, help="CSV output path (default: table)")
 
     workload = subparsers.add_parser(
@@ -147,12 +158,34 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--cycles", type=int, default=1000,
                           help="measurement cycles (warm-up and drain scale with it)")
     workload.add_argument("--seed", type=int, default=1, help="base RNG seed")
-    workload.add_argument("--engine", choices=("active", "legacy"), default="active",
-                          help="cycle-loop engine (both are bit-identical)")
+    workload.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+                          help="cycle-loop engine (all engines are bit-identical)")
     workload.add_argument("--jobs", type=int, default=1, help="worker processes")
     workload.add_argument("--cache-dir", default=None,
                           help="on-disk result cache directory")
     workload.add_argument("--output", default=None, help="CSV output path (default: table)")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the engine benchmark scenarios and emit a BENCH_<rev>.json report",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced phase lengths and the quick scenario subset (CI mode)")
+    bench.add_argument("--scenarios", default=None,
+                       help="comma list of scenario names (default: all for the mode)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="runs per (scenario, engine); the fastest wall-clock is kept")
+    bench.add_argument("--output", default=None,
+                       help="report path (default: BENCH_<rev>.json in the working directory)")
+    bench.add_argument("--rev", default=None,
+                       help="revision label for the report (default: git short hash)")
+    bench.add_argument("--check-against", default=None, metavar="BASELINE",
+                       help="fail (exit 1) if any scenario regresses against this baseline JSON")
+    bench.add_argument("--write-baseline", default=None, metavar="PATH",
+                       help="also distil the report into a committed-baseline JSON "
+                            "(speedups + headline floors only)")
+    bench.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="print the scenario names for the chosen mode and exit")
 
     export = subparsers.add_parser("export", help="write BookSim2 inputs and/or an SVG view")
     export.add_argument("kind", choices=_KINDS)
@@ -196,6 +229,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                 ("--sim-points", args.sim_points, None),
                 ("--jobs", args.jobs, 1),
                 ("--cache-dir", args.cache_dir, None),
+                ("--engine", args.engine, DEFAULT_ENGINE),
             )
             if value != default
         ]
@@ -220,6 +254,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                     ("--sim-points", args.sim_points, None),
                     ("--jobs", args.jobs, 1),
                     ("--cache-dir", args.cache_dir, None),
+                    ("--engine", args.engine, DEFAULT_ENGINE),
                 )
                 if value != default
             ]
@@ -238,6 +273,7 @@ def _command_figure(args: argparse.Namespace) -> int:
             simulation_points=sim_points,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            noc_engine=args.engine,
         )
         csv_text = "".join(
             experiment.to_csv()
@@ -261,7 +297,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
     design = ChipletDesign.create(args.kind, args.chiplets)
     config = _phase_config(args.cycles)
     result = design.simulate(
-        injection_rate=args.injection_rate, traffic=args.traffic, config=config
+        injection_rate=args.injection_rate,
+        traffic=args.traffic,
+        config=config,
+        engine=args.engine,
     )
     rows = [
         ["design", design.label],
@@ -289,7 +328,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     for traffic in traffics:
         check_in_choices("traffic", traffic, available_traffic_patterns())
     config = _phase_config(args.cycles, seed=args.seed)
-    runner = ParallelSweepRunner(config, jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = ParallelSweepRunner(
+        config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
+    )
     candidates = ParallelSweepRunner.grid(kinds, chiplet_counts, rates, traffics)
 
     def report_progress(done: int, total: int, record) -> None:
@@ -407,6 +448,48 @@ def _command_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench harness pulls in the whole sweep /
+    # workload stack, which the other subcommands should not pay for.
+    from repro import bench
+
+    if args.list_scenarios:
+        for name in bench.available_scenarios(quick=args.quick):
+            print(name)
+        return 0
+    scenario_names = None
+    if args.scenarios:
+        scenario_names = _parse_list(
+            args.scenarios, kind=str,
+            all_values=bench.available_scenarios(quick=args.quick),
+        )
+    revision = args.rev if args.rev is not None else bench.git_revision()
+    report = bench.run_bench(
+        scenario_names,
+        quick=args.quick,
+        repeat=args.repeat,
+        revision=revision,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    output = args.output if args.output else bench.default_output_path(revision)
+    bench.write_report(report, output)
+    print(f"wrote {output}")
+    print(bench.format_report_table(report))
+    if args.write_baseline:
+        baseline = bench.make_baseline(report, min_speedups=bench.HEADLINE_FLOORS)
+        bench.write_report(baseline, args.write_baseline)
+        print(f"wrote {args.write_baseline}")
+    if args.check_against:
+        baseline = bench.load_report(args.check_against)
+        problems = bench.check_report(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed against {args.check_against}")
+    return 0
+
+
 def _command_export(args: argparse.Namespace) -> int:
     arrangement = make_arrangement(args.kind, args.chiplets)
     wrote_something = False
@@ -460,6 +543,7 @@ _COMMANDS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
     "workload": _command_workload,
+    "bench": _command_bench,
     "export": _command_export,
     "feasibility": _command_feasibility,
 }

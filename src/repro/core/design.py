@@ -24,6 +24,7 @@ from repro.linkmodel.bandwidth import D2DLinkModel, LinkBandwidthEstimate
 from repro.linkmodel.parameters import EvaluationParameters
 from repro.linkmodel.shape import ChipletShape
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.perfmodel.latency import zero_load_latency_cycles
 from repro.perfmodel.throughput import (
@@ -244,6 +245,7 @@ class ChipletDesign:
         injection_rate: float = 0.02,
         traffic: str = "uniform",
         config: SimulationConfig | None = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> SimulationResult:
         """Run the cycle-accurate simulator on this design.
 
@@ -256,6 +258,9 @@ class ChipletDesign:
         config:
             Optional phase-length / seed override; the architectural
             parameters always come from the design itself.
+        engine:
+            Cycle-loop engine (``"active"``, ``"vectorized"`` or
+            ``"legacy"``; all bit-identical under a fixed seed).
         """
         simulator = NocSimulator(
             self.arrangement.graph,
@@ -263,7 +268,7 @@ class ChipletDesign:
             injection_rate=injection_rate,
             traffic=traffic,
         )
-        return simulator.run()
+        return simulator.run(engine=engine)
 
     # -- reporting ----------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.arrangements.factory import make_arrangement
 from repro.core.design import ChipletDesign
 from repro.core.parallel import ProgressCallback, is_inline, parallel_map
 from repro.linkmodel.parameters import EvaluationParameters
+from repro.noc.engine import DEFAULT_ENGINE
 from repro.utils.validation import check_in_choices
 from repro.workloads import (
     available_mappers,
@@ -283,6 +284,26 @@ class DesignSpaceExplorer:
         """All workload records sorted from best to worst for ``objective``."""
         check_in_choices("objective", objective, sorted(_WORKLOAD_OBJECTIVES))
         return sorted(self._workload_records, key=_WORKLOAD_OBJECTIVES[objective])
+
+    def spot_check(
+        self,
+        record: ExplorationRecord,
+        *,
+        injection_rate: float = 0.02,
+        config=None,
+        engine: str = DEFAULT_ENGINE,
+    ):
+        """Cycle-accurately validate one explored record.
+
+        The explorer's own metrics are analytical; this runs the
+        cycle-accurate simulator on the record's design (any cycle-loop
+        engine — ``"active"``, ``"vectorized"`` or ``"legacy"``, all
+        bit-identical) so interesting candidates can be confirmed the same
+        way the paper spot-checks its Figure 7 points with BookSim2.
+        """
+        return record.design.simulate(
+            injection_rate=injection_rate, config=config, engine=engine
+        )
 
     def rank(self, objective: str = "latency") -> list[ExplorationRecord]:
         """All evaluated records sorted from best to worst for ``objective``."""

@@ -14,8 +14,9 @@ Invariants the rest of the code base relies on:
   identical records in identical order, across processes and machines.
 * **Cache transparency.**  Cache entries are keyed by a hash of the full
   candidate + simulation configuration, so a cache hit returns exactly
-  what the simulation would have produced; the two cycle-loop engines are
-  bit-identical by construction (see :mod:`repro.noc.engine`), so cached
+  what the simulation would have produced; the cycle-loop engines (legacy,
+  active-set, vectorized) are bit-identical by construction (see
+  :mod:`repro.noc.engine` and :mod:`repro.noc.vec_engine`), so cached
   results are shared between them.
 * **Order preservation.**  Workers may finish out of order (unordered
   chunked dispatch keeps them busy), but results are always returned in
@@ -40,6 +41,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.arrangements.factory import make_arrangement
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
@@ -413,11 +415,11 @@ class ParallelSweepRunner:
         jobs: int = 1,
         cache_dir: str | os.PathLike[str] | None = None,
         chunk_size: int | None = None,
-        engine: str = "active",
+        engine: str = DEFAULT_ENGINE,
         derive_seeds: bool = True,
     ) -> None:
         check_positive_int("jobs", jobs)
-        check_in_choices("engine", engine, ("active", "legacy"))
+        check_in_choices("engine", engine, ENGINE_NAMES)
         self._config = config if config is not None else SimulationConfig()
         self._jobs = jobs
         self._cache_dir = os.fspath(cache_dir) if cache_dir is not None else None

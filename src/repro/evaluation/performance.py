@@ -32,6 +32,7 @@ from repro.evaluation.series import DataSeries, ExperimentResult
 from repro.linkmodel.bandwidth import D2DLinkModel
 from repro.linkmodel.parameters import EvaluationParameters
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.sweep import measure_saturation_throughput, measure_zero_load_latency
 from repro.perfmodel.latency import zero_load_latency_cycles
 from repro.perfmodel.throughput import (
@@ -236,6 +237,7 @@ def evaluate_arrangement_performance(
     engine: str = "analytical",
     throughput_model: str = "bisection",
     simulation_config: SimulationConfig | None = None,
+    noc_engine: str = DEFAULT_ENGINE,
 ) -> Figure7Point:
     """Latency / throughput of one arrangement with either engine.
 
@@ -256,9 +258,14 @@ def evaluate_arrangement_performance(
         engine.
     simulation_config:
         Optional simulator phase-length / seed override.
+    noc_engine:
+        Cycle-loop engine for the simulation engine (``"active"``,
+        ``"vectorized"`` or ``"legacy"``; all bit-identical).  Ignored in
+        analytical mode.
     """
     check_in_choices("engine", engine, ("analytical", "simulation"))
     check_in_choices("throughput_model", throughput_model, ("bisection", "channel_load"))
+    check_in_choices("noc_engine", noc_engine, ENGINE_NAMES)
     if parameters is None:
         parameters = EvaluationParameters()
     config = _simulation_config_from(parameters, simulation_config)
@@ -270,9 +277,13 @@ def evaluate_arrangement_performance(
         else:
             saturation = saturation_throughput_fraction(arrangement.graph, config)
     else:
-        zero_load = measure_zero_load_latency(arrangement.graph, config)
+        zero_load = measure_zero_load_latency(
+            arrangement.graph, config, engine=noc_engine
+        )
         latency = zero_load.packet_latency.mean
-        saturation, _ = measure_saturation_throughput(arrangement.graph, config)
+        saturation, _ = measure_saturation_throughput(
+            arrangement.graph, config, engine=noc_engine
+        )
 
     return _assemble_figure7_point(
         arrangement, parameters, latency=latency, saturation=saturation, engine=engine
@@ -340,6 +351,7 @@ def run_figure7(
     kinds: Sequence[ArrangementKind | str] = FIGURE7_KINDS,
     jobs: int = 1,
     cache_dir: str | None = None,
+    noc_engine: str = DEFAULT_ENGINE,
 ) -> Figure7Result:
     """Regenerate the data of Figure 7 (all four panels).
 
@@ -372,8 +384,12 @@ def run_figure7(
         orders of magnitude cheaper than the dispatch overhead).
     cache_dir:
         Optional on-disk cache directory for the cycle-accurate points.
+    noc_engine:
+        Cycle-loop engine used for the cycle-accurate points (all engines
+        are bit-identical, so the figure data never depends on it).
     """
     check_in_choices("mode", mode, ("analytical", "simulation", "hybrid"))
+    check_in_choices("noc_engine", noc_engine, ENGINE_NAMES)
     if chiplet_counts is None:
         chiplet_counts = range(2, 101)
     counts = sorted(set(int(c) for c in chiplet_counts))
@@ -415,7 +431,8 @@ def run_figure7(
                     )
                 )
         runner = ParallelSweepRunner(
-            config, jobs=jobs, cache_dir=cache_dir, derive_seeds=False
+            config, jobs=jobs, cache_dir=cache_dir, engine=noc_engine,
+            derive_seeds=False,
         )
         records = runner.run(candidates)
         for pair_index, (kind, count) in enumerate(sim_designs):
@@ -441,6 +458,7 @@ def run_figure7(
                 engine=engine,
                 throughput_model=throughput_model,
                 simulation_config=simulation_config,
+                noc_engine=noc_engine,
             )
         )
     return Figure7Result(

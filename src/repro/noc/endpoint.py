@@ -78,6 +78,40 @@ class Endpoint:
         """Install the network-wide packet-id allocator callable."""
         self._next_packet_id_fn = allocator
 
+    # -- engine seams (used by the vectorized cycle loop) --------------------------
+
+    @property
+    def rng(self) -> random.Random:
+        """The endpoint's private RNG stream.
+
+        Exposed so the vectorized engine can inline the per-cycle Bernoulli
+        draw (``rng.random() < packet_probability``) without the method-call
+        overhead of :meth:`step`; the draw order and count must match
+        :meth:`_generate` exactly, which is what keeps all engines
+        bit-identical.
+        """
+        return self._rng
+
+    @property
+    def packet_probability(self) -> float:
+        """Per-cycle packet-creation probability of the injection process."""
+        return self._injection.packet_probability
+
+    @property
+    def packet_id_allocator(self):
+        """The installed network-wide packet-id allocator (or ``None``)."""
+        return self._next_packet_id_fn
+
+    def source_buffers(self) -> tuple[deque[Packet], deque[Flit]]:
+        """The live ``(source_queue, pending_flits)`` deques of this endpoint.
+
+        The vectorized engine polls these to decide whether
+        :meth:`inject_pending` has any work to do; callers must only read
+        them or append :class:`Packet` objects to the source queue the same
+        way :meth:`_generate` does.
+        """
+        return self._source_queue, self._pending_flits
+
     # -- externally driven events ------------------------------------------------
 
     def accept_credit(self, vc: int) -> None:
@@ -106,7 +140,7 @@ class Endpoint:
     def step(self, now: int, *, measured_phase: bool) -> None:
         """Generate new packets and inject at most one flit into the router."""
         self._generate(now, measured_phase)
-        self._inject(now)
+        self.inject_pending(now)
 
     def _generate(self, now: int, measured_phase: bool) -> None:
         if not self._injection.should_inject(self._rng):
@@ -125,7 +159,13 @@ class Endpoint:
         self._source_queue.append(packet)
         self.created_packets += 1
 
-    def _inject(self, now: int) -> None:
+    def inject_pending(self, now: int) -> None:
+        """Inject at most one flit of the queued packets, credit permitting.
+
+        A no-op when both the source queue and the pending-flit queue are
+        empty (it never consults the RNG), so engines may skip the call for
+        idle endpoints without changing any observable behaviour.
+        """
         if self._out_channel is None:
             raise RuntimeError("endpoint has no injection channel attached")
         # Start the next packet if the previous one has been fully sent.

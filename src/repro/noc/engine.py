@@ -47,6 +47,16 @@ from dataclasses import dataclass
 from repro.noc.config import SimulationConfig
 from repro.noc.network import Network
 
+#: Canonical names of every cycle-loop engine, in default-preference order.
+#: ``"active"`` is the default, ``"vectorized"`` is the flat-state batch
+#: engine of :mod:`repro.noc.vec_engine` and ``"legacy"`` the original
+#: dense reference loop.  Every ``engine=`` validation site (simulator,
+#: sweep runner, workload bridge, CLI) imports this tuple so a new engine
+#: only has to be registered once.
+ENGINE_NAMES: tuple[str, ...] = ("active", "vectorized", "legacy")
+
+DEFAULT_ENGINE = "active"
+
 
 @dataclass(frozen=True)
 class PhaseSnapshots:
@@ -110,6 +120,38 @@ def _phase_bounds(config: SimulationConfig) -> tuple[int, int, int]:
 
 def _injected_total(network: Network) -> int:
     return sum(endpoint.injected_flits for endpoint in network.endpoints)
+
+
+def attach_delivery_observers(channels, pending: dict[int, list[int]]) -> None:
+    """Attach arrival observers that bucket channel deliveries by cycle.
+
+    Shared by the active-set and vectorized engines so the event
+    scheduling they both rely on for the bit-identical contract has a
+    single implementation.  For every channel (in the given order, which
+    is the index recorded in the buckets): future ``send`` calls append
+    the channel's index to ``pending[arrival_cycle]``, and payloads
+    already in flight are re-scheduled immediately (clamped to cycle 0 so
+    a network resumed mid-flight delivers overdue payloads on the first
+    cycle).  Callers must reset ``channel.observer`` to ``None`` when the
+    run ends, and must drain each bucket with ``sorted(set(bucket))`` to
+    replay same-cycle deliveries in channel registration order.
+    """
+
+    def make_observer(index: int):
+        def observe(arrival: int) -> None:
+            bucket = pending.get(arrival)
+            if bucket is None:
+                pending[arrival] = [index]
+            else:
+                bucket.append(index)
+
+        return observe
+
+    for index, channel in enumerate(channels):
+        channel.observer = make_observer(index)
+        # Re-schedule payloads already in flight (empty for fresh networks).
+        for arrival, _payload in channel.pending():
+            pending.setdefault(max(arrival, 0), []).append(index)
 
 
 def run_legacy_loop(network: Network, config: SimulationConfig) -> PhaseSnapshots:
@@ -178,22 +220,7 @@ class ActiveSetEngine:
         # delivery time).  Channel latencies are >= 1, so a bucket is always
         # fully populated before its cycle is processed.
         pending: dict[int, list[int]] = {}
-
-        def _make_observer(index: int):
-            def observe(arrival: int) -> None:
-                bucket = pending.get(arrival)
-                if bucket is None:
-                    pending[arrival] = [index]
-                else:
-                    bucket.append(index)
-
-            return observe
-
-        for index, (channel, _) in enumerate(channel_sinks):
-            channel.observer = _make_observer(index)
-            # Re-schedule payloads already in flight (empty for fresh networks).
-            for arrival, _payload in channel.pending():
-                pending.setdefault(max(arrival, 0), []).append(index)
+        attach_delivery_observers([channel for channel, _ in channel_sinks], pending)
 
         ejected_before = ejected_after = 0
         injected_before = injected_after = 0

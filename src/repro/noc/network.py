@@ -25,6 +25,17 @@ from repro.noc.traffic import BernoulliInjection, TrafficPattern, UniformRandomT
 #: on the associated channel.
 _Sink = Callable[[object, int], None]
 
+#: Structured description of where a channel delivers to, exposed through
+#: :meth:`Network.channel_targets` so engines that bypass the sink closures
+#: (the vectorized engine operates on flat router state) can dispatch
+#: arrivals themselves.  Shapes:
+#:
+#: * ``("router_flit",   router_id,   port)`` — flit into a router input port,
+#: * ``("router_credit", router_id,   port)`` — credit into a router output port,
+#: * ``("endpoint_flit",   endpoint_id, -1)`` — flit ejected into an endpoint,
+#: * ``("endpoint_credit", endpoint_id, -1)`` — credit returned to an endpoint.
+ChannelTarget = tuple[str, int, int]
+
 
 class Network:
     """A fully wired inter-chiplet network ready to be simulated.
@@ -82,6 +93,7 @@ class Network:
         self.routers: list[Router] = []
         self.endpoints: list[Endpoint] = []
         self._channels: list[tuple[Channel, _Sink]] = []
+        self._channel_targets: list[ChannelTarget] = []
 
         self._build_routers()
         self._build_endpoints()
@@ -133,8 +145,9 @@ class Network:
             endpoint.set_packet_id_allocator(self._next_packet_id)
             self.endpoints.append(endpoint)
 
-    def _register(self, channel: Channel, sink: _Sink) -> Channel:
+    def _register(self, channel: Channel, sink: _Sink, target: ChannelTarget) -> Channel:
         self._channels.append((channel, sink))
+        self._channel_targets.append(target)
         return channel
 
     def _wire_router_links(self) -> None:
@@ -151,6 +164,7 @@ class Network:
                 self._register(
                     flit_channel,
                     self._make_router_flit_sink(receiver, in_port),
+                    ("router_flit", v, in_port),
                 )
 
                 credit_channel = Channel(link_latency, name=f"credit {v}->{u}")
@@ -158,6 +172,7 @@ class Network:
                 self._register(
                     credit_channel,
                     self._make_router_credit_sink(sender, out_port),
+                    ("router_credit", u, out_port),
                 )
 
     def _wire_endpoint_links(self) -> None:
@@ -171,13 +186,21 @@ class Network:
                 local_latency, name=f"inject {endpoint.endpoint_id}->{router.router_id}"
             )
             endpoint.attach_output_channel(injection_channel)
-            self._register(injection_channel, self._make_router_flit_sink(router, port))
+            self._register(
+                injection_channel,
+                self._make_router_flit_sink(router, port),
+                ("router_flit", router.router_id, port),
+            )
 
             injection_credit = Channel(
                 local_latency, name=f"inject-credit {router.router_id}->{endpoint.endpoint_id}"
             )
             router.attach_credit_channel(port, injection_credit)
-            self._register(injection_credit, self._make_endpoint_credit_sink(endpoint))
+            self._register(
+                injection_credit,
+                self._make_endpoint_credit_sink(endpoint),
+                ("endpoint_credit", endpoint.endpoint_id, -1),
+            )
 
             # Ejection path: router -> endpoint (the endpoint is an infinite
             # sink, so no credit channel is needed in return).
@@ -185,7 +208,11 @@ class Network:
                 local_latency, name=f"eject {router.router_id}->{endpoint.endpoint_id}"
             )
             router.attach_output_channel(port, ejection_channel)
-            self._register(ejection_channel, self._make_endpoint_flit_sink(endpoint))
+            self._register(
+                ejection_channel,
+                self._make_endpoint_flit_sink(endpoint),
+                ("endpoint_flit", endpoint.endpoint_id, -1),
+            )
 
     @staticmethod
     def _make_router_flit_sink(router: Router, port: int) -> _Sink:
@@ -227,6 +254,15 @@ class Network:
         same-cycle deliveries in exactly the same sequence.
         """
         return list(self._channels)
+
+    def channel_targets(self) -> list[tuple[Channel, ChannelTarget]]:
+        """The registered channels with structured delivery targets.
+
+        Same registration order as :meth:`channel_sinks`; the vectorized
+        engine uses the targets to route arrivals into its flat router
+        state instead of going through the object-model sink closures.
+        """
+        return list(zip((channel for channel, _ in self._channels), self._channel_targets))
 
     def deliver_channels(self, now: int) -> None:
         """Deliver every payload whose channel latency has elapsed."""

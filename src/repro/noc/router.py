@@ -25,6 +25,7 @@ packets travelling on the escape channel stay on it until ejection.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 from repro.noc.channel import Channel
 from repro.noc.config import SimulationConfig
@@ -70,6 +71,34 @@ class _OutputVC:
     def __init__(self, credits: int) -> None:
         self.owner: tuple[int, int] | None = None
         self.credits = credits
+
+
+@dataclass
+class RouterState:
+    """Flat snapshot of one router's mutable state.
+
+    All per-VC sequences are parallel lists indexed by ``port * V + vc``
+    (port-major, ascending — the exact order the router's own per-cycle
+    scans visit the virtual channels in).  The vectorized engine exports
+    this snapshot once per run, simulates on the flat representation, and
+    imports the final state back so every post-run introspection accessor
+    (`buffered_flits`, `in_flight_measured_packets`, flit conservation)
+    reports exactly what an object-stepped run would.
+    """
+
+    buffers: list[deque[Flit]]
+    states: list[int]
+    minimal_ports: list[tuple[int, ...]]
+    escape_ports: list[int | None]
+    escape_only: list[bool]
+    out_ports: list[int | None]
+    out_vcs: list[int | None]
+    alloc_wait_cycles: list[int]
+    owners: list[tuple[int, int] | None]
+    credits: list[int]
+    sa_port_pointer: int
+    buffered_flits: int
+    forwarded_flits: int
 
 
 class Router:
@@ -171,6 +200,90 @@ class Router:
     def is_ejection_port(self, port: int) -> bool:
         """Whether ``port`` leads to a locally attached endpoint."""
         return port >= self._num_router_ports
+
+    def output_channels(self) -> tuple[Channel | None, ...]:
+        """The attached output flit channels, indexed by output port."""
+        return tuple(self._out_flit_channels)
+
+    def input_credit_channels(self) -> tuple[Channel | None, ...]:
+        """The attached upstream credit channels, indexed by input port."""
+        return tuple(self._in_credit_channels)
+
+    # -- flat-state interchange (the vectorized engine's seam) -------------------
+
+    def export_state(self) -> RouterState:
+        """Snapshot the mutable state as flat ``port * V + vc`` parallel lists.
+
+        The buffers are the router's own deques (not copies): the caller
+        takes ownership of them until :meth:`import_state` hands the state
+        back, and the router must not be stepped in between.
+        """
+        buffers: list[deque[Flit]] = []
+        states: list[int] = []
+        minimal_ports: list[tuple[int, ...]] = []
+        escape_ports: list[int | None] = []
+        escape_only: list[bool] = []
+        out_ports: list[int | None] = []
+        out_vcs: list[int | None] = []
+        alloc_wait_cycles: list[int] = []
+        owners: list[tuple[int, int] | None] = []
+        credits: list[int] = []
+        for port_vcs, port_outputs in zip(self._input_vcs, self._output_vcs):
+            for input_vc in port_vcs:
+                buffers.append(input_vc.buffer)
+                states.append(input_vc.state)
+                minimal_ports.append(input_vc.minimal_ports)
+                escape_ports.append(input_vc.escape_port)
+                escape_only.append(input_vc.escape_only)
+                out_ports.append(input_vc.out_port)
+                out_vcs.append(input_vc.out_vc)
+                alloc_wait_cycles.append(input_vc.alloc_wait_cycles)
+            for output_vc in port_outputs:
+                owners.append(output_vc.owner)
+                credits.append(output_vc.credits)
+        return RouterState(
+            buffers=buffers,
+            states=states,
+            minimal_ports=minimal_ports,
+            escape_ports=escape_ports,
+            escape_only=escape_only,
+            out_ports=out_ports,
+            out_vcs=out_vcs,
+            alloc_wait_cycles=alloc_wait_cycles,
+            owners=owners,
+            credits=credits,
+            sa_port_pointer=self._sa_port_pointer,
+            buffered_flits=self._buffered_flits,
+            forwarded_flits=self.forwarded_flits,
+        )
+
+    def import_state(self, state: RouterState) -> None:
+        """Restore a snapshot previously produced by :meth:`export_state`."""
+        vcs = self._config.num_virtual_channels
+        expected = self._num_ports * vcs
+        if len(state.buffers) != expected or len(state.credits) != expected:
+            raise ValueError(
+                f"router {self.router_id}: flat state has "
+                f"{len(state.buffers)} input / {len(state.credits)} output VCs, "
+                f"expected {expected}"
+            )
+        index = 0
+        for port_vcs, port_outputs in zip(self._input_vcs, self._output_vcs):
+            for input_vc, output_vc in zip(port_vcs, port_outputs):
+                input_vc.buffer = state.buffers[index]
+                input_vc.state = state.states[index]
+                input_vc.minimal_ports = state.minimal_ports[index]
+                input_vc.escape_port = state.escape_ports[index]
+                input_vc.escape_only = state.escape_only[index]
+                input_vc.out_port = state.out_ports[index]
+                input_vc.out_vc = state.out_vcs[index]
+                input_vc.alloc_wait_cycles = state.alloc_wait_cycles[index]
+                output_vc.owner = state.owners[index]
+                output_vc.credits = state.credits[index]
+                index += 1
+        self._sa_port_pointer = state.sa_port_pointer
+        self._buffered_flits = state.buffered_flits
+        self.forwarded_flits = state.forwarded_flits
 
     # -- externally driven events ----------------------------------------------
 

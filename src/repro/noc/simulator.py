@@ -24,8 +24,9 @@ from dataclasses import dataclass
 
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
-from repro.noc.engine import ActiveSetEngine, EngineStats, run_legacy_loop
+from repro.noc.engine import ENGINE_NAMES, ActiveSetEngine, EngineStats, run_legacy_loop
 from repro.noc.network import Network
+from repro.noc.vec_engine import VectorizedEngine
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.noc.traffic import TrafficPattern, make_traffic_pattern
 from repro.utils.validation import check_fraction, check_in_choices
@@ -125,15 +126,20 @@ class NocSimulator:
         ----------
         engine:
             ``"active"`` (default) uses the active-set fast path of
-            :mod:`repro.noc.engine`; ``"legacy"`` uses the original dense
-            cycle loop.  Both produce bit-identical results under a fixed
-            seed — the legacy engine remains available as the reference for
-            the equivalence test suite.
+            :mod:`repro.noc.engine`; ``"vectorized"`` uses the flat-state
+            batch engine of :mod:`repro.noc.vec_engine`; ``"legacy"`` uses
+            the original dense cycle loop.  All three produce bit-identical
+            results under a fixed seed — the legacy engine remains the
+            reference for the equivalence test suite.
         """
-        check_in_choices("engine", engine, ("active", "legacy"))
+        check_in_choices("engine", engine, ENGINE_NAMES)
         if engine == "legacy":
             self.last_engine_stats = None
             snapshots = run_legacy_loop(self._network, self._config)
+        elif engine == "vectorized":
+            vectorized = VectorizedEngine(self._network, self._config)
+            snapshots = vectorized.run()
+            self.last_engine_stats = vectorized.stats
         else:
             active = ActiveSetEngine(self._network, self._config)
             snapshots = active.run()

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.traffic import TrafficPattern
 from repro.utils.validation import check_fraction, check_in_choices
@@ -68,9 +69,10 @@ def _simulate(
     config: SimulationConfig,
     rate: float,
     traffic: TrafficPattern | str,
+    engine: str = DEFAULT_ENGINE,
 ) -> SimulationResult:
     simulator = NocSimulator(graph, config, injection_rate=rate, traffic=traffic)
-    return simulator.run()
+    return simulator.run(engine=engine)
 
 
 def measure_zero_load_latency(
@@ -79,12 +81,13 @@ def measure_zero_load_latency(
     *,
     traffic: TrafficPattern | str = "uniform",
     injection_rate: float = ZERO_LOAD_INJECTION_RATE,
+    engine: str = DEFAULT_ENGINE,
 ) -> SimulationResult:
     """Measure the zero-load latency by simulating at a very low injection rate."""
     check_fraction("injection_rate", injection_rate)
     if config is None:
         config = SimulationConfig()
-    return _simulate(graph, config, injection_rate, traffic)
+    return _simulate(graph, config, injection_rate, traffic, engine)
 
 
 def run_injection_sweep(
@@ -95,6 +98,7 @@ def run_injection_sweep(
     traffic: TrafficPattern | str = "uniform",
     jobs: int = 1,
     cache_dir: str | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> InjectionSweepResult:
     """Simulate the network at a sequence of offered loads.
 
@@ -103,7 +107,9 @@ def run_injection_sweep(
     runs with the configured base seed, so the curve is identical to a
     serial sweep).  ``cache_dir`` enables the on-disk result cache.  A
     :class:`TrafficPattern` *instance* forces the serial path because only
-    pattern names can be shipped to workers.
+    pattern names can be shipped to workers.  ``engine`` selects the
+    cycle-loop engine (all engines are bit-identical, so it never changes
+    the curve — only the wall-clock).
     """
     if config is None:
         config = SimulationConfig()
@@ -128,13 +134,13 @@ def run_injection_sweep(
             for rate in rates
         ]
         runner = ParallelSweepRunner(
-            config, jobs=jobs, cache_dir=cache_dir, derive_seeds=False
+            config, jobs=jobs, cache_dir=cache_dir, engine=engine, derive_seeds=False
         )
         records = runner.run(candidates)
         return InjectionSweepResult(
             rates=tuple(rates), results=tuple(record.result for record in records)
         )
-    results = tuple(_simulate(graph, config, rate, traffic) for rate in rates)
+    results = tuple(_simulate(graph, config, rate, traffic, engine) for rate in rates)
     return InjectionSweepResult(rates=tuple(rates), results=results)
 
 
@@ -145,6 +151,7 @@ def measure_saturation_throughput(
     traffic: TrafficPattern | str = "uniform",
     method: str = "overload",
     rates: Sequence[float] | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> tuple[float, SimulationResult | InjectionSweepResult]:
     """Estimate the saturation throughput in flits per cycle per endpoint.
 
@@ -156,7 +163,7 @@ def measure_saturation_throughput(
     if config is None:
         config = SimulationConfig()
     if method == "overload":
-        result = _simulate(graph, config, 1.0, traffic)
+        result = _simulate(graph, config, 1.0, traffic, engine)
         return result.accepted_flit_rate, result
-    sweep = run_injection_sweep(graph, config, rates=rates, traffic=traffic)
+    sweep = run_injection_sweep(graph, config, rates=rates, traffic=traffic, engine=engine)
     return sweep.saturation_throughput, sweep

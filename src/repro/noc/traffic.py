@@ -213,6 +213,16 @@ class BernoulliInjection:
         """Offered load in flits per cycle per endpoint."""
         return self._rate
 
+    @property
+    def packet_probability(self) -> float:
+        """Per-cycle probability of starting a new packet (``rate / size``).
+
+        This is the exact threshold :meth:`should_inject` compares the RNG
+        draw against; the vectorized engine reads it once per endpoint so
+        its inlined generation loop reproduces the same draws.
+        """
+        return self._packet_probability
+
     def scaled(self, factor: float) -> "BernoulliInjection":
         """A copy of this process with the flit rate multiplied by ``factor``.
 

@@ -1,0 +1,598 @@
+"""The vectorized batch engine: flat-state cycle loop over the whole network.
+
+This is the third cycle-loop engine next to the legacy dense scan and the
+active-set scheduler of :mod:`repro.noc.engine`.  Instead of walking the
+object graph (`Network` -> `Router` -> `_InputVC` -> `deque`) every cycle,
+it flattens all mutable router state into *flat tables* indexed by a
+global ``(router, port, vc)`` coordinate and steps the whole network on
+that representation:
+
+* **Flat state tables.**  Every router exports its per-VC state once at
+  the start of the run (:meth:`repro.noc.router.Router.export_state`):
+  buffers, VC pipeline states, routing decisions, credit counters and
+  output-VC ownership all become parallel flat lists addressed by
+  ``base[router] + port * V + vc``.  The per-element hot state deliberately
+  lives in plain Python lists — CPython list indexing is faster than
+  ndarray item access for the scalar read-modify-write pattern of a cycle
+  loop — while numpy provides the static offset / routing tables and the
+  bulk end-of-run consistency check.
+* **Masked work selection.**  Each router carries two occupancy bitmasks
+  over its ``port * V + vc`` bits: ``occ`` (non-empty buffers) and
+  ``alloc`` (VCs needing route computation or VC allocation).  The
+  per-cycle scans iterate only the set bits — in ascending bit order,
+  which is exactly the (port-major, vc-minor) order of the object model's
+  dense scans, so every allocation decision falls in the same sequence.
+* **Precomputed routing.**  Route computation becomes a single table
+  lookup: ``route_tab[router][destination_endpoint]`` holds the minimal
+  output-port tuple, the escape port and the escape-only flag (ejection
+  folded in), replacing the dict lookups and tuple rebuilding of
+  ``Router._compute_route``.
+* **Scalar injection draws.**  Endpoint packet generation *must* stay
+  per-endpoint and in ascending endpoint order: each endpoint consumes its
+  private ``random.Random`` stream one draw per generation cycle, so any
+  batching would shift destinations and injections.  The engine instead
+  inlines the generation fast path (one bound ``rng.random`` call and one
+  compare per endpoint per cycle) and skips the injection stage entirely
+  for endpoints with no queued work — both RNG-neutral by construction.
+* **Event-driven channels.**  Channels stay live :class:`Channel` objects
+  (their in-flight queues remain the source of truth for conservation
+  checks); deliveries are scheduled through the same observer hook the
+  active-set engine uses, but dispatched through per-channel handlers that
+  write straight into the flat tables.
+
+At the end of the run (or on error) the flat state is imported back into
+the router objects (:meth:`Router.import_state`), so all post-run
+introspection — flit conservation, in-flight measured packets, buffered
+counts — reports exactly what a legacy run would.
+
+Equivalence contract: under the same configuration and seed the engine is
+**bit-identical** to the legacy and active-set engines, for every
+arrangement kind, traffic pattern (including trace replay) and phase
+configuration; the equivalence suite compares final results field by
+field across all three engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.config import SimulationConfig
+from repro.noc.engine import (
+    EngineStats,
+    PhaseSnapshots,
+    _injected_total,
+    _phase_bounds,
+    attach_delivery_observers,
+)
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.router import _ACTIVE, _IDLE, _VC_ALLOC
+
+
+class VectorizedEngine:
+    """Flat-state cycle loop; see the module docstring for the design.
+
+    An engine instance is single-use: create one per :meth:`run` call.
+    The interface mirrors :class:`repro.noc.engine.ActiveSetEngine` so
+    :class:`~repro.noc.simulator.NocSimulator` can treat them uniformly.
+    """
+
+    def __init__(self, network: Network, config: SimulationConfig) -> None:
+        self._network = network
+        self._config = config
+        self.stats = EngineStats()
+
+    # The run loop is written as one large function on purpose: all hot
+    # state is bound to local names / closure cells, which is the fastest
+    # access pattern CPython offers (attribute lookups in an inner loop
+    # would cost 2-3x).
+    def run(self) -> PhaseSnapshots:  # noqa: C901 - hot loop, deliberately flat
+        """Advance the network to the end of the drain phase (or early exit)."""
+        network = self._network
+        config = self._config
+        stats = self.stats
+        warmup_end, measure_end, total_cycles = _phase_bounds(config)
+
+        # -- configuration scalars ------------------------------------------------
+        V = config.num_virtual_channels
+        escape_vc = config.escape_vc
+        adaptive = config.adaptive_vcs
+        depth = config.buffer_depth_flits
+        router_latency = config.router_latency_cycles
+        patience = config.escape_patience_cycles
+        packet_size = config.packet_size_flits
+        escape_only_all = V == 1
+
+        routers = network.routers
+        num_routers = len(routers)
+        nports = [router.num_ports for router in routers]
+        nrports = [router.num_router_ports for router in routers]
+
+        # -- flat tables ----------------------------------------------------------
+        # base[r] is the global offset of router r's (port, vc) block; the
+        # global coordinate of (router, port, vc) is base[r] + port * V + vc.
+        block_sizes = np.asarray(nports, dtype=np.int64) * V
+        base_offsets = np.concatenate(([0], np.cumsum(block_sizes)))
+        base = [int(offset) for offset in base_offsets[:-1]]
+
+        buf = []
+        state = []
+        minp = []
+        escp = []
+        esco = []
+        outp = []
+        outv = []
+        wait = []
+        owner = []
+        credits = []
+        occ = [0] * num_routers
+        alloc = [0] * num_routers
+        counts = [0] * num_routers
+        sa_ptr = [0] * num_routers
+        fwd = [0] * num_routers
+        out_ch = []
+        cred_ch = []
+        for r, router in enumerate(routers):
+            snapshot = router.export_state()
+            buf.extend(snapshot.buffers)
+            state.extend(snapshot.states)
+            minp.extend(snapshot.minimal_ports)
+            escp.extend(snapshot.escape_ports)
+            esco.extend(snapshot.escape_only)
+            outp.extend(snapshot.out_ports)
+            outv.extend(snapshot.out_vcs)
+            wait.extend(snapshot.alloc_wait_cycles)
+            owner.extend(snapshot.owners)
+            credits.extend(snapshot.credits)
+            counts[r] = snapshot.buffered_flits
+            sa_ptr[r] = snapshot.sa_port_pointer
+            fwd[r] = snapshot.forwarded_flits
+            out_ch.append(router.output_channels())
+            cred_ch.append(router.input_credit_channels())
+            occ_mask = 0
+            alloc_mask = 0
+            for idx, buffer in enumerate(snapshot.buffers):
+                if buffer:
+                    bit = 1 << idx
+                    occ_mask |= bit
+                    if snapshot.states[idx] != _ACTIVE:
+                        alloc_mask |= bit
+            occ[r] = occ_mask
+            alloc[r] = alloc_mask
+
+        # Precomputed routing: route_tab[r][destination_endpoint] is the
+        # (minimal output ports, escape port, escape_only) triple of
+        # Router._compute_route, with ejection folded in (local
+        # destinations route straight to their endpoint port and are never
+        # escape-only, mirroring the object model exactly so the written-
+        # back state is bit-identical).
+        routing = network.routing
+        endpoint_to_router = network.endpoint_to_router
+        num_endpoints = network.num_endpoints
+        route_tab: list[list[tuple[tuple[int, ...], int, bool]]] = []
+        for r, router in enumerate(routers):
+            row: list[tuple[tuple[int, ...], int, bool]] = []
+            for destination in range(num_endpoints):
+                destination_router = endpoint_to_router[destination]
+                if destination_router == r:
+                    ejection_port = router.port_of_endpoint(destination)
+                    row.append(((ejection_port,), ejection_port, False))
+                else:
+                    minimal = tuple(
+                        router.port_of_neighbor(neighbor)
+                        for neighbor in routing.minimal_next_hops(r, destination_router)
+                    )
+                    escape_port = router.port_of_neighbor(
+                        routing.escape_next_hop(r, destination_router)
+                    )
+                    row.append((minimal, escape_port, escape_only_all))
+            route_tab.append(row)
+
+        # -- endpoint generation fast path ---------------------------------------
+        # One row per endpoint that can ever create a packet (probability
+        # zero endpoints never draw from their RNG, exactly like
+        # BernoulliInjection.should_inject).  Row order is ascending
+        # endpoint id — the legacy stepping order, which pins the shared
+        # packet-id allocator and trace-cursor sequences.
+        endpoints = network.endpoints
+        traffic_destination = network.traffic.destination
+        gen_rows = []
+        for endpoint in endpoints:
+            probability = endpoint.packet_probability
+            if probability <= 0.0:
+                continue
+            if endpoint.packet_id_allocator is None:
+                raise RuntimeError("endpoint has no packet-id allocator attached")
+            source_queue, pending_flits = endpoint.source_buffers()
+            gen_rows.append(
+                (
+                    endpoint.endpoint_id,
+                    endpoint.rng.random,
+                    probability,
+                    endpoint.rng,
+                    endpoint,
+                    source_queue,
+                    pending_flits,
+                    endpoint.inject_pending,
+                    endpoint.packet_id_allocator,
+                )
+            )
+        num_endpoints_total = len(endpoints)
+
+        # -- flat-state mutators --------------------------------------------------
+
+        def make_router_flit_handler(r: int, port: int):
+            base_r = base[r]
+            port_bits = port * V
+            router_id = routers[r].router_id
+
+            def handle(flit, now: int) -> None:
+                idx = port_bits + flit.vc
+                g = base_r + idx
+                buffer = buf[g]
+                if len(buffer) >= depth:
+                    raise RuntimeError(
+                        f"router {router_id}: input buffer overflow on port {port} "
+                        f"vc {flit.vc}; credit flow control is broken"
+                    )
+                flit.arrival_cycle = now
+                buffer.append(flit)
+                counts[r] += 1
+                bit = 1 << idx
+                occ[r] |= bit
+                if state[g] != _ACTIVE:
+                    alloc[r] |= bit
+
+            return handle
+
+        def make_router_credit_handler(r: int, port: int):
+            credit_base = base[r] + port * V
+
+            def handle(vc, now: int) -> None:
+                credits[credit_base + int(vc)] += 1
+
+            return handle
+
+        def make_endpoint_credit_handler(endpoint):
+            accept = endpoint.accept_credit
+
+            def handle(vc, now: int) -> None:
+                accept(int(vc))
+
+            return handle
+
+        # -- channel event scheduling --------------------------------------------
+        pending: dict[int, list[int]] = {}
+        channel_rows: list[tuple] = []  # (channel, handler)
+        targets = network.channel_targets()
+        for channel, target in targets:
+            kind, owner_id, port = target
+            if kind == "router_flit":
+                handler = make_router_flit_handler(owner_id, port)
+            elif kind == "router_credit":
+                handler = make_router_credit_handler(owner_id, port)
+            elif kind == "endpoint_flit":
+                handler = endpoints[owner_id].accept_flit
+            elif kind == "endpoint_credit":
+                handler = make_endpoint_credit_handler(endpoints[owner_id])
+            else:  # pragma: no cover - new target kinds must be wired here
+                raise ValueError(f"unknown channel target kind {kind!r}")
+            channel_rows.append((channel, handler))
+        attach_delivery_observers([channel for channel, _ in channel_rows], pending)
+
+        # -- the router core ------------------------------------------------------
+        # Static idx -> (port, vc, bit) lookup tables shared by all routers
+        # (sized for the widest port block) replace div/mod in the scans.
+        max_block = max(nports) * V
+        port_of = [idx // V for idx in range(max_block)]
+        vc_of = [idx % V for idx in range(max_block)]
+        bit_of = [1 << idx for idx in range(max_block)]
+
+        def step_router(r: int, now: int) -> None:
+            # Bind the closure cells once; the scans below hit these names
+            # hundreds of times per call.
+            _buf = buf
+            _state = state
+            _owner = owner
+            _credits = credits
+            _outp = outp
+            _outv = outv
+            _port_of = port_of
+            _vc_of = vc_of
+            base_r = base[r]
+            router_ports = nrports[r]
+
+            # .. route computation + VC allocation (masked scan) ..........
+            scan = alloc[r]
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                idx = low.bit_length() - 1
+                g = base_r + idx
+                if _state[g] == _IDLE:
+                    head = _buf[g][0]
+                    if not head.is_head:
+                        raise RuntimeError(
+                            f"router {routers[r].router_id}: non-head flit at the "
+                            f"front of an idle VC (port {_port_of[idx]}, "
+                            f"vc {_vc_of[idx]}); packet framing is broken"
+                        )
+                    minimal, escape_port, escape_only = route_tab[r][
+                        head.packet.destination
+                    ]
+                    minp[g] = minimal
+                    escp[g] = escape_port
+                    esco[g] = escape_only
+                    wait[g] = 0
+                    _state[g] = _VC_ALLOC
+
+                # VC allocation (state is _VC_ALLOC for every bit that
+                # survives to here).
+                minimal = minp[g]
+                target_port = minimal[0] if minimal else None
+                if target_port is not None and target_port >= router_ports:
+                    # Ejection ports accept any free VC.
+                    out_base = base_r + target_port * V
+                    for out_vc in range(V):
+                        if _owner[out_base + out_vc] is None:
+                            _owner[out_base + out_vc] = (_port_of[idx], _vc_of[idx])
+                            _outp[g] = target_port
+                            _outv[g] = out_vc
+                            _state[g] = _ACTIVE
+                            alloc[r] &= ~low
+                            break
+                    continue
+
+                if not esco[g] and adaptive:
+                    best_port = -1
+                    best_vc = -1
+                    best_score = -1
+                    found = False
+                    for candidate_port in minimal:
+                        out_base = base_r + candidate_port * V
+                        port_credits = 0
+                        free_vc = -1
+                        free_vc_credits = -1
+                        for vc in adaptive:
+                            vc_credits = _credits[out_base + vc]
+                            port_credits += vc_credits
+                            if _owner[out_base + vc] is None and vc_credits > free_vc_credits:
+                                free_vc = vc
+                                free_vc_credits = vc_credits
+                        if free_vc < 0:
+                            continue
+                        if not found or port_credits > best_score:
+                            found = True
+                            best_score = port_credits
+                            best_port = candidate_port
+                            best_vc = free_vc
+                    if found:
+                        _owner[base_r + best_port * V + best_vc] = (_port_of[idx], _vc_of[idx])
+                        _outp[g] = best_port
+                        _outv[g] = best_vc
+                        _state[g] = _ACTIVE
+                        alloc[r] &= ~low
+                        continue
+
+                wait[g] += 1
+                if esco[g] or wait[g] > patience:
+                    escape_port = escp[g]
+                    if escape_port is not None:
+                        out_g = base_r + escape_port * V + escape_vc
+                        if _owner[out_g] is None:
+                            _owner[out_g] = (_port_of[idx], _vc_of[idx])
+                            _outp[g] = escape_port
+                            _outv[g] = escape_vc
+                            _state[g] = _ACTIVE
+                            alloc[r] &= ~low
+
+            # .. switch allocation (masked nomination scan) ................
+            active_bits = occ[r] & ~alloc[r]
+            if not active_bits:
+                return
+            nominations: dict[int, int] = {}  # port -> vc index
+            scan = active_bits
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                idx = low.bit_length() - 1
+                port = _port_of[idx]
+                if port in nominations:
+                    continue
+                g = base_r + idx
+                head = _buf[g][0]
+                if now < head.arrival_cycle + router_latency:
+                    continue
+                out_port = _outp[g]
+                if out_port < router_ports:
+                    if _credits[base_r + out_port * V + _outv[g]] <= 0:
+                        continue
+                nominations[port] = _vc_of[idx]
+
+            if not nominations:
+                return
+
+            granted: dict[int, tuple[int, int]] = {}  # out_port -> (port, vc)
+            start = sa_ptr[r]
+            ports = nports[r]
+            for offset in range(ports):
+                port = (start + offset) % ports
+                vc = nominations.get(port)
+                if vc is None:
+                    continue
+                out_port = _outp[base_r + port * V + vc]
+                if out_port is not None and out_port not in granted:
+                    granted[out_port] = (port, vc)
+            sa_ptr[r] = (sa_ptr[r] + 1) % ports
+
+            router_out_channels = out_ch[r]
+            router_credit_channels = cred_ch[r]
+            for out_port, (port, vc) in granted.items():
+                idx = port * V + vc
+                g = base_r + idx
+                buffer = _buf[g]
+                flit = buffer.popleft()
+                counts[r] -= 1
+                if not buffer:
+                    occ[r] &= ~bit_of[idx]
+                out_vc = _outv[g]
+                out_g = base_r + out_port * V + out_vc
+                if out_port < router_ports:
+                    _credits[out_g] -= 1
+                    flit.hops += 1
+                flit.vc = out_vc
+                channel = router_out_channels[out_port]
+                if channel is None:
+                    raise RuntimeError(
+                        f"router {routers[r].router_id}: no channel attached to "
+                        f"output port {out_port}"
+                    )
+                channel.send(flit, now)
+                fwd[r] += 1
+                credit_channel = router_credit_channels[port]
+                if credit_channel is not None:
+                    credit_channel.send(vc, now)
+                if flit.is_tail:
+                    _owner[out_g] = None
+                    _state[g] = _IDLE
+                    _outp[g] = None
+                    _outv[g] = None
+                    minp[g] = ()
+                    escp[g] = None
+                    esco[g] = False
+                    if buffer:
+                        alloc[r] |= bit_of[idx]
+
+        # -- the cycle loop -------------------------------------------------------
+        ejected_before = ejected_after = 0
+        injected_before = injected_after = 0
+        router_range = range(num_routers)
+
+        try:
+            cycle = 0
+            while cycle < total_cycles:
+                if cycle == warmup_end:
+                    ejected_before = network.total_ejected_flits()
+                    injected_before = _injected_total(network)
+                if cycle == measure_end:
+                    ejected_after = network.total_ejected_flits()
+                    injected_after = _injected_total(network)
+                if cycle >= measure_end and not pending and not any(counts):
+                    # Endpoints no longer step; nothing is buffered or in
+                    # flight, so the remaining drain cycles are provably idle.
+                    stats.early_exit_cycle = cycle
+                    break
+
+                bucket = pending.pop(cycle, None)
+                if bucket is not None:
+                    for index in sorted(set(bucket)):
+                        channel, handler = channel_rows[index]
+                        for payload in channel.receive(cycle):
+                            handler(payload, cycle)
+                            stats.channel_deliveries += 1
+
+                if cycle < measure_end:
+                    measured = cycle >= warmup_end
+                    for (
+                        endpoint_id,
+                        draw,
+                        probability,
+                        rng,
+                        endpoint,
+                        source_queue,
+                        pending_flits,
+                        inject,
+                        next_packet_id,
+                    ) in gen_rows:
+                        # Inlined Endpoint._generate: same draw, same
+                        # destination order, same allocator sequence.
+                        if draw() < probability:
+                            destination = traffic_destination(endpoint_id, rng)
+                            source_queue.append(
+                                Packet(
+                                    next_packet_id(),
+                                    endpoint_id,
+                                    destination,
+                                    packet_size,
+                                    cycle,
+                                    measured,
+                                )
+                            )
+                            endpoint.created_packets += 1
+                        # The injection stage only acts when work is queued
+                        # (and never draws from the RNG), so idle endpoints
+                        # are skipped wholesale.
+                        if source_queue or pending_flits:
+                            inject(cycle)
+                    stats.endpoint_steps += num_endpoints_total
+
+                for r in router_range:
+                    if counts[r]:
+                        step_router(r, cycle)
+                        stats.router_steps += 1
+
+                stats.cycles_executed += 1
+                cycle += 1
+        finally:
+            # Hand the (possibly mid-run, but structurally consistent)
+            # state back to the object model and detach the observers —
+            # unconditionally, so an in-flight exception never leaves the
+            # network holding stale pre-run router state.
+            self._import_router_states(
+                buf, state, minp, escp, esco, outp, outv, wait, owner, credits,
+                base, counts, sa_ptr, fwd,
+            )
+            for channel, _ in channel_rows:
+                channel.observer = None
+
+        # Bulk consistency check on the flat tables (success path only, so
+        # it cannot mask the root cause of a loop error).
+        recounted = np.fromiter((len(b) for b in buf), dtype=np.int64, count=len(buf))
+        if int(recounted.sum()) != sum(counts):
+            raise RuntimeError(
+                "vectorized engine lost track of buffered flits: "
+                f"tables hold {int(recounted.sum())}, counters say {sum(counts)}"
+            )
+
+        if config.drain_cycles == 0:
+            ejected_after = network.total_ejected_flits()
+            injected_after = _injected_total(network)
+
+        return PhaseSnapshots(
+            ejected_before_measurement=ejected_before,
+            injected_before_measurement=injected_before,
+            ejected_after_measurement=ejected_after,
+            injected_after_measurement=injected_after,
+            total_cycles=total_cycles,
+            cycles_executed=stats.cycles_executed,
+        )
+
+    def _import_router_states(
+        self, buf, state, minp, escp, esco, outp, outv, wait, owner, credits,
+        base, counts, sa_ptr, fwd,
+    ) -> None:
+        """Write the flat tables back into the router objects."""
+        from repro.noc.router import RouterState
+
+        config = self._config
+        V = config.num_virtual_channels
+        for r, router in enumerate(self._network.routers):
+            start = base[r]
+            stop = start + router.num_ports * V
+            router.import_state(
+                RouterState(
+                    buffers=buf[start:stop],
+                    states=state[start:stop],
+                    minimal_ports=minp[start:stop],
+                    escape_ports=escp[start:stop],
+                    escape_only=esco[start:stop],
+                    out_ports=outp[start:stop],
+                    out_vcs=outv[start:stop],
+                    alloc_wait_cycles=wait[start:stop],
+                    owners=owner[start:stop],
+                    credits=credits[start:stop],
+                    sa_port_pointer=sa_ptr[r],
+                    buffered_flits=counts[r],
+                    forwarded_flits=fwd[r],
+                )
+            )

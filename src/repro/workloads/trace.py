@@ -10,12 +10,13 @@ existing :class:`~repro.noc.traffic.TrafficPattern` seam:
    smoothly interleaved destination schedule per source endpoint and
    advertises per-source injection-rate scales (heaviest talker runs at
    the configured rate, silent endpoints at zero), and
-3. :func:`simulate_workload` runs the cycle-accurate simulator (either
-   engine) and reports application-level metrics: the static mapping cost,
+3. :func:`simulate_workload` runs the cycle-accurate simulator (any of
+   the cycle-loop engines) and reports application-level metrics: the static mapping cost,
    a makespan proxy and per-communication-edge latencies.
 
 Determinism: the destination schedules never consult the RNG, so a trace
-run is bit-identical across the legacy and active-set engines and across
+run is bit-identical across the legacy, active-set and vectorized engines
+and across
 ``jobs=1`` / ``jobs=N`` sweeps under a fixed seed — the same guarantee the
 synthetic patterns provide.
 """
@@ -28,6 +29,7 @@ from typing import Mapping
 
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.traffic import TrafficPattern
 from repro.utils.validation import check_positive_int
@@ -380,15 +382,16 @@ def simulate_workload(
     *,
     config: SimulationConfig | None = None,
     injection_rate: float = 0.1,
-    engine: str = "active",
+    engine: str = DEFAULT_ENGINE,
     max_schedule_slots: int = 64,
 ) -> WorkloadSimulationResult:
     """Run a mapped workload through the cycle-accurate NoC simulator.
 
     ``injection_rate`` is the offered load of the *heaviest* source
     endpoint; every other source is scaled down proportionally to its
-    share of the workload traffic.  Both cycle-loop engines are supported
-    and bit-identical under a fixed seed.
+    share of the workload traffic.  Every cycle-loop engine (``"active"``,
+    ``"vectorized"``, ``"legacy"``) is supported and bit-identical under a
+    fixed seed.
     """
     if config is None:
         config = SimulationConfig()

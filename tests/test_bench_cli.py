@@ -1,0 +1,225 @@
+"""The benchmark harness: scenario registry, report schema and the CI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+from repro.noc.engine import ENGINE_NAMES
+
+
+class TestScenarioRegistry:
+    def test_scenario_list_is_deterministic(self):
+        first = bench.available_scenarios()
+        second = bench.available_scenarios()
+        assert first == second
+        assert first == tuple(s.name for s in bench.iter_scenarios())
+        assert len(set(first)) == len(first)
+
+    def test_quick_subset_selection(self):
+        full = bench.available_scenarios()
+        quick = bench.available_scenarios(quick=True)
+        assert set(quick) < set(full)
+        # The headline gate scenario must be part of the CI quick subset.
+        assert "fig7-hexamesh61-zero-load" in quick
+        assert "fig7-hexamesh61-overload" not in quick
+        # Quick keeps the full-run order.
+        assert [name for name in full if name in quick] == list(quick)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench scenario"):
+            bench.run_bench(["no-such-scenario"])
+
+    def test_invalid_repeat_rejected(self):
+        with pytest.raises(ValueError, match="repeat"):
+            bench.run_bench([], repeat=0)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            bench.run_bench([], engines=("warp-speed",))
+
+
+class TestReportSchema:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # One real (small) scenario: doubles as an end-to-end check that
+        # the harness drives all three engines and asserts equivalence.
+        return bench.run_bench(
+            ["workload-dnn-hexamesh37"], quick=True, revision="test-rev"
+        )
+
+    def test_report_layout(self, report):
+        assert report["schema"] == bench.BENCH_SCHEMA
+        assert report["rev"] == "test-rev"
+        assert report["quick"] is True
+        assert report["engines"] == list(ENGINE_NAMES)
+        (scenario,) = report["scenarios"]
+        assert scenario["name"] == "workload-dnn-hexamesh37"
+        assert scenario["cycles"] > 0
+        assert set(scenario["engines"]) == set(ENGINE_NAMES)
+        for engine, row in scenario["engines"].items():
+            assert row["wall_seconds"] > 0
+            assert row["cycles_per_second"] > 0
+            assert row["speedup_vs_legacy"] > 0
+        assert scenario["engines"]["legacy"]["speedup_vs_legacy"] == 1.0
+
+    def test_report_round_trips_through_json(self, report, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        bench.write_report(report, str(path))
+        assert bench.load_report(str(path)) == json.loads(path.read_text())
+
+    def test_markdown_table(self, report):
+        table = bench.format_report_table(report)
+        assert table.splitlines()[0].startswith("| scenario | engine |")
+        assert "workload-dnn-hexamesh37" in table
+
+    def test_make_baseline_shape(self, report):
+        baseline = bench.make_baseline(
+            report, min_speedups={("workload-dnn-hexamesh37", "vectorized"): 1.0}
+        )
+        assert baseline["schema"] == bench.BENCH_SCHEMA
+        assert baseline["source_rev"] == "test-rev"
+        assert baseline["quick"] is True
+        rows = baseline["scenarios"]["workload-dnn-hexamesh37"]
+        # The reference engine is never gated against itself.
+        assert "legacy" not in rows
+        assert rows["vectorized"]["min_speedup"] == 1.0
+        assert "min_speedup" not in rows["active"]
+
+
+def _fake_report(speedups: dict[str, float]) -> dict:
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "rev": "fake",
+        "quick": True,
+        "scenarios": [
+            {
+                "name": name,
+                "cycles": 100,
+                "engines": {
+                    "legacy": {"wall_seconds": 1.0, "cycles_per_second": 100.0,
+                               "speedup_vs_legacy": 1.0},
+                    "vectorized": {"wall_seconds": 1.0 / speedup,
+                                   "cycles_per_second": 100.0 * speedup,
+                                   "speedup_vs_legacy": speedup},
+                },
+            }
+            for name, speedup in speedups.items()
+        ],
+    }
+
+
+def _fake_baseline(expectations: dict[str, dict]) -> dict:
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "tolerance": 0.25,
+        "scenarios": {
+            name: {"vectorized": entry} for name, entry in expectations.items()
+        },
+    }
+
+
+class TestRegressionGate:
+    def test_passes_within_tolerance(self):
+        report = _fake_report({"s": 3.2})
+        baseline = _fake_baseline({"s": {"speedup_vs_legacy": 4.0}})
+        assert bench.check_report(report, baseline) == []
+
+    def test_fails_beyond_tolerance(self):
+        report = _fake_report({"s": 2.9})  # 4.0 * 0.75 = 3.0 is the limit
+        baseline = _fake_baseline({"s": {"speedup_vs_legacy": 4.0}})
+        problems = bench.check_report(report, baseline)
+        assert len(problems) == 1 and "regressed" in problems[0]
+
+    def test_fails_below_hard_floor(self):
+        report = _fake_report({"s": 1.9})
+        baseline = _fake_baseline(
+            {"s": {"speedup_vs_legacy": 2.0, "min_speedup": 2.0}}
+        )
+        problems = bench.check_report(report, baseline)
+        assert any("hard" in p and "floor" in p for p in problems)
+
+    def test_missing_scenario_is_a_regression(self):
+        report = _fake_report({"s": 3.0})
+        baseline = _fake_baseline(
+            {"s": {"speedup_vs_legacy": 3.0}, "gone": {"speedup_vs_legacy": 2.0}}
+        )
+        problems = bench.check_report(report, baseline)
+        assert any("was not run" in p for p in problems)
+
+    def test_schema_mismatch_is_reported(self):
+        report = _fake_report({"s": 3.0})
+        baseline = {"schema": 999, "scenarios": {}}
+        problems = bench.check_report(report, baseline)
+        assert len(problems) == 1 and "schema" in problems[0]
+
+    def test_committed_baseline_is_loadable_and_gated(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks", "baseline.json",
+        )
+        baseline = bench.load_report(path)
+        assert baseline["schema"] == bench.BENCH_SCHEMA
+        # The committed baseline pins the headline >= 2x floor on the
+        # Fig. 7 zero-load point (the acceptance criterion of the PR that
+        # introduced the vectorized engine).
+        gate = baseline["scenarios"]["fig7-hexamesh61-zero-load"]["vectorized"]
+        assert gate["min_speedup"] >= 2.0
+        assert gate["speedup_vs_legacy"] >= 2.0
+        # Every gated scenario is part of the CI quick subset.
+        quick = set(bench.available_scenarios(quick=True))
+        assert set(baseline["scenarios"]) <= quick
+
+
+class TestBenchCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list", "--quick"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(bench.available_scenarios(quick=True))
+
+    def test_cli_emits_report_and_passes_own_gate(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_cli.json"
+        baseline_path = tmp_path / "baseline.json"
+        code = main([
+            "bench", "--quick", "--scenarios", "workload-dnn-hexamesh37",
+            "--rev", "cli-test", "--output", str(output),
+            "--write-baseline", str(baseline_path),
+        ])
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["rev"] == "cli-test"
+        assert [s["name"] for s in report["scenarios"]] == ["workload-dnn-hexamesh37"]
+        # The written baseline round-trips through the gate.  Wall clocks
+        # of sub-second scenarios are noisy, so give the re-measured run
+        # generous slack — this tests the plumbing, not the machine.
+        baseline = json.loads(baseline_path.read_text())
+        for rows in baseline["scenarios"].values():
+            for entry in rows.values():
+                entry["speedup_vs_legacy"] *= 0.5
+                entry.pop("min_speedup", None)
+        baseline_path.write_text(json.dumps(baseline))
+        code = main([
+            "bench", "--quick", "--scenarios", "workload-dnn-hexamesh37",
+            "--rev", "cli-test", "--output", str(output),
+            "--check-against", str(baseline_path),
+        ])
+        assert code == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_cli_gate_failure_exits_nonzero(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_cli.json"
+        baseline_path = tmp_path / "impossible.json"
+        baseline_path.write_text(json.dumps(_fake_baseline(
+            {"workload-dnn-hexamesh37": {"speedup_vs_legacy": 10_000.0}}
+        )))
+        code = main([
+            "bench", "--quick", "--scenarios", "workload-dnn-hexamesh37",
+            "--output", str(output), "--check-against", str(baseline_path),
+        ])
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err

@@ -5,6 +5,7 @@ import pytest
 from repro.core.design import ChipletDesign
 from repro.core.explorer import DesignSpaceExplorer
 from repro.core.report import DesignComparison, compare_designs
+from repro.noc.config import SimulationConfig
 
 
 class TestExplorer:
@@ -58,6 +59,22 @@ class TestExplorer:
     def test_requires_at_least_one_kind(self):
         with pytest.raises(ValueError):
             DesignSpaceExplorer(kinds=[])
+
+
+class TestExplorerSpotCheck:
+    def test_spot_check_simulates_a_record_with_any_engine(self):
+        explorer = DesignSpaceExplorer(kinds=["hexamesh"])
+        (record,) = explorer.evaluate([7])
+        config = SimulationConfig(
+            warmup_cycles=40, measurement_cycles=80, drain_cycles=200
+        )
+        legacy = explorer.spot_check(record, config=config, engine="legacy")
+        vectorized = explorer.spot_check(record, config=config, engine="vectorized")
+        # The cycle-accurate spot check is engine-agnostic (bit-identical)
+        # and actually simulated the record's design.
+        assert legacy == vectorized
+        assert legacy.num_routers == 7
+        assert legacy.measured_packets_ejected > 0
 
 
 class TestDesignComparison:

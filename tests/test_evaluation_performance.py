@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arrangements.base import ArrangementKind
 from repro.arrangements.factory import make_arrangement
 from repro.evaluation.headline import (
     HeadlineClaims,
@@ -15,7 +14,6 @@ from repro.evaluation.performance import (
     run_figure7,
     run_link_bandwidth_table,
 )
-from repro.linkmodel.parameters import EvaluationParameters
 from repro.noc.config import SimulationConfig
 
 

@@ -1,6 +1,5 @@
 """Unit tests for repro.geometry.primitives."""
 
-import math
 
 import pytest
 

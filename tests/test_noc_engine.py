@@ -1,10 +1,10 @@
 """Determinism and equivalence of the cycle-loop engines.
 
-The active-set engine must be a pure optimisation: under a fixed seed it
-produces bit-identical :class:`SimulationResult`s to the legacy dense
-loop, across arrangements, injection rates and traffic patterns, while
-actually skipping idle work (which the engine's instrumentation counters
-expose).
+The active-set and vectorized engines must be pure optimisations: under a
+fixed seed they produce bit-identical :class:`SimulationResult`s to the
+legacy dense loop, across arrangements, injection rates and traffic
+patterns, while actually skipping idle work (which the engines'
+instrumentation counters expose).
 """
 
 from __future__ import annotations
@@ -13,13 +13,22 @@ import pytest
 
 from repro.arrangements.factory import make_arrangement
 from repro.noc.config import SimulationConfig
-from repro.noc.engine import ActiveSetEngine, PhaseSnapshots, run_legacy_loop
+from repro.noc.engine import (
+    ENGINE_NAMES,
+    ActiveSetEngine,
+    PhaseSnapshots,
+    run_legacy_loop,
+)
 from repro.noc.network import Network
 from repro.noc.simulator import NocSimulator
+from repro.noc.vec_engine import VectorizedEngine
 
 FAST_CONFIG = SimulationConfig(
     warmup_cycles=60, measurement_cycles=120, drain_cycles=300
 )
+
+#: The optimised engines, each checked against the legacy reference.
+FAST_ENGINES = ("active", "vectorized")
 
 EQUIVALENCE_GRID = [
     (kind, count, rate, traffic)
@@ -36,18 +45,23 @@ def _result(kind, count, rate, traffic, engine, config=FAST_CONFIG):
 
 
 class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("kind,count,rate,traffic", EQUIVALENCE_GRID)
-    def test_bit_identical_results(self, kind, count, rate, traffic):
+    def test_bit_identical_results(self, kind, count, rate, traffic, engine):
         _, legacy = _result(kind, count, rate, traffic, "legacy")
-        _, active = _result(kind, count, rate, traffic, "active")
+        _, fast = _result(kind, count, rate, traffic, engine)
         # Frozen dataclasses compare field by field, nested statistics
         # included — this is the bit-identical contract of the engines.
-        assert legacy == active
+        assert legacy == fast
 
-    def test_identical_across_repeated_runs(self):
-        _, first = _result("hexamesh", 7, 0.1, "uniform", "active")
-        _, second = _result("hexamesh", 7, 0.1, "uniform", "active")
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_identical_across_repeated_runs(self, engine):
+        _, first = _result("hexamesh", 7, 0.1, "uniform", engine)
+        _, second = _result("hexamesh", 7, 0.1, "uniform", engine)
         assert first == second
+
+    def test_engine_name_registry_is_stable(self):
+        assert ENGINE_NAMES == ("active", "vectorized", "legacy")
 
     def test_different_seeds_differ(self):
         graph = make_arrangement("grid", 9).graph
@@ -58,24 +72,49 @@ class TestEngineEquivalence:
         other = NocSimulator(graph, other_config, injection_rate=0.2).run()
         assert base != other
 
-    def test_zero_drain_equivalence(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_zero_drain_equivalence(self, engine):
         config = SimulationConfig(
             warmup_cycles=60, measurement_cycles=120, drain_cycles=0
         )
         _, legacy = _result("grid", 9, 0.3, "uniform", "legacy", config)
-        _, active = _result("grid", 9, 0.3, "uniform", "active", config)
-        assert legacy == active
+        _, fast = _result("grid", 9, 0.3, "uniform", engine, config)
+        assert legacy == fast
 
-    def test_zero_injection_equivalence(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_zero_injection_equivalence(self, engine):
         _, legacy = _result("grid", 9, 0.0, "uniform", "legacy")
-        _, active = _result("grid", 9, 0.0, "uniform", "active")
+        _, fast = _result("grid", 9, 0.0, "uniform", engine)
         # Latency statistics are all-NaN with no measured packets (and
         # NaN != NaN), so compare the discrete fields directly.
-        assert legacy.throughput == active.throughput
-        assert legacy.cycles_simulated == active.cycles_simulated
-        assert legacy.measured_packets_created == active.measured_packets_created == 0
-        assert legacy.measured_packets_ejected == active.measured_packets_ejected == 0
-        assert legacy.packet_latency.is_empty and active.packet_latency.is_empty
+        assert legacy.throughput == fast.throughput
+        assert legacy.cycles_simulated == fast.cycles_simulated
+        assert legacy.measured_packets_created == fast.measured_packets_created == 0
+        assert legacy.measured_packets_ejected == fast.measured_packets_ejected == 0
+        assert legacy.packet_latency.is_empty and fast.packet_latency.is_empty
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_final_network_state_matches_legacy(self, engine):
+        """Beyond the result summary: the networks end bit-identical too."""
+        legacy_sim, _ = _result("hexamesh", 7, 0.3, "uniform", "legacy")
+        fast_sim, _ = _result("hexamesh", 7, 0.3, "uniform", engine)
+        legacy_net, fast_net = legacy_sim.network, fast_sim.network
+        assert [r.buffered_flits for r in legacy_net.routers] == [
+            r.buffered_flits for r in fast_net.routers
+        ]
+        assert [r.forwarded_flits for r in legacy_net.routers] == [
+            r.forwarded_flits for r in fast_net.routers
+        ]
+        assert [e.injected_flits for e in legacy_net.endpoints] == [
+            e.injected_flits for e in fast_net.endpoints
+        ]
+        assert [e.ejected_flits for e in legacy_net.endpoints] == [
+            e.ejected_flits for e in fast_net.endpoints
+        ]
+        legacy_pending = [c.pending() for c, _ in legacy_net.channel_sinks()]
+        fast_pending = [c.pending() for c, _ in fast_net.channel_sinks()]
+        assert [len(p) for p in legacy_pending] == [len(p) for p in fast_pending]
+        fast_net.verify_flit_conservation()
 
 
 class TestActiveSetFastPath:
@@ -136,3 +175,80 @@ class TestActiveSetFastPath:
         simulator = NocSimulator(graph, FAST_CONFIG, injection_rate=0.1)
         with pytest.raises(ValueError):
             simulator.run(engine="warp-speed")
+
+
+class TestVectorizedFastPath:
+    def test_early_exit_when_drained(self):
+        simulator, result = _result("grid", 9, 0.05, "uniform", "vectorized")
+        stats = simulator.last_engine_stats
+        assert stats is not None
+        assert stats.early_exit_cycle is not None
+        assert stats.cycles_executed < result.cycles_simulated
+        # The reported horizon stays the configured one regardless.
+        total = (
+            FAST_CONFIG.warmup_cycles
+            + FAST_CONFIG.measurement_cycles
+            + FAST_CONFIG.drain_cycles
+        )
+        assert result.cycles_simulated == total
+
+    def test_router_steps_are_skipped_when_idle(self):
+        simulator, _ = _result("grid", 9, 0.05, "uniform", "vectorized")
+        stats = simulator.last_engine_stats
+        dense_router_steps = stats.cycles_executed * 9
+        assert stats.router_steps < dense_router_steps
+
+    def test_endpoint_steps_match_generation_phases(self):
+        simulator, _ = _result("grid", 9, 0.05, "uniform", "vectorized")
+        stats = simulator.last_engine_stats
+        num_endpoints = simulator.network.num_endpoints
+        generation_cycles = FAST_CONFIG.warmup_cycles + FAST_CONFIG.measurement_cycles
+        # Generation draws run densely through warm-up + measurement (the
+        # RNG contract) and never during the drain.
+        assert stats.endpoint_steps == generation_cycles * num_endpoints
+
+    def test_observers_are_detached_after_run(self):
+        simulator, _ = _result("grid", 9, 0.1, "uniform", "vectorized")
+        for channel, _ in simulator.network.channel_sinks():
+            assert channel.observer is None
+
+    def test_direct_engine_snapshots_match_legacy(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        legacy_net = Network(graph, FAST_CONFIG, injection_rate=0.3)
+        legacy = run_legacy_loop(legacy_net, FAST_CONFIG)
+        vec_net = Network(graph, FAST_CONFIG, injection_rate=0.3)
+        vectorized = VectorizedEngine(vec_net, FAST_CONFIG).run()
+        assert legacy.ejected_during_measurement == vectorized.ejected_during_measurement
+        assert legacy.injected_during_measurement == vectorized.injected_during_measurement
+        assert legacy.total_cycles == vectorized.total_cycles
+
+    def test_network_is_steppable_after_vectorized_run(self):
+        """import_state must hand back a fully consistent object model."""
+        graph = make_arrangement("grid", 9).graph
+        network = Network(graph, FAST_CONFIG, injection_rate=0.3)
+        VectorizedEngine(network, FAST_CONFIG).run()
+        network.verify_flit_conservation()
+        # Step the object model a few cycles past the run: a corrupt
+        # write-back (bad credits, broken VC states) would trip one of the
+        # router/endpoint RuntimeError guards here.
+        total = (
+            FAST_CONFIG.warmup_cycles
+            + FAST_CONFIG.measurement_cycles
+            + FAST_CONFIG.drain_cycles
+        )
+        for cycle in range(total, total + 50):
+            network.deliver_channels(cycle)
+            network.step_routers(cycle)
+        network.verify_flit_conservation()
+
+    def test_channel_target_metadata_covers_all_channels(self):
+        graph = make_arrangement("grid", 4).graph
+        network = Network(graph, FAST_CONFIG, injection_rate=0.1)
+        sinks = network.channel_sinks()
+        targets = network.channel_targets()
+        assert len(sinks) == len(targets)
+        assert [c for c, _ in sinks] == [c for c, _ in targets]
+        kinds = {target[0] for _, target in targets}
+        assert kinds == {
+            "router_flit", "router_credit", "endpoint_flit", "endpoint_credit"
+        }

@@ -1,8 +1,8 @@
 """Flit-conservation invariants across arrangements, traffic and engines.
 
 For every arrangement kind and every registered traffic pattern, and for
-both cycle-loop engines, the network must account for every flit it ever
-created: ``created == ejected + in-flight + source-queued`` at the end of
+every cycle-loop engine (legacy, active-set, vectorized), the network must
+account for every flit it ever created: ``created == ejected + in-flight + source-queued`` at the end of
 a run, and the measured-packet bookkeeping of the simulator must agree
 with the per-component accessors.
 """
@@ -35,7 +35,7 @@ def _run(kind: str, count: int, traffic: str, engine: str):
     return simulator, result
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active"])
+@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("traffic", available_traffic_patterns())
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
 def test_flit_conservation(kind, count, traffic, engine):
@@ -58,7 +58,7 @@ def test_flit_conservation(kind, count, traffic, engine):
     assert result.measured_packets_created > 0
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active"])
+@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
 def test_measured_packet_accounting(kind, count, engine):
     """created(measured) == ejected(measured) + in-flight(measured)."""
@@ -81,7 +81,7 @@ def test_measured_packet_accounting(kind, count, engine):
     assert 0 <= result.measured_delivery_ratio <= 1.0
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active"])
+@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("workload_kind", ["dnn-pipeline", "client-server", "stencil"])
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
 def test_trace_traffic_flit_conservation(kind, count, workload_kind, engine):

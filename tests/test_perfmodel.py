@@ -91,7 +91,6 @@ class TestChannelLoads:
 
     def test_total_load_equals_total_hops(self):
         """Sum of channel loads equals injected flow times mean hop count."""
-        from repro.graphs.metrics import average_distance
 
         graph = make_arrangement("hexamesh", 19).graph
         endpoints = 2 * graph.num_nodes

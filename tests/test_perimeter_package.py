@@ -9,7 +9,7 @@ from repro.linkmodel.package import (
     maximum_chiplet_area_for_frequency,
 )
 from repro.linkmodel.parameters import EvaluationParameters
-from repro.linkmodel.phy import PhyModel, estimated_link_length_mm
+from repro.linkmodel.phy import estimated_link_length_mm
 
 
 class TestPerimeterIoPlacement:

@@ -20,6 +20,8 @@ from repro.graphs.metrics import (
 )
 from repro.linkmodel.bandwidth import data_wires, link_bandwidth_bps, wire_count
 from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
+from repro.noc.config import SimulationConfig
+from repro.noc.simulator import NocSimulator
 from repro.partition.common import cut_size, is_balanced
 from repro.partition.estimator import find_best_bisection
 from repro.utils.mathutils import hexamesh_chiplet_count, is_hexamesh_count
@@ -303,3 +305,55 @@ class TestLinkModelProperties:
         assert bandwidth >= 0.0
         # More area never reduces the wire count.
         assert wire_count(area * 2, pitch) >= wires
+
+
+class TestEngineEquivalenceProperties:
+    """The vectorized engine is bit-identical to legacy on random configs.
+
+    Beyond the fixed equivalence grid of ``test_noc_engine.py``: random
+    small arrangements, injection rates, VC counts and seeds, comparing
+    the full per-packet latency *histograms* (not just the summary
+    statistics) of the two engines.
+    """
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        kind=all_arrangement_kinds,
+        count=st.integers(min_value=4, max_value=10),
+        rate=st.sampled_from([0.05, 0.2, 0.6]),
+        vcs=st.sampled_from([1, 2, 4]),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+    )
+    def test_vectorized_latency_histograms_equal_legacy(
+        self, kind, count, rate, vcs, seed
+    ):
+        config = SimulationConfig(
+            num_virtual_channels=vcs,
+            warmup_cycles=30,
+            measurement_cycles=60,
+            drain_cycles=150,
+            seed=seed,
+        )
+        graph = make_arrangement(kind, count).graph
+
+        def run(engine):
+            simulator = NocSimulator(graph, config, injection_rate=rate)
+            result = simulator.run(engine=engine)
+            histogram = sorted(
+                packet.latency
+                for endpoint in simulator.network.endpoints
+                for packet in endpoint.ejected_packets
+                if packet.measured
+            )
+            simulator.network.verify_flit_conservation()
+            return result, histogram
+
+        legacy_result, legacy_histogram = run("legacy")
+        vectorized_result, vectorized_histogram = run("vectorized")
+        assert legacy_histogram == vectorized_histogram
+        assert legacy_result.throughput == vectorized_result.throughput
+        assert (
+            legacy_result.measured_packets_created
+            == vectorized_result.measured_packets_created
+        )

@@ -138,20 +138,21 @@ class TestInjectionScaling:
 
 
 class TestWorkloadSimulation:
+    @pytest.mark.parametrize("engine", ("active", "vectorized"))
     @pytest.mark.parametrize("kind", ("dnn-pipeline", "client-server", "stencil"))
-    def test_engines_are_bit_identical(self, kind):
+    def test_engines_are_bit_identical(self, kind, engine):
         graph, workload, mapping = _mapped(kind=kind)
-        active = simulate_workload(
+        fast = simulate_workload(
             graph, workload, mapping, config=FAST_CONFIG, injection_rate=0.2,
-            engine="active",
+            engine=engine,
         )
         legacy = simulate_workload(
             graph, workload, mapping, config=FAST_CONFIG, injection_rate=0.2,
             engine="legacy",
         )
-        assert active.simulation == legacy.simulation
-        assert active.edge_latencies == legacy.edge_latencies
-        assert active.makespan_proxy_cycles == legacy.makespan_proxy_cycles
+        assert fast.simulation == legacy.simulation
+        assert fast.edge_latencies == legacy.edge_latencies
+        assert fast.makespan_proxy_cycles == legacy.makespan_proxy_cycles
 
     def test_application_metrics_are_populated(self):
         graph, workload, mapping = _mapped(count=9, arrangement="grid")
@@ -193,7 +194,10 @@ class TestWorkloadSimulation:
         second = NocSimulator(
             graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic
         ).run(engine="active")
-        assert first == second
+        third = NocSimulator(
+            graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic
+        ).run(engine="vectorized")
+        assert first == second == third
 
 
 class TestSweepIntegration:
@@ -251,6 +255,8 @@ class TestSweepIntegration:
         assert serial == parallel
         legacy = ParallelSweepRunner(config, jobs=2, engine="legacy").run(self.GRID)
         assert [r.result for r in serial] == [r.result for r in legacy]
+        vectorized = ParallelSweepRunner(config, jobs=2, engine="vectorized").run(self.GRID)
+        assert [r.result for r in serial] == [r.result for r in vectorized]
 
     def test_cache_round_trip(self, tmp_path):
         config = SimulationConfig(warmup_cycles=50, measurement_cycles=100,
