@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="hexamesh-repro",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of the HexaMesh (DAC 2023) chiplet-arrangement study: "
         "arrangement generators, D2D link model, cycle-accurate NoC simulator "
-        "with three bit-identical engines, parallel sweeps and workloads"
+        "with three bit-identical engines, parallel sweeps, workloads and "
+        "fault-injection resilience analysis"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -27,7 +28,8 @@ setup(
         # under benchmarks/ (the `repro bench` harness itself needs no
         # extras — it only uses the stdlib + numpy).
         "bench": ["pytest-benchmark"],
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # pytest-cov backs the CI coverage job (line-coverage floor).
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "pytest-cov"],
     },
     entry_points={
         "console_scripts": ["hexamesh = repro.cli:main"],

@@ -15,6 +15,8 @@ It provides:
   BookSim2 (:mod:`repro.noc`) plus fast analytical performance models
   (:mod:`repro.perfmodel`),
 * a manufacturing cost extension (:mod:`repro.cost`),
+* fault injection and yield-coupled resilience sweeps
+  (:mod:`repro.noc.faults`, :mod:`repro.resilience`),
 * application workloads — task graphs, chiplet mappers and trace-driven
   traffic for the simulator (:mod:`repro.workloads`),
 * experiment runners that regenerate every figure of the paper's evaluation
@@ -44,6 +46,7 @@ from repro.linkmodel import (
     EvaluationParameters,
     LinkParameters,
 )
+from repro.noc.faults import FaultSet
 from repro.workloads import (
     TaskGraph,
     TraceTraffic,
@@ -65,6 +68,7 @@ __all__ = [
     "DesignComparison",
     "DesignSpaceExplorer",
     "EvaluationParameters",
+    "FaultSet",
     "LinkParameters",
     "Regularity",
     "TaskGraph",

@@ -2,7 +2,8 @@
 
 The harness runs a fixed, deterministic list of scenarios — the Figure 7
 simulation point the paper spot-checks (61-chiplet HexaMesh), a small
-design-space sweep and a trace-driven application workload — once per
+design-space sweep, a trace-driven application workload and a
+fault-injection resilience curve — once per
 cycle-loop engine, and emits a machine-readable ``BENCH_<rev>.json``
 report with wall-clock seconds, simulated cycles per second and the
 speedup of every engine over the legacy reference.
@@ -41,6 +42,7 @@ from repro.core.parallel import ParallelSweepRunner
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import ENGINE_NAMES
 from repro.noc.simulator import NocSimulator
+from repro.resilience.sweep import run_resilience_sweep
 from repro.workloads import make_workload, map_workload
 from repro.workloads.trace import simulate_workload
 
@@ -132,6 +134,28 @@ def _workload_trace(quick: bool):
     return run
 
 
+def _resilience_curve(quick: bool):
+    config = _phase_config(quick)
+    counts = (0, 2) if quick else (0, 2, 4)
+
+    def run(engine: str):
+        sweep = run_resilience_sweep(
+            ("hexamesh",),
+            19,
+            counts,
+            samples=1,
+            fault_type="link",
+            config=config,
+            injection_rate=0.05,
+            jobs=1,
+            engine=engine,
+        )
+        cycles = sum(record.result.cycles_simulated for record in sweep.records)
+        return [record.result for record in sweep.records], cycles
+
+    return run
+
+
 #: The deterministic scenario list (order is part of the report contract).
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
@@ -157,6 +181,12 @@ SCENARIOS: tuple[BenchScenario, ...] = (
         description="trace-driven dnn-pipeline on the 37-chiplet HexaMesh",
         quick=True,
         build=_workload_trace,
+    ),
+    BenchScenario(
+        name="resilience-hexamesh19",
+        description="fault-injection degradation curve on the 19-chiplet HexaMesh",
+        quick=True,
+        build=_resilience_curve,
     ),
 )
 

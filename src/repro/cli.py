@@ -14,6 +14,9 @@ Installed as the ``hexamesh`` console script (also reachable with
 * ``workload``  — map application task graphs (DNN pipelines, fork-join,
   stencil, all-reduce, client-server) onto arrangements and run the
   trace-driven cycle-accurate simulator, reporting application metrics,
+* ``faults``    — fault-injection resilience sweep: simulate degraded
+  topologies (failed links / routers, sampled deterministically or given
+  explicitly) and report per-arrangement degradation curves,
 * ``bench``     — run the engine benchmark scenarios and emit a
   machine-readable ``BENCH_<rev>.json`` report (optionally gated against
   the committed baseline, which is how CI tracks perf regressions),
@@ -31,6 +34,7 @@ from repro.arrangements.factory import make_arrangement
 from repro.core.design import ChipletDesign
 from repro.core.parallel import (
     ParallelSweepRunner,
+    SweepCandidate,
     parallel_map,
     resolve_workload_candidate,
 )
@@ -42,7 +46,13 @@ from repro.io.booksim_export import write_booksim_inputs
 from repro.linkmodel.package import check_package_feasibility
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.noc.faults import FaultSet
 from repro.noc.traffic import available_traffic_patterns
+from repro.resilience.sweep import (
+    FAULT_TYPES,
+    run_resilience_sweep,
+    summarize_records,
+)
 from repro.utils.validation import check_in_choices
 from repro.viz.svg import placement_svg, save_svg
 from repro.workloads import available_mappers, available_workloads, makespan_proxy_cycles
@@ -59,6 +69,18 @@ def _parse_list(text: str, *, kind: type, all_values: tuple = ()) -> list:
             raise ValueError('"all" is not supported for this option; list the values explicitly')
         return list(all_values)
     return [kind(part.strip()) for part in stripped.split(",") if part.strip()]
+
+
+def _emit_table(output: str | None, header: list[str], rows: list[list]) -> None:
+    """Write rows as CSV to ``output``, or print them as a table."""
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(",".join(header) + "\n")
+            for row in rows:
+                handle.write(",".join(str(value) for value in row) + "\n")
+        print(f"wrote {output}")
+    else:
+        print(format_table(header, rows))
 
 
 def _phase_config(cycles: int, *, seed: int | None = None) -> SimulationConfig:
@@ -164,6 +186,39 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--cache-dir", default=None,
                           help="on-disk result cache directory")
     workload.add_argument("--output", default=None, help="CSV output path (default: table)")
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="fault-injection resilience sweep: per-arrangement degradation "
+             "vs. number of failed links/routers",
+    )
+    faults.add_argument("--kinds", default="grid,brickwall,hexamesh",
+                        help='comma list of arrangement kinds, or "all"')
+    faults.add_argument("--chiplets", type=int, default=37,
+                        help="chiplet count shared by every arrangement")
+    faults.add_argument("--failures", default="0,1,2,4",
+                        help="comma list of failure counts (include 0 for the baseline)")
+    faults.add_argument("--fault-type", choices=FAULT_TYPES, default="link",
+                        help="what fails: links, routers, or an even mix")
+    faults.add_argument("--samples", type=int, default=2,
+                        help="independent fault draws per (kind, failure count)")
+    faults.add_argument("--fail-links", default=None, metavar="LINKS",
+                        help='explicit failed links, e.g. "0-1,4-5" '
+                             "(skips sampling; combined with --fail-routers)")
+    faults.add_argument("--fail-routers", default=None, metavar="ROUTERS",
+                        help='explicit failed router ids, e.g. "3,8"')
+    faults.add_argument("--injection-rate", type=float, default=0.1)
+    faults.add_argument("--traffic", default="uniform")
+    faults.add_argument("--cycles", type=int, default=1000,
+                        help="measurement cycles (warm-up and drain scale with it)")
+    faults.add_argument("--seed", type=int, default=1,
+                        help="base RNG seed (also seeds the fault sampling)")
+    faults.add_argument("--jobs", type=int, default=1, help="worker processes")
+    faults.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory")
+    faults.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+                        help="cycle-loop engine (all engines are bit-identical)")
+    faults.add_argument("--output", default=None, help="CSV output path (default: table)")
 
     bench = subparsers.add_parser(
         "bench",
@@ -353,14 +408,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         ]
         for record in records
     ]
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(",".join(header) + "\n")
-            for row in rows:
-                handle.write(",".join(str(value) for value in row) + "\n")
-        print(f"wrote {args.output}")
-    else:
-        print(format_table(header, rows))
+    _emit_table(args.output, header, rows)
     return 0
 
 
@@ -437,14 +485,131 @@ def _command_workload(args: argparse.Namespace) -> int:
             round(makespan_proxy_cycles(workload, record.result), 2),
             round(record.result.measured_delivery_ratio, 4),
         ])
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(",".join(header) + "\n")
-            for row in rows:
-                handle.write(",".join(str(value) for value in row) + "\n")
-        print(f"wrote {args.output}")
+    _emit_table(args.output, header, rows)
+    return 0
+
+
+def _command_faults(args: argparse.Namespace) -> int:
+    kinds = _parse_list(args.kinds, kind=str, all_values=_KINDS)
+    # Fail fast on typos before any simulation starts.
+    for kind in kinds:
+        check_in_choices("kind", kind, _KINDS)
+    check_in_choices("traffic", args.traffic, available_traffic_patterns())
+    config = _phase_config(args.cycles, seed=args.seed)
+
+    def report_progress(done: int, total: int, record) -> None:
+        origin = "cache" if record.from_cache else "sim"
+        print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
+
+    explicit = args.fail_links is not None or args.fail_routers is not None
+    if explicit:
+        # Mirror the ignored-flag convention of the figure command: the
+        # sampling knobs have no effect once the fault set is explicit.
+        ignored = [
+            flag
+            for flag, value, default in (
+                ("--failures", args.failures, "0,1,2,4"),
+                ("--samples", args.samples, 2),
+                ("--fault-type", args.fault_type, "link"),
+            )
+            if value != default
+        ]
+        if ignored:
+            print(
+                f"warning: {', '.join(ignored)} only apply to sampled sweeps; "
+                "--fail-links/--fail-routers run exactly the given scenario",
+                file=sys.stderr,
+            )
+        fault_set = FaultSet.parse(args.fail_links or "", args.fail_routers or "")
+        if fault_set.is_empty:
+            # An explicit-but-empty spec (e.g. --fail-links "" from an unset
+            # shell variable) would silently degrade into a healthy-only
+            # sweep; fail fast instead.
+            print(
+                "error: --fail-links/--fail-routers were given but name no "
+                "faults; pass at least one link (e.g. \"0-1\") or router id, "
+                "or drop the flags to run a sampled sweep",
+                file=sys.stderr,
+            )
+            return 2
+        # Fail fast with the precise FaultedTopologyError message (absent
+        # component / isolated router / disconnected survivors) before
+        # any worker starts.
+        for kind in kinds:
+            graph = make_arrangement(kind, args.chiplets).graph
+            fault_set.apply(graph)
+        candidates = []
+        for kind in kinds:
+            candidates.append(
+                SweepCandidate(
+                    kind=kind,
+                    num_chiplets=args.chiplets,
+                    injection_rate=args.injection_rate,
+                    traffic=args.traffic,
+                )
+            )
+            candidates.append(
+                SweepCandidate(
+                    kind=kind,
+                    num_chiplets=args.chiplets,
+                    injection_rate=args.injection_rate,
+                    traffic=args.traffic,
+                    failed_links=fault_set.failed_links,
+                    failed_routers=fault_set.failed_routers,
+                )
+            )
+        runner = ParallelSweepRunner(
+            config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
+        )
+        records = runner.run(candidates, progress=report_progress)
+        summaries = summarize_records(records, fault_type="explicit")
     else:
-        print(format_table(header, rows))
+        failure_counts = _parse_list(args.failures, kind=int)
+        result = run_resilience_sweep(
+            kinds,
+            args.chiplets,
+            failure_counts,
+            samples=args.samples,
+            fault_type=args.fault_type,
+            config=config,
+            injection_rate=args.injection_rate,
+            traffic=args.traffic,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            engine=args.engine,
+            progress=report_progress,
+        )
+        summaries = result.summaries
+
+    header = ["kind", "chiplets", "failures", "samples", "avg latency [cyc]",
+              "p99 latency [cyc]", "accepted [flit/cyc/EP]", "delivered ratio",
+              "latency vs healthy", "throughput vs healthy"]
+    # Ratio columns stay raw floats (NaN included) so CSV output parses
+    # numerically like every other command's; the table branch below
+    # formats them for reading.
+    rows = [
+        [
+            summary.kind,
+            summary.num_chiplets,
+            summary.num_failures,
+            summary.samples,
+            round(summary.mean_latency_cycles, 3),
+            round(summary.p99_latency_cycles, 3),
+            round(summary.accepted_flit_rate, 5),
+            round(summary.delivery_ratio, 4),
+            round(summary.latency_vs_baseline, 4),
+            round(summary.throughput_vs_baseline, 4),
+        ]
+        for summary in summaries
+    ]
+    if args.output:
+        _emit_table(args.output, header, rows)
+    else:
+        def ratio(value: float) -> str:
+            return f"{value:.3f}x" if value == value else "-"
+
+        display = [row[:-2] + [ratio(row[-2]), ratio(row[-1])] for row in rows]
+        print(format_table(header, display))
     return 0
 
 
@@ -543,6 +708,7 @@ _COMMANDS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
     "workload": _command_workload,
+    "faults": _command_faults,
     "bench": _command_bench,
     "export": _command_export,
     "feasibility": _command_feasibility,

@@ -90,6 +90,15 @@ _WORKLOAD_OBJECTIVES: dict[str, Callable[[WorkloadExplorationRecord], float]] = 
     "max-link-load": lambda record: record.max_link_load,
 }
 
+#: Objectives for :meth:`DesignSpaceExplorer.rank_resilience` (smaller is
+#: better).  ``latency-degradation`` ranks by how little the mean latency
+#: inflates relative to the healthy baseline; ``throughput-retention`` by
+#: how much of the healthy accepted throughput survives.
+_RESILIENCE_OBJECTIVES: dict[str, Callable[..., float]] = {
+    "latency-degradation": lambda summary: summary.latency_vs_baseline,
+    "throughput-retention": lambda summary: -summary.throughput_vs_baseline,
+}
+
 
 def _evaluate_workload_candidate(
     item: tuple[str, int, str, str, int],
@@ -155,6 +164,7 @@ class DesignSpaceExplorer:
         self._jobs = jobs
         self._records: list[ExplorationRecord] = []
         self._workload_records: list[WorkloadExplorationRecord] = []
+        self._resilience_records: list = []
 
     @property
     def records(self) -> list[ExplorationRecord]:
@@ -165,6 +175,16 @@ class DesignSpaceExplorer:
     def workload_records(self) -> list[WorkloadExplorationRecord]:
         """All workload-mapping records evaluated so far."""
         return list(self._workload_records)
+
+    @property
+    def resilience_records(self) -> list:
+        """All resilience summaries evaluated so far.
+
+        Items are :class:`repro.resilience.sweep.ResilienceSummary`
+        instances (annotated loosely to keep the resilience package a
+        lazy import of :meth:`evaluate_resilience`).
+        """
+        return list(self._resilience_records)
 
     def evaluate(
         self,
@@ -284,6 +304,73 @@ class DesignSpaceExplorer:
         """All workload records sorted from best to worst for ``objective``."""
         check_in_choices("objective", objective, sorted(_WORKLOAD_OBJECTIVES))
         return sorted(self._workload_records, key=_WORKLOAD_OBJECTIVES[objective])
+
+    def evaluate_resilience(
+        self,
+        num_chiplets: int,
+        failure_counts: Iterable[int] = (0, 1, 2, 4),
+        *,
+        samples: int = 2,
+        fault_type: str = "link",
+        injection_rate: float = 0.1,
+        traffic: str = "uniform",
+        config=None,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+        engine: str = DEFAULT_ENGINE,
+        progress: ProgressCallback | None = None,
+    ) -> list:
+        """Simulate degradation curves of every kind under injected faults.
+
+        Runs :func:`repro.resilience.sweep.run_resilience_sweep` over the
+        explorer's arrangement kinds at ``num_chiplets`` chiplets: for
+        every failure count, ``samples`` survivable fault sets are drawn
+        deterministically (yield-style seeding via SHA-256), simulated
+        cycle-accurately on the degraded topology, and aggregated into
+        per-kind :class:`~repro.resilience.sweep.ResilienceSummary`
+        records, which are cached on the explorer for
+        :meth:`rank_resilience`.  Include ``0`` in ``failure_counts`` so
+        the ``*_vs_baseline`` ratios are anchored.
+        """
+        # Imported lazily: repro.core is imported by repro.resilience.
+        from repro.resilience.sweep import run_resilience_sweep
+
+        jobs = self._jobs if jobs is None else jobs
+        result = run_resilience_sweep(
+            [kind.value for kind in self._kinds],
+            num_chiplets,
+            failure_counts,
+            samples=samples,
+            fault_type=fault_type,
+            config=config,
+            injection_rate=injection_rate,
+            traffic=traffic,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            engine=engine,
+            progress=progress,
+        )
+        self._resilience_records.extend(result.summaries)
+        return list(result.summaries)
+
+    def rank_resilience(self, objective: str = "latency-degradation") -> list:
+        """Faulted resilience summaries sorted from most to least graceful.
+
+        Only summaries with at least one failure participate (the healthy
+        baselines rank trivially at ratio 1.0); summaries whose ratio is
+        ``NaN`` (no baseline anchor in the sweep) sort last.
+        """
+        check_in_choices("objective", objective, sorted(_RESILIENCE_OBJECTIVES))
+        key = _RESILIENCE_OBJECTIVES[objective]
+
+        def sort_key(summary) -> tuple[bool, float]:
+            value = key(summary)
+            return (value != value, value)  # NaN-last, then ascending
+
+        return sorted(
+            (s for s in self._resilience_records if s.num_failures > 0),
+            key=sort_key,
+        )
 
     def spot_check(
         self,

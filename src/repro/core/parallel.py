@@ -42,8 +42,10 @@ from repro.arrangements.factory import make_arrangement
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.noc.faults import FaultedTopologyError, FaultSet
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
+from repro.utils.mathutils import mix_seed
 from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
 from repro.workloads import (
     effective_num_tasks,
@@ -188,6 +190,13 @@ class SweepCandidate:
     mapper:
         Task-to-chiplet mapper name (defaults to ``"partition"`` when a
         workload is set).
+    failed_links / failed_routers:
+        Optional fault injection (see :class:`repro.noc.faults.FaultSet`):
+        the candidate simulates the *degraded* topology — failed routers
+        and links removed, survivors relabeled — so routing tables and
+        every engine rebuild automatically.  Normalised at construction;
+        they join :meth:`key_dict` only when non-empty, so the cache keys
+        and derived seeds of healthy candidates are unchanged.
     """
 
     kind: str
@@ -199,6 +208,8 @@ class SweepCandidate:
     workload: str | None = None
     workload_params: tuple[tuple[str, Any], ...] | None = None
     mapper: str | None = None
+    failed_links: tuple[tuple[int, int], ...] = ()
+    failed_routers: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         check_positive_int("num_chiplets", self.num_chiplets)
@@ -210,18 +221,37 @@ class SweepCandidate:
                 "workload_params / mapper are only meaningful together with "
                 "a workload kind"
             )
+        # Normalising through FaultSet canonicalises the tuples (sorted,
+        # deduplicated, pairs ordered) and rejects malformed fault specs,
+        # so equal fault sets always produce equal candidates, seeds and
+        # cache keys.
+        faults = FaultSet(
+            failed_links=self.failed_links, failed_routers=self.failed_routers
+        )
+        object.__setattr__(self, "failed_links", faults.failed_links)
+        object.__setattr__(self, "failed_routers", faults.failed_routers)
+
+    @property
+    def fault_set(self) -> FaultSet:
+        """The candidate's fault set (empty for healthy candidates)."""
+        return FaultSet(
+            failed_links=self.failed_links, failed_routers=self.failed_routers
+        )
 
     @property
     def label(self) -> str:
         """Human-readable candidate label for progress reporting."""
+        faults = self.fault_set
+        suffix = "" if faults.is_empty else f" !{faults.label}"
         if self.workload is not None:
             return (
                 f"{self.kind}-{self.num_chiplets} "
                 f"@{self.injection_rate:g} [{self.workload}/{self.effective_mapper}]"
+                f"{suffix}"
             )
         return (
             f"{self.kind}-{self.num_chiplets} "
-            f"@{self.injection_rate:g} [{self.traffic}]"
+            f"@{self.injection_rate:g} [{self.traffic}]{suffix}"
         )
 
     @property
@@ -254,13 +284,32 @@ class SweepCandidate:
                 else None
             )
             key["mapper"] = self.effective_mapper
+        if self.failed_links or self.failed_routers:
+            # Fault fields join the identity only when present, keeping
+            # the keys (and hence seeds / cache entries) of healthy
+            # candidates unchanged from earlier versions.
+            key.update(self.fault_set.key_dict())
         return key
 
     def build_graph(self) -> ChipGraph:
-        """Materialise the candidate's topology graph."""
+        """Materialise the candidate's topology graph (degraded if faulted).
+
+        Raises :class:`repro.noc.faults.FaultedTopologyError` (annotated
+        with the candidate label) when the fault set would disconnect the
+        topology or isolate an endpoint's router — callers fail fast
+        instead of simulating an unusable network.
+        """
         if self.graph_edges is not None:
-            return ChipGraph(nodes=range(self.num_chiplets), edges=self.graph_edges)
-        return make_arrangement(self.kind, self.num_chiplets, self.regularity).graph
+            base = ChipGraph(nodes=range(self.num_chiplets), edges=self.graph_edges)
+        else:
+            base = make_arrangement(self.kind, self.num_chiplets, self.regularity).graph
+        faults = self.fault_set
+        if faults.is_empty:
+            return base
+        try:
+            return faults.apply(base).graph
+        except FaultedTopologyError as error:
+            raise FaultedTopologyError(f"candidate {self.label!r}: {error}") from error
 
 
 @dataclass(frozen=True)
@@ -282,11 +331,10 @@ def derive_candidate_seed(base_seed: int, candidate: SweepCandidate) -> int:
     not affect it).
     """
     key = json.dumps(candidate.key_dict(), sort_keys=True).encode("utf-8")
-    digest = hashlib.sha256(key).digest()
-    mixed = (base_seed * 0x9E3779B1 + int.from_bytes(digest[:8], "big")) % (2**63)
-    # Seed 0 is fine for random.Random but keep seeds strictly positive so
-    # that the per-endpoint derivation in Network never collapses to 0.
-    return mixed or 1
+    # Seed 0 is fine for random.Random but mix_seed keeps seeds strictly
+    # positive so the per-endpoint derivation in Network never collapses
+    # to 0.
+    return mix_seed(base_seed, key)
 
 
 # ---------------------------------------------------------------------------

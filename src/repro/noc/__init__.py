@@ -15,6 +15,8 @@ simulator with the same modelled structure:
   processes,
 * :mod:`repro.noc.routing` — minimal table-based routing with an
   up*/down* escape virtual channel for deadlock freedom,
+* :mod:`repro.noc.faults` — fault injection: failed links / routers
+  applied as a degraded topology before routing-table construction,
 * :mod:`repro.noc.channel` — latency-modelling flit and credit channels,
 * :mod:`repro.noc.router` — input-queued virtual-channel routers,
 * :mod:`repro.noc.endpoint` — traffic sources and sinks,
@@ -30,6 +32,12 @@ simulator with the same modelled structure:
 
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import ActiveSetEngine, EngineStats, PhaseSnapshots, run_legacy_loop
+from repro.noc.faults import (
+    DegradedTopology,
+    FaultedTopologyError,
+    FaultSet,
+    apply_faults,
+)
 from repro.noc.flit import Flit, Packet
 from repro.noc.network import Network
 from repro.noc.routing import RoutingTables
@@ -56,7 +64,10 @@ from repro.noc.traffic import (
 __all__ = [
     "ActiveSetEngine",
     "BitComplementTraffic",
+    "DegradedTopology",
     "EngineStats",
+    "FaultSet",
+    "FaultedTopologyError",
     "Flit",
     "HotspotTraffic",
     "InjectionSweepResult",
@@ -74,6 +85,7 @@ __all__ = [
     "TornadoTraffic",
     "TrafficPattern",
     "UniformRandomTraffic",
+    "apply_faults",
     "available_traffic_patterns",
     "make_traffic_pattern",
     "measure_saturation_throughput",

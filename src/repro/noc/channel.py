@@ -81,4 +81,7 @@ class Channel:
         return self._queue[0][0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Channel({self.name or 'unnamed'}, latency={self._latency}, in_flight={len(self._queue)})"
+        return (
+            f"Channel({self.name or 'unnamed'}, latency={self._latency}, "
+            f"in_flight={len(self._queue)})"
+        )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import ENGINE_NAMES, ActiveSetEngine, EngineStats, run_legacy_loop
+from repro.noc.faults import DegradedTopology, FaultSet
 from repro.noc.network import Network
 from repro.noc.vec_engine import VectorizedEngine
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
@@ -79,6 +80,17 @@ class NocSimulator:
     traffic:
         Either a :class:`~repro.noc.traffic.TrafficPattern` instance or the
         name of one (``"uniform"``, ``"hotspot"``, ...).
+    faults:
+        Optional :class:`~repro.noc.faults.FaultSet`.  When given (and
+        non-empty), the simulator runs on the **degraded** topology —
+        failed routers and links removed, survivors relabeled to
+        contiguous ids — so the routing tables rebuild automatically and
+        every engine simulates the faulted network bit-identically.  A
+        :class:`TrafficPattern` *instance* must then be sized for the
+        degraded endpoint count (pattern names are resolved against it
+        automatically); a fault set that disconnects the topology or
+        isolates a router raises
+        :class:`~repro.noc.faults.FaultedTopologyError`.
     """
 
     def __init__(
@@ -88,9 +100,15 @@ class NocSimulator:
         *,
         injection_rate: float = 0.1,
         traffic: TrafficPattern | str = "uniform",
+        faults: FaultSet | None = None,
     ) -> None:
         self._config = config if config is not None else SimulationConfig()
         check_fraction("injection_rate", injection_rate)
+        self._fault_set = faults if faults is not None else FaultSet()
+        self._degraded: DegradedTopology | None = None
+        if not self._fault_set.is_empty:
+            self._degraded = self._fault_set.apply(graph)
+            graph = self._degraded.graph
         num_endpoints = graph.num_nodes * self._config.endpoints_per_chiplet
         if isinstance(traffic, str):
             traffic_pattern = make_traffic_pattern(traffic, num_endpoints)
@@ -116,6 +134,16 @@ class NocSimulator:
     def config(self) -> SimulationConfig:
         """The simulation configuration in use."""
         return self._config
+
+    @property
+    def fault_set(self) -> FaultSet:
+        """The injected fault set (empty for a healthy network)."""
+        return self._fault_set
+
+    @property
+    def degraded_topology(self) -> DegradedTopology | None:
+        """The degraded topology simulated (``None`` without faults)."""
+        return self._degraded
 
     # -- running -------------------------------------------------------------------
 

@@ -32,9 +32,15 @@ class LatencyStatistics:
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStatistics":
         """Build the summary from raw latency samples."""
         if not samples:
-            return cls(count=0, mean=float("nan"), median=float("nan"),
-                       p95=float("nan"), p99=float("nan"),
-                       minimum=float("nan"), maximum=float("nan"))
+            return cls(
+                count=0,
+                mean=float("nan"),
+                median=float("nan"),
+                p95=float("nan"),
+                p99=float("nan"),
+                minimum=float("nan"),
+                maximum=float("nan"),
+            )
         ordered = sorted(samples)
         return cls(
             count=len(ordered),

@@ -1,0 +1,45 @@
+"""Resilience analysis: yield-coupled fault sampling and degradation sweeps.
+
+The package answers the question the arrangement papers leave open: how
+gracefully does each chiplet arrangement degrade when links and routers
+fail?  It builds on :mod:`repro.noc.faults` (fault sets and degraded
+topologies) and couples the sampling probabilities to the manufacturing
+yield models of :mod:`repro.cost.yield_model`:
+
+* :mod:`repro.resilience.sampler` — deterministic (SHA-256 seeded)
+  samplers for survivable fault sets, either with exact failure counts
+  (degradation curves) or with per-component probabilities derived from
+  die yield, test coverage and bond yield,
+* :mod:`repro.resilience.sweep` — the resilience sweep proper: simulate
+  every (arrangement, failure count, sample) candidate through
+  :class:`~repro.core.parallel.ParallelSweepRunner` and aggregate
+  latency / throughput / delivery degradation curves per arrangement.
+"""
+
+from repro.resilience.sampler import (
+    FaultProbabilities,
+    derive_fault_seed,
+    fault_probabilities_from_yield,
+    sample_fault_set,
+    sample_survivable_faults,
+)
+from repro.resilience.sweep import (
+    FAULT_TYPES,
+    ResilienceSummary,
+    ResilienceSweepResult,
+    resilience_grid,
+    run_resilience_sweep,
+)
+
+__all__ = [
+    "FAULT_TYPES",
+    "FaultProbabilities",
+    "ResilienceSummary",
+    "ResilienceSweepResult",
+    "derive_fault_seed",
+    "fault_probabilities_from_yield",
+    "resilience_grid",
+    "run_resilience_sweep",
+    "sample_fault_set",
+    "sample_survivable_faults",
+]

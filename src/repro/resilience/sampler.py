@@ -1,0 +1,200 @@
+"""Deterministic samplers for survivable fault sets.
+
+Two sampling modes cover the two questions a resilience study asks:
+
+* :func:`sample_survivable_faults` draws a fault set with **exact**
+  failure counts — the x-axis of a degradation curve ("how bad is the
+  network with exactly k failed links?"),
+* :func:`sample_fault_set` draws per-component Bernoulli failures from a
+  :class:`FaultProbabilities`, which
+  :func:`fault_probabilities_from_yield` derives from the manufacturing
+  yield models of :mod:`repro.cost.yield_model` (test escapes become
+  failed routers, failed bonds become failed links).
+
+Both samplers are rejection samplers over survivable fault sets (see
+:meth:`FaultSet.apply <repro.noc.faults.FaultSet.apply>`), and both are
+seeded through the same SHA-256 derivation scheme as the parallel sweep
+engine (:func:`repro.core.parallel.derive_candidate_seed`): the drawn
+fault set depends only on the seed and the sampling parameters, never on
+``PYTHONHASHSEED``, process or machine.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.cost.yield_model import known_good_die_yield, negative_binomial_yield
+from repro.graphs.model import ChipGraph
+from repro.noc.faults import FaultedTopologyError, FaultSet
+from repro.utils.mathutils import mix_seed
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class FaultProbabilities:
+    """Per-component failure probabilities of one package.
+
+    Attributes
+    ----------
+    link_failure_probability:
+        Probability that one inter-chiplet link is dead (its D2D bond
+        array failed or degraded past the point of use).
+    router_failure_probability:
+        Probability that one chiplet (and with it its router and its
+        endpoints) is dead — a defective die that escaped wafer-level
+        test into the assembled package.
+    """
+
+    link_failure_probability: float
+    router_failure_probability: float
+
+    def __post_init__(self) -> None:
+        check_fraction("link_failure_probability", self.link_failure_probability)
+        check_fraction("router_failure_probability", self.router_failure_probability)
+
+    def expected_faults(self, graph: ChipGraph) -> float:
+        """Expected number of failed components on one topology."""
+        return (
+            graph.num_edges * self.link_failure_probability
+            + graph.num_nodes * self.router_failure_probability
+        )
+
+
+def fault_probabilities_from_yield(
+    chiplet_area_mm2: float,
+    *,
+    defect_density_per_cm2: float = 0.1,
+    clustering_alpha: float = 3.0,
+    test_coverage: float = 0.98,
+    per_bond_yield: float = 0.99,
+) -> FaultProbabilities:
+    """Derive fault probabilities from the manufacturing yield models.
+
+    A chiplet in the assembled package is dead when a defective die
+    escaped wafer-level test: the negative-binomial die yield at
+    ``chiplet_area_mm2`` feeds the known-good-die model, and the
+    complement of the KGD probability is the router failure probability.
+    A link is dead when its D2D bond failed, so the link failure
+    probability is the complement of the per-bond yield — the same
+    parameter :func:`repro.cost.yield_model.assembly_yield` raises to the
+    chiplet count.  Smaller chiplets therefore fail less often (the
+    paper's yield argument), while adding links adds failure sites.
+    """
+    die_yield = negative_binomial_yield(
+        chiplet_area_mm2, defect_density_per_cm2, clustering_alpha
+    )
+    kgd = known_good_die_yield(die_yield, test_coverage)
+    check_fraction("per_bond_yield", per_bond_yield)
+    return FaultProbabilities(
+        link_failure_probability=1.0 - per_bond_yield,
+        router_failure_probability=1.0 - kgd,
+    )
+
+
+def derive_fault_seed(base_seed: int, *identity: object) -> int:
+    """Deterministic seed for one fault draw.
+
+    Mirrors :func:`repro.core.parallel.derive_candidate_seed`: a SHA-256
+    digest of the JSON-encoded identity is mixed into the base seed, so
+    every (arrangement, failure count, sample index) point of a
+    resilience sweep draws an independent, reproducible fault set.
+    """
+    key = json.dumps(list(identity), sort_keys=True, default=str).encode("utf-8")
+    return mix_seed(base_seed, key)
+
+
+def _attempt_rng(seed: int, attempt: int) -> random.Random:
+    return random.Random(derive_fault_seed(seed, "attempt", attempt))
+
+
+def _is_survivable(graph: ChipGraph, faults: FaultSet) -> bool:
+    try:
+        faults.apply(graph)
+    except FaultedTopologyError:
+        return False
+    return True
+
+
+def sample_survivable_faults(
+    graph: ChipGraph,
+    *,
+    num_link_faults: int = 0,
+    num_router_faults: int = 0,
+    seed: int = 1,
+    max_attempts: int = 200,
+) -> FaultSet:
+    """Draw a survivable fault set with exact failure counts.
+
+    Links and routers are drawn uniformly (without replacement) from the
+    topology; draws that would disconnect the surviving network are
+    rejected and redrawn with a fresh derived seed.  Raises
+    :class:`FaultedTopologyError` when no survivable set was found within
+    ``max_attempts`` (e.g. asking a path graph to lose a link).
+    """
+    check_positive_int("num_link_faults", num_link_faults, minimum=0)
+    check_positive_int("num_router_faults", num_router_faults, minimum=0)
+    check_positive_int("max_attempts", max_attempts)
+    if num_link_faults > graph.num_edges:
+        raise ValueError(
+            f"cannot fail {num_link_faults} links: the topology has only "
+            f"{graph.num_edges}"
+        )
+    if num_router_faults > graph.num_nodes:
+        raise ValueError(
+            f"cannot fail {num_router_faults} routers: the topology has only "
+            f"{graph.num_nodes}"
+        )
+    if num_link_faults == 0 and num_router_faults == 0:
+        return FaultSet()
+    edges = graph.edges()
+    nodes = sorted(graph.nodes())
+    for attempt in range(max_attempts):
+        rng = _attempt_rng(seed, attempt)
+        candidate = FaultSet(
+            failed_links=tuple(rng.sample(edges, num_link_faults)),
+            failed_routers=tuple(rng.sample(nodes, num_router_faults)),
+        )
+        if _is_survivable(graph, candidate):
+            return candidate
+    raise FaultedTopologyError(
+        f"no survivable fault set with {num_link_faults} failed link(s) and "
+        f"{num_router_faults} failed router(s) found in {max_attempts} attempts; "
+        "the topology cannot absorb that many failures"
+    )
+
+
+def sample_fault_set(
+    graph: ChipGraph,
+    probabilities: FaultProbabilities,
+    *,
+    seed: int = 1,
+    max_attempts: int = 200,
+) -> FaultSet:
+    """Draw a survivable fault set from per-component failure probabilities.
+
+    Every link and every router fails independently with its configured
+    probability (one Bernoulli draw per component, in deterministic
+    component order); non-survivable draws are rejected and redrawn.  The
+    returned set may well be empty — at realistic yields most packages
+    are healthy.
+    """
+    check_positive_int("max_attempts", max_attempts)
+    edges = graph.edges()
+    nodes = sorted(graph.nodes())
+    for attempt in range(max_attempts):
+        rng = _attempt_rng(seed, attempt)
+        failed_links = tuple(
+            edge for edge in edges if rng.random() < probabilities.link_failure_probability
+        )
+        failed_routers = tuple(
+            node for node in nodes if rng.random() < probabilities.router_failure_probability
+        )
+        candidate = FaultSet(failed_links=failed_links, failed_routers=failed_routers)
+        if _is_survivable(graph, candidate):
+            return candidate
+    raise FaultedTopologyError(
+        f"no survivable yield-sampled fault set found in {max_attempts} attempts; "
+        "the failure probabilities are too high for this topology"
+    )

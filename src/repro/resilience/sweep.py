@@ -1,0 +1,286 @@
+"""Resilience sweeps: latency / throughput degradation versus failures.
+
+The sweep simulates every (arrangement kind, failure count, sample)
+candidate on its degraded topology and aggregates per-arrangement
+**degradation curves**: mean latency, accepted throughput and delivery
+ratio as a function of the number of failed components, normalised
+against the healthy (zero-failure) baseline of the same arrangement.
+Comparing those curves across arrangements — how gracefully does a
+HexaMesh degrade versus a grid or a brickwall? — is a result the source
+paper does not report.
+
+Candidates ride the ordinary :class:`~repro.core.parallel.SweepCandidate`
+/ :class:`~repro.core.parallel.ParallelSweepRunner` machinery: fault
+fields join the candidate identity (and hence the SHA-256 seeds and the
+on-disk cache keys) only when present, fault sets are drawn
+deterministically per grid point via
+:func:`repro.resilience.sampler.sample_survivable_faults`, and every
+cycle-loop engine produces bit-identical curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.arrangements.factory import make_arrangement
+from repro.core.parallel import (
+    ParallelSweepRunner,
+    ProgressCallback,
+    SweepCandidate,
+    SweepRecord,
+)
+from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE
+from repro.resilience.sampler import derive_fault_seed, sample_survivable_faults
+from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
+
+#: How a failure count is split into component failures:
+#: ``"link"`` fails only links, ``"router"`` only routers, ``"mixed"``
+#: alternates (links get the odd one out).
+FAULT_TYPES: tuple[str, ...] = ("link", "router", "mixed")
+
+
+def split_failure_count(num_failures: int, fault_type: str) -> tuple[int, int]:
+    """Split a total failure count into ``(link_faults, router_faults)``."""
+    check_positive_int("num_failures", num_failures, minimum=0)
+    check_in_choices("fault_type", fault_type, FAULT_TYPES)
+    if fault_type == "link":
+        return num_failures, 0
+    if fault_type == "router":
+        return 0, num_failures
+    return (num_failures + 1) // 2, num_failures // 2
+
+
+def resilience_grid(
+    kinds: Sequence[str],
+    num_chiplets: int,
+    failure_counts: Iterable[int],
+    *,
+    samples: int = 1,
+    fault_type: str = "link",
+    injection_rate: float = 0.1,
+    traffic: str = "uniform",
+    seed: int = 1,
+    regularity: str | None = None,
+) -> list[SweepCandidate]:
+    """Build the resilience candidate grid, fault sets sampled per point.
+
+    For every arrangement kind and every failure count, ``samples``
+    independent survivable fault sets are drawn (deterministically — the
+    draw seed mixes the kind, chiplet count, failure count and sample
+    index into ``seed`` via SHA-256).  The zero-failure baseline is
+    emitted exactly once per kind regardless of ``samples``, since every
+    healthy draw is identical.
+    """
+    check_positive_int("num_chiplets", num_chiplets)
+    check_positive_int("samples", samples)
+    check_fraction("injection_rate", injection_rate)
+    check_in_choices("fault_type", fault_type, FAULT_TYPES)
+    counts = sorted(set(failure_counts))
+    if not counts:
+        raise ValueError("failure_counts must name at least one failure count")
+    candidates: list[SweepCandidate] = []
+    for kind in kinds:
+        base_graph = make_arrangement(kind, num_chiplets, regularity).graph
+        for num_failures in counts:
+            effective_samples = 1 if num_failures == 0 else samples
+            for sample in range(effective_samples):
+                link_faults, router_faults = split_failure_count(num_failures, fault_type)
+                faults = sample_survivable_faults(
+                    base_graph,
+                    num_link_faults=link_faults,
+                    num_router_faults=router_faults,
+                    seed=derive_fault_seed(
+                        seed, "resilience", kind, num_chiplets, num_failures, sample
+                    ),
+                )
+                candidates.append(
+                    SweepCandidate(
+                        kind=kind,
+                        num_chiplets=num_chiplets,
+                        injection_rate=injection_rate,
+                        traffic=traffic,
+                        regularity=regularity,
+                        failed_links=faults.failed_links,
+                        failed_routers=faults.failed_routers,
+                    )
+                )
+    return candidates
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """One point of a degradation curve: a (kind, failure count) aggregate.
+
+    The ``*_vs_baseline`` ratios are relative to the zero-failure summary
+    of the same arrangement kind (``NaN`` when the sweep did not include
+    the zero-failure baseline or the baseline statistic is undefined).
+    ``throughput_vs_baseline`` compares *aggregate* accepted throughput
+    (per-endpoint rate scaled by the surviving endpoint count), so losing
+    whole routers counts as lost capacity even though the per-endpoint
+    ``accepted_flit_rate`` of the survivors may hold steady.
+    """
+
+    kind: str
+    num_chiplets: int
+    num_failures: int
+    fault_type: str
+    samples: int
+    mean_latency_cycles: float
+    p99_latency_cycles: float
+    accepted_flit_rate: float
+    delivery_ratio: float
+    latency_vs_baseline: float
+    throughput_vs_baseline: float
+
+
+@dataclass(frozen=True)
+class ResilienceSweepResult:
+    """All simulated records of a resilience sweep plus the aggregated curves."""
+
+    records: tuple[SweepRecord, ...]
+    summaries: tuple[ResilienceSummary, ...]
+    fault_type: str
+    failure_counts: tuple[int, ...]
+
+    def kinds(self) -> list[str]:
+        """Arrangement kinds covered, in first-appearance order."""
+        seen: list[str] = []
+        for summary in self.summaries:
+            if summary.kind not in seen:
+                seen.append(summary.kind)
+        return seen
+
+    def curve(self, kind: str) -> tuple[ResilienceSummary, ...]:
+        """The degradation curve of one arrangement, by ascending failures."""
+        points = tuple(s for s in self.summaries if s.kind == kind)
+        if not points:
+            raise ValueError(f"no resilience summaries for kind {kind!r}")
+        return points
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else math.nan
+
+
+def _ratio(value: float, baseline: float) -> float:
+    if baseline and not math.isnan(baseline) and not math.isnan(value):
+        return value / baseline
+    return math.nan
+
+
+def summarize_records(
+    records: Sequence[SweepRecord], *, fault_type: str
+) -> tuple[ResilienceSummary, ...]:
+    """Aggregate sweep records into per-(kind, failure count) summaries."""
+    grouped: dict[tuple[str, int], list[SweepRecord]] = {}
+    order: list[tuple[str, int]] = []
+    for record in records:
+        key = (record.candidate.kind, record.candidate.fault_set.num_faults)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(record)
+    # Stable order: kinds in first-appearance order, failures ascending.
+    kinds_in_order: list[str] = []
+    for kind, _ in order:
+        if kind not in kinds_in_order:
+            kinds_in_order.append(kind)
+    ordered_keys = sorted(
+        grouped, key=lambda key: (kinds_in_order.index(key[0]), key[1])
+    )
+    # The throughput ratio compares *aggregate* accepted throughput
+    # (per-endpoint rate x surviving endpoints): router faults remove
+    # endpoints, so a per-endpoint ratio would hide the lost capacity
+    # and could report >1.0 retention while total throughput fell.
+    baselines: dict[str, tuple[float, float]] = {}
+    for kind, failures in ordered_keys:
+        if failures == 0:
+            group = grouped[(kind, 0)]
+            baselines[kind] = (
+                _mean([r.result.packet_latency.mean for r in group]),
+                _mean(
+                    [r.result.accepted_flit_rate * r.result.num_endpoints for r in group]
+                ),
+            )
+    summaries: list[ResilienceSummary] = []
+    for kind, failures in ordered_keys:
+        group = grouped[(kind, failures)]
+        mean_latency = _mean([r.result.packet_latency.mean for r in group])
+        accepted = _mean([r.result.accepted_flit_rate for r in group])
+        aggregate_accepted = _mean(
+            [r.result.accepted_flit_rate * r.result.num_endpoints for r in group]
+        )
+        baseline_latency, baseline_accepted = baselines.get(kind, (math.nan, math.nan))
+        summaries.append(
+            ResilienceSummary(
+                kind=kind,
+                num_chiplets=group[0].candidate.num_chiplets,
+                num_failures=failures,
+                fault_type=fault_type,
+                samples=len(group),
+                mean_latency_cycles=mean_latency,
+                p99_latency_cycles=_mean(
+                    [r.result.packet_latency.p99 for r in group]
+                ),
+                accepted_flit_rate=accepted,
+                delivery_ratio=_mean(
+                    [r.result.measured_delivery_ratio for r in group]
+                ),
+                latency_vs_baseline=_ratio(mean_latency, baseline_latency),
+                throughput_vs_baseline=_ratio(aggregate_accepted, baseline_accepted),
+            )
+        )
+    return tuple(summaries)
+
+
+def run_resilience_sweep(
+    kinds: Sequence[str],
+    num_chiplets: int,
+    failure_counts: Iterable[int] = (0, 1, 2, 4),
+    *,
+    samples: int = 2,
+    fault_type: str = "link",
+    config: SimulationConfig | None = None,
+    injection_rate: float = 0.1,
+    traffic: str = "uniform",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    engine: str = DEFAULT_ENGINE,
+    regularity: str | None = None,
+    progress: ProgressCallback | None = None,
+) -> ResilienceSweepResult:
+    """Simulate the degradation curves of several arrangements.
+
+    Fault sampling is seeded from ``config.seed``, so re-running the
+    sweep (any engine, any ``jobs``) reproduces identical curves; with a
+    ``cache_dir`` only new (candidate, config) points are simulated.
+    Include ``0`` in ``failure_counts`` to anchor the ``*_vs_baseline``
+    ratios of the summaries.
+    """
+    if config is None:
+        config = SimulationConfig()
+    counts = tuple(sorted(set(failure_counts)))
+    candidates = resilience_grid(
+        kinds,
+        num_chiplets,
+        counts,
+        samples=samples,
+        fault_type=fault_type,
+        injection_rate=injection_rate,
+        traffic=traffic,
+        seed=config.seed,
+        regularity=regularity,
+    )
+    runner = ParallelSweepRunner(
+        config, jobs=jobs, cache_dir=cache_dir, engine=engine
+    )
+    records = tuple(runner.run(candidates, progress=progress))
+    return ResilienceSweepResult(
+        records=records,
+        summaries=summarize_records(records, fault_type=fault_type),
+        fault_type=fault_type,
+        failure_counts=counts,
+    )

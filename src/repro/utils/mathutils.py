@@ -8,9 +8,27 @@ that admit a *regular* HexaMesh.
 
 from __future__ import annotations
 
+import hashlib
 import math
 
 from repro.utils.validation import check_positive_int
+
+
+def mix_seed(base_seed: int, identity: bytes) -> int:
+    """Deterministic, strictly positive seed mixed from an identity digest.
+
+    The canonical seed-derivation primitive of the code base: a SHA-256
+    digest of ``identity`` is folded into ``base_seed`` (golden-ratio
+    multiply, 63-bit wrap), so derived seeds are reproducible across
+    processes and machines (``PYTHONHASHSEED`` does not affect them) and
+    never collapse to 0.  Both the parallel sweep engine
+    (:func:`repro.core.parallel.derive_candidate_seed`) and the fault
+    samplers (:func:`repro.resilience.sampler.derive_fault_seed`) derive
+    their per-item seeds through this single implementation.
+    """
+    digest = hashlib.sha256(identity).digest()
+    mixed = (base_seed * 0x9E3779B1 + int.from_bytes(digest[:8], "big")) % (2**63)
+    return mixed or 1
 
 
 def isqrt_floor(n: int) -> int:

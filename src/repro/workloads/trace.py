@@ -30,10 +30,17 @@ from typing import Mapping
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import DEFAULT_ENGINE
+from repro.noc.faults import FaultSet
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.traffic import TrafficPattern
 from repro.utils.validation import check_positive_int
-from repro.workloads.mapping import MappingCost, WorkloadMapping, evaluate_mapping
+from repro.workloads.mapping import (
+    MappingCost,
+    WorkloadMapping,
+    available_mappers,
+    evaluate_mapping,
+    map_workload,
+)
 from repro.workloads.taskgraph import TaskGraph
 
 
@@ -384,6 +391,8 @@ def simulate_workload(
     injection_rate: float = 0.1,
     engine: str = DEFAULT_ENGINE,
     max_schedule_slots: int = 64,
+    faults: FaultSet | None = None,
+    remap_seed: int = 0,
 ) -> WorkloadSimulationResult:
     """Run a mapped workload through the cycle-accurate NoC simulator.
 
@@ -392,9 +401,32 @@ def simulate_workload(
     share of the workload traffic.  Every cycle-loop engine (``"active"``,
     ``"vectorized"``, ``"legacy"``) is supported and bit-identical under a
     fixed seed.
+
+    With a non-empty ``faults`` set the workload runs on the *degraded*
+    topology: the graph loses its failed links and routers (survivors are
+    relabeled), and — because a failed chiplet's tasks must land
+    somewhere — the workload is **re-mapped** onto the degraded graph
+    with the same *registered* mapper that produced ``mapping`` (seeded
+    by ``remap_seed``).  A hand-built mapping (``mapper="custom"`` or any
+    unregistered name) cannot be re-mapped automatically — degrade the
+    graph with :meth:`FaultSet.apply <repro.noc.faults.FaultSet.apply>`
+    and pass a mapping built for the degraded topology instead.  Fault
+    sets that disconnect the topology raise
+    :class:`~repro.noc.faults.FaultedTopologyError`.
     """
     if config is None:
         config = SimulationConfig()
+    if faults is not None and not faults.is_empty:
+        if mapping.mapper not in available_mappers():
+            raise ValueError(
+                f"cannot re-map mapper {mapping.mapper!r} onto the degraded "
+                "topology: only registered mappers "
+                f"({', '.join(available_mappers())}) can be re-run; apply the "
+                "FaultSet to the graph yourself and pass a mapping built for "
+                "the degraded topology"
+            )
+        graph = faults.apply(graph).graph
+        mapping = map_workload(mapping.mapper, workload, graph, seed=remap_seed)
     traffic = trace_traffic_for(
         workload,
         mapping,

@@ -1,0 +1,38 @@
+"""Representative fault scenarios shared by the engine and invariant suites.
+
+Not a test module: both ``test_noc_engine.py`` and
+``test_noc_invariants.py`` import from here (pytest's default ``prepend``
+import mode puts ``tests/`` on ``sys.path``), so the sampled scenarios
+stay in one place while each suite picks its own seed.
+"""
+
+from __future__ import annotations
+
+from repro.noc.faults import FaultSet
+from repro.resilience import (
+    FaultProbabilities,
+    sample_fault_set,
+    sample_survivable_faults,
+)
+
+#: Scenario names: a single failed link, a single failed router, and a
+#: yield-style Bernoulli draw (probabilities high enough to actually
+#: fault the small test topologies).
+FAULT_SCENARIOS = ("single-link", "single-router", "yield-sampled")
+
+
+def representative_faults(graph, scenario: str, *, seed: int) -> FaultSet:
+    """Draw the representative fault set of one scenario on ``graph``."""
+    if scenario == "single-link":
+        return sample_survivable_faults(graph, num_link_faults=1, seed=seed)
+    if scenario == "single-router":
+        return sample_survivable_faults(graph, num_router_faults=1, seed=seed)
+    if scenario != "yield-sampled":
+        raise ValueError(f"unknown fault scenario {scenario!r}")
+    return sample_fault_set(
+        graph,
+        FaultProbabilities(
+            link_failure_probability=0.1, router_failure_probability=0.1
+        ),
+        seed=seed,
+    )

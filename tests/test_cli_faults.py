@@ -1,0 +1,155 @@
+"""The ``hexamesh faults`` subcommand: degradation tables and fail-fast errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.cli import main
+
+FAST = ["--cycles", "120", "--samples", "1"]
+
+
+class TestFaultsCommand:
+    def test_degradation_table_for_three_arrangements(self, capsys):
+        exit_code = main(
+            ["faults", "--kinds", "grid,brickwall,hexamesh", "--chiplets", "16",
+             "--failures", "0,1", *FAST]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "latency vs healthy" in out
+        for kind in ("grid", "brickwall", "hexamesh"):
+            assert kind in out
+        # Healthy rows anchor at exactly 1.000x.
+        assert out.count("1.000x") >= 6
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "resilience.csv"
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9", "--failures", "0,1",
+             "--output", str(target), *FAST]
+        )
+        assert exit_code == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines[0].startswith("kind,chiplets,failures")
+        assert len(lines) == 3  # header + two failure counts
+        # The ratio columns are plain floats in CSV mode (the 'x' suffix
+        # is table-display only), so the file loads numerically.
+        for line in lines[1:]:
+            latency_ratio, throughput_ratio = line.split(",")[-2:]
+            float(latency_ratio)
+            float(throughput_ratio)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_explicit_fault_set(self, capsys):
+        graph = make_arrangement("grid", 9).graph
+        link = graph.edges()[0]
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-links", f"{link[0]}-{link[1]}", *FAST]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        # Baseline row plus the explicit single-link-fault row.
+        assert " 0 " in out.replace("|", " ")
+        assert " 1 " in out.replace("|", " ")
+
+    def test_explicit_mode_warns_about_ignored_sampling_flags(self, capsys):
+        graph = make_arrangement("grid", 9).graph
+        link = graph.edges()[0]
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-links", f"{link[0]}-{link[1]}",
+             "--failures", "0,1,2", "--samples", "5", "--cycles", "120"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "--failures" in captured.err
+        assert "--samples" in captured.err
+        assert "only apply to sampled sweeps" in captured.err
+
+    def test_router_fault_type(self, capsys):
+        exit_code = main(
+            ["faults", "--kinds", "hexamesh", "--chiplets", "19",
+             "--failures", "0,1", "--fault-type", "router", *FAST]
+        )
+        assert exit_code == 0
+        assert "hexamesh" in capsys.readouterr().out
+
+
+class TestFaultsFailFast:
+    def test_unknown_link_is_a_clean_error(self, capsys):
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-links", "0-99", *FAST]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "failed link 0-99 is not a link of the topology" in err
+
+    def test_isolating_fault_reports_the_router(self, capsys):
+        # Failing every neighbour of router 0 isolates its endpoints.
+        graph = make_arrangement("grid", 9).graph
+        routers = ",".join(str(n) for n in sorted(graph.neighbors(0)))
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-routers", routers, *FAST]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "isolates router 0" in err
+        assert "can neither send nor receive" in err
+
+    @pytest.mark.parametrize("spec", ["", " ", ","])
+    def test_empty_explicit_fault_spec_is_a_clean_error(self, spec, capsys):
+        # --fail-links "" (e.g. an unset shell variable) must not silently
+        # degrade into a healthy-only sweep.
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-links", spec, *FAST]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "name no faults" in err
+
+    def test_malformed_link_spec_is_a_clean_error(self, capsys):
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-links", "0:1", *FAST]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "<router>-<router>" in err
+
+    def test_unknown_kind_fails_before_simulation(self, capsys):
+        exit_code = main(["faults", "--kinds", "moebius", *FAST])
+        assert exit_code == 2
+        assert "kind" in capsys.readouterr().err
+
+    def test_disconnecting_explicit_fault_names_unreachable_routers(self, capsys):
+        # Find a router triple whose removal splits the 3x3 grid into
+        # components of >= 2 routers each (so the disconnection check, not
+        # the isolation check, fires) and feed it through the CLI.
+        import itertools
+
+        from repro.noc.faults import FaultedTopologyError, FaultSet
+
+        graph = make_arrangement("grid", 9).graph
+        disconnecting = None
+        for combo in itertools.combinations(range(9), 3):
+            try:
+                FaultSet(failed_routers=combo).apply(graph)
+            except FaultedTopologyError as error:
+                if "disconnects the topology" in str(error):
+                    disconnecting = combo
+                    break
+        assert disconnecting is not None
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-routers", ",".join(str(r) for r in disconnecting), *FAST]
+        )
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "disconnects the topology" in err
+        assert "unreachable" in err

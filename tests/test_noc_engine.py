@@ -23,6 +23,8 @@ from repro.noc.network import Network
 from repro.noc.simulator import NocSimulator
 from repro.noc.vec_engine import VectorizedEngine
 
+from fault_scenarios import FAULT_SCENARIOS, representative_faults
+
 FAST_CONFIG = SimulationConfig(
     warmup_cycles=60, measurement_cycles=120, drain_cycles=300
 )
@@ -38,9 +40,15 @@ EQUIVALENCE_GRID = [
 ]
 
 
-def _result(kind, count, rate, traffic, engine, config=FAST_CONFIG):
+def _representative_faults(graph, scenario: str):
+    return representative_faults(graph, scenario, seed=13)
+
+
+def _result(kind, count, rate, traffic, engine, config=FAST_CONFIG, faults=None):
     graph = make_arrangement(kind, count).graph
-    simulator = NocSimulator(graph, config, injection_rate=rate, traffic=traffic)
+    simulator = NocSimulator(
+        graph, config, injection_rate=rate, traffic=traffic, faults=faults
+    )
     return simulator, simulator.run(engine=engine)
 
 
@@ -115,6 +123,69 @@ class TestEngineEquivalence:
         fast_pending = [c.pending() for c, _ in fast_net.channel_sinks()]
         assert [len(p) for p in legacy_pending] == [len(p) for p in fast_pending]
         fast_net.verify_flit_conservation()
+
+
+class TestFaultedEngineEquivalence:
+    """The bit-identical contract must also hold on degraded topologies."""
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("scenario", FAULT_SCENARIOS)
+    @pytest.mark.parametrize(
+        "kind,count",
+        [("grid", 9), ("brickwall", 9), ("honeycomb", 7), ("hexamesh", 7)],
+    )
+    def test_bit_identical_results_under_faults(self, kind, count, scenario, engine):
+        graph = make_arrangement(kind, count).graph
+        faults = _representative_faults(graph, scenario)
+        _, legacy = _result(kind, count, 0.3, "uniform", "legacy", faults=faults)
+        _, fast = _result(kind, count, 0.3, "uniform", engine, faults=faults)
+        assert legacy == fast
+        assert legacy.measured_packets_ejected > 0
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("traffic", ["uniform", "tornado"])
+    def test_faulted_traffic_variants_match_legacy(self, traffic, engine):
+        graph = make_arrangement("hexamesh", 7).graph
+        faults = _representative_faults(graph, "single-link")
+        _, legacy = _result("hexamesh", 7, 0.5, traffic, "legacy", faults=faults)
+        _, fast = _result("hexamesh", 7, 0.5, traffic, engine, faults=faults)
+        assert legacy == fast
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_faulted_final_network_state_matches_legacy(self, engine):
+        graph = make_arrangement("grid", 9).graph
+        faults = _representative_faults(graph, "single-router")
+        legacy_sim, _ = _result("grid", 9, 0.3, "uniform", "legacy", faults=faults)
+        fast_sim, _ = _result("grid", 9, 0.3, "uniform", engine, faults=faults)
+        legacy_net, fast_net = legacy_sim.network, fast_sim.network
+        assert [r.buffered_flits for r in legacy_net.routers] == [
+            r.buffered_flits for r in fast_net.routers
+        ]
+        assert [e.ejected_flits for e in legacy_net.endpoints] == [
+            e.ejected_flits for e in fast_net.endpoints
+        ]
+        fast_net.verify_flit_conservation()
+
+    def test_faulted_topology_shrinks_the_network(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        faults = _representative_faults(graph, "single-router")
+        simulator, result = _result("hexamesh", 7, 0.2, "uniform", "active", faults=faults)
+        assert result.num_routers == 6
+        assert simulator.network.num_routers == 6
+
+    def test_no_channel_crosses_a_failed_link(self):
+        """Packets cannot traverse a failed link: it has no channel at all."""
+        graph = make_arrangement("grid", 9).graph
+        faults = _representative_faults(graph, "single-link")
+        simulator, _ = _result("grid", 9, 0.3, "uniform", "vectorized", faults=faults)
+        degraded = simulator.degraded_topology
+        failed = set(faults.failed_links)
+        router_links = {
+            degraded.original_edge(first, second)
+            for first, second in degraded.graph.edges()
+        }
+        assert not router_links & failed
+        assert all(graph.has_edge(*link) for link in router_links)
 
 
 class TestActiveSetFastPath:

@@ -1,0 +1,201 @@
+"""Fault sets and degraded topologies: normalisation, application, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.metrics import is_connected
+from repro.graphs.model import ChipGraph
+from repro.noc.config import SimulationConfig
+from repro.noc.faults import (
+    DegradedTopology,
+    FaultedTopologyError,
+    FaultSet,
+    apply_faults,
+)
+from repro.noc.routing import RoutingTables
+from repro.noc.simulator import NocSimulator
+
+
+class TestFaultSetNormalization:
+    def test_links_are_sorted_deduplicated_pairs(self):
+        faults = FaultSet(failed_links=((3, 0), (0, 3), (2, 1)))
+        assert faults.failed_links == ((0, 3), (1, 2))
+
+    def test_routers_are_sorted_and_deduplicated(self):
+        faults = FaultSet(failed_routers=(5, 2, 5, 2))
+        assert faults.failed_routers == (2, 5)
+
+    def test_equal_physical_faults_compare_equal(self):
+        assert FaultSet(failed_links=((1, 0),)) == FaultSet(failed_links=((0, 1),))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="distinct routers"):
+            FaultSet(failed_links=((2, 2),))
+
+    def test_negative_router_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSet(failed_routers=(-1,))
+
+    def test_non_integer_components_rejected(self):
+        with pytest.raises(ValueError, match="integer router id"):
+            FaultSet(failed_routers=("3",))
+        with pytest.raises(ValueError, match="pair"):
+            FaultSet(failed_links=((1, 2, 3),))
+
+    def test_empty_properties(self):
+        empty = FaultSet()
+        assert empty.is_empty
+        assert empty.num_faults == 0
+        assert empty.label == "healthy"
+        faulted = FaultSet(failed_links=((0, 1),), failed_routers=(4,))
+        assert not faulted.is_empty
+        assert faulted.num_faults == 2
+        assert faulted.label == "1L+1R"
+
+    def test_key_dict_is_jsonable_and_canonical(self):
+        import json
+
+        faults = FaultSet(failed_links=((3, 1),), failed_routers=(2,))
+        key = faults.key_dict()
+        assert json.loads(json.dumps(key)) == {
+            "failed_links": [[1, 3]],
+            "failed_routers": [2],
+        }
+
+
+class TestFaultSetParse:
+    def test_parse_links_and_routers(self):
+        faults = FaultSet.parse("0-1, 4-2", "7, 3")
+        assert faults.failed_links == ((0, 1), (2, 4))
+        assert faults.failed_routers == (3, 7)
+
+    def test_parse_empty_strings(self):
+        assert FaultSet.parse("", "").is_empty
+
+    def test_parse_rejects_malformed_link(self):
+        with pytest.raises(ValueError, match="<router>-<router>"):
+            FaultSet.parse("0:1", "")
+
+
+class TestValidateAgainst:
+    def test_unknown_router_message(self, small_grid):
+        faults = FaultSet(failed_routers=(99,))
+        with pytest.raises(FaultedTopologyError, match=r"failed router 99 is not"):
+            faults.validate_against(small_grid.graph)
+
+    def test_unknown_link_message(self, small_grid):
+        faults = FaultSet(failed_links=((0, 8),))
+        with pytest.raises(FaultedTopologyError, match=r"failed link 0-8 is not a link"):
+            faults.validate_against(small_grid.graph)
+
+
+class TestApply:
+    def test_failed_link_is_cut(self, small_grid):
+        graph = small_grid.graph
+        link = graph.edges()[0]
+        degraded = FaultSet(failed_links=(link,)).apply(graph)
+        assert degraded.graph.num_nodes == graph.num_nodes
+        assert degraded.graph.num_edges == graph.num_edges - 1
+        assert degraded.surviving_routers == tuple(range(graph.num_nodes))
+        # Node ids are unchanged when no router failed, so the cut link
+        # is absent under its original ids.
+        assert not degraded.graph.has_edge(*link)
+
+    def test_failed_router_relabels_survivors(self, small_hexamesh):
+        graph = small_hexamesh.graph
+        degraded = FaultSet(failed_routers=(3,)).apply(graph)
+        assert degraded.num_routers == graph.num_nodes - 1
+        assert degraded.surviving_routers == (0, 1, 2, 4, 5, 6)
+        assert sorted(degraded.graph.nodes()) == list(range(6))
+        assert degraded.original_id(3) == 4
+        assert degraded.degraded_id(4) == 3
+        with pytest.raises(KeyError, match="did not survive"):
+            degraded.degraded_id(3)
+
+    def test_original_edge_maps_back(self, small_hexamesh):
+        graph = small_hexamesh.graph
+        degraded = FaultSet(failed_routers=(0,)).apply(graph)
+        for first, second in degraded.graph.edges():
+            original = degraded.original_edge(first, second)
+            assert graph.has_edge(*original)
+
+    def test_degraded_graph_is_connected_and_routable(self, medium_hexamesh):
+        graph = medium_hexamesh.graph
+        degraded = FaultSet(failed_links=((0, 1),), failed_routers=(5,)).apply(graph)
+        assert is_connected(degraded.graph)
+        tables = RoutingTables(degraded.graph)
+        assert tables.num_routers == degraded.num_routers
+
+    def test_disconnecting_fault_raises(self, path_graph):
+        with pytest.raises(FaultedTopologyError, match="disconnects the topology"):
+            FaultSet(failed_links=((1, 2),)).apply(path_graph)
+
+    def test_isolating_fault_raises(self, path_graph):
+        with pytest.raises(FaultedTopologyError, match="isolates router 0"):
+            FaultSet(failed_links=((0, 1),)).apply(path_graph)
+
+    def test_too_few_survivors_raises(self, path_graph):
+        with pytest.raises(FaultedTopologyError, match="at least two routers"):
+            FaultSet(failed_routers=(0, 1, 2)).apply(path_graph)
+
+    def test_apply_faults_none_is_identity(self, cycle_graph):
+        degraded = apply_faults(cycle_graph, None)
+        assert isinstance(degraded, DegradedTopology)
+        assert degraded.graph.num_edges == cycle_graph.num_edges
+        assert degraded.fault_set.is_empty
+
+    def test_router_fault_also_absorbs_its_links(self):
+        graph = ChipGraph(nodes=range(4), edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        degraded = FaultSet(failed_routers=(0,), failed_links=((0, 1),)).apply(graph)
+        # Router 0 takes edges (0,1), (3,0), (0,2) with it; survivors keep
+        # the 1-2-3 path.
+        assert degraded.num_routers == 3
+        assert degraded.graph.num_edges == 2
+
+
+class TestSimulatorIntegration:
+    CONFIG = SimulationConfig(warmup_cycles=40, measurement_cycles=80, drain_cycles=200)
+
+    def test_simulator_runs_on_degraded_topology(self, small_hexamesh):
+        faults = FaultSet(failed_routers=(6,))
+        simulator = NocSimulator(
+            small_hexamesh.graph, self.CONFIG, injection_rate=0.2, faults=faults
+        )
+        assert simulator.fault_set == faults
+        assert simulator.degraded_topology is not None
+        assert simulator.degraded_topology.num_routers == 6
+        result = simulator.run()
+        assert result.num_routers == 6
+        assert result.num_endpoints == 6 * self.CONFIG.endpoints_per_chiplet
+        assert result.measured_packets_ejected > 0
+        simulator.network.verify_flit_conservation()
+
+    def test_empty_fault_set_changes_nothing(self, small_grid):
+        healthy = NocSimulator(small_grid.graph, self.CONFIG, injection_rate=0.2)
+        faulted = NocSimulator(
+            small_grid.graph, self.CONFIG, injection_rate=0.2, faults=FaultSet()
+        )
+        assert faulted.degraded_topology is None
+        assert healthy.run() == faulted.run()
+
+    def test_unsurvivable_fault_set_raises_at_construction(self, path_graph):
+        with pytest.raises(FaultedTopologyError, match="disconnects"):
+            NocSimulator(
+                path_graph,
+                self.CONFIG,
+                injection_rate=0.1,
+                faults=FaultSet(failed_links=((1, 2),)),
+            )
+
+    def test_no_degraded_channel_maps_to_a_failed_link(self, medium_hexamesh):
+        """Structural form of "packets never traverse a failed link"."""
+        graph = medium_hexamesh.graph
+        faults = FaultSet(failed_links=(graph.edges()[0], graph.edges()[5]))
+        simulator = NocSimulator(graph, self.CONFIG, injection_rate=0.2, faults=faults)
+        degraded = simulator.degraded_topology
+        failed = set(faults.failed_links)
+        for first, second in degraded.graph.edges():
+            original = degraded.original_edge(first, second)
+            assert original not in failed
+            assert graph.has_edge(*original)

@@ -17,6 +17,8 @@ from repro.noc.simulator import NocSimulator
 from repro.noc.traffic import available_traffic_patterns
 from repro.workloads import make_workload, map_workload, trace_traffic_for
 
+from fault_scenarios import representative_faults
+
 #: One representative chiplet count per arrangement family (small enough
 #: to keep the full kind x traffic x engine grid fast).
 KIND_SIZES = [("grid", 9), ("brickwall", 9), ("honeycomb", 7), ("hexamesh", 7)]
@@ -116,6 +118,80 @@ def test_trace_traffic_flit_conservation(kind, count, workload_kind, engine):
             assert endpoint.created_packets == 0
         for packet in endpoint.ejected_packets:
             assert (packet.source, packet.destination) in demands
+
+
+def _representative_faults(graph, scenario: str):
+    return representative_faults(graph, scenario, seed=21)
+
+
+@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
+@pytest.mark.parametrize("scenario", ["single-link", "single-router", "yield-sampled"])
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_flit_conservation_under_faults(kind, count, scenario, engine):
+    """Degraded topologies obey the same conservation law as healthy ones."""
+    graph = make_arrangement(kind, count).graph
+    faults = _representative_faults(graph, scenario)
+    simulator = NocSimulator(
+        graph, FAST_CONFIG, injection_rate=0.2, traffic="uniform", faults=faults
+    )
+    result = simulator.run(engine=engine)
+    network = simulator.network
+
+    network.verify_flit_conservation()
+    created = network.total_created_flits()
+    accounted = (
+        network.total_ejected_flits()
+        + network.flits_in_flight()
+        + network.total_source_queued_flits()
+    )
+    assert created == accounted
+    assert created > 0
+    assert result.measured_packets_created > 0
+
+    # Measured-packet bookkeeping stays consistent on the degraded fabric.
+    ejected_measured = sum(
+        1
+        for endpoint in network.endpoints
+        for packet in endpoint.ejected_packets
+        if packet.measured
+    )
+    at_sources = sum(
+        endpoint.in_flight_measured_packets() for endpoint in network.endpoints
+    )
+    assert result.measured_packets_created == (
+        ejected_measured + at_sources + network.in_flight_measured_packets()
+    )
+
+
+@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_faulted_trace_traffic_flit_conservation(kind, count, engine):
+    """Workloads re-mapped onto a degraded topology conserve flits too."""
+    graph = make_arrangement(kind, count).graph
+    faults = _representative_faults(graph, "single-router")
+    degraded = faults.apply(graph).graph
+    workload = make_workload("dnn-pipeline", num_tasks=count)
+    mapping = map_workload("partition", workload, degraded)
+    traffic = trace_traffic_for(
+        workload, mapping,
+        endpoints_per_chiplet=FAST_CONFIG.endpoints_per_chiplet,
+    )
+    simulator = NocSimulator(
+        degraded, FAST_CONFIG, injection_rate=0.2, traffic=traffic
+    )
+    result = simulator.run(engine=engine)
+    network = simulator.network
+
+    network.verify_flit_conservation()
+    created = network.total_created_flits()
+    accounted = (
+        network.total_ejected_flits()
+        + network.flits_in_flight()
+        + network.total_source_queued_flits()
+    )
+    assert created == accounted
+    assert created > 0
+    assert result.measured_packets_created > 0
 
 
 @pytest.mark.parametrize("kind,count", KIND_SIZES)

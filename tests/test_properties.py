@@ -3,7 +3,7 @@
 import math
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.arrangements.factory import available_regularities, make_arrangement
@@ -21,8 +21,10 @@ from repro.graphs.metrics import (
 from repro.linkmodel.bandwidth import data_wires, link_bandwidth_bps, wire_count
 from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
 from repro.noc.config import SimulationConfig
+from repro.noc.faults import FaultedTopologyError
 from repro.noc.simulator import NocSimulator
 from repro.partition.common import cut_size, is_balanced
+from repro.resilience import sample_survivable_faults
 from repro.partition.estimator import find_best_bisection
 from repro.utils.mathutils import hexamesh_chiplet_count, is_hexamesh_count
 
@@ -357,3 +359,81 @@ class TestEngineEquivalenceProperties:
             legacy_result.measured_packets_created
             == vectorized_result.measured_packets_created
         )
+
+
+class TestFaultInjectionProperties:
+    """Random survivable faults on random configs keep the engine contract.
+
+    For any connected arrangement and any survivable fault draw, the
+    vectorized engine must reproduce the legacy per-packet latency
+    histogram on the degraded topology, and no packet can ever traverse a
+    failed link — structurally guaranteed because the degraded network
+    contains no channel for it, which is asserted by mapping every
+    surviving router-to-router link back to the original topology.
+    """
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        kind=all_arrangement_kinds,
+        count=st.integers(min_value=6, max_value=12),
+        rate=st.sampled_from([0.1, 0.4]),
+        link_faults=st.integers(min_value=0, max_value=2),
+        router_faults=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+    )
+    def test_vectorized_matches_legacy_under_random_survivable_faults(
+        self, kind, count, rate, link_faults, router_faults, seed
+    ):
+        graph = make_arrangement(kind, count).graph
+        try:
+            faults = sample_survivable_faults(
+                graph,
+                num_link_faults=link_faults,
+                num_router_faults=router_faults,
+                seed=seed,
+                max_attempts=30,
+            )
+        except FaultedTopologyError:
+            assume(False)  # this topology cannot absorb the draw
+            return
+        config = SimulationConfig(
+            warmup_cycles=30, measurement_cycles=60, drain_cycles=150, seed=seed
+        )
+
+        def run(engine):
+            simulator = NocSimulator(
+                graph, config, injection_rate=rate, faults=faults
+            )
+            result = simulator.run(engine=engine)
+            histogram = sorted(
+                packet.latency
+                for endpoint in simulator.network.endpoints
+                for packet in endpoint.ejected_packets
+                if packet.measured
+            )
+            simulator.network.verify_flit_conservation()
+            return simulator, result, histogram
+
+        legacy_sim, legacy_result, legacy_histogram = run("legacy")
+        _, vectorized_result, vectorized_histogram = run("vectorized")
+        assert legacy_histogram == vectorized_histogram
+        assert legacy_result.throughput == vectorized_result.throughput
+        assert (
+            legacy_result.measured_packets_created
+            == vectorized_result.measured_packets_created
+        )
+
+        # Packets never traverse a failed link or reach a failed router:
+        # the degraded network simply has no such channel.
+        degraded = legacy_sim.degraded_topology
+        if degraded is None:
+            assert faults.is_empty
+            return
+        assert not set(degraded.surviving_routers) & set(faults.failed_routers)
+        surviving_links = {
+            degraded.original_edge(first, second)
+            for first, second in degraded.graph.edges()
+        }
+        assert not surviving_links & set(faults.failed_links)
+        assert all(graph.has_edge(*link) for link in surviving_links)

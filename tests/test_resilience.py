@@ -1,0 +1,340 @@
+"""The resilience subsystem: samplers, sweep candidates, degradation curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.parallel import (
+    ParallelSweepRunner,
+    SweepCandidate,
+    derive_candidate_seed,
+)
+from repro.noc.config import SimulationConfig
+from repro.noc.faults import FaultedTopologyError, FaultSet
+from repro.resilience import (
+    FaultProbabilities,
+    derive_fault_seed,
+    fault_probabilities_from_yield,
+    resilience_grid,
+    run_resilience_sweep,
+    sample_fault_set,
+    sample_survivable_faults,
+)
+from repro.resilience.sweep import split_failure_count, summarize_records
+from repro.workloads import make_workload, map_workload, simulate_workload
+
+FAST_CONFIG = SimulationConfig(
+    warmup_cycles=40, measurement_cycles=80, drain_cycles=160
+)
+
+
+class TestYieldCoupling:
+    def test_probabilities_are_fractions(self):
+        probs = fault_probabilities_from_yield(50.0)
+        assert 0.0 <= probs.link_failure_probability <= 1.0
+        assert 0.0 <= probs.router_failure_probability <= 1.0
+
+    def test_larger_chiplets_fail_more_often(self):
+        small = fault_probabilities_from_yield(10.0)
+        large = fault_probabilities_from_yield(400.0)
+        assert large.router_failure_probability > small.router_failure_probability
+
+    def test_perfect_test_coverage_means_no_router_failures(self):
+        probs = fault_probabilities_from_yield(100.0, test_coverage=1.0)
+        assert probs.router_failure_probability == 0.0
+
+    def test_link_probability_tracks_bond_yield(self):
+        probs = fault_probabilities_from_yield(50.0, per_bond_yield=0.9)
+        assert probs.link_failure_probability == pytest.approx(0.1)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            FaultProbabilities(link_failure_probability=1.5, router_failure_probability=0.0)
+
+    def test_expected_faults(self, small_grid):
+        probs = FaultProbabilities(
+            link_failure_probability=0.5, router_failure_probability=0.5
+        )
+        graph = small_grid.graph
+        expected = probs.expected_faults(graph)
+        assert expected == pytest.approx(0.5 * (graph.num_edges + graph.num_nodes))
+
+
+class TestFaultSeeds:
+    def test_deterministic(self):
+        assert derive_fault_seed(1, "a", 2) == derive_fault_seed(1, "a", 2)
+
+    def test_identity_sensitive(self):
+        assert derive_fault_seed(1, "a", 2) != derive_fault_seed(1, "a", 3)
+        assert derive_fault_seed(1, "a", 2) != derive_fault_seed(2, "a", 2)
+
+    def test_strictly_positive(self):
+        for index in range(50):
+            assert derive_fault_seed(0, index) > 0
+
+
+class TestSamplers:
+    def test_exact_counts(self, medium_hexamesh):
+        faults = sample_survivable_faults(
+            medium_hexamesh.graph, num_link_faults=3, num_router_faults=2, seed=11
+        )
+        assert len(faults.failed_links) == 3
+        assert len(faults.failed_routers) == 2
+        # Survivable by construction.
+        faults.apply(medium_hexamesh.graph)
+
+    def test_deterministic_per_seed(self, medium_hexamesh):
+        first = sample_survivable_faults(medium_hexamesh.graph, num_link_faults=2, seed=4)
+        second = sample_survivable_faults(medium_hexamesh.graph, num_link_faults=2, seed=4)
+        other = sample_survivable_faults(medium_hexamesh.graph, num_link_faults=2, seed=5)
+        assert first == second
+        assert first != other  # overwhelmingly likely on 42 edges
+
+    def test_zero_faults_short_circuit(self, small_grid):
+        assert sample_survivable_faults(small_grid.graph, seed=1).is_empty
+
+    def test_too_many_faults_rejected(self, small_grid):
+        graph = small_grid.graph
+        with pytest.raises(ValueError, match="only"):
+            sample_survivable_faults(graph, num_link_faults=graph.num_edges + 1)
+
+    def test_unabsorbable_faults_raise(self, path_graph):
+        with pytest.raises(FaultedTopologyError, match="cannot absorb"):
+            sample_survivable_faults(path_graph, num_link_faults=1, max_attempts=5)
+
+    def test_yield_sampling_is_deterministic_and_survivable(self, medium_hexamesh):
+        probs = FaultProbabilities(
+            link_failure_probability=0.05, router_failure_probability=0.05
+        )
+        first = sample_fault_set(medium_hexamesh.graph, probs, seed=9)
+        second = sample_fault_set(medium_hexamesh.graph, probs, seed=9)
+        assert first == second
+        first.apply(medium_hexamesh.graph)
+
+    def test_yield_sampling_zero_probabilities_is_healthy(self, small_grid):
+        probs = FaultProbabilities(
+            link_failure_probability=0.0, router_failure_probability=0.0
+        )
+        assert sample_fault_set(small_grid.graph, probs, seed=1).is_empty
+
+
+class TestSweepCandidateFaults:
+    def test_healthy_key_dict_is_unchanged(self):
+        candidate = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.1)
+        assert sorted(candidate.key_dict()) == [
+            "graph_edges", "injection_rate", "kind", "num_chiplets",
+            "regularity", "traffic",
+        ]
+        assert candidate.fault_set.is_empty
+
+    def test_fault_fields_join_identity_when_present(self):
+        candidate = SweepCandidate(
+            kind="grid", num_chiplets=9, injection_rate=0.1,
+            failed_links=((1, 0),), failed_routers=(4,),
+        )
+        key = candidate.key_dict()
+        assert key["failed_links"] == [[0, 1]]
+        assert key["failed_routers"] == [4]
+        healthy = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.1)
+        assert derive_candidate_seed(1, candidate) != derive_candidate_seed(1, healthy)
+
+    def test_fault_fields_are_normalised(self):
+        candidate = SweepCandidate(
+            kind="grid", num_chiplets=9, injection_rate=0.1,
+            failed_links=((3, 0), (0, 3)),
+        )
+        assert candidate.failed_links == ((0, 3),)
+        assert "!1L+0R" in candidate.label
+
+    def test_build_graph_applies_faults(self):
+        candidate = SweepCandidate(
+            kind="hexamesh", num_chiplets=7, injection_rate=0.1, failed_routers=(3,)
+        )
+        assert candidate.build_graph().num_nodes == 6
+
+    def test_build_graph_fails_fast_with_candidate_context(self):
+        candidate = SweepCandidate(
+            kind="custom", num_chiplets=4, injection_rate=0.1,
+            graph_edges=((0, 1), (1, 2), (2, 3)),
+            failed_links=((1, 2),),
+        )
+        with pytest.raises(FaultedTopologyError, match="candidate .*disconnects"):
+            candidate.build_graph()
+
+    def test_malformed_fault_fields_rejected(self):
+        with pytest.raises(ValueError, match="distinct routers"):
+            SweepCandidate(
+                kind="grid", num_chiplets=9, injection_rate=0.1,
+                failed_links=((2, 2),),
+            )
+
+
+class TestResilienceGrid:
+    def test_split_failure_count(self):
+        assert split_failure_count(3, "link") == (3, 0)
+        assert split_failure_count(3, "router") == (0, 3)
+        assert split_failure_count(3, "mixed") == (2, 1)
+        with pytest.raises(ValueError):
+            split_failure_count(1, "meteor")
+
+    def test_baseline_emitted_once_regardless_of_samples(self):
+        candidates = resilience_grid(
+            ("grid",), 9, (0, 1), samples=3, injection_rate=0.1, seed=1
+        )
+        healthy = [c for c in candidates if c.fault_set.is_empty]
+        faulted = [c for c in candidates if not c.fault_set.is_empty]
+        assert len(healthy) == 1
+        assert len(faulted) == 3
+
+    def test_router_fault_type_fails_routers(self):
+        candidates = resilience_grid(
+            ("grid",), 9, (2,), samples=1, fault_type="router", seed=1
+        )
+        (candidate,) = candidates
+        assert len(candidate.failed_routers) == 2
+        assert not candidate.failed_links
+
+    def test_empty_failure_counts_rejected(self):
+        with pytest.raises(ValueError, match="at least one failure count"):
+            resilience_grid(("grid",), 9, ())
+
+
+class TestResilienceSweep:
+    def test_summaries_anchor_on_baseline(self):
+        result = run_resilience_sweep(
+            ("grid", "hexamesh"), 9, (0, 1), samples=1,
+            config=FAST_CONFIG, injection_rate=0.2,
+        )
+        assert result.kinds() == ["grid", "hexamesh"]
+        for kind in result.kinds():
+            curve = result.curve(kind)
+            assert [point.num_failures for point in curve] == [0, 1]
+            assert curve[0].latency_vs_baseline == pytest.approx(1.0)
+            assert curve[0].throughput_vs_baseline == pytest.approx(1.0)
+            assert not math.isnan(curve[1].latency_vs_baseline)
+        with pytest.raises(ValueError, match="no resilience summaries"):
+            result.curve("brickwall")
+
+    def test_identical_across_engines_and_jobs(self, tmp_path):
+        base = run_resilience_sweep(
+            ("grid",), 9, (0, 2), samples=2, config=FAST_CONFIG, injection_rate=0.2
+        )
+        vectorized = run_resilience_sweep(
+            ("grid",), 9, (0, 2), samples=2, config=FAST_CONFIG,
+            injection_rate=0.2, engine="vectorized",
+        )
+        assert base.summaries == vectorized.summaries
+        cached = run_resilience_sweep(
+            ("grid",), 9, (0, 2), samples=2, config=FAST_CONFIG,
+            injection_rate=0.2, cache_dir=tmp_path,
+        )
+        assert cached.summaries == base.summaries
+
+    def test_router_faults_count_lost_endpoints_as_lost_throughput(self):
+        # Router faults remove endpoints; below saturation the survivors
+        # still accept ~all offered traffic, so a per-endpoint ratio would
+        # sit near 1.0 and hide the lost capacity.  The summary compares
+        # aggregate throughput, so losing 2 of 9 routers must show up.
+        result = run_resilience_sweep(
+            ("grid",), 9, (0, 2), samples=1, fault_type="router",
+            config=FAST_CONFIG, injection_rate=0.1,
+        )
+        baseline, faulted = result.curve("grid")
+        base_rec = next(r for r in result.records if r.candidate.fault_set.is_empty)
+        faulted_rec = next(
+            r for r in result.records if not r.candidate.fault_set.is_empty
+        )
+        expected = (
+            faulted_rec.result.accepted_flit_rate * faulted_rec.result.num_endpoints
+        ) / (base_rec.result.accepted_flit_rate * base_rec.result.num_endpoints)
+        assert faulted.throughput_vs_baseline == pytest.approx(expected)
+        # 7 of 9 routers survive: aggregate retention lands near 7/9, and
+        # decisively below the ~1.0 a per-endpoint ratio would report.
+        assert faulted.throughput_vs_baseline < 0.9
+
+    def test_missing_baseline_yields_nan_ratios(self):
+        result = run_resilience_sweep(
+            ("grid",), 9, (1,), samples=1, config=FAST_CONFIG, injection_rate=0.2
+        )
+        (summary,) = result.summaries
+        assert math.isnan(summary.latency_vs_baseline)
+        assert math.isnan(summary.throughput_vs_baseline)
+
+    def test_summarize_records_groups_by_actual_fault_count(self):
+        candidates = resilience_grid(("grid",), 9, (0, 1, 2), samples=2, seed=1)
+        runner = ParallelSweepRunner(FAST_CONFIG)
+        records = runner.run(candidates)
+        summaries = summarize_records(records, fault_type="link")
+        assert [s.num_failures for s in summaries] == [0, 1, 2]
+        assert [s.samples for s in summaries] == [1, 2, 2]
+
+
+class TestExplorerResilience:
+    def test_evaluate_and_rank(self):
+        explorer = DesignSpaceExplorer(("grid", "hexamesh"))
+        summaries = explorer.evaluate_resilience(
+            9, (0, 2), samples=1, config=FAST_CONFIG, injection_rate=0.2
+        )
+        assert len(summaries) == 4  # two kinds x two failure counts
+        assert explorer.resilience_records == summaries
+        ranked = explorer.rank_resilience()
+        assert len(ranked) == 2  # baselines excluded
+        assert all(point.num_failures == 2 for point in ranked)
+        assert (
+            ranked[0].latency_vs_baseline <= ranked[1].latency_vs_baseline
+        )
+        retention = explorer.rank_resilience("throughput-retention")
+        assert (
+            retention[0].throughput_vs_baseline
+            >= retention[1].throughput_vs_baseline
+        )
+
+    def test_unknown_objective_rejected(self):
+        explorer = DesignSpaceExplorer(("grid",))
+        with pytest.raises(ValueError):
+            explorer.rank_resilience("vibes")
+
+
+class TestFaultedWorkloads:
+    def test_workload_is_remapped_onto_degraded_topology(self):
+        graph = make_arrangement("hexamesh", 19).graph
+        workload = make_workload("dnn-pipeline", num_tasks=19)
+        mapping = map_workload("partition", workload, graph)
+        faults = sample_survivable_faults(graph, num_router_faults=1, seed=5)
+        result = simulate_workload(
+            graph, workload, mapping, config=FAST_CONFIG, faults=faults
+        )
+        assert result.simulation.num_routers == 18
+        assert result.simulation.measured_packets_ejected > 0
+        # Every re-mapped task landed on a surviving chiplet.
+        assert result.cost.weighted_hop_count >= 0.0
+
+    def test_hand_built_mapping_cannot_be_remapped(self):
+        from repro.workloads.mapping import WorkloadMapping
+
+        graph = make_arrangement("grid", 9).graph
+        workload = make_workload("stencil", num_tasks=9)
+        assignment = {task: task % 9 for task in workload.task_ids()}
+        custom = WorkloadMapping(assignment, num_chiplets=9)
+        faults = sample_survivable_faults(graph, num_link_faults=1, seed=3)
+        with pytest.raises(ValueError, match="cannot re-map mapper 'custom'"):
+            simulate_workload(
+                graph, workload, custom, config=FAST_CONFIG, faults=faults
+            )
+        # Without faults the custom mapping simulates fine.
+        plain = simulate_workload(graph, workload, custom, config=FAST_CONFIG)
+        assert plain.simulation.measured_packets_created > 0
+
+    def test_empty_faults_match_plain_run(self):
+        graph = make_arrangement("grid", 9).graph
+        workload = make_workload("stencil", num_tasks=9)
+        mapping = map_workload("partition", workload, graph)
+        plain = simulate_workload(graph, workload, mapping, config=FAST_CONFIG)
+        faulted = simulate_workload(
+            graph, workload, mapping, config=FAST_CONFIG, faults=FaultSet()
+        )
+        assert plain.simulation == faulted.simulation
