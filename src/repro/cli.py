@@ -33,6 +33,7 @@ from typing import Sequence
 from repro.arrangements.factory import make_arrangement
 from repro.core.design import ChipletDesign
 from repro.core.parallel import (
+    BatchedSweepRunner,
     ParallelSweepRunner,
     SweepCandidate,
     parallel_map,
@@ -128,6 +129,9 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
                         help="cycle-loop engine for cycle-accurate points "
                              "(all engines are bit-identical)")
+    figure.add_argument("--batch", action="store_true",
+                        help="batch the cycle-accurate points of each arrangement "
+                             "over one shared topology build (bit-identical)")
 
     simulate = subparsers.add_parser("simulate", help="run the cycle-accurate simulator")
     simulate.add_argument("kind", choices=_KINDS)
@@ -159,6 +163,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1, help="base RNG seed")
     sweep.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
                        help="cycle-loop engine (all engines are bit-identical)")
+    sweep.add_argument("--batch", action="store_true",
+                       help="batch same-structure candidates (equal kind/count/"
+                            "traffic/faults) over one shared topology build; "
+                            "results are bit-identical to per-point runs")
     sweep.add_argument("--output", default=None, help="CSV output path (default: table)")
 
     workload = subparsers.add_parser(
@@ -218,6 +226,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="on-disk result cache directory")
     faults.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
                         help="cycle-loop engine (all engines are bit-identical)")
+    faults.add_argument("--batch", action="store_true",
+                        help="share each fault arrangement's degraded-topology "
+                             "build across its points (bit-identical)")
     faults.add_argument("--output", default=None, help="CSV output path (default: table)")
 
     bench = subparsers.add_parser(
@@ -285,6 +296,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                 ("--jobs", args.jobs, 1),
                 ("--cache-dir", args.cache_dir, None),
                 ("--engine", args.engine, DEFAULT_ENGINE),
+                ("--batch", args.batch, False),
             )
             if value != default
         ]
@@ -310,6 +322,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                     ("--jobs", args.jobs, 1),
                     ("--cache-dir", args.cache_dir, None),
                     ("--engine", args.engine, DEFAULT_ENGINE),
+                    ("--batch", args.batch, False),
                 )
                 if value != default
             ]
@@ -329,6 +342,7 @@ def _command_figure(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             noc_engine=args.engine,
+            batch=args.batch,
         )
         csv_text = "".join(
             experiment.to_csv()
@@ -383,7 +397,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
     for traffic in traffics:
         check_in_choices("traffic", traffic, available_traffic_patterns())
     config = _phase_config(args.cycles, seed=args.seed)
-    runner = ParallelSweepRunner(
+    runner_cls = BatchedSweepRunner if args.batch else ParallelSweepRunner
+    runner = runner_cls(
         config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
     )
     candidates = ParallelSweepRunner.grid(kinds, chiplet_counts, rates, traffics)
@@ -558,7 +573,8 @@ def _command_faults(args: argparse.Namespace) -> int:
                     failed_routers=fault_set.failed_routers,
                 )
             )
-        runner = ParallelSweepRunner(
+        runner_cls = BatchedSweepRunner if args.batch else ParallelSweepRunner
+        runner = runner_cls(
             config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
         )
         records = runner.run(candidates, progress=report_progress)
@@ -577,6 +593,7 @@ def _command_faults(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             engine=args.engine,
+            batch=args.batch,
             progress=report_progress,
         )
         summaries = result.summaries
@@ -641,11 +658,17 @@ def _command_bench(args: argparse.Namespace) -> int:
     print(f"wrote {output}")
     print(bench.format_report_table(report))
     if args.write_baseline:
-        baseline = bench.make_baseline(report, min_speedups=bench.HEADLINE_FLOORS)
+        baseline = bench.make_baseline(
+            report,
+            min_speedups=bench.HEADLINE_FLOORS,
+            min_batched_speedups=bench.BATCHED_FLOORS,
+        )
         bench.write_report(baseline, args.write_baseline)
         print(f"wrote {args.write_baseline}")
     if args.check_against:
         baseline = bench.load_report(args.check_against)
+        for warning in bench.check_report_warnings(report, baseline):
+            print(f"warning: {warning}", file=sys.stderr)
         problems = bench.check_report(report, baseline)
         if problems:
             for problem in problems:

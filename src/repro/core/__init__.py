@@ -18,6 +18,7 @@ from repro.core.explorer import (
     WorkloadExplorationRecord,
 )
 from repro.core.parallel import (
+    BatchedSweepRunner,
     ParallelSweepRunner,
     SweepCandidate,
     SweepRecord,
@@ -29,6 +30,7 @@ from repro.core.parallel import (
 from repro.core.report import DesignComparison, compare_designs
 
 __all__ = [
+    "BatchedSweepRunner",
     "ChipletDesign",
     "DesignComparison",
     "DesignSpaceExplorer",

@@ -318,6 +318,7 @@ class DesignSpaceExplorer:
         jobs: int | None = None,
         cache_dir: str | None = None,
         engine: str = DEFAULT_ENGINE,
+        batch: bool = False,
         progress: ProgressCallback | None = None,
     ) -> list:
         """Simulate degradation curves of every kind under injected faults.
@@ -330,7 +331,9 @@ class DesignSpaceExplorer:
         per-kind :class:`~repro.resilience.sweep.ResilienceSummary`
         records, which are cached on the explorer for
         :meth:`rank_resilience`.  Include ``0`` in ``failure_counts`` so
-        the ``*_vs_baseline`` ratios are anchored.
+        the ``*_vs_baseline`` ratios are anchored.  ``batch=True`` shares
+        each fault arrangement's degraded-topology build across its
+        points (bit-identical, just faster).
         """
         # Imported lazily: repro.core is imported by repro.resilience.
         from repro.resilience.sweep import run_resilience_sweep
@@ -348,6 +351,7 @@ class DesignSpaceExplorer:
             jobs=jobs,
             cache_dir=cache_dir,
             engine=engine,
+            batch=batch,
             progress=progress,
         )
         self._resilience_records.extend(result.summaries)
@@ -377,8 +381,10 @@ class DesignSpaceExplorer:
         record: ExplorationRecord,
         *,
         injection_rate: float = 0.02,
+        rates: Sequence[float] | None = None,
         config=None,
         engine: str = DEFAULT_ENGINE,
+        batch: bool = True,
     ):
         """Cycle-accurately validate one explored record.
 
@@ -387,7 +393,27 @@ class DesignSpaceExplorer:
         engine — ``"active"``, ``"vectorized"`` or ``"legacy"``, all
         bit-identical) so interesting candidates can be confirmed the same
         way the paper spot-checks its Figure 7 points with BookSim2.
+
+        With ``rates`` the spot check becomes a whole latency/throughput
+        curve: an injection sweep over the design, returned as an
+        :class:`~repro.noc.sweep.InjectionSweepResult`.  ``batch``
+        (default on) evaluates all points of the curve over one shared
+        topology / routing / flat-state build — bit-identical to
+        per-point runs, typically severalfold faster.
         """
+        if rates is not None:
+            # Imported lazily to keep repro.core free of a hard noc.sweep
+            # dependency at import time.
+            from repro.noc.sweep import run_injection_sweep
+
+            design = record.design
+            return run_injection_sweep(
+                design.arrangement.graph,
+                design.simulation_config(config),
+                rates=rates,
+                engine=engine,
+                batch=batch,
+            )
         return record.design.simulate(
             injection_rate=injection_rate, config=config, engine=engine
         )

@@ -43,7 +43,7 @@ from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.faults import FaultedTopologyError, FaultSet
-from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.simulator import BatchPoint, NocSimulator, SimulationResult
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.utils.mathutils import mix_seed
 from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
@@ -291,6 +291,21 @@ class SweepCandidate:
             key.update(self.fault_set.key_dict())
         return key
 
+    def batch_key(self) -> str:
+        """Canonical identity of everything the candidate *shares* in a batch.
+
+        Two candidates with equal batch keys differ at most in their
+        injection rate, so one batched run can evaluate both over a single
+        topology / routing-table / trace build
+        (:meth:`repro.noc.simulator.NocSimulator.run_batch`).  Seeds stay
+        per-(candidate, point): :func:`derive_candidate_seed` hashes the
+        *full* identity including the rate, so batching can never change a
+        point's RNG stream or outcome.
+        """
+        key = self.key_dict()
+        del key["injection_rate"]
+        return json.dumps(key, sort_keys=True)
+
     def build_graph(self) -> ChipGraph:
         """Materialise the candidate's topology graph (degraded if faulted).
 
@@ -397,6 +412,39 @@ def resolve_workload_candidate(candidate: SweepCandidate, config: SimulationConf
         workload, mapping, endpoints_per_chiplet=config.endpoints_per_chiplet
     )
     return graph, workload, mapping, traffic
+
+
+def _evaluate_batch_item(
+    item: tuple[list[tuple[int, SweepCandidate, int]], SimulationConfig, str],
+) -> list[tuple[int, SimulationResult]]:
+    """Simulate one batch of same-structure candidates in a worker process.
+
+    ``item`` carries ``(entries, base_config, engine)`` where every entry
+    is ``(candidate_index, candidate, seed)`` and all candidates share a
+    :meth:`SweepCandidate.batch_key`.  The batch builds the (degraded)
+    topology, the routing tables and — for workload candidates — the
+    trace exactly once and evaluates every injection-rate point through
+    :meth:`NocSimulator.run_batch`, which is bit-identical to per-point
+    evaluation under the per-(candidate, point) seeds.
+    """
+    entries, config, engine = item
+    first = entries[0][1]
+    if first.workload is not None:
+        graph, _, _, traffic = resolve_workload_candidate(first, config)
+    else:
+        graph = first.build_graph()
+        traffic = first.traffic
+    points = [
+        BatchPoint(candidate.injection_rate, seed=seed)
+        for _, candidate, seed in entries
+    ]
+    results = NocSimulator.run_batch(
+        graph, points, config=config, traffic=traffic, engine=engine
+    )
+    return [
+        (index, result)
+        for (index, _, _), result in zip(entries, results)
+    ]
 
 
 def _evaluate_work_item(
@@ -606,7 +654,14 @@ class ParallelSweepRunner:
         *,
         progress: ProgressCallback | None = None,
     ) -> list[SweepRecord]:
-        """Evaluate every candidate and return records in candidate order."""
+        """Evaluate every candidate and return records in candidate order.
+
+        The cache scan, record assembly, progress reporting and the
+        lost-results guard are shared scaffolding; only the dispatch of
+        cache misses (:meth:`_dispatch`) differs between the per-point and
+        the batched runner, so the two can never drift apart in the parts
+        that make their records interchangeable.
+        """
         ordered = list(candidates)
         total = len(ordered)
         records: list[SweepRecord | None] = [None] * total
@@ -620,7 +675,7 @@ class ParallelSweepRunner:
                 progress(completed, total, record)
 
         caching = self._cache_dir is not None
-        pending: dict[int, tuple[SweepCandidate, SimulationConfig, str | None]] = {}
+        pending: dict[int, tuple[SweepCandidate, int, str | None]] = {}
         for index, candidate in enumerate(ordered):
             seed = self.candidate_seed(candidate)
             config = replace(self._config, seed=seed)
@@ -629,29 +684,117 @@ class ParallelSweepRunner:
             if cached is not None:
                 _finish(index, SweepRecord(candidate, seed, cached, from_cache=True))
             else:
-                pending[index] = (candidate, config, key)
+                pending[index] = (candidate, seed, key)
 
         if pending:
-            items = [
-                (index, candidate, config, self._engine)
-                for index, (candidate, config, _) in pending.items()
-            ]
-
-            def _on_complete(_done: int, _total: int, value: Any) -> None:
-                index, result = value
-                candidate, config, key = pending[index]
-                self._cache_store(key, candidate, result)
-                _finish(index, SweepRecord(candidate, config.seed, result))
-
-            parallel_map(
-                _evaluate_work_item,
-                items,
-                jobs=self._jobs,
-                chunk_size=self._chunk_size,
-                progress=_on_complete,
-            )
+            self._dispatch(pending, _finish)
 
         missing = [index for index, record in enumerate(records) if record is None]
         if missing:  # pragma: no cover - defensive; parallel_map is exhaustive
             raise RuntimeError(f"sweep lost results for candidate indices {missing}")
         return list(records)  # type: ignore[arg-type]
+
+    def _dispatch(
+        self,
+        pending: dict[int, tuple[SweepCandidate, int, str | None]],
+        finish: Callable[[int, SweepRecord], None],
+    ) -> None:
+        """Simulate the cache misses; call ``finish`` per completed record.
+
+        ``pending`` maps candidate index to ``(candidate, seed, cache
+        key)``.  The base implementation fans individual candidates across
+        the workers; :class:`BatchedSweepRunner` overrides this with
+        whole-batch dispatch.
+        """
+        items = [
+            (index, candidate, replace(self._config, seed=seed), self._engine)
+            for index, (candidate, seed, _) in pending.items()
+        ]
+
+        def _on_complete(_done: int, _total: int, value: Any) -> None:
+            index, result = value
+            candidate, seed, key = pending[index]
+            self._cache_store(key, candidate, result)
+            finish(index, SweepRecord(candidate, seed, result))
+
+        parallel_map(
+            _evaluate_work_item,
+            items,
+            jobs=self._jobs,
+            chunk_size=self._chunk_size,
+            progress=_on_complete,
+        )
+
+
+class BatchedSweepRunner(ParallelSweepRunner):
+    """A sweep runner that ships *batches* of same-structure candidates.
+
+    Candidates whose identities differ only in the injection rate (equal
+    :meth:`SweepCandidate.batch_key`: same arrangement, traffic or
+    workload, and fault set) share their expensive build state — topology
+    graph, routing tables, degraded topology, trace schedules and the
+    vectorized engine's flat-state layout — so the runner groups them and
+    dispatches whole batches to the workers, which evaluate them through
+    :meth:`NocSimulator.run_batch <repro.noc.simulator.NocSimulator.run_batch>`
+    instead of rebuilding everything per point.
+
+    The contract of :class:`ParallelSweepRunner` is preserved exactly:
+    records come back in candidate order, per-candidate seeds are derived
+    from the full identity (rate included — effectively per-(candidate,
+    point)), and cache entries are interchangeable between the two
+    runners, so results are bit-identical whichever runner (or ``jobs``
+    count, or engine) produced them.
+
+    Batching and worker fan-out compose rather than compete: with
+    ``jobs > 1`` a group larger than its fair share is split into
+    consecutive sub-batches (each still amortising one shared build), so
+    a single-structure sweep — one arrangement, many rates — keeps every
+    worker busy instead of serialising onto one.
+    """
+
+    def _dispatch(
+        self,
+        pending: dict[int, tuple[SweepCandidate, int, str | None]],
+        finish: Callable[[int, SweepRecord], None],
+    ) -> None:
+        """Ship whole batches of same-structure candidates to the workers."""
+        # Group the misses into batches of shared structure, keeping
+        # first-appearance order of groups and candidate order within.
+        groups: dict[str, list[tuple[int, SweepCandidate, int]]] = {}
+        for index, (candidate, seed, _) in pending.items():
+            groups.setdefault(candidate.batch_key(), []).append(
+                (index, candidate, seed)
+            )
+        # With workers available, cap batch size so a few large groups
+        # cannot serialise the sweep onto a single process: aim for
+        # roughly two work items per worker (the load-balancing slack of
+        # default_chunk_size), splitting oversized groups into consecutive
+        # sub-batches that each still share one build.  Never drop below
+        # two points per batch — a one-point batch pays the shared-build
+        # setup without amortising anything and would be strictly worse
+        # than per-point dispatch.
+        if self._jobs > 1:
+            max_batch = max(2, -(-len(pending) // (self._jobs * 2)))
+        else:
+            max_batch = len(pending)
+        items = [
+            (entries[start:start + max_batch], self._config, self._engine)
+            for entries in groups.values()
+            for start in range(0, len(entries), max_batch)
+        ]
+
+        def _on_complete(_done: int, _total: int, value: Any) -> None:
+            for index, result in value:
+                candidate, seed, key = pending[index]
+                self._cache_store(key, candidate, result)
+                finish(index, SweepRecord(candidate, seed, result))
+
+        # Batches are the dispatch unit (chunk_size=1): splitting a batch
+        # further would forfeit the shared build it exists for.
+        parallel_map(
+            _evaluate_batch_item,
+            items,
+            jobs=self._jobs,
+            chunk_size=1,
+            progress=_on_complete,
+        )

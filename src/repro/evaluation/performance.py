@@ -352,6 +352,7 @@ def run_figure7(
     jobs: int = 1,
     cache_dir: str | None = None,
     noc_engine: str = DEFAULT_ENGINE,
+    batch: bool = False,
 ) -> Figure7Result:
     """Regenerate the data of Figure 7 (all four panels).
 
@@ -387,6 +388,12 @@ def run_figure7(
     noc_engine:
         Cycle-loop engine used for the cycle-accurate points (all engines
         are bit-identical, so the figure data never depends on it).
+    batch:
+        Evaluate the cycle-accurate points batched: the zero-load and
+        overload simulations of one arrangement share a single topology /
+        routing / flat-state build
+        (:class:`repro.core.parallel.BatchedSweepRunner`).  Purely an
+        amortisation — the figure data is bit-identical either way.
     """
     check_in_choices("mode", mode, ("analytical", "simulation", "hybrid"))
     check_in_choices("noc_engine", noc_engine, ENGINE_NAMES)
@@ -408,12 +415,16 @@ def run_figure7(
         for kind_name in kinds
     ]
 
-    parallel_sim = (jobs > 1 or cache_dir is not None) and any(
+    parallel_sim = (jobs > 1 or cache_dir is not None or batch) and any(
         count in simulated and count > 1 for _, count in grid_order
     )
     simulated_results: dict[tuple[ArrangementKind, int], Figure7Point] = {}
     if parallel_sim:
-        from repro.core.parallel import ParallelSweepRunner, SweepCandidate
+        from repro.core.parallel import (
+            BatchedSweepRunner,
+            ParallelSweepRunner,
+            SweepCandidate,
+        )
         from repro.noc.sweep import ZERO_LOAD_INJECTION_RATE
 
         config = _simulation_config_from(parameters, simulation_config)
@@ -430,7 +441,8 @@ def run_figure7(
                         kind=kind.value, num_chiplets=count, injection_rate=rate
                     )
                 )
-        runner = ParallelSweepRunner(
+        runner_cls = BatchedSweepRunner if batch else ParallelSweepRunner
+        runner = runner_cls(
             config, jobs=jobs, cache_dir=cache_dir, engine=noc_engine,
             derive_seeds=False,
         )
@@ -470,6 +482,7 @@ def run_figure7(
             "simulated_counts": sorted(simulated),
             "counts": counts,
             "jobs": jobs,
+            "batch": batch,
         },
     )
 

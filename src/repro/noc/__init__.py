@@ -41,7 +41,8 @@ from repro.noc.faults import (
 from repro.noc.flit import Flit, Packet
 from repro.noc.network import Network
 from repro.noc.routing import RoutingTables
-from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.simulator import BatchPoint, NocSimulator, SimulationResult
+from repro.noc.vec_engine import BatchEngine, VectorizedEngine
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.noc.sweep import (
     InjectionSweepResult,
@@ -63,6 +64,8 @@ from repro.noc.traffic import (
 
 __all__ = [
     "ActiveSetEngine",
+    "BatchEngine",
+    "BatchPoint",
     "BitComplementTraffic",
     "DegradedTopology",
     "EngineStats",
@@ -85,6 +88,7 @@ __all__ = [
     "TornadoTraffic",
     "TrafficPattern",
     "UniformRandomTraffic",
+    "VectorizedEngine",
     "apply_faults",
     "available_traffic_patterns",
     "make_traffic_pattern",

@@ -74,6 +74,23 @@ class Channel:
         """Snapshot of the in-flight payloads (oldest first)."""
         return tuple(payload for _, payload in self._queue)
 
+    def clear(self) -> None:
+        """Drop every in-flight payload (used by :meth:`Network.reset`)."""
+        self._queue.clear()
+
+    def load(self, items) -> None:
+        """Append pre-timed ``(arrival_cycle, payload)`` pairs to the queue.
+
+        The seam of the batched vectorized engine: during a batched run the
+        engine dispatches deliveries from its own event buckets instead of
+        the channel queues, and hands any still-undelivered payloads back
+        through this method when the point finishes — so post-run
+        introspection (`pending`, `payloads`, flit conservation) reports
+        exactly what an object-stepped run would.  ``items`` must already
+        be in FIFO arrival order.
+        """
+        self._queue.extend(items)
+
     def peek_next_arrival(self) -> int | None:
         """Delivery cycle of the oldest in-flight payload (``None`` if empty)."""
         if not self._queue:

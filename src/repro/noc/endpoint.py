@@ -70,9 +70,20 @@ class Endpoint:
 
     # -- wiring ----------------------------------------------------------------
 
-    def attach_output_channel(self, channel: Channel) -> None:
-        """Connect the injection channel towards the local router."""
+    def attach_output_channel(self, channel) -> None:
+        """Connect the injection channel towards the local router.
+
+        Accepts any object with a ``send(payload, now)`` method: the
+        network builder attaches the real :class:`Channel`, while the
+        batched vectorized engine temporarily swaps in a lightweight
+        emitter that writes straight into its event buckets.
+        """
         self._out_channel = channel
+
+    @property
+    def out_channel(self):
+        """The currently attached injection channel (or ``None``)."""
+        return self._out_channel
 
     def set_packet_id_allocator(self, allocator) -> None:
         """Install the network-wide packet-id allocator callable."""
@@ -111,6 +122,30 @@ class Endpoint:
         way :meth:`_generate` does.
         """
         return self._source_queue, self._pending_flits
+
+    def reset(self, *, seed: int, injection: BernoulliInjection) -> None:
+        """Return the endpoint to its just-built state under a new seed / rate.
+
+        Clears queues, credits and counters **in place** (the batched
+        vectorized engine holds references to the deques and the ejected
+        list across points) and replaces the RNG with a fresh stream — a
+        reset endpoint is indistinguishable from a newly constructed one,
+        which is what keeps batched sweep points bit-identical to
+        per-point runs.
+        """
+        self._injection = injection
+        # Re-seeding in place yields exactly the stream of a fresh
+        # random.Random(seed) without the allocation.
+        self._rng.seed(seed)
+        self._source_queue.clear()
+        self._pending_flits.clear()
+        self._current_vc = None
+        config = self._config
+        self._credits = [config.buffer_depth_flits] * config.num_virtual_channels
+        self.created_packets = 0
+        self.injected_flits = 0
+        self.ejected_flits = 0
+        self.ejected_packets.clear()
 
     # -- externally driven events ------------------------------------------------
 

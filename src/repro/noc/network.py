@@ -10,6 +10,7 @@ in the opposite direction with the same latency.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Callable
 
 from repro.graphs.model import ChipGraph
@@ -50,6 +51,11 @@ class Network:
         Traffic pattern; defaults to uniform random over all endpoints.
     injection_rate:
         Offered load in flits per cycle per endpoint.
+    routing:
+        Optional prebuilt :class:`~repro.noc.routing.RoutingTables` for
+        ``graph``.  Batched sweeps build the tables once per topology and
+        share them across every point (they are immutable); when omitted
+        the network builds its own.
     """
 
     def __init__(
@@ -59,13 +65,21 @@ class Network:
         *,
         traffic: TrafficPattern | None = None,
         injection_rate: float = 0.1,
+        routing: RoutingTables | None = None,
     ) -> None:
         nodes = sorted(graph.nodes())
         if nodes != list(range(len(nodes))):
             raise ValueError("the topology graph must use router ids 0 .. n-1")
         self.graph = graph
         self.config = config
-        self.routing = RoutingTables(graph)
+        if routing is None:
+            routing = RoutingTables(graph)
+        elif routing.num_routers != len(nodes):
+            raise ValueError(
+                f"prebuilt routing tables cover {routing.num_routers} routers "
+                f"but the graph has {len(nodes)}"
+            )
+        self.routing = routing
 
         self.num_routers = len(nodes)
         self.num_endpoints = self.num_routers * config.endpoints_per_chiplet
@@ -244,6 +258,42 @@ class Network:
 
         return deliver
 
+    # -- batched reuse -----------------------------------------------------------
+
+    def reset(self, *, seed: int | None = None, injection_rate: float | None = None) -> None:
+        """Return the network to its just-built state under new point parameters.
+
+        The structural state (routers, channels, wiring, routing tables)
+        is immutable and survives; every piece of mutable simulation state
+        — router buffers and pipelines, endpoint queues / RNG streams /
+        counters, channel queues, the shared packet-id allocator — is
+        reset in place, so a reset network produces **bit-identical**
+        results to a freshly built ``Network(graph, config', ...)`` with
+        the same seed and injection rate.  This is the seam the batched
+        sweep engine uses to amortise network construction across the
+        points of one sweep.
+        """
+        if seed is not None:
+            self.config = replace(self.config, seed=seed)
+        if injection_rate is not None:
+            self.injection = BernoulliInjection(
+                injection_rate, self.config.packet_size_flits
+            )
+        self._packet_counter = 0
+        self.traffic.reset()
+        base_seed = self.config.seed
+        for endpoint in self.endpoints:
+            endpoint.reset(
+                seed=base_seed * 1_000_003 + endpoint.endpoint_id,
+                injection=self.injection.scaled(
+                    self.traffic.injection_rate_scale(endpoint.endpoint_id)
+                ),
+            )
+        for router in self.routers:
+            router.reset()
+        for channel, _ in self._channels:
+            channel.clear()
+
     # -- per-cycle operation --------------------------------------------------------
 
     def channel_sinks(self) -> list[tuple[Channel, _Sink]]:
@@ -288,6 +338,8 @@ class Network:
         buffered = sum(router.buffered_flits for router in self.routers)
         on_channels = 0
         for channel, _ in self._channels:
+            if not channel.in_flight:
+                continue
             # Credit channels carry integers; flit channels carry Flit objects.
             for payload in channel.payloads():
                 if isinstance(payload, Flit):
@@ -304,6 +356,8 @@ class Network:
         """
         measured = sum(router.in_flight_measured_packets() for router in self.routers)
         for channel, _ in self._channels:
+            if not channel.in_flight:
+                continue
             for payload in channel.payloads():
                 if isinstance(payload, Flit) and payload.is_head and payload.packet.measured:
                     measured += 1

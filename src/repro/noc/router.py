@@ -285,6 +285,34 @@ class Router:
         self._buffered_flits = state.buffered_flits
         self.forwarded_flits = state.forwarded_flits
 
+    def reset(self) -> None:
+        """Return the router to its just-built state.
+
+        Buffers are cleared **in place** (the batched vectorized engine
+        aliases the deques through :meth:`export_state` across sweep
+        points), so a reset router is indistinguishable from a newly
+        constructed one while every externally held buffer reference stays
+        valid.
+        """
+        depth = self._config.buffer_depth_flits
+        for port_vcs, port_outputs in zip(self._input_vcs, self._output_vcs):
+            for input_vc in port_vcs:
+                input_vc.buffer.clear()
+                input_vc.state = _IDLE
+                input_vc.minimal_ports = ()
+                input_vc.escape_port = None
+                input_vc.escape_only = False
+                input_vc.out_port = None
+                input_vc.out_vc = None
+                input_vc.alloc_wait_cycles = 0
+            for output_vc in port_outputs:
+                output_vc.owner = None
+                output_vc.credits = depth
+        self._buffered_flits = 0
+        self._sa_port_pointer = 0
+        self._vc_pointers = [0] * self._num_ports
+        self.forwarded_flits = 0
+
     # -- externally driven events ----------------------------------------------
 
     def accept_flit(self, port: int, flit: Flit, now: int) -> None:
@@ -314,6 +342,8 @@ class Router:
 
     def in_flight_measured_packets(self) -> int:
         """Measured packets whose head flit sits in one of the input buffers."""
+        if self._buffered_flits == 0:
+            return 0
         measured = 0
         for port_vcs in self._input_vcs:
             for input_vc in port_vcs:

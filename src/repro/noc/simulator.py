@@ -20,14 +20,22 @@ network-on-chip methodology (and BookSim2's conventions):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.graphs.model import ChipGraph
 from repro.noc.config import SimulationConfig
-from repro.noc.engine import ENGINE_NAMES, ActiveSetEngine, EngineStats, run_legacy_loop
+from repro.noc.engine import (
+    ENGINE_NAMES,
+    ActiveSetEngine,
+    EngineStats,
+    PhaseSnapshots,
+    run_legacy_loop,
+)
 from repro.noc.faults import DegradedTopology, FaultSet
 from repro.noc.network import Network
-from repro.noc.vec_engine import VectorizedEngine
+from repro.noc.routing import RoutingTables
+from repro.noc.vec_engine import BatchEngine, VectorizedEngine
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
 from repro.noc.traffic import TrafficPattern, make_traffic_pattern
 from repro.utils.validation import check_fraction, check_in_choices
@@ -64,6 +72,107 @@ class SimulationResult:
         if self.measured_packets_created == 0:
             return 1.0
         return self.measured_packets_ejected / self.measured_packets_created
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One point of a batched multi-point run.
+
+    Attributes
+    ----------
+    injection_rate:
+        Offered load of the point in flits per cycle per endpoint.
+    seed:
+        Simulator seed for the point; ``None`` uses the batch
+        configuration's seed unchanged (the convention of the figure
+        sweeps, whose serial reference path runs every point with the
+        base seed).
+    """
+
+    injection_rate: float
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        check_fraction("injection_rate", self.injection_rate)
+
+
+def collect_results(
+    network: Network,
+    config: SimulationConfig,
+    injection_rate: float,
+    snapshots: PhaseSnapshots,
+) -> SimulationResult:
+    """Summarise a finished run of ``network`` into a :class:`SimulationResult`.
+
+    Shared by the per-point path (:meth:`NocSimulator.run`) and the
+    batched path (:meth:`NocSimulator.run_batch`), so the two can never
+    diverge in how they derive statistics from the network state.
+    """
+    measured_packets = [
+        packet
+        for endpoint in network.endpoints
+        for packet in endpoint.ejected_packets
+        if packet.measured
+    ]
+    packet_latencies = [float(p.latency) for p in measured_packets]
+    network_latencies = [float(p.network_latency) for p in measured_packets]
+
+    measured_created = _count_measured_created(network)
+
+    hop_counts: list[int] = []
+    for endpoint in network.endpoints:
+        for packet in endpoint.ejected_packets:
+            if packet.measured:
+                hop_counts.append(network.routing.distance(
+                    network.endpoint_to_router[packet.source],
+                    network.endpoint_to_router[packet.destination],
+                ))
+    average_hops = sum(hop_counts) / len(hop_counts) if hop_counts else 0.0
+
+    measurement_cycles = config.measurement_cycles
+    num_endpoints = network.num_endpoints
+    ejected_during_measurement = snapshots.ejected_during_measurement
+    accepted_rate = ejected_during_measurement / (measurement_cycles * num_endpoints)
+    throughput = ThroughputStatistics(
+        offered_flit_rate=injection_rate,
+        accepted_flit_rate=accepted_rate,
+        injected_flits=snapshots.injected_during_measurement,
+        ejected_flits=ejected_during_measurement,
+        measurement_cycles=measurement_cycles,
+        num_endpoints=num_endpoints,
+    )
+
+    return SimulationResult(
+        injection_rate=injection_rate,
+        packet_latency=LatencyStatistics.from_samples(packet_latencies),
+        network_latency=LatencyStatistics.from_samples(network_latencies),
+        throughput=throughput,
+        average_hops=average_hops,
+        cycles_simulated=snapshots.total_cycles,
+        num_routers=network.num_routers,
+        num_endpoints=num_endpoints,
+        measured_packets_created=measured_created,
+        measured_packets_ejected=len(measured_packets),
+    )
+
+
+def _count_measured_created(network: Network) -> int:
+    """Number of packets created during the measurement phase.
+
+    Created packets are only tracked per endpoint as a total count, so
+    the measured subset is recovered from the packets that carry the
+    ``measured`` flag: delivered ones sit in ``ejected_packets``,
+    undelivered ones are reported by the in-flight accessors of the
+    endpoints (source queues) and the network (router buffers and
+    channels).
+    """
+    measured = 0
+    for endpoint in network.endpoints:
+        for packet in endpoint.ejected_packets:
+            if packet.measured:
+                measured += 1
+        measured += endpoint.in_flight_measured_packets()
+    return measured + network.in_flight_measured_packets()
 
 
 class NocSimulator:
@@ -173,85 +282,125 @@ class NocSimulator:
             snapshots = active.run()
             self.last_engine_stats = active.stats
 
-        return self._collect_results(
-            snapshots.total_cycles,
-            ejected_during_measurement=snapshots.ejected_during_measurement,
-            injected_during_measurement=snapshots.injected_during_measurement,
+        return collect_results(
+            self._network, self._config, self._injection_rate, snapshots
         )
 
-    # -- statistics ---------------------------------------------------------------------
+    # -- batched running ----------------------------------------------------------
 
-    def _collect_results(
-        self,
-        cycles_simulated: int,
+    @classmethod
+    def run_batch(
+        cls,
+        graph: ChipGraph,
+        points: Sequence[BatchPoint],
         *,
-        ejected_during_measurement: int,
-        injected_during_measurement: int,
-    ) -> SimulationResult:
-        config = self._config
-        network = self._network
+        config: SimulationConfig | None = None,
+        traffic: TrafficPattern | str = "uniform",
+        faults: FaultSet | None = None,
+        engine: str = "vectorized",
+        on_point: Callable[[int, Network, SimulationResult], None] | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate many injection-rate points over one shared topology build.
 
-        measured_packets = [
-            packet
-            for endpoint in network.endpoints
-            for packet in endpoint.ejected_packets
-            if packet.measured
-        ]
-        packet_latencies = [float(p.latency) for p in measured_packets]
-        network_latencies = [float(p.network_latency) for p in measured_packets]
+        The batch shares everything the points have in common — the
+        (degraded, if ``faults`` is given) topology, the routing tables,
+        and with ``engine="vectorized"`` one reusable network plus the
+        whole flat-state machinery of
+        :class:`~repro.noc.vec_engine.BatchEngine` — while every point
+        runs with its own seed, injection process and statistics.  Results
+        are returned in point order and are **bit-identical** to per-point
+        ``NocSimulator(...).run(engine=...)`` calls with the same
+        parameters: batching amortises work, it never changes outcomes.
 
-        measured_created = self._count_measured_created()
-
-        hop_counts: list[int] = []
-        for endpoint in network.endpoints:
-            for packet in endpoint.ejected_packets:
-                if packet.measured:
-                    hop_counts.append(self._network.routing.distance(
-                        network.endpoint_to_router[packet.source],
-                        network.endpoint_to_router[packet.destination],
-                    ))
-        average_hops = sum(hop_counts) / len(hop_counts) if hop_counts else 0.0
-
-        measurement_cycles = config.measurement_cycles
-        num_endpoints = network.num_endpoints
-        accepted_rate = ejected_during_measurement / (measurement_cycles * num_endpoints)
-        throughput = ThroughputStatistics(
-            offered_flit_rate=self._injection_rate,
-            accepted_flit_rate=accepted_rate,
-            injected_flits=injected_during_measurement,
-            ejected_flits=ejected_during_measurement,
-            measurement_cycles=measurement_cycles,
-            num_endpoints=num_endpoints,
-        )
-
-        return SimulationResult(
-            injection_rate=self._injection_rate,
-            packet_latency=LatencyStatistics.from_samples(packet_latencies),
-            network_latency=LatencyStatistics.from_samples(network_latencies),
-            throughput=throughput,
-            average_hops=average_hops,
-            cycles_simulated=cycles_simulated,
-            num_routers=network.num_routers,
-            num_endpoints=num_endpoints,
-            measured_packets_created=measured_created,
-            measured_packets_ejected=len(measured_packets),
-        )
-
-    def _count_measured_created(self) -> int:
-        """Number of packets created during the measurement phase.
-
-        Created packets are only tracked per endpoint as a total count, so
-        the measured subset is recovered from the packets that carry the
-        ``measured`` flag: delivered ones sit in ``ejected_packets``,
-        undelivered ones are reported by the in-flight accessors of the
-        endpoints (source queues) and the network (router buffers and
-        channels).
+        Parameters
+        ----------
+        graph:
+            Healthy inter-chiplet topology shared by every point.
+        points:
+            The :class:`BatchPoint` list; a point's ``seed=None`` runs
+            with ``config.seed`` unchanged.
+        config:
+            Base simulation configuration (phase lengths, VC counts, ...);
+            per-point seeds override only its ``seed``.
+        traffic:
+            Pattern name or instance shared by all points (instances are
+            reset per point, exactly as a fresh network would).
+        faults:
+            Optional fault set; applied **once**, so all points of one
+            fault arrangement share its degraded topology.
+        engine:
+            ``"vectorized"`` (default) uses the batched flat-state engine;
+            ``"active"`` / ``"legacy"`` fall back to per-point loops that
+            still share the topology and routing-table build.
+        on_point:
+            Optional hook called as ``on_point(index, network, result)``
+            after each point, while the network still holds that point's
+            final state — the seam tests and harnesses use to inspect
+            per-point network state (latency histograms, conservation)
+            without giving up batching.
         """
-        network = self._network
-        measured = 0
-        for endpoint in network.endpoints:
-            for packet in endpoint.ejected_packets:
-                if packet.measured:
-                    measured += 1
-            measured += endpoint.in_flight_measured_packets()
-        return measured + network.in_flight_measured_packets()
+        check_in_choices("engine", engine, ENGINE_NAMES)
+        if config is None:
+            config = SimulationConfig()
+        ordered = list(points)
+        if not ordered:
+            return []
+        fault_set = faults if faults is not None else FaultSet()
+        if not fault_set.is_empty:
+            graph = fault_set.apply(graph).graph
+        num_endpoints = graph.num_nodes * config.endpoints_per_chiplet
+        if isinstance(traffic, str):
+            traffic_pattern = make_traffic_pattern(traffic, num_endpoints)
+        else:
+            traffic_pattern = traffic
+        routing = RoutingTables(graph)
+
+        def point_config(point: BatchPoint) -> SimulationConfig:
+            if point.seed is None or point.seed == config.seed:
+                return config
+            return replace(config, seed=point.seed)
+
+        results: list[SimulationResult] = []
+        if engine != "vectorized":
+            for index, point in enumerate(ordered):
+                cfg = point_config(point)
+                network = Network(
+                    graph,
+                    cfg,
+                    traffic=traffic_pattern,
+                    injection_rate=point.injection_rate,
+                    routing=routing,
+                )
+                if engine == "legacy":
+                    snapshots = run_legacy_loop(network, cfg)
+                else:
+                    snapshots = ActiveSetEngine(network, cfg).run()
+                result = collect_results(
+                    network, cfg, point.injection_rate, snapshots
+                )
+                results.append(result)
+                if on_point is not None:
+                    on_point(index, network, result)
+            return results
+
+        first = ordered[0]
+        network = Network(
+            graph,
+            point_config(first),
+            traffic=traffic_pattern,
+            injection_rate=first.injection_rate,
+            routing=routing,
+        )
+        with BatchEngine(network, config) as batch:
+            for index, point in enumerate(ordered):
+                cfg = point_config(point)
+                snapshots, _ = batch.run_point(
+                    seed=cfg.seed, injection_rate=point.injection_rate
+                )
+                result = collect_results(
+                    network, cfg, point.injection_rate, snapshots
+                )
+                results.append(result)
+                if on_point is not None:
+                    on_point(index, network, result)
+        return results

@@ -99,6 +99,7 @@ def run_injection_sweep(
     jobs: int = 1,
     cache_dir: str | None = None,
     engine: str = DEFAULT_ENGINE,
+    batch: bool = False,
 ) -> InjectionSweepResult:
     """Simulate the network at a sequence of offered loads.
 
@@ -110,6 +111,13 @@ def run_injection_sweep(
     pattern names can be shipped to workers.  ``engine`` selects the
     cycle-loop engine (all engines are bit-identical, so it never changes
     the curve — only the wall-clock).
+
+    ``batch=True`` evaluates all rates over one shared topology / routing
+    / flat-state build: serial sweeps go through
+    :meth:`NocSimulator.run_batch`, worker-backed sweeps ship whole
+    batches through :class:`repro.core.parallel.BatchedSweepRunner`.
+    Batching is an amortisation, never a semantic change — the curve is
+    bit-identical either way.
     """
     if config is None:
         config = SimulationConfig()
@@ -120,7 +128,11 @@ def run_injection_sweep(
     parallelizable = isinstance(traffic, str) and (jobs > 1 or cache_dir is not None)
     if parallelizable:
         # Imported lazily: repro.core imports the noc package at module load.
-        from repro.core.parallel import ParallelSweepRunner, SweepCandidate
+        from repro.core.parallel import (
+            BatchedSweepRunner,
+            ParallelSweepRunner,
+            SweepCandidate,
+        )
 
         edges = tuple(sorted(tuple(sorted(edge)) for edge in graph.edges()))
         candidates = [
@@ -133,13 +145,25 @@ def run_injection_sweep(
             )
             for rate in rates
         ]
-        runner = ParallelSweepRunner(
+        runner_cls = BatchedSweepRunner if batch else ParallelSweepRunner
+        runner = runner_cls(
             config, jobs=jobs, cache_dir=cache_dir, engine=engine, derive_seeds=False
         )
         records = runner.run(candidates)
         return InjectionSweepResult(
             rates=tuple(rates), results=tuple(record.result for record in records)
         )
+    if batch:
+        from repro.noc.simulator import BatchPoint
+
+        results = NocSimulator.run_batch(
+            graph,
+            [BatchPoint(rate) for rate in rates],
+            config=config,
+            traffic=traffic,
+            engine=engine,
+        )
+        return InjectionSweepResult(rates=tuple(rates), results=tuple(results))
     results = tuple(_simulate(graph, config, rate, traffic, engine) for rate in rates)
     return InjectionSweepResult(rates=tuple(rates), results=results)
 

@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 from repro.arrangements.factory import make_arrangement
 from repro.core.parallel import (
+    BatchedSweepRunner,
     ParallelSweepRunner,
     ProgressCallback,
     SweepCandidate,
@@ -250,6 +251,7 @@ def run_resilience_sweep(
     cache_dir: str | None = None,
     engine: str = DEFAULT_ENGINE,
     regularity: str | None = None,
+    batch: bool = False,
     progress: ProgressCallback | None = None,
 ) -> ResilienceSweepResult:
     """Simulate the degradation curves of several arrangements.
@@ -259,6 +261,13 @@ def run_resilience_sweep(
     ``cache_dir`` only new (candidate, config) points are simulated.
     Include ``0`` in ``failure_counts`` to anchor the ``*_vs_baseline``
     ratios of the summaries.
+
+    ``batch=True`` routes the grid through
+    :class:`~repro.core.parallel.BatchedSweepRunner`: every candidate
+    sharing one fault arrangement shares its
+    :class:`~repro.noc.faults.DegradedTopology`, routing tables and
+    flat-state build — most valuable when sweeping several injection
+    rates per arrangement.  Curves are bit-identical either way.
     """
     if config is None:
         config = SimulationConfig()
@@ -274,7 +283,8 @@ def run_resilience_sweep(
         seed=config.seed,
         regularity=regularity,
     )
-    runner = ParallelSweepRunner(
+    runner_cls = BatchedSweepRunner if batch else ParallelSweepRunner
+    runner = runner_cls(
         config, jobs=jobs, cache_dir=cache_dir, engine=engine
     )
     records = tuple(runner.run(candidates, progress=progress))

@@ -1,4 +1,12 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+Besides the small arrangement/graph fixtures, this module owns the
+**simulation-mode registry**: the single list of ways to run the
+cycle-accurate simulator that every equivalence, invariant, golden-trace
+and property suite parametrizes over.  Adding a new engine (or engine
+mode, like the batched path) to ``FAST_SIM_MODES`` enrols it in all of
+those grids at once.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +18,43 @@ from repro.arrangements.hexamesh import generate_hexamesh
 from repro.graphs.model import ChipGraph
 from repro.linkmodel.parameters import EvaluationParameters
 from repro.noc.config import SimulationConfig
+
+from fault_scenarios import FAULT_SCENARIOS
+from sim_modes import ALL_SIM_MODES, FAST_SIM_MODES
+
+
+@pytest.fixture(params=FAST_SIM_MODES)
+def fast_sim_mode(request):
+    """Every simulation mode that must be bit-identical to legacy."""
+    return request.param
+
+
+@pytest.fixture(params=ALL_SIM_MODES)
+def sim_mode(request):
+    """Every simulation mode, the legacy reference included."""
+    return request.param
+
+
+@pytest.fixture(params=FAULT_SCENARIOS)
+def fault_scenario(request):
+    """Every representative fault scenario of ``tests/fault_scenarios.py``."""
+    return request.param
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current legacy-engine "
+             "output instead of asserting against the committed fixtures",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    """Whether ``--update-goldens`` was passed (golden-trace suite seam)."""
+    return request.config.getoption("--update-goldens")
 
 
 @pytest.fixture

@@ -1,0 +1,64 @@
+"""The simulation-mode registry shared by the equivalence-style suites.
+
+Not a test module: ``tests/conftest.py`` turns these into fixtures, and
+``test_noc_engine.py`` / ``test_noc_invariants.py`` /
+``test_golden_traces.py`` / ``test_properties.py`` import the helper and
+constants directly (pytest's default ``prepend`` import mode puts
+``tests/`` on ``sys.path``, mirroring ``fault_scenarios.py``).  Adding a
+new engine (or engine mode, like the batched path) to ``FAST_SIM_MODES``
+enrols it in every equivalence, invariant, golden-trace and property grid
+at once.
+"""
+
+from __future__ import annotations
+
+from repro.noc.simulator import BatchPoint, NocSimulator
+
+#: Every way to run the cycle-accurate simulator that must be
+#: *bit-identical* to the legacy dense loop: the optimised engines plus
+#: the batched multi-point path (``NocSimulator.run_batch`` with the
+#: vectorized batch engine).
+FAST_SIM_MODES: tuple[str, ...] = ("active", "vectorized", "batched")
+
+#: The fast modes plus the legacy reference itself (for suites that check
+#: self-consistency properties rather than equivalence against legacy).
+ALL_SIM_MODES: tuple[str, ...] = ("legacy",) + FAST_SIM_MODES
+
+
+def simulate_noc(
+    graph,
+    config,
+    *,
+    injection_rate=0.2,
+    traffic="uniform",
+    faults=None,
+    mode="legacy",
+):
+    """Run one simulation point under a mode; return ``(network, result)``.
+
+    ``mode`` is an engine name or ``"batched"``, which evaluates the point
+    through :meth:`NocSimulator.run_batch` (vectorized batch engine) and
+    captures the network through the ``on_point`` hook — so every suite
+    can inspect final network state uniformly across modes.
+    """
+    if mode == "batched":
+        captured = {}
+
+        def grab(index, network, result):
+            captured["network"] = network
+
+        results = NocSimulator.run_batch(
+            graph,
+            [BatchPoint(injection_rate)],
+            config=config,
+            traffic=traffic,
+            faults=faults,
+            engine="vectorized",
+            on_point=grab,
+        )
+        return captured["network"], results[0]
+    simulator = NocSimulator(
+        graph, config, injection_rate=injection_rate, traffic=traffic, faults=faults
+    )
+    result = simulator.run(engine=mode)
+    return simulator.network, result

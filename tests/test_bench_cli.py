@@ -122,6 +122,105 @@ def _fake_baseline(expectations: dict[str, dict]) -> dict:
     }
 
 
+def _batched_report(speedup: float, batched: float | None) -> dict:
+    report = _fake_report({"s": speedup})
+    if batched is not None:
+        report["scenarios"][0]["engines"]["vectorized"].update({
+            "per_point_wall_seconds": 1.0,
+            "batched_wall_seconds": 1.0 / batched,
+            "batched_speedup_vs_per_point": batched,
+        })
+    return report
+
+
+class TestBatchedGate:
+    def test_make_baseline_records_batched_speedup_and_floor(self):
+        report = _batched_report(3.0, 2.5)
+        baseline = bench.make_baseline(
+            report, min_batched_speedups={("s", "vectorized"): 2.0}
+        )
+        entry = baseline["scenarios"]["s"]["vectorized"]
+        assert entry["batched_speedup_vs_per_point"] == 2.5
+        assert entry["min_batched_speedup"] == 2.0
+        # Wall clocks are machine-bound and never enter the baseline.
+        assert "batched_wall_seconds" not in entry
+
+    def test_batched_speedup_only_recorded_where_floored(self):
+        """A batched ratio without a configured floor stays ungated.
+
+        Engines whose batched path shares only the topology build measure
+        ~1x ratios that are pure machine noise; recording them would turn
+        jitter into CI failures (the gate checks every recorded ratio).
+        """
+        report = _batched_report(3.0, 1.05)
+        baseline = bench.make_baseline(report)  # no batched floors at all
+        entry = baseline["scenarios"]["s"]["vectorized"]
+        assert "batched_speedup_vs_per_point" not in entry
+        assert "min_batched_speedup" not in entry
+
+    def test_batched_regression_beyond_tolerance_fails(self):
+        baseline = _fake_baseline(
+            {"s": {"speedup_vs_legacy": 3.0, "batched_speedup_vs_per_point": 4.0}}
+        )
+        problems = bench.check_report(_batched_report(3.0, 2.9), baseline)
+        assert len(problems) == 1 and "batched-vs-per-point" in problems[0]
+        assert bench.check_report(_batched_report(3.0, 3.1), baseline) == []
+
+    def test_batched_floor_fails_hard(self):
+        baseline = _fake_baseline({
+            "s": {
+                "speedup_vs_legacy": 3.0,
+                "batched_speedup_vs_per_point": 2.1,
+                "min_batched_speedup": 2.0,
+            }
+        })
+        problems = bench.check_report(_batched_report(3.0, 1.9), baseline)
+        assert any("below the hard floor" in p for p in problems)
+
+    def test_missing_batched_measurement_fails(self):
+        baseline = _fake_baseline(
+            {"s": {"speedup_vs_legacy": 3.0, "batched_speedup_vs_per_point": 2.4}}
+        )
+        problems = bench.check_report(_batched_report(3.0, None), baseline)
+        assert any("measured none" in p for p in problems)
+
+
+class TestGateScenarioMismatches:
+    """Both scenario-set mismatches are surfaced; neither silently passes.
+
+    The asymmetry is deliberate and documented on ``check_report``:
+    baseline-only scenarios *fail* the gate (a dropped scenario must not
+    green-light it), report-only scenarios *warn* (a new scenario cannot
+    regress before a baseline records it, but the gate says so).
+    """
+
+    def test_report_only_scenario_warns_but_passes(self):
+        report = _fake_report({"s": 3.0, "fresh": 2.0})
+        baseline = _fake_baseline({"s": {"speedup_vs_legacy": 3.0}})
+        assert bench.check_report(report, baseline) == []
+        warnings = bench.check_report_warnings(report, baseline)
+        assert len(warnings) == 1 and "'fresh'" in warnings[0]
+
+    def test_baseline_only_scenario_fails_but_does_not_warn(self):
+        report = _fake_report({"s": 3.0})
+        baseline = _fake_baseline(
+            {"s": {"speedup_vs_legacy": 3.0}, "gone": {"speedup_vs_legacy": 2.0}}
+        )
+        problems = bench.check_report(report, baseline)
+        assert any("was not run" in p for p in problems)
+        assert bench.check_report_warnings(report, baseline) == []
+
+    def test_matching_scenario_sets_are_silent(self):
+        report = _fake_report({"s": 3.0})
+        baseline = _fake_baseline({"s": {"speedup_vs_legacy": 3.0}})
+        assert bench.check_report(report, baseline) == []
+        assert bench.check_report_warnings(report, baseline) == []
+
+    def test_malformed_baseline_scenarios_produce_no_warnings(self):
+        report = _fake_report({"s": 3.0})
+        assert bench.check_report_warnings(report, {"scenarios": []}) == []
+
+
 class TestRegressionGate:
     def test_passes_within_tolerance(self):
         report = _fake_report({"s": 3.2})
@@ -171,6 +270,12 @@ class TestRegressionGate:
         gate = baseline["scenarios"]["fig7-hexamesh61-zero-load"]["vectorized"]
         assert gate["min_speedup"] >= 2.0
         assert gate["speedup_vs_legacy"] >= 2.0
+        # The batched sweep pins its own headline floor: >= 2x over
+        # per-point vectorized evaluation of the 16-point HexaMesh-61
+        # sweep (this PR's acceptance criterion).
+        batched_gate = baseline["scenarios"]["sweep-batched-hexamesh61"]["vectorized"]
+        assert batched_gate["min_batched_speedup"] >= 2.0
+        assert batched_gate["batched_speedup_vs_per_point"] >= 2.0
         # Every gated scenario is part of the CI quick subset.
         quick = set(bench.available_scenarios(quick=True))
         assert set(baseline["scenarios"]) <= quick

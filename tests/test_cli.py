@@ -95,3 +95,24 @@ class TestFeasibilityCommand:
 
     def test_interposer_flag(self, capsys):
         assert main(["feasibility", "grid", "100", "--silicon-interposer"]) == 0
+
+
+class TestBatchFlag:
+    def test_sweep_batch_matches_per_point_csv(self, tmp_path):
+        per_point = tmp_path / "per_point.csv"
+        batched = tmp_path / "batched.csv"
+        base = ["sweep", "--kinds", "grid", "--chiplets", "9",
+                "--rates", "0.05,0.2", "--cycles", "200"]
+        assert main(base + ["--output", str(per_point)]) == 0
+        assert main(base + ["--batch", "--output", str(batched)]) == 0
+        # Batching is an amortisation, never a semantic change: the CSV
+        # (latencies, throughput, delivery ratios) is byte-identical.
+        assert batched.read_text() == per_point.read_text()
+
+    def test_figure6_warns_about_ignored_batch_flag(self, capsys):
+        assert main(["figure", "6", "--max-chiplets", "6", "--batch"]) == 0
+        assert "--batch" in capsys.readouterr().err
+
+    def test_figure7_analytical_warns_about_ignored_batch_flag(self, capsys):
+        assert main(["figure", "7", "--max-chiplets", "6", "--batch"]) == 0
+        assert "--batch" in capsys.readouterr().err

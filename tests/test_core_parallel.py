@@ -8,6 +8,7 @@ import os
 import pytest
 
 from repro.core.parallel import (
+    BatchedSweepRunner,
     ParallelSweepRunner,
     SweepCandidate,
     SweepRecord,
@@ -147,6 +148,87 @@ class TestSweepRunner:
             SweepCandidate(kind="grid", num_chiplets=0, injection_rate=0.1)
         with pytest.raises(ValueError):
             SweepCandidate(kind="grid", num_chiplets=4, injection_rate=1.5)
+
+
+class TestBatchKeys:
+    def test_batch_key_ignores_only_the_injection_rate(self):
+        low = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.05)
+        high = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.8)
+        other_kind = SweepCandidate(kind="hexamesh", num_chiplets=9, injection_rate=0.05)
+        other_traffic = SweepCandidate(
+            kind="grid", num_chiplets=9, injection_rate=0.05, traffic="tornado"
+        )
+        assert low.batch_key() == high.batch_key()
+        assert low.batch_key() != other_kind.batch_key()
+        assert low.batch_key() != other_traffic.batch_key()
+
+    def test_fault_fields_separate_batches(self):
+        healthy = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.1)
+        faulted = SweepCandidate(
+            kind="grid", num_chiplets=9, injection_rate=0.1, failed_links=((0, 1),)
+        )
+        assert healthy.batch_key() != faulted.batch_key()
+
+    def test_seeds_stay_per_point(self):
+        """Batching shares builds, never seeds: rate stays in the seed key."""
+        low = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.05)
+        high = SweepCandidate(kind="grid", num_chiplets=9, injection_rate=0.8)
+        assert derive_candidate_seed(1, low) != derive_candidate_seed(1, high)
+
+
+class TestBatchedSweepRunner:
+    def test_records_identical_to_per_point_runner(self):
+        reference = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(GRID)
+        batched = BatchedSweepRunner(FAST_CONFIG, jobs=1).run(GRID)
+        assert batched == reference
+
+    def test_parallel_batches_match_serial(self):
+        serial = BatchedSweepRunner(FAST_CONFIG, jobs=1).run(GRID)
+        parallel = BatchedSweepRunner(FAST_CONFIG, jobs=4).run(GRID)
+        assert parallel == serial
+
+    def test_cache_entries_interchange_with_per_point_runner(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = BatchedSweepRunner(FAST_CONFIG, jobs=1, cache_dir=cache).run(GRID)
+        assert all(not record.from_cache for record in first)
+        second = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=cache).run(GRID)
+        assert all(record.from_cache for record in second)
+        assert [r.result for r in second] == [r.result for r in first]
+
+    def test_progress_reports_every_candidate(self):
+        seen = []
+        BatchedSweepRunner(FAST_CONFIG, jobs=1).run(
+            GRID, progress=lambda done, total, record: seen.append((done, total))
+        )
+        assert seen[-1] == (len(GRID), len(GRID))
+        assert len(seen) == len(GRID)
+
+    def test_workload_grid_matches_per_point_runner(self):
+        grid = ParallelSweepRunner.workload_grid(
+            ("hexamesh",), (7,), ("dnn-pipeline",), ("partition",),
+            injection_rates=(0.05, 0.2),
+        )
+        reference = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(grid)
+        batched = BatchedSweepRunner(FAST_CONFIG, jobs=1).run(grid)
+        assert batched == reference
+
+    def test_faulted_candidates_match_per_point_runner(self):
+        candidates = [
+            SweepCandidate(
+                kind="grid", num_chiplets=9, injection_rate=rate,
+                failed_links=((0, 1),),
+            )
+            for rate in (0.05, 0.3)
+        ]
+        reference = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(candidates)
+        batched = BatchedSweepRunner(FAST_CONFIG, jobs=1).run(candidates)
+        assert batched == reference
+
+    def test_derive_seeds_false_matches_per_point_runner(self):
+        reference = ParallelSweepRunner(FAST_CONFIG, derive_seeds=False).run(GRID)
+        batched = BatchedSweepRunner(FAST_CONFIG, derive_seeds=False).run(GRID)
+        assert batched == reference
+        assert {record.seed for record in batched} == {FAST_CONFIG.seed}
 
 
 class TestResultSerialization:

@@ -1,0 +1,163 @@
+"""Golden-trace regression tests: committed fixtures lock engine outputs.
+
+One fixed, fully specified scenario per arrangement kind — healthy and
+with a deterministically sampled single-link fault — is committed as a
+JSON fixture under ``tests/goldens/``: the complete simulation result
+(latency summaries, throughput counters, packet accounting) plus the raw
+per-packet latency histogram.  Every simulation mode (legacy, active-set,
+vectorized, batched — the ``sim_mode`` fixture of ``tests/conftest.py``)
+must reproduce each fixture **exactly**; any change to RNG consumption,
+allocation order, routing, phase accounting or statistics shows up as a
+diff against the goldens, not as a silent drift.
+
+Updating after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-goldens
+
+regenerates the fixtures from the legacy reference engine (the suite then
+re-asserts every other mode against the fresh files — so an update run
+still proves cross-engine equivalence).  Commit the resulting diff and
+explain it in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+
+import pytest
+
+from repro.arrangements.factory import make_arrangement
+from repro.core.parallel import simulation_result_to_dict
+from repro.noc.config import SimulationConfig
+from repro.resilience import sample_survivable_faults
+
+from sim_modes import simulate_noc
+
+#: Schema of the golden files; bump on layout changes (forces regeneration).
+GOLDEN_SCHEMA = 1
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "goldens")
+
+#: The pinned scenario configuration.  Never change these values casually:
+#: every golden fixture embeds them, so a silent edit fails loudly.
+GOLDEN_CONFIG = SimulationConfig(
+    warmup_cycles=60, measurement_cycles=120, drain_cycles=300, seed=7
+)
+GOLDEN_RATE = 0.2
+GOLDEN_TRAFFIC = "uniform"
+GOLDEN_FAULT_SEED = 31
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    kind: str
+    count: int
+    faulted: bool  # False = healthy, True = one sampled failed link
+
+    @property
+    def name(self) -> str:
+        suffix = "single-link" if self.faulted else "healthy"
+        return f"{self.kind}{self.count}-{suffix}"
+
+    @property
+    def path(self) -> str:
+        return os.path.join(GOLDEN_DIR, f"{self.name}.json")
+
+
+SCENARIOS = tuple(
+    GoldenScenario(kind, count, faulted)
+    for kind, count in (
+        ("grid", 9), ("brickwall", 9), ("honeycomb", 7), ("hexamesh", 7)
+    )
+    for faulted in (False, True)
+)
+
+
+def _scenario_faults(scenario: GoldenScenario, graph):
+    if not scenario.faulted:
+        return None
+    return sample_survivable_faults(
+        graph, num_link_faults=1, seed=GOLDEN_FAULT_SEED
+    )
+
+
+def build_payload(scenario: GoldenScenario, mode: str) -> dict:
+    """Run the scenario under ``mode`` and shape the comparable payload.
+
+    Only JSON-native types (dicts, lists, scalars) appear, so the payload
+    compares exactly against a ``json.load`` of the committed fixture.
+    """
+    graph = make_arrangement(scenario.kind, scenario.count).graph
+    faults = _scenario_faults(scenario, graph)
+    network, result = simulate_noc(
+        graph,
+        GOLDEN_CONFIG,
+        injection_rate=GOLDEN_RATE,
+        traffic=GOLDEN_TRAFFIC,
+        faults=faults,
+        mode=mode,
+    )
+    network.verify_flit_conservation()
+    latencies = sorted(
+        packet.latency
+        for endpoint in network.endpoints
+        for packet in endpoint.ejected_packets
+        if packet.measured
+    )
+    histogram: dict[int, int] = {}
+    for latency in latencies:
+        histogram[latency] = histogram.get(latency, 0) + 1
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "kind": scenario.kind,
+        "count": scenario.count,
+        "injection_rate": GOLDEN_RATE,
+        "traffic": GOLDEN_TRAFFIC,
+        "config": asdict(GOLDEN_CONFIG),
+        "faults": {
+            "failed_links": [list(link) for link in faults.failed_links],
+            "failed_routers": list(faults.failed_routers),
+        } if faults is not None else None,
+        "result": simulation_result_to_dict(result),
+        "latency_histogram": [
+            [latency, count] for latency, count in sorted(histogram.items())
+        ],
+    }
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_modes_reproduce_goldens(scenario, sim_mode, update_goldens):
+    if update_goldens:
+        golden = build_payload(scenario, "legacy")
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(scenario.path, "w", encoding="utf-8") as handle:
+            json.dump(golden, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    assert os.path.exists(scenario.path), (
+        f"golden fixture {scenario.path} is missing; generate it with "
+        "pytest tests/test_golden_traces.py --update-goldens"
+    )
+    with open(scenario.path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    payload = build_payload(scenario, sim_mode)
+    assert payload == golden, (
+        f"{sim_mode} run of {scenario.name} diverged from the committed "
+        "golden trace; if the change is intentional, regenerate with "
+        "--update-goldens and commit the diff"
+    )
+
+
+def test_goldens_carry_traffic():
+    """Every committed golden measured real traffic (no silent dead nets)."""
+    for scenario in SCENARIOS:
+        with open(scenario.path, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert golden["schema"] == GOLDEN_SCHEMA
+        assert golden["result"]["measured_packets_ejected"] > 0
+        assert golden["latency_histogram"]
+        total = sum(count for _, count in golden["latency_histogram"])
+        assert total == golden["result"]["measured_packets_ejected"]
+        if scenario.faulted:
+            assert len(golden["faults"]["failed_links"]) == 1

@@ -1,10 +1,12 @@
 """Determinism and equivalence of the cycle-loop engines.
 
-The active-set and vectorized engines must be pure optimisations: under a
-fixed seed they produce bit-identical :class:`SimulationResult`s to the
-legacy dense loop, across arrangements, injection rates and traffic
-patterns, while actually skipping idle work (which the engines'
-instrumentation counters expose).
+The active-set and vectorized engines — and the batched multi-point path
+— must be pure optimisations: under a fixed seed they produce
+bit-identical :class:`SimulationResult`s to the legacy dense loop, across
+arrangements, injection rates and traffic patterns, while actually
+skipping idle work (which the engines' instrumentation counters expose).
+The mode grid lives in ``tests/conftest.py`` (``fast_sim_mode``), so a
+new engine joins every equivalence class here with one fixture edit.
 """
 
 from __future__ import annotations
@@ -23,14 +25,12 @@ from repro.noc.network import Network
 from repro.noc.simulator import NocSimulator
 from repro.noc.vec_engine import VectorizedEngine
 
-from fault_scenarios import FAULT_SCENARIOS, representative_faults
+from sim_modes import simulate_noc
+from fault_scenarios import representative_faults
 
 FAST_CONFIG = SimulationConfig(
     warmup_cycles=60, measurement_cycles=120, drain_cycles=300
 )
-
-#: The optimised engines, each checked against the legacy reference.
-FAST_ENGINES = ("active", "vectorized")
 
 EQUIVALENCE_GRID = [
     (kind, count, rate, traffic)
@@ -44,7 +44,15 @@ def _representative_faults(graph, scenario: str):
     return representative_faults(graph, scenario, seed=13)
 
 
+def _run(kind, count, rate, traffic, mode, config=FAST_CONFIG, faults=None):
+    graph = make_arrangement(kind, count).graph
+    return simulate_noc(
+        graph, config, injection_rate=rate, traffic=traffic, faults=faults, mode=mode
+    )
+
+
 def _result(kind, count, rate, traffic, engine, config=FAST_CONFIG, faults=None):
+    """Engine-specific helper for the fast-path suites (needs the simulator)."""
     graph = make_arrangement(kind, count).graph
     simulator = NocSimulator(
         graph, config, injection_rate=rate, traffic=traffic, faults=faults
@@ -53,19 +61,17 @@ def _result(kind, count, rate, traffic, engine, config=FAST_CONFIG, faults=None)
 
 
 class TestEngineEquivalence:
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("kind,count,rate,traffic", EQUIVALENCE_GRID)
-    def test_bit_identical_results(self, kind, count, rate, traffic, engine):
-        _, legacy = _result(kind, count, rate, traffic, "legacy")
-        _, fast = _result(kind, count, rate, traffic, engine)
+    def test_bit_identical_results(self, kind, count, rate, traffic, fast_sim_mode):
+        _, legacy = _run(kind, count, rate, traffic, "legacy")
+        _, fast = _run(kind, count, rate, traffic, fast_sim_mode)
         # Frozen dataclasses compare field by field, nested statistics
         # included — this is the bit-identical contract of the engines.
         assert legacy == fast
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    def test_identical_across_repeated_runs(self, engine):
-        _, first = _result("hexamesh", 7, 0.1, "uniform", engine)
-        _, second = _result("hexamesh", 7, 0.1, "uniform", engine)
+    def test_identical_across_repeated_runs(self, fast_sim_mode):
+        _, first = _run("hexamesh", 7, 0.1, "uniform", fast_sim_mode)
+        _, second = _run("hexamesh", 7, 0.1, "uniform", fast_sim_mode)
         assert first == second
 
     def test_engine_name_registry_is_stable(self):
@@ -80,19 +86,17 @@ class TestEngineEquivalence:
         other = NocSimulator(graph, other_config, injection_rate=0.2).run()
         assert base != other
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    def test_zero_drain_equivalence(self, engine):
+    def test_zero_drain_equivalence(self, fast_sim_mode):
         config = SimulationConfig(
             warmup_cycles=60, measurement_cycles=120, drain_cycles=0
         )
-        _, legacy = _result("grid", 9, 0.3, "uniform", "legacy", config)
-        _, fast = _result("grid", 9, 0.3, "uniform", engine, config)
+        _, legacy = _run("grid", 9, 0.3, "uniform", "legacy", config)
+        _, fast = _run("grid", 9, 0.3, "uniform", fast_sim_mode, config)
         assert legacy == fast
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    def test_zero_injection_equivalence(self, engine):
-        _, legacy = _result("grid", 9, 0.0, "uniform", "legacy")
-        _, fast = _result("grid", 9, 0.0, "uniform", engine)
+    def test_zero_injection_equivalence(self, fast_sim_mode):
+        _, legacy = _run("grid", 9, 0.0, "uniform", "legacy")
+        _, fast = _run("grid", 9, 0.0, "uniform", fast_sim_mode)
         # Latency statistics are all-NaN with no measured packets (and
         # NaN != NaN), so compare the discrete fields directly.
         assert legacy.throughput == fast.throughput
@@ -101,12 +105,10 @@ class TestEngineEquivalence:
         assert legacy.measured_packets_ejected == fast.measured_packets_ejected == 0
         assert legacy.packet_latency.is_empty and fast.packet_latency.is_empty
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    def test_final_network_state_matches_legacy(self, engine):
+    def test_final_network_state_matches_legacy(self, fast_sim_mode):
         """Beyond the result summary: the networks end bit-identical too."""
-        legacy_sim, _ = _result("hexamesh", 7, 0.3, "uniform", "legacy")
-        fast_sim, _ = _result("hexamesh", 7, 0.3, "uniform", engine)
-        legacy_net, fast_net = legacy_sim.network, fast_sim.network
+        legacy_net, _ = _run("hexamesh", 7, 0.3, "uniform", "legacy")
+        fast_net, _ = _run("hexamesh", 7, 0.3, "uniform", fast_sim_mode)
         assert [r.buffered_flits for r in legacy_net.routers] == [
             r.buffered_flits for r in fast_net.routers
         ]
@@ -128,36 +130,33 @@ class TestEngineEquivalence:
 class TestFaultedEngineEquivalence:
     """The bit-identical contract must also hold on degraded topologies."""
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    @pytest.mark.parametrize("scenario", FAULT_SCENARIOS)
     @pytest.mark.parametrize(
         "kind,count",
         [("grid", 9), ("brickwall", 9), ("honeycomb", 7), ("hexamesh", 7)],
     )
-    def test_bit_identical_results_under_faults(self, kind, count, scenario, engine):
+    def test_bit_identical_results_under_faults(
+        self, kind, count, fault_scenario, fast_sim_mode
+    ):
         graph = make_arrangement(kind, count).graph
-        faults = _representative_faults(graph, scenario)
-        _, legacy = _result(kind, count, 0.3, "uniform", "legacy", faults=faults)
-        _, fast = _result(kind, count, 0.3, "uniform", engine, faults=faults)
+        faults = _representative_faults(graph, fault_scenario)
+        _, legacy = _run(kind, count, 0.3, "uniform", "legacy", faults=faults)
+        _, fast = _run(kind, count, 0.3, "uniform", fast_sim_mode, faults=faults)
         assert legacy == fast
         assert legacy.measured_packets_ejected > 0
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("traffic", ["uniform", "tornado"])
-    def test_faulted_traffic_variants_match_legacy(self, traffic, engine):
+    def test_faulted_traffic_variants_match_legacy(self, traffic, fast_sim_mode):
         graph = make_arrangement("hexamesh", 7).graph
         faults = _representative_faults(graph, "single-link")
-        _, legacy = _result("hexamesh", 7, 0.5, traffic, "legacy", faults=faults)
-        _, fast = _result("hexamesh", 7, 0.5, traffic, engine, faults=faults)
+        _, legacy = _run("hexamesh", 7, 0.5, traffic, "legacy", faults=faults)
+        _, fast = _run("hexamesh", 7, 0.5, traffic, fast_sim_mode, faults=faults)
         assert legacy == fast
 
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    def test_faulted_final_network_state_matches_legacy(self, engine):
+    def test_faulted_final_network_state_matches_legacy(self, fast_sim_mode):
         graph = make_arrangement("grid", 9).graph
         faults = _representative_faults(graph, "single-router")
-        legacy_sim, _ = _result("grid", 9, 0.3, "uniform", "legacy", faults=faults)
-        fast_sim, _ = _result("grid", 9, 0.3, "uniform", engine, faults=faults)
-        legacy_net, fast_net = legacy_sim.network, fast_sim.network
+        legacy_net, _ = _run("grid", 9, 0.3, "uniform", "legacy", faults=faults)
+        fast_net, _ = _run("grid", 9, 0.3, "uniform", fast_sim_mode, faults=faults)
         assert [r.buffered_flits for r in legacy_net.routers] == [
             r.buffered_flits for r in fast_net.routers
         ]
@@ -169,7 +168,10 @@ class TestFaultedEngineEquivalence:
     def test_faulted_topology_shrinks_the_network(self):
         graph = make_arrangement("hexamesh", 7).graph
         faults = _representative_faults(graph, "single-router")
-        simulator, result = _result("hexamesh", 7, 0.2, "uniform", "active", faults=faults)
+        simulator = NocSimulator(
+            graph, FAST_CONFIG, injection_rate=0.2, traffic="uniform", faults=faults
+        )
+        result = simulator.run(engine="active")
         assert result.num_routers == 6
         assert simulator.network.num_routers == 6
 
@@ -177,7 +179,10 @@ class TestFaultedEngineEquivalence:
         """Packets cannot traverse a failed link: it has no channel at all."""
         graph = make_arrangement("grid", 9).graph
         faults = _representative_faults(graph, "single-link")
-        simulator, _ = _result("grid", 9, 0.3, "uniform", "vectorized", faults=faults)
+        simulator = NocSimulator(
+            graph, FAST_CONFIG, injection_rate=0.3, traffic="uniform", faults=faults
+        )
+        simulator.run(engine="vectorized")
         degraded = simulator.degraded_topology
         failed = set(faults.failed_links)
         router_links = {

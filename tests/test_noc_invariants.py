@@ -1,7 +1,8 @@
 """Flit-conservation invariants across arrangements, traffic and engines.
 
 For every arrangement kind and every registered traffic pattern, and for
-every cycle-loop engine (legacy, active-set, vectorized), the network must
+every simulation mode (legacy, active-set, vectorized, batched — the grid
+is the ``sim_mode`` fixture of ``tests/conftest.py``), the network must
 account for every flit it ever created: ``created == ejected + in-flight + source-queued`` at the end of
 a run, and the measured-packet bookkeeping of the simulator must agree
 with the per-component accessors.
@@ -13,10 +14,10 @@ import pytest
 
 from repro.arrangements.factory import make_arrangement
 from repro.noc.config import SimulationConfig
-from repro.noc.simulator import NocSimulator
 from repro.noc.traffic import available_traffic_patterns
 from repro.workloads import make_workload, map_workload, trace_traffic_for
 
+from sim_modes import simulate_noc
 from fault_scenarios import representative_faults
 
 #: One representative chiplet count per arrangement family (small enough
@@ -28,21 +29,15 @@ FAST_CONFIG = SimulationConfig(
 )
 
 
-def _run(kind: str, count: int, traffic: str, engine: str):
+def _run(kind: str, count: int, traffic: str, mode: str):
     graph = make_arrangement(kind, count).graph
-    simulator = NocSimulator(
-        graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic
-    )
-    result = simulator.run(engine=engine)
-    return simulator, result
+    return simulate_noc(graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic, mode=mode)
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("traffic", available_traffic_patterns())
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
-def test_flit_conservation(kind, count, traffic, engine):
-    simulator, result = _run(kind, count, traffic, engine)
-    network = simulator.network
+def test_flit_conservation(kind, count, traffic, sim_mode):
+    network, result = _run(kind, count, traffic, sim_mode)
 
     # No flit lost or duplicated anywhere in the fabric.
     network.verify_flit_conservation()
@@ -60,12 +55,10 @@ def test_flit_conservation(kind, count, traffic, engine):
     assert result.measured_packets_created > 0
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
-def test_measured_packet_accounting(kind, count, engine):
+def test_measured_packet_accounting(kind, count, sim_mode):
     """created(measured) == ejected(measured) + in-flight(measured)."""
-    simulator, result = _run(kind, count, "uniform", engine)
-    network = simulator.network
+    network, result = _run(kind, count, "uniform", sim_mode)
 
     ejected_measured = sum(
         1
@@ -83,10 +76,9 @@ def test_measured_packet_accounting(kind, count, engine):
     assert 0 <= result.measured_delivery_ratio <= 1.0
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("workload_kind", ["dnn-pipeline", "client-server", "stencil"])
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
-def test_trace_traffic_flit_conservation(kind, count, workload_kind, engine):
+def test_trace_traffic_flit_conservation(kind, count, workload_kind, sim_mode):
     """Mapped-workload traces obey the same conservation law as synthetic traffic."""
     graph = make_arrangement(kind, count).graph
     workload = make_workload(workload_kind, num_tasks=count)
@@ -95,9 +87,9 @@ def test_trace_traffic_flit_conservation(kind, count, workload_kind, engine):
         workload, mapping,
         endpoints_per_chiplet=FAST_CONFIG.endpoints_per_chiplet,
     )
-    simulator = NocSimulator(graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic)
-    result = simulator.run(engine=engine)
-    network = simulator.network
+    network, result = simulate_noc(
+        graph, FAST_CONFIG, injection_rate=0.2, traffic=traffic, mode=sim_mode
+    )
 
     network.verify_flit_conservation()
     created = network.total_created_flits()
@@ -124,18 +116,15 @@ def _representative_faults(graph, scenario: str):
     return representative_faults(graph, scenario, seed=21)
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
-@pytest.mark.parametrize("scenario", ["single-link", "single-router", "yield-sampled"])
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
-def test_flit_conservation_under_faults(kind, count, scenario, engine):
+def test_flit_conservation_under_faults(kind, count, fault_scenario, sim_mode):
     """Degraded topologies obey the same conservation law as healthy ones."""
     graph = make_arrangement(kind, count).graph
-    faults = _representative_faults(graph, scenario)
-    simulator = NocSimulator(
-        graph, FAST_CONFIG, injection_rate=0.2, traffic="uniform", faults=faults
+    faults = _representative_faults(graph, fault_scenario)
+    network, result = simulate_noc(
+        graph, FAST_CONFIG, injection_rate=0.2, traffic="uniform",
+        faults=faults, mode=sim_mode,
     )
-    result = simulator.run(engine=engine)
-    network = simulator.network
 
     network.verify_flit_conservation()
     created = network.total_created_flits()
@@ -163,9 +152,8 @@ def test_flit_conservation_under_faults(kind, count, scenario, engine):
     )
 
 
-@pytest.mark.parametrize("engine", ["legacy", "active", "vectorized"])
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
-def test_faulted_trace_traffic_flit_conservation(kind, count, engine):
+def test_faulted_trace_traffic_flit_conservation(kind, count, sim_mode):
     """Workloads re-mapped onto a degraded topology conserve flits too."""
     graph = make_arrangement(kind, count).graph
     faults = _representative_faults(graph, "single-router")
@@ -176,11 +164,9 @@ def test_faulted_trace_traffic_flit_conservation(kind, count, engine):
         workload, mapping,
         endpoints_per_chiplet=FAST_CONFIG.endpoints_per_chiplet,
     )
-    simulator = NocSimulator(
-        degraded, FAST_CONFIG, injection_rate=0.2, traffic=traffic
+    network, result = simulate_noc(
+        degraded, FAST_CONFIG, injection_rate=0.2, traffic=traffic, mode=sim_mode
     )
-    result = simulator.run(engine=engine)
-    network = simulator.network
 
     network.verify_flit_conservation()
     created = network.total_created_flits()
@@ -196,8 +182,7 @@ def test_faulted_trace_traffic_flit_conservation(kind, count, engine):
 
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
 def test_component_accessors_are_nonnegative_and_consistent(kind, count):
-    simulator, _ = _run(kind, count, "uniform", "active")
-    network = simulator.network
+    network, _ = _run(kind, count, "uniform", "active")
     router_total = sum(r.in_flight_measured_packets() for r in network.routers)
     assert router_total >= 0
     # The network total includes the router buffers plus the channels, so it

@@ -22,11 +22,13 @@ from repro.linkmodel.bandwidth import data_wires, link_bandwidth_bps, wire_count
 from repro.linkmodel.shape import solve_grid_shape, solve_hex_shape
 from repro.noc.config import SimulationConfig
 from repro.noc.faults import FaultedTopologyError
-from repro.noc.simulator import NocSimulator
+from repro.noc.simulator import BatchPoint, NocSimulator
 from repro.partition.common import cut_size, is_balanced
 from repro.resilience import sample_survivable_faults
 from repro.partition.estimator import find_best_bisection
 from repro.utils.mathutils import hexamesh_chiplet_count, is_hexamesh_count
+
+from sim_modes import FAST_SIM_MODES, simulate_noc
 
 # Hypothesis strategies shared by several properties.
 chiplet_counts = st.integers(min_value=2, max_value=60)
@@ -310,12 +312,14 @@ class TestLinkModelProperties:
 
 
 class TestEngineEquivalenceProperties:
-    """The vectorized engine is bit-identical to legacy on random configs.
+    """Every fast simulation mode is bit-identical to legacy on random configs.
 
     Beyond the fixed equivalence grid of ``test_noc_engine.py``: random
     small arrangements, injection rates, VC counts and seeds, comparing
     the full per-packet latency *histograms* (not just the summary
-    statistics) of the two engines.
+    statistics) against the legacy reference.  The mode is drawn from the
+    shared ``FAST_SIM_MODES`` registry of ``tests/conftest.py``, so a new
+    engine joins this property automatically.
     """
 
     @settings(max_examples=15, deadline=None,
@@ -326,9 +330,10 @@ class TestEngineEquivalenceProperties:
         rate=st.sampled_from([0.05, 0.2, 0.6]),
         vcs=st.sampled_from([1, 2, 4]),
         seed=st.integers(min_value=1, max_value=2**31 - 1),
+        mode=st.sampled_from(FAST_SIM_MODES),
     )
-    def test_vectorized_latency_histograms_equal_legacy(
-        self, kind, count, rate, vcs, seed
+    def test_fast_mode_latency_histograms_equal_legacy(
+        self, kind, count, rate, vcs, seed, mode
     ):
         config = SimulationConfig(
             num_virtual_channels=vcs,
@@ -339,26 +344,118 @@ class TestEngineEquivalenceProperties:
         )
         graph = make_arrangement(kind, count).graph
 
-        def run(engine):
-            simulator = NocSimulator(graph, config, injection_rate=rate)
-            result = simulator.run(engine=engine)
+        def run(sim_mode):
+            network, result = simulate_noc(
+                graph, config, injection_rate=rate, mode=sim_mode
+            )
             histogram = sorted(
                 packet.latency
-                for endpoint in simulator.network.endpoints
+                for endpoint in network.endpoints
                 for packet in endpoint.ejected_packets
                 if packet.measured
             )
-            simulator.network.verify_flit_conservation()
+            network.verify_flit_conservation()
             return result, histogram
 
         legacy_result, legacy_histogram = run("legacy")
-        vectorized_result, vectorized_histogram = run("vectorized")
-        assert legacy_histogram == vectorized_histogram
-        assert legacy_result.throughput == vectorized_result.throughput
+        fast_result, fast_histogram = run(mode)
+        assert legacy_histogram == fast_histogram
+        assert legacy_result.throughput == fast_result.throughput
         assert (
             legacy_result.measured_packets_created
-            == vectorized_result.measured_packets_created
+            == fast_result.measured_packets_created
         )
+
+
+class TestBatchedSweepProperties:
+    """Batched multi-point runs equal per-point legacy runs, point by point.
+
+    For random small arrangements, random point lists (random rates *and*
+    random per-point seeds) and random VC counts, evaluating the whole
+    list through ``NocSimulator.run_batch`` must reproduce every
+    individual legacy run exactly — results and per-packet latency
+    histograms alike.  This is the property that makes batching a pure
+    amortisation: batch composition and order can never leak between
+    points.
+    """
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        kind=all_arrangement_kinds,
+        count=st.integers(min_value=4, max_value=10),
+        rates=st.lists(
+            st.sampled_from([0.05, 0.1, 0.3, 0.6]), min_size=1, max_size=4
+        ),
+        vcs=st.sampled_from([2, 4]),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+        derive_seeds=st.booleans(),
+    )
+    def test_batched_points_equal_per_point_legacy(
+        self, kind, count, rates, vcs, seed, derive_seeds
+    ):
+        from dataclasses import replace
+
+        config = SimulationConfig(
+            num_virtual_channels=vcs,
+            warmup_cycles=30,
+            measurement_cycles=60,
+            drain_cycles=150,
+            seed=seed,
+        )
+        graph = make_arrangement(kind, count).graph
+        points = [
+            BatchPoint(rate, seed=seed + index if derive_seeds else None)
+            for index, rate in enumerate(rates)
+        ]
+
+        def histogram(network):
+            return sorted(
+                packet.latency
+                for endpoint in network.endpoints
+                for packet in endpoint.ejected_packets
+                if packet.measured
+            )
+
+        reference = []
+        for point in points:
+            point_config = (
+                replace(config, seed=point.seed) if point.seed is not None else config
+            )
+            simulator = NocSimulator(
+                graph, point_config, injection_rate=point.injection_rate
+            )
+            result = simulator.run(engine="legacy")
+            simulator.network.verify_flit_conservation()
+            reference.append((result, histogram(simulator.network)))
+
+        batched_histograms = {}
+
+        def capture(index, network, result):
+            network.verify_flit_conservation()
+            batched_histograms[index] = histogram(network)
+
+        batched = NocSimulator.run_batch(
+            graph, points, config=config, on_point=capture
+        )
+
+        assert len(batched) == len(reference)
+        for index, (result, (expected_result, expected_histogram)) in enumerate(
+            zip(batched, reference)
+        ):
+            assert batched_histograms[index] == expected_histogram
+            assert result.throughput == expected_result.throughput
+            assert (
+                result.measured_packets_created
+                == expected_result.measured_packets_created
+            )
+            assert (
+                result.measured_packets_ejected
+                == expected_result.measured_packets_ejected
+            )
+            assert result.cycles_simulated == expected_result.cycles_simulated
+            if expected_result.packet_latency.count:
+                assert result == expected_result
 
 
 class TestFaultInjectionProperties:
@@ -381,9 +478,10 @@ class TestFaultInjectionProperties:
         link_faults=st.integers(min_value=0, max_value=2),
         router_faults=st.integers(min_value=0, max_value=1),
         seed=st.integers(min_value=1, max_value=2**31 - 1),
+        mode=st.sampled_from(FAST_SIM_MODES),
     )
-    def test_vectorized_matches_legacy_under_random_survivable_faults(
-        self, kind, count, rate, link_faults, router_faults, seed
+    def test_fast_modes_match_legacy_under_random_survivable_faults(
+        self, kind, count, rate, link_faults, router_faults, seed, mode
     ):
         graph = make_arrangement(kind, count).graph
         try:
@@ -401,35 +499,33 @@ class TestFaultInjectionProperties:
             warmup_cycles=30, measurement_cycles=60, drain_cycles=150, seed=seed
         )
 
-        def run(engine):
-            simulator = NocSimulator(
-                graph, config, injection_rate=rate, faults=faults
+        def run(sim_mode):
+            network, result = simulate_noc(
+                graph, config, injection_rate=rate, faults=faults, mode=sim_mode
             )
-            result = simulator.run(engine=engine)
             histogram = sorted(
                 packet.latency
-                for endpoint in simulator.network.endpoints
+                for endpoint in network.endpoints
                 for packet in endpoint.ejected_packets
                 if packet.measured
             )
-            simulator.network.verify_flit_conservation()
-            return simulator, result, histogram
+            network.verify_flit_conservation()
+            return result, histogram
 
-        legacy_sim, legacy_result, legacy_histogram = run("legacy")
-        _, vectorized_result, vectorized_histogram = run("vectorized")
-        assert legacy_histogram == vectorized_histogram
-        assert legacy_result.throughput == vectorized_result.throughput
+        legacy_result, legacy_histogram = run("legacy")
+        fast_result, fast_histogram = run(mode)
+        assert legacy_histogram == fast_histogram
+        assert legacy_result.throughput == fast_result.throughput
         assert (
             legacy_result.measured_packets_created
-            == vectorized_result.measured_packets_created
+            == fast_result.measured_packets_created
         )
 
         # Packets never traverse a failed link or reach a failed router:
         # the degraded network simply has no such channel.
-        degraded = legacy_sim.degraded_topology
-        if degraded is None:
-            assert faults.is_empty
+        if faults.is_empty:
             return
+        degraded = faults.apply(graph)
         assert not set(degraded.surviving_routers) & set(faults.failed_routers)
         surviving_links = {
             degraded.original_edge(first, second)
