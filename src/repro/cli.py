@@ -666,7 +666,13 @@ def _command_bench(args: argparse.Namespace) -> int:
         bench.write_report(baseline, args.write_baseline)
         print(f"wrote {args.write_baseline}")
     if args.check_against:
-        baseline = bench.load_report(args.check_against)
+        try:
+            baseline = bench.load_report(args.check_against)
+        except bench.BaselineError as exc:
+            # An unreadable or malformed baseline must fail the gate loudly
+            # (exit 1 with the reason), never exit 0 or dump a traceback.
+            print(f"PERF GATE ERROR: {exc}", file=sys.stderr)
+            return 1
         for warning in bench.check_report_warnings(report, baseline):
             print(f"warning: {warning}", file=sys.stderr)
         problems = bench.check_report(report, baseline)

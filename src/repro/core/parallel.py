@@ -470,6 +470,20 @@ def _evaluate_work_item(
     return index, simulator.run(engine=engine)
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM and friends: the process exists but is not ours.
+        return True
+    return True
+
+
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
@@ -635,10 +649,52 @@ class ParallelSweepRunner:
             "candidate": candidate.key_dict(),
             "result": simulation_result_to_dict(result),
         }
+        # Write-then-rename so readers never observe a half-written entry;
+        # the ``finally`` removes the temp file when the write or the
+        # rename fails, so an aborted store cannot leave one behind.
         tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, path)
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        finally:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def _sweep_orphaned_cache_tmp(self) -> int:
+        """Remove stale ``<key>.json.tmp.<pid>`` files from the cache dir.
+
+        Crashed or killed sweep workers die between the temp-file write
+        and the :func:`os.replace`, stranding their temp files beside the
+        target forever (the ``finally`` in :meth:`_cache_store` only
+        covers in-process failures).  Called once per :meth:`run` on a
+        caching runner, this sweeps those orphans away; temp files whose
+        writer pid is still alive are left alone — they belong to a
+        concurrent sweep that is about to rename them.  Returns the
+        number of files removed.
+        """
+        cache_dir = self._cache_dir
+        if cache_dir is None:
+            return 0
+        try:
+            names = os.listdir(cache_dir)
+        except OSError:
+            return 0
+        removed = 0
+        for name in names:
+            stem, sep, pid_text = name.rpartition(".tmp.")
+            if not sep or not stem.endswith(".json") or not pid_text.isdigit():
+                continue
+            if _pid_alive(int(pid_text)):
+                continue
+            try:
+                os.unlink(os.path.join(cache_dir, name))
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     # -- running -------------------------------------------------------------
 
@@ -675,6 +731,8 @@ class ParallelSweepRunner:
                 progress(completed, total, record)
 
         caching = self._cache_dir is not None
+        if caching:
+            self._sweep_orphaned_cache_tmp()
         pending: dict[int, tuple[SweepCandidate, int, str | None]] = {}
         for index, candidate in enumerate(ordered):
             seed = self.candidate_seed(candidate)
@@ -765,6 +823,15 @@ class BatchedSweepRunner(ParallelSweepRunner):
             groups.setdefault(candidate.batch_key(), []).append(
                 (index, candidate, seed)
             )
+        # When every group is a singleton (e.g. a single-rate resilience
+        # sweep where each fault set is its own structure) there is
+        # nothing to amortise: a one-point batch pays the shared-build
+        # setup of the batch path for zero reuse.  Fall through to the
+        # per-point dispatch, which is exactly what a
+        # :class:`ParallelSweepRunner` would do.
+        if all(len(entries) == 1 for entries in groups.values()):
+            super()._dispatch(pending, finish)
+            return
         # With workers available, cap batch size so a few large groups
         # cannot serialise the sweep onto a single process: aim for
         # roughly two work items per worker (the load-balancing slack of

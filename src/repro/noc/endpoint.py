@@ -58,6 +58,10 @@ class Endpoint:
         self._pending_flits: deque[Flit] = deque()
         self._current_vc: int | None = None
         self._credits = [config.buffer_depth_flits] * config.num_virtual_channels
+        if config.num_virtual_channels == 1:
+            self._injection_vcs: tuple[int, ...] = (0,)
+        else:
+            self._injection_vcs = config.adaptive_vcs
 
         self._out_channel: Channel | None = None
 
@@ -234,17 +238,34 @@ class Endpoint:
         except when a single VC is configured, in which case everything
         travels on the up*/down*-routed channel.
         """
-        if self._config.num_virtual_channels == 1:
-            candidates = (0,)
-        else:
-            candidates = self._config.adaptive_vcs
         best_vc: int | None = None
         best_credits = 0
-        for vc in candidates:
+        for vc in self._injection_vcs:
             if self._credits[vc] > best_credits:
                 best_credits = self._credits[vc]
                 best_vc = vc
         return best_vc
+
+    def injection_state(self) -> tuple[list[int], tuple[int, ...]]:
+        """Live ``(credits, injection_vcs)`` for the engines' fused fast path.
+
+        The credit list is the live per-VC mutable state (also updated by
+        :meth:`accept_credit`); callers replicating :meth:`inject_pending`
+        must mirror its updates exactly.  Note the invariant the fast path
+        relies on: whenever the pending-flit queue is empty, the current
+        injection VC is ``None`` (a tail injection always clears it), so a
+        fused single-flit injection never needs to touch it.
+        """
+        return self._credits, self._injection_vcs
+
+    def injection_credits(self) -> int:
+        """Total credits currently available on the injection VCs.
+
+        When this is zero, :meth:`inject_pending` is guaranteed to be a
+        no-op (no VC can be selected and no pending flit can move), so
+        engines may skip the call for credit-starved endpoints.
+        """
+        return sum(self._credits[vc] for vc in self._injection_vcs)
 
     # -- introspection ---------------------------------------------------------------
 

@@ -391,7 +391,7 @@ class NocSimulator:
             injection_rate=first.injection_rate,
             routing=routing,
         )
-        with BatchEngine(network, config) as batch:
+        with BatchEngine(network, config, points=len(ordered)) as batch:
             for index, point in enumerate(ordered):
                 cfg = point_config(point)
                 snapshots, _ = batch.run_point(

@@ -1,74 +1,39 @@
-"""The vectorized batch engine: flat-state cycle loop over the whole network.
+"""The vectorized engines: array-native cycle loops over the whole network.
 
-This is the third cycle-loop engine next to the legacy dense scan and the
-active-set scheduler of :mod:`repro.noc.engine`.  Instead of walking the
-object graph (`Network` -> `Router` -> `_InputVC` -> `deque`) every cycle,
-it flattens all mutable router state into *flat tables* indexed by a
-global ``(router, port, vc)`` coordinate and steps the whole network on
-that representation:
+This module hosts the numpy-backed cycle-loop engines next to the legacy
+dense scan and the active-set scheduler of :mod:`repro.noc.engine`.  Both
+delegate the actual cycle stepping to the array kernel
+(:mod:`repro.noc.array_kernel`), which expresses routing, VC allocation,
+switch allocation and credit/occupancy updates as masked ndarray
+operations over the full flat ``(router, port, vc)`` state — no
+per-router Python scans — while preserving the object model's exact
+(port-major, vc-minor) arbitration order:
 
-* **Flat state tables.**  Every router exports its per-VC state once at
-  the start of the run (:meth:`repro.noc.router.Router.export_state`):
-  buffers, VC pipeline states, routing decisions, credit counters and
-  output-VC ownership all become parallel flat lists addressed by
-  ``base[router] + port * V + vc``.  The per-element hot state deliberately
-  lives in plain Python lists — CPython list indexing is faster than
-  ndarray item access for the scalar read-modify-write pattern of a cycle
-  loop — while numpy provides the static offset / routing tables and the
-  bulk end-of-run consistency check.
-* **Masked work selection.**  Each router carries two occupancy bitmasks
-  over its ``port * V + vc`` bits: ``occ`` (non-empty buffers) and
-  ``alloc`` (VCs needing route computation or VC allocation).  The
-  per-cycle scans iterate only the set bits — in ascending bit order,
-  which is exactly the (port-major, vc-minor) order of the object model's
-  dense scans, so every allocation decision falls in the same sequence.
-* **Precomputed routing.**  Route computation becomes a single table
-  lookup: ``route_tab[router][destination_endpoint]`` holds the minimal
-  output-port tuple, the escape port and the escape-only flag (ejection
-  folded in), replacing the dict lookups and tuple rebuilding of
-  ``Router._compute_route``.
-* **Scalar injection draws.**  Endpoint packet generation *must* stay
-  per-endpoint and in ascending endpoint order: each endpoint consumes its
-  private ``random.Random`` stream one draw per generation cycle, so any
-  batching would shift destinations and injections.  The engine instead
-  inlines the generation fast path (one bound ``rng.random`` call and one
-  compare per endpoint per cycle) and skips the injection stage entirely
-  for endpoints with no queued work — both RNG-neutral by construction.
-* **Event-driven channels.**  Channels stay live :class:`Channel` objects
-  (their in-flight queues remain the source of truth for conservation
-  checks); deliveries are scheduled through the same observer hook the
-  active-set engine uses, but dispatched through per-channel handlers that
-  write straight into the flat tables.
+* :class:`VectorizedEngine` runs a single simulation point on one kernel
+  slot, accepting a network in any (also mid-run) state.
+* :class:`BatchEngine` runs a whole batch of same-structure sweep points
+  through one shared kernel whose state arrays carry a leading *points*
+  axis — one slot per batch point — so the multi-point sweep operates on
+  ``(points, router-port-vc)`` ndarrays with every static table built
+  exactly once.
 
-At the end of the run (or on error) the flat state is imported back into
-the router objects (:meth:`Router.import_state`), so all post-run
+At the end of each run (or on error) the flat state is materialised back
+into the router objects (:meth:`Router.import_state`), so all post-run
 introspection — flit conservation, in-flight measured packets, buffered
 counts — reports exactly what a legacy run would.
 
-Equivalence contract: under the same configuration and seed the engine is
-**bit-identical** to the legacy and active-set engines, for every
+Equivalence contract: under the same configuration and seed the engines
+are **bit-identical** to the legacy and active-set engines, for every
 arrangement kind, traffic pattern (including trace replay) and phase
 configuration; the equivalence suite compares final results field by
-field across all three engines.
+field across all engines.
 """
 
 from __future__ import annotations
 
-from operator import itemgetter
-
-import numpy as np
-
 from repro.noc.config import SimulationConfig
-from repro.noc.engine import (
-    EngineStats,
-    PhaseSnapshots,
-    _injected_total,
-    _phase_bounds,
-    attach_delivery_observers,
-)
-from repro.noc.flit import Packet
+from repro.noc.engine import EngineStats, PhaseSnapshots
 from repro.noc.network import Network
-from repro.noc.router import _ACTIVE, _IDLE, _VC_ALLOC
 
 
 def build_route_tab(
@@ -109,11 +74,15 @@ def build_route_tab(
 
 
 class VectorizedEngine:
-    """Flat-state cycle loop; see the module docstring for the design.
+    """Array-kernel cycle loop; see :mod:`repro.noc.array_kernel`.
 
     An engine instance is single-use: create one per :meth:`run` call.
     The interface mirrors :class:`repro.noc.engine.ActiveSetEngine` so
     :class:`~repro.noc.simulator.NocSimulator` can treat them uniformly.
+    The engine accepts a network in any (also mid-run) state: the kernel
+    captures routers and in-flight channel payloads, runs the phase loop
+    on the flat arrays, and materialises the final state back into the
+    object model — bit-identical to the legacy dense loop.
     """
 
     def __init__(self, network: Network, config: SimulationConfig) -> None:
@@ -121,495 +90,22 @@ class VectorizedEngine:
         self._config = config
         self.stats = EngineStats()
 
-    # The run loop is written as one large function on purpose: all hot
-    # state is bound to local names / closure cells, which is the fastest
-    # access pattern CPython offers (attribute lookups in an inner loop
-    # would cost 2-3x).
-    def run(self) -> PhaseSnapshots:  # noqa: C901 - hot loop, deliberately flat
+    def run(self) -> PhaseSnapshots:
         """Advance the network to the end of the drain phase (or early exit)."""
+        from repro.noc.array_kernel import ArrayKernel
+
         network = self._network
-        config = self._config
-        stats = self.stats
-        warmup_end, measure_end, total_cycles = _phase_bounds(config)
-
-        # -- configuration scalars ------------------------------------------------
-        V = config.num_virtual_channels
-        escape_vc = config.escape_vc
-        adaptive = config.adaptive_vcs
-        depth = config.buffer_depth_flits
-        router_latency = config.router_latency_cycles
-        patience = config.escape_patience_cycles
-        packet_size = config.packet_size_flits
-        escape_only_all = V == 1
-
-        routers = network.routers
-        num_routers = len(routers)
-        nports = [router.num_ports for router in routers]
-        nrports = [router.num_router_ports for router in routers]
-
-        # -- flat tables ----------------------------------------------------------
-        # base[r] is the global offset of router r's (port, vc) block; the
-        # global coordinate of (router, port, vc) is base[r] + port * V + vc.
-        block_sizes = np.asarray(nports, dtype=np.int64) * V
-        base_offsets = np.concatenate(([0], np.cumsum(block_sizes)))
-        base = [int(offset) for offset in base_offsets[:-1]]
-
-        buf = []
-        state = []
-        minp = []
-        escp = []
-        esco = []
-        outp = []
-        outv = []
-        wait = []
-        owner = []
-        credits = []
-        occ = [0] * num_routers
-        alloc = [0] * num_routers
-        counts = [0] * num_routers
-        sa_ptr = [0] * num_routers
-        fwd = [0] * num_routers
-        out_ch = []
-        cred_ch = []
-        for r, router in enumerate(routers):
-            snapshot = router.export_state()
-            buf.extend(snapshot.buffers)
-            state.extend(snapshot.states)
-            minp.extend(snapshot.minimal_ports)
-            escp.extend(snapshot.escape_ports)
-            esco.extend(snapshot.escape_only)
-            outp.extend(snapshot.out_ports)
-            outv.extend(snapshot.out_vcs)
-            wait.extend(snapshot.alloc_wait_cycles)
-            owner.extend(snapshot.owners)
-            credits.extend(snapshot.credits)
-            counts[r] = snapshot.buffered_flits
-            sa_ptr[r] = snapshot.sa_port_pointer
-            fwd[r] = snapshot.forwarded_flits
-            out_ch.append(router.output_channels())
-            cred_ch.append(router.input_credit_channels())
-            occ_mask = 0
-            alloc_mask = 0
-            for idx, buffer in enumerate(snapshot.buffers):
-                if buffer:
-                    bit = 1 << idx
-                    occ_mask |= bit
-                    if snapshot.states[idx] != _ACTIVE:
-                        alloc_mask |= bit
-            occ[r] = occ_mask
-            alloc[r] = alloc_mask
-
-        # Precomputed routing (see build_route_tab).
-        route_tab = build_route_tab(network, escape_only_all)
-
-        # -- endpoint generation fast path ---------------------------------------
-        # One row per endpoint that can ever create a packet (probability
-        # zero endpoints never draw from their RNG, exactly like
-        # BernoulliInjection.should_inject).  Row order is ascending
-        # endpoint id — the legacy stepping order, which pins the shared
-        # packet-id allocator and trace-cursor sequences.
+        kernel = ArrayKernel(network, self._config)
+        kernel.load_from_network(0)
         endpoints = network.endpoints
-        traffic_destination = network.traffic.destination
-        gen_rows = []
-        for endpoint in endpoints:
-            probability = endpoint.packet_probability
-            if probability <= 0.0:
-                continue
-            if endpoint.packet_id_allocator is None:
-                raise RuntimeError("endpoint has no packet-id allocator attached")
-            source_queue, pending_flits = endpoint.source_buffers()
-            gen_rows.append(
-                (
-                    endpoint.endpoint_id,
-                    endpoint.rng.random,
-                    probability,
-                    endpoint.rng,
-                    endpoint,
-                    source_queue,
-                    pending_flits,
-                    endpoint.inject_pending,
-                    endpoint.packet_id_allocator,
-                )
-            )
-        num_endpoints_total = len(endpoints)
-
-        # -- flat-state mutators --------------------------------------------------
-
-        def make_router_flit_handler(r: int, port: int):
-            base_r = base[r]
-            port_bits = port * V
-            router_id = routers[r].router_id
-
-            def handle(flit, now: int) -> None:
-                idx = port_bits + flit.vc
-                g = base_r + idx
-                buffer = buf[g]
-                if len(buffer) >= depth:
-                    raise RuntimeError(
-                        f"router {router_id}: input buffer overflow on port {port} "
-                        f"vc {flit.vc}; credit flow control is broken"
-                    )
-                flit.arrival_cycle = now
-                buffer.append(flit)
-                counts[r] += 1
-                bit = 1 << idx
-                occ[r] |= bit
-                if state[g] != _ACTIVE:
-                    alloc[r] |= bit
-
-            return handle
-
-        def make_router_credit_handler(r: int, port: int):
-            credit_base = base[r] + port * V
-
-            def handle(vc, now: int) -> None:
-                credits[credit_base + int(vc)] += 1
-
-            return handle
-
-        def make_endpoint_credit_handler(endpoint):
-            accept = endpoint.accept_credit
-
-            def handle(vc, now: int) -> None:
-                accept(int(vc))
-
-            return handle
-
-        # -- channel event scheduling --------------------------------------------
-        pending: dict[int, list[int]] = {}
-        channel_rows: list[tuple] = []  # (channel, handler)
-        targets = network.channel_targets()
-        for channel, target in targets:
-            kind, owner_id, port = target
-            if kind == "router_flit":
-                handler = make_router_flit_handler(owner_id, port)
-            elif kind == "router_credit":
-                handler = make_router_credit_handler(owner_id, port)
-            elif kind == "endpoint_flit":
-                handler = endpoints[owner_id].accept_flit
-            elif kind == "endpoint_credit":
-                handler = make_endpoint_credit_handler(endpoints[owner_id])
-            else:  # pragma: no cover - new target kinds must be wired here
-                raise ValueError(f"unknown channel target kind {kind!r}")
-            channel_rows.append((channel, handler))
-        attach_delivery_observers([channel for channel, _ in channel_rows], pending)
-
-        # -- the router core ------------------------------------------------------
-        # Static idx -> (port, vc, bit) lookup tables shared by all routers
-        # (sized for the widest port block) replace div/mod in the scans.
-        max_block = max(nports) * V
-        port_of = [idx // V for idx in range(max_block)]
-        vc_of = [idx % V for idx in range(max_block)]
-        bit_of = [1 << idx for idx in range(max_block)]
-
-        def step_router(r: int, now: int) -> None:
-            # Bind the closure cells once; the scans below hit these names
-            # hundreds of times per call.
-            _buf = buf
-            _state = state
-            _owner = owner
-            _credits = credits
-            _outp = outp
-            _outv = outv
-            _port_of = port_of
-            _vc_of = vc_of
-            base_r = base[r]
-            router_ports = nrports[r]
-
-            # .. route computation + VC allocation (masked scan) ..........
-            scan = alloc[r]
-            while scan:
-                low = scan & -scan
-                scan ^= low
-                idx = low.bit_length() - 1
-                g = base_r + idx
-                if _state[g] == _IDLE:
-                    head = _buf[g][0]
-                    if not head.is_head:
-                        raise RuntimeError(
-                            f"router {routers[r].router_id}: non-head flit at the "
-                            f"front of an idle VC (port {_port_of[idx]}, "
-                            f"vc {_vc_of[idx]}); packet framing is broken"
-                        )
-                    minimal, escape_port, escape_only = route_tab[r][
-                        head.packet.destination
-                    ]
-                    minp[g] = minimal
-                    escp[g] = escape_port
-                    esco[g] = escape_only
-                    wait[g] = 0
-                    _state[g] = _VC_ALLOC
-
-                # VC allocation (state is _VC_ALLOC for every bit that
-                # survives to here).
-                minimal = minp[g]
-                target_port = minimal[0] if minimal else None
-                if target_port is not None and target_port >= router_ports:
-                    # Ejection ports accept any free VC.
-                    out_base = base_r + target_port * V
-                    for out_vc in range(V):
-                        if _owner[out_base + out_vc] is None:
-                            _owner[out_base + out_vc] = (_port_of[idx], _vc_of[idx])
-                            _outp[g] = target_port
-                            _outv[g] = out_vc
-                            _state[g] = _ACTIVE
-                            alloc[r] &= ~low
-                            break
-                    continue
-
-                if not esco[g] and adaptive:
-                    best_port = -1
-                    best_vc = -1
-                    best_score = -1
-                    found = False
-                    for candidate_port in minimal:
-                        out_base = base_r + candidate_port * V
-                        port_credits = 0
-                        free_vc = -1
-                        free_vc_credits = -1
-                        for vc in adaptive:
-                            vc_credits = _credits[out_base + vc]
-                            port_credits += vc_credits
-                            if _owner[out_base + vc] is None and vc_credits > free_vc_credits:
-                                free_vc = vc
-                                free_vc_credits = vc_credits
-                        if free_vc < 0:
-                            continue
-                        if not found or port_credits > best_score:
-                            found = True
-                            best_score = port_credits
-                            best_port = candidate_port
-                            best_vc = free_vc
-                    if found:
-                        _owner[base_r + best_port * V + best_vc] = (_port_of[idx], _vc_of[idx])
-                        _outp[g] = best_port
-                        _outv[g] = best_vc
-                        _state[g] = _ACTIVE
-                        alloc[r] &= ~low
-                        continue
-
-                wait[g] += 1
-                if esco[g] or wait[g] > patience:
-                    escape_port = escp[g]
-                    if escape_port is not None:
-                        out_g = base_r + escape_port * V + escape_vc
-                        if _owner[out_g] is None:
-                            _owner[out_g] = (_port_of[idx], _vc_of[idx])
-                            _outp[g] = escape_port
-                            _outv[g] = escape_vc
-                            _state[g] = _ACTIVE
-                            alloc[r] &= ~low
-
-            # .. switch allocation (masked nomination scan) ................
-            active_bits = occ[r] & ~alloc[r]
-            if not active_bits:
-                return
-            nominations: dict[int, int] = {}  # port -> vc index
-            scan = active_bits
-            while scan:
-                low = scan & -scan
-                scan ^= low
-                idx = low.bit_length() - 1
-                port = _port_of[idx]
-                if port in nominations:
-                    continue
-                g = base_r + idx
-                head = _buf[g][0]
-                if now < head.arrival_cycle + router_latency:
-                    continue
-                out_port = _outp[g]
-                if out_port < router_ports:
-                    if _credits[base_r + out_port * V + _outv[g]] <= 0:
-                        continue
-                nominations[port] = _vc_of[idx]
-
-            if not nominations:
-                return
-
-            granted: dict[int, tuple[int, int]] = {}  # out_port -> (port, vc)
-            start = sa_ptr[r]
-            ports = nports[r]
-            for offset in range(ports):
-                port = (start + offset) % ports
-                vc = nominations.get(port)
-                if vc is None:
-                    continue
-                out_port = _outp[base_r + port * V + vc]
-                if out_port is not None and out_port not in granted:
-                    granted[out_port] = (port, vc)
-            sa_ptr[r] = (sa_ptr[r] + 1) % ports
-
-            router_out_channels = out_ch[r]
-            router_credit_channels = cred_ch[r]
-            for out_port, (port, vc) in granted.items():
-                idx = port * V + vc
-                g = base_r + idx
-                buffer = _buf[g]
-                flit = buffer.popleft()
-                counts[r] -= 1
-                if not buffer:
-                    occ[r] &= ~bit_of[idx]
-                out_vc = _outv[g]
-                out_g = base_r + out_port * V + out_vc
-                if out_port < router_ports:
-                    _credits[out_g] -= 1
-                    flit.hops += 1
-                flit.vc = out_vc
-                channel = router_out_channels[out_port]
-                if channel is None:
-                    raise RuntimeError(
-                        f"router {routers[r].router_id}: no channel attached to "
-                        f"output port {out_port}"
-                    )
-                channel.send(flit, now)
-                fwd[r] += 1
-                credit_channel = router_credit_channels[port]
-                if credit_channel is not None:
-                    credit_channel.send(vc, now)
-                if flit.is_tail:
-                    _owner[out_g] = None
-                    _state[g] = _IDLE
-                    _outp[g] = None
-                    _outv[g] = None
-                    minp[g] = ()
-                    escp[g] = None
-                    esco[g] = False
-                    if buffer:
-                        alloc[r] |= bit_of[idx]
-
-        # -- the cycle loop -------------------------------------------------------
-        ejected_before = ejected_after = 0
-        injected_before = injected_after = 0
-        router_range = range(num_routers)
-
+        real_channels = [endpoint.out_channel for endpoint in endpoints]
+        for endpoint, emitter in zip(endpoints, kernel.endpoint_emitters()):
+            endpoint.attach_output_channel(emitter)
         try:
-            cycle = 0
-            while cycle < total_cycles:
-                if cycle == warmup_end:
-                    ejected_before = network.total_ejected_flits()
-                    injected_before = _injected_total(network)
-                if cycle == measure_end:
-                    ejected_after = network.total_ejected_flits()
-                    injected_after = _injected_total(network)
-                if cycle >= measure_end and not pending and not any(counts):
-                    # Endpoints no longer step; nothing is buffered or in
-                    # flight, so the remaining drain cycles are provably idle.
-                    stats.early_exit_cycle = cycle
-                    break
-
-                bucket = pending.pop(cycle, None)
-                if bucket is not None:
-                    for index in sorted(set(bucket)):
-                        channel, handler = channel_rows[index]
-                        for payload in channel.receive(cycle):
-                            handler(payload, cycle)
-                            stats.channel_deliveries += 1
-
-                if cycle < measure_end:
-                    measured = cycle >= warmup_end
-                    for (
-                        endpoint_id,
-                        draw,
-                        probability,
-                        rng,
-                        endpoint,
-                        source_queue,
-                        pending_flits,
-                        inject,
-                        next_packet_id,
-                    ) in gen_rows:
-                        # Inlined Endpoint._generate: same draw, same
-                        # destination order, same allocator sequence.
-                        if draw() < probability:
-                            destination = traffic_destination(endpoint_id, rng)
-                            source_queue.append(
-                                Packet(
-                                    next_packet_id(),
-                                    endpoint_id,
-                                    destination,
-                                    packet_size,
-                                    cycle,
-                                    measured,
-                                )
-                            )
-                            endpoint.created_packets += 1
-                        # The injection stage only acts when work is queued
-                        # (and never draws from the RNG), so idle endpoints
-                        # are skipped wholesale.
-                        if source_queue or pending_flits:
-                            inject(cycle)
-                    stats.endpoint_steps += num_endpoints_total
-
-                for r in router_range:
-                    if counts[r]:
-                        step_router(r, cycle)
-                        stats.router_steps += 1
-
-                stats.cycles_executed += 1
-                cycle += 1
+            return kernel.run_point(0, self.stats)
         finally:
-            # Hand the (possibly mid-run, but structurally consistent)
-            # state back to the object model and detach the observers —
-            # unconditionally, so an in-flight exception never leaves the
-            # network holding stale pre-run router state.
-            self._import_router_states(
-                buf, state, minp, escp, esco, outp, outv, wait, owner, credits,
-                base, counts, sa_ptr, fwd,
-            )
-            for channel, _ in channel_rows:
-                channel.observer = None
-
-        # Bulk consistency check on the flat tables (success path only, so
-        # it cannot mask the root cause of a loop error).
-        recounted = np.fromiter((len(b) for b in buf), dtype=np.int64, count=len(buf))
-        if int(recounted.sum()) != sum(counts):
-            raise RuntimeError(
-                "vectorized engine lost track of buffered flits: "
-                f"tables hold {int(recounted.sum())}, counters say {sum(counts)}"
-            )
-
-        if config.drain_cycles == 0:
-            ejected_after = network.total_ejected_flits()
-            injected_after = _injected_total(network)
-
-        return PhaseSnapshots(
-            ejected_before_measurement=ejected_before,
-            injected_before_measurement=injected_before,
-            ejected_after_measurement=ejected_after,
-            injected_after_measurement=injected_after,
-            total_cycles=total_cycles,
-            cycles_executed=stats.cycles_executed,
-        )
-
-    def _import_router_states(
-        self, buf, state, minp, escp, esco, outp, outv, wait, owner, credits,
-        base, counts, sa_ptr, fwd,
-    ) -> None:
-        """Write the flat tables back into the router objects."""
-        from repro.noc.router import RouterState
-
-        config = self._config
-        V = config.num_virtual_channels
-        for r, router in enumerate(self._network.routers):
-            start = base[r]
-            stop = start + router.num_ports * V
-            router.import_state(
-                RouterState(
-                    buffers=buf[start:stop],
-                    states=state[start:stop],
-                    minimal_ports=minp[start:stop],
-                    escape_ports=escp[start:stop],
-                    escape_only=esco[start:stop],
-                    out_ports=outp[start:stop],
-                    out_vcs=outv[start:stop],
-                    alloc_wait_cycles=wait[start:stop],
-                    owners=owner[start:stop],
-                    credits=credits[start:stop],
-                    sa_port_pointer=sa_ptr[r],
-                    buffered_flits=counts[r],
-                    forwarded_flits=fwd[r],
-                )
-            )
+            for endpoint, channel in zip(endpoints, real_channels):
+                endpoint.attach_output_channel(channel)
 
 
 # ---------------------------------------------------------------------------
@@ -617,75 +113,20 @@ class VectorizedEngine:
 # ---------------------------------------------------------------------------
 
 
-class _BatchEmitter:
-    """A drop-in ``send`` target that writes into the batch event buckets.
-
-    The batched engine swaps each endpoint's injection :class:`Channel`
-    for one of these, so endpoint injection lands directly in the engine's
-    per-cycle delivery buckets — no channel queue traffic, no observer
-    indirection — while the real channel stays attached to the network
-    wiring for post-run introspection.
-    """
-
-    __slots__ = ("index", "latency", "pending")
-
-    def __init__(self, index: int, latency: int, pending: dict) -> None:
-        self.index = index
-        self.latency = latency
-        self.pending = pending
-
-    def send(self, payload, now: int) -> None:
-        arrival = now + self.latency
-        bucket = self.pending.get(arrival)
-        if bucket is None:
-            self.pending[arrival] = [(self.index, payload)]
-        else:
-            bucket.append((self.index, payload))
-
-
-#: Sort key for delivery buckets: the channel index (payloads of distinct
-#: channels never compare, and per-channel FIFO rides on sort stability).
-_first_item = itemgetter(0)
-
-
 class BatchEngine:
     """Run many simulation points over **one** reusable network.
 
-    This is the batch dimension of the vectorized engine: a batch shares
-    one topology, one :class:`~repro.noc.routing.RoutingTables` instance,
-    one flat-state table layout, one precomputed ``route_tab`` and one set
-    of delivery handlers, while every point gets its own occupancy masks,
-    endpoint RNG streams and statistics accumulators.  On top of the
-    amortised build, the batched cycle loop is leaner than the single-run
-    loop of :class:`VectorizedEngine`:
-
-    * **Precomputed generation schedules.**  A point's endpoint RNG
-      streams are consumed up front (batch points always start from a
-      freshly reset network, so the whole draw sequence is known): per
-      endpoint, one tight loop over the generation cycles records the
-      packet-creation cycles and destinations.  The per-cycle
-      all-endpoints generation scan disappears; the draws, their order
-      and the shared packet-id allocator sequence are exactly those of
-      the streaming engines.
-    * **Direct event emission.**  Channel traversal becomes a single
-      bucket append: router forwards and endpoint injections write
-      ``(channel index, payload)`` into per-cycle buckets, and deliveries
-      replay per cycle in channel-registration order (a stable sort by
-      index keeps per-channel FIFO order).  Payloads still in flight when
-      a point ends are handed back to the real :class:`Channel` objects,
-      so conservation checks and introspection see exactly the state an
-      object-stepped run would leave.
-    * **Active-injector tracking.**  Only endpoints with queued work are
-      asked to inject (``inject_pending`` is a no-op on empty queues and
-      never consults the RNG, so skipping it is observationally free).
-    * **Router sleep.**  A step that leaves no VC awaiting allocation and
-      nominates nothing is a provable no-op (``sa_ptr`` only advances on
-      nominations, and escape-patience counters only tick on allocation
-      attempts), and the router's state cannot change until a flit or
-      credit arrives (both are events that wake it) or the earliest
-      latency-gated head becomes eligible (a computable time).  The
-      batched loop skips those steps outright — at low load roughly every
-      other router step is such a latency-wait no-op.
+    The batch axis of the array kernel: every point of a same-structure
+    candidate group shares one topology, one
+    :class:`~repro.noc.routing.RoutingTables` instance, one precomputed
+    ``route_tab`` and **one** :class:`~repro.noc.array_kernel.ArrayKernel`
+    — and every point owns one *slot* of the kernel's stacked state
+    arrays, so the whole group's mutable router state lives in a single
+    ``(points, router-port-vc)`` ndarray set.  Points evaluate
+    sequentially (endpoint RNG replay and the shared packet-id allocator
+    are inherently ordered), but the static tables, channel maps and
+    array allocations are built once per group and a per-point refresh is
+    a handful of vectorized row fills on the point's slot.
 
     Equivalence contract: every point is **bit-identical** to a fresh
     per-point run of any engine under the same configuration and seed.
@@ -694,482 +135,26 @@ class BatchEngine:
     instance as a context manager) before touching the network again.
     """
 
-    def __init__(self, network: Network, config: SimulationConfig) -> None:
+    def __init__(
+        self, network: Network, config: SimulationConfig, *, points: int = 1
+    ) -> None:
+        from repro.noc.array_kernel import ArrayKernel
+
+        if points < 1:
+            raise ValueError(f"points must be >= 1, got {points}")
         self._network = network
         self._config = config
-        V = config.num_virtual_channels
-        self._escape_only_all = V == 1
-
-        routers = network.routers
-        self._routers = routers
+        self._slots = points
+        # Built while the real injection channels are still attached (the
+        # kernel records their indices and latencies for its emitters).
+        self._kernel = ArrayKernel(network, config, slots=points)
+        self._next_slot = 0
         self._endpoints = network.endpoints
-        self._nports = [router.num_ports for router in routers]
-        self._nrports = [router.num_router_ports for router in routers]
-        block_sizes = np.asarray(self._nports, dtype=np.int64) * V
-        base_offsets = np.concatenate(([0], np.cumsum(block_sizes)))
-        self._base = [int(offset) for offset in base_offsets[:-1]]
-        total = int(base_offsets[-1])
-
-        max_block = max(self._nports) * V
-        self._port_of = [idx // V for idx in range(max_block)]
-        self._vc_of = [idx % V for idx in range(max_block)]
-        self._bit_of = [1 << idx for idx in range(max_block)]
-
-        self._route_tab = build_route_tab(network, self._escape_only_all)
-
-        # Persistent flat tables: the list objects (and the buffer deques
-        # inside them) are allocated once and refreshed in place per point,
-        # so every closure built below stays valid across the whole batch.
-        num_routers = len(routers)
-        self._buf = [None] * total
-        self._state = [0] * total
-        self._minp = [()] * total
-        self._escp = [None] * total
-        self._esco = [False] * total
-        self._outp = [None] * total
-        self._outv = [None] * total
-        self._wait = [0] * total
-        self._owner = [None] * total
-        self._credits = [0] * total
-        self._occ = [0] * num_routers
-        self._alloc = [0] * num_routers
-        self._counts = [0] * num_routers
-        self._sa_ptr = [0] * num_routers
-        self._fwd = [0] * num_routers
-        #: Router sleep: router r is only stepped when ``wake[r] <= cycle``
-        #: (see the class docstring); flit/credit arrivals reset it to 0.
-        self._wake = [0] * num_routers
-
-        #: The shared per-cycle event buckets: cycle -> [(channel index,
-        #: payload), ...].  One persistent dict, cleared per point, so the
-        #: emitters and the router core can bind it once.
-        self._pending: dict[int, list] = {}
-
-        self._channels = [channel for channel, _ in network.channel_targets()]
-        self._handlers = self._build_handlers()
-        self._build_emit_tables()
-        self._inject_rows = [
-            (endpoint.inject_pending, *endpoint.source_buffers())
-            for endpoint in self._endpoints
-        ]
-        self._step_router = self._build_router_core()
-        self._closed = False
-        # Seed the buffer table once: export_state hands over the routers'
-        # own deques, which Router.reset clears *in place*, so the aliasing
-        # between flat tables and object model holds for the whole batch
-        # and per-point refreshes never have to re-export.
-        for r, router in enumerate(routers):
-            snapshot = router.export_state()
-            start = self._base[r]
-            stop = start + self._nports[r] * V
-            self._buf[start:stop] = snapshot.buffers
-
-    # -- construction ---------------------------------------------------------
-
-    def _build_handlers(self):
-        """Delivery handlers per channel index, writing into the flat tables."""
-        network = self._network
-        endpoints = self._endpoints
-        depth = self._config.buffer_depth_flits
-        V = self._config.num_virtual_channels
-        buf, state = self._buf, self._state
-        counts, occ, alloc = self._counts, self._occ, self._alloc
-        base = self._base
-        routers = self._routers
-        wake = self._wake
-
-        def make_router_flit_handler(r: int, port: int):
-            base_r = base[r]
-            port_bits = port * V
-            router_id = routers[r].router_id
-
-            def handle(flit, now: int) -> None:
-                idx = port_bits + flit.vc
-                g = base_r + idx
-                buffer = buf[g]
-                if len(buffer) >= depth:
-                    raise RuntimeError(
-                        f"router {router_id}: input buffer overflow on port {port} "
-                        f"vc {flit.vc}; credit flow control is broken"
-                    )
-                flit.arrival_cycle = now
-                buffer.append(flit)
-                counts[r] += 1
-                bit = 1 << idx
-                occ[r] |= bit
-                if state[g] != _ACTIVE:
-                    alloc[r] |= bit
-                wake[r] = 0
-
-            return handle
-
-        def make_router_credit_handler(r: int, port: int):
-            credits = self._credits
-            credit_base = base[r] + port * V
-
-            def handle(vc, now: int) -> None:
-                credits[credit_base + int(vc)] += 1
-                wake[r] = 0
-
-            return handle
-
-        def make_endpoint_credit_handler(endpoint):
-            accept = endpoint.accept_credit
-
-            def handle(vc, now: int) -> None:
-                accept(int(vc))
-
-            return handle
-
-        handlers = []
-        for channel, target in network.channel_targets():
-            kind, owner_id, port = target
-            if kind == "router_flit":
-                handler = make_router_flit_handler(owner_id, port)
-            elif kind == "router_credit":
-                handler = make_router_credit_handler(owner_id, port)
-            elif kind == "endpoint_flit":
-                handler = endpoints[owner_id].accept_flit
-            elif kind == "endpoint_credit":
-                handler = make_endpoint_credit_handler(endpoints[owner_id])
-            else:  # pragma: no cover - new target kinds must be wired here
-                raise ValueError(f"unknown channel target kind {kind!r}")
-            handlers.append(handler)
-        return handlers
-
-    def _build_emit_tables(self) -> None:
-        """Per-router emission metadata and per-endpoint injection emitters."""
-        index_of = {id(channel): index for index, channel in enumerate(self._channels)}
-        pending = self._pending
-
-        def emit_entry(channel):
-            if channel is None:
-                return None
-            return (index_of[id(channel)], channel.latency)
-
-        self._out_emit = [
-            [emit_entry(channel) for channel in router.output_channels()]
-            for router in self._routers
-        ]
-        self._credit_emit = [
-            [emit_entry(channel) for channel in router.input_credit_channels()]
-            for router in self._routers
-        ]
-        # Swap every endpoint's injection channel for a bucket emitter;
-        # close() restores the real channels.
         self._real_out_channels = []
-        for endpoint in self._endpoints:
-            channel = endpoint.out_channel
-            if channel is None:
-                raise RuntimeError("endpoint has no injection channel attached")
-            self._real_out_channels.append(channel)
-            endpoint.attach_output_channel(
-                _BatchEmitter(index_of[id(channel)], channel.latency, pending)
-            )
-
-    def _build_router_core(self):
-        """The per-router step function over the persistent flat tables.
-
-        This is the router core of :meth:`VectorizedEngine.run` with one
-        change: forwards and credit returns append to the event buckets
-        directly instead of going through ``Channel.send`` + observer.
-        Everything else — scan orders, allocation decisions, round-robin
-        state — is identical, which is what keeps the batch bit-identical.
-        """
-        config = self._config
-        V = config.num_virtual_channels
-        escape_vc = config.escape_vc
-        adaptive = config.adaptive_vcs
-        router_latency = config.router_latency_cycles
-        patience = config.escape_patience_cycles
-
-        routers = self._routers
-        base = self._base
-        nports = self._nports
-        nrports = self._nrports
-        port_of = self._port_of
-        vc_of = self._vc_of
-        bit_of = self._bit_of
-        route_tab = self._route_tab
-        buf = self._buf
-        state = self._state
-        minp = self._minp
-        escp = self._escp
-        esco = self._esco
-        outp = self._outp
-        outv = self._outv
-        wait = self._wait
-        owner = self._owner
-        credits = self._credits
-        occ = self._occ
-        alloc = self._alloc
-        counts = self._counts
-        sa_ptr = self._sa_ptr
-        fwd = self._fwd
-        out_emit = self._out_emit
-        credit_emit = self._credit_emit
-        pending = self._pending
-        wake = self._wake
-        never = 1 << 62  # "event-driven wake only" sentinel
-
-        def step_router(r: int, now: int) -> None:
-            _buf = buf
-            _state = state
-            _owner = owner
-            _credits = credits
-            _outp = outp
-            _outv = outv
-            _port_of = port_of
-            _vc_of = vc_of
-            base_r = base[r]
-            router_ports = nrports[r]
-
-            # .. route computation + VC allocation (masked scan) ..........
-            scan = alloc[r]
-            while scan:
-                low = scan & -scan
-                scan ^= low
-                idx = low.bit_length() - 1
-                g = base_r + idx
-                if _state[g] == _IDLE:
-                    head = _buf[g][0]
-                    if not head.is_head:
-                        raise RuntimeError(
-                            f"router {routers[r].router_id}: non-head flit at the "
-                            f"front of an idle VC (port {_port_of[idx]}, "
-                            f"vc {_vc_of[idx]}); packet framing is broken"
-                        )
-                    minimal, escape_port, escape_only = route_tab[r][
-                        head.packet.destination
-                    ]
-                    minp[g] = minimal
-                    escp[g] = escape_port
-                    esco[g] = escape_only
-                    wait[g] = 0
-                    _state[g] = _VC_ALLOC
-
-                minimal = minp[g]
-                target_port = minimal[0] if minimal else None
-                if target_port is not None and target_port >= router_ports:
-                    # Ejection ports accept any free VC.
-                    out_base = base_r + target_port * V
-                    for out_vc in range(V):
-                        if _owner[out_base + out_vc] is None:
-                            _owner[out_base + out_vc] = (_port_of[idx], _vc_of[idx])
-                            _outp[g] = target_port
-                            _outv[g] = out_vc
-                            _state[g] = _ACTIVE
-                            alloc[r] &= ~low
-                            break
-                    continue
-
-                if not esco[g] and adaptive:
-                    best_port = -1
-                    best_vc = -1
-                    best_score = -1
-                    found = False
-                    for candidate_port in minimal:
-                        out_base = base_r + candidate_port * V
-                        port_credits = 0
-                        free_vc = -1
-                        free_vc_credits = -1
-                        for vc in adaptive:
-                            vc_credits = _credits[out_base + vc]
-                            port_credits += vc_credits
-                            if _owner[out_base + vc] is None and vc_credits > free_vc_credits:
-                                free_vc = vc
-                                free_vc_credits = vc_credits
-                        if free_vc < 0:
-                            continue
-                        if not found or port_credits > best_score:
-                            found = True
-                            best_score = port_credits
-                            best_port = candidate_port
-                            best_vc = free_vc
-                    if found:
-                        _owner[base_r + best_port * V + best_vc] = (_port_of[idx], _vc_of[idx])
-                        _outp[g] = best_port
-                        _outv[g] = best_vc
-                        _state[g] = _ACTIVE
-                        alloc[r] &= ~low
-                        continue
-
-                wait[g] += 1
-                if esco[g] or wait[g] > patience:
-                    escape_port = escp[g]
-                    if escape_port is not None:
-                        out_g = base_r + escape_port * V + escape_vc
-                        if _owner[out_g] is None:
-                            _owner[out_g] = (_port_of[idx], _vc_of[idx])
-                            _outp[g] = escape_port
-                            _outv[g] = escape_vc
-                            _state[g] = _ACTIVE
-                            alloc[r] &= ~low
-
-            # .. switch allocation (masked nomination scan) ................
-            active_bits = occ[r] & ~alloc[r]
-            if not active_bits:
-                return
-            nominations: dict[int, int] = {}  # port -> vc index
-            next_ready = never
-            scan = active_bits
-            while scan:
-                low = scan & -scan
-                scan ^= low
-                idx = low.bit_length() - 1
-                port = _port_of[idx]
-                if port in nominations:
-                    continue
-                g = base_r + idx
-                head = _buf[g][0]
-                ready = head.arrival_cycle + router_latency
-                if now < ready:
-                    if ready < next_ready:
-                        next_ready = ready
-                    continue
-                out_port = _outp[g]
-                if out_port < router_ports:
-                    if _credits[base_r + out_port * V + _outv[g]] <= 0:
-                        continue
-                nominations[port] = _vc_of[idx]
-
-            if not nominations:
-                # Provable no-op: sa_ptr only moves on nominations and no
-                # VC awaits allocation (escape-patience counters only tick
-                # on allocation attempts), so until a flit or credit
-                # arrives (events, which reset wake) or the earliest
-                # latency-gated head becomes eligible, re-stepping this
-                # router cannot change any state.
-                if not alloc[r]:
-                    wake[r] = next_ready
-                return
-
-            granted: dict[int, tuple[int, int]] = {}  # out_port -> (port, vc)
-            start = sa_ptr[r]
-            ports = nports[r]
-            for offset in range(ports):
-                port = (start + offset) % ports
-                vc = nominations.get(port)
-                if vc is None:
-                    continue
-                out_port = _outp[base_r + port * V + vc]
-                if out_port is not None and out_port not in granted:
-                    granted[out_port] = (port, vc)
-            sa_ptr[r] = (sa_ptr[r] + 1) % ports
-
-            router_out_emit = out_emit[r]
-            router_credit_emit = credit_emit[r]
-            for out_port, (port, vc) in granted.items():
-                idx = port * V + vc
-                g = base_r + idx
-                buffer = _buf[g]
-                flit = buffer.popleft()
-                counts[r] -= 1
-                if not buffer:
-                    occ[r] &= ~bit_of[idx]
-                out_vc = _outv[g]
-                out_g = base_r + out_port * V + out_vc
-                if out_port < router_ports:
-                    _credits[out_g] -= 1
-                    flit.hops += 1
-                flit.vc = out_vc
-                emit = router_out_emit[out_port]
-                if emit is None:
-                    raise RuntimeError(
-                        f"router {routers[r].router_id}: no channel attached to "
-                        f"output port {out_port}"
-                    )
-                emit_index, emit_latency = emit
-                arrival = now + emit_latency
-                bucket = pending.get(arrival)
-                if bucket is None:
-                    pending[arrival] = [(emit_index, flit)]
-                else:
-                    bucket.append((emit_index, flit))
-                fwd[r] += 1
-                credit = router_credit_emit[port]
-                if credit is not None:
-                    credit_index, credit_latency = credit
-                    arrival = now + credit_latency
-                    bucket = pending.get(arrival)
-                    if bucket is None:
-                        pending[arrival] = [(credit_index, vc)]
-                    else:
-                        bucket.append((credit_index, vc))
-                if flit.is_tail:
-                    _owner[out_g] = None
-                    _state[g] = _IDLE
-                    _outp[g] = None
-                    _outv[g] = None
-                    minp[g] = ()
-                    escp[g] = None
-                    esco[g] = False
-                    if buffer:
-                        alloc[r] |= bit_of[idx]
-
-        return step_router
-
-    # -- per-point lifecycle --------------------------------------------------
-
-    def _refresh_tables(self) -> None:
-        """Reset the flat tables to the pristine (just reset) state in place.
-
-        Element-wise refills keep the list objects — and therefore every
-        closure built at construction — valid.  The buffer deques are the
-        routers' own (cleared in place by :meth:`Router.reset`), so table
-        and object model stay aliased across the whole batch.
-        """
-        total = len(self._state)
-        depth = self._config.buffer_depth_flits
-        self._state[:] = [_IDLE] * total
-        self._minp[:] = [()] * total
-        self._escp[:] = [None] * total
-        self._esco[:] = [False] * total
-        self._outp[:] = [None] * total
-        self._outv[:] = [None] * total
-        self._wait[:] = [0] * total
-        self._owner[:] = [None] * total
-        self._credits[:] = [depth] * total
-        num_routers = len(self._routers)
-        self._counts[:] = [0] * num_routers
-        self._sa_ptr[:] = [0] * num_routers
-        self._fwd[:] = [0] * num_routers
-        self._occ[:] = [0] * num_routers
-        self._alloc[:] = [0] * num_routers
-        self._wake[:] = [0] * num_routers
-
-    def _precompute_generation(self, measure_end: int) -> dict[int, list]:
-        """Consume every endpoint RNG stream into per-cycle creation events.
-
-        Per endpoint the draw sequence (one Bernoulli draw per generation
-        cycle, plus a destination draw on success) is exactly the one the
-        streaming engines perform — endpoint RNG streams are private, so
-        front-loading them is invisible.  Buckets are appended endpoint-
-        major per cycle, matching the ascending-endpoint stepping order
-        that pins the shared packet-id allocator sequence.
-        """
-        gen_buckets: dict[int, list] = {}
-        traffic_destination = self._network.traffic.destination
-        for endpoint in self._endpoints:
-            probability = endpoint.packet_probability
-            if probability <= 0.0:
-                continue
-            if endpoint.packet_id_allocator is None:
-                raise RuntimeError("endpoint has no packet-id allocator attached")
-            rng = endpoint.rng
-            draw = rng.random
-            endpoint_id = endpoint.endpoint_id
-            source_queue, _ = endpoint.source_buffers()
-            row = (endpoint, endpoint_id, source_queue)
-            for cycle in range(measure_end):
-                if draw() < probability:
-                    entry = (row, traffic_destination(endpoint_id, rng))
-                    bucket = gen_buckets.get(cycle)
-                    if bucket is None:
-                        gen_buckets[cycle] = [entry]
-                    else:
-                        bucket.append(entry)
-        return gen_buckets
+        for endpoint, emitter in zip(self._endpoints, self._kernel.endpoint_emitters()):
+            self._real_out_channels.append(endpoint.out_channel)
+            endpoint.attach_output_channel(emitter)
+        self._closed = False
 
     def run_point(
         self, *, seed: int, injection_rate: float
@@ -1177,148 +162,15 @@ class BatchEngine:
         """Reset the network to ``(seed, injection_rate)`` and run one point."""
         if self._closed:
             raise RuntimeError("BatchEngine is closed; create a new one")
-        network = self._network
-        config = self._config
-        network.reset(seed=seed, injection_rate=injection_rate)
-        self._refresh_tables()
-        self._pending.clear()
-
+        self._network.reset(seed=seed, injection_rate=injection_rate)
+        kernel = self._kernel
+        slot = self._next_slot
+        self._next_slot = (slot + 1) % self._slots
+        kernel.reset_events()
+        kernel.refresh(slot)
         stats = EngineStats()
-        warmup_end, measure_end, total_cycles = _phase_bounds(config)
-        packet_size = config.packet_size_flits
-        gen_buckets = self._precompute_generation(measure_end)
-        # All endpoints share the network-wide allocator; grab it once.
-        next_packet_id = self._endpoints[0].packet_id_allocator
-        num_endpoints_total = len(self._endpoints)
-
-        pending = self._pending
-        handlers = self._handlers
-        inject_rows = self._inject_rows
-        counts = self._counts
-        wake = self._wake
-        step_router = self._step_router
-        router_range = range(len(self._routers))
-        active: set[int] = set()
-
-        ejected_before = ejected_after = 0
-        injected_before = injected_after = 0
-
-        try:
-            cycle = 0
-            while cycle < total_cycles:
-                if cycle == warmup_end:
-                    ejected_before = network.total_ejected_flits()
-                    injected_before = _injected_total(network)
-                if cycle == measure_end:
-                    ejected_after = network.total_ejected_flits()
-                    injected_after = _injected_total(network)
-                if cycle >= measure_end and not pending and not any(counts):
-                    stats.early_exit_cycle = cycle
-                    break
-
-                bucket = pending.pop(cycle, None)
-                if bucket is not None:
-                    # Stable sort by channel index replays same-cycle
-                    # deliveries in channel-registration order with
-                    # per-channel FIFO intact — the legacy scan order.
-                    if len(bucket) > 1:
-                        bucket.sort(key=_first_item)
-                    for index, payload in bucket:
-                        handlers[index](payload, cycle)
-                    stats.channel_deliveries += len(bucket)
-
-                if cycle < measure_end:
-                    events = gen_buckets.pop(cycle, None)
-                    if events is not None:
-                        measured = cycle >= warmup_end
-                        for (endpoint, endpoint_id, source_queue), destination in events:
-                            source_queue.append(
-                                Packet(
-                                    next_packet_id(),
-                                    endpoint_id,
-                                    destination,
-                                    packet_size,
-                                    cycle,
-                                    measured,
-                                )
-                            )
-                            endpoint.created_packets += 1
-                            active.add(endpoint_id)
-                    if active:
-                        for endpoint_id in sorted(active):
-                            inject, source_queue, pending_flits = inject_rows[endpoint_id]
-                            inject(cycle)
-                            if not source_queue and not pending_flits:
-                                active.discard(endpoint_id)
-                    stats.endpoint_steps += num_endpoints_total
-
-                for r in router_range:
-                    if counts[r] and wake[r] <= cycle:
-                        step_router(r, cycle)
-                        stats.router_steps += 1
-
-                stats.cycles_executed += 1
-                cycle += 1
-        finally:
-            self._finish_point()
-
-        if config.drain_cycles == 0:
-            ejected_after = network.total_ejected_flits()
-            injected_after = _injected_total(network)
-
-        return (
-            PhaseSnapshots(
-                ejected_before_measurement=ejected_before,
-                injected_before_measurement=injected_before,
-                ejected_after_measurement=ejected_after,
-                injected_after_measurement=injected_after,
-                total_cycles=total_cycles,
-                cycles_executed=stats.cycles_executed,
-            ),
-            stats,
-        )
-
-    def _finish_point(self) -> None:
-        """Sync flat state back to the objects and re-home in-flight payloads."""
-        from repro.noc.router import RouterState
-
-        V = self._config.num_virtual_channels
-        for r, router in enumerate(self._routers):
-            start = self._base[r]
-            stop = start + self._nports[r] * V
-            router.import_state(
-                RouterState(
-                    buffers=self._buf[start:stop],
-                    states=self._state[start:stop],
-                    minimal_ports=self._minp[start:stop],
-                    escape_ports=self._escp[start:stop],
-                    escape_only=self._esco[start:stop],
-                    out_ports=self._outp[start:stop],
-                    out_vcs=self._outv[start:stop],
-                    alloc_wait_cycles=self._wait[start:stop],
-                    owners=self._owner[start:stop],
-                    credits=self._credits[start:stop],
-                    sa_port_pointer=self._sa_ptr[r],
-                    buffered_flits=self._counts[r],
-                    forwarded_flits=self._fwd[r],
-                )
-            )
-        pending = self._pending
-        if pending:
-            # Undelivered payloads go back into the real channels, in
-            # per-channel arrival order, so post-run introspection (flit
-            # conservation, in-flight counts) matches an object-model run.
-            by_channel: dict[int, list] = {}
-            for arrival in sorted(pending):
-                for index, payload in pending[arrival]:
-                    items = by_channel.get(index)
-                    if items is None:
-                        by_channel[index] = [(arrival, payload)]
-                    else:
-                        items.append((arrival, payload))
-            for index, items in by_channel.items():
-                self._channels[index].load(items)
-            pending.clear()
+        snapshots = kernel.run_point(slot, stats)
+        return snapshots, stats
 
     def close(self) -> None:
         """Re-attach the real endpoint channels; the network is free again."""

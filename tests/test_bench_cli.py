@@ -22,10 +22,12 @@ class TestScenarioRegistry:
     def test_quick_subset_selection(self):
         full = bench.available_scenarios()
         quick = bench.available_scenarios(quick=True)
-        assert set(quick) < set(full)
-        # The headline gate scenario must be part of the CI quick subset.
+        assert set(quick) <= set(full)
+        # Both headline gate scenarios must be part of the CI quick
+        # subset (the overload point joined it when the array kernel's
+        # >= 3x floor landed; quick mode still shortens its phases).
         assert "fig7-hexamesh61-zero-load" in quick
-        assert "fig7-hexamesh61-overload" not in quick
+        assert "fig7-hexamesh61-overload" in quick
         # Quick keeps the full-run order.
         assert [name for name in full if name in quick] == list(quick)
 
@@ -276,6 +278,11 @@ class TestRegressionGate:
         batched_gate = baseline["scenarios"]["sweep-batched-hexamesh61"]["vectorized"]
         assert batched_gate["min_batched_speedup"] >= 2.0
         assert batched_gate["batched_speedup_vs_per_point"] >= 2.0
+        # The overload point pins the >= 3x floor of the array-kernel PR:
+        # the regime where the pre-kernel engine collapsed to 1.4x.
+        overload_gate = baseline["scenarios"]["fig7-hexamesh61-overload"]["vectorized"]
+        assert overload_gate["min_speedup"] >= 3.0
+        assert overload_gate["speedup_vs_legacy"] >= 3.0
         # Every gated scenario is part of the CI quick subset.
         quick = set(bench.available_scenarios(quick=True))
         assert set(baseline["scenarios"]) <= quick
@@ -328,3 +335,49 @@ class TestBenchCli:
         ])
         assert code == 1
         assert "PERF REGRESSION" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("content", ["{not json", '["a", "list"]'])
+    def test_cli_malformed_baseline_fails_fast(self, tmp_path, capsys, content):
+        """A broken baseline file exits 1 with a message, never 0 or a
+        traceback (the gate must not silently pass on an unreadable file)."""
+        output = tmp_path / "BENCH_cli.json"
+        baseline_path = tmp_path / "broken.json"
+        baseline_path.write_text(content)
+        code = main([
+            "bench", "--quick", "--scenarios", "workload-dnn-hexamesh37",
+            "--output", str(output), "--check-against", str(baseline_path),
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "PERF GATE ERROR" in captured.err
+        assert "perf gate passed" not in captured.out
+
+    def test_cli_missing_baseline_fails_fast(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_cli.json"
+        code = main([
+            "bench", "--quick", "--scenarios", "workload-dnn-hexamesh37",
+            "--output", str(output),
+            "--check-against", str(tmp_path / "does-not-exist.json"),
+        ])
+        assert code == 1
+        assert "PERF GATE ERROR" in capsys.readouterr().err
+
+
+class TestLoadReportGuard:
+    """``load_report`` fails fast with a clear message, not a traceback."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(bench.BaselineError, match="cannot read baseline"):
+            bench.load_report(str(tmp_path / "nope.json"))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{definitely not json")
+        with pytest.raises(bench.BaselineError, match="not valid JSON"):
+            bench.load_report(str(path))
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text('["schema", 1]')
+        with pytest.raises(bench.BaselineError, match="must be a JSON object"):
+            bench.load_report(str(path))

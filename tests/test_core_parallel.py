@@ -231,6 +231,119 @@ class TestBatchedSweepRunner:
         assert {record.seed for record in batched} == {FAST_CONFIG.seed}
 
 
+#: A single-rate grid: every candidate is its own batch group (distinct
+#: arrangement structure, one injection rate each), the shape of the
+#: resilience sweeps that used to pay batch-grouping overhead for nothing.
+SINGLETON_GRID = ParallelSweepRunner.grid(
+    ["grid", "hexamesh"], [7, 9], [0.1], ["uniform"]
+)
+
+
+class TestSingletonBatchFallThrough:
+    """Size-1 batch groups take the per-point dispatch path.
+
+    This is the no-slowdown regression guard for single-rate sweeps: when
+    every group is a singleton the batched runner must execute *exactly*
+    the :class:`ParallelSweepRunner` dispatch (same worker function, same
+    work items), so its cost over the per-point runner is only the
+    trivial grouping pass — there is no batch-path setup left to pay.
+    """
+
+    def test_singleton_groups_use_per_point_dispatch(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        def no_batches(*_args, **_kwargs):  # pragma: no cover - guard
+            raise AssertionError(
+                "singleton batch groups must fall through to the "
+                "per-point dispatch path"
+            )
+
+        monkeypatch.setattr(parallel_module, "_evaluate_batch_item", no_batches)
+        reference = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(SINGLETON_GRID)
+        batched = BatchedSweepRunner(FAST_CONFIG, jobs=1).run(SINGLETON_GRID)
+        assert batched == reference
+
+    def test_multi_point_groups_still_use_batches(self, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        def no_per_point(*_args, **_kwargs):  # pragma: no cover - guard
+            raise AssertionError(
+                "multi-point batch groups must stay on the batch path"
+            )
+
+        monkeypatch.setattr(parallel_module, "_evaluate_work_item", no_per_point)
+        records = BatchedSweepRunner(FAST_CONFIG, jobs=1).run(GRID)
+        assert [record.candidate for record in records] == GRID
+
+    def test_singleton_fall_through_with_cache(self, tmp_path, monkeypatch):
+        """Cache entries stay interchangeable across the fall-through."""
+        import repro.core.parallel as parallel_module
+
+        cache = str(tmp_path / "cache")
+        first = BatchedSweepRunner(
+            FAST_CONFIG, jobs=1, cache_dir=cache
+        ).run(SINGLETON_GRID)
+        monkeypatch.setattr(
+            parallel_module, "_evaluate_work_item", None
+        )  # cache hits never dispatch
+        second = ParallelSweepRunner(
+            FAST_CONFIG, jobs=1, cache_dir=cache
+        ).run(SINGLETON_GRID)
+        assert all(record.from_cache for record in second)
+        assert [r.result for r in second] == [r.result for r in first]
+
+
+class TestCacheTmpHygiene:
+    """Stale ``.tmp.<pid>`` files beside the cache targets get swept."""
+
+    def _dead_pid(self):
+        import subprocess
+        import sys
+
+        probe = subprocess.Popen([sys.executable, "-c", ""])
+        probe.wait()
+        return probe.pid
+
+    def test_orphans_swept_live_writers_and_bystanders_spared(self, tmp_path):
+        orphan = tmp_path / f"{'a' * 8}.json.tmp.{self._dead_pid()}"
+        orphan.write_text("{}")
+        live = tmp_path / f"{'b' * 8}.json.tmp.{os.getpid()}"
+        live.write_text("{}")
+        bystander = tmp_path / "notes.txt"
+        bystander.write_text("keep me")
+        runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
+        runner.run(GRID[:1])
+        assert not orphan.exists()
+        assert live.exists()
+        assert bystander.exists()
+
+    def test_sweep_only_matches_the_temp_pattern(self, tmp_path):
+        # Cache entries themselves and non-numeric suffixes must survive.
+        entry = tmp_path / f"{'c' * 8}.json"
+        entry.write_text("{}")
+        odd = tmp_path / f"{'d' * 8}.json.tmp.notapid"
+        odd.write_text("{}")
+        runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
+        assert runner._sweep_orphaned_cache_tmp() == 0
+        assert entry.exists()
+        assert odd.exists()
+
+    def test_failed_store_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        (record,) = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(GRID[:1])
+        runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
+
+        def boom(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(parallel_module.json, "dump", boom)
+        with pytest.raises(OSError, match="disk full"):
+            runner._cache_store("e" * 8, GRID[0], record.result)
+        leftovers = [name for name in os.listdir(tmp_path) if ".tmp." in name]
+        assert leftovers == []
+
+
 class TestResultSerialization:
     def test_round_trip_preserves_every_field(self):
         (record,) = ParallelSweepRunner(FAST_CONFIG).run(GRID[:1])

@@ -23,6 +23,7 @@ explain it in the PR.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import asdict, dataclass
 
@@ -50,15 +51,31 @@ GOLDEN_TRAFFIC = "uniform"
 GOLDEN_FAULT_SEED = 31
 
 
+#: Pinned configuration of the backpressure edge golden: two-flit buffers
+#: keep every VC occupied at the saturated injection rate, exercising the
+#: escape-patience and credit-stall paths of all engines.
+BACKPRESSURE_CONFIG = SimulationConfig(
+    warmup_cycles=60, measurement_cycles=120, drain_cycles=300, seed=7,
+    buffer_depth_flits=2,
+)
+
+
 @dataclass(frozen=True)
 class GoldenScenario:
     kind: str
     count: int
-    faulted: bool  # False = healthy, True = one sampled failed link
+    faulted: bool  # False = healthy, True = sampled failed links
+    #: Edge-case knobs (defaults reproduce the classic scenario shape).
+    label: str | None = None  # overrides the derived name suffix
+    rate: float = GOLDEN_RATE
+    config: SimulationConfig = GOLDEN_CONFIG
+    link_faults: int = 1
 
     @property
     def name(self) -> str:
-        suffix = "single-link" if self.faulted else "healthy"
+        suffix = self.label
+        if suffix is None:
+            suffix = "single-link" if self.faulted else "healthy"
         return f"{self.kind}{self.count}-{suffix}"
 
     @property
@@ -74,27 +91,59 @@ SCENARIOS = tuple(
     for faulted in (False, True)
 )
 
+#: Kernel edge cases, enrolled with the same fixtures and mode grid: the
+#: minimum (2-router) topology, an empty generation schedule (zero
+#: injection rate — the engines must still agree on every phase
+#: boundary), all-VCs-occupied backpressure, and a doubly-degraded
+#: topology.
+EDGE_SCENARIOS = (
+    GoldenScenario("grid", 2, False, label="two-router"),
+    GoldenScenario("hexamesh", 7, False, label="zero-load", rate=0.0),
+    GoldenScenario(
+        "hexamesh", 7, False, label="backpressure",
+        rate=1.0, config=BACKPRESSURE_CONFIG,
+    ),
+    GoldenScenario("hexamesh", 7, True, label="two-link-faults", link_faults=2),
+)
+
 
 def _scenario_faults(scenario: GoldenScenario, graph):
     if not scenario.faulted:
         return None
     return sample_survivable_faults(
-        graph, num_link_faults=1, seed=GOLDEN_FAULT_SEED
+        graph, num_link_faults=scenario.link_faults, seed=GOLDEN_FAULT_SEED
     )
+
+
+def _nan_to_none(value):
+    """Replace NaN floats with ``None``, recursively.
+
+    Empty latency summaries (the zero-load edge golden) report NaN
+    statistics; NaN never compares equal — not even to itself — and is
+    not valid strict JSON, so the fixtures store ``null`` instead.
+    """
+    if isinstance(value, dict):
+        return {key: _nan_to_none(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_nan_to_none(item) for item in value]
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
 
 
 def build_payload(scenario: GoldenScenario, mode: str) -> dict:
     """Run the scenario under ``mode`` and shape the comparable payload.
 
-    Only JSON-native types (dicts, lists, scalars) appear, so the payload
-    compares exactly against a ``json.load`` of the committed fixture.
+    Only JSON-native types (dicts, lists, scalars) appear — NaN included
+    (mapped to ``null``) — so the payload compares exactly against a
+    ``json.load`` of the committed fixture.
     """
     graph = make_arrangement(scenario.kind, scenario.count).graph
     faults = _scenario_faults(scenario, graph)
     network, result = simulate_noc(
         graph,
-        GOLDEN_CONFIG,
-        injection_rate=GOLDEN_RATE,
+        scenario.config,
+        injection_rate=scenario.rate,
         traffic=GOLDEN_TRAFFIC,
         faults=faults,
         mode=mode,
@@ -113,21 +162,23 @@ def build_payload(scenario: GoldenScenario, mode: str) -> dict:
         "schema": GOLDEN_SCHEMA,
         "kind": scenario.kind,
         "count": scenario.count,
-        "injection_rate": GOLDEN_RATE,
+        "injection_rate": scenario.rate,
         "traffic": GOLDEN_TRAFFIC,
-        "config": asdict(GOLDEN_CONFIG),
+        "config": asdict(scenario.config),
         "faults": {
             "failed_links": [list(link) for link in faults.failed_links],
             "failed_routers": list(faults.failed_routers),
         } if faults is not None else None,
-        "result": simulation_result_to_dict(result),
+        "result": _nan_to_none(simulation_result_to_dict(result)),
         "latency_histogram": [
             [latency, count] for latency, count in sorted(histogram.items())
         ],
     }
 
 
-@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS + EDGE_SCENARIOS, ids=lambda s: s.name
+)
 def test_modes_reproduce_goldens(scenario, sim_mode, update_goldens):
     if update_goldens:
         golden = build_payload(scenario, "legacy")
@@ -161,3 +212,25 @@ def test_goldens_carry_traffic():
         assert total == golden["result"]["measured_packets_ejected"]
         if scenario.faulted:
             assert len(golden["faults"]["failed_links"]) == 1
+
+
+def test_edge_goldens_have_expected_shape():
+    """The edge fixtures cover exactly the regimes they are named after."""
+    by_label = {}
+    for scenario in EDGE_SCENARIOS:
+        with open(scenario.path, "r", encoding="utf-8") as handle:
+            by_label[scenario.label] = json.load(handle)
+    # An empty generation schedule creates (and therefore ejects) nothing,
+    # but the engines must still agree on every phase boundary.
+    zero = by_label["zero-load"]
+    assert zero["injection_rate"] == 0.0
+    assert zero["result"]["measured_packets_ejected"] == 0
+    assert zero["latency_histogram"] == []
+    # The minimum topology and the saturated shallow-buffer point both
+    # carry real measured traffic.
+    assert by_label["two-router"]["result"]["measured_packets_ejected"] > 0
+    backpressure = by_label["backpressure"]
+    assert backpressure["config"]["buffer_depth_flits"] == 2
+    assert backpressure["result"]["measured_packets_ejected"] > 0
+    # The doubly-degraded topology really lost two links.
+    assert len(by_label["two-link-faults"]["faults"]["failed_links"]) == 2
