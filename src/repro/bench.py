@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import json
 import os
-import subprocess
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
@@ -46,6 +45,14 @@ from repro.noc.config import SimulationConfig
 from repro.noc.engine import ENGINE_NAMES
 from repro.noc.simulator import BatchPoint, NocSimulator
 from repro.resilience.sweep import run_resilience_sweep
+from repro.telemetry import (
+    FlitTracer,
+    MetricsCollector,
+    StageProfiler,
+    TelemetrySession,
+    build_manifest,
+)
+from repro.telemetry.provenance import git_revision as _provenance_git_revision
 from repro.workloads import make_workload, map_workload
 from repro.workloads.trace import simulate_workload
 
@@ -66,6 +73,10 @@ REFERENCE_ENGINE = "legacy"
 HEADLINE_FLOORS: dict[tuple[str, str], float] = {
     ("fig7-hexamesh61-zero-load", "vectorized"): 2.0,
     ("fig7-hexamesh61-overload", "vectorized"): 3.0,
+    # Guards the zero-overhead disabled-telemetry path: the scenario's
+    # gated wall includes a telemetry-disabled run, so probe cost on the
+    # no-op path would erode this speedup and trip the gate.
+    ("telemetry-overhead-hexamesh61", "vectorized"): 1.8,
 }
 
 #: Hard floors on the batched-vs-per-point speedup (the headline target of
@@ -233,6 +244,51 @@ def _sweep_batched(quick: bool):
     return run
 
 
+def _telemetry_overhead(quick: bool):
+    graph = make_arrangement("hexamesh", 61).graph
+    config = _phase_config(quick)
+    rate = 0.02
+
+    def run(engine: str):
+        # The harness-timed portion is the telemetry-DISABLED run: the
+        # scenario's speedup floors therefore gate the zero-overhead
+        # claim — if the disabled-path probes ever grow real cost, this
+        # scenario slows down and the perf gate trips.
+        simulator = NocSimulator(graph, config, injection_rate=rate)
+        start = time.perf_counter()
+        result = simulator.run(engine=engine)
+        plain_wall = time.perf_counter() - start
+        # One fully observed run per repeat, self-timed into extras so
+        # the enabled-path cost is visible in reports without polluting
+        # the gated headline number.
+        session = TelemetrySession(
+            metrics=MetricsCollector(),
+            tracer=FlitTracer(),
+            profiler=StageProfiler() if engine == "vectorized" else None,
+        )
+        observed = NocSimulator(graph, config, injection_rate=rate)
+        start = time.perf_counter()
+        observed_result = observed.run(engine=engine, telemetry=session)
+        telemetry_wall = time.perf_counter() - start
+        if observed_result != result:
+            raise RuntimeError(
+                "telemetry-overhead-hexamesh61: results with telemetry "
+                f"enabled differ from plain results under engine {engine!r} "
+                "— observation changed the simulation"
+            )
+        extra = {
+            "plain_wall_seconds": round(plain_wall, 6),
+            "telemetry_on_wall_seconds": round(telemetry_wall, 6),
+            "trace_events": float(len(session.tracer.events)),
+        }
+        if session.profiler is not None:
+            for stage, seconds in session.profiler.as_dict().items():
+                extra[f"stage_{stage}_wall_seconds"] = round(seconds, 6)
+        return result, result.cycles_simulated, extra
+
+    return run
+
+
 #: The deterministic scenario list (order is part of the report contract).
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
@@ -275,6 +331,16 @@ SCENARIOS: tuple[BenchScenario, ...] = (
         quick=True,
         build=_sweep_batched,
     ),
+    BenchScenario(
+        name="telemetry-overhead-hexamesh61",
+        description=(
+            "61-chiplet HexaMesh zero-load point with telemetry disabled "
+            "(gated timing; guards the zero-overhead no-op path) plus one "
+            "fully observed run self-timed into extras"
+        ),
+        quick=True,
+        build=_telemetry_overhead,
+    ),
 )
 
 
@@ -284,19 +350,14 @@ def available_scenarios(*, quick: bool = False) -> tuple[str, ...]:
 
 
 def git_revision(default: str = "local") -> str:
-    """Short git revision of the working tree (``default`` when unavailable)."""
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-        )
-    except (OSError, subprocess.SubprocessError):
-        return default
-    revision = proc.stdout.strip()
-    return revision if proc.returncode == 0 and revision else default
+    """Short git revision of the working tree (``default`` when unavailable).
+
+    Thin wrapper over :func:`repro.telemetry.provenance.git_revision`,
+    kept for the existing callers (CLI, harness wrapper).
+    """
+    return _provenance_git_revision(
+        default, cwd=os.path.dirname(os.path.abspath(__file__))
+    )
 
 
 def default_output_path(revision: str) -> str:
@@ -324,6 +385,10 @@ def _merge_extras(extras: Sequence[dict[str, float]]) -> dict[str, float]:
     batched = merged.get("batched_wall_seconds")
     if per_point is not None and batched is not None and batched > 0:
         merged["batched_speedup_vs_per_point"] = round(per_point / batched, 3)
+    plain = merged.get("plain_wall_seconds")
+    observed = merged.get("telemetry_on_wall_seconds")
+    if plain is not None and observed is not None and plain > 0:
+        merged["telemetry_overhead_ratio"] = round(observed / plain, 3)
     return merged
 
 
@@ -345,7 +410,10 @@ def run_bench(
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    selected = available_scenarios(quick=quick) if scenario_names is None else tuple(scenario_names)
+    if scenario_names is None:
+        selected = available_scenarios(quick=quick)
+    else:
+        selected = tuple(scenario_names)
     by_name = {scenario.name: scenario for scenario in SCENARIOS}
     unknown = [name for name in selected if name not in by_name]
     if unknown:
@@ -418,6 +486,9 @@ def run_bench(
         "repeat": repeat,
         "created_unix": int(time.time()),
         "engines": list(engines),
+        "provenance": build_manifest(
+            extra={"quick": quick, "repeat": repeat, "scenarios": list(selected)}
+        ),
         "scenarios": scenario_reports,
     }
 

@@ -7,7 +7,12 @@ Installed as the ``hexamesh`` console script (also reachable with
 * ``compare``   — compare an arrangement against the grid baseline,
 * ``figure``    — regenerate the data of Figure 6 or Figure 7 as CSV
   (``--jobs N`` fans cycle-accurate points across worker processes),
-* ``simulate``  — run the cycle-accurate simulator on one design,
+* ``simulate``  — run the cycle-accurate simulator on one design
+  (optionally exporting per-cycle metrics and a flit-lifecycle trace),
+* ``trace``     — record the flit-lifecycle trace of one design point and
+  write it as Chrome trace-event JSON (Perfetto-loadable) and/or JSONL;
+  ``--check`` replays the point on every engine and verifies the
+  canonical event streams are bit-identical,
 * ``sweep``     — parallel cycle-accurate sweep over the full design grid
   (kinds × chiplet counts × injection rates × traffic patterns) with
   ``--jobs`` workers and an optional ``--cache-dir`` result cache,
@@ -27,6 +32,7 @@ Installed as the ``hexamesh`` console script (also reachable with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -48,11 +54,21 @@ from repro.linkmodel.package import check_package_feasibility
 from repro.noc.config import SimulationConfig
 from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.faults import FaultSet
+from repro.noc.simulator import BatchPoint, NocSimulator
 from repro.noc.traffic import available_traffic_patterns
 from repro.resilience.sweep import (
     FAULT_TYPES,
     run_resilience_sweep,
     summarize_records,
+)
+from repro.telemetry import (
+    FlitTracer,
+    MetricsCollector,
+    SweepProgressTracker,
+    TelemetrySession,
+    build_manifest,
+    format_progress,
+    format_summary,
 )
 from repro.utils.validation import check_in_choices
 from repro.viz.svg import placement_svg, save_svg
@@ -142,6 +158,39 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="measurement cycles (warm-up and drain scale with it)")
     simulate.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
                           help="cycle-loop engine (all engines are bit-identical)")
+    simulate.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="write per-cycle metric series (buffer occupancy, "
+                               "link flits, VC stalls, in-flight, backlog) as JSON")
+    simulate.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="write the flit-lifecycle trace as Chrome "
+                               "trace-event JSON (Perfetto-loadable)")
+    simulate.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                          help="write the flit-lifecycle trace as JSONL "
+                               "(one canonical event per line)")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="record a flit-lifecycle trace (Perfetto/JSONL export, "
+             "optional cross-engine equality check)",
+    )
+    trace.add_argument("kind", choices=_KINDS)
+    trace.add_argument("chiplets", type=int)
+    trace.add_argument("--injection-rate", type=float, default=0.05)
+    trace.add_argument("--traffic", default="uniform")
+    trace.add_argument("--cycles", type=int, default=200,
+                       help="measurement cycles (warm-up and drain scale with it)")
+    trace.add_argument("--seed", type=int, default=1, help="RNG seed")
+    trace.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+                       help="engine that records the exported trace")
+    trace.add_argument("--output", default=None, metavar="PATH",
+                       help="Chrome trace-event JSON output path "
+                            "(default: trace-<kind><chiplets>.json)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write the trace as JSONL")
+    trace.add_argument("--check", action="store_true",
+                       help="replay the point on every engine and fail unless "
+                            "the canonical event streams and metric series "
+                            "are bit-identical")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -168,6 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "traffic/faults) over one shared topology build; "
                             "results are bit-identical to per-point runs")
     sweep.add_argument("--output", default=None, help="CSV output path (default: table)")
+    sweep.add_argument("--progress", choices=("plain", "detail", "quiet"),
+                       default="plain",
+                       help="progress rendering: plain per-candidate lines, "
+                            "detail adds rate/ETA/cache-ratio per line, "
+                            "quiet suppresses everything but the end summary")
 
     workload = subparsers.add_parser(
         "workload",
@@ -194,6 +248,9 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--cache-dir", default=None,
                           help="on-disk result cache directory")
     workload.add_argument("--output", default=None, help="CSV output path (default: table)")
+    workload.add_argument("--progress", choices=("plain", "detail", "quiet"),
+                          default="plain",
+                          help="progress rendering (see sweep --progress)")
 
     faults = subparsers.add_parser(
         "faults",
@@ -230,6 +287,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="share each fault arrangement's degraded-topology "
                              "build across its points (bit-identical)")
     faults.add_argument("--output", default=None, help="CSV output path (default: table)")
+    faults.add_argument("--progress", choices=("plain", "detail", "quiet"),
+                        default="plain",
+                        help="progress rendering (see sweep --progress)")
 
     bench = subparsers.add_parser(
         "bench",
@@ -362,15 +422,80 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_reporter(jobs: int, mode: str):
+    """Build a ``(callback, finish)`` pair rendering sweep progress to stderr.
+
+    The callback feeds every ``progress(done, total, record)`` completion
+    through a :class:`SweepProgressTracker`; ``finish()`` prints the
+    end-of-sweep summary (cache-hit ratio, candidates/s, per-candidate
+    simulation wall time, worker utilisation).
+    """
+    tracker = SweepProgressTracker(jobs=jobs)
+    last_snapshot = []
+
+    def callback(done: int, total: int, record) -> None:
+        snapshot = tracker.update(done, total, record)
+        last_snapshot[:] = [snapshot]
+        if mode == "quiet":
+            return
+        if mode == "detail":
+            print(format_progress(snapshot, record.candidate.label), file=sys.stderr)
+        else:
+            origin = "cache" if record.from_cache else "sim"
+            print(
+                f"[{done}/{total}] {record.candidate.label} ({origin})",
+                file=sys.stderr,
+            )
+
+    def finish() -> None:
+        if last_snapshot:
+            print(format_summary(last_snapshot[0]), file=sys.stderr)
+
+    return callback, finish
+
+
+def _write_metrics_json(path: str, metrics: MetricsCollector, *, context: dict) -> None:
+    """Write a metrics export: the series plus summary and provenance."""
+    document = metrics.as_dict()
+    document["summary"] = metrics.summary()
+    document["provenance"] = build_manifest(extra=context)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     design = ChipletDesign.create(args.kind, args.chiplets)
     config = _phase_config(args.cycles)
+    wants_trace = args.trace_out or args.trace_jsonl
+    telemetry = None
+    if args.metrics_out or wants_trace:
+        telemetry = TelemetrySession(
+            metrics=MetricsCollector() if args.metrics_out else None,
+            tracer=FlitTracer() if wants_trace else None,
+        )
     result = design.simulate(
         injection_rate=args.injection_rate,
         traffic=args.traffic,
         config=config,
         engine=args.engine,
+        telemetry=telemetry,
     )
+    context = {
+        "design": design.label,
+        "engine": args.engine,
+        "injection_rate": args.injection_rate,
+        "traffic": args.traffic,
+    }
+    if args.metrics_out:
+        _write_metrics_json(args.metrics_out, telemetry.metrics, context=context)
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out:
+        telemetry.tracer.write_chrome_trace(args.trace_out, metadata=context)
+        print(f"wrote {args.trace_out}")
+    if args.trace_jsonl:
+        telemetry.tracer.write_jsonl(args.trace_jsonl)
+        print(f"wrote {args.trace_jsonl}")
     rows = [
         ["design", design.label],
         ["offered load [flit/cyc/EP]", result.injection_rate],
@@ -381,6 +506,93 @@ def _command_simulate(args: argparse.Namespace) -> int:
         ["measured packets delivered", result.measured_packets_ejected],
     ]
     print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    design = ChipletDesign.create(args.kind, args.chiplets)
+    config = _phase_config(args.cycles, seed=args.seed)
+
+    def observed_run(engine: str):
+        session = TelemetrySession(metrics=MetricsCollector(), tracer=FlitTracer())
+        result = design.simulate(
+            injection_rate=args.injection_rate,
+            traffic=args.traffic,
+            config=config,
+            engine=engine,
+            telemetry=session,
+        )
+        return session, result
+
+    session, result = observed_run(args.engine)
+    events = session.tracer.canonical_events()
+    context = {
+        "design": design.label,
+        "engine": args.engine,
+        "injection_rate": args.injection_rate,
+        "traffic": args.traffic,
+        "seed": args.seed,
+    }
+    output = args.output or f"trace-{args.kind}{args.chiplets}.json"
+    session.tracer.write_chrome_trace(output, metadata=context)
+    print(
+        f"wrote {output} ({len(events)} events, "
+        f"{result.measured_packets_ejected} measured packets)"
+    )
+    if args.jsonl:
+        session.tracer.write_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl}")
+    if not args.check:
+        return 0
+
+    # Replay the point on every other engine (the batched path included)
+    # and require bit-identical canonical traces, metric series and
+    # results — the sharpest cross-engine equivalence artifact we have.
+    reference_series = session.metrics.series()
+    status = 0
+    for engine in ENGINE_NAMES:
+        if engine == args.engine:
+            continue
+        other_session, other_result = observed_run(engine)
+        mismatches = []
+        if other_session.tracer.canonical_events() != events:
+            mismatches.append("trace events")
+        if other_session.metrics.series() != reference_series:
+            mismatches.append("metric series")
+        if other_result != result:
+            mismatches.append("simulation result")
+        if mismatches:
+            print(
+                f"MISMATCH vs {engine}: {', '.join(mismatches)} differ",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(f"{engine}: trace, metrics and result bit-identical")
+    batched_session = TelemetrySession(metrics=MetricsCollector(), tracer=FlitTracer())
+    (batched_result,) = NocSimulator.run_batch(
+        design.arrangement.graph,
+        [BatchPoint(args.injection_rate)],
+        config=design.simulation_config(config),
+        traffic=args.traffic,
+        telemetry=lambda index, point: batched_session,
+    )
+    mismatches = []
+    if batched_session.tracer.canonical_events() != events:
+        mismatches.append("trace events")
+    if batched_session.metrics.series() != reference_series:
+        mismatches.append("metric series")
+    if batched_result != result:
+        mismatches.append("simulation result")
+    if mismatches:
+        print(f"MISMATCH vs batched: {', '.join(mismatches)} differ", file=sys.stderr)
+        status = 1
+    else:
+        print("batched: trace, metrics and result bit-identical")
+    if status:
+        print("trace equivalence check FAILED", file=sys.stderr)
+        return 1
+    print(f"trace equivalence check passed across {len(ENGINE_NAMES) + 1} engines")
     return 0
 
 
@@ -402,12 +614,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
         config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
     )
     candidates = ParallelSweepRunner.grid(kinds, chiplet_counts, rates, traffics)
-
-    def report_progress(done: int, total: int, record) -> None:
-        origin = "cache" if record.from_cache else "sim"
-        print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
-
+    report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
+    finish_progress()
     header = ["kind", "chiplets", "rate", "traffic", "avg latency [cyc]",
               "p99 latency [cyc]", "accepted [flit/cyc/EP]", "delivered ratio"]
     rows = [
@@ -464,12 +673,9 @@ def _command_workload(args: argparse.Namespace) -> int:
         injection_rates=(args.injection_rate,),
         num_tasks=args.tasks,
     )
-
-    def report_progress(done: int, total: int, record) -> None:
-        origin = "cache" if record.from_cache else "sim"
-        print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
-
+    report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
+    finish_progress()
 
     header = ["arrangement", "chiplets", "workload", "mapper", "tasks",
               "weighted hops", "max link load", "avg latency [cyc]",
@@ -511,11 +717,7 @@ def _command_faults(args: argparse.Namespace) -> int:
         check_in_choices("kind", kind, _KINDS)
     check_in_choices("traffic", args.traffic, available_traffic_patterns())
     config = _phase_config(args.cycles, seed=args.seed)
-
-    def report_progress(done: int, total: int, record) -> None:
-        origin = "cache" if record.from_cache else "sim"
-        print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
-
+    report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     explicit = args.fail_links is not None or args.fail_routers is not None
     if explicit:
         # Mirror the ignored-flag convention of the figure command: the
@@ -597,6 +799,7 @@ def _command_faults(args: argparse.Namespace) -> int:
             progress=report_progress,
         )
         summaries = result.summaries
+    finish_progress()
 
     header = ["kind", "chiplets", "failures", "samples", "avg latency [cyc]",
               "p99 latency [cyc]", "accepted [flit/cyc/EP]", "delivered ratio",
@@ -735,6 +938,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "figure": _command_figure,
     "simulate": _command_simulate,
+    "trace": _command_trace,
     "sweep": _command_sweep,
     "workload": _command_workload,
     "faults": _command_faults,

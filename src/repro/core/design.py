@@ -246,6 +246,7 @@ class ChipletDesign:
         traffic: str = "uniform",
         config: SimulationConfig | None = None,
         engine: str = DEFAULT_ENGINE,
+        telemetry=None,
     ) -> SimulationResult:
         """Run the cycle-accurate simulator on this design.
 
@@ -261,6 +262,9 @@ class ChipletDesign:
         engine:
             Cycle-loop engine (``"active"``, ``"vectorized"`` or
             ``"legacy"``; all bit-identical under a fixed seed).
+        telemetry:
+            Optional :class:`~repro.telemetry.TelemetrySession` observing
+            the run (``None`` keeps the hot path observation-free).
         """
         simulator = NocSimulator(
             self.arrangement.graph,
@@ -268,7 +272,7 @@ class ChipletDesign:
             injection_rate=injection_rate,
             traffic=traffic,
         )
-        return simulator.run(engine=engine)
+        return simulator.run(engine=engine, telemetry=telemetry)
 
     # -- reporting ----------------------------------------------------------------------
 

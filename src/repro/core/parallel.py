@@ -36,6 +36,7 @@ import json
 import multiprocessing
 import os
 from dataclasses import asdict, dataclass, field, replace
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.arrangements.factory import make_arrangement
@@ -329,12 +330,19 @@ class SweepCandidate:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One evaluated candidate: the candidate, its seed and its result."""
+    """One evaluated candidate: the candidate, its seed and its result.
+
+    ``wall_time_s`` is the simulation wall time of a freshly computed
+    record (``None`` for cache hits) and, like ``from_cache``, is
+    excluded from equality — records stay interchangeable between
+    runners, job counts and cache states.
+    """
 
     candidate: SweepCandidate
     seed: int
     result: SimulationResult
     from_cache: bool = field(default=False, compare=False)
+    wall_time_s: float | None = field(default=None, compare=False)
 
 
 def derive_candidate_seed(base_seed: int, candidate: SweepCandidate) -> int:
@@ -416,7 +424,7 @@ def resolve_workload_candidate(candidate: SweepCandidate, config: SimulationConf
 
 def _evaluate_batch_item(
     item: tuple[list[tuple[int, SweepCandidate, int]], SimulationConfig, str],
-) -> list[tuple[int, SimulationResult]]:
+) -> list[tuple[int, SimulationResult, float]]:
     """Simulate one batch of same-structure candidates in a worker process.
 
     ``item`` carries ``(entries, base_config, engine)`` where every entry
@@ -426,8 +434,12 @@ def _evaluate_batch_item(
     trace exactly once and evaluates every injection-rate point through
     :meth:`NocSimulator.run_batch`, which is bit-identical to per-point
     evaluation under the per-(candidate, point) seeds.
+
+    Each returned triple carries the point's wall time; the first point
+    of a batch honestly includes the shared build it triggered.
     """
     entries, config, engine = item
+    start = perf_counter()
     first = entries[0][1]
     if first.workload is not None:
         graph, _, _, traffic = resolve_workload_candidate(first, config)
@@ -438,20 +450,30 @@ def _evaluate_batch_item(
         BatchPoint(candidate.injection_rate, seed=seed)
         for _, candidate, seed in entries
     ]
+    walls: list[float] = []
+
+    def _mark(_index: int, _network, _result) -> None:
+        nonlocal start
+        now = perf_counter()
+        walls.append(now - start)
+        start = now
+
     results = NocSimulator.run_batch(
-        graph, points, config=config, traffic=traffic, engine=engine
+        graph, points, config=config, traffic=traffic, engine=engine,
+        on_point=_mark,
     )
     return [
-        (index, result)
-        for (index, _, _), result in zip(entries, results)
+        (index, result, wall)
+        for (index, _, _), result, wall in zip(entries, results, walls)
     ]
 
 
 def _evaluate_work_item(
     item: tuple[int, SweepCandidate, SimulationConfig, str],
-) -> tuple[int, SimulationResult]:
+) -> tuple[int, SimulationResult, float]:
     """Simulate one candidate (runs inside a worker process)."""
     index, candidate, config, engine = item
+    start = perf_counter()
     if candidate.workload is not None:
         graph, _, _, traffic = resolve_workload_candidate(candidate, config)
         simulator = NocSimulator(
@@ -460,14 +482,16 @@ def _evaluate_work_item(
             injection_rate=candidate.injection_rate,
             traffic=traffic,
         )
-        return index, simulator.run(engine=engine)
-    simulator = NocSimulator(
-        candidate.build_graph(),
-        config,
-        injection_rate=candidate.injection_rate,
-        traffic=candidate.traffic,
-    )
-    return index, simulator.run(engine=engine)
+        result = simulator.run(engine=engine)
+    else:
+        simulator = NocSimulator(
+            candidate.build_graph(),
+            config,
+            injection_rate=candidate.injection_rate,
+            traffic=candidate.traffic,
+        )
+        result = simulator.run(engine=engine)
+    return index, result, perf_counter() - start
 
 
 def _pid_alive(pid: int) -> bool:
@@ -638,7 +662,13 @@ class ParallelSweepRunner:
             return None
 
     def _cache_store(
-        self, key: str, candidate: SweepCandidate, result: SimulationResult
+        self,
+        key: str,
+        candidate: SweepCandidate,
+        result: SimulationResult,
+        *,
+        seed: int | None = None,
+        wall_time_s: float | None = None,
     ) -> None:
         path = self._cache_path(key)
         if path is None:
@@ -662,6 +692,40 @@ class ParallelSweepRunner:
                 os.unlink(tmp_path)
             except OSError:
                 pass
+        self._write_manifest(key, candidate, seed=seed, wall_time_s=wall_time_s)
+
+    def _write_manifest(
+        self,
+        key: str,
+        candidate: SweepCandidate,
+        *,
+        seed: int | None,
+        wall_time_s: float | None,
+    ) -> None:
+        """Write the run-provenance sidecar next to a fresh cache entry.
+
+        ``<key>.manifest.json`` records who computed the entry and how
+        (git revision, library versions, engine, derived seed, wall
+        time), so cached results stay auditable long after the sweep.
+        Best-effort: a failed manifest write never fails the sweep.
+        """
+        from repro.telemetry.provenance import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            config=replace(self._config, seed=seed)
+            if seed is not None
+            else self._config,
+            engine=self._engine,
+            seed=seed,
+            wall_time_s=wall_time_s,
+            extra={"candidate": candidate.key_dict(), "cache_key": key},
+        )
+        try:
+            write_manifest(
+                os.path.join(self._cache_dir, f"{key}.manifest.json"), manifest
+            )
+        except OSError:  # pragma: no cover - defensive
+            pass
 
     def _sweep_orphaned_cache_tmp(self) -> int:
         """Remove stale ``<key>.json.tmp.<pid>`` files from the cache dir.
@@ -770,10 +834,15 @@ class ParallelSweepRunner:
         ]
 
         def _on_complete(_done: int, _total: int, value: Any) -> None:
-            index, result = value
+            index, result, wall = value
             candidate, seed, key = pending[index]
-            self._cache_store(key, candidate, result)
-            finish(index, SweepRecord(candidate, seed, result))
+            self._cache_store(
+                key, candidate, result, seed=seed, wall_time_s=wall
+            )
+            finish(
+                index,
+                SweepRecord(candidate, seed, result, wall_time_s=wall),
+            )
 
         parallel_map(
             _evaluate_work_item,
@@ -851,10 +920,15 @@ class BatchedSweepRunner(ParallelSweepRunner):
         ]
 
         def _on_complete(_done: int, _total: int, value: Any) -> None:
-            for index, result in value:
+            for index, result, wall in value:
                 candidate, seed, key = pending[index]
-                self._cache_store(key, candidate, result)
-                finish(index, SweepRecord(candidate, seed, result))
+                self._cache_store(
+                    key, candidate, result, seed=seed, wall_time_s=wall
+                )
+                finish(
+                    index,
+                    SweepRecord(candidate, seed, result, wall_time_s=wall),
+                )
 
         # Batches are the dispatch unit (chunk_size=1): splitting a batch
         # further would forfeit the shared build it exists for.

@@ -55,6 +55,8 @@ a first-occurrence unique over the requested output ports.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.noc.config import SimulationConfig
@@ -296,6 +298,13 @@ class ArrayKernel:
         #: cycles enumerate allocation / switch candidates from it
         #: directly instead of running two O(G) masked scans.
         self._occ: list[set[int]] = [set() for _ in range(slots)]
+
+        #: Per-run telemetry observers, set by :meth:`run_point` when a
+        #: session is passed and always cleared again in its ``finally``.
+        #: Stage methods test them against ``None``, so a run without
+        #: telemetry pays nothing beyond the checks.
+        self._mc = None
+        self._tracer = None
 
     # -- static tables ------------------------------------------------------
 
@@ -619,18 +628,44 @@ class ArrayKernel:
 
     # -- the cycle loop -----------------------------------------------------
 
-    def run_point(self, slot: int, stats: EngineStats) -> PhaseSnapshots:
+    def run_point(
+        self, slot: int, stats: EngineStats, telemetry=None
+    ) -> PhaseSnapshots:
         """Advance one slot to the end of the drain phase (or early exit).
 
         The caller must have attached the kernel's endpoint emitters and
         prepared the slot (:meth:`refresh` after a ``Network.reset``, or
         :meth:`load_from_network`).  The final state is materialised back
         into the object model unconditionally, also when the loop raises.
+
+        ``telemetry`` is an optional
+        :class:`~repro.telemetry.TelemetrySession`.  Its collector and
+        tracer observe the *semantic* cycles — flit deliveries and
+        ejections are counted at the cycle the object model would have
+        performed them, not at the cycle the backlog is flushed — so the
+        recorded series and event streams are bit-identical to the
+        object engines' under the same configuration and seed.
         """
         network = self._network
         config = self._config
         warmup_end, measure_end, total_cycles = _phase_bounds(config)
         packet_size = config.packet_size_flits
+
+        metrics = tracer = prof = None
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            tracer = telemetry.tracer
+            prof = telemetry.profiler
+        self._mc = metrics
+        self._tracer = tracer
+        if metrics is not None or tracer is not None:
+            # The non-fused injection path goes through the real
+            # ``Endpoint.inject_pending``, which carries its own probe
+            # seam; ejections and in-kernel hops are instrumented by the
+            # kernel stages directly.
+            for endpoint in self._endpoints:
+                endpoint.metrics = metrics
+                endpoint.tracer = tracer
 
         gen_buckets = self.precompute_generation(measure_end)
         endpoints = self._endpoints
@@ -695,9 +730,15 @@ class ArrayKernel:
                     stats.early_exit_cycle = cycle
                     break
 
+                if prof is not None:
+                    t_stage = perf_counter()
                 bucket = pending.pop(cycle, None)
                 if bucket is not None:
                     total_buffered += self._deliver(slot, bucket, cycle, stats)
+                if prof is not None:
+                    t_now = perf_counter()
+                    prof.add("deliver", t_now - t_stage)
+                    t_stage = t_now
 
                 if cycle < measure_end:
                     events = gen_buckets.pop(cycle, None)
@@ -762,22 +803,33 @@ class ArrayKernel:
                                     bucket.append((chan_index, fid))
                                 endpoint.injected_flits += 1
                                 packet.injection_cycle = cycle
+                                if metrics is not None:
+                                    metrics._inj += 1
+                                if tracer is not None:
+                                    tracer.inject(
+                                        cycle,
+                                        packet.packet_id,
+                                        0,
+                                        endpoint_id,
+                                        best_vc,
+                                    )
                             else:
                                 inject(cycle)
                             if not source_queue and not pending_flits:
                                 active.discard(endpoint_id)
                     stats.endpoint_steps += num_endpoints_total
+                if prof is not None:
+                    t_now = perf_counter()
+                    prof.add("inject", t_now - t_stage)
+                    t_stage = t_now
 
                 if total_buffered:
                     occ = self._occ[slot]
-                    if len(occ) <= _SCALAR_MAX:
+                    small = len(occ) <= _SCALAR_MAX
+                    if small:
                         occ_list = sorted(occ)
                         stats.router_steps += len(
                             {router_of_g_list[g] for g in occ_list}
-                        )
-                        self._allocate_small(slot, cycle, occ_list)
-                        total_buffered -= self._switch_small(
-                            slot, cycle, occ_list
                         )
                     else:
                         stats.router_steps += int(
@@ -788,16 +840,55 @@ class ArrayKernel:
                             occ_arr.sort()
                         else:
                             occ_arr = None
+                    if small:
+                        self._allocate_small(slot, cycle, occ_list)
+                    else:
                         self._allocate(slot, cycle, occ_arr)
+                    if prof is not None:
+                        t_now = perf_counter()
+                        prof.add("va", t_now - t_stage)
+                        t_stage = t_now
+                    if small:
+                        total_buffered -= self._switch_small(
+                            slot, cycle, occ_list
+                        )
+                    else:
                         total_buffered -= self._switch_and_forward(
                             slot, cycle, occ_arr
                         )
+                    if prof is not None:
+                        prof.add("sa", perf_counter() - t_stage)
 
+                if metrics is not None:
+                    backlog = 0
+                    for endpoint in endpoints:
+                        backlog += endpoint.source_queue_length
+                    metrics.record_cycle(
+                        buffered=total_buffered,
+                        vc_stalls=int(
+                            np.count_nonzero(self._state[slot] == _VC_ALLOC)
+                        ),
+                        backlog=backlog,
+                    )
                 stats.cycles_executed += 1
                 cycle += 1
         finally:
+            # The flush must run while the tracer is still installed: it
+            # emits the deferred eject events at their semantic cycles.
+            if prof is not None:
+                t_stage = perf_counter()
             self._flush_ejections()
             self._materialize(slot)
+            if prof is not None:
+                prof.add("flush", perf_counter() - t_stage)
+            self._mc = None
+            self._tracer = None
+            if metrics is not None or tracer is not None:
+                for endpoint in self._endpoints:
+                    endpoint.metrics = None
+                    endpoint.tracer = None
+        if metrics is not None:
+            metrics.finalize(total_cycles)
 
         if int(self._qlen[slot].sum()) != total_buffered:
             raise RuntimeError(
@@ -884,6 +975,12 @@ class ArrayKernel:
             self._f_arrival[fids] = now
             np.add.at(self._rcounts[slot], self._router_of_g[g], 1)
             delta += len(g)
+            if self._mc is not None:
+                self._mc._link += len(g)
+            if self._tracer is not None:
+                self._trace_router_flits(
+                    self._tracer.link_traverse, g.tolist(), fids.tolist(), now
+                )
 
         mask = kinds == _CK_ROUTER_CREDIT
         if mask.any():
@@ -892,7 +989,14 @@ class ArrayKernel:
 
         mask = kinds == _CK_ENDPOINT_FLIT
         if mask.any():
-            self._eject_backlog.append((in_base[mask], payloads[mask], now))
+            fids = payloads[mask]
+            self._eject_backlog.append((in_base[mask], fids, now))
+            if self._mc is not None:
+                # Ejections are *counted* at the delivery cycle (the cycle
+                # the object model's endpoint would have accepted them);
+                # only the Python-object bookkeeping is deferred.
+                self._mc._link += len(fids)
+                self._mc._ej += len(fids)
 
         mask = kinds == _CK_ENDPOINT_CREDIT
         if mask.any():
@@ -932,6 +1036,8 @@ class ArrayKernel:
         occ = self._occ[slot]
         depth = self._depth
         delta = 0
+        mc = self._mc
+        tracer = self._tracer
         for chan, payload in zip(chans, payloads):
             kind = chan_kind[chan]
             in_base = chan_in_base[chan]
@@ -945,10 +1051,19 @@ class ArrayKernel:
                 self._f_arrival[payload] = now
                 rcounts[router_of_g[g]] += 1
                 delta += 1
+                if mc is not None:
+                    mc._link += 1
+                if tracer is not None:
+                    self._trace_router_flits(
+                        tracer.link_traverse, (g,), (payload,), now
+                    )
             elif kind == _CK_ROUTER_CREDIT:
                 credits[in_base + payload] += 1
             elif kind == _CK_ENDPOINT_FLIT:
                 self._eject_backlog.append((in_base, payload, now))
+                if mc is not None:
+                    mc._link += 1
+                    mc._ej += 1
             else:
                 self._endpoints[in_base].accept_credit(payload)
                 self._inj_credits[in_base] += 1
@@ -961,6 +1076,60 @@ class ArrayKernel:
             f"router {self._routers[r].router_id}: input buffer overflow on "
             f"port {port} vc {g % self._V}; credit flow control is broken"
         )
+
+    # -- telemetry emitters --------------------------------------------------
+
+    def _trace_router_flits(self, emit, gs, fids, now: int) -> None:
+        """Emit one tracer event per ``(input g, flit id)`` pair.
+
+        ``emit`` is a bound :class:`~repro.telemetry.FlitTracer` method
+        with the router signature (``link_traverse`` at delivery time,
+        ``sa_grant`` at forward time); the port is the router-local input
+        port and the VC the input VC, matching the object model's hooks.
+        """
+        V = self._V
+        flit_objs = self._flit_objs
+        router_of_g = self._router_of_g_list
+        port_base = self._port_base_list
+        routers = self._routers
+        for g, fid in zip(gs, fids):
+            flit = flit_objs[fid]
+            r = router_of_g[g]
+            emit(
+                now,
+                flit.packet.packet_id,
+                flit.flit_index,
+                routers[r].router_id,
+                g // V - port_base[r],
+                g % V,
+            )
+
+    def _trace_vc_grants(self, slot: int, pairs, now: int) -> None:
+        """Emit one ``vc_grant`` event per granted ``(input g, output g)``.
+
+        Called at grant time, before the switch stage pops the head flit,
+        so ``q[g, qhead[g]]`` is exactly the head the object model's
+        ``_grant_output`` hook reports.
+        """
+        tracer = self._tracer
+        q = self._q[slot]
+        qhead = self._qhead[slot]
+        V = self._V
+        flit_objs = self._flit_objs
+        router_of_g = self._router_of_g_list
+        port_base = self._port_base_list
+        routers = self._routers
+        for g, cg in pairs:
+            flit = flit_objs[int(q[g, qhead[g]])]
+            r = router_of_g[g]
+            tracer.vc_grant(
+                now,
+                flit.packet.packet_id,
+                flit.flit_index,
+                routers[r].router_id,
+                cg // V - port_base[r],
+                cg % V,
+            )
 
     # -- stage: route computation + VC allocation ---------------------------
 
@@ -996,7 +1165,7 @@ class ArrayKernel:
             self._blocked[slot][idle] = False
             state[idle] = _VC_ALLOC
 
-        self._va_rounds(slot, cand)
+        self._va_rounds(slot, cand, now)
 
     def _raise_nonhead(self, g: int) -> None:
         r = int(self._router_of_g[g])
@@ -1036,7 +1205,7 @@ class ArrayKernel:
                 wait[g] = 0
                 blocked[g] = False
                 state[g] = _VC_ALLOC
-        self._va_rounds(slot, np.asarray(cand, dtype=np.int64))
+        self._va_rounds(slot, np.asarray(cand, dtype=np.int64), now)
 
     def _switch_small(self, slot: int, now: int, occ: list[int]) -> int:
         """Scalar switch-candidate enumeration for a near-idle cycle."""
@@ -1046,7 +1215,7 @@ class ArrayKernel:
             return 0
         return self._switch_scalar(slot, act, now)
 
-    def _va_rounds(self, slot: int, unresolved: np.ndarray) -> None:
+    def _va_rounds(self, slot: int, unresolved: np.ndarray, now: int) -> None:
         """Sequential-order VC allocation (see module docstring).
 
         Ejection-bound candidates split off first: ejection-port VCs are
@@ -1062,7 +1231,7 @@ class ArrayKernel:
         ejb = self._rt_ej[key]
         is_ej = ejb >= 0
         if is_ej.any():
-            self._resolve_ejection(slot, unresolved[is_ej], ejb[is_ej])
+            self._resolve_ejection(slot, unresolved[is_ej], ejb[is_ej], now)
             unresolved = unresolved[~is_ej]
             key = key[~is_ej]
         if not len(unresolved):
@@ -1106,7 +1275,7 @@ class ArrayKernel:
         blocked[unresolved] = False
 
         if len(unresolved) <= _SCALAR_MAX:
-            self._va_scalar(slot, unresolved, key)
+            self._va_scalar(slot, unresolved, key, now)
             return
 
         # Per-candidate static route data, gathered once and narrowed with
@@ -1217,6 +1386,10 @@ class ArrayKernel:
                 tick = escape_path[wrows]
                 if tick.any():
                     wait[g[tick]] += 1
+                if self._tracer is not None:
+                    self._trace_vc_grants(
+                        slot, zip(g.tolist(), cg.tolist()), now
+                    )
 
             kidx = np.nonzero(~(no_grant | final_win))[0]
             kept = len(kidx)
@@ -1230,7 +1403,7 @@ class ArrayKernel:
                 # rounds would converge to (route keys are untouched
                 # during allocation, so the slot table still holds them).
                 uk = u.take(kidx)
-                self._va_scalar(slot, uk, self._route_key[slot][uk])
+                self._va_scalar(slot, uk, self._route_key[slot][uk], now)
                 return
             fresh = np.zeros(len(u), dtype=bool)
             fresh[lose_rows] = True
@@ -1244,7 +1417,9 @@ class ArrayKernel:
             claim = claim.take(kidx)
             escape_path = escape_path.take(kidx)
 
-    def _va_scalar(self, slot: int, unresolved: np.ndarray, key: np.ndarray) -> None:
+    def _va_scalar(
+        self, slot: int, unresolved: np.ndarray, key: np.ndarray, now: int
+    ) -> None:
         """Scalar sequential allocation for a handful of candidates.
 
         Ascending flat coordinate *is* the object model's scan order, so
@@ -1308,11 +1483,15 @@ class ArrayKernel:
                     free_adapt[claim // V] -= 1
                 if escape_path:
                     wait[g] += 1
+                if self._tracer is not None:
+                    self._trace_vc_grants(slot, ((g, claim),), now)
             else:
                 wait[g] += 1
                 blocked[g] = True
 
-    def _resolve_ejection(self, slot: int, e_u: np.ndarray, ejb: np.ndarray) -> None:
+    def _resolve_ejection(
+        self, slot: int, e_u: np.ndarray, ejb: np.ndarray, now: int
+    ) -> None:
         """Grant ejection-port claims exactly as the sequential scan would.
 
         Each sequential grant occupies the first still-free VC of the
@@ -1335,6 +1514,8 @@ class ArrayKernel:
                         owner_in[cg] = g
                         out_g[g] = cg
                         state[g] = _ACTIVE
+                        if self._tracer is not None:
+                            self._trace_vc_grants(slot, ((g, cg),), now)
                         break
             return
         order = np.argsort(ejb, kind="stable")
@@ -1355,6 +1536,8 @@ class ArrayKernel:
         owner_in[cg] = g
         self._out_g[slot][g] = cg
         self._state[slot][g] = _ACTIVE
+        if self._tracer is not None:
+            self._trace_vc_grants(slot, zip(g.tolist(), cg.tolist()), now)
 
     # -- stage: switch allocation + forwarding ------------------------------
 
@@ -1449,6 +1632,11 @@ class ArrayKernel:
             self._f_hops[fids[non_ej]] += 1
         out_vc = og % V
         self._f_vc[fids] = out_vc
+        if self._tracer is not None:
+            # Input port / input VC, like the object model's forward hook.
+            self._trace_router_flits(
+                self._tracer.sa_grant, g.tolist(), fids.tolist(), now
+            )
 
         chans = self._out_chan_of_port[op]
         if np.any(chans < 0):
@@ -1559,8 +1747,11 @@ class ArrayKernel:
         f_vc = self._f_vc
         f_tail = self._f_tail
         occ = self._occ[slot]
+        tracer = self._tracer
         for op, (_, g) in best.items():
             fid = int(q[g, qhead[g]])
+            if tracer is not None:
+                self._trace_router_flits(tracer.sa_grant, (g,), (fid,), now)
             qhead[g] = (int(qhead[g]) + 1) % depth
             qlen[g] -= 1
             if not qlen[g]:
@@ -1663,6 +1854,7 @@ class ArrayKernel:
         self._flush_registry()
         endpoints = self._endpoints
         flit_objs = self._flit_objs
+        tracer = self._tracer
         for endpoint_ids, fids, cycle in self._eject_backlog:
             if type(endpoint_ids) is int:
                 # Scalar-delivery entry: one endpoint, one flit id.
@@ -1674,6 +1866,18 @@ class ArrayKernel:
                     )
                 endpoint = endpoints[endpoint_ids]
                 endpoint.ejected_flits += 1
+                if tracer is not None:
+                    # The backlog entry carries the semantic delivery
+                    # cycle, so the deferred event is timestamped exactly
+                    # like the object model's eject hook.
+                    flit = flit_objs[fids]
+                    tracer.eject(
+                        cycle,
+                        flit.packet.packet_id,
+                        flit.flit_index,
+                        endpoint_ids,
+                        int(self._f_vc[fids]),
+                    )
                 if self._f_tail[fids]:
                     flit = flit_objs[fids]
                     flit.packet.ejection_cycle = cycle
@@ -1689,6 +1893,15 @@ class ArrayKernel:
             for row, fid in enumerate(fids.tolist()):
                 endpoint = endpoints[endpoint_ids[row]]
                 endpoint.ejected_flits += 1
+                if tracer is not None:
+                    flit = flit_objs[fid]
+                    tracer.eject(
+                        cycle,
+                        flit.packet.packet_id,
+                        flit.flit_index,
+                        int(endpoint_ids[row]),
+                        int(self._f_vc[fid]),
+                    )
                 if tails[row]:
                     flit = flit_objs[fid]
                     flit.packet.ejection_cycle = cycle

@@ -38,6 +38,16 @@ class Endpoint:
         Per-endpoint random seed (derived from the simulator seed).
     """
 
+    #: Telemetry probe seams (class attributes, so the default instance
+    #: carries no extra state): a :class:`~repro.telemetry.FlitTracer`
+    #: records inject/eject lifecycle events, a
+    #: :class:`~repro.telemetry.MetricsCollector` counts per-cycle flit
+    #: flow.  Installed per run by the engines via
+    #: :func:`repro.telemetry.install_probes`; ``None`` (the default)
+    #: keeps the hot paths observation-free.
+    tracer = None
+    metrics = None
+
     def __init__(
         self,
         endpoint_id: int,
@@ -170,6 +180,15 @@ class Endpoint:
                 f"{flit.destination}; routing is broken"
             )
         self.ejected_flits += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics._link += 1
+            metrics._ej += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.eject(
+                now, flit.packet.packet_id, flit.flit_index, self.endpoint_id, flit.vc
+            )
         if flit.is_tail:
             flit.packet.ejection_cycle = now
             self.ejected_packets.append(flit.packet)
@@ -225,6 +244,14 @@ class Endpoint:
         self._credits[vc] -= 1
         self._out_channel.send(flit, now)
         self.injected_flits += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics._inj += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.inject(
+                now, flit.packet.packet_id, flit.flit_index, self.endpoint_id, vc
+            )
         if flit.is_head:
             flit.packet.injection_cycle = now
         if flit.is_tail:

@@ -46,6 +46,8 @@ from dataclasses import dataclass
 
 from repro.noc.config import SimulationConfig
 from repro.noc.network import Network
+from repro.telemetry.metrics import sample_object_cycle
+from repro.telemetry.session import TelemetrySession, install_probes, uninstall_probes
 
 #: Canonical names of every cycle-loop engine, in default-preference order.
 #: ``"active"`` is the default, ``"vectorized"`` is the flat-state batch
@@ -154,28 +156,46 @@ def attach_delivery_observers(channels, pending: dict[int, list[int]]) -> None:
             pending.setdefault(max(arrival, 0), []).append(index)
 
 
-def run_legacy_loop(network: Network, config: SimulationConfig) -> PhaseSnapshots:
+def run_legacy_loop(
+    network: Network,
+    config: SimulationConfig,
+    *,
+    telemetry: TelemetrySession | None = None,
+) -> PhaseSnapshots:
     """The original dense cycle loop: step everything, every cycle."""
     warmup_end, measure_end, total_cycles = _phase_bounds(config)
 
     ejected_before = ejected_after = 0
     injected_before = injected_after = 0
 
-    for cycle in range(total_cycles):
-        if cycle == warmup_end:
-            ejected_before = network.total_ejected_flits()
-            injected_before = _injected_total(network)
-        if cycle == measure_end:
-            ejected_after = network.total_ejected_flits()
-            injected_after = _injected_total(network)
+    metrics = telemetry.metrics if telemetry is not None else None
+    observed = telemetry is not None and telemetry.observes_network
+    if observed:
+        install_probes(network.routers, network.endpoints, telemetry)
 
-        measured_phase = warmup_end <= cycle < measure_end
-        network.deliver_channels(cycle)
-        # During the drain phase the sources stop creating new packets so
-        # that in-flight measured packets can reach their destinations.
-        if cycle < measure_end:
-            network.step_endpoints(cycle, measured_phase=measured_phase)
-        network.step_routers(cycle)
+    try:
+        for cycle in range(total_cycles):
+            if cycle == warmup_end:
+                ejected_before = network.total_ejected_flits()
+                injected_before = _injected_total(network)
+            if cycle == measure_end:
+                ejected_after = network.total_ejected_flits()
+                injected_after = _injected_total(network)
+
+            measured_phase = warmup_end <= cycle < measure_end
+            network.deliver_channels(cycle)
+            # During the drain phase the sources stop creating new packets so
+            # that in-flight measured packets can reach their destinations.
+            if cycle < measure_end:
+                network.step_endpoints(cycle, measured_phase=measured_phase)
+            network.step_routers(cycle)
+            if metrics is not None:
+                sample_object_cycle(network.routers, network.endpoints, metrics)
+    finally:
+        if observed:
+            uninstall_probes(network.routers, network.endpoints)
+    if metrics is not None:
+        metrics.finalize(total_cycles)
 
     if config.drain_cycles == 0:
         ejected_after = network.total_ejected_flits()
@@ -204,7 +224,9 @@ class ActiveSetEngine:
         self._config = config
         self.stats = EngineStats()
 
-    def run(self) -> PhaseSnapshots:
+    def run(
+        self, telemetry: TelemetrySession | None = None
+    ) -> PhaseSnapshots:
         """Advance the network to the end of the drain phase (or early exit)."""
         network = self._network
         config = self._config
@@ -214,6 +236,11 @@ class ActiveSetEngine:
         endpoints = network.endpoints
         routers = network.routers
         channel_sinks = network.channel_sinks()
+
+        metrics = telemetry.metrics if telemetry is not None else None
+        observed = telemetry is not None and telemetry.observes_network
+        if observed:
+            install_probes(routers, endpoints, telemetry)
 
         # Arrival buckets: cycle -> list of channel indices with a delivery
         # due that cycle (one entry per sent payload; duplicates collapse at
@@ -262,11 +289,17 @@ class ActiveSetEngine:
                         router.step(cycle)
                         stats.router_steps += 1
 
+                if metrics is not None:
+                    sample_object_cycle(routers, endpoints, metrics)
                 stats.cycles_executed += 1
                 cycle += 1
         finally:
             for channel, _ in channel_sinks:
                 channel.observer = None
+            if observed:
+                uninstall_probes(routers, endpoints)
+        if metrics is not None:
+            metrics.finalize(total_cycles)
 
         if config.drain_cycles == 0:
             ejected_after = network.total_ejected_flits()

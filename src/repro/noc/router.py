@@ -123,6 +123,16 @@ class Router:
         read-only).
     """
 
+    #: Telemetry probe seams (class attributes, so the default instance
+    #: carries no extra state): a :class:`~repro.telemetry.FlitTracer`
+    #: records link-traverse / VC-grant / SA-grant lifecycle events, a
+    #: :class:`~repro.telemetry.MetricsCollector` counts per-cycle flit
+    #: flow.  Installed per run by the engines via
+    #: :func:`repro.telemetry.install_probes`; ``None`` (the default)
+    #: keeps the hot paths observation-free.
+    tracer = None
+    metrics = None
+
     def __init__(
         self,
         router_id: int,
@@ -326,6 +336,15 @@ class Router:
         flit.arrival_cycle = now
         input_vc.buffer.append(flit)
         self._buffered_flits += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics._link += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.link_traverse(
+                now, flit.packet.packet_id, flit.flit_index,
+                self.router_id, port, flit.vc,
+            )
 
     def accept_credit(self, port: int, vc: int) -> None:
         """Register a credit returned by the downstream node of output ``port``."""
@@ -339,6 +358,22 @@ class Router:
     def occupancy(self) -> int:
         """Alias of :attr:`buffered_flits` (kept for statistics reporting)."""
         return self._buffered_flits
+
+    def vc_alloc_stalls(self) -> int:
+        """Input VCs currently waiting in the VC-allocation state.
+
+        A VC in ``_VC_ALLOC`` always buffers at least its head flit, so
+        an empty router never stalls; the per-cycle metrics sampling
+        relies on that shortcut.
+        """
+        if self._buffered_flits == 0:
+            return 0
+        stalls = 0
+        for port_vcs in self._input_vcs:
+            for input_vc in port_vcs:
+                if input_vc.state == _VC_ALLOC:
+                    stalls += 1
+        return stalls
 
     def in_flight_measured_packets(self) -> int:
         """Measured packets whose head flit sits in one of the input buffers."""
@@ -379,7 +414,7 @@ class Router:
                         )
                     self._compute_route(port, vc_index, input_vc, head)
                 if input_vc.state == _VC_ALLOC:
-                    self._allocate_output_vc(port, vc_index, input_vc, escape_vc)
+                    self._allocate_output_vc(port, vc_index, input_vc, escape_vc, now)
 
     def _compute_route(
         self, port: int, vc_index: int, input_vc: _InputVC, head: Flit
@@ -411,19 +446,21 @@ class Router:
         input_vc.alloc_wait_cycles = 0
 
     def _allocate_output_vc(
-        self, port: int, vc_index: int, input_vc: _InputVC, escape_vc: int
+        self, port: int, vc_index: int, input_vc: _InputVC, escape_vc: int, now: int
     ) -> None:
         # Ejection ports accept any free VC (the endpoint is an infinite sink).
         target_port = input_vc.minimal_ports[0] if input_vc.minimal_ports else None
         if target_port is not None and self.is_ejection_port(target_port):
             for out_vc, output in enumerate(self._output_vcs[target_port]):
                 if output.owner is None:
-                    self._grant_output(input_vc, port, vc_index, target_port, out_vc)
+                    self._grant_output(
+                        input_vc, port, vc_index, target_port, out_vc, now
+                    )
                     return
             return
 
         if not input_vc.escape_only:
-            granted = self._allocate_adaptive_vc(input_vc, port, vc_index)
+            granted = self._allocate_adaptive_vc(input_vc, port, vc_index, now)
             if granted:
                 return
         # Fall back to the escape VC on the up*/down* port, either because the
@@ -438,9 +475,13 @@ class Router:
             if escape_port is not None:
                 escape_output = self._output_vcs[escape_port][escape_vc]
                 if escape_output.owner is None:
-                    self._grant_output(input_vc, port, vc_index, escape_port, escape_vc)
+                    self._grant_output(
+                        input_vc, port, vc_index, escape_port, escape_vc, now
+                    )
 
-    def _allocate_adaptive_vc(self, input_vc: _InputVC, port: int, vc_index: int) -> bool:
+    def _allocate_adaptive_vc(
+        self, input_vc: _InputVC, port: int, vc_index: int, now: int
+    ) -> bool:
         """Congestion-aware adaptive VC allocation.
 
         Among all minimal output ports with at least one free adaptive VC,
@@ -471,16 +512,29 @@ class Router:
         if best is None:
             return False
         _, out_port, out_vc = best
-        self._grant_output(input_vc, port, vc_index, out_port, out_vc)
+        self._grant_output(input_vc, port, vc_index, out_port, out_vc, now)
         return True
 
     def _grant_output(
-        self, input_vc: _InputVC, port: int, vc_index: int, out_port: int, out_vc: int
+        self,
+        input_vc: _InputVC,
+        port: int,
+        vc_index: int,
+        out_port: int,
+        out_vc: int,
+        now: int,
     ) -> None:
         self._output_vcs[out_port][out_vc].owner = (port, vc_index)
         input_vc.out_port = out_port
         input_vc.out_vc = out_vc
         input_vc.state = _ACTIVE
+        tracer = self.tracer
+        if tracer is not None:
+            head = input_vc.buffer[0]
+            tracer.vc_grant(
+                now, head.packet.packet_id, head.flit_index,
+                self.router_id, out_port, out_vc,
+            )
 
     # .. switch allocation ....................................................
 
@@ -557,6 +611,12 @@ class Router:
             )
         channel.send(flit, now)
         self.forwarded_flits += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.sa_grant(
+                now, flit.packet.packet_id, flit.flit_index,
+                self.router_id, port, vc_index,
+            )
 
         # Return a credit to whoever feeds this input port (router or endpoint).
         credit_channel = self._in_credit_channels[port]

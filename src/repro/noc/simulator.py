@@ -256,7 +256,7 @@ class NocSimulator:
 
     # -- running -------------------------------------------------------------------
 
-    def run(self, *, engine: str = "active") -> SimulationResult:
+    def run(self, *, engine: str = "active", telemetry=None) -> SimulationResult:
         """Execute warm-up, measurement and drain, then summarise the statistics.
 
         Parameters
@@ -268,18 +268,26 @@ class NocSimulator:
             the original dense cycle loop.  All three produce bit-identical
             results under a fixed seed — the legacy engine remains the
             reference for the equivalence test suite.
+        telemetry:
+            Optional :class:`~repro.telemetry.TelemetrySession`.  Its
+            collector / tracer / profiler observe the run through every
+            engine; the recorded series and flit-lifecycle events are
+            themselves bit-identical across engines under a fixed seed.
+            ``None`` (the default) keeps the cycle loops observation-free.
         """
         check_in_choices("engine", engine, ENGINE_NAMES)
         if engine == "legacy":
             self.last_engine_stats = None
-            snapshots = run_legacy_loop(self._network, self._config)
+            snapshots = run_legacy_loop(
+                self._network, self._config, telemetry=telemetry
+            )
         elif engine == "vectorized":
             vectorized = VectorizedEngine(self._network, self._config)
-            snapshots = vectorized.run()
+            snapshots = vectorized.run(telemetry)
             self.last_engine_stats = vectorized.stats
         else:
             active = ActiveSetEngine(self._network, self._config)
-            snapshots = active.run()
+            snapshots = active.run(telemetry)
             self.last_engine_stats = active.stats
 
         return collect_results(
@@ -299,6 +307,7 @@ class NocSimulator:
         faults: FaultSet | None = None,
         engine: str = "vectorized",
         on_point: Callable[[int, Network, SimulationResult], None] | None = None,
+        telemetry: Callable[[int, BatchPoint], object] | None = None,
     ) -> list[SimulationResult]:
         """Simulate many injection-rate points over one shared topology build.
 
@@ -338,6 +347,12 @@ class NocSimulator:
             final state — the seam tests and harnesses use to inspect
             per-point network state (latency histograms, conservation)
             without giving up batching.
+        telemetry:
+            Optional factory called as ``telemetry(index, point)`` before
+            each point; a returned
+            :class:`~repro.telemetry.TelemetrySession` observes that
+            point's run (return ``None`` to skip a point).  Sessions are
+            per point — reuse one only after consuming its contents.
         """
         check_in_choices("engine", engine, ENGINE_NAMES)
         if config is None:
@@ -371,10 +386,11 @@ class NocSimulator:
                     injection_rate=point.injection_rate,
                     routing=routing,
                 )
+                session = telemetry(index, point) if telemetry is not None else None
                 if engine == "legacy":
-                    snapshots = run_legacy_loop(network, cfg)
+                    snapshots = run_legacy_loop(network, cfg, telemetry=session)
                 else:
-                    snapshots = ActiveSetEngine(network, cfg).run()
+                    snapshots = ActiveSetEngine(network, cfg).run(session)
                 result = collect_results(
                     network, cfg, point.injection_rate, snapshots
                 )
@@ -394,8 +410,11 @@ class NocSimulator:
         with BatchEngine(network, config, points=len(ordered)) as batch:
             for index, point in enumerate(ordered):
                 cfg = point_config(point)
+                session = telemetry(index, point) if telemetry is not None else None
                 snapshots, _ = batch.run_point(
-                    seed=cfg.seed, injection_rate=point.injection_rate
+                    seed=cfg.seed,
+                    injection_rate=point.injection_rate,
+                    telemetry=session,
                 )
                 result = collect_results(
                     network, cfg, point.injection_rate, snapshots

@@ -90,8 +90,13 @@ class VectorizedEngine:
         self._config = config
         self.stats = EngineStats()
 
-    def run(self) -> PhaseSnapshots:
-        """Advance the network to the end of the drain phase (or early exit)."""
+    def run(self, telemetry=None) -> PhaseSnapshots:
+        """Advance the network to the end of the drain phase (or early exit).
+
+        ``telemetry`` is an optional
+        :class:`~repro.telemetry.TelemetrySession` forwarded to the
+        kernel's cycle loop (see :meth:`ArrayKernel.run_point`).
+        """
         from repro.noc.array_kernel import ArrayKernel
 
         network = self._network
@@ -102,7 +107,7 @@ class VectorizedEngine:
         for endpoint, emitter in zip(endpoints, kernel.endpoint_emitters()):
             endpoint.attach_output_channel(emitter)
         try:
-            return kernel.run_point(0, self.stats)
+            return kernel.run_point(0, self.stats, telemetry)
         finally:
             for endpoint, channel in zip(endpoints, real_channels):
                 endpoint.attach_output_channel(channel)
@@ -157,9 +162,14 @@ class BatchEngine:
         self._closed = False
 
     def run_point(
-        self, *, seed: int, injection_rate: float
+        self, *, seed: int, injection_rate: float, telemetry=None
     ) -> tuple[PhaseSnapshots, EngineStats]:
-        """Reset the network to ``(seed, injection_rate)`` and run one point."""
+        """Reset the network to ``(seed, injection_rate)`` and run one point.
+
+        ``telemetry`` is an optional per-point
+        :class:`~repro.telemetry.TelemetrySession` forwarded to the
+        kernel's cycle loop.
+        """
         if self._closed:
             raise RuntimeError("BatchEngine is closed; create a new one")
         self._network.reset(seed=seed, injection_rate=injection_rate)
@@ -169,7 +179,7 @@ class BatchEngine:
         kernel.reset_events()
         kernel.refresh(slot)
         stats = EngineStats()
-        snapshots = kernel.run_point(slot, stats)
+        snapshots = kernel.run_point(slot, stats, telemetry)
         return snapshots, stats
 
     def close(self) -> None:

@@ -1,0 +1,58 @@
+"""Kernel-stage wall-time profiling.
+
+A :class:`StageProfiler` accumulates wall seconds per named pipeline
+stage.  The array kernel times its four per-cycle stages (channel
+delivery/traversal, generation + injection, route computation + VC
+allocation, switch allocation + forwarding) plus the ejection flush when
+a profiler is attached, and the bench harness surfaces the totals in a
+report's ``extras`` so a regression in one stage is visible without
+re-running under an external profiler.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+#: Canonical kernel stage names, in pipeline order.
+KERNEL_STAGES = ("deliver", "inject", "va", "sa", "flush")
+
+
+class StageProfiler:
+    """Accumulate wall seconds per stage name."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def add(self, stage: str, dt: float) -> None:
+        """Credit ``dt`` seconds to ``stage``."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + dt
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+
+    def time(self, stage: str):
+        """Context manager timing one stage invocation."""
+        return _StageTimer(self, stage)
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage → accumulated seconds, sorted by descending cost."""
+        return dict(sorted(self.seconds.items(), key=lambda kv: -kv[1]))
+
+
+class _StageTimer:
+    __slots__ = ("_profiler", "_stage", "_t0")
+
+    def __init__(self, profiler: StageProfiler, stage: str) -> None:
+        self._profiler = profiler
+        self._stage = stage
+
+    def __enter__(self) -> "_StageTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.add(self._stage, perf_counter() - self._t0)

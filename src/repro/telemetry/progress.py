@@ -1,0 +1,135 @@
+"""Structured sweep-progress telemetry.
+
+:class:`SweepProgressTracker` sits on the sweep runners' existing
+``progress(done, total, record)`` callback seam and turns the raw
+completion stream into rates, ETAs and cache statistics the CLI (or any
+other front-end) can render: candidates per second, estimated time
+remaining, cache-hit ratio, accumulated simulation wall time and an
+approximate worker-utilisation figure (simulated seconds per elapsed
+worker-second).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One snapshot of a sweep's progress, derived per completion."""
+
+    done: int
+    total: int
+    elapsed_s: float
+    candidates_per_s: float
+    eta_s: float | None
+    cache_hits: int
+    fresh: int
+    cache_hit_ratio: float
+    sim_wall_s: float
+    worker_utilization: float | None
+    last_from_cache: bool
+    last_wall_s: float | None
+
+    @property
+    def finished(self) -> bool:
+        return self.done >= self.total
+
+
+class SweepProgressTracker:
+    """Derive :class:`SweepProgress` snapshots from completion callbacks.
+
+    Create one immediately before starting the sweep (the elapsed clock
+    starts at construction) and call :meth:`update` with every
+    ``progress(done, total, record)`` invocation.  Records are duck-typed:
+    ``from_cache`` and ``wall_time_s`` attributes are used when present,
+    so the tracker works with any record type the runners emit.
+    """
+
+    def __init__(self, *, jobs: int = 1, clock=time.perf_counter) -> None:
+        self._jobs = max(1, int(jobs))
+        self._clock = clock
+        self._start = clock()
+        self._cache_hits = 0
+        self._fresh = 0
+        self._sim_wall_s = 0.0
+
+    def update(self, done: int, total: int, record) -> SweepProgress:
+        """Fold one completion into the running statistics."""
+        from_cache = bool(getattr(record, "from_cache", False))
+        wall = getattr(record, "wall_time_s", None)
+        if from_cache:
+            self._cache_hits += 1
+        else:
+            self._fresh += 1
+        if wall is not None:
+            self._sim_wall_s += wall
+        elapsed = max(self._clock() - self._start, 1e-9)
+        rate = done / elapsed
+        remaining = max(total - done, 0)
+        eta = remaining / rate if rate > 0 and remaining else (0.0 if done else None)
+        utilization = None
+        if self._sim_wall_s:
+            utilization = min(self._sim_wall_s / (elapsed * self._jobs), 1.0)
+        seen = self._cache_hits + self._fresh
+        return SweepProgress(
+            done=done,
+            total=total,
+            elapsed_s=elapsed,
+            candidates_per_s=rate,
+            eta_s=eta,
+            cache_hits=self._cache_hits,
+            fresh=self._fresh,
+            cache_hit_ratio=self._cache_hits / seen if seen else 0.0,
+            sim_wall_s=self._sim_wall_s,
+            worker_utilization=utilization,
+            last_from_cache=from_cache,
+            last_wall_s=wall,
+        )
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly (``850ms``, ``12.3s``, ``2m05s``)."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:02.0f}s"
+
+
+def format_progress(progress: SweepProgress, label: str = "") -> str:
+    """One progress line: position, source, rate, ETA and cache ratio."""
+    source = "cache" if progress.last_from_cache else "sim"
+    if progress.last_wall_s is not None:
+        source += f" {format_duration(progress.last_wall_s)}"
+    parts = [f"[{progress.done}/{progress.total}]"]
+    if label:
+        parts.append(label)
+    parts.append(f"({source})")
+    detail = [f"{progress.candidates_per_s:.1f} cand/s"]
+    if progress.eta_s is not None and not progress.finished:
+        detail.append(f"ETA {format_duration(progress.eta_s)}")
+    detail.append(f"cache {progress.cache_hit_ratio:.0%}")
+    return " ".join(parts) + " | " + ", ".join(detail)
+
+
+def format_summary(progress: SweepProgress) -> str:
+    """End-of-sweep summary: totals, rates, cache and utilisation."""
+    lines = [
+        f"completed {progress.done}/{progress.total} candidates in "
+        f"{format_duration(progress.elapsed_s)} "
+        f"({progress.candidates_per_s:.2f} candidates/s)",
+        f"cache: {progress.cache_hits} hits / {progress.fresh} simulated "
+        f"({progress.cache_hit_ratio:.0%} hit ratio)",
+    ]
+    if progress.fresh:
+        lines.append(
+            f"simulation wall time: {format_duration(progress.sim_wall_s)} total, "
+            f"{format_duration(progress.sim_wall_s / progress.fresh)} "
+            "per fresh candidate"
+        )
+    if progress.worker_utilization is not None:
+        lines.append(f"worker utilisation: {progress.worker_utilization:.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Run-provenance manifests.
+
+A manifest records everything needed to re-run (or distrust) a cached
+simulation artifact: the exact configuration and its content hash, the
+seed and engine, the code revision, and the library versions the run was
+produced with.  The sweep runners write one next to every fresh cache
+entry, and the bench harness embeds one in every ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+MANIFEST_SCHEMA = 1
+
+
+def git_revision(default: str = "unknown", *, cwd: Path | None = None) -> str:
+    """The short git revision of the working tree (``default`` outside git)."""
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return default
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else default
+
+
+def config_digest(config) -> str:
+    """Stable 16-hex-digit content hash of a configuration.
+
+    Accepts a dataclass (``SimulationConfig``) or any JSON-serialisable
+    mapping; the digest is over the sorted-key JSON rendering, so two
+    configurations hash equal exactly when their fields are equal.
+    """
+    payload = asdict(config) if is_dataclass(config) else dict(config)
+    rendered = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()[:16]
+
+
+def build_manifest(
+    *,
+    config=None,
+    engine: str | None = None,
+    seed: int | None = None,
+    wall_time_s: float | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble a provenance manifest (JSON-ready).
+
+    ``extra`` entries are merged at the top level (callers add e.g. the
+    candidate identity or the cache key) and must not collide with the
+    standard fields.
+    """
+    import numpy
+
+    manifest: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "git_revision": git_revision(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy_version": numpy.__version__,
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+    }
+    if config is not None:
+        manifest["config"] = asdict(config) if is_dataclass(config) else dict(config)
+        manifest["config_hash"] = config_digest(config)
+    if engine is not None:
+        manifest["engine"] = engine
+    if seed is not None:
+        manifest["seed"] = seed
+    if wall_time_s is not None:
+        manifest["wall_time_s"] = wall_time_s
+    if extra:
+        overlap = set(extra) & set(manifest)
+        if overlap:
+            raise ValueError(f"manifest extra keys collide: {sorted(overlap)}")
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path, manifest: dict) -> None:
+    """Write a manifest as indented JSON (atomic enough for a sidecar)."""
+    path = Path(path)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")

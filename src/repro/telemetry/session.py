@@ -1,0 +1,67 @@
+"""The telemetry session: one bundle of probes handed to an engine run.
+
+A :class:`TelemetrySession` groups the optional observers of one
+simulation run — metrics collector, flit tracer, stage profiler — behind
+a single ``telemetry=`` parameter that threads from the public entry
+points (:meth:`NocSimulator.run`, :meth:`NocSimulator.run_batch`,
+``simulate_workload``, the CLI) down to the cycle loops.  ``None``
+anywhere along the way means *strictly no observation*: the engines only
+ever test attributes against ``None``, so the disabled path adds no
+per-flit work (guarded by the ``telemetry-overhead`` bench scenario).
+
+The object-model engines observe through class-attribute probe seams on
+:class:`~repro.noc.router.Router` and :class:`~repro.noc.endpoint.Endpoint`
+(``tracer`` / ``metrics``, both ``None`` by default);
+:func:`install_probes` sets them per run and
+:func:`uninstall_probes` always clears them again, so a network is never
+left observed after the run that attached the probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.metrics import MetricsCollector
+from repro.telemetry.profile import StageProfiler
+from repro.telemetry.trace import FlitTracer
+
+
+@dataclass
+class TelemetrySession:
+    """The optional observers of one simulation run (all default off)."""
+
+    metrics: MetricsCollector | None = None
+    tracer: FlitTracer | None = None
+    profiler: StageProfiler | None = None
+
+    @classmethod
+    def full(cls) -> "TelemetrySession":
+        """A session with every observer enabled."""
+        return cls(
+            metrics=MetricsCollector(), tracer=FlitTracer(), profiler=StageProfiler()
+        )
+
+    @property
+    def observes_network(self) -> bool:
+        """Whether any per-network probe (metrics or tracer) is attached."""
+        return self.metrics is not None or self.tracer is not None
+
+
+def install_probes(routers, endpoints, session: TelemetrySession) -> None:
+    """Attach the session's metrics/tracer to the object-model probe seams."""
+    for router in routers:
+        router.metrics = session.metrics
+        router.tracer = session.tracer
+    for endpoint in endpoints:
+        endpoint.metrics = session.metrics
+        endpoint.tracer = session.tracer
+
+
+def uninstall_probes(routers, endpoints) -> None:
+    """Detach every probe installed by :func:`install_probes`."""
+    for router in routers:
+        router.metrics = None
+        router.tracer = None
+    for endpoint in endpoints:
+        endpoint.metrics = None
+        endpoint.tracer = None

@@ -1,0 +1,229 @@
+"""Flit-lifecycle tracing: per-packet event streams and trace exports.
+
+A :class:`FlitTracer` records one event per lifecycle step of every flit:
+
+* ``inject`` — the flit leaves its source endpoint,
+* ``link_traverse`` — the flit arrives in a router input buffer,
+* ``vc_grant`` — the packet's head is granted an output VC,
+* ``sa_grant`` — the flit wins switch allocation and is forwarded,
+* ``eject`` — the flit arrives at its destination endpoint.
+
+Events carry the globally unique, engine-independent ``packet_id`` plus
+the flit index, so the *canonically sorted* event stream of a run is a
+bit-identical artifact across all engines under a fixed seed — a far
+sharper correctness check than comparing final latency histograms.
+(Within a cycle the engines process components in different orders, so
+the raw append order differs; :meth:`FlitTracer.canonical_events` sorts
+by ``(cycle, packet_id, flit_index, kind, ...)`` to erase exactly that
+immaterial difference and nothing else.)
+
+Exports: JSONL (one event object per line) and Chrome trace-event JSON
+(the ``traceEvents`` format Perfetto and ``chrome://tracing`` load):
+packets appear as async spans from injection to ejection, and every
+lifecycle event as an instant on its router's or endpoint's track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+#: Event-kind names, indexed by the integer codes stored in the tuples.
+#: The order is the canonical within-(cycle, flit) sort order: a flit is
+#: injected before it traverses a link, a head arrival precedes its VC
+#: grant in the same cycle, and a grant precedes the (later) SA win.
+TRACE_KINDS = ("inject", "link_traverse", "vc_grant", "sa_grant", "eject")
+
+_K_INJECT = 0
+_K_LINK = 1
+_K_VC_GRANT = 2
+_K_SA_GRANT = 3
+_K_EJECT = 4
+
+TRACE_SCHEMA = 1
+
+#: Field names of one event tuple, in order.
+EVENT_FIELDS = ("cycle", "packet", "flit", "kind", "node", "port", "vc")
+
+
+class FlitTracer:
+    """Record the lifecycle events of every flit of one run.
+
+    Events are stored as plain tuples
+    ``(cycle, packet_id, flit_index, kind, node, port, vc)`` where
+    ``node`` is a router id (``link_traverse`` / ``vc_grant`` /
+    ``sa_grant``) or an endpoint id (``inject`` / ``eject``) and
+    ``port`` is the router-local port (``-1`` for endpoint events).
+    A tracer is single-use: create a fresh one per run.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[tuple[int, int, int, int, int, int, int]] = []
+
+    # -- recording seams (called by the engines and probe hooks) ------------
+
+    def inject(
+        self, cycle: int, packet_id: int, flit_index: int, endpoint: int, vc: int
+    ) -> None:
+        self.events.append((cycle, packet_id, flit_index, _K_INJECT, endpoint, -1, vc))
+
+    def link_traverse(
+        self,
+        cycle: int,
+        packet_id: int,
+        flit_index: int,
+        router: int,
+        port: int,
+        vc: int,
+    ) -> None:
+        self.events.append((cycle, packet_id, flit_index, _K_LINK, router, port, vc))
+
+    def vc_grant(
+        self,
+        cycle: int,
+        packet_id: int,
+        flit_index: int,
+        router: int,
+        out_port: int,
+        out_vc: int,
+    ) -> None:
+        self.events.append(
+            (cycle, packet_id, flit_index, _K_VC_GRANT, router, out_port, out_vc)
+        )
+
+    def sa_grant(
+        self,
+        cycle: int,
+        packet_id: int,
+        flit_index: int,
+        router: int,
+        port: int,
+        vc: int,
+    ) -> None:
+        self.events.append((cycle, packet_id, flit_index, _K_SA_GRANT, router, port, vc))
+
+    def eject(
+        self, cycle: int, packet_id: int, flit_index: int, endpoint: int, vc: int
+    ) -> None:
+        self.events.append((cycle, packet_id, flit_index, _K_EJECT, endpoint, -1, vc))
+
+    # -- canonical view -----------------------------------------------------
+
+    def canonical_events(self) -> list[tuple[int, int, int, int, int, int, int]]:
+        """The events in canonical order — the cross-engine comparison key."""
+        return sorted(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- exports ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One canonical event per line, as compact JSON objects."""
+        lines = []
+        for event in self.canonical_events():
+            record = dict(zip(EVENT_FIELDS, event))
+            record["kind"] = TRACE_KINDS[record["kind"]]
+            lines.append(json.dumps(record, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def to_chrome_trace(self, *, metadata: dict | None = None) -> dict:
+        """Chrome trace-event JSON, loadable in Perfetto.
+
+        One microsecond of trace time per simulated cycle.  Packets are
+        async ``b``/``e`` spans (pid 1) from head injection to tail
+        ejection; every lifecycle event is an instant on the track of
+        its router (pid 2) or endpoint (pid 3).
+        """
+        events = self.canonical_events()
+        trace_events: list[dict] = [
+            {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "packets"}},
+            {"ph": "M", "pid": 2, "name": "process_name", "args": {"name": "routers"}},
+            {
+                "ph": "M",
+                "pid": 3,
+                "name": "process_name",
+                "args": {"name": "endpoints"},
+            },
+        ]
+        first_inject: dict[int, int] = {}
+        last_eject: dict[int, int] = {}
+        for cycle, packet_id, _flit, kind, _node, _port, _vc in events:
+            if kind == _K_INJECT and packet_id not in first_inject:
+                first_inject[packet_id] = cycle
+            elif kind == _K_EJECT:
+                last_eject[packet_id] = cycle
+        for packet_id, start in first_inject.items():
+            end = last_eject.get(packet_id)
+            if end is None:
+                continue
+            name = f"packet-{packet_id}"
+            common = {
+                "cat": "packet",
+                "id": packet_id,
+                "name": name,
+                "pid": 1,
+                "tid": 0,
+            }
+            trace_events.append({"ph": "b", "ts": start, **common})
+            trace_events.append({"ph": "e", "ts": end, **common})
+        for cycle, packet_id, flit_index, kind, node, port, vc in events:
+            endpoint_event = kind in (_K_INJECT, _K_EJECT)
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": TRACE_KINDS[kind],
+                    "cat": "flit",
+                    "ts": cycle,
+                    "pid": 3 if endpoint_event else 2,
+                    "tid": node,
+                    "args": {
+                        "packet": packet_id,
+                        "flit": flit_index,
+                        "port": port,
+                        "vc": vc,
+                    },
+                }
+            )
+        document = {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA, "clock": "1us per simulated cycle"},
+        }
+        if metadata:
+            document["otherData"].update(metadata)
+        return document
+
+    def write_chrome_trace(self, path, *, metadata: dict | None = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(metadata=metadata), handle)
+            handle.write("\n")
+
+
+def read_jsonl(handle: TextIO) -> list[tuple[int, int, int, int, int, int, int]]:
+    """Parse a JSONL export back into canonical event tuples."""
+    events = []
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(
+            (
+                record["cycle"],
+                record["packet"],
+                record["flit"],
+                TRACE_KINDS.index(record["kind"]),
+                record["node"],
+                record["port"],
+                record["vc"],
+            )
+        )
+    return sorted(events)

@@ -393,6 +393,7 @@ def simulate_workload(
     max_schedule_slots: int = 64,
     faults: FaultSet | None = None,
     remap_seed: int = 0,
+    telemetry=None,
 ) -> WorkloadSimulationResult:
     """Run a mapped workload through the cycle-accurate NoC simulator.
 
@@ -413,6 +414,10 @@ def simulate_workload(
     and pass a mapping built for the degraded topology instead.  Fault
     sets that disconnect the topology raise
     :class:`~repro.noc.faults.FaultedTopologyError`.
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.TelemetrySession` forwarded to
+    :meth:`NocSimulator.run`, observing the underlying NoC run.
     """
     if config is None:
         config = SimulationConfig()
@@ -436,7 +441,7 @@ def simulate_workload(
     simulator = NocSimulator(
         graph, config, injection_rate=injection_rate, traffic=traffic
     )
-    result = simulator.run(engine=engine)
+    result = simulator.run(engine=engine, telemetry=telemetry)
     endpoints = task_endpoints(
         workload, mapping, endpoints_per_chiplet=config.endpoints_per_chiplet
     )

@@ -33,13 +33,16 @@ def simulate_noc(
     traffic="uniform",
     faults=None,
     mode="legacy",
+    telemetry=None,
 ):
     """Run one simulation point under a mode; return ``(network, result)``.
 
     ``mode`` is an engine name or ``"batched"``, which evaluates the point
     through :meth:`NocSimulator.run_batch` (vectorized batch engine) and
     captures the network through the ``on_point`` hook — so every suite
-    can inspect final network state uniformly across modes.
+    can inspect final network state uniformly across modes.  ``telemetry``
+    is an optional :class:`~repro.telemetry.TelemetrySession` observing
+    the run (in batched mode it is handed to the single point).
     """
     if mode == "batched":
         captured = {}
@@ -55,10 +58,11 @@ def simulate_noc(
             faults=faults,
             engine="vectorized",
             on_point=grab,
+            telemetry=None if telemetry is None else lambda index, point: telemetry,
         )
         return captured["network"], results[0]
     simulator = NocSimulator(
         graph, config, injection_rate=injection_rate, traffic=traffic, faults=faults
     )
-    result = simulator.run(engine=mode)
+    result = simulator.run(engine=mode, telemetry=telemetry)
     return simulator.network, result

@@ -109,7 +109,11 @@ class TestSweepRunner:
     def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
         runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
         records = runner.run(GRID[:1])
-        (entry,) = [name for name in os.listdir(tmp_path) if name.endswith(".json")]
+        (entry,) = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.endswith(".json") and not name.endswith(".manifest.json")
+        ]
         with open(tmp_path / entry, "w", encoding="utf-8") as handle:
             handle.write("{not json")
         again = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path).run(GRID[:1])
