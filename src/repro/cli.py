@@ -15,13 +15,16 @@ Installed as the ``hexamesh`` console script (also reachable with
   canonical event streams are bit-identical,
 * ``sweep``     — parallel cycle-accurate sweep over the full design grid
   (kinds × chiplet counts × injection rates × traffic patterns) with
-  ``--jobs`` workers and an optional ``--cache-dir`` result cache,
+  ``--jobs`` workers and an optional ``--cache-dir`` result store,
 * ``workload``  — map application task graphs (DNN pipelines, fork-join,
   stencil, all-reduce, client-server) onto arrangements and run the
   trace-driven cycle-accurate simulator, reporting application metrics,
 * ``faults``    — fault-injection resilience sweep: simulate degraded
   topologies (failed links / routers, sampled deterministically or given
   explicitly) and report per-arrangement degradation curves,
+* ``store``     — inspect and maintain the persistent result store that
+  backs ``--cache-dir`` (``stats``, ``ls``, ``gc``, ``migrate``,
+  ``verify`` — re-simulate sampled entries and compare bit-for-bit),
 * ``bench``     — run the engine benchmark scenarios and emit a
   machine-readable ``BENCH_<rev>.json`` report (optionally gated against
   the committed baseline, which is how CI tracks perf regressions),
@@ -33,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -134,184 +138,394 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("number", choices=("6", "7"))
     figure.add_argument("--max-chiplets", type=int, default=100)
     figure.add_argument("--output", default=None, help="CSV output path (default: stdout)")
-    figure.add_argument("--mode", choices=("analytical", "hybrid", "simulation"),
-                        default="analytical", help="Figure 7 evaluation engine")
-    figure.add_argument("--sim-points", default=None,
-                        help="comma list of chiplet counts to simulate (hybrid mode)")
-    figure.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for cycle-accurate points")
-    figure.add_argument("--cache-dir", default=None,
-                        help="on-disk cache for cycle-accurate results")
-    figure.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
-                        help="cycle-loop engine for cycle-accurate points "
-                             "(all engines are bit-identical)")
-    figure.add_argument("--batch", action="store_true",
-                        help="batch the cycle-accurate points of each arrangement "
-                             "over one shared topology build (bit-identical)")
+    figure.add_argument(
+        "--mode",
+        choices=("analytical", "hybrid", "simulation"),
+        default="analytical",
+        help="Figure 7 evaluation engine",
+    )
+    figure.add_argument(
+        "--sim-points",
+        default=None,
+        help="comma list of chiplet counts to simulate (hybrid mode)",
+    )
+    figure.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for cycle-accurate points"
+    )
+    figure.add_argument(
+        "--cache-dir", default=None, help="persistent result store for cycle-accurate results"
+    )
+    figure.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="cycle-loop engine for cycle-accurate points (all engines are bit-identical)",
+    )
+    figure.add_argument(
+        "--batch",
+        action="store_true",
+        help="batch the cycle-accurate points of each arrangement "
+        "over one shared topology build (bit-identical)",
+    )
 
     simulate = subparsers.add_parser("simulate", help="run the cycle-accurate simulator")
     simulate.add_argument("kind", choices=_KINDS)
     simulate.add_argument("chiplets", type=int)
     simulate.add_argument("--injection-rate", type=float, default=0.05)
     simulate.add_argument("--traffic", default="uniform")
-    simulate.add_argument("--cycles", type=int, default=1000,
-                          help="measurement cycles (warm-up and drain scale with it)")
-    simulate.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
-                          help="cycle-loop engine (all engines are bit-identical)")
-    simulate.add_argument("--metrics-out", default=None, metavar="PATH",
-                          help="write per-cycle metric series (buffer occupancy, "
-                               "link flits, VC stalls, in-flight, backlog) as JSON")
-    simulate.add_argument("--trace-out", default=None, metavar="PATH",
-                          help="write the flit-lifecycle trace as Chrome "
-                               "trace-event JSON (Perfetto-loadable)")
-    simulate.add_argument("--trace-jsonl", default=None, metavar="PATH",
-                          help="write the flit-lifecycle trace as JSONL "
-                               "(one canonical event per line)")
+    simulate.add_argument(
+        "--cycles",
+        type=int,
+        default=1000,
+        help="measurement cycles (warm-up and drain scale with it)",
+    )
+    simulate.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="cycle-loop engine (all engines are bit-identical)",
+    )
+    simulate.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write per-cycle metric series (buffer occupancy, "
+        "link flits, VC stalls, in-flight, backlog) as JSON",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the flit-lifecycle trace as Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    simulate.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the flit-lifecycle trace as JSONL (one canonical event per line)",
+    )
 
     trace = subparsers.add_parser(
         "trace",
         help="record a flit-lifecycle trace (Perfetto/JSONL export, "
-             "optional cross-engine equality check)",
+        "optional cross-engine equality check)",
     )
     trace.add_argument("kind", choices=_KINDS)
     trace.add_argument("chiplets", type=int)
     trace.add_argument("--injection-rate", type=float, default=0.05)
     trace.add_argument("--traffic", default="uniform")
-    trace.add_argument("--cycles", type=int, default=200,
-                       help="measurement cycles (warm-up and drain scale with it)")
+    trace.add_argument(
+        "--cycles",
+        type=int,
+        default=200,
+        help="measurement cycles (warm-up and drain scale with it)",
+    )
     trace.add_argument("--seed", type=int, default=1, help="RNG seed")
-    trace.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
-                       help="engine that records the exported trace")
-    trace.add_argument("--output", default=None, metavar="PATH",
-                       help="Chrome trace-event JSON output path "
-                            "(default: trace-<kind><chiplets>.json)")
-    trace.add_argument("--jsonl", default=None, metavar="PATH",
-                       help="also write the trace as JSONL")
-    trace.add_argument("--check", action="store_true",
-                       help="replay the point on every engine and fail unless "
-                            "the canonical event streams and metric series "
-                            "are bit-identical")
+    trace.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="engine that records the exported trace",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="Chrome trace-event JSON output path (default: trace-<kind><chiplets>.json)",
+    )
+    trace.add_argument("--jsonl", default=None, metavar="PATH", help="also write the trace as JSONL")
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="replay the point on every engine and fail unless "
+        "the canonical event streams and metric series "
+        "are bit-identical",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
         help="parallel cycle-accurate sweep over (kind x chiplets x rate x traffic)",
     )
-    sweep.add_argument("--kinds", default="grid,brickwall,hexamesh",
-                       help='comma list of arrangement kinds, or "all"')
-    sweep.add_argument("--chiplets", default="16,36,64",
-                       help="comma list of chiplet counts")
-    sweep.add_argument("--rates", default="0.02,0.1,0.3,0.5,1.0",
-                       help="comma list of injection rates (flits/cycle/endpoint)")
-    sweep.add_argument("--traffic", default="uniform",
-                       help='comma list of traffic patterns, or "all"')
+    sweep.add_argument(
+        "--kinds",
+        default="grid,brickwall,hexamesh",
+        help='comma list of arrangement kinds, or "all"',
+    )
+    sweep.add_argument("--chiplets", default="16,36,64", help="comma list of chiplet counts")
+    sweep.add_argument(
+        "--rates",
+        default="0.02,0.1,0.3,0.5,1.0",
+        help="comma list of injection rates (flits/cycle/endpoint)",
+    )
+    sweep.add_argument(
+        "--traffic", default="uniform", help='comma list of traffic patterns, or "all"'
+    )
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
-    sweep.add_argument("--cache-dir", default=None,
-                       help="on-disk result cache directory")
-    sweep.add_argument("--cycles", type=int, default=1000,
-                       help="measurement cycles (warm-up and drain scale with it)")
+    sweep.add_argument(
+        "--cache-dir", default=None, help="persistent result store directory"
+    )
+    sweep.add_argument(
+        "--cycles",
+        type=int,
+        default=1000,
+        help="measurement cycles (warm-up and drain scale with it)",
+    )
     sweep.add_argument("--seed", type=int, default=1, help="base RNG seed")
-    sweep.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
-                       help="cycle-loop engine (all engines are bit-identical)")
-    sweep.add_argument("--batch", action="store_true",
-                       help="batch same-structure candidates (equal kind/count/"
-                            "traffic/faults) over one shared topology build; "
-                            "results are bit-identical to per-point runs")
+    sweep.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="cycle-loop engine (all engines are bit-identical)",
+    )
+    sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="batch same-structure candidates (equal kind/count/"
+        "traffic/faults) over one shared topology build; "
+        "results are bit-identical to per-point runs",
+    )
     sweep.add_argument("--output", default=None, help="CSV output path (default: table)")
-    sweep.add_argument("--progress", choices=("plain", "detail", "quiet"),
-                       default="plain",
-                       help="progress rendering: plain per-candidate lines, "
-                            "detail adds rate/ETA/cache-ratio per line, "
-                            "quiet suppresses everything but the end summary")
+    sweep.add_argument(
+        "--progress",
+        choices=("plain", "detail", "quiet"),
+        default="plain",
+        help="progress rendering: plain per-candidate lines, "
+        "detail adds rate/ETA/cache-ratio per line, "
+        "quiet suppresses everything but the end summary",
+    )
 
     workload = subparsers.add_parser(
         "workload",
         help="map application task graphs onto arrangements and simulate them",
     )
-    workload.add_argument("--kind", default="dnn-pipeline",
-                          help='comma list of workload kinds, or "all"')
-    workload.add_argument("--chiplets", default="37",
-                          help="comma list of chiplet counts")
-    workload.add_argument("--arrangement", default="hexamesh",
-                          help='comma list of arrangement kinds, or "all"')
-    workload.add_argument("--mapper", default="partition",
-                          help='comma list of mappers, or "all"')
-    workload.add_argument("--tasks", type=int, default=None,
-                          help="tasks per workload (default: the chiplet count)")
-    workload.add_argument("--injection-rate", type=float, default=0.1,
-                          help="offered load of the heaviest source endpoint")
-    workload.add_argument("--cycles", type=int, default=1000,
-                          help="measurement cycles (warm-up and drain scale with it)")
+    workload.add_argument(
+        "--kind", default="dnn-pipeline", help='comma list of workload kinds, or "all"'
+    )
+    workload.add_argument("--chiplets", default="37", help="comma list of chiplet counts")
+    workload.add_argument(
+        "--arrangement", default="hexamesh", help='comma list of arrangement kinds, or "all"'
+    )
+    workload.add_argument("--mapper", default="partition", help='comma list of mappers, or "all"')
+    workload.add_argument(
+        "--tasks",
+        type=int,
+        default=None,
+        help="tasks per workload (default: the chiplet count)",
+    )
+    workload.add_argument(
+        "--injection-rate",
+        type=float,
+        default=0.1,
+        help="offered load of the heaviest source endpoint",
+    )
+    workload.add_argument(
+        "--cycles",
+        type=int,
+        default=1000,
+        help="measurement cycles (warm-up and drain scale with it)",
+    )
     workload.add_argument("--seed", type=int, default=1, help="base RNG seed")
-    workload.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
-                          help="cycle-loop engine (all engines are bit-identical)")
+    workload.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="cycle-loop engine (all engines are bit-identical)",
+    )
     workload.add_argument("--jobs", type=int, default=1, help="worker processes")
-    workload.add_argument("--cache-dir", default=None,
-                          help="on-disk result cache directory")
+    workload.add_argument(
+        "--cache-dir", default=None, help="persistent result store directory"
+    )
     workload.add_argument("--output", default=None, help="CSV output path (default: table)")
-    workload.add_argument("--progress", choices=("plain", "detail", "quiet"),
-                          default="plain",
-                          help="progress rendering (see sweep --progress)")
+    workload.add_argument(
+        "--progress",
+        choices=("plain", "detail", "quiet"),
+        default="plain",
+        help="progress rendering (see sweep --progress)",
+    )
 
     faults = subparsers.add_parser(
         "faults",
         help="fault-injection resilience sweep: per-arrangement degradation "
-             "vs. number of failed links/routers",
+        "vs. number of failed links/routers",
     )
-    faults.add_argument("--kinds", default="grid,brickwall,hexamesh",
-                        help='comma list of arrangement kinds, or "all"')
-    faults.add_argument("--chiplets", type=int, default=37,
-                        help="chiplet count shared by every arrangement")
-    faults.add_argument("--failures", default="0,1,2,4",
-                        help="comma list of failure counts (include 0 for the baseline)")
-    faults.add_argument("--fault-type", choices=FAULT_TYPES, default="link",
-                        help="what fails: links, routers, or an even mix")
-    faults.add_argument("--samples", type=int, default=2,
-                        help="independent fault draws per (kind, failure count)")
-    faults.add_argument("--fail-links", default=None, metavar="LINKS",
-                        help='explicit failed links, e.g. "0-1,4-5" '
-                             "(skips sampling; combined with --fail-routers)")
-    faults.add_argument("--fail-routers", default=None, metavar="ROUTERS",
-                        help='explicit failed router ids, e.g. "3,8"')
+    faults.add_argument(
+        "--kinds",
+        default="grid,brickwall,hexamesh",
+        help='comma list of arrangement kinds, or "all"',
+    )
+    faults.add_argument(
+        "--chiplets", type=int, default=37, help="chiplet count shared by every arrangement"
+    )
+    faults.add_argument(
+        "--failures",
+        default="0,1,2,4",
+        help="comma list of failure counts (include 0 for the baseline)",
+    )
+    faults.add_argument(
+        "--fault-type",
+        choices=FAULT_TYPES,
+        default="link",
+        help="what fails: links, routers, or an even mix",
+    )
+    faults.add_argument(
+        "--samples",
+        type=int,
+        default=2,
+        help="independent fault draws per (kind, failure count)",
+    )
+    faults.add_argument(
+        "--fail-links",
+        default=None,
+        metavar="LINKS",
+        help='explicit failed links, e.g. "0-1,4-5" (skips sampling; combined with --fail-routers)',
+    )
+    faults.add_argument(
+        "--fail-routers",
+        default=None,
+        metavar="ROUTERS",
+        help='explicit failed router ids, e.g. "3,8"',
+    )
     faults.add_argument("--injection-rate", type=float, default=0.1)
     faults.add_argument("--traffic", default="uniform")
-    faults.add_argument("--cycles", type=int, default=1000,
-                        help="measurement cycles (warm-up and drain scale with it)")
-    faults.add_argument("--seed", type=int, default=1,
-                        help="base RNG seed (also seeds the fault sampling)")
+    faults.add_argument(
+        "--cycles",
+        type=int,
+        default=1000,
+        help="measurement cycles (warm-up and drain scale with it)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=1, help="base RNG seed (also seeds the fault sampling)"
+    )
     faults.add_argument("--jobs", type=int, default=1, help="worker processes")
-    faults.add_argument("--cache-dir", default=None,
-                        help="on-disk result cache directory")
-    faults.add_argument("--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
-                        help="cycle-loop engine (all engines are bit-identical)")
-    faults.add_argument("--batch", action="store_true",
-                        help="share each fault arrangement's degraded-topology "
-                             "build across its points (bit-identical)")
+    faults.add_argument(
+        "--cache-dir", default=None, help="persistent result store directory"
+    )
+    faults.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="cycle-loop engine (all engines are bit-identical)",
+    )
+    faults.add_argument(
+        "--batch",
+        action="store_true",
+        help="share each fault arrangement's degraded-topology build across its points "
+        "(bit-identical)",
+    )
     faults.add_argument("--output", default=None, help="CSV output path (default: table)")
-    faults.add_argument("--progress", choices=("plain", "detail", "quiet"),
-                        default="plain",
-                        help="progress rendering (see sweep --progress)")
+    faults.add_argument(
+        "--progress",
+        choices=("plain", "detail", "quiet"),
+        default="plain",
+        help="progress rendering (see sweep --progress)",
+    )
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect and maintain a persistent result store (the --cache-dir of sweeps)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_stats = store_sub.add_parser(
+        "stats", help="entry count, bytes, shards, quarantine and hygiene counters"
+    )
+    store_stats.add_argument("root", help="store directory")
+    store_stats.add_argument("--json", action="store_true", help="machine-readable output")
+
+    store_ls = store_sub.add_parser("ls", help="list entry keys (optionally with identities)")
+    store_ls.add_argument("root", help="store directory")
+    store_ls.add_argument(
+        "--long",
+        action="store_true",
+        help="read each entry and append its candidate identity",
+    )
+    store_ls.add_argument(
+        "--limit", type=int, default=None, help="print at most this many entries"
+    )
+
+    store_gc = store_sub.add_parser(
+        "gc", help="remove orphaned temp files, quarantined entries and empty shards"
+    )
+    store_gc.add_argument("root", help="store directory")
+    store_gc.add_argument(
+        "--keep-quarantine",
+        action="store_true",
+        help="leave quarantined (corrupt) entries in place for inspection",
+    )
+
+    store_migrate = store_sub.add_parser(
+        "migrate", help="migrate an old-layout store in place (idempotent)"
+    )
+    store_migrate.add_argument("root", help="store directory")
+
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="structurally check every entry, then re-simulate a sample "
+        "and compare bit-for-bit",
+    )
+    store_verify.add_argument("root", help="store directory")
+    store_verify.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        help="number of entries to re-simulate (deterministically sampled)",
+    )
+    store_verify.add_argument("--seed", type=int, default=0, help="sampling seed")
+    store_verify.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help="override the engine recorded in each entry's manifest "
+        "(all engines are bit-identical)",
+    )
 
     bench = subparsers.add_parser(
         "bench",
         help="run the engine benchmark scenarios and emit a BENCH_<rev>.json report",
     )
-    bench.add_argument("--quick", action="store_true",
-                       help="reduced phase lengths and the quick scenario subset (CI mode)")
-    bench.add_argument("--scenarios", default=None,
-                       help="comma list of scenario names (default: all for the mode)")
-    bench.add_argument("--repeat", type=int, default=1,
-                       help="runs per (scenario, engine); the fastest wall-clock is kept")
-    bench.add_argument("--output", default=None,
-                       help="report path (default: BENCH_<rev>.json in the working directory)")
-    bench.add_argument("--rev", default=None,
-                       help="revision label for the report (default: git short hash)")
-    bench.add_argument("--check-against", default=None, metavar="BASELINE",
-                       help="fail (exit 1) if any scenario regresses against this baseline JSON")
-    bench.add_argument("--write-baseline", default=None, metavar="PATH",
-                       help="also distil the report into a committed-baseline JSON "
-                            "(speedups + headline floors only)")
-    bench.add_argument("--list", action="store_true", dest="list_scenarios",
-                       help="print the scenario names for the chosen mode and exit")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced phase lengths and the quick scenario subset (CI mode)",
+    )
+    bench.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma list of scenario names (default: all for the mode)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="runs per (scenario, engine); the fastest wall-clock is kept",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="report path (default: BENCH_<rev>.json in the working directory)",
+    )
+    bench.add_argument(
+        "--rev", default=None, help="revision label for the report (default: git short hash)"
+    )
+    bench.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 1) if any scenario regresses against this baseline JSON",
+    )
+    bench.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="also distil the report into a committed-baseline JSON "
+        "(speedups + headline floors only)",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="print the scenario names for the chosen mode and exit",
+    )
 
     export = subparsers.add_parser("export", help="write BookSim2 inputs and/or an SVG view")
     export.add_argument("kind", choices=_KINDS)
@@ -367,10 +581,7 @@ def _command_figure(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         figure6 = run_figure6(range(1, args.max_chiplets + 1))
-        csv_text = (
-            figure6.diameter_experiment().to_csv()
-            + figure6.bisection_experiment().to_csv()
-        )
+        csv_text = figure6.diameter_experiment().to_csv() + figure6.bisection_experiment().to_csv()
     else:
         if args.mode == "analytical":
             # Mirror the figure-6 path: analytical mode never simulates, so
@@ -442,10 +653,7 @@ def _progress_reporter(jobs: int, mode: str):
             print(format_progress(snapshot, record.candidate.label), file=sys.stderr)
         else:
             origin = "cache" if record.from_cache else "sim"
-            print(
-                f"[{done}/{total}] {record.candidate.label} ({origin})",
-                file=sys.stderr,
-            )
+            print(f"[{done}/{total}] {record.candidate.label} ({origin})", file=sys.stderr)
 
     def finish() -> None:
         if last_snapshot:
@@ -562,10 +770,7 @@ def _command_trace(args: argparse.Namespace) -> int:
         if other_result != result:
             mismatches.append("simulation result")
         if mismatches:
-            print(
-                f"MISMATCH vs {engine}: {', '.join(mismatches)} differ",
-                file=sys.stderr,
-            )
+            print(f"MISMATCH vs {engine}: {', '.join(mismatches)} differ", file=sys.stderr)
             status = 1
         else:
             print(f"{engine}: trace, metrics and result bit-identical")
@@ -600,8 +805,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     kinds = _parse_list(args.kinds, kind=str, all_values=_KINDS)
     chiplet_counts = _parse_list(args.chiplets, kind=int)
     rates = _parse_list(args.rates, kind=float)
-    traffics = _parse_list(args.traffic, kind=str,
-                           all_values=available_traffic_patterns())
+    traffics = _parse_list(args.traffic, kind=str, all_values=available_traffic_patterns())
     # Fail fast on typos before any worker starts (rates are validated by
     # SweepCandidate itself when the grid is built below).
     for kind in kinds:
@@ -610,15 +814,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
         check_in_choices("traffic", traffic, available_traffic_patterns())
     config = _phase_config(args.cycles, seed=args.seed)
     runner_cls = BatchedSweepRunner if args.batch else ParallelSweepRunner
-    runner = runner_cls(
-        config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
-    )
+    runner = runner_cls(config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine)
     candidates = ParallelSweepRunner.grid(kinds, chiplet_counts, rates, traffics)
     report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
     finish_progress()
-    header = ["kind", "chiplets", "rate", "traffic", "avg latency [cyc]",
-              "p99 latency [cyc]", "accepted [flit/cyc/EP]", "delivered ratio"]
+    header = [
+        "kind",
+        "chiplets",
+        "rate",
+        "traffic",
+        "avg latency [cyc]",
+        "p99 latency [cyc]",
+        "accepted [flit/cyc/EP]",
+        "delivered ratio",
+    ]
     rows = [
         [
             record.candidate.kind,
@@ -677,10 +887,20 @@ def _command_workload(args: argparse.Namespace) -> int:
     records = runner.run(candidates, progress=report_progress)
     finish_progress()
 
-    header = ["arrangement", "chiplets", "workload", "mapper", "tasks",
-              "weighted hops", "max link load", "avg latency [cyc]",
-              "p99 latency [cyc]", "accepted [flit/cyc/EP]",
-              "makespan proxy [cyc]", "delivered ratio"]
+    header = [
+        "arrangement",
+        "chiplets",
+        "workload",
+        "mapper",
+        "tasks",
+        "weighted hops",
+        "max link load",
+        "avg latency [cyc]",
+        "p99 latency [cyc]",
+        "accepted [flit/cyc/EP]",
+        "makespan proxy [cyc]",
+        "delivered ratio",
+    ]
     # The static metrics are recomputed from the candidate identity (valid
     # for cache hits too); the partition mapper dominates that cost, so
     # fan the recomputation across the same worker pool as the sweep.
@@ -692,20 +912,22 @@ def _command_workload(args: argparse.Namespace) -> int:
     rows = []
     for record, (workload, cost) in zip(records, static_metrics):
         candidate = record.candidate
-        rows.append([
-            candidate.kind,
-            candidate.num_chiplets,
-            candidate.workload,
-            candidate.effective_mapper,
-            workload.num_tasks,
-            cost.weighted_hop_count,
-            cost.max_link_load,
-            round(record.result.packet_latency.mean, 3),
-            round(record.result.packet_latency.p99, 3),
-            round(record.result.accepted_flit_rate, 5),
-            round(makespan_proxy_cycles(workload, record.result), 2),
-            round(record.result.measured_delivery_ratio, 4),
-        ])
+        rows.append(
+            [
+                candidate.kind,
+                candidate.num_chiplets,
+                candidate.workload,
+                candidate.effective_mapper,
+                workload.num_tasks,
+                cost.weighted_hop_count,
+                cost.max_link_load,
+                round(record.result.packet_latency.mean, 3),
+                round(record.result.packet_latency.p99, 3),
+                round(record.result.accepted_flit_rate, 5),
+                round(makespan_proxy_cycles(workload, record.result), 2),
+                round(record.result.measured_delivery_ratio, 4),
+            ]
+        )
     _emit_table(args.output, header, rows)
     return 0
 
@@ -744,7 +966,7 @@ def _command_faults(args: argparse.Namespace) -> int:
             # sweep; fail fast instead.
             print(
                 "error: --fail-links/--fail-routers were given but name no "
-                "faults; pass at least one link (e.g. \"0-1\") or router id, "
+                'faults; pass at least one link (e.g. "0-1") or router id, '
                 "or drop the flags to run a sampled sweep",
                 file=sys.stderr,
             )
@@ -776,9 +998,7 @@ def _command_faults(args: argparse.Namespace) -> int:
                 )
             )
         runner_cls = BatchedSweepRunner if args.batch else ParallelSweepRunner
-        runner = runner_cls(
-            config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine
-        )
+        runner = runner_cls(config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine)
         records = runner.run(candidates, progress=report_progress)
         summaries = summarize_records(records, fault_type="explicit")
     else:
@@ -801,9 +1021,18 @@ def _command_faults(args: argparse.Namespace) -> int:
         summaries = result.summaries
     finish_progress()
 
-    header = ["kind", "chiplets", "failures", "samples", "avg latency [cyc]",
-              "p99 latency [cyc]", "accepted [flit/cyc/EP]", "delivered ratio",
-              "latency vs healthy", "throughput vs healthy"]
+    header = [
+        "kind",
+        "chiplets",
+        "failures",
+        "samples",
+        "avg latency [cyc]",
+        "p99 latency [cyc]",
+        "accepted [flit/cyc/EP]",
+        "delivered ratio",
+        "latency vs healthy",
+        "throughput vs healthy",
+    ]
     # Ratio columns stay raw floats (NaN included) so CSV output parses
     # numerically like every other command's; the table branch below
     # formats them for reading.
@@ -825,11 +1054,125 @@ def _command_faults(args: argparse.Namespace) -> int:
     if args.output:
         _emit_table(args.output, header, rows)
     else:
+
         def ratio(value: float) -> str:
             return f"{value:.3f}x" if value == value else "-"
 
         display = [row[:-2] + [ratio(row[-2]), ratio(row[-1])] for row in rows]
         print(format_table(header, display))
+    return 0
+
+
+def _candidate_summary(candidate: dict) -> str:
+    """One-line identity of a stored candidate for ``store ls --long``."""
+    parts = [
+        f"{candidate.get('kind', '?')}-{candidate.get('num_chiplets', '?')}",
+        f"rate={candidate.get('injection_rate', '?')}",
+        str(candidate.get("traffic", "?")),
+    ]
+    if candidate.get("workload"):
+        parts.append(f"workload={candidate['workload']}/{candidate.get('mapper') or 'default'}")
+    if candidate.get("failed_links") or candidate.get("failed_routers"):
+        faults = len(candidate.get("failed_links") or ()) + len(
+            candidate.get("failed_routers") or ()
+        )
+        parts.append(f"faults={faults}")
+    return " ".join(parts)
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis-only commands should not pay for the
+    # store package (which pulls in the sweep stack through verify).
+    from repro.store import ResultStore, StoreSchemaError, verify_store
+
+    if not os.path.isdir(args.root):
+        print(f"error: no store directory at {args.root!r}", file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore(args.root)
+    except StoreSchemaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.store_command == "stats":
+        stats = store.stats()
+        if args.json:
+            document = {
+                "schema": stats.schema,
+                "generation": stats.generation,
+                "entries": stats.entries,
+                "total_bytes": stats.total_bytes,
+                "shards": stats.shards,
+                "quarantined": stats.quarantined,
+                "orphan_tmp": stats.orphan_tmp,
+                "migrated_on_open": store.migrated,
+            }
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            rows = [
+                ["schema", stats.schema],
+                ["generation", stats.generation],
+                ["entries", stats.entries],
+                ["total bytes", stats.total_bytes],
+                ["shards", stats.shards],
+                ["quarantined", stats.quarantined],
+                ["orphan tmp files", stats.orphan_tmp],
+            ]
+            if store.migrated:
+                rows.append(["migrated on open", store.migrated])
+            print(format_table(["metric", "value"], rows))
+        return 0
+
+    if args.store_command == "ls":
+        keys = store.keys()
+        shown = keys if args.limit is None else keys[: args.limit]
+        for key in shown:
+            if args.long:
+                entry = store.get(key)
+                identity = _candidate_summary(entry.candidate) if entry else "<corrupt>"
+                print(f"{key}  {identity}")
+            else:
+                print(key)
+        if len(shown) < len(keys):
+            print(f"... and {len(keys) - len(shown)} more", file=sys.stderr)
+        return 0
+
+    if args.store_command == "gc":
+        outcome = store.gc(purge_quarantine=not args.keep_quarantine)
+        print(
+            f"removed {outcome.removed_tmp} orphaned tmp files, "
+            f"{outcome.removed_quarantined} quarantined entries, "
+            f"{outcome.pruned_shards} empty shards "
+            f"({outcome.freed_bytes} bytes freed)"
+        )
+        return 0
+
+    if args.store_command == "migrate":
+        # Migration happens when the store opens; report what it did.
+        if store.migrated:
+            print(f"migrated {store.migrated} legacy entries to schema {store.stats().schema}")
+        else:
+            print(f"store already at schema {store.stats().schema}; nothing to migrate")
+        return 0
+
+    # verify
+    outcomes = verify_store(store, sample=args.sample, seed=args.seed, engine=args.engine)
+    status = 0
+    recomputed = 0
+    for outcome in outcomes:
+        if outcome.status == "ok":
+            recomputed += 1
+            print(f"ok        {outcome.key}  {outcome.detail}")
+        elif outcome.status == "skipped":
+            print(f"skipped   {outcome.key}  {outcome.detail}")
+        else:
+            print(f"MISMATCH  {outcome.key}  {outcome.detail}", file=sys.stderr)
+            status = 1
+    total = len(store.keys())
+    if status:
+        print("store verification FAILED", file=sys.stderr)
+        return 1
+    print(f"verified {total} entries structurally, {recomputed} recomputed bit-for-bit")
     return 0
 
 
@@ -845,7 +1188,8 @@ def _command_bench(args: argparse.Namespace) -> int:
     scenario_names = None
     if args.scenarios:
         scenario_names = _parse_list(
-            args.scenarios, kind=str,
+            args.scenarios,
+            kind=str,
             all_values=bench.available_scenarios(quick=args.quick),
         )
     revision = args.rev if args.rev is not None else bench.git_revision()
@@ -895,29 +1239,33 @@ def _command_export(args: argparse.Namespace) -> int:
         print(f"wrote {args.booksim_topology} and {args.booksim_config}")
         wrote_something = True
     elif args.booksim_topology or args.booksim_config:
-        print("error: --booksim-topology and --booksim-config must be given together",
-              file=sys.stderr)
+        print(
+            "error: --booksim-topology and --booksim-config must be given together",
+            file=sys.stderr,
+        )
         return 2
     if args.svg:
         if arrangement.placement is None:
-            print("error: the honeycomb has no rectangular placement to render",
-                  file=sys.stderr)
+            print(
+                "error: the honeycomb has no rectangular placement to render",
+                file=sys.stderr,
+            )
             return 2
         save_svg(placement_svg(arrangement.placement), args.svg)
         print(f"wrote {args.svg}")
         wrote_something = True
     if not wrote_something:
-        print("nothing to export: pass --svg and/or --booksim-topology/--booksim-config",
-              file=sys.stderr)
+        print(
+            "nothing to export: pass --svg and/or --booksim-topology/--booksim-config",
+            file=sys.stderr,
+        )
         return 2
     return 0
 
 
 def _command_feasibility(args: argparse.Namespace) -> int:
     arrangement = make_arrangement(args.kind, args.chiplets)
-    report = check_package_feasibility(
-        arrangement, silicon_interposer=args.silicon_interposer
-    )
+    report = check_package_feasibility(arrangement, silicon_interposer=args.silicon_interposer)
     rows = [
         ["chiplet width [mm]", report.shape.width_mm],
         ["chiplet height [mm]", report.shape.height_mm],
@@ -942,6 +1290,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "workload": _command_workload,
     "faults": _command_faults,
+    "store": _command_store,
     "bench": _command_bench,
     "export": _command_export,
     "feasibility": _command_feasibility,

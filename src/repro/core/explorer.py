@@ -385,6 +385,7 @@ class DesignSpaceExplorer:
         config=None,
         engine: str = DEFAULT_ENGINE,
         batch: bool = True,
+        cache_dir: str | None = None,
     ):
         """Cycle-accurately validate one explored record.
 
@@ -399,7 +400,10 @@ class DesignSpaceExplorer:
         :class:`~repro.noc.sweep.InjectionSweepResult`.  ``batch``
         (default on) evaluates all points of the curve over one shared
         topology / routing / flat-state build — bit-identical to
-        per-point runs, typically severalfold faster.
+        per-point runs, typically severalfold faster.  ``cache_dir``
+        points the curve path at a persistent result store
+        (:mod:`repro.store`), so spot checks share results with every
+        other execution path using the same store.
         """
         if rates is not None:
             # Imported lazily to keep repro.core free of a hard noc.sweep
@@ -413,6 +417,7 @@ class DesignSpaceExplorer:
                 rates=rates,
                 engine=engine,
                 batch=batch,
+                cache_dir=cache_dir,
             )
         return record.design.simulate(
             injection_rate=injection_rate, config=config, engine=engine

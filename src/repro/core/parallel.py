@@ -12,12 +12,14 @@ Invariants the rest of the code base relies on:
   seed and the candidate's identity (via SHA-256, never Python's
   process-randomised ``hash``), so ``jobs=1`` and ``jobs=N`` runs return
   identical records in identical order, across processes and machines.
-* **Cache transparency.**  Cache entries are keyed by a hash of the full
-  candidate + simulation configuration, so a cache hit returns exactly
-  what the simulation would have produced; the cycle-loop engines (legacy,
-  active-set, vectorized) are bit-identical by construction (see
+* **Cache transparency.**  Cached results live in the persistent
+  content-addressed result store (:mod:`repro.store`), keyed by a hash of
+  the full candidate + simulation configuration, so a cache hit returns
+  exactly what the simulation would have produced; the cycle-loop engines
+  (legacy, active-set, vectorized) are bit-identical by construction (see
   :mod:`repro.noc.engine` and :mod:`repro.noc.vec_engine`), so cached
-  results are shared between them.
+  results are shared between them — and between processes, runs and
+  machines sharing one store directory.
 * **Order preservation.**  Workers may finish out of order (unordered
   chunked dispatch keeps them busy), but results are always returned in
   candidate order.
@@ -31,7 +33,6 @@ out through it.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import multiprocessing
 import os
@@ -46,6 +47,7 @@ from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.faults import FaultedTopologyError, FaultSet
 from repro.noc.simulator import BatchPoint, NocSimulator, SimulationResult
 from repro.noc.stats import LatencyStatistics, ThroughputStatistics
+from repro.store import ResultStore, result_key
 from repro.utils.mathutils import mix_seed
 from repro.utils.validation import check_fraction, check_in_choices, check_positive_int
 from repro.workloads import (
@@ -59,10 +61,6 @@ from repro.workloads import (
 #: ``latest`` is the item that just finished (a :class:`SweepRecord` for
 #: :class:`ParallelSweepRunner`, the mapped value for :func:`parallel_map`).
 ProgressCallback = Callable[[int, int, Any], None]
-
-#: Schema version of the on-disk cache entries; bump when the result
-#: layout or the simulator's observable behaviour changes.
-_CACHE_SCHEMA = 1
 
 
 # ---------------------------------------------------------------------------
@@ -494,20 +492,6 @@ def _evaluate_work_item(
     return index, result, perf_counter() - start
 
 
-def _pid_alive(pid: int) -> bool:
-    """Whether a process with this pid currently exists (signal-0 probe)."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except OSError:
-        # EPERM and friends: the process exists but is not ours.
-        return True
-    return True
-
-
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
@@ -526,9 +510,13 @@ class ParallelSweepRunner:
         Number of worker processes; ``1`` evaluates inline (identical
         results, no multiprocessing).
     cache_dir:
-        Optional directory for the on-disk result cache.  Entries are JSON
-        files named by a SHA-256 hash of the candidate + configuration, so
-        re-running an overlapping grid only simulates the new points.
+        Optional root directory of the persistent result store
+        (:class:`repro.store.ResultStore`).  Entries are content-addressed
+        by a SHA-256 hash of the candidate + configuration, so re-running
+        an overlapping grid only simulates the new points — across runs,
+        job counts, runners and concurrent processes sharing the
+        directory.  Legacy flat cache directories are migrated in place
+        the first time a store opens them.
     chunk_size:
         Candidates per dispatch unit; defaults to
         :func:`default_chunk_size`.
@@ -560,6 +548,7 @@ class ParallelSweepRunner:
         self._chunk_size = chunk_size
         self._engine = engine
         self._derive_seeds = derive_seeds
+        self._store: ResultStore | None = None
 
     @property
     def jobs(self) -> int:
@@ -570,6 +559,20 @@ class ParallelSweepRunner:
     def config(self) -> SimulationConfig:
         """Base simulation configuration."""
         return self._config
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The persistent result store backing this runner, or ``None``.
+
+        Opened lazily on first use so constructing an uncached runner
+        never touches the filesystem; opening validates/migrates the
+        on-disk schema and sweeps orphaned temp files of dead writers.
+        """
+        if self._cache_dir is None:
+            return None
+        if self._store is None:
+            self._store = ResultStore(self._cache_dir)
+        return self._store
 
     # -- grid construction ---------------------------------------------------
 
@@ -633,32 +636,27 @@ class ParallelSweepRunner:
     # -- cache ---------------------------------------------------------------
 
     def cache_key(self, candidate: SweepCandidate, config: SimulationConfig) -> str:
-        """Stable hash identifying one (candidate, configuration) result."""
-        payload = {
-            "schema": _CACHE_SCHEMA,
-            "candidate": candidate.key_dict(),
-            "config": asdict(config),
-        }
-        canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
-        return hashlib.sha256(canonical).hexdigest()
+        """Stable hash identifying one (candidate, configuration) result.
 
-    def _cache_path(self, key: str) -> str | None:
-        if self._cache_dir is None:
-            return None
-        return os.path.join(self._cache_dir, f"{key}.json")
+        Delegates to :func:`repro.store.result_key`, which preserves the
+        exact key computation of the earlier flat cache — previously
+        computed results keep their addresses across the store migration.
+        """
+        return result_key(candidate.key_dict(), asdict(config))
 
     def _cache_load(self, key: str) -> SimulationResult | None:
-        path = self._cache_path(key)
-        if path is None or not os.path.exists(path):
+        store = self.store
+        if store is None:
+            return None
+        entry = store.load(key)
+        if entry is None:
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if data.get("schema") != _CACHE_SCHEMA:
-                return None
-            return simulation_result_from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupt or incompatible entry: recompute and overwrite.
+            return simulation_result_from_dict(entry.result)
+        except (ValueError, KeyError, TypeError):
+            # A structurally valid entry whose result payload does not
+            # rebuild (e.g. written by a different result layout):
+            # recompute and overwrite.
             return None
 
     def _cache_store(
@@ -670,46 +668,17 @@ class ParallelSweepRunner:
         seed: int | None = None,
         wall_time_s: float | None = None,
     ) -> None:
-        path = self._cache_path(key)
-        if path is None:
-            return
-        os.makedirs(self._cache_dir, exist_ok=True)
-        payload = {
-            "schema": _CACHE_SCHEMA,
-            "candidate": candidate.key_dict(),
-            "result": simulation_result_to_dict(result),
-        }
-        # Write-then-rename so readers never observe a half-written entry;
-        # the ``finally`` removes the temp file when the write or the
-        # rename fails, so an aborted store cannot leave one behind.
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, path)
-        finally:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-        self._write_manifest(key, candidate, seed=seed, wall_time_s=wall_time_s)
+        """Publish one fresh result into the store, provenance embedded.
 
-    def _write_manifest(
-        self,
-        key: str,
-        candidate: SweepCandidate,
-        *,
-        seed: int | None,
-        wall_time_s: float | None,
-    ) -> None:
-        """Write the run-provenance sidecar next to a fresh cache entry.
-
-        ``<key>.manifest.json`` records who computed the entry and how
-        (git revision, library versions, engine, derived seed, wall
-        time), so cached results stay auditable long after the sweep.
-        Best-effort: a failed manifest write never fails the sweep.
+        The manifest (git revision, library versions, engine, derived
+        seed, configuration, wall time) travels inside the entry — the
+        store is self-describing, which is what lets ``hexamesh store
+        verify`` replay any entry bit-for-bit later.
         """
-        from repro.telemetry.provenance import build_manifest, write_manifest
+        store = self.store
+        if store is None or key is None:
+            return
+        from repro.telemetry.provenance import build_manifest
 
         manifest = build_manifest(
             config=replace(self._config, seed=seed)
@@ -720,45 +689,12 @@ class ParallelSweepRunner:
             wall_time_s=wall_time_s,
             extra={"candidate": candidate.key_dict(), "cache_key": key},
         )
-        try:
-            write_manifest(
-                os.path.join(self._cache_dir, f"{key}.manifest.json"), manifest
-            )
-        except OSError:  # pragma: no cover - defensive
-            pass
-
-    def _sweep_orphaned_cache_tmp(self) -> int:
-        """Remove stale ``<key>.json.tmp.<pid>`` files from the cache dir.
-
-        Crashed or killed sweep workers die between the temp-file write
-        and the :func:`os.replace`, stranding their temp files beside the
-        target forever (the ``finally`` in :meth:`_cache_store` only
-        covers in-process failures).  Called once per :meth:`run` on a
-        caching runner, this sweeps those orphans away; temp files whose
-        writer pid is still alive are left alone — they belong to a
-        concurrent sweep that is about to rename them.  Returns the
-        number of files removed.
-        """
-        cache_dir = self._cache_dir
-        if cache_dir is None:
-            return 0
-        try:
-            names = os.listdir(cache_dir)
-        except OSError:
-            return 0
-        removed = 0
-        for name in names:
-            stem, sep, pid_text = name.rpartition(".tmp.")
-            if not sep or not stem.endswith(".json") or not pid_text.isdigit():
-                continue
-            if _pid_alive(int(pid_text)):
-                continue
-            try:
-                os.unlink(os.path.join(cache_dir, name))
-            except OSError:
-                continue
-            removed += 1
-        return removed
+        store.store(
+            key,
+            candidate=candidate.key_dict(),
+            result=simulation_result_to_dict(result),
+            manifest=manifest,
+        )
 
     # -- running -------------------------------------------------------------
 
@@ -795,8 +731,6 @@ class ParallelSweepRunner:
                 progress(completed, total, record)
 
         caching = self._cache_dir is not None
-        if caching:
-            self._sweep_orphaned_cache_tmp()
         pending: dict[int, tuple[SweepCandidate, int, str | None]] = {}
         for index, candidate in enumerate(ordered):
             seed = self.candidate_seed(candidate)

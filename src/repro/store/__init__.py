@@ -1,0 +1,52 @@
+"""Content-addressed persistent result store (see :mod:`repro.store.store`).
+
+The durable, shareable successor of the per-run flat JSON cache: sharded
+content-addressed entries under ``objects/``, atomic lock-free writes, a
+versioned on-disk schema with an explicit migrate/reject path, embedded
+provenance manifests, generation-guarded temp-file hygiene and
+recompute-and-compare verification.  Both sweep runners read and write
+through it, so every execution path — sweeps, figure 7, resilience,
+workloads — shares one store.
+"""
+
+from repro.store.store import (
+    KEY_SCHEMA,
+    LEGACY_FLAT_SCHEMA,
+    STORE_SCHEMA,
+    ResultStore,
+    StoreCounters,
+    StoreEntry,
+    StoreGCResult,
+    StoreSchemaError,
+    StoreStats,
+    is_result_key,
+    result_key,
+)
+from repro.store.verify import (
+    VerifyOutcome,
+    candidate_from_key_dict,
+    canonical_result_json,
+    sample_keys,
+    verify_entry,
+    verify_store,
+)
+
+__all__ = [
+    "KEY_SCHEMA",
+    "LEGACY_FLAT_SCHEMA",
+    "STORE_SCHEMA",
+    "ResultStore",
+    "StoreCounters",
+    "StoreEntry",
+    "StoreGCResult",
+    "StoreSchemaError",
+    "StoreStats",
+    "VerifyOutcome",
+    "candidate_from_key_dict",
+    "canonical_result_json",
+    "is_result_key",
+    "result_key",
+    "sample_keys",
+    "verify_entry",
+    "verify_store",
+]

@@ -1,0 +1,132 @@
+"""The ``hexamesh store`` sub-command: stats, ls, gc, migrate, verify."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.store import STORE_SCHEMA, ResultStore
+
+
+@pytest.fixture()
+def populated_store(tmp_path):
+    """A store with two real sweep entries, built through the CLI itself."""
+    store_dir = tmp_path / "store"
+    code = main(
+        [
+            "sweep",
+            "--kinds",
+            "hexamesh",
+            "--chiplets",
+            "7",
+            "--rates",
+            "0.05,0.3",
+            "--cycles",
+            "60",
+            "--cache-dir",
+            str(store_dir),
+            "--progress",
+            "quiet",
+            "--output",
+            str(tmp_path / "sweep.csv"),
+        ]
+    )
+    assert code == 0
+    return store_dir
+
+
+class TestStoreStats:
+    def test_table_output(self, populated_store, capsys):
+        assert main(["store", "stats", str(populated_store)]) == 0
+        output = capsys.readouterr().out
+        assert "entries" in output
+        assert "quarantined" in output
+
+    def test_json_output(self, populated_store, capsys):
+        assert main(["store", "stats", str(populated_store), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema"] == STORE_SCHEMA
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["store", "stats", str(tmp_path / "nope")]) == 2
+        assert "no store directory" in capsys.readouterr().err
+
+    def test_newer_schema_rejected(self, tmp_path, capsys):
+        root = tmp_path / "future"
+        root.mkdir()
+        (root / "store.json").write_text(json.dumps({"schema": STORE_SCHEMA + 1}))
+        assert main(["store", "stats", str(root)]) == 2
+        assert "newer than" in capsys.readouterr().err
+
+
+class TestStoreLs:
+    def test_plain_and_long(self, populated_store, capsys):
+        assert main(["store", "ls", str(populated_store)]) == 0
+        keys = capsys.readouterr().out.split()
+        assert len(keys) == 2 and all(len(key) == 64 for key in keys)
+        assert main(["store", "ls", str(populated_store), "--long"]) == 0
+        assert "hexamesh-7" in capsys.readouterr().out
+
+    def test_limit(self, populated_store, capsys):
+        assert main(["store", "ls", str(populated_store), "--limit", "1"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.split()) == 1
+        assert "1 more" in captured.err
+
+
+class TestStoreGcAndMigrate:
+    def test_gc_reports_what_it_removed(self, populated_store, capsys):
+        store = ResultStore(str(populated_store))
+        (key,) = store.keys()[:1]
+        with open(store.entry_path(key), "w", encoding="utf-8") as handle:
+            handle.write("{broken")
+        assert store.load(key) is None  # quarantines the corrupt entry
+        assert main(["store", "gc", str(populated_store)]) == 0
+        output = capsys.readouterr().out
+        assert "1 quarantined entries" in output
+        assert not (populated_store / "quarantine").exists()
+
+    def test_migrate_flat_layout(self, populated_store, tmp_path, capsys):
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        store = ResultStore(str(populated_store))
+        for key in store.keys():
+            entry = store.get(key)
+            (legacy / f"{key}.json").write_text(
+                json.dumps(
+                    {"schema": 1, "candidate": entry.candidate, "result": entry.result}
+                )
+            )
+        assert main(["store", "migrate", str(legacy)]) == 0
+        assert "migrated 2 legacy entries" in capsys.readouterr().out
+        assert main(["store", "migrate", str(legacy)]) == 0
+        assert "nothing to migrate" in capsys.readouterr().out
+
+
+class TestStoreVerify:
+    def test_verify_ok(self, populated_store, capsys):
+        assert main(["store", "verify", str(populated_store), "--sample", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "2 recomputed bit-for-bit" in output
+
+    def test_verify_flags_tampering(self, populated_store, capsys):
+        store = ResultStore(str(populated_store))
+        (key,) = store.keys()[:1]
+        entry = store.get(key)
+        tampered = dict(entry.result)
+        tampered["accepted_flit_rate"] = 99.0
+        store.store(key, candidate=entry.candidate, result=tampered, manifest=entry.manifest)
+        assert main(["store", "verify", str(populated_store), "--sample", "2"]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+    def test_verify_engine_override(self, populated_store, capsys):
+        code = main(
+            ["store", "verify", str(populated_store), "--sample", "1", "--engine", "vectorized"]
+        )
+        assert code == 0
+        assert "(vectorized)" in capsys.readouterr().out

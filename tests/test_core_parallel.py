@@ -19,6 +19,7 @@ from repro.core.parallel import (
     simulation_result_to_dict,
 )
 from repro.noc.config import SimulationConfig
+from repro.store import ResultStore
 
 FAST_CONFIG = SimulationConfig(
     warmup_cycles=40, measurement_cycles=80, drain_cycles=160
@@ -109,12 +110,8 @@ class TestSweepRunner:
     def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
         runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
         records = runner.run(GRID[:1])
-        (entry,) = [
-            name
-            for name in os.listdir(tmp_path)
-            if name.endswith(".json") and not name.endswith(".manifest.json")
-        ]
-        with open(tmp_path / entry, "w", encoding="utf-8") as handle:
+        (key,) = runner.store.keys()
+        with open(runner.store.entry_path(key), "w", encoding="utf-8") as handle:
             handle.write("{not json")
         again = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path).run(GRID[:1])
         assert not again[0].from_cache
@@ -298,7 +295,7 @@ class TestSingletonBatchFallThrough:
 
 
 class TestCacheTmpHygiene:
-    """Stale ``.tmp.<pid>`` files beside the cache targets get swept."""
+    """Stale temp files in the store's objects tree get swept on open."""
 
     def _dead_pid(self):
         import subprocess
@@ -308,12 +305,18 @@ class TestCacheTmpHygiene:
         probe.wait()
         return probe.pid
 
+    def _plant(self, root, name):
+        shard = root / "objects" / "aa"
+        shard.mkdir(parents=True, exist_ok=True)
+        path = shard / name
+        path.write_text("{}")
+        return path
+
     def test_orphans_swept_live_writers_and_bystanders_spared(self, tmp_path):
-        orphan = tmp_path / f"{'a' * 8}.json.tmp.{self._dead_pid()}"
-        orphan.write_text("{}")
-        live = tmp_path / f"{'b' * 8}.json.tmp.{os.getpid()}"
-        live.write_text("{}")
-        bystander = tmp_path / "notes.txt"
+        ResultStore(str(tmp_path))  # generation 1; the next open is 2
+        orphan = self._plant(tmp_path, f"{'a' * 64}.json.tmp.g1.p{self._dead_pid()}")
+        live = self._plant(tmp_path, f"{'b' * 64}.json.tmp.g1.p{os.getpid()}")
+        bystander = tmp_path / "objects" / "aa" / "notes.txt"
         bystander.write_text("keep me")
         runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
         runner.run(GRID[:1])
@@ -321,30 +324,46 @@ class TestCacheTmpHygiene:
         assert live.exists()
         assert bystander.exists()
 
+    def test_pid_reuse_cannot_kill_a_current_generation_writer(self, tmp_path):
+        # The regression the generation guard exists for: a temp file of
+        # the sweeper's own (or a newer) generation belongs to a live
+        # concurrent writer, and must be spared even when its pid probes
+        # dead — a recycled pid says nothing about the writer that holds
+        # the current generation.
+        ResultStore(str(tmp_path))  # generation 1; the next open is 2
+        same_gen = self._plant(tmp_path, f"{'c' * 64}.json.tmp.g2.p{self._dead_pid()}")
+        newer_gen = self._plant(tmp_path, f"{'d' * 64}.json.tmp.g9.p{self._dead_pid()}")
+        store = ResultStore(str(tmp_path))
+        assert store.generation == 2
+        assert same_gen.exists()
+        assert newer_gen.exists()
+        assert store.sweep_orphans() == 0
+
     def test_sweep_only_matches_the_temp_pattern(self, tmp_path):
-        # Cache entries themselves and non-numeric suffixes must survive.
-        entry = tmp_path / f"{'c' * 8}.json"
-        entry.write_text("{}")
-        odd = tmp_path / f"{'d' * 8}.json.tmp.notapid"
-        odd.write_text("{}")
-        runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
-        assert runner._sweep_orphaned_cache_tmp() == 0
+        # Store entries themselves and non-matching suffixes must survive.
+        entry = self._plant(tmp_path, f"{'e' * 64}.json")
+        odd = self._plant(tmp_path, f"{'f' * 64}.json.tmp.notapid")
+        store = ResultStore(str(tmp_path))
+        assert store.sweep_orphans() == 0
         assert entry.exists()
         assert odd.exists()
 
     def test_failed_store_leaves_no_temp_file(self, tmp_path, monkeypatch):
-        import repro.core.parallel as parallel_module
+        import repro.store.store as store_module
 
         (record,) = ParallelSweepRunner(FAST_CONFIG, jobs=1).run(GRID[:1])
         runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
+        assert runner.store is not None  # open before json.dump is broken
 
         def boom(*_args, **_kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(parallel_module.json, "dump", boom)
+        monkeypatch.setattr(store_module.json, "dump", boom)
         with pytest.raises(OSError, match="disk full"):
-            runner._cache_store("e" * 8, GRID[0], record.result)
-        leftovers = [name for name in os.listdir(tmp_path) if ".tmp." in name]
+            runner._cache_store("e" * 64, GRID[0], record.result)
+        leftovers = [
+            str(path) for path in tmp_path.rglob("*") if ".tmp." in path.name
+        ]
         assert leftovers == []
 
 

@@ -1,7 +1,7 @@
 """Unit tests of the telemetry subsystem and its integration seams.
 
 Covers the collector/tracer/provenance/progress/profiler primitives in
-isolation, the manifest sidecars and wall-time accounting of the sweep
+isolation, the store-embedded manifests and wall-time accounting of the sweep
 runners, and the CLI surface (``simulate --metrics-out/--trace-out``,
 ``trace``, sweep progress summaries).  Cross-engine equality of the
 observed artifacts lives in ``test_trace_equivalence.py``.
@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import io
 import json
-import os
 
 import pytest
 
@@ -246,21 +245,17 @@ class TestTelemetrySession:
 class TestSweepRunnerTelemetry:
     GRID = ParallelSweepRunner.grid(("hexamesh",), (7,), (0.05,), ("uniform",))
 
-    def test_manifest_sidecar_written_next_to_cache_entry(self, tmp_path):
+    def test_manifest_embedded_in_store_entry(self, tmp_path):
         runner = ParallelSweepRunner(FAST_CONFIG, jobs=1, cache_dir=tmp_path)
         (record,) = runner.run(self.GRID)
-        (manifest_path,) = [
-            tmp_path / name
-            for name in os.listdir(tmp_path)
-            if name.endswith(".manifest.json")
-        ]
-        manifest = json.loads(manifest_path.read_text())
+        (key,) = runner.store.keys()
+        manifest = runner.store.get(key).manifest
         assert manifest["schema"] == MANIFEST_SCHEMA
         assert manifest["seed"] == record.seed
         assert manifest["engine"] == runner._engine
         assert manifest["wall_time_s"] == pytest.approx(record.wall_time_s)
         assert manifest["candidate"]["kind"] == "hexamesh"
-        assert manifest["cache_key"] == manifest_path.name.split(".")[0]
+        assert manifest["cache_key"] == key
         assert manifest["config"]["seed"] == record.seed
 
     def test_wall_time_fresh_vs_cache_hit(self, tmp_path):
