@@ -3,7 +3,8 @@
 The harness runs a fixed, deterministic list of scenarios — the Figure 7
 simulation point the paper spot-checks (61-chiplet HexaMesh), a small
 design-space sweep, a trace-driven application workload, a
-fault-injection resilience curve and a 16-point batched-vs-per-point
+fault-injection resilience curve, a batched-vs-per-point multi-rate
+resilience *surface* and a 16-point batched-vs-per-point
 injection sweep — once per
 cycle-loop engine, and emits a machine-readable ``BENCH_<rev>.json``
 report with wall-clock seconds, simulated cycles per second and the
@@ -86,6 +87,12 @@ HEADLINE_FLOORS: dict[tuple[str, str], float] = {
 #: (asserted in-harness on every run).
 BATCHED_FLOORS: dict[tuple[str, str], float] = {
     ("sweep-batched-hexamesh61", "vectorized"): 2.0,
+    # The multi-rate resilience surface: every injection rate of one
+    # sampled fault arrangement shares a single degraded-topology /
+    # routing / flat-state build, so the 3x16-point surface must stay
+    # >= 2x faster batched than per-point (bit-identical records
+    # asserted in-harness on every run).
+    ("resilience-multirate-hexamesh19", "vectorized"): 2.0,
 }
 
 
@@ -244,6 +251,70 @@ def _sweep_batched(quick: bool):
     return run
 
 
+#: Grid of the multi-rate resilience scenario: every fault arrangement
+#: (healthy, one failed link, two failed links — three distinct degraded
+#: topologies) is evaluated at sixteen zero-load-region offered loads.
+#: Phase lengths are deliberately mode-independent, like the batched
+#: sweep above, and short: degradation *surfaces* are a screening
+#: workload (many short points per topology), which is exactly the
+#: regime where the per-point arrangement/routing/flat-state rebuild
+#: used to dominate.  The drain is long enough that every point still
+#: delivers all measured packets.
+_RESILIENCE_MULTIRATE_CONFIG = dict(
+    warmup_cycles=40, measurement_cycles=60, drain_cycles=160
+)
+
+RESILIENCE_MULTIRATE_RATES: tuple[float, ...] = tuple(
+    round(0.001 * step, 3) for step in range(1, 17)
+)
+RESILIENCE_MULTIRATE_FAILURES: tuple[int, ...] = (0, 1, 2)
+
+
+def _resilience_multirate(quick: bool):
+    config = SimulationConfig(**_RESILIENCE_MULTIRATE_CONFIG)
+
+    def sweep(engine: str, batch: bool):
+        return run_resilience_sweep(
+            ("hexamesh",),
+            19,
+            RESILIENCE_MULTIRATE_FAILURES,
+            samples=1,
+            fault_type="link",
+            config=config,
+            injection_rates=RESILIENCE_MULTIRATE_RATES,
+            jobs=1,
+            engine=engine,
+            batch=batch,
+        )
+
+    def run(engine: str):
+        start = time.perf_counter()
+        per_point = sweep(engine, batch=False)
+        per_point_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = sweep(engine, batch=True)
+        batched_wall = time.perf_counter() - start
+        if batched.records != per_point.records:
+            raise RuntimeError(
+                "resilience-multirate-hexamesh19: batched surface differs "
+                f"from per-point results under engine {engine!r} — the "
+                "bit-identical contract is broken"
+            )
+        cycles = 2 * sum(
+            record.result.cycles_simulated for record in per_point.records
+        )
+        extra = {
+            "per_point_wall_seconds": round(per_point_wall, 6),
+            "batched_wall_seconds": round(batched_wall, 6),
+            "batched_speedup_vs_per_point": round(
+                per_point_wall / batched_wall, 3
+            ) if batched_wall > 0 else 0.0,
+        }
+        return [record.result for record in per_point.records], cycles, extra
+
+    return run
+
+
 def _telemetry_overhead(quick: bool):
     graph = make_arrangement("hexamesh", 61).graph
     config = _phase_config(quick)
@@ -320,6 +391,16 @@ SCENARIOS: tuple[BenchScenario, ...] = (
         description="fault-injection degradation curve on the 19-chiplet HexaMesh",
         quick=True,
         build=_resilience_curve,
+    ),
+    BenchScenario(
+        name="resilience-multirate-hexamesh19",
+        description=(
+            "multi-rate degradation surface on the 19-chiplet HexaMesh "
+            "(3 fault arrangements x 16 rates): batched surface vs "
+            "per-point runs (bit-identical records asserted)"
+        ),
+        quick=True,
+        build=_resilience_multirate,
     ),
     BenchScenario(
         name="sweep-batched-hexamesh61",

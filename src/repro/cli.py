@@ -61,7 +61,9 @@ from repro.noc.faults import FaultSet
 from repro.noc.simulator import BatchPoint, NocSimulator
 from repro.noc.traffic import available_traffic_patterns
 from repro.resilience.sweep import (
+    EXPLICIT_FAULT_TYPE,
     FAULT_TYPES,
+    normalize_injection_rates,
     run_resilience_sweep,
     summarize_records,
 )
@@ -80,6 +82,10 @@ from repro.workloads import available_mappers, available_workloads, makespan_pro
 from repro.workloads.mapping import evaluate_mapping
 
 _KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
+
+#: Regularity classes accepted by ``--regularity`` (paper Section IV-C);
+#: omitting the flag keeps the best class each chiplet count admits.
+_REGULARITIES = ("regular", "semi-regular", "irregular")
 
 
 def _parse_list(text: str, *, kind: type, all_values: tuple = ()) -> list:
@@ -260,6 +266,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--traffic", default="uniform", help='comma list of traffic patterns, or "all"'
     )
+    sweep.add_argument(
+        "--regularity",
+        choices=_REGULARITIES,
+        default=None,
+        help="force one regularity class for every arrangement "
+        "(default: best available per chiplet count)",
+    )
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
     sweep.add_argument(
         "--cache-dir", default=None, help="persistent result store directory"
@@ -306,6 +319,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--arrangement", default="hexamesh", help='comma list of arrangement kinds, or "all"'
     )
     workload.add_argument("--mapper", default="partition", help='comma list of mappers, or "all"')
+    workload.add_argument(
+        "--regularity",
+        choices=_REGULARITIES,
+        default=None,
+        help="force one regularity class for every arrangement "
+        "(default: best available per chiplet count)",
+    )
     workload.add_argument(
         "--tasks",
         type=int,
@@ -357,6 +377,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chiplets", type=int, default=37, help="chiplet count shared by every arrangement"
     )
     faults.add_argument(
+        "--regularity",
+        choices=_REGULARITIES,
+        default=None,
+        help="force one regularity class for every arrangement "
+        "(default: best available per chiplet count)",
+    )
+    faults.add_argument(
         "--failures",
         default="0,1,2,4",
         help="comma list of failure counts (include 0 for the baseline)",
@@ -386,6 +413,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help='explicit failed router ids, e.g. "3,8"',
     )
     faults.add_argument("--injection-rate", type=float, default=0.1)
+    faults.add_argument(
+        "--injection-rates",
+        default=None,
+        metavar="RATES",
+        help="comma list of injection rates; sweeping several turns each "
+        "degradation curve into a degradation surface (rows gain a rate "
+        "column) and overrides --injection-rate",
+    )
     faults.add_argument("--traffic", default="uniform")
     faults.add_argument(
         "--cycles",
@@ -419,6 +454,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default="plain",
         help="progress rendering (see sweep --progress)",
     )
+    # _command_faults reads flag defaults straight from the parser (for
+    # the ignored-under---fail-* warning) instead of duplicating literals.
+    faults.set_defaults(faults_parser=faults)
 
     store = subparsers.add_parser(
         "store",
@@ -815,7 +853,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     config = _phase_config(args.cycles, seed=args.seed)
     runner_cls = BatchedSweepRunner if args.batch else ParallelSweepRunner
     runner = runner_cls(config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine)
-    candidates = ParallelSweepRunner.grid(kinds, chiplet_counts, rates, traffics)
+    candidates = ParallelSweepRunner.grid(
+        kinds, chiplet_counts, rates, traffics, regularity=args.regularity
+    )
     report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
     finish_progress()
@@ -882,6 +922,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         mappers,
         injection_rates=(args.injection_rate,),
         num_tasks=args.tasks,
+        regularity=args.regularity,
     )
     report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
@@ -939,17 +980,23 @@ def _command_faults(args: argparse.Namespace) -> int:
         check_in_choices("kind", kind, _KINDS)
     check_in_choices("traffic", args.traffic, available_traffic_patterns())
     config = _phase_config(args.cycles, seed=args.seed)
+    rates = normalize_injection_rates(
+        args.injection_rate,
+        _parse_list(args.injection_rates, kind=float) if args.injection_rates else None,
+    )
     report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     explicit = args.fail_links is not None or args.fail_routers is not None
     if explicit:
         # Mirror the ignored-flag convention of the figure command: the
         # sampling knobs have no effect once the fault set is explicit.
+        # The defaults come from the parser itself (get_default) so the
+        # warning can never drift out of sync with _build_parser.
         ignored = [
             flag
             for flag, value, default in (
-                ("--failures", args.failures, "0,1,2,4"),
-                ("--samples", args.samples, 2),
-                ("--fault-type", args.fault_type, "link"),
+                ("--failures", args.failures, args.faults_parser.get_default("failures")),
+                ("--samples", args.samples, args.faults_parser.get_default("samples")),
+                ("--fault-type", args.fault_type, args.faults_parser.get_default("fault_type")),
             )
             if value != default
         ]
@@ -973,34 +1020,32 @@ def _command_faults(args: argparse.Namespace) -> int:
             return 2
         # Fail fast with the precise FaultedTopologyError message (absent
         # component / isolated router / disconnected survivors) before
-        # any worker starts.
+        # any worker starts — honouring the same --regularity override
+        # the candidates below will simulate.
         for kind in kinds:
-            graph = make_arrangement(kind, args.chiplets).graph
+            graph = make_arrangement(kind, args.chiplets, args.regularity).graph
             fault_set.apply(graph)
+        # Rate-innermost ordering keeps every rate of one fault set
+        # adjacent, so --batch shares its degraded-topology build.
         candidates = []
         for kind in kinds:
-            candidates.append(
-                SweepCandidate(
-                    kind=kind,
-                    num_chiplets=args.chiplets,
-                    injection_rate=args.injection_rate,
-                    traffic=args.traffic,
-                )
-            )
-            candidates.append(
-                SweepCandidate(
-                    kind=kind,
-                    num_chiplets=args.chiplets,
-                    injection_rate=args.injection_rate,
-                    traffic=args.traffic,
-                    failed_links=fault_set.failed_links,
-                    failed_routers=fault_set.failed_routers,
-                )
-            )
+            for healthy in (True, False):
+                for rate in rates:
+                    candidates.append(
+                        SweepCandidate(
+                            kind=kind,
+                            num_chiplets=args.chiplets,
+                            injection_rate=rate,
+                            traffic=args.traffic,
+                            regularity=args.regularity,
+                            failed_links=() if healthy else fault_set.failed_links,
+                            failed_routers=() if healthy else fault_set.failed_routers,
+                        )
+                    )
         runner_cls = BatchedSweepRunner if args.batch else ParallelSweepRunner
         runner = runner_cls(config, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine)
         records = runner.run(candidates, progress=report_progress)
-        summaries = summarize_records(records, fault_type="explicit")
+        summaries = summarize_records(records, fault_type=EXPLICIT_FAULT_TYPE)
     else:
         failure_counts = _parse_list(args.failures, kind=int)
         result = run_resilience_sweep(
@@ -1011,7 +1056,9 @@ def _command_faults(args: argparse.Namespace) -> int:
             fault_type=args.fault_type,
             config=config,
             injection_rate=args.injection_rate,
+            injection_rates=rates,
             traffic=args.traffic,
+            regularity=args.regularity,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             engine=args.engine,
@@ -1025,6 +1072,7 @@ def _command_faults(args: argparse.Namespace) -> int:
         "kind",
         "chiplets",
         "failures",
+        "rate",
         "samples",
         "avg latency [cyc]",
         "p99 latency [cyc]",
@@ -1041,6 +1089,7 @@ def _command_faults(args: argparse.Namespace) -> int:
             summary.kind,
             summary.num_chiplets,
             summary.num_failures,
+            summary.injection_rate,
             summary.samples,
             round(summary.mean_latency_cycles, 3),
             round(summary.p99_latency_cycles, 3),

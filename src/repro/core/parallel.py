@@ -42,7 +42,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.arrangements.factory import make_arrangement
 from repro.graphs.model import ChipGraph
-from repro.noc.config import SimulationConfig
+from repro.noc.config import SimulationConfig, config_identity_dict
 from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.faults import FaultedTopologyError, FaultSet
 from repro.noc.simulator import BatchPoint, NocSimulator, SimulationResult
@@ -582,14 +582,22 @@ class ParallelSweepRunner:
         chiplet_counts: Iterable[int],
         injection_rates: Iterable[float],
         traffics: Sequence[str] = ("uniform",),
+        *,
+        regularity: str | None = None,
     ) -> list[SweepCandidate]:
-        """The full cartesian candidate grid, in deterministic order."""
+        """The full cartesian candidate grid, in deterministic order.
+
+        ``regularity`` requests one regularity class for every
+        arrangement (``None`` keeps the per-count best available class,
+        and the candidates' cache keys unchanged).
+        """
         return [
             SweepCandidate(
                 kind=kind,
                 num_chiplets=count,
                 injection_rate=rate,
                 traffic=traffic,
+                regularity=regularity,
             )
             for count in chiplet_counts
             for kind in kinds
@@ -606,6 +614,7 @@ class ParallelSweepRunner:
         *,
         injection_rates: Iterable[float] = (0.1,),
         num_tasks: int | None = None,
+        regularity: str | None = None,
     ) -> list[SweepCandidate]:
         """The trace-driven candidate grid: (arrangement x count x workload x mapper).
 
@@ -613,7 +622,9 @@ class ParallelSweepRunner:
         :func:`repro.workloads.effective_num_tasks`: ``None`` scales each
         workload with its candidate's chiplet count (about one task per
         chiplet), while an explicit value below a generator's minimum
-        fails fast at grid construction.
+        fails fast at grid construction.  ``regularity`` requests one
+        regularity class for every arrangement (``None`` keeps the best
+        available class per count).
         """
         return [
             SweepCandidate(
@@ -625,6 +636,7 @@ class ParallelSweepRunner:
                     ("num_tasks", effective_num_tasks(workload, num_tasks, count)),
                 ),
                 mapper=mapper,
+                regularity=regularity,
             )
             for count in chiplet_counts
             for kind in kinds
@@ -641,8 +653,13 @@ class ParallelSweepRunner:
         Delegates to :func:`repro.store.result_key`, which preserves the
         exact key computation of the earlier flat cache — previously
         computed results keep their addresses across the store migration.
+        The config enters through
+        :func:`repro.noc.config.config_identity_dict`, which omits
+        ``router_pipeline`` at its single-stage default for the same
+        reason: keys minted before the knob existed stay valid, staged
+        runs key distinctly.
         """
-        return result_key(candidate.key_dict(), asdict(config))
+        return result_key(candidate.key_dict(), config_identity_dict(config))
 
     def _cache_load(self, key: str) -> SimulationResult | None:
         store = self.store
@@ -680,10 +697,15 @@ class ParallelSweepRunner:
             return
         from repro.telemetry.provenance import build_manifest
 
+        # The manifest embeds the *identity* rendering of the config (the
+        # exact dict the cache key hashes), so `hexamesh store verify`
+        # can re-derive the entry key from the manifest bit-for-bit;
+        # SimulationConfig(**manifest_config) still reconstructs exactly
+        # (omitted-at-default fields come back as their defaults).
         manifest = build_manifest(
-            config=replace(self._config, seed=seed)
-            if seed is not None
-            else self._config,
+            config=config_identity_dict(
+                replace(self._config, seed=seed) if seed is not None else self._config
+            ),
             engine=self._engine,
             seed=seed,
             wall_time_s=wall_time_s,

@@ -7,9 +7,20 @@ links, 3-cycle routers, 8 virtual channels and 8-flit buffers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
-from repro.utils.validation import check_non_negative, check_positive_int
+from repro.utils.validation import (
+    check_in_choices,
+    check_non_negative,
+    check_positive_int,
+)
+
+#: Router pipeline fidelity modes: ``"single"`` enforces the configured
+#: router latency as one blanket eligibility delay (RC and VA may both
+#: complete in a flit's arrival cycle), ``"staged"`` simulates the
+#: explicit RC -> VA -> SA pipeline registers of the canonical VC router
+#: (one stage per cycle, credit flow unchanged).
+ROUTER_PIPELINES: tuple[str, ...] = ("single", "staged")
 
 
 @dataclass(frozen=True)
@@ -49,6 +60,20 @@ class SimulationConfig:
         phase lets in-flight measured packets reach their destination.
     seed:
         Seed of the simulator's pseudo-random number generator.
+    router_pipeline:
+        Router fidelity mode.  The default ``"single"`` models the router
+        as one stage: route computation and virtual-channel allocation may
+        both complete in a flit's arrival cycle, and the pipeline depth is
+        enforced as the blanket ``router_latency_cycles`` eligibility
+        delay before switch allocation.  ``"staged"`` simulates the
+        explicit pipeline registers of the canonical VC router instead:
+        RC, VA and SA each occupy their own cycle (a head flit arriving in
+        cycle *a* is routed in *a*, allocated a VC no earlier than
+        *a + 1* and switch-allocated no earlier than *a + 2*; body flits
+        wait one buffer-write cycle), with credit flow, escape routing and
+        allocation policies unchanged.  In staged mode the router latency
+        therefore *emerges* from the stage count instead of the
+        ``router_latency_cycles`` knob.
     """
 
     endpoints_per_chiplet: int = 2
@@ -63,8 +88,10 @@ class SimulationConfig:
     measurement_cycles: int = 2000
     drain_cycles: int = 3000
     seed: int = 1
+    router_pipeline: str = "single"
 
     def __post_init__(self) -> None:
+        check_in_choices("router_pipeline", self.router_pipeline, ROUTER_PIPELINES)
         check_positive_int("endpoints_per_chiplet", self.endpoints_per_chiplet)
         check_positive_int("num_virtual_channels", self.num_virtual_channels)
         check_positive_int("buffer_depth_flits", self.buffer_depth_flits)
@@ -83,6 +110,11 @@ class SimulationConfig:
             # misconfiguration of a zero-progress setup.
             if self.buffer_depth_flits < 1:
                 raise ValueError("buffer_depth_flits must be at least 1")
+
+    @property
+    def is_staged_pipeline(self) -> bool:
+        """Whether the explicit RC/VA/SA pipeline model is selected."""
+        return self.router_pipeline == "staged"
 
     @property
     def escape_vc(self) -> int:
@@ -121,3 +153,20 @@ class SimulationConfig:
             measurement_cycles=max(1, int(self.measurement_cycles * factor)),
             drain_cycles=max(1, int(self.drain_cycles * factor)),
         )
+
+
+def config_identity_dict(config: SimulationConfig) -> dict:
+    """``asdict(config)`` shaped for *identity* uses (cache keys, fixtures).
+
+    ``router_pipeline`` joins the dict only when it differs from the
+    default single-stage model: every result-store key and committed
+    golden fixture minted before the knob existed stays valid unchanged,
+    while staged-pipeline runs key — and serialize — distinctly.  Any
+    future compatibility-sensitive knob should follow the same
+    omit-at-default convention (it is the config-level analogue of
+    ``SweepCandidate``'s only-when-non-empty fault fields).
+    """
+    payload = asdict(config)
+    if payload.get("router_pipeline") == "single":
+        del payload["router_pipeline"]
+    return payload

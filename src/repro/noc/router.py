@@ -10,10 +10,19 @@ BookSim2:
   cycle,
 * credit-based flow control guarantees that a flit is only forwarded when
   the downstream buffer has space,
-* the configured router latency is enforced by making a flit eligible for
+* in the default single-stage mode (``router_pipeline="single"``) the
+  configured router latency is enforced by making a flit eligible for
   switch allocation only ``router_latency_cycles`` after it entered the
   input buffer, which reproduces the pipeline delay without simulating the
-  individual pipeline registers.
+  individual pipeline registers,
+* the staged mode (``router_pipeline="staged"``) simulates those pipeline
+  registers explicitly instead: RC, VA and SA each occupy their own cycle
+  — a head flit arriving in cycle *a* is routed in *a*, may win an output
+  VC no earlier than *a + 1* and may win the switch no earlier than
+  *a + 2*; body flits wait one buffer-write cycle before SA.  Routing,
+  allocation policies, escape patience and credit flow are identical in
+  both modes; only the stage timing differs, so the staged model carries
+  its own golden fixtures while the single-stage model stays bit-stable.
 
 Deadlock freedom uses an *escape* virtual channel (the highest-numbered
 one) that is routed on the up*/down* spanning tree of
@@ -50,6 +59,8 @@ class _InputVC:
         "out_port",
         "out_vc",
         "alloc_wait_cycles",
+        "va_ready_cycle",
+        "sa_ready_cycle",
     )
 
     def __init__(self) -> None:
@@ -61,6 +72,10 @@ class _InputVC:
         self.out_port: int | None = None
         self.out_vc: int | None = None
         self.alloc_wait_cycles = 0
+        # Pipeline registers of the staged mode: the earliest cycles the
+        # head packet may attempt VA / SA (always 0 in single-stage mode).
+        self.va_ready_cycle = 0
+        self.sa_ready_cycle = 0
 
 
 class _OutputVC:
@@ -99,6 +114,12 @@ class RouterState:
     sa_port_pointer: int
     buffered_flits: int
     forwarded_flits: int
+    #: Staged-pipeline registers per input VC.  ``None`` means all-zero —
+    #: the only value the single-stage model ever holds, which lets the
+    #: array kernel (single-stage only) keep building snapshots without
+    #: materialising the fields.
+    va_ready_cycles: list[int] | None = None
+    sa_ready_cycles: list[int] | None = None
 
 
 class Router:
@@ -144,6 +165,7 @@ class Router:
     ) -> None:
         self.router_id = router_id
         self._config = config
+        self._staged = config.is_staged_pipeline
         self._routing = routing
         self._neighbor_routers = list(neighbor_routers)
         self._local_endpoints = list(local_endpoints)
@@ -238,6 +260,9 @@ class Router:
         alloc_wait_cycles: list[int] = []
         owners: list[tuple[int, int] | None] = []
         credits: list[int] = []
+        staged = self._staged
+        va_ready_cycles: list[int] | None = [] if staged else None
+        sa_ready_cycles: list[int] | None = [] if staged else None
         for port_vcs, port_outputs in zip(self._input_vcs, self._output_vcs):
             for input_vc in port_vcs:
                 buffers.append(input_vc.buffer)
@@ -248,6 +273,9 @@ class Router:
                 out_ports.append(input_vc.out_port)
                 out_vcs.append(input_vc.out_vc)
                 alloc_wait_cycles.append(input_vc.alloc_wait_cycles)
+                if staged:
+                    va_ready_cycles.append(input_vc.va_ready_cycle)
+                    sa_ready_cycles.append(input_vc.sa_ready_cycle)
             for output_vc in port_outputs:
                 owners.append(output_vc.owner)
                 credits.append(output_vc.credits)
@@ -265,6 +293,8 @@ class Router:
             sa_port_pointer=self._sa_port_pointer,
             buffered_flits=self._buffered_flits,
             forwarded_flits=self.forwarded_flits,
+            va_ready_cycles=va_ready_cycles,
+            sa_ready_cycles=sa_ready_cycles,
         )
 
     def import_state(self, state: RouterState) -> None:
@@ -277,6 +307,8 @@ class Router:
                 f"{len(state.buffers)} input / {len(state.credits)} output VCs, "
                 f"expected {expected}"
             )
+        va_ready = state.va_ready_cycles
+        sa_ready = state.sa_ready_cycles
         index = 0
         for port_vcs, port_outputs in zip(self._input_vcs, self._output_vcs):
             for input_vc, output_vc in zip(port_vcs, port_outputs):
@@ -288,6 +320,8 @@ class Router:
                 input_vc.out_port = state.out_ports[index]
                 input_vc.out_vc = state.out_vcs[index]
                 input_vc.alloc_wait_cycles = state.alloc_wait_cycles[index]
+                input_vc.va_ready_cycle = 0 if va_ready is None else va_ready[index]
+                input_vc.sa_ready_cycle = 0 if sa_ready is None else sa_ready[index]
                 output_vc.owner = state.owners[index]
                 output_vc.credits = state.credits[index]
                 index += 1
@@ -315,6 +349,8 @@ class Router:
                 input_vc.out_port = None
                 input_vc.out_vc = None
                 input_vc.alloc_wait_cycles = 0
+                input_vc.va_ready_cycle = 0
+                input_vc.sa_ready_cycle = 0
             for output_vc in port_outputs:
                 output_vc.owner = None
                 output_vc.credits = depth
@@ -401,6 +437,7 @@ class Router:
     def _route_and_allocate(self, now: int) -> None:
         config = self._config
         escape_vc = config.escape_vc
+        staged = self._staged
         for port in range(self._num_ports):
             for vc_index, input_vc in enumerate(self._input_vcs[port]):
                 if not input_vc.buffer:
@@ -413,7 +450,12 @@ class Router:
                             f"idle VC (port {port}, vc {vc_index}); packet framing is broken"
                         )
                     self._compute_route(port, vc_index, input_vc, head)
+                    if staged:
+                        # RC occupies this whole cycle; VA is the next stage.
+                        input_vc.va_ready_cycle = now + 1
                 if input_vc.state == _VC_ALLOC:
+                    if staged and now < input_vc.va_ready_cycle:
+                        continue
                     self._allocate_output_vc(port, vc_index, input_vc, escape_vc, now)
 
     def _compute_route(
@@ -528,6 +570,9 @@ class Router:
         input_vc.out_port = out_port
         input_vc.out_vc = out_vc
         input_vc.state = _ACTIVE
+        if self._staged:
+            # VA occupies this whole cycle; SA is the next stage.
+            input_vc.sa_ready_cycle = now + 1
         tracer = self.tracer
         if tracer is not None:
             head = input_vc.buffer[0]
@@ -580,7 +625,13 @@ class Router:
             if input_vc.state != _ACTIVE or not input_vc.buffer:
                 continue
             head = input_vc.buffer[0]
-            if now < head.arrival_cycle + config.router_latency_cycles:
+            if self._staged:
+                # Explicit pipeline: the packet's SA register must have
+                # filled (``sa_ready_cycle``, set by the VA grant) and
+                # every flit spends one buffer-write cycle before SA.
+                if now < input_vc.sa_ready_cycle or now < head.arrival_cycle + 1:
+                    continue
+            elif now < head.arrival_cycle + config.router_latency_cycles:
                 continue
             out_port = input_vc.out_port
             out_vc = input_vc.out_vc

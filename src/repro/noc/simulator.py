@@ -274,8 +274,19 @@ class NocSimulator:
             engine; the recorded series and flit-lifecycle events are
             themselves bit-identical across engines under a fixed seed.
             ``None`` (the default) keeps the cycle loops observation-free.
+
+        Notes
+        -----
+        With ``router_pipeline="staged"`` the ``"vectorized"`` engine
+        transparently runs the active-set object model instead: the numpy
+        kernel implements the single-stage pipeline semantics only, and
+        the active/legacy loops already step the staged router
+        bit-identically, so every engine name keeps returning identical
+        results in both pipeline modes.
         """
         check_in_choices("engine", engine, ENGINE_NAMES)
+        if engine == "vectorized" and self._config.is_staged_pipeline:
+            engine = "active"
         if engine == "legacy":
             self.last_engine_stats = None
             snapshots = run_legacy_loop(
@@ -357,6 +368,12 @@ class NocSimulator:
         check_in_choices("engine", engine, ENGINE_NAMES)
         if config is None:
             config = SimulationConfig()
+        if engine == "vectorized" and config.is_staged_pipeline:
+            # The numpy batch kernel implements single-stage semantics
+            # only; staged-pipeline batches run the per-point active-set
+            # loop below, which still shares the (degraded) topology and
+            # routing-table build across all points.
+            engine = "active"
         ordered = list(points)
         if not ordered:
             return []

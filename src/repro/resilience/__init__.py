@@ -11,9 +11,12 @@ yield models of :mod:`repro.cost.yield_model`:
   (degradation curves) or with per-component probabilities derived from
   die yield, test coverage and bond yield,
 * :mod:`repro.resilience.sweep` — the resilience sweep proper: simulate
-  every (arrangement, failure count, sample) candidate through
-  :class:`~repro.core.parallel.ParallelSweepRunner` and aggregate
-  latency / throughput / delivery degradation curves per arrangement.
+  every (arrangement, failure count, sample, injection rate) candidate
+  through :class:`~repro.core.parallel.ParallelSweepRunner` (or, batched
+  across the rates of one fault arrangement,
+  :class:`~repro.core.parallel.BatchedSweepRunner`) and aggregate
+  latency / throughput / delivery degradation curves — or, with several
+  rates, full degradation surfaces — per arrangement.
 """
 
 from repro.resilience.sampler import (
@@ -24,22 +27,32 @@ from repro.resilience.sampler import (
     sample_survivable_faults,
 )
 from repro.resilience.sweep import (
+    EXPLICIT_FAULT_TYPE,
     FAULT_TYPES,
+    SUMMARY_FAULT_TYPES,
     ResilienceSummary,
     ResilienceSweepResult,
+    SaturationPoint,
+    normalize_injection_rates,
     resilience_grid,
     run_resilience_sweep,
+    summarize_records,
 )
 
 __all__ = [
+    "EXPLICIT_FAULT_TYPE",
     "FAULT_TYPES",
+    "SUMMARY_FAULT_TYPES",
     "FaultProbabilities",
     "ResilienceSummary",
     "ResilienceSweepResult",
+    "SaturationPoint",
     "derive_fault_seed",
     "fault_probabilities_from_yield",
+    "normalize_injection_rates",
     "resilience_grid",
     "run_resilience_sweep",
     "sample_fault_set",
     "sample_survivable_faults",
+    "summarize_records",
 ]

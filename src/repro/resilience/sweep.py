@@ -1,13 +1,22 @@
 """Resilience sweeps: latency / throughput degradation versus failures.
 
-The sweep simulates every (arrangement kind, failure count, sample)
-candidate on its degraded topology and aggregates per-arrangement
-**degradation curves**: mean latency, accepted throughput and delivery
-ratio as a function of the number of failed components, normalised
-against the healthy (zero-failure) baseline of the same arrangement.
-Comparing those curves across arrangements — how gracefully does a
-HexaMesh degrade versus a grid or a brickwall? — is a result the source
-paper does not report.
+The sweep simulates every (arrangement kind, failure count, sample,
+injection rate) candidate on its degraded topology and aggregates
+per-arrangement **degradation curves** — and, with several
+``injection_rates``, degradation *surfaces* over (failure count x
+offered load): mean latency, accepted throughput and delivery ratio,
+normalised against the healthy (zero-failure) baseline of the same
+arrangement *at the same rate*.  Comparing how gracefully a HexaMesh
+degrades versus a grid or a brickwall across the whole load range is a
+result the source paper does not report.
+
+Multi-rate grids are the workload the batched runner was built for: all
+rates of one (kind, fault set) share a
+:meth:`~repro.core.parallel.SweepCandidate.batch_key`, so
+``run_resilience_sweep(..., batch=True)`` evaluates them over one shared
+``DegradedTopology`` / routing / flat-state build (bit-identical to the
+per-point path, just faster — the ``resilience-multirate-hexamesh19``
+bench scenario gates the speedup).
 
 Candidates ride the ordinary :class:`~repro.core.parallel.SweepCandidate`
 / :class:`~repro.core.parallel.ParallelSweepRunner` machinery: fault
@@ -42,6 +51,16 @@ from repro.utils.validation import check_fraction, check_in_choices, check_posit
 #: alternates (links get the odd one out).
 FAULT_TYPES: tuple[str, ...] = ("link", "router", "mixed")
 
+#: The fault-type label of sweeps whose fault set was given explicitly
+#: (``hexamesh faults --fail-links/--fail-routers``) rather than sampled:
+#: no failure-count split applies, so it is not a member of
+#: :data:`FAULT_TYPES` — but it is a first-class *summary* label.
+EXPLICIT_FAULT_TYPE = "explicit"
+
+#: Every fault-type label a :class:`ResilienceSummary` may carry:
+#: the sampled :data:`FAULT_TYPES` plus :data:`EXPLICIT_FAULT_TYPE`.
+SUMMARY_FAULT_TYPES: tuple[str, ...] = FAULT_TYPES + (EXPLICIT_FAULT_TYPE,)
+
 
 def split_failure_count(num_failures: int, fault_type: str) -> tuple[int, int]:
     """Split a total failure count into ``(link_faults, router_faults)``."""
@@ -54,6 +73,26 @@ def split_failure_count(num_failures: int, fault_type: str) -> tuple[int, int]:
     return (num_failures + 1) // 2, num_failures // 2
 
 
+def normalize_injection_rates(
+    injection_rate: float, injection_rates: Sequence[float] | None
+) -> tuple[float, ...]:
+    """The validated, ascending, de-duplicated rate axis of a sweep.
+
+    ``injection_rates=None`` keeps the single-rate behaviour (the axis is
+    ``(injection_rate,)``); otherwise ``injection_rates`` *replaces* the
+    scalar knob entirely.
+    """
+    if injection_rates is None:
+        rates: tuple[float, ...] = (injection_rate,)
+    else:
+        rates = tuple(sorted(set(float(rate) for rate in injection_rates)))
+        if not rates:
+            raise ValueError("injection_rates must name at least one rate")
+    for rate in rates:
+        check_fraction("injection_rate", rate)
+    return rates
+
+
 def resilience_grid(
     kinds: Sequence[str],
     num_chiplets: int,
@@ -62,6 +101,7 @@ def resilience_grid(
     samples: int = 1,
     fault_type: str = "link",
     injection_rate: float = 0.1,
+    injection_rates: Sequence[float] | None = None,
     traffic: str = "uniform",
     seed: int = 1,
     regularity: str | None = None,
@@ -74,10 +114,18 @@ def resilience_grid(
     index into ``seed`` via SHA-256).  The zero-failure baseline is
     emitted exactly once per kind regardless of ``samples``, since every
     healthy draw is identical.
+
+    ``injection_rates`` evaluates each sampled fault arrangement at
+    *every* rate (``None`` keeps the single ``injection_rate``).  The
+    fault draw depends only on (kind, failure count, sample), never on
+    the rate, and the rate loop is innermost: all rates of one fault
+    arrangement are adjacent in the returned grid and share a
+    :meth:`~repro.core.parallel.SweepCandidate.batch_key`, which is what
+    lets the batched runner evaluate them over one topology build.
     """
     check_positive_int("num_chiplets", num_chiplets)
     check_positive_int("samples", samples)
-    check_fraction("injection_rate", injection_rate)
+    rates = normalize_injection_rates(injection_rate, injection_rates)
     check_in_choices("fault_type", fault_type, FAULT_TYPES)
     counts = sorted(set(failure_counts))
     if not counts:
@@ -97,27 +145,31 @@ def resilience_grid(
                         seed, "resilience", kind, num_chiplets, num_failures, sample
                     ),
                 )
-                candidates.append(
-                    SweepCandidate(
-                        kind=kind,
-                        num_chiplets=num_chiplets,
-                        injection_rate=injection_rate,
-                        traffic=traffic,
-                        regularity=regularity,
-                        failed_links=faults.failed_links,
-                        failed_routers=faults.failed_routers,
+                for rate in rates:
+                    candidates.append(
+                        SweepCandidate(
+                            kind=kind,
+                            num_chiplets=num_chiplets,
+                            injection_rate=rate,
+                            traffic=traffic,
+                            regularity=regularity,
+                            failed_links=faults.failed_links,
+                            failed_routers=faults.failed_routers,
+                        )
                     )
-                )
     return candidates
 
 
 @dataclass(frozen=True)
 class ResilienceSummary:
-    """One point of a degradation curve: a (kind, failure count) aggregate.
+    """One point of a degradation surface: a (kind, failures, rate) aggregate.
 
-    The ``*_vs_baseline`` ratios are relative to the zero-failure summary
-    of the same arrangement kind (``NaN`` when the sweep did not include
-    the zero-failure baseline or the baseline statistic is undefined).
+    ``fault_type`` is one of :data:`SUMMARY_FAULT_TYPES` — the sampled
+    :data:`FAULT_TYPES` or :data:`EXPLICIT_FAULT_TYPE` for sweeps whose
+    fault set was given explicitly.  The ``*_vs_baseline`` ratios are
+    relative to the zero-failure summary of the same arrangement kind *at
+    the same injection rate* (``NaN`` when the sweep did not include the
+    zero-failure baseline or the baseline statistic is undefined).
     ``throughput_vs_baseline`` compares *aggregate* accepted throughput
     (per-endpoint rate scaled by the surviving endpoint count), so losing
     whole routers counts as lost capacity even though the per-endpoint
@@ -127,6 +179,7 @@ class ResilienceSummary:
     kind: str
     num_chiplets: int
     num_failures: int
+    injection_rate: float
     fault_type: str
     samples: int
     mean_latency_cycles: float
@@ -138,13 +191,29 @@ class ResilienceSummary:
 
 
 @dataclass(frozen=True)
+class SaturationPoint:
+    """One point of a saturation-rate-vs-faults curve.
+
+    ``saturation_rate`` is the largest swept offered load at which the
+    arrangement still *accepts* at least ``threshold`` of what is offered
+    (per endpoint); ``NaN`` when even the lowest swept rate saturates.
+    """
+
+    kind: str
+    num_failures: int
+    saturation_rate: float
+    threshold: float
+
+
+@dataclass(frozen=True)
 class ResilienceSweepResult:
-    """All simulated records of a resilience sweep plus the aggregated curves."""
+    """All simulated records of a resilience sweep plus the aggregated surfaces."""
 
     records: tuple[SweepRecord, ...]
     summaries: tuple[ResilienceSummary, ...]
     fault_type: str
     failure_counts: tuple[int, ...]
+    injection_rates: tuple[float, ...] = ()
 
     def kinds(self) -> list[str]:
         """Arrangement kinds covered, in first-appearance order."""
@@ -154,12 +223,79 @@ class ResilienceSweepResult:
                 seen.append(summary.kind)
         return seen
 
-    def curve(self, kind: str) -> tuple[ResilienceSummary, ...]:
-        """The degradation curve of one arrangement, by ascending failures."""
+    def rates(self) -> tuple[float, ...]:
+        """Injection rates covered, ascending (derived from the summaries)."""
+        if self.injection_rates:
+            return self.injection_rates
+        return tuple(sorted({s.injection_rate for s in self.summaries}))
+
+    def curve(
+        self, kind: str, injection_rate: float | None = None
+    ) -> tuple[ResilienceSummary, ...]:
+        """One arrangement's degradation curve, by ascending failures.
+
+        Multi-rate sweeps carry one curve per rate, so ``injection_rate``
+        selects which one; it may be omitted only when the sweep covered
+        a single rate (the pre-surface call shape keeps working).
+        """
+        points = tuple(s for s in self.summaries if s.kind == kind)
+        if not points:
+            raise ValueError(f"no resilience summaries for kind {kind!r}")
+        rates = tuple(sorted({s.injection_rate for s in points}))
+        if injection_rate is None:
+            if len(rates) > 1:
+                raise ValueError(
+                    f"kind {kind!r} was swept at {len(rates)} injection rates "
+                    f"{rates}; pass curve(kind, injection_rate=...) to select one"
+                )
+            return points
+        selected = tuple(s for s in points if s.injection_rate == injection_rate)
+        if not selected:
+            raise ValueError(
+                f"kind {kind!r} has no summaries at injection rate "
+                f"{injection_rate!r}; swept rates: {rates}"
+            )
+        return selected
+
+    def surface(self, kind: str) -> tuple[ResilienceSummary, ...]:
+        """One arrangement's full (failures x rate) degradation surface."""
         points = tuple(s for s in self.summaries if s.kind == kind)
         if not points:
             raise ValueError(f"no resilience summaries for kind {kind!r}")
         return points
+
+    def saturation_curve(
+        self, kind: str, *, threshold: float = 0.95
+    ) -> tuple[SaturationPoint, ...]:
+        """Saturation rate versus fault count — the surface's derived metric.
+
+        For each failure count, the largest swept rate whose accepted
+        per-endpoint throughput is still at least ``threshold`` of the
+        offered load.  A fault arrangement that saturates earlier than
+        the healthy baseline shows up directly as a dropping curve.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        by_failures: dict[int, list[ResilienceSummary]] = {}
+        for summary in self.surface(kind):
+            by_failures.setdefault(summary.num_failures, []).append(summary)
+        curve: list[SaturationPoint] = []
+        for num_failures in sorted(by_failures):
+            sustained = [
+                s.injection_rate
+                for s in by_failures[num_failures]
+                if s.injection_rate > 0
+                and s.accepted_flit_rate >= threshold * s.injection_rate
+            ]
+            curve.append(
+                SaturationPoint(
+                    kind=kind,
+                    num_failures=num_failures,
+                    saturation_rate=max(sustained) if sustained else math.nan,
+                    threshold=threshold,
+                )
+            )
+        return tuple(curve)
 
 
 def _mean(values: list[float]) -> float:
@@ -175,51 +311,67 @@ def _ratio(value: float, baseline: float) -> float:
 def summarize_records(
     records: Sequence[SweepRecord], *, fault_type: str
 ) -> tuple[ResilienceSummary, ...]:
-    """Aggregate sweep records into per-(kind, failure count) summaries."""
-    grouped: dict[tuple[str, int], list[SweepRecord]] = {}
-    order: list[tuple[str, int]] = []
+    """Aggregate sweep records into (kind, failure count, rate) summaries.
+
+    ``fault_type`` labels the summaries and must be one of
+    :data:`SUMMARY_FAULT_TYPES` (a sampled fault type or
+    :data:`EXPLICIT_FAULT_TYPE`).  Samples of one fault arrangement are
+    averaged within each (kind, failures, rate) cell; the ``*_vs_baseline``
+    ratios anchor on the zero-failure cell of the same kind *and rate*.
+    """
+    check_in_choices("fault_type", fault_type, SUMMARY_FAULT_TYPES)
+    grouped: dict[tuple[str, int, float], list[SweepRecord]] = {}
+    order: list[tuple[str, int, float]] = []
     for record in records:
-        key = (record.candidate.kind, record.candidate.fault_set.num_faults)
+        key = (
+            record.candidate.kind,
+            record.candidate.fault_set.num_faults,
+            record.candidate.injection_rate,
+        )
         if key not in grouped:
             grouped[key] = []
             order.append(key)
         grouped[key].append(record)
-    # Stable order: kinds in first-appearance order, failures ascending.
+    # Stable order: kinds in first-appearance order, failures ascending,
+    # rates ascending within one failure count (surface row order).
     kinds_in_order: list[str] = []
-    for kind, _ in order:
+    for kind, _, _ in order:
         if kind not in kinds_in_order:
             kinds_in_order.append(kind)
     ordered_keys = sorted(
-        grouped, key=lambda key: (kinds_in_order.index(key[0]), key[1])
+        grouped, key=lambda key: (kinds_in_order.index(key[0]), key[1], key[2])
     )
     # The throughput ratio compares *aggregate* accepted throughput
     # (per-endpoint rate x surviving endpoints): router faults remove
     # endpoints, so a per-endpoint ratio would hide the lost capacity
     # and could report >1.0 retention while total throughput fell.
-    baselines: dict[str, tuple[float, float]] = {}
-    for kind, failures in ordered_keys:
+    baselines: dict[tuple[str, float], tuple[float, float]] = {}
+    for kind, failures, rate in ordered_keys:
         if failures == 0:
-            group = grouped[(kind, 0)]
-            baselines[kind] = (
+            group = grouped[(kind, 0, rate)]
+            baselines[(kind, rate)] = (
                 _mean([r.result.packet_latency.mean for r in group]),
                 _mean(
                     [r.result.accepted_flit_rate * r.result.num_endpoints for r in group]
                 ),
             )
     summaries: list[ResilienceSummary] = []
-    for kind, failures in ordered_keys:
-        group = grouped[(kind, failures)]
+    for kind, failures, rate in ordered_keys:
+        group = grouped[(kind, failures, rate)]
         mean_latency = _mean([r.result.packet_latency.mean for r in group])
         accepted = _mean([r.result.accepted_flit_rate for r in group])
         aggregate_accepted = _mean(
             [r.result.accepted_flit_rate * r.result.num_endpoints for r in group]
         )
-        baseline_latency, baseline_accepted = baselines.get(kind, (math.nan, math.nan))
+        baseline_latency, baseline_accepted = baselines.get(
+            (kind, rate), (math.nan, math.nan)
+        )
         summaries.append(
             ResilienceSummary(
                 kind=kind,
                 num_chiplets=group[0].candidate.num_chiplets,
                 num_failures=failures,
+                injection_rate=rate,
                 fault_type=fault_type,
                 samples=len(group),
                 mean_latency_cycles=mean_latency,
@@ -246,6 +398,7 @@ def run_resilience_sweep(
     fault_type: str = "link",
     config: SimulationConfig | None = None,
     injection_rate: float = 0.1,
+    injection_rates: Sequence[float] | None = None,
     traffic: str = "uniform",
     jobs: int = 1,
     cache_dir: str | None = None,
@@ -254,7 +407,7 @@ def run_resilience_sweep(
     batch: bool = False,
     progress: ProgressCallback | None = None,
 ) -> ResilienceSweepResult:
-    """Simulate the degradation curves of several arrangements.
+    """Simulate the degradation curves / surfaces of several arrangements.
 
     Fault sampling is seeded from ``config.seed``, so re-running the
     sweep (any engine, any ``jobs``) reproduces identical curves; with a
@@ -262,23 +415,29 @@ def run_resilience_sweep(
     Include ``0`` in ``failure_counts`` to anchor the ``*_vs_baseline``
     ratios of the summaries.
 
-    ``batch=True`` routes the grid through
-    :class:`~repro.core.parallel.BatchedSweepRunner`: every candidate
-    sharing one fault arrangement shares its
+    ``injection_rates`` evaluates every sampled fault arrangement at
+    every rate, turning the per-kind curves into degradation *surfaces*
+    (``None`` keeps the single ``injection_rate``).  ``batch=True``
+    routes the grid through
+    :class:`~repro.core.parallel.BatchedSweepRunner`: all rates of one
+    fault arrangement share its
     :class:`~repro.noc.faults.DegradedTopology`, routing tables and
-    flat-state build — most valuable when sweeping several injection
-    rates per arrangement.  Curves are bit-identical either way.
+    flat-state build, which is where multi-rate sweeps recover the
+    batching win.  Results are bit-identical either way — and across
+    engines and ``jobs`` — because every candidate keeps its own
+    SHA-256-derived seed.
     """
     if config is None:
         config = SimulationConfig()
     counts = tuple(sorted(set(failure_counts)))
+    rates = normalize_injection_rates(injection_rate, injection_rates)
     candidates = resilience_grid(
         kinds,
         num_chiplets,
         counts,
         samples=samples,
         fault_type=fault_type,
-        injection_rate=injection_rate,
+        injection_rates=rates,
         traffic=traffic,
         seed=config.seed,
         regularity=regularity,
@@ -293,4 +452,5 @@ def run_resilience_sweep(
         summaries=summarize_records(records, fault_type=fault_type),
         fault_type=fault_type,
         failure_counts=counts,
+        injection_rates=rates,
     )

@@ -109,6 +109,26 @@ class TestBatchFlag:
         # (latencies, throughput, delivery ratios) is byte-identical.
         assert batched.read_text() == per_point.read_text()
 
+    def test_sweep_regularity_changes_the_swept_arrangement(self, tmp_path):
+        # 12 chiplets admit both a semi-regular and an irregular grid, so
+        # forcing the class must change the simulated topology (and with
+        # it the CSV), while an unconstrained run picks the best class.
+        best = tmp_path / "best.csv"
+        irregular = tmp_path / "irregular.csv"
+        base = ["sweep", "--kinds", "grid", "--chiplets", "12",
+                "--rates", "0.1", "--cycles", "200"]
+        assert main(base + ["--output", str(best)]) == 0
+        assert main(
+            base + ["--regularity", "irregular", "--output", str(irregular)]
+        ) == 0
+        assert irregular.read_text() != best.read_text()
+
+    def test_unknown_regularity_rejected_by_the_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--kinds", "grid", "--chiplets", "9",
+                  "--regularity", "fractal"])
+        assert "--regularity" in capsys.readouterr().err
+
     def test_figure6_warns_about_ignored_batch_flag(self, capsys):
         assert main(["figure", "6", "--max-chiplets", "6", "--batch"]) == 0
         assert "--batch" in capsys.readouterr().err

@@ -55,6 +55,46 @@ class TestFaultsCommand:
         assert " 0 " in out.replace("|", " ")
         assert " 1 " in out.replace("|", " ")
 
+    def test_explicit_fault_csv_round_trip(self, tmp_path):
+        # The explicit path labels its summaries with the first-class
+        # "explicit" fault type; its surface-shaped CSV must parse back
+        # numerically, rate column included.
+        graph = make_arrangement("grid", 9).graph
+        link = graph.edges()[0]
+        target = tmp_path / "explicit.csv"
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--fail-links", f"{link[0]}-{link[1]}",
+             "--injection-rates", "0.05,0.2",
+             "--output", str(target), *FAST]
+        )
+        assert exit_code == 0
+        lines = target.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:5] == ["kind", "chiplets", "failures", "rate", "samples"]
+        rows = [line.split(",") for line in lines[1:]]
+        # Surface shape: (healthy, faulted) x both rates.
+        assert [(row[2], row[3]) for row in rows] == [
+            ("0", "0.05"), ("0", "0.2"), ("1", "0.05"), ("1", "0.2"),
+        ]
+        for row in rows:
+            for value in row[1:]:
+                float(value)  # every non-kind column parses numerically
+
+    def test_sampled_multi_rate_surface_table(self, capsys):
+        exit_code = main(
+            ["faults", "--kinds", "grid", "--chiplets", "9",
+             "--failures", "0,1", "--injection-rates", "0.05,0.1", *FAST]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rate" in out
+        # Each failure count appears at both rates, each anchored on the
+        # same-rate healthy baseline.
+        assert out.count("0.050") >= 2
+        assert out.count("0.100") >= 2
+        assert out.count("1.000x") >= 4
+
     def test_explicit_mode_warns_about_ignored_sampling_flags(self, capsys):
         graph = make_arrangement("grid", 9).graph
         link = graph.edges()[0]

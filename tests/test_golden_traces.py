@@ -25,13 +25,13 @@ from __future__ import annotations
 import json
 import math
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 
 import pytest
 
 from repro.arrangements.factory import make_arrangement
 from repro.core.parallel import simulation_result_to_dict
-from repro.noc.config import SimulationConfig
+from repro.noc.config import SimulationConfig, config_identity_dict
 from repro.resilience import sample_survivable_faults
 
 from sim_modes import simulate_noc
@@ -106,6 +106,30 @@ EDGE_SCENARIOS = (
     GoldenScenario("hexamesh", 7, True, label="two-link-faults", link_faults=2),
 )
 
+#: The staged-pipeline configuration pinned by the staged goldens.
+STAGED_CONFIG = SimulationConfig(
+    warmup_cycles=60, measurement_cycles=120, drain_cycles=300, seed=7,
+    router_pipeline="staged",
+)
+
+#: Staged-router fidelity mode (router_pipeline="staged"): its own golden
+#: fixtures, enrolled in the full mode grid — healthy, faulted and
+#: saturated-backpressure regimes.  The single-stage scenarios above are
+#: untouched, which is what keeps the default model bit-stable while the
+#: explicit RC/VA/SA pipeline locks its own behaviour.
+STAGED_SCENARIOS = (
+    GoldenScenario("hexamesh", 7, False, label="staged-healthy", config=STAGED_CONFIG),
+    GoldenScenario("grid", 9, True, label="staged-single-link", config=STAGED_CONFIG),
+    GoldenScenario(
+        "hexamesh", 7, False, label="staged-backpressure",
+        rate=1.0,
+        config=SimulationConfig(
+            warmup_cycles=60, measurement_cycles=120, drain_cycles=300, seed=7,
+            buffer_depth_flits=2, router_pipeline="staged",
+        ),
+    ),
+)
+
 
 def _scenario_faults(scenario: GoldenScenario, graph):
     if not scenario.faulted:
@@ -164,7 +188,10 @@ def build_payload(scenario: GoldenScenario, mode: str) -> dict:
         "count": scenario.count,
         "injection_rate": scenario.rate,
         "traffic": GOLDEN_TRAFFIC,
-        "config": asdict(scenario.config),
+        # The identity rendering omits router_pipeline at its "single"
+        # default, so every fixture committed before the knob existed
+        # stays byte-valid; staged-pipeline fixtures embed the mode.
+        "config": config_identity_dict(scenario.config),
         "faults": {
             "failed_links": [list(link) for link in faults.failed_links],
             "failed_routers": list(faults.failed_routers),
@@ -177,7 +204,7 @@ def build_payload(scenario: GoldenScenario, mode: str) -> dict:
 
 
 @pytest.mark.parametrize(
-    "scenario", SCENARIOS + EDGE_SCENARIOS, ids=lambda s: s.name
+    "scenario", SCENARIOS + EDGE_SCENARIOS + STAGED_SCENARIOS, ids=lambda s: s.name
 )
 def test_modes_reproduce_goldens(scenario, sim_mode, update_goldens):
     if update_goldens:
@@ -234,3 +261,19 @@ def test_edge_goldens_have_expected_shape():
     assert backpressure["result"]["measured_packets_ejected"] > 0
     # The doubly-degraded topology really lost two links.
     assert len(by_label["two-link-faults"]["faults"]["failed_links"]) == 2
+
+
+def test_staged_goldens_have_expected_shape():
+    """The staged fixtures pin the mode and diverge from their single twins."""
+    for scenario in STAGED_SCENARIOS:
+        with open(scenario.path, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert golden["config"]["router_pipeline"] == "staged"
+        assert golden["result"]["measured_packets_ejected"] > 0
+    # The explicit pipeline really changes timing: the staged healthy
+    # hexamesh must not accidentally reproduce the single-stage fixture.
+    with open(os.path.join(GOLDEN_DIR, "hexamesh7-staged-healthy.json")) as handle:
+        staged = json.load(handle)
+    with open(os.path.join(GOLDEN_DIR, "hexamesh7-healthy.json")) as handle:
+        single = json.load(handle)
+    assert staged["latency_histogram"] != single["latency_histogram"]

@@ -55,6 +55,31 @@ def test_flit_conservation(kind, count, traffic, sim_mode):
     assert result.measured_packets_created > 0
 
 
+#: The staged (RC/VA/SA) pipeline threads different timing through the
+#: same conservation machinery, so it gets its own pass over the full
+#: kind x engine grid.
+STAGED_CONFIG = SimulationConfig(
+    warmup_cycles=40, measurement_cycles=80, drain_cycles=200,
+    router_pipeline="staged",
+)
+
+
+@pytest.mark.parametrize("kind,count", KIND_SIZES)
+def test_flit_conservation_staged_pipeline(kind, count, sim_mode):
+    graph = make_arrangement(kind, count).graph
+    network, result = simulate_noc(
+        graph, STAGED_CONFIG, injection_rate=0.2, traffic="uniform", mode=sim_mode
+    )
+    network.verify_flit_conservation()
+    created = network.total_created_flits()
+    assert created == (
+        network.total_ejected_flits()
+        + network.flits_in_flight()
+        + network.total_source_queued_flits()
+    )
+    assert result.measured_packets_created > 0
+
+
 @pytest.mark.parametrize("kind,count", KIND_SIZES)
 def test_measured_packet_accounting(kind, count, sim_mode):
     """created(measured) == ejected(measured) + in-flight(measured)."""

@@ -155,6 +155,42 @@ class TestSimulatorConfigurationEffects:
             NocSimulator(graph, _config(), injection_rate=1.5)
 
 
+class TestStagedPipeline:
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="router_pipeline"):
+            _config(router_pipeline="superscalar")
+
+    def test_staged_flag_and_default(self):
+        assert not _config().is_staged_pipeline
+        assert _config(router_pipeline="staged").is_staged_pipeline
+
+    def test_staged_pipeline_has_emergent_per_hop_depth(self):
+        # The explicit pipeline's depth *emerges* from its stages: RC in
+        # the arrival cycle, VA one cycle later, SA another cycle later —
+        # a head departs two cycles after arrival regardless of
+        # ``router_latency_cycles``.  Pin that from both sides: it beats
+        # the default single-stage model (3-cycle eligibility delay) and
+        # loses to an aggressive 1-cycle single-stage router.
+        graph = make_arrangement("grid", 9).graph
+        staged = NocSimulator(
+            graph, _config(router_pipeline="staged"), injection_rate=0.02
+        ).run()
+        assert staged.measured_delivery_ratio == pytest.approx(1.0, abs=0.02)
+        single_default = NocSimulator(graph, _config(), injection_rate=0.02).run()
+        assert staged.packet_latency.mean < single_default.packet_latency.mean - 1.0
+        single_fast = NocSimulator(
+            graph, _config(router_latency_cycles=1), injection_rate=0.02
+        ).run()
+        assert staged.packet_latency.mean > single_fast.packet_latency.mean + 1.0
+
+    def test_staged_pipeline_is_deterministic(self):
+        graph = make_arrangement("hexamesh", 7).graph
+        config = _config(seed=7, router_pipeline="staged")
+        first = NocSimulator(graph, config, injection_rate=0.1).run()
+        second = NocSimulator(graph, config, injection_rate=0.1).run()
+        assert first == second
+
+
 class TestSweepHelpers:
     def test_zero_load_helper(self):
         graph = make_arrangement("grid", 4).graph

@@ -18,7 +18,7 @@ from dataclasses import asdict, replace
 import pytest
 
 from repro.core.parallel import ParallelSweepRunner, SweepCandidate
-from repro.noc.config import SimulationConfig
+from repro.noc.config import SimulationConfig, config_identity_dict
 from repro.store import (
     KEY_SCHEMA,
     STORE_SCHEMA,
@@ -368,9 +368,25 @@ class TestVerify:
 
 class TestRunnerKeyCompatibility:
     def test_runner_cache_key_equals_result_key(self):
+        # The runner keys on the config *identity* rendering, which omits
+        # router_pipeline at its "single" default — that is exactly what
+        # keeps every store entry written before the knob existed valid.
         runner = ParallelSweepRunner(FAST_CONFIG, jobs=1)
         candidate = SweepCandidate(kind="hexamesh", num_chiplets=16, injection_rate=0.05)
         config = replace(FAST_CONFIG, seed=runner.candidate_seed(candidate))
         assert runner.cache_key(candidate, config) == result_key(
-            candidate.key_dict(), asdict(config)
+            candidate.key_dict(), config_identity_dict(config)
         )
+        assert "router_pipeline" not in config_identity_dict(config)
+
+    def test_staged_pipeline_keys_distinctly(self):
+        # A staged-pipeline run must never collide with the single-stage
+        # cache entry of the same candidate.
+        candidate = SweepCandidate(kind="hexamesh", num_chiplets=16, injection_rate=0.05)
+        staged = replace(FAST_CONFIG, router_pipeline="staged")
+        single_runner = ParallelSweepRunner(FAST_CONFIG, jobs=1)
+        staged_runner = ParallelSweepRunner(staged, jobs=1)
+        seed = single_runner.candidate_seed(candidate)
+        assert single_runner.cache_key(
+            candidate, replace(FAST_CONFIG, seed=seed)
+        ) != staged_runner.cache_key(candidate, replace(staged, seed=seed))

@@ -98,6 +98,17 @@ class TestTraceEquivalence:
         assert session.metrics.total_cycles == total
         assert session.metrics.cycles_recorded == total
 
+    def test_staged_pipeline(self, small_hexamesh, fast_sim_config, fast_sim_mode):
+        # The explicit RC/VA/SA pipeline changes every grant timestamp,
+        # so its event streams must still agree bit-for-bit across modes
+        # (each compared against the staged legacy reference).
+        from dataclasses import replace
+
+        config = replace(fast_sim_config, router_pipeline="staged")
+        reference = _observed(small_hexamesh.graph, config, "legacy")
+        observed = _observed(small_hexamesh.graph, config, fast_sim_mode)
+        _assert_equal_observation(reference, observed)
+
     def test_observation_does_not_change_results(
         self, small_hexamesh, fast_sim_config, sim_mode
     ):
