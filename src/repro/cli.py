@@ -25,6 +25,12 @@ Installed as the ``hexamesh`` console script (also reachable with
 * ``store``     — inspect and maintain the persistent result store that
   backs ``--cache-dir`` (``stats``, ``ls``, ``gc``, ``migrate``,
   ``verify`` — re-simulate sampled entries and compare bit-for-bit),
+* ``serve``     — host the exploration service: accept async sweep /
+  workload / resilience / figure-7 jobs over a local Unix socket,
+  stream per-job progress, dedupe identical in-flight candidates across
+  jobs and serve warm results straight from the shared store,
+* ``jobs``      — client for a running service
+  (``submit|status|watch|result|cancel|resume|list|ping|shutdown``),
 * ``bench``     — run the engine benchmark scenarios and emit a
   machine-readable ``BENCH_<rev>.json`` report (optionally gated against
   the committed baseline, which is how CI tracks perf regressions),
@@ -46,8 +52,6 @@ from repro.core.parallel import (
     BatchedSweepRunner,
     ParallelSweepRunner,
     SweepCandidate,
-    parallel_map,
-    resolve_workload_candidate,
 )
 from repro.core.report import compare_designs
 from repro.evaluation.performance import run_figure7
@@ -55,7 +59,6 @@ from repro.evaluation.proxies import run_figure6
 from repro.evaluation.tables import format_table
 from repro.io.booksim_export import write_booksim_inputs
 from repro.linkmodel.package import check_package_feasibility
-from repro.noc.config import SimulationConfig
 from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.noc.faults import FaultSet
 from repro.noc.simulator import BatchPoint, NocSimulator
@@ -67,6 +70,16 @@ from repro.resilience.sweep import (
     run_resilience_sweep,
     summarize_records,
 )
+from repro.service.specs import phase_config
+from repro.service.tables import (
+    RESILIENCE_HEADER,
+    SWEEP_HEADER,
+    WORKLOAD_HEADER,
+    render_csv,
+    resilience_rows,
+    sweep_rows,
+    workload_rows,
+)
 from repro.telemetry import (
     FlitTracer,
     MetricsCollector,
@@ -75,11 +88,11 @@ from repro.telemetry import (
     build_manifest,
     format_progress,
     format_summary,
+    progress_from_dict,
 )
 from repro.utils.validation import check_in_choices
 from repro.viz.svg import placement_svg, save_svg
-from repro.workloads import available_mappers, available_workloads, makespan_proxy_cycles
-from repro.workloads.mapping import evaluate_mapping
+from repro.workloads import available_mappers, available_workloads
 
 _KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
 
@@ -99,29 +112,24 @@ def _parse_list(text: str, *, kind: type, all_values: tuple = ()) -> list:
 
 
 def _emit_table(output: str | None, header: list[str], rows: list[list]) -> None:
-    """Write rows as CSV to ``output``, or print them as a table."""
+    """Write rows as CSV to ``output``, or print them as a table.
+
+    The CSV bytes come from :func:`repro.service.tables.render_csv`, the
+    same renderer the exploration service uses — a service job result
+    and the equivalent ``--output`` file are byte-identical.
+    """
     if output:
         with open(output, "w", encoding="utf-8") as handle:
-            handle.write(",".join(header) + "\n")
-            for row in rows:
-                handle.write(",".join(str(value) for value in row) + "\n")
+            handle.write(render_csv(header, rows))
         print(f"wrote {output}")
     else:
         print(format_table(header, rows))
 
 
-def _phase_config(cycles: int, *, seed: int | None = None) -> SimulationConfig:
-    """Simulation phase lengths scaled from a ``--cycles`` CLI value.
-
-    Shared by ``simulate`` and ``sweep`` so the two commands always run
-    comparable warm-up / measurement / drain phases for the same flag.
-    """
-    return SimulationConfig(
-        warmup_cycles=max(100, cycles // 2),
-        measurement_cycles=cycles,
-        drain_cycles=cycles * 2,
-        **({} if seed is None else {"seed": seed}),
-    )
+# ``simulate``/``sweep``/``workload``/``faults`` and the service's job
+# specs share one phase-scaling rule (repro.service.specs.phase_config),
+# so a job submitted over the socket runs exactly what the CLI would.
+_phase_config = phase_config
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -565,6 +573,108 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the scenario names for the chosen mode and exit",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="host the exploration service: accept sweep/workload/resilience/"
+        "figure-7 jobs over a local socket, backed by a shared result store",
+    )
+    serve.add_argument(
+        "--socket",
+        default="hexamesh.sock",
+        help="Unix socket path to listen on (default: ./hexamesh.sock)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result store shared by every job (warm resubmissions "
+        "return without simulating)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent jobs (each job additionally fans simulations across "
+        "its spec's worker processes)",
+    )
+
+    jobs_cmd = subparsers.add_parser(
+        "jobs", help="talk to a running `hexamesh serve` (submit/watch/fetch jobs)"
+    )
+    jobs_sub = jobs_cmd.add_subparsers(dest="jobs_command", required=True)
+
+    def _jobs_common(sub, *, job_id: bool = True):
+        if job_id:
+            sub.add_argument("id", help="job id (as printed by submit / list)")
+        sub.add_argument(
+            "--socket",
+            default="hexamesh.sock",
+            help="Unix socket of the server (default: ./hexamesh.sock)",
+        )
+
+    jobs_submit = jobs_sub.add_parser("submit", help="submit a job spec (JSON)")
+    jobs_submit.add_argument(
+        "--spec",
+        default=None,
+        help='inline JSON job spec, e.g. \'{"type": "sweep", "chiplets": [61]}\'',
+    )
+    jobs_submit.add_argument(
+        "--spec-file", default=None, metavar="PATH", help="read the JSON spec from a file"
+    )
+    jobs_submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream progress to stderr and block for the result",
+    )
+    jobs_submit.add_argument(
+        "--output", default=None, help="write the result CSV here (implies --watch)"
+    )
+    _jobs_common(jobs_submit, job_id=False)
+
+    jobs_status = jobs_sub.add_parser("status", help="print one job's status as JSON")
+    _jobs_common(jobs_status)
+
+    jobs_watch = jobs_sub.add_parser(
+        "watch", help="stream a job's progress, then fetch its result"
+    )
+    jobs_watch.add_argument("--output", default=None, help="write the result CSV here")
+    _jobs_common(jobs_watch)
+
+    jobs_result = jobs_sub.add_parser("result", help="block for a job's result")
+    jobs_result.add_argument("--output", default=None, help="write the result CSV here")
+    jobs_result.add_argument(
+        "--timeout", type=float, default=None, help="give up after this many seconds"
+    )
+    _jobs_common(jobs_result)
+
+    jobs_cancel = jobs_sub.add_parser("cancel", help="request job cancellation")
+    _jobs_common(jobs_cancel)
+
+    jobs_resume = jobs_sub.add_parser(
+        "resume",
+        help="resubmit a cancelled/failed job (completed candidates return "
+        "from the store)",
+    )
+    jobs_resume.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream progress to stderr and block for the result",
+    )
+    jobs_resume.add_argument(
+        "--output", default=None, help="write the result CSV here (implies --watch)"
+    )
+    _jobs_common(jobs_resume)
+
+    jobs_list = jobs_sub.add_parser("list", help="list every job on the server")
+    _jobs_common(jobs_list, job_id=False)
+
+    jobs_ping = jobs_sub.add_parser("ping", help="check the server is alive")
+    _jobs_common(jobs_ping, job_id=False)
+
+    jobs_shutdown = jobs_sub.add_parser(
+        "shutdown", help="stop the server (running jobs are cancelled)"
+    )
+    _jobs_common(jobs_shutdown, job_id=False)
+
     export = subparsers.add_parser("export", help="write BookSim2 inputs and/or an SVG view")
     export.add_argument("kind", choices=_KINDS)
     export.add_argument("chiplets", type=int)
@@ -859,43 +969,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
     report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
     finish_progress()
-    header = [
-        "kind",
-        "chiplets",
-        "rate",
-        "traffic",
-        "avg latency [cyc]",
-        "p99 latency [cyc]",
-        "accepted [flit/cyc/EP]",
-        "delivered ratio",
-    ]
-    rows = [
-        [
-            record.candidate.kind,
-            record.candidate.num_chiplets,
-            record.candidate.injection_rate,
-            record.candidate.traffic,
-            record.result.packet_latency.mean,
-            record.result.packet_latency.p99,
-            record.result.accepted_flit_rate,
-            record.result.measured_delivery_ratio,
-        ]
-        for record in records
-    ]
-    _emit_table(args.output, header, rows)
+    _emit_table(args.output, SWEEP_HEADER, sweep_rows(records))
     return 0
-
-
-def _workload_static_metrics(item):
-    """Static cost columns of one workload candidate (worker-process safe).
-
-    Returns the rebuilt workload alongside its mapping cost so the
-    coordinator can derive the makespan proxy without re-running the
-    (comparatively expensive) partition mapper itself.
-    """
-    candidate, config = item
-    graph, workload, mapping, _ = resolve_workload_candidate(candidate, config)
-    return workload, evaluate_mapping(workload, mapping, graph)
 
 
 def _command_workload(args: argparse.Namespace) -> int:
@@ -927,49 +1002,11 @@ def _command_workload(args: argparse.Namespace) -> int:
     report_progress, finish_progress = _progress_reporter(args.jobs, args.progress)
     records = runner.run(candidates, progress=report_progress)
     finish_progress()
-
-    header = [
-        "arrangement",
-        "chiplets",
-        "workload",
-        "mapper",
-        "tasks",
-        "weighted hops",
-        "max link load",
-        "avg latency [cyc]",
-        "p99 latency [cyc]",
-        "accepted [flit/cyc/EP]",
-        "makespan proxy [cyc]",
-        "delivered ratio",
-    ]
-    # The static metrics are recomputed from the candidate identity (valid
-    # for cache hits too); the partition mapper dominates that cost, so
-    # fan the recomputation across the same worker pool as the sweep.
-    static_metrics = parallel_map(
-        _workload_static_metrics,
-        [(record.candidate, runner.config) for record in records],
-        jobs=args.jobs,
+    _emit_table(
+        args.output,
+        WORKLOAD_HEADER,
+        workload_rows(records, runner.config, jobs=args.jobs),
     )
-    rows = []
-    for record, (workload, cost) in zip(records, static_metrics):
-        candidate = record.candidate
-        rows.append(
-            [
-                candidate.kind,
-                candidate.num_chiplets,
-                candidate.workload,
-                candidate.effective_mapper,
-                workload.num_tasks,
-                cost.weighted_hop_count,
-                cost.max_link_load,
-                round(record.result.packet_latency.mean, 3),
-                round(record.result.packet_latency.p99, 3),
-                round(record.result.accepted_flit_rate, 5),
-                round(makespan_proxy_cycles(workload, record.result), 2),
-                round(record.result.measured_delivery_ratio, 4),
-            ]
-        )
-    _emit_table(args.output, header, rows)
     return 0
 
 
@@ -1068,38 +1105,8 @@ def _command_faults(args: argparse.Namespace) -> int:
         summaries = result.summaries
     finish_progress()
 
-    header = [
-        "kind",
-        "chiplets",
-        "failures",
-        "rate",
-        "samples",
-        "avg latency [cyc]",
-        "p99 latency [cyc]",
-        "accepted [flit/cyc/EP]",
-        "delivered ratio",
-        "latency vs healthy",
-        "throughput vs healthy",
-    ]
-    # Ratio columns stay raw floats (NaN included) so CSV output parses
-    # numerically like every other command's; the table branch below
-    # formats them for reading.
-    rows = [
-        [
-            summary.kind,
-            summary.num_chiplets,
-            summary.num_failures,
-            summary.injection_rate,
-            summary.samples,
-            round(summary.mean_latency_cycles, 3),
-            round(summary.p99_latency_cycles, 3),
-            round(summary.accepted_flit_rate, 5),
-            round(summary.delivery_ratio, 4),
-            round(summary.latency_vs_baseline, 4),
-            round(summary.throughput_vs_baseline, 4),
-        ]
-        for summary in summaries
-    ]
+    header = RESILIENCE_HEADER
+    rows = resilience_rows(summaries)
     if args.output:
         _emit_table(args.output, header, rows)
     else:
@@ -1280,6 +1287,164 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: only the service commands should pay for the
+    # service package on top of the sweep stack.
+    from repro.service import JobManager, ServiceServer
+
+    manager = JobManager(cache_dir=args.cache_dir, workers=args.workers)
+    server = ServiceServer(manager, args.socket)
+    store_note = f" (store: {args.cache_dir})" if args.cache_dir else " (uncached)"
+    print(
+        f"hexamesh service listening on {args.socket}{store_note}; "
+        "stop with `hexamesh jobs shutdown` or Ctrl-C",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        server.shutdown()
+    return 0
+
+
+def _emit_job_result(result: dict, output: str | None) -> None:
+    """Write a job result's CSV to ``output`` or print it to stdout."""
+    csv_text = result.get("csv", "")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+        print(f"wrote {output}")
+    else:
+        print(csv_text, end="")
+
+
+def _stream_job_responses(client, request: dict, output: str | None) -> int:
+    """Drive one streaming request: progress to stderr, result to ``output``.
+
+    Progress lines re-enter :func:`format_progress` /
+    :func:`format_summary` through
+    :func:`~repro.telemetry.progress.progress_from_dict`, so a watched
+    job renders exactly like a local ``--progress detail`` sweep —
+    including the end-of-job cache summary line CI greps for.
+    """
+    final = None
+    announced = False
+    last_snapshot = None
+    for response in client.request(request):
+        if "progress" in response:
+            last_snapshot = progress_from_dict(response["progress"])
+            print(format_progress(last_snapshot), file=sys.stderr)
+            continue
+        if not announced and response.get("ok") and "job" in response:
+            job = response["job"]
+            if job["state"] in ("queued", "running"):
+                print(f"job {job['id']} {job['state']}", file=sys.stderr)
+                announced = True
+                final = response
+                continue
+        final = response
+    if last_snapshot is not None:
+        print(format_summary(last_snapshot), file=sys.stderr)
+    if final is None:
+        print("error: server closed the stream without responding", file=sys.stderr)
+        return 1
+    job = final.get("job")
+    if job is not None:
+        print(f"job {job['id']}: {job['state']}", file=sys.stderr)
+    if not final.get("ok"):
+        print(f"error: {final.get('error', 'job did not complete')}", file=sys.stderr)
+        return 1
+    if "result" in final:
+        _emit_job_result(final["result"], output)
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket)
+    command = args.jobs_command
+    try:
+        if command == "submit":
+            if (args.spec is None) == (args.spec_file is None):
+                print(
+                    "error: pass exactly one of --spec or --spec-file",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.spec_file:
+                with open(args.spec_file, "r", encoding="utf-8") as handle:
+                    spec = json.load(handle)
+            else:
+                spec = json.loads(args.spec)
+            watch = args.watch or args.output is not None
+            request = {"op": "submit", "spec": spec, "watch": watch}
+            if watch:
+                return _stream_job_responses(client, request, args.output)
+            response = client.call(request)
+            job = response["job"]
+            print(f"submitted {job['id']} ({job['state']})")
+            return 0
+        if command == "resume":
+            watch = args.watch or args.output is not None
+            request = {"op": "resume", "id": args.id, "watch": watch}
+            if watch:
+                return _stream_job_responses(client, request, args.output)
+            response = client.call(request)
+            job = response["job"]
+            print(f"resumed {args.id} as {job['id']} ({job['state']})")
+            return 0
+        if command == "watch":
+            return _stream_job_responses(
+                client, {"op": "watch", "id": args.id}, args.output
+            )
+        if command == "status":
+            response = client.call({"op": "status", "id": args.id})
+            print(json.dumps(response["job"], indent=2, sort_keys=True))
+            return 0
+        if command == "result":
+            request = {"op": "result", "id": args.id}
+            if args.timeout is not None:
+                request["timeout"] = args.timeout
+            return _stream_job_responses(client, request, args.output)
+        if command == "cancel":
+            response = client.call({"op": "cancel", "id": args.id})
+            job = response["job"]
+            print(f"job {job['id']}: {job['state']}")
+            return 0
+        if command == "list":
+            response = client.call({"op": "jobs"})
+            rows = []
+            for job in response["jobs"]:
+                progress = job.get("progress") or {}
+                done = progress.get("done", 0)
+                total = progress.get("total", "?")
+                rows.append([job["id"], job["type"], job["state"], f"{done}/{total}"])
+            print(format_table(["id", "type", "state", "progress"], rows))
+            return 0
+        if command == "ping":
+            response = client.call({"op": "ping"})
+            store = response.get("cache_dir") or "uncached"
+            print(f"ok: {response.get('protocol')} on {args.socket} ({store})")
+            return 0
+        if command == "shutdown":
+            client.call({"op": "shutdown"})
+            print("server shutting down")
+            return 0
+        raise ValueError(f"unknown jobs command {command!r}")  # pragma: no cover
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (FileNotFoundError, ConnectionRefusedError):
+        print(
+            f"error: no hexamesh service listening on {args.socket} "
+            "(start one with `hexamesh serve`)",
+            file=sys.stderr,
+        )
+        return 1
+
+
 def _command_export(args: argparse.Namespace) -> int:
     arrangement = make_arrangement(args.kind, args.chiplets)
     wrote_something = False
@@ -1340,6 +1505,8 @@ _COMMANDS = {
     "workload": _command_workload,
     "faults": _command_faults,
     "store": _command_store,
+    "serve": _command_serve,
+    "jobs": _command_jobs,
     "bench": _command_bench,
     "export": _command_export,
     "feasibility": _command_feasibility,

@@ -19,6 +19,7 @@ from repro.core.explorer import (
 )
 from repro.core.parallel import (
     BatchedSweepRunner,
+    InFlightRegistry,
     ParallelSweepRunner,
     SweepCandidate,
     SweepRecord,
@@ -35,6 +36,7 @@ __all__ = [
     "DesignComparison",
     "DesignSpaceExplorer",
     "ExplorationRecord",
+    "InFlightRegistry",
     "ParallelSweepRunner",
     "SweepCandidate",
     "SweepRecord",

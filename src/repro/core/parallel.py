@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 from dataclasses import asdict, dataclass, field, replace
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
@@ -422,7 +423,7 @@ def resolve_workload_candidate(candidate: SweepCandidate, config: SimulationConf
 
 def _evaluate_batch_item(
     item: tuple[list[tuple[int, SweepCandidate, int]], SimulationConfig, str],
-) -> list[tuple[int, SimulationResult, float]]:
+) -> list[tuple[int, SimulationResult, float, str]]:
     """Simulate one batch of same-structure candidates in a worker process.
 
     ``item`` carries ``(entries, base_config, engine)`` where every entry
@@ -433,10 +434,13 @@ def _evaluate_batch_item(
     :meth:`NocSimulator.run_batch`, which is bit-identical to per-point
     evaluation under the per-(candidate, point) seeds.
 
-    Each returned triple carries the point's wall time; the first point
-    of a batch honestly includes the shared build it triggered.
+    Each returned tuple carries the point's wall time (the first point of
+    a batch honestly includes the shared build it triggered) and the
+    engine that *actually* ran — ``vectorized`` falls back to ``active``
+    under a staged router pipeline, and manifests must record the truth.
     """
     entries, config, engine = item
+    effective_engine = NocSimulator.resolve_engine(engine, config)
     start = perf_counter()
     first = entries[0][1]
     if first.workload is not None:
@@ -461,15 +465,20 @@ def _evaluate_batch_item(
         on_point=_mark,
     )
     return [
-        (index, result, wall)
+        (index, result, wall, effective_engine)
         for (index, _, _), result, wall in zip(entries, results, walls)
     ]
 
 
 def _evaluate_work_item(
     item: tuple[int, SweepCandidate, SimulationConfig, str],
-) -> tuple[int, SimulationResult, float]:
-    """Simulate one candidate (runs inside a worker process)."""
+) -> tuple[int, SimulationResult, float, str]:
+    """Simulate one candidate (runs inside a worker process).
+
+    The returned tuple carries the engine that *actually* ran
+    (:attr:`NocSimulator.last_engine`) so manifests record the truth when
+    ``vectorized`` falls back to ``active`` under a staged pipeline.
+    """
     index, candidate, config, engine = item
     start = perf_counter()
     if candidate.workload is not None:
@@ -489,7 +498,85 @@ def _evaluate_work_item(
             traffic=candidate.traffic,
         )
         result = simulator.run(engine=engine)
-    return index, result, perf_counter() - start
+    return index, result, perf_counter() - start, simulator.last_engine
+
+
+# ---------------------------------------------------------------------------
+# Cross-job in-flight deduplication
+# ---------------------------------------------------------------------------
+
+
+class _InFlightEntry:
+    """One in-flight computation a follower can wait on."""
+
+    __slots__ = ("event", "record")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.record: SweepRecord | None = None
+
+
+class InFlightRegistry:
+    """Single-flight registry deduplicating concurrent identical candidates.
+
+    Concurrent sweeps (e.g. jobs of the exploration service sharing one
+    process) frequently overlap: two jobs submitted at the same moment may
+    both miss the store on the same ``result_key`` and simulate it twice.
+    Runners handed a shared registry *claim* each store key before
+    dispatching it; the first claimant becomes the **owner** and simulates
+    as usual, every later claimant becomes a **follower** that waits for
+    the owner's published record instead of simulating — one simulation,
+    many subscribers.
+
+    The registry is in-process (``threading``-based): it complements the
+    cross-process safety of :class:`repro.store.ResultStore` (atomic
+    publication, last-writer-wins) rather than replacing it.  Owners that
+    fail or are cancelled release their claims, waking followers with no
+    record; followers then fall back to the store (the owner may have
+    published before dying) or simulate locally, so a crashed owner can
+    never strand its subscribers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, _InFlightEntry] = {}
+
+    def claim(self, key: str) -> _InFlightEntry | None:
+        """Claim ``key`` for computation.
+
+        Returns ``None`` when the caller is now the owner (and must later
+        :meth:`publish` or :meth:`release` the key), or the existing
+        entry to wait on when another runner already owns it.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = _InFlightEntry()
+                return None
+            return entry
+
+    def publish(self, key: str, record: SweepRecord | None) -> None:
+        """Fulfil ``key``: hand ``record`` to every waiting follower.
+
+        Publishing ``None`` releases the claim without a result (owner
+        failed); followers recover via the store or local evaluation.
+        Unclaimed keys are ignored, so double publication is harmless.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is not None:
+            entry.record = record
+            entry.event.set()
+
+    def release(self, keys: Iterable[str]) -> None:
+        """Release unfulfilled claims (owner failed or was cancelled)."""
+        for key in keys:
+            self.publish(key, None)
+
+    def in_flight(self) -> int:
+        """Number of keys currently claimed (diagnostics only)."""
+        with self._lock:
+            return len(self._entries)
 
 
 # ---------------------------------------------------------------------------
@@ -528,6 +615,13 @@ class ParallelSweepRunner:
         :func:`derive_candidate_seed`; when ``False`` all candidates use
         ``config.seed`` unchanged (used by the figure sweeps, whose serial
         reference path runs every point with the base seed).
+    in_flight:
+        Optional shared :class:`InFlightRegistry`.  When several runners
+        in one process (e.g. concurrent service jobs) share a registry,
+        overlapping cache misses are simulated exactly once — the first
+        runner to claim a store key owns the simulation, the others wait
+        for its record.  Requires ``cache_dir`` (claims are keyed by the
+        store key); ignored for uncached runners.
     """
 
     def __init__(
@@ -539,6 +633,7 @@ class ParallelSweepRunner:
         chunk_size: int | None = None,
         engine: str = DEFAULT_ENGINE,
         derive_seeds: bool = True,
+        in_flight: InFlightRegistry | None = None,
     ) -> None:
         check_positive_int("jobs", jobs)
         check_in_choices("engine", engine, ENGINE_NAMES)
@@ -548,6 +643,7 @@ class ParallelSweepRunner:
         self._chunk_size = chunk_size
         self._engine = engine
         self._derive_seeds = derive_seeds
+        self._in_flight = in_flight
         self._store: ResultStore | None = None
 
     @property
@@ -684,13 +780,18 @@ class ParallelSweepRunner:
         *,
         seed: int | None = None,
         wall_time_s: float | None = None,
+        engine: str | None = None,
     ) -> None:
         """Publish one fresh result into the store, provenance embedded.
 
         The manifest (git revision, library versions, engine, derived
         seed, configuration, wall time) travels inside the entry — the
         store is self-describing, which is what lets ``hexamesh store
-        verify`` replay any entry bit-for-bit later.
+        verify`` replay any entry bit-for-bit later.  ``engine`` is the
+        engine that *actually* ran (reported by the worker); it can
+        differ from the runner's requested engine when ``vectorized``
+        falls back to ``active`` under a staged router pipeline, and the
+        manifest must record the truth for verify to replay it.
         """
         store = self.store
         if store is None or key is None:
@@ -706,7 +807,7 @@ class ParallelSweepRunner:
             config=config_identity_dict(
                 replace(self._config, seed=seed) if seed is not None else self._config
             ),
-            engine=self._engine,
+            engine=engine if engine is not None else self._engine,
             seed=seed,
             wall_time_s=wall_time_s,
             extra={"candidate": candidate.key_dict(), "cache_key": key},
@@ -753,7 +854,10 @@ class ParallelSweepRunner:
                 progress(completed, total, record)
 
         caching = self._cache_dir is not None
+        in_flight = self._in_flight if caching else None
         pending: dict[int, tuple[SweepCandidate, int, str | None]] = {}
+        followed: list[tuple[int, SweepCandidate, int, str, _InFlightEntry]] = []
+        owned_keys: set[str] = set()
         for index, candidate in enumerate(ordered):
             seed = self.candidate_seed(candidate)
             config = replace(self._config, seed=seed)
@@ -761,11 +865,59 @@ class ParallelSweepRunner:
             cached = self._cache_load(key) if caching else None
             if cached is not None:
                 _finish(index, SweepRecord(candidate, seed, cached, from_cache=True))
-            else:
-                pending[index] = (candidate, seed, key)
+                continue
+            if in_flight is not None and key is not None and key not in owned_keys:
+                entry = in_flight.claim(key)
+                if entry is not None:
+                    # Another runner in this process is already simulating
+                    # this exact (candidate, config): subscribe to its
+                    # result instead of duplicating the work.
+                    followed.append((index, candidate, seed, key, entry))
+                    continue
+                owned_keys.add(key)
+            pending[index] = (candidate, seed, key)
 
-        if pending:
-            self._dispatch(pending, _finish)
+        published: set[str] = set()
+
+        def _finish_owned(index: int, record: SweepRecord) -> None:
+            key = pending[index][2]
+            if in_flight is not None and key is not None and key in owned_keys:
+                published.add(key)
+                in_flight.publish(key, record)
+            _finish(index, record)
+
+        try:
+            if pending:
+                self._dispatch(pending, _finish_owned)
+        finally:
+            # Wake followers of any claim we failed to fulfil (dispatch
+            # raised, e.g. a cancelled job) so they can recover instead of
+            # waiting forever.
+            if in_flight is not None:
+                in_flight.release(owned_keys - published)
+
+        for index, candidate, seed, key, entry in followed:
+            entry.event.wait()
+            record = entry.record
+            if record is not None:
+                _finish(index, SweepRecord(candidate, seed, record.result,
+                                           from_cache=True))
+                continue
+            # The owner released without publishing (failed or cancelled).
+            # It may still have stored some results before dying; fall
+            # back to the store, then to evaluating locally.
+            cached = self._cache_load(key)
+            if cached is not None:
+                _finish(index, SweepRecord(candidate, seed, cached, from_cache=True))
+                continue
+            config = replace(self._config, seed=seed)
+            _, result, wall, effective = _evaluate_work_item(
+                (index, candidate, config, self._engine)
+            )
+            self._cache_store(
+                key, candidate, result, seed=seed, wall_time_s=wall, engine=effective
+            )
+            _finish(index, SweepRecord(candidate, seed, result, wall_time_s=wall))
 
         missing = [index for index, record in enumerate(records) if record is None]
         if missing:  # pragma: no cover - defensive; parallel_map is exhaustive
@@ -790,10 +942,10 @@ class ParallelSweepRunner:
         ]
 
         def _on_complete(_done: int, _total: int, value: Any) -> None:
-            index, result, wall = value
+            index, result, wall, engine = value
             candidate, seed, key = pending[index]
             self._cache_store(
-                key, candidate, result, seed=seed, wall_time_s=wall
+                key, candidate, result, seed=seed, wall_time_s=wall, engine=engine
             )
             finish(
                 index,
@@ -876,10 +1028,10 @@ class BatchedSweepRunner(ParallelSweepRunner):
         ]
 
         def _on_complete(_done: int, _total: int, value: Any) -> None:
-            for index, result, wall in value:
+            for index, result, wall, engine in value:
                 candidate, seed, key = pending[index]
                 self._cache_store(
-                    key, candidate, result, seed=seed, wall_time_s=wall
+                    key, candidate, result, seed=seed, wall_time_s=wall, engine=engine
                 )
                 finish(
                     index,

@@ -39,7 +39,9 @@ def negative_binomial_yield(
     check_non_negative("defect_density_per_cm2", defect_density_per_cm2)
     check_positive("clustering_alpha", clustering_alpha)
     area_cm2 = die_area_mm2 / 100.0
-    return float((1.0 + area_cm2 * defect_density_per_cm2 / clustering_alpha) ** (-clustering_alpha))
+    return float(
+        (1.0 + area_cm2 * defect_density_per_cm2 / clustering_alpha) ** (-clustering_alpha)
+    )
 
 
 def known_good_die_yield(die_yield: float, test_coverage: float = 1.0) -> float:

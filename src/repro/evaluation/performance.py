@@ -211,7 +211,9 @@ class Figure7Result:
 # ---------------------------------------------------------------------------
 
 
-def _simulation_config_from(parameters: EvaluationParameters, base: SimulationConfig | None) -> SimulationConfig:
+def _simulation_config_from(
+    parameters: EvaluationParameters, base: SimulationConfig | None
+) -> SimulationConfig:
     """Derive a simulator configuration from the evaluation parameters."""
     if base is None:
         base = SimulationConfig()
@@ -353,6 +355,8 @@ def run_figure7(
     cache_dir: str | None = None,
     noc_engine: str = DEFAULT_ENGINE,
     batch: bool = False,
+    progress=None,
+    in_flight=None,
 ) -> Figure7Result:
     """Regenerate the data of Figure 7 (all four panels).
 
@@ -394,6 +398,13 @@ def run_figure7(
         routing / flat-state build
         (:class:`repro.core.parallel.BatchedSweepRunner`).  Purely an
         amortisation — the figure data is bit-identical either way.
+    progress:
+        Optional ``(done, total, record)`` callback forwarded to the
+        cycle-accurate sweep (analytical points never report).
+    in_flight:
+        Optional shared
+        :class:`~repro.core.parallel.InFlightRegistry` deduplicating the
+        cycle-accurate points against concurrent sweeps in this process.
     """
     check_in_choices("mode", mode, ("analytical", "simulation", "hybrid"))
     check_in_choices("noc_engine", noc_engine, ENGINE_NAMES)
@@ -444,9 +455,9 @@ def run_figure7(
         runner_cls = BatchedSweepRunner if batch else ParallelSweepRunner
         runner = runner_cls(
             config, jobs=jobs, cache_dir=cache_dir, engine=noc_engine,
-            derive_seeds=False,
+            derive_seeds=False, in_flight=in_flight,
         )
-        records = runner.run(candidates)
+        records = runner.run(candidates, progress=progress)
         for pair_index, (kind, count) in enumerate(sim_designs):
             zero_load = records[2 * pair_index].result
             overload = records[2 * pair_index + 1].result

@@ -110,7 +110,10 @@ class ExperimentResult:
                         series.name,
                         point.x,
                         point.y,
-                        ";".join(f"{key}={value}" for key, value in sorted(point.annotations.items())),
+                        ";".join(
+                            f"{key}={value}"
+                            for key, value in sorted(point.annotations.items())
+                        ),
                     ]
                 )
         return buffer.getvalue()

@@ -146,7 +146,9 @@ class EvaluationParameters:
         check_positive_int("router_latency_cycles", self.router_latency_cycles)
         check_positive_int("num_virtual_channels", self.num_virtual_channels)
         check_positive_int("buffer_depth_flits", self.buffer_depth_flits)
-        check_positive_int("hand_optimized_max_chiplets", self.hand_optimized_max_chiplets, minimum=0)
+        check_positive_int(
+            "hand_optimized_max_chiplets", self.hand_optimized_max_chiplets, minimum=0
+        )
 
     def chiplet_area_mm2(self, num_chiplets: int) -> float:
         """Per-chiplet area ``A_C = A_all / N``."""

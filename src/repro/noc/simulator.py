@@ -20,6 +20,7 @@ network-on-chip methodology (and BookSim2's conventions):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -72,6 +73,38 @@ class SimulationResult:
         if self.measured_packets_created == 0:
             return 1.0
         return self.measured_packets_ejected / self.measured_packets_created
+
+
+#: Whether the one-shot staged-pipeline fallback warning has fired in
+#: this process (reset by tests via :func:`_reset_staged_fallback_warning`).
+_staged_fallback_warned = False
+
+
+def _warn_staged_fallback() -> None:
+    """Warn (once per process) that ``vectorized`` falls back to ``active``.
+
+    The fallback is silent in results — the engines are bit-identical —
+    but callers recording provenance must not be left believing the numpy
+    kernel ran, so the first fallback of a process says so out loud.
+    """
+    global _staged_fallback_warned
+    if _staged_fallback_warned:
+        return
+    _staged_fallback_warned = True
+    warnings.warn(
+        "engine 'vectorized' implements the single-stage router pipeline "
+        "only; running the bit-identical 'active' engine instead for "
+        "router_pipeline='staged' (manifests record the engine that "
+        "actually ran)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_staged_fallback_warning() -> None:
+    """Re-arm the one-shot fallback warning (test seam)."""
+    global _staged_fallback_warned
+    _staged_fallback_warned = False
 
 
 @dataclass(frozen=True)
@@ -233,6 +266,11 @@ class NocSimulator:
         #: Instrumentation of the last active-set run (``None`` before the
         #: first run and after legacy runs).
         self.last_engine_stats: EngineStats | None = None
+        #: Name of the engine that actually executed the last :meth:`run`
+        #: (``None`` before the first run).  Differs from the requested
+        #: engine exactly when the staged-pipeline fallback applied —
+        #: provenance consumers must record *this*, never the request.
+        self.last_engine: str | None = None
 
     @property
     def network(self) -> Network:
@@ -255,6 +293,24 @@ class NocSimulator:
         return self._degraded
 
     # -- running -------------------------------------------------------------------
+
+    @staticmethod
+    def resolve_engine(engine: str, config: SimulationConfig) -> str:
+        """The engine that will *actually* run for this request.
+
+        The single source of truth for the staged-pipeline fallback: the
+        numpy ``vectorized`` kernel implements single-stage semantics
+        only, so under ``router_pipeline="staged"`` it transparently runs
+        the bit-identical ``active`` object model instead (warning once
+        per process).  Everything that records provenance — manifests,
+        store entries, bench reports — must record the *resolved* name,
+        which :attr:`last_engine` exposes after a run.
+        """
+        check_in_choices("engine", engine, ENGINE_NAMES)
+        if engine == "vectorized" and config.is_staged_pipeline:
+            _warn_staged_fallback()
+            return "active"
+        return engine
 
     def run(self, *, engine: str = "active", telemetry=None) -> SimulationResult:
         """Execute warm-up, measurement and drain, then summarise the statistics.
@@ -284,9 +340,8 @@ class NocSimulator:
         bit-identically, so every engine name keeps returning identical
         results in both pipeline modes.
         """
-        check_in_choices("engine", engine, ENGINE_NAMES)
-        if engine == "vectorized" and self._config.is_staged_pipeline:
-            engine = "active"
+        engine = self.resolve_engine(engine, self._config)
+        self.last_engine = engine
         if engine == "legacy":
             self.last_engine_stats = None
             snapshots = run_legacy_loop(
@@ -365,15 +420,15 @@ class NocSimulator:
             point's run (return ``None`` to skip a point).  Sessions are
             per point — reuse one only after consuming its contents.
         """
-        check_in_choices("engine", engine, ENGINE_NAMES)
         if config is None:
             config = SimulationConfig()
-        if engine == "vectorized" and config.is_staged_pipeline:
-            # The numpy batch kernel implements single-stage semantics
-            # only; staged-pipeline batches run the per-point active-set
-            # loop below, which still shares the (degraded) topology and
-            # routing-table build across all points.
-            engine = "active"
+        # The numpy batch kernel implements single-stage semantics only;
+        # staged-pipeline batches resolve to the per-point active-set
+        # loop below, which still shares the (degraded) topology and
+        # routing-table build across all points.  Callers recording
+        # provenance resolve the same way (resolve_engine is the single
+        # source of truth for the fallback).
+        engine = cls.resolve_engine(engine, config)
         ordered = list(points)
         if not ordered:
             return []

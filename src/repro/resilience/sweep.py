@@ -36,6 +36,7 @@ from typing import Iterable, Sequence
 from repro.arrangements.factory import make_arrangement
 from repro.core.parallel import (
     BatchedSweepRunner,
+    InFlightRegistry,
     ParallelSweepRunner,
     ProgressCallback,
     SweepCandidate,
@@ -406,6 +407,7 @@ def run_resilience_sweep(
     regularity: str | None = None,
     batch: bool = False,
     progress: ProgressCallback | None = None,
+    in_flight: InFlightRegistry | None = None,
 ) -> ResilienceSweepResult:
     """Simulate the degradation curves / surfaces of several arrangements.
 
@@ -444,7 +446,7 @@ def run_resilience_sweep(
     )
     runner_cls = BatchedSweepRunner if batch else ParallelSweepRunner
     runner = runner_cls(
-        config, jobs=jobs, cache_dir=cache_dir, engine=engine
+        config, jobs=jobs, cache_dir=cache_dir, engine=engine, in_flight=in_flight
     )
     records = tuple(runner.run(candidates, progress=progress))
     return ResilienceSweepResult(

@@ -1,0 +1,287 @@
+"""JSONL-over-Unix-socket transport for the exploration service.
+
+``hexamesh serve`` hosts a :class:`~repro.service.jobs.JobManager`
+behind a local stream socket; ``hexamesh jobs ...`` (and any other
+process) speaks to it with a line-oriented JSON protocol — one request
+object per connection, a stream of JSON response lines back.  Stdlib
+only: :mod:`socketserver` threads on the server side, a plain
+:mod:`socket` file on the client side.
+
+Protocol
+--------
+The client sends one JSON object terminated by a newline::
+
+    {"op": "submit", "spec": {"type": "sweep", ...}, "watch": true}
+
+and reads JSON lines until the stream closes.  Every line carries
+``"ok"``; progress lines (streamed for ``watch``/``submit --watch``)
+carry ``"progress"`` (a :meth:`SweepProgress.as_dict()
+<repro.telemetry.progress.SweepProgress.as_dict>` snapshot); the final
+line of a completed job carries ``"result"``.  Operations:
+
+=========  ==============================================================
+``ping``     liveness check (responds with the store directory)
+``submit``   validate + enqueue ``spec``; with ``watch`` stream progress
+             and block for the result
+``status``   one job's status by ``id``
+``watch``    stream a running job's progress, then its final status/result
+``result``   block for a job's result payload
+``cancel``   request cancellation
+``resume``   resubmit a finished job's spec (optionally with ``watch``)
+``jobs``     list every job
+``shutdown`` stop the server (running jobs are cancelled)
+=========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+from repro.service.jobs import JobManager
+
+#: Wire protocol identifier, bumped on incompatible changes.
+PROTOCOL = "hexamesh-jobs-1"
+
+
+class ServiceError(RuntimeError):
+    """A request the service rejected (unknown op, bad spec, unknown id)."""
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read a single request line, stream response lines."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via the client
+        service: ServiceServer = self.server.service  # type: ignore[attr-defined]
+        line = self.rfile.readline()
+        if not line.strip():
+            return
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as error:
+            self._send({"ok": False, "error": f"bad request: {error}"})
+            return
+        try:
+            service.handle(request, self._send)
+        except (BrokenPipeError, ConnectionError):
+            # Client went away mid-stream (e.g. a watcher hit Ctrl-C);
+            # the job keeps running, only this subscription dies.
+            pass
+        except ServiceError as error:
+            self._try_send({"ok": False, "error": str(error)})
+        except Exception as error:  # noqa: BLE001 - connection isolation
+            self._try_send({"ok": False, "error": f"{type(error).__name__}: {error}"})
+
+    def _send(self, payload: dict[str, Any]) -> None:
+        self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+    def _try_send(self, payload: dict[str, Any]) -> None:
+        try:
+            self._send(payload)
+        except (BrokenPipeError, ConnectionError):
+            pass
+
+
+class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceServer:
+    """Host a :class:`JobManager` on a Unix stream socket.
+
+    Use :meth:`serve_forever` to block (the ``hexamesh serve`` path) or
+    :meth:`start` to serve from a daemon thread (tests, embedding).
+    """
+
+    def __init__(self, manager: JobManager, socket_path: str) -> None:
+        self.manager = manager
+        self.socket_path = os.fspath(socket_path)
+        if os.path.exists(self.socket_path):
+            # A previous server that died without cleanup leaves a stale
+            # socket file; binding over it requires removal.
+            os.unlink(self.socket_path)
+        self._server = _ThreadingUnixServer(self.socket_path, _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or a ``shutdown`` request)."""
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._cleanup()
+
+    def start(self) -> None:
+        """Serve from a background daemon thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="hexamesh-serve", daemon=True
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop serving, cancel running jobs and remove the socket file."""
+        self.manager.shutdown(wait=False, cancel_pending=True)
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        self._server.server_close()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle(
+        self, request: dict[str, Any], send: Callable[[dict[str, Any]], None]
+    ) -> None:
+        """Execute one request, emitting response lines through ``send``."""
+        op = request.get("op")
+        if op == "ping":
+            send({
+                "ok": True,
+                "protocol": PROTOCOL,
+                "cache_dir": self.manager.cache_dir,
+            })
+        elif op == "submit":
+            spec = request.get("spec")
+            if spec is None:
+                raise ServiceError("submit needs a 'spec' object")
+            try:
+                job = self.manager.submit(spec)
+            except ValueError as error:
+                raise ServiceError(f"invalid spec: {error}") from error
+            send({"ok": True, "job": job.status()})
+            if request.get("watch"):
+                self._stream_job(job.id, send)
+        elif op == "watch":
+            self._stream_job(self._job_id(request), send)
+        elif op == "status":
+            send({"ok": True, "job": self._status(self._job_id(request))})
+        elif op == "result":
+            job_id = self._job_id(request)
+            timeout = request.get("timeout")
+            try:
+                result = self.manager.result(job_id, timeout=timeout)
+            except TimeoutError as error:
+                raise ServiceError(str(error)) from error
+            except RuntimeError as error:
+                send({"ok": False, "error": str(error), "job": self._status(job_id)})
+                return
+            send({"ok": True, "job": self._status(job_id), "result": result})
+        elif op == "cancel":
+            send({"ok": True, "job": self.manager.cancel(self._job_id(request))})
+        elif op == "resume":
+            try:
+                job = self.manager.resume(self._job_id(request))
+            except ValueError as error:
+                raise ServiceError(str(error)) from error
+            send({"ok": True, "job": job.status()})
+            if request.get("watch"):
+                self._stream_job(job.id, send)
+        elif op == "jobs":
+            send({"ok": True, "jobs": self.manager.jobs()})
+        elif op == "shutdown":
+            send({"ok": True, "shutdown": True})
+            # shutdown() must run outside this handler thread: it joins
+            # the serve loop, which is blocked waiting for this handler.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+        else:
+            raise ServiceError(f"unknown op {op!r}")
+
+    def _job_id(self, request: dict[str, Any]) -> str:
+        job_id = request.get("id")
+        if not job_id:
+            raise ServiceError(f"op {request.get('op')!r} needs a job 'id'")
+        return str(job_id)
+
+    def _status(self, job_id: str) -> dict[str, Any]:
+        try:
+            return self.manager.status(job_id)
+        except KeyError as error:
+            raise ServiceError(str(error.args[0])) from error
+
+    def _stream_job(
+        self, job_id: str, send: Callable[[dict[str, Any]], None]
+    ) -> None:
+        """Stream a job's snapshots, then its final status (+ result)."""
+        try:
+            stream = self.manager.stream(job_id)
+        except KeyError as error:
+            raise ServiceError(str(error.args[0])) from error
+        for snapshot in stream:
+            send({"ok": True, "job_id": job_id, "progress": snapshot})
+        status = self._status(job_id)
+        final: dict[str, Any] = {"ok": status["state"] == "done", "job": status}
+        if status["state"] == "done":
+            final["result"] = self.manager.result(job_id)
+        elif status["error"]:
+            final["error"] = status["error"]
+        send(final)
+
+
+class ServiceClient:
+    """Talk to a :class:`ServiceServer` over its Unix socket.
+
+    Each request opens a fresh connection (the protocol is one request
+    per connection) and yields the server's response lines as dicts.
+    """
+
+    def __init__(self, socket_path: str, *, connect_timeout: float = 10.0) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self.connect_timeout = connect_timeout
+
+    def _connect(self) -> socket.socket:
+        """Connect, retrying briefly so clients can race server startup."""
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(self.socket_path)
+                return sock
+            except (FileNotFoundError, ConnectionRefusedError):
+                sock.close()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def request(self, payload: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        """Send one request and yield every response line until EOF."""
+        sock = self._connect()
+        try:
+            with sock.makefile("rwb") as stream:
+                stream.write(json.dumps(payload).encode("utf-8") + b"\n")
+                stream.flush()
+                for line in stream:
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            sock.close()
+
+    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request expecting a single response line.
+
+        Raises :class:`ServiceError` when the server reports a failure.
+        """
+        response: dict[str, Any] | None = None
+        for response in self.request(payload):
+            break
+        if response is None:
+            raise ServiceError("server closed the connection without responding")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "request failed"))
+        return response

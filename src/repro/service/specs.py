@@ -1,0 +1,247 @@
+"""Job specifications of the exploration service.
+
+A job spec is the wire-level description of one unit of exploration
+work: a job type (``sweep``, ``workload``, ``resilience`` or
+``figure7``) plus the parameters the corresponding runner needs.  Specs
+arrive as plain JSON dicts (from the Python API or over the service
+socket), are validated and normalised here — defaults filled in, lists
+canonicalised, unknown fields rejected — and travel onward as frozen
+:class:`JobSpec` objects whose canonical JSON form doubles as an
+identity: two submissions of the same exploration produce equal specs,
+which is what lets the :class:`~repro.service.jobs.JobManager` treat a
+warm resubmission as the same work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.noc.config import SimulationConfig
+from repro.noc.engine import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.noc.traffic import available_traffic_patterns
+from repro.resilience.sweep import FAULT_TYPES
+from repro.utils.validation import check_in_choices, check_positive_int
+from repro.workloads import available_mappers, available_workloads
+
+#: Arrangement families of the paper (mirrors the CLI's ``_KINDS``).
+ARRANGEMENT_KINDS = ("grid", "brickwall", "honeycomb", "hexamesh")
+
+#: Regularity classes accepted by arrangement generators.
+REGULARITIES = ("regular", "semi-regular", "irregular")
+
+#: Job types the service accepts.
+JOB_TYPES = ("sweep", "workload", "resilience", "figure7")
+
+#: Figure-7 evaluation modes.
+FIGURE7_MODES = ("analytical", "hybrid", "simulation")
+
+
+def phase_config(cycles: int, *, seed: int | None = None) -> SimulationConfig:
+    """Simulation phase lengths scaled from a ``cycles`` knob.
+
+    Shared by the CLI's ``simulate`` / ``sweep`` commands and the
+    service's job specs, so a job submitted over the socket runs exactly
+    the configuration the equivalent CLI invocation would.
+    """
+    return SimulationConfig(
+        warmup_cycles=max(100, cycles // 2),
+        measurement_cycles=cycles,
+        drain_cycles=cycles * 2,
+        **({} if seed is None else {"seed": seed}),
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, normalised job description.
+
+    ``params`` is stored as a canonical sorted ``(name, value)`` tuple
+    (lists rendered as tuples) so equal explorations compare and hash
+    equal; :meth:`as_dict` restores the JSON-able form.
+    """
+
+    job_type: str
+    params: tuple[tuple[str, Any], ...]
+
+    def param(self, name: str) -> Any:
+        """The value of one normalised parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able rendering (inverse of :func:`job_spec`)."""
+        data: dict[str, Any] = {"type": self.job_type}
+        for key, value in self.params:
+            data[key] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    def canonical_json(self) -> str:
+        """Canonical JSON identity of this spec."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    def config(self) -> SimulationConfig:
+        """The simulation configuration this spec's candidates run with."""
+        return phase_config(self.param("cycles"), seed=self.param("seed"))
+
+
+def _as_list(value: Any, kind: type, name: str) -> tuple:
+    """Normalise a scalar-or-list JSON value into a typed tuple."""
+    if value is None:
+        raise ValueError(f"spec field {name!r} must not be null")
+    if isinstance(value, (list, tuple)):
+        items = value
+    else:
+        items = [value]
+    if not items:
+        raise ValueError(f"spec field {name!r} must name at least one value")
+    try:
+        return tuple(kind(item) for item in items)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"spec field {name!r}: {error}") from error
+
+
+# Per-type field tables: name -> (normaliser, default).  A default of
+# ``_REQUIRED`` marks the field mandatory.  Normalisers receive the raw
+# JSON value and return the canonical form (tuples for lists).
+_REQUIRED = object()
+
+
+def _common_fields() -> dict[str, tuple]:
+    return {
+        "cycles": (lambda v: int(v), 1000),
+        "seed": (lambda v: int(v), 1),
+        "engine": (lambda v: str(v), DEFAULT_ENGINE),
+        "jobs": (lambda v: int(v), 1),
+    }
+
+
+def _spec_fields(job_type: str) -> dict[str, tuple]:
+    fields = _common_fields()
+    if job_type == "sweep":
+        fields.update(
+            kinds=(lambda v: _as_list(v, str, "kinds"), ("grid", "hexamesh")),
+            chiplets=(lambda v: _as_list(v, int, "chiplets"), (16, 36)),
+            rates=(lambda v: _as_list(v, float, "rates"), (0.02, 0.1, 0.3)),
+            traffic=(lambda v: _as_list(v, str, "traffic"), ("uniform",)),
+            regularity=(lambda v: None if v is None else str(v), None),
+            batch=(lambda v: bool(v), False),
+        )
+    elif job_type == "workload":
+        fields.update(
+            workloads=(lambda v: _as_list(v, str, "workloads"), ("dnn-pipeline",)),
+            arrangements=(
+                lambda v: _as_list(v, str, "arrangements"),
+                ("hexamesh",),
+            ),
+            chiplets=(lambda v: _as_list(v, int, "chiplets"), (37,)),
+            mappers=(lambda v: _as_list(v, str, "mappers"), ("partition",)),
+            tasks=(lambda v: None if v is None else int(v), None),
+            injection_rate=(lambda v: float(v), 0.1),
+            regularity=(lambda v: None if v is None else str(v), None),
+        )
+    elif job_type == "resilience":
+        fields.update(
+            kinds=(lambda v: _as_list(v, str, "kinds"), ("grid", "hexamesh")),
+            chiplets=(lambda v: int(v), 37),
+            failures=(lambda v: _as_list(v, int, "failures"), (0, 1, 2)),
+            fault_type=(lambda v: str(v), "link"),
+            samples=(lambda v: int(v), 2),
+            injection_rate=(lambda v: float(v), 0.1),
+            injection_rates=(
+                lambda v: None if v is None else _as_list(v, float, "injection_rates"),
+                None,
+            ),
+            traffic=(lambda v: str(v), "uniform"),
+            regularity=(lambda v: None if v is None else str(v), None),
+            batch=(lambda v: bool(v), False),
+        )
+    elif job_type == "figure7":
+        # Figure 7 runs the paper's evaluation parameters; it has no
+        # cycles/seed knobs (mirroring `hexamesh figure 7`), so its
+        # results are byte-identical to the CLI's.
+        del fields["cycles"], fields["seed"]
+        fields.update(
+            max_chiplets=(lambda v: int(v), 30),
+            mode=(lambda v: str(v), "analytical"),
+            sim_points=(
+                lambda v: None if v is None else _as_list(v, int, "sim_points"),
+                None,
+            ),
+            batch=(lambda v: bool(v), False),
+        )
+    else:  # pragma: no cover - guarded by the caller
+        raise ValueError(f"unknown job type {job_type!r}")
+    return fields
+
+
+def _check_spec(job_type: str, params: dict[str, Any]) -> None:
+    """Cross-field validation after normalisation (fail before running)."""
+    check_in_choices("engine", params["engine"], ENGINE_NAMES)
+    if "cycles" in params:
+        check_positive_int("cycles", params["cycles"])
+    check_positive_int("jobs", params["jobs"])
+    if job_type == "sweep":
+        for kind in params["kinds"]:
+            check_in_choices("kind", kind, ARRANGEMENT_KINDS)
+        for traffic in params["traffic"]:
+            check_in_choices("traffic", traffic, available_traffic_patterns())
+    elif job_type == "workload":
+        for kind in params["workloads"]:
+            check_in_choices("workload kind", kind, available_workloads())
+        for arrangement in params["arrangements"]:
+            check_in_choices("arrangement", arrangement, ARRANGEMENT_KINDS)
+        for mapper in params["mappers"]:
+            check_in_choices("mapper", mapper, available_mappers())
+    elif job_type == "resilience":
+        for kind in params["kinds"]:
+            check_in_choices("kind", kind, ARRANGEMENT_KINDS)
+        check_in_choices("fault_type", params["fault_type"], FAULT_TYPES)
+        check_in_choices("traffic", params["traffic"], available_traffic_patterns())
+    elif job_type == "figure7":
+        check_in_choices("mode", params["mode"], FIGURE7_MODES)
+        check_positive_int("max_chiplets", params["max_chiplets"])
+    regularity = params.get("regularity")
+    if regularity is not None:
+        check_in_choices("regularity", regularity, REGULARITIES)
+
+
+def job_spec(data: Mapping[str, Any]) -> JobSpec:
+    """Validate and normalise a raw JSON job description.
+
+    ``data`` must carry a ``type`` field naming one of :data:`JOB_TYPES`;
+    every other field is type-specific, scalar-or-list values are
+    accepted for list fields, defaults fill in the rest, and unknown
+    fields are rejected (a typo'd knob must not silently run the default
+    exploration).
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"job spec must be a JSON object, got {type(data).__name__}")
+    payload = dict(data)
+    job_type = payload.pop("type", None)
+    if job_type is None:
+        raise ValueError(f"job spec needs a 'type' field (one of {', '.join(JOB_TYPES)})")
+    check_in_choices("type", job_type, JOB_TYPES)
+    fields = _spec_fields(job_type)
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise ValueError(
+            f"unknown {job_type} spec field(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(fields))})"
+        )
+    params: dict[str, Any] = {}
+    for name, (normalise, default) in fields.items():
+        if name in payload:
+            params[name] = normalise(payload[name])
+        elif default is _REQUIRED:  # pragma: no cover - no required fields yet
+            raise ValueError(f"{job_type} spec requires field {name!r}")
+        else:
+            params[name] = default
+    _check_spec(job_type, params)
+    return JobSpec(
+        job_type=job_type,
+        params=tuple(sorted(params.items())),
+    )

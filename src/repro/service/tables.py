@@ -1,0 +1,212 @@
+"""Result tables shared by the CLI and the exploration service.
+
+The ``hexamesh sweep/workload/faults`` commands and the service's job
+results must render *identical* tables for identical explorations — the
+service's warm-hit story depends on a resubmitted job returning the same
+bytes the original CLI run wrote.  This module is the single source of
+those tables: header + row construction for each job type, the CSV
+rendering used by ``--output``, and the latency/throughput Pareto front
+the service serves alongside sweep results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.parallel import SweepRecord, parallel_map, resolve_workload_candidate
+from repro.noc.config import SimulationConfig
+from repro.workloads import makespan_proxy_cycles
+from repro.workloads.mapping import evaluate_mapping
+
+SWEEP_HEADER = [
+    "kind",
+    "chiplets",
+    "rate",
+    "traffic",
+    "avg latency [cyc]",
+    "p99 latency [cyc]",
+    "accepted [flit/cyc/EP]",
+    "delivered ratio",
+]
+
+WORKLOAD_HEADER = [
+    "arrangement",
+    "chiplets",
+    "workload",
+    "mapper",
+    "tasks",
+    "weighted hops",
+    "max link load",
+    "avg latency [cyc]",
+    "p99 latency [cyc]",
+    "accepted [flit/cyc/EP]",
+    "makespan proxy [cyc]",
+    "delivered ratio",
+]
+
+RESILIENCE_HEADER = [
+    "kind",
+    "chiplets",
+    "failures",
+    "rate",
+    "samples",
+    "avg latency [cyc]",
+    "p99 latency [cyc]",
+    "accepted [flit/cyc/EP]",
+    "delivered ratio",
+    "latency vs healthy",
+    "throughput vs healthy",
+]
+
+
+def render_csv(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """The exact CSV text ``hexamesh ... --output`` writes for these rows."""
+    lines = [",".join(header)]
+    lines.extend(",".join(str(value) for value in row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def sweep_rows(records: Sequence[SweepRecord]) -> list[list[Any]]:
+    """The ``hexamesh sweep`` table rows for these records."""
+    return [
+        [
+            record.candidate.kind,
+            record.candidate.num_chiplets,
+            record.candidate.injection_rate,
+            record.candidate.traffic,
+            record.result.packet_latency.mean,
+            record.result.packet_latency.p99,
+            record.result.accepted_flit_rate,
+            record.result.measured_delivery_ratio,
+        ]
+        for record in records
+    ]
+
+
+def workload_static_metrics(item):
+    """Static cost columns of one workload candidate (worker-process safe).
+
+    Returns the rebuilt workload alongside its mapping cost so the
+    coordinator can derive the makespan proxy without re-running the
+    (comparatively expensive) partition mapper itself.
+    """
+    candidate, config = item
+    graph, workload, mapping, _ = resolve_workload_candidate(candidate, config)
+    return workload, evaluate_mapping(workload, mapping, graph)
+
+
+def workload_rows(
+    records: Sequence[SweepRecord],
+    config: SimulationConfig,
+    *,
+    jobs: int = 1,
+) -> list[list[Any]]:
+    """The ``hexamesh workload`` table rows for these records.
+
+    The static metrics are recomputed from the candidate identity (valid
+    for cache hits too); the partition mapper dominates that cost, so
+    the recomputation fans across ``jobs`` worker processes like the
+    sweep itself.
+    """
+    static_metrics = parallel_map(
+        workload_static_metrics,
+        [(record.candidate, config) for record in records],
+        jobs=jobs,
+    )
+    rows = []
+    for record, (workload, cost) in zip(records, static_metrics):
+        candidate = record.candidate
+        rows.append(
+            [
+                candidate.kind,
+                candidate.num_chiplets,
+                candidate.workload,
+                candidate.effective_mapper,
+                workload.num_tasks,
+                cost.weighted_hop_count,
+                cost.max_link_load,
+                round(record.result.packet_latency.mean, 3),
+                round(record.result.packet_latency.p99, 3),
+                round(record.result.accepted_flit_rate, 5),
+                round(makespan_proxy_cycles(workload, record.result), 2),
+                round(record.result.measured_delivery_ratio, 4),
+            ]
+        )
+    return rows
+
+
+def resilience_rows(summaries: Sequence[Any]) -> list[list[Any]]:
+    """The ``hexamesh faults`` table rows for these summaries.
+
+    Ratio columns stay raw floats (NaN included) so CSV output parses
+    numerically like every other command's.
+    """
+    return [
+        [
+            summary.kind,
+            summary.num_chiplets,
+            summary.num_failures,
+            summary.injection_rate,
+            summary.samples,
+            round(summary.mean_latency_cycles, 3),
+            round(summary.p99_latency_cycles, 3),
+            round(summary.accepted_flit_rate, 5),
+            round(summary.delivery_ratio, 4),
+            round(summary.latency_vs_baseline, 4),
+            round(summary.throughput_vs_baseline, 4),
+        ]
+        for summary in summaries
+    ]
+
+
+def figure7_csv(figure7) -> str:
+    """The exact CSV text ``hexamesh figure 7`` emits for this result."""
+    return "".join(
+        experiment.to_csv()
+        for experiment in (
+            figure7.latency_experiment(),
+            figure7.throughput_experiment(),
+            figure7.normalized_latency_experiment(),
+            figure7.normalized_throughput_experiment(),
+        )
+    )
+
+
+def sweep_pareto(records: Sequence[SweepRecord]) -> list[dict[str, Any]]:
+    """Latency / throughput Pareto front over evaluated sweep records.
+
+    A record is Pareto-optimal when no other record has both lower mean
+    packet latency and higher accepted throughput (one strictly better).
+    Returned as JSON-able dicts sorted by latency, ready to serve with a
+    job result — on a warm store this is an O(grid) scan over cache
+    hits, no simulation.
+    """
+    points = [
+        {
+            "kind": record.candidate.kind,
+            "chiplets": record.candidate.num_chiplets,
+            "rate": record.candidate.injection_rate,
+            "traffic": record.candidate.traffic,
+            "latency": record.result.packet_latency.mean,
+            "throughput": record.result.accepted_flit_rate,
+        }
+        for record in records
+    ]
+    front = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            better_latency = other["latency"] <= candidate["latency"]
+            better_throughput = other["throughput"] >= candidate["throughput"]
+            strictly_better = (
+                other["latency"] < candidate["latency"]
+                or other["throughput"] > candidate["throughput"]
+            )
+            if better_latency and better_throughput and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda point: point["latency"])

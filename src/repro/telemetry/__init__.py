@@ -38,6 +38,7 @@ from repro.telemetry.progress import (
     format_duration,
     format_progress,
     format_summary,
+    progress_from_dict,
 )
 from repro.telemetry.provenance import (
     MANIFEST_SCHEMA,
@@ -80,6 +81,7 @@ __all__ = [
     "format_summary",
     "git_revision",
     "install_probes",
+    "progress_from_dict",
     "read_jsonl",
     "sample_object_cycle",
     "uninstall_probes",

@@ -12,7 +12,8 @@ worker-second).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,23 @@ class SweepProgress:
     @property
     def finished(self) -> bool:
         return self.done >= self.total
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot (for JSONL streaming over sockets).
+
+        ``finished`` is included redundantly so stream consumers need no
+        knowledge of the dataclass; :func:`progress_from_dict` inverts.
+        """
+        data = asdict(self)
+        data["finished"] = self.finished
+        return data
+
+
+def progress_from_dict(data: dict[str, Any]) -> SweepProgress:
+    """Rebuild a :class:`SweepProgress` from its :meth:`~SweepProgress.as_dict` form."""
+    fields = dict(data)
+    fields.pop("finished", None)
+    return SweepProgress(**fields)
 
 
 class SweepProgressTracker:

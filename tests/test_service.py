@@ -1,0 +1,334 @@
+"""The exploration service core: specs, in-flight dedup, job lifecycle.
+
+The three acceptance properties of exploration-as-a-service live here:
+a warm resubmission returns the full result with *zero* simulator
+invocations, two concurrent jobs sharing candidates trigger exactly one
+simulation per unique ``result_key``, and an interrupted job resumes as
+pure store hits up to the cut.  Progress streams are additionally pinned
+monotone in ``done`` and terminated by a ``finished`` snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.core.parallel as parallel_module
+from repro.core.parallel import InFlightRegistry, ParallelSweepRunner
+from repro.service import JobManager, job_spec
+from repro.service.specs import phase_config
+from repro.service.tables import render_csv, sweep_rows
+
+#: cycles=80 scales to the FAST_CONFIG-sized phases the other suites use.
+SWEEP_SPEC = {
+    "type": "sweep",
+    "kinds": ["grid", "hexamesh"],
+    "chiplets": [7],
+    "rates": [0.05, 0.3],
+    "cycles": 80,
+}
+
+
+def _forbid_simulation(monkeypatch):
+    """Make any simulator invocation fail the test loudly."""
+
+    def boom(*_args, **_kwargs):  # pragma: no cover - the assertion itself
+        raise AssertionError("a warm run must not invoke the simulator")
+
+    monkeypatch.setattr(parallel_module, "_evaluate_work_item", boom)
+    monkeypatch.setattr(parallel_module, "_evaluate_batch_item", boom)
+
+
+@pytest.fixture
+def manager(tmp_path):
+    mgr = JobManager(cache_dir=str(tmp_path / "store"), workers=2)
+    yield mgr
+    mgr.shutdown(wait=False, cancel_pending=True)
+
+
+class TestJobSpec:
+    def test_defaults_and_normalisation(self):
+        spec = job_spec({"type": "sweep", "chiplets": 7, "rates": 0.05})
+        assert spec.param("chiplets") == (7,)
+        assert spec.param("rates") == (0.05,)
+        assert spec.param("kinds") == ("grid", "hexamesh")
+        assert spec.param("cycles") == 1000
+        assert spec.param("jobs") == 1
+
+    def test_equal_explorations_share_an_identity(self):
+        first = job_spec({"type": "sweep", "chiplets": [7], "rates": [0.05]})
+        second = job_spec({"chiplets": 7, "type": "sweep", "rates": 0.05})
+        assert first == second
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep spec field.*chiplet"):
+            job_spec({"type": "sweep", "chiplet": [7]})
+
+    def test_unknown_type_and_missing_type_are_rejected(self):
+        with pytest.raises(ValueError, match="needs a 'type'"):
+            job_spec({"kinds": ["grid"]})
+        with pytest.raises(ValueError, match="type"):
+            job_spec({"type": "figure8"})
+
+    def test_cross_field_validation(self):
+        with pytest.raises(ValueError, match="engine"):
+            job_spec({"type": "sweep", "engine": "imaginary"})
+        with pytest.raises(ValueError, match="kind"):
+            job_spec({"type": "sweep", "kinds": ["moebius"]})
+
+    def test_figure7_spec_has_no_phase_knobs(self):
+        # Figure 7 always runs the paper's parameters, so service results
+        # stay byte-identical to `hexamesh figure 7`.
+        spec = job_spec({"type": "figure7", "max_chiplets": 5})
+        with pytest.raises(KeyError):
+            spec.param("cycles")
+        with pytest.raises(ValueError, match="unknown figure7 spec field"):
+            job_spec({"type": "figure7", "cycles": 100})
+
+    def test_config_matches_the_cli_phase_scaling(self):
+        spec = job_spec({"type": "sweep", "cycles": 80, "seed": 3})
+        assert spec.config() == phase_config(80, seed=3)
+
+
+class TestInFlightRegistry:
+    def test_first_claim_owns_followers_wait(self):
+        registry = InFlightRegistry()
+        assert registry.claim("k") is None
+        entry = registry.claim("k")
+        assert entry is not None
+        assert registry.in_flight() == 1
+        registry.publish("k", "record")
+        assert entry.event.is_set()
+        assert entry.record == "record"
+        assert registry.in_flight() == 0
+        # A fresh claim after publish starts a new flight.
+        assert registry.claim("k") is None
+
+    def test_release_wakes_followers_empty_handed(self):
+        registry = InFlightRegistry()
+        registry.claim("k")
+        entry = registry.claim("k")
+        registry.release({"k"})
+        assert entry.event.is_set()
+        assert entry.record is None
+
+    def test_publish_without_claim_is_ignored(self):
+        registry = InFlightRegistry()
+        registry.publish("unclaimed", "record")
+        assert registry.in_flight() == 0
+
+
+class TestJobLifecycle:
+    def test_sweep_job_matches_the_direct_runner(self, manager):
+        job = manager.submit(SWEEP_SPEC)
+        result = manager.result(job.id, timeout=120)
+        spec = job.spec
+        runner = ParallelSweepRunner(spec.config(), jobs=1)
+        records = runner.run(
+            ParallelSweepRunner.grid(
+                spec.param("kinds"), spec.param("chiplets"), spec.param("rates"),
+                spec.param("traffic"),
+            )
+        )
+        rows = sweep_rows(records)
+        assert result["rows"] == rows
+        assert result["csv"] == render_csv(result["header"], rows)
+        assert result["cache"] == {"candidates": 4, "cache_hits": 0, "simulated": 4}
+        assert result["pareto"]
+        assert result["pareto"] == sorted(
+            result["pareto"], key=lambda point: point["latency"]
+        )
+        status = manager.status(job.id)
+        assert status["state"] == "done"
+        assert status["progress"]["finished"] is True
+
+    def test_warm_resubmission_simulates_nothing(self, manager, monkeypatch):
+        cold = manager.result(manager.submit(SWEEP_SPEC).id, timeout=120)
+        _forbid_simulation(monkeypatch)
+        warm = manager.result(manager.submit(SWEEP_SPEC).id, timeout=120)
+        assert warm["cache"] == {"candidates": 4, "cache_hits": 4, "simulated": 0}
+        assert warm["csv"] == cold["csv"]
+        assert warm["pareto"] == cold["pareto"]
+
+    def test_failed_job_surfaces_the_error(self, monkeypatch):
+        manager = JobManager(cache_dir=None, workers=1)
+        try:
+            def boom(*_args, **_kwargs):
+                raise RuntimeError("simulated explosion")
+
+            monkeypatch.setattr(parallel_module, "_evaluate_work_item", boom)
+            job = manager.submit(SWEEP_SPEC)
+            with pytest.raises(RuntimeError, match="simulated explosion"):
+                manager.result(job.id, timeout=60)
+            assert manager.status(job.id)["state"] == "failed"
+        finally:
+            manager.shutdown(wait=False, cancel_pending=True)
+
+    def test_unknown_job_id_raises(self, manager):
+        with pytest.raises(KeyError, match="unknown job id"):
+            manager.status("job-999")
+
+    def test_queued_job_cancels_before_start(self, manager, monkeypatch):
+        gate = threading.Semaphore(0)
+        real = parallel_module._evaluate_work_item
+
+        def gated(item):
+            gate.acquire()
+            return real(item)
+
+        monkeypatch.setattr(parallel_module, "_evaluate_work_item", gated)
+        # Fill both worker threads so the third submission stays queued.
+        blockers = [manager.submit(SWEEP_SPEC) for _ in range(2)]
+        queued = manager.submit(SWEEP_SPEC)
+        status = manager.cancel(queued.id)
+        assert status["state"] == "cancelled"
+        for _ in range(32):
+            gate.release()
+        for job in blockers:
+            assert job.wait(timeout=120)
+
+
+class TestStreamedProgress:
+    def test_stream_is_monotone_and_ends_finished(self, manager):
+        job = manager.submit(SWEEP_SPEC)
+        snapshots = list(manager.stream(job.id))
+        assert snapshots, "a 4-candidate sweep must stream snapshots"
+        done = [snapshot["done"] for snapshot in snapshots]
+        assert done == sorted(done)
+        assert snapshots[-1]["finished"] is True
+        assert snapshots[-1]["done"] == snapshots[-1]["total"] == 4
+        # A late subscriber replays the full history.
+        replay = list(manager.stream(job.id))
+        assert replay == snapshots
+
+
+class TestCrossJobDeduplication:
+    def test_concurrent_identical_jobs_simulate_each_key_once(
+        self, manager, monkeypatch
+    ):
+        lock = threading.Lock()
+        simulated: set[tuple] = set()
+        real = parallel_module._evaluate_work_item
+
+        def once_per_key(item):
+            _, candidate, _, _ = item
+            key = (candidate.kind, candidate.num_chiplets, candidate.injection_rate)
+            with lock:
+                if key in simulated:
+                    raise AssertionError(f"candidate {key} simulated twice")
+                simulated.add(key)
+            # Stretch the simulation window so the two jobs genuinely
+            # overlap on the in-flight registry rather than racing past
+            # each other into the store.
+            time.sleep(0.2)
+            return real(item)
+
+        monkeypatch.setattr(parallel_module, "_evaluate_work_item", once_per_key)
+        first = manager.submit(SWEEP_SPEC)
+        second = manager.submit(SWEEP_SPEC)
+        result_a = manager.result(first.id, timeout=120)
+        result_b = manager.result(second.id, timeout=120)
+        assert result_a["csv"] == result_b["csv"]
+        assert len(simulated) == 4
+        total = result_a["cache"]["simulated"] + result_b["cache"]["simulated"]
+        assert total == 4
+        assert manager.in_flight.in_flight() == 0
+
+
+class TestCancelAndResume:
+    def test_interrupted_job_resumes_as_store_hits(self, manager, monkeypatch):
+        gate = threading.Semaphore(0)
+        real = parallel_module._evaluate_work_item
+
+        def gated(item):
+            gate.acquire()
+            return real(item)
+
+        monkeypatch.setattr(parallel_module, "_evaluate_work_item", gated)
+        job = manager.submit(SWEEP_SPEC)
+        gate.release(2)
+        deadline = time.monotonic() + 60
+        while manager.status(job.id)["snapshots"] < 2:
+            assert time.monotonic() < deadline, "first two candidates never landed"
+            time.sleep(0.01)
+        manager.cancel(job.id)
+        gate.release(8)  # let any in-flight simulation finish and unwind
+        assert job.wait(timeout=120)
+        assert manager.status(job.id)["state"] == "cancelled"
+        with pytest.raises(RuntimeError, match="cancelled"):
+            manager.result(job.id)
+
+        resumed = manager.resume(job.id)
+        assert resumed.resumed_from == job.id
+        result = manager.result(resumed.id, timeout=120)
+        # Everything simulated before the cut comes back from the store.
+        assert result["cache"]["candidates"] == 4
+        assert result["cache"]["cache_hits"] >= 2
+        assert result["cache"]["simulated"] <= 2
+
+        # And once the resumed job completed the grid, a third run is
+        # 100% store hits: zero simulator invocations.
+        _forbid_simulation(monkeypatch)
+        third = manager.result(manager.submit(SWEEP_SPEC).id, timeout=120)
+        assert third["cache"]["cache_hits"] == 4
+        assert third["cache"]["simulated"] == 0
+        assert third["csv"] == result["csv"]
+
+    def test_resume_requires_a_terminal_job(self, manager, monkeypatch):
+        gate = threading.Semaphore(0)
+        real = parallel_module._evaluate_work_item
+
+        def gated(item):
+            gate.acquire()
+            return real(item)
+
+        monkeypatch.setattr(parallel_module, "_evaluate_work_item", gated)
+        job = manager.submit(SWEEP_SPEC)
+        with pytest.raises(ValueError, match="still"):
+            manager.resume(job.id)
+        gate.release(8)
+        assert job.wait(timeout=120)
+
+
+class TestOtherJobTypes:
+    def test_workload_job_smoke(self, manager):
+        job = manager.submit(
+            {
+                "type": "workload",
+                "workloads": ["dnn-pipeline"],
+                "arrangements": ["hexamesh"],
+                "chiplets": [7],
+                "mappers": ["round-robin"],
+                "cycles": 80,
+            }
+        )
+        result = manager.result(job.id, timeout=120)
+        assert result["header"][0] == "arrangement"
+        assert len(result["rows"]) == 1
+        assert result["rows"][0][0] == "hexamesh"
+        assert result["cache"]["candidates"] == 1
+
+    def test_resilience_job_smoke(self, manager):
+        job = manager.submit(
+            {
+                "type": "resilience",
+                "kinds": ["grid"],
+                "chiplets": 9,
+                "failures": [0, 1],
+                "samples": 1,
+                "cycles": 80,
+            }
+        )
+        result = manager.result(job.id, timeout=120)
+        assert [row[2] for row in result["rows"]] == [0, 1]
+        assert result["rows"][0][9] == 1.0  # baseline anchors at 1.0
+
+    def test_figure7_job_smoke(self, manager):
+        job = manager.submit({"type": "figure7", "max_chiplets": 5})
+        result = manager.result(job.id, timeout=120)
+        # Four concatenated experiment tables, each with its own header.
+        assert result["csv"].count("experiment,series,") == 4
+        assert result["metadata"]["mode"] == "analytical"
